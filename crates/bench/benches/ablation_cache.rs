@@ -1,0 +1,72 @@
+//! Cache-capacity ablation — what Table 5 would look like if the store did
+//! *not* fit in the buffer cache.
+//!
+//! The paper's server kept the whole ~800 MB store resident (128 GB RAM),
+//! so "warm" meant fully cached. This ablation bounds the simulated page
+//! cache below the store's working set and re-runs the embedded
+//! comprehension closure, showing the thrash regime a memory-constrained
+//! deployment would hit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use frappe_bench::scale_from_env;
+use frappe_core::traverse;
+use frappe_model::EdgeType;
+use frappe_store::{CacheMode, IoCostModel};
+use frappe_synth::{generate, SynthSpec};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut out = generate(&SynthSpec::scaled((scale_from_env() / 4.0).max(0.01)));
+    out.graph.unfreeze();
+    out.graph.set_cache_mode(CacheMode::Tracked);
+    out.graph.set_io_cost(IoCostModel::default());
+    out.graph.freeze();
+    let seed = out.landmarks.pci_read_bases;
+
+    let mut group = c.benchmark_group("ablation_cache");
+    group.sample_size(10);
+    // Unbounded (the paper's regime), then progressively tighter caches.
+    for capacity in [0u64, 4096, 1024, 256] {
+        out.graph.set_cache_capacity_pages(capacity);
+        out.graph.warm_up();
+        out.graph.reset_cache_stats();
+        // Report the steady-state fault count once per configuration.
+        let _ = traverse::transitive_closure(
+            &out.graph,
+            seed,
+            traverse::Dir::Out,
+            &[EdgeType::Calls],
+            None,
+        );
+        let faults = out.graph.cache_stats().faults;
+        eprintln!(
+            "ablation_cache: capacity {} pages → {} faults per closure (simulated {:?})",
+            capacity,
+            faults,
+            out.graph.cache_stats().simulated_io
+        );
+        let g = &out.graph;
+        group.bench_with_input(
+            BenchmarkId::new("closure_at_capacity", capacity),
+            &capacity,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        traverse::transitive_closure(
+                            g,
+                            seed,
+                            traverse::Dir::Out,
+                            &[EdgeType::Calls],
+                            None,
+                        )
+                        .len(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! §6.2 ablation — edge-property references vs. reified call-site nodes.
+//!
+//! The paper discusses modelling references as nodes
+//! (`foo -[:calls]-> callsite -[:calls]-> bar` plus
+//! `file -[:contains]-> callsite`) to work around missing hyper-edges, and
+//! notes the trade-off: per-file reference matching improves, but general
+//! traversals get longer paths. We measure both directions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use frappe_bench::{bench_graph, scale_from_env};
+use frappe_core::traverse;
+use frappe_model::{EdgeType, NodeType};
+use frappe_store::reify::{reify_references, ReifyOptions};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let out = bench_graph((scale_from_env() / 4.0).max(0.01));
+    let g = &out.graph;
+    g.warm_up();
+    let (mut reified, report) = reify_references(g, &out.file_nodes, ReifyOptions::default());
+    reified.freeze();
+    eprintln!(
+        "ablation_reify: {} references reified, {} contains edges added",
+        report.reified, report.contains_added
+    );
+    let seed = out.landmarks.pci_read_bases;
+
+    let mut group = c.benchmark_group("ablation_reify");
+    group.sample_size(10);
+
+    // Traversal cost: the reified model pays 2 hops per call.
+    group.bench_function("closure_edge_model", |b| {
+        b.iter(|| {
+            black_box(
+                traverse::transitive_closure(
+                    g,
+                    seed,
+                    traverse::Dir::Out,
+                    &[EdgeType::Calls],
+                    None,
+                )
+                .len(),
+            )
+        })
+    });
+    group.bench_function("closure_reified_model", |b| {
+        b.iter(|| {
+            black_box(
+                traverse::transitive_closure(
+                    &reified,
+                    seed,
+                    traverse::Dir::Out,
+                    &[EdgeType::Calls],
+                    None,
+                )
+                .len(),
+            )
+        })
+    });
+
+    // Per-file reference matching: with reification, a file's references
+    // are one `contains` hop away; with edge properties, every reference
+    // edge's USE_FILE_ID must be inspected.
+    let sr_file_node = out.file_nodes[&out.landmarks.sr_file];
+    let target_file = out.landmarks.sr_file;
+    group.bench_function("file_refs_edge_model_scan", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for e in g.edges() {
+                if g.edge_type(e).is_reference()
+                    && g.edge_use_range(e).is_some_and(|r| r.file == target_file)
+                {
+                    n += 1;
+                }
+            }
+            black_box(n)
+        })
+    });
+    group.bench_function("file_refs_reified_hop", |b| {
+        b.iter(|| {
+            let n = reified
+                .out_neighbors(sr_file_node, Some(EdgeType::Contains))
+                .filter(|n| reified.node_type(*n) == NodeType::CallSite)
+                .count();
+            black_box(n)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 7 — the node-degree (in + out) distribution.
+//!
+//! Benches the degree scan; the series itself is printed by
+//! `report --fig7` and recorded in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use frappe_bench::{bench_graph, scale_from_env};
+use frappe_core::metrics::degree_histogram;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let out = bench_graph(scale_from_env());
+    let g = &out.graph;
+    g.warm_up();
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(20);
+    group.bench_function("degree_histogram", |b| {
+        b.iter(|| black_box(degree_histogram(black_box(g), 10)))
+    });
+    group.finish();
+
+    // Sanity print so `cargo bench` output shows the hubs next to timings.
+    let stats = degree_histogram(g, 3);
+    for (n, d) in &stats.top {
+        eprintln!(
+            "fig7 hub: {} ({:?}) degree {}",
+            g.node_short_name(*n),
+            g.node_type(*n),
+            d
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Table 3 — graph metrics (node count, edge count, density).
+//!
+//! The paper computes these "via Neo4j's Java API in ~20ms" (footnote to
+//! Table 3). We time the equivalent direct store scan.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use frappe_bench::{bench_graph, scale_from_env};
+use frappe_store::StoreStats;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let out = bench_graph(scale_from_env());
+    let g = &out.graph;
+    g.warm_up();
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(20);
+    group.bench_function("graph_metrics_scan", |b| {
+        b.iter(|| {
+            let stats = StoreStats::compute(black_box(g));
+            black_box((stats.node_count, stats.edge_count, stats.density()))
+        })
+    });
+    group.bench_function("counts_from_records", |b| {
+        b.iter(|| black_box((g.node_count(), g.edge_count())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

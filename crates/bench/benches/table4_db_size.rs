@@ -1,0 +1,37 @@
+//! Table 4 — database size breakdown (properties / nodes / relationships /
+//! indexes / total).
+//!
+//! Times the store-file accounting scan and reports the breakdown (printed
+//! by `report --table4`; the bench verifies the scan cost stays linear).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use frappe_bench::{bench_graph, scale_from_env};
+use frappe_store::StoreStats;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let out = bench_graph(scale_from_env());
+    let g = &out.graph;
+    g.warm_up();
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(20);
+    group.bench_function("size_accounting", |b| {
+        b.iter(|| {
+            let stats = StoreStats::compute(black_box(g));
+            black_box((
+                stats.property_bytes,
+                stats.node_bytes,
+                stats.relationship_bytes,
+                stats.index_bytes,
+                stats.total_bytes(),
+            ))
+        })
+    });
+    group.bench_function("snapshot_encode", |b| {
+        b.iter(|| black_box(frappe_store::snapshot::encode(g).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

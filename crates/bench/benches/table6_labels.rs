@@ -1,0 +1,39 @@
+//! Table 6 — Cypher 1.x property-index syntax vs. 2.x node labels.
+//!
+//! The paper shows the same "containers that are symbols named foo" query
+//! in both syntaxes; labels make it shorter *and* (in our store) faster,
+//! because the label bitmap index replaces a multi-term Lucene union.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use frappe_bench::{bench_graph, scale_from_env};
+use frappe_core::queries;
+use frappe_query::{Engine, Query};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let out = bench_graph(scale_from_env());
+    let g = &out.graph;
+    g.warm_up();
+    let engine = Engine::new();
+    // `packet_command` exists as a struct (container + symbol).
+    let v1 = Query::parse(&queries::table6_cypher1x("packet_command")).unwrap();
+    let v2 = Query::parse(&queries::table6_cypher2x("packet_command")).unwrap();
+
+    // Both syntaxes must agree before we compare their cost.
+    let r1 = engine.run(g, &v1).unwrap();
+    let r2 = engine.run(g, &v2).unwrap();
+    assert_eq!(r1.rows.len(), r2.rows.len(), "syntaxes disagree");
+
+    let mut group = c.benchmark_group("table6");
+    group.sample_size(20);
+    group.bench_function("cypher1x_type_terms", |b| {
+        b.iter(|| black_box(engine.run(g, &v1).unwrap().rows.len()))
+    });
+    group.bench_function("cypher2x_labels", |b| {
+        b.iter(|| black_box(engine.run(g, &v2).unwrap().rows.len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! §6.3 — evolving codebases: delta storage and cross-version queries.
+//!
+//! Measures what the paper's challenge section asks for: the cost of
+//! storing a new version as a delta (vs. a full copy), materializing an
+//! old version, and running change impact analysis across versions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use frappe_bench::scale_from_env;
+use frappe_model::{EdgeType, NodeType};
+use frappe_synth::{generate, SynthSpec};
+use frappe_temporal::TemporalStore;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Temporal checkout clones the base through the snapshot codec, so use
+    // a smaller graph than the query benches.
+    let scale = (scale_from_env() / 8.0).max(0.005);
+    let out = generate(&SynthSpec::scaled(scale));
+    let seed_fn = out.landmarks.pci_read_bases;
+    let (mut ts, v0) = TemporalStore::new(out.graph, "v3.8.13");
+
+    // One "bug fix" delta: a new helper called from a hot function.
+    let mut tx = ts.begin(v0).unwrap();
+    let helper = tx.add_node(NodeType::Function, "hotfix_helper");
+    tx.add_edge(seed_fn, EdgeType::Calls, helper);
+    let v1 = ts.commit(tx, "hotfix");
+
+    let delta = ts.delta_bytes(v1).unwrap();
+    let full = ts.full_bytes(v1).unwrap();
+    eprintln!(
+        "temporal: delta {} bytes vs full snapshot {} bytes ({}x smaller)",
+        delta,
+        full,
+        full / delta.max(1)
+    );
+    assert!(delta * 100 < full);
+
+    let mut group = c.benchmark_group("temporal");
+    group.sample_size(10);
+    group.bench_function("commit_small_delta", |b| {
+        b.iter(|| {
+            let mut tx = ts.begin(v1).unwrap();
+            let n = tx.add_node(NodeType::Function, "scratch");
+            tx.delete_node(n).unwrap();
+            black_box(tx.op_count())
+            // builder dropped without commit: no version accumulates
+        })
+    });
+    group.bench_function("checkout_old_version", |b| {
+        b.iter(|| black_box(ts.checkout(v0).unwrap().node_count()))
+    });
+    group.bench_function("impact_analysis", |b| {
+        b.iter(|| black_box(ts.impact(v0, v1).unwrap().len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Calibration probe: prints the full-scale synthetic graph's Table 3/4
+//! metrics and Figure 7 hubs, for tuning `frappe-synth` against the paper.
+//! (`report --full` supersedes this for day-to-day use; kept as the quick
+//! generator-tuning loop.)
+
+fn main() {
+    let t = std::time::Instant::now();
+    let out = frappe_synth::generate(&frappe_synth::SynthSpec::paper());
+    let g = &out.graph;
+    let stats = frappe_store::StoreStats::compute(g);
+    println!("gen time: {:?}", t.elapsed());
+    println!(
+        "nodes {} edges {} ratio {:.2}",
+        g.node_count(),
+        g.edge_count(),
+        stats.density()
+    );
+    println!("{stats}");
+    let t = std::time::Instant::now();
+    let d = frappe_core::metrics::degree_histogram(g, 5);
+    println!("degree scan: {:?}", t.elapsed());
+    for (n, deg) in &d.top {
+        println!(
+            "hub: {} ({:?}) degree {}",
+            g.node_short_name(*n),
+            g.node_type(*n),
+            deg
+        );
+    }
+    println!("NULL degree {}", g.in_degree(out.landmarks.null_macro));
+}

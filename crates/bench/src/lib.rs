@@ -1,0 +1,156 @@
+//! Shared setup for the Frappé benchmark suite and the `report` binary.
+//!
+//! Every table and figure of the paper's Section 5 has a Criterion bench in
+//! `benches/` plus a row in the `report` binary's output:
+//!
+//! | Paper artifact | Bench target | Report flag |
+//! |---|---|---|
+//! | Table 3 (graph metrics) | `table3_graph_metrics` | `--table3` |
+//! | Table 4 (database size) | `table4_db_size` | `--table4` |
+//! | Table 5 (query performance) | `table5_queries` | `--table5` |
+//! | Figure 7 (degree distribution) | `fig7_degree_distribution` | `--fig7` |
+//! | Table 6 (label syntax/perf) | `table6_labels` | `--table6` |
+//! | §6.1 relational claim | `ablation_relational` | `--ablations` |
+//! | §6.2 reification | `ablation_reify` | `--ablations` |
+//! | §6.3 temporal challenge | `temporal_versions` | `--temporal` |
+//!
+//! Benches default to a 1/8-scale graph so `cargo bench` stays tractable;
+//! set `FRAPPE_SCALE=1.0` (or run `report --full`) for the paper-scale
+//! graph. Shapes (who wins, by what factor) are scale-invariant.
+
+use frappe_store::{CacheMode, IoCostModel};
+use frappe_synth::{generate, SynthOutput, SynthSpec};
+use std::time::{Duration, Instant};
+
+/// Default bench scale (⅛ of the paper's graph).
+pub const DEFAULT_SCALE: f64 = 0.125;
+
+/// Reads the scale from `FRAPPE_SCALE`, defaulting to [`DEFAULT_SCALE`].
+pub fn scale_from_env() -> f64 {
+    std::env::var("FRAPPE_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SCALE)
+}
+
+/// Builds the benchmark graph with cache tracking enabled.
+pub fn bench_graph(scale: f64) -> SynthOutput {
+    let mut out = generate(&SynthSpec::scaled(scale));
+    out.graph.unfreeze();
+    out.graph.set_cache_mode(CacheMode::Tracked);
+    out.graph.set_io_cost(IoCostModel::default());
+    out.graph.freeze();
+    out
+}
+
+/// One cold/warm measurement series (the Table 5 protocol: "each query was
+/// run ten times with a cold cache and ten times with a warm cache").
+#[derive(Debug, Clone)]
+pub struct ColdWarm {
+    /// Cold-cache total times (wall + simulated I/O), one per run.
+    pub cold: Vec<Duration>,
+    /// Warm-cache times.
+    pub warm: Vec<Duration>,
+    /// Result count of the last run.
+    pub result_count: usize,
+    /// Page faults of the first cold run.
+    pub cold_faults: u64,
+}
+
+impl ColdWarm {
+    /// `(min, avg, max)` of a series.
+    pub fn stats(series: &[Duration]) -> (Duration, Duration, Duration) {
+        let min = series.iter().min().copied().unwrap_or_default();
+        let max = series.iter().max().copied().unwrap_or_default();
+        let avg = series.iter().sum::<Duration>() / series.len().max(1) as u32;
+        (min, avg, max)
+    }
+
+    /// Renders a Table 5 row: `min / avg / max (cold) | min / avg / max
+    /// (warm) | count`.
+    pub fn table5_row(&self, label: &str) -> String {
+        let fmt = |(a, b, c): (Duration, Duration, Duration)| {
+            format!("{:>8.2?} {:>8.2?} {:>8.2?}", a, b, c)
+        };
+        format!(
+            "{label:<22} {}   {}   {:>7}",
+            fmt(Self::stats(&self.cold)),
+            fmt(Self::stats(&self.warm)),
+            self.result_count
+        )
+    }
+}
+
+/// Runs `f` `runs` times cold and `runs` times warm against `g`, charging
+/// the simulated I/O cost of page faults into the reported cold times.
+/// `f` returns the result count.
+pub fn run_cold_warm(
+    g: &frappe_store::GraphStore,
+    runs: usize,
+    mut f: impl FnMut() -> usize,
+) -> ColdWarm {
+    let mut cold = Vec::with_capacity(runs);
+    let mut warm = Vec::with_capacity(runs);
+    let mut result_count = 0;
+    let mut cold_faults = 0;
+    for i in 0..runs {
+        g.make_cold();
+        g.reset_cache_stats();
+        let t = Instant::now();
+        result_count = f();
+        let wall = t.elapsed();
+        let stats = g.cache_stats();
+        if i == 0 {
+            cold_faults = stats.faults;
+        }
+        cold.push(wall + stats.simulated_io);
+    }
+    g.warm_up();
+    for _ in 0..runs {
+        g.reset_cache_stats();
+        let t = Instant::now();
+        result_count = f();
+        let wall = t.elapsed();
+        let stats = g.cache_stats();
+        warm.push(wall + stats.simulated_io);
+    }
+    ColdWarm {
+        cold,
+        warm,
+        result_count,
+        cold_faults,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_runs_charge_io_and_warm_runs_do_not() {
+        let out = bench_graph(0.01);
+        let g = &out.graph;
+        let lm = &out.landmarks;
+        let cw = run_cold_warm(g, 3, || {
+            frappe_core::usecases::backward_slice(g, lm.pci_read_bases).len()
+        });
+        assert!(cw.cold_faults > 0);
+        let (_, cold_avg, _) = ColdWarm::stats(&cw.cold);
+        let (_, warm_avg, _) = ColdWarm::stats(&cw.warm);
+        assert!(cold_avg > warm_avg, "cold {cold_avg:?} vs warm {warm_avg:?}");
+        assert!(cw.result_count > 0);
+    }
+
+    #[test]
+    fn table5_row_renders() {
+        let cw = ColdWarm {
+            cold: vec![Duration::from_millis(3)],
+            warm: vec![Duration::from_micros(90)],
+            result_count: 4,
+            cold_faults: 100,
+        };
+        let row = cw.table5_row("Code search Fig.3");
+        assert!(row.contains("Code search"));
+        assert!(row.trim_end().ends_with('4'));
+    }
+}

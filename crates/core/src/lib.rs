@@ -1,0 +1,47 @@
+//! # frappe-core
+//!
+//! The Frappé application layer: the developer-facing use cases of the
+//! paper's Section 4, implemented both **declaratively** (through
+//! `frappe-query`, the Cypher-equivalent) and **directly** (through the
+//! embedded traversal API of [`traverse`] — the paper's Section 6.1
+//! workaround of "traversing the graph directly via Neo4j's Java embedded
+//! mode (bypassing Cypher) to achieve sub-second performance").
+//!
+//! * [`traverse`] — visited-set transitive closure, shortest paths,
+//!   bounded path enumeration: the "embedded mode".
+//! * [`metrics`] — graph metrics (Table 3) and the node-degree
+//!   distribution of Figure 7 ("Computed via Neo4j's Java API in ~20ms").
+//! * [`usecases`] — code search (§4.1), go-to-definition /
+//!   find-references (§4.2), the debugging pattern (§4.3), and program
+//!   slicing (§4.4).
+//! * [`queries`] — the verbatim query texts of Figures 3–6, parameterized,
+//!   for running through the declarative engine.
+//!
+//! ## Example
+//!
+//! ```
+//! use frappe_model::{EdgeType, NodeType};
+//! use frappe_store::GraphStore;
+//! use frappe_core::traverse;
+//!
+//! let mut g = GraphStore::new();
+//! let a = g.add_node(NodeType::Function, "a");
+//! let b = g.add_node(NodeType::Function, "b");
+//! let c = g.add_node(NodeType::Function, "c");
+//! g.add_edge(a, EdgeType::Calls, b);
+//! g.add_edge(b, EdgeType::Calls, c);
+//! g.freeze();
+//!
+//! // Backward slice of `a` (paper Figure 6, embedded implementation).
+//! let slice = traverse::transitive_closure(
+//!     &g, a, traverse::Dir::Out, &[EdgeType::Calls], None);
+//! assert_eq!(slice.len(), 2);
+//! ```
+
+pub mod metrics;
+pub mod queries;
+pub mod traverse;
+pub mod usecases;
+
+pub use metrics::{degree_histogram, schema_census, DegreeStats, SchemaCensus};
+pub use traverse::{shortest_path, transitive_closure, Dir};

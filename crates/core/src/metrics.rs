@@ -1,0 +1,236 @@
+//! Graph metrics: Table 3 and the Figure 7 degree distribution.
+//!
+//! The paper computes these "via Neo4j's Java API in ~20ms" — i.e. a direct
+//! scan over the store, not a declarative query. We do the same over the
+//! record stores.
+
+use frappe_model::NodeId;
+use frappe_store::GraphStore;
+
+/// Degree-distribution statistics (Figure 7).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// `(degree, node count)` pairs, ascending by degree, zero-count
+    /// degrees omitted. Degree = in + out, as in Figure 7.
+    pub histogram: Vec<(usize, usize)>,
+    /// The highest-degree nodes, descending: `(node, degree)`.
+    pub top: Vec<(NodeId, usize)>,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Mean degree.
+    pub mean_degree: f64,
+}
+
+/// Computes the in+out degree of every live node and summarizes Figure 7.
+/// `top_k` controls how many hub nodes are reported.
+pub fn degree_histogram(g: &GraphStore, top_k: usize) -> DegreeStats {
+    let mut degrees: Vec<(NodeId, usize)> = g
+        .nodes()
+        .map(|n| (n, g.out_degree(n) + g.in_degree(n)))
+        .collect();
+    let mut counts: std::collections::BTreeMap<usize, usize> = Default::default();
+    for (_, d) in &degrees {
+        *counts.entry(*d).or_insert(0) += 1;
+    }
+    degrees.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let max_degree = degrees.first().map_or(0, |(_, d)| *d);
+    let total: usize = degrees.iter().map(|(_, d)| *d).sum();
+    let mean_degree = if degrees.is_empty() {
+        0.0
+    } else {
+        total as f64 / degrees.len() as f64
+    };
+    degrees.truncate(top_k);
+    DegreeStats {
+        histogram: counts.into_iter().collect(),
+        top: degrees,
+        max_degree,
+        mean_degree,
+    }
+}
+
+impl DegreeStats {
+    /// Renders the Figure 7 series as `degree<TAB>count` lines (log-scale
+    /// plotting is the consumer's concern).
+    pub fn to_series(&self) -> String {
+        let mut s = String::from("degree\tnode_count\n");
+        for (d, c) in &self.histogram {
+            s.push_str(&format!("{d}\t{c}\n"));
+        }
+        s
+    }
+
+    /// Fraction of nodes whose degree is at most `d`.
+    pub fn cumulative_at(&self, d: usize) -> f64 {
+        let total: usize = self.histogram.iter().map(|(_, c)| *c).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let below: usize = self
+            .histogram
+            .iter()
+            .filter(|(deg, _)| *deg <= d)
+            .map(|(_, c)| *c)
+            .sum();
+        below as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frappe_model::{EdgeType, NodeType};
+
+    fn star(n: usize) -> (GraphStore, NodeId) {
+        let mut g = GraphStore::new();
+        let hub = g.add_node(NodeType::Primitive, "int");
+        for i in 0..n {
+            let f = g.add_node(NodeType::Function, &format!("f{i}"));
+            g.add_edge(f, EdgeType::IsaType, hub);
+        }
+        g.freeze();
+        (g, hub)
+    }
+
+    #[test]
+    fn hub_has_max_degree() {
+        let (g, hub) = star(10);
+        let stats = degree_histogram(&g, 3);
+        assert_eq!(stats.max_degree, 10);
+        assert_eq!(stats.top[0], (hub, 10));
+        assert_eq!(stats.top.len(), 3);
+    }
+
+    #[test]
+    fn histogram_counts_are_consistent() {
+        let (g, _) = star(10);
+        let stats = degree_histogram(&g, 1);
+        // 10 nodes of degree 1, 1 node of degree 10.
+        assert_eq!(stats.histogram, vec![(1, 10), (10, 1)]);
+        let total: usize = stats.histogram.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, g.node_count());
+        assert!((stats.mean_degree - 20.0 / 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cumulative_distribution() {
+        let (g, _) = star(10);
+        let stats = degree_histogram(&g, 1);
+        assert!((stats.cumulative_at(1) - 10.0 / 11.0).abs() < 1e-9);
+        assert!((stats.cumulative_at(10) - 1.0).abs() < 1e-9);
+        assert_eq!(stats.cumulative_at(0), 0.0);
+    }
+
+    #[test]
+    fn series_rendering() {
+        let (g, _) = star(3);
+        let s = degree_histogram(&g, 1).to_series();
+        assert!(s.starts_with("degree\tnode_count\n"));
+        assert!(s.contains("1\t3\n"));
+        assert!(s.contains("3\t1\n"));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphStore::new();
+        let stats = degree_histogram(&g, 5);
+        assert!(stats.histogram.is_empty());
+        assert_eq!(stats.max_degree, 0);
+        assert_eq!(stats.mean_degree, 0.0);
+    }
+}
+
+/// Per-Table-1-type node counts and per-edge-type counts — the schema
+/// census a release of Frappé would print after extraction.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SchemaCensus {
+    /// `(node type, count)` for every type with at least one node.
+    pub node_types: Vec<(frappe_model::NodeType, usize)>,
+    /// `(edge type, count)` for every type with at least one edge.
+    pub edge_types: Vec<(frappe_model::EdgeType, usize)>,
+}
+
+/// Counts nodes and edges per schema type.
+pub fn schema_census(g: &GraphStore) -> SchemaCensus {
+    let mut nodes = vec![0usize; frappe_model::NodeType::COUNT];
+    for n in g.nodes() {
+        nodes[g.node_type(n) as usize] += 1;
+    }
+    let mut edges = vec![0usize; frappe_model::EdgeType::COUNT];
+    for e in g.edges() {
+        edges[g.edge_type(e) as usize] += 1;
+    }
+    SchemaCensus {
+        node_types: frappe_model::NodeType::ALL
+            .into_iter()
+            .zip(nodes)
+            .filter(|(_, c)| *c > 0)
+            .collect(),
+        edge_types: frappe_model::EdgeType::ALL
+            .into_iter()
+            .zip(edges)
+            .filter(|(_, c)| *c > 0)
+            .collect(),
+    }
+}
+
+impl SchemaCensus {
+    /// Renders two aligned columns (node census, edge census).
+    pub fn to_table(&self) -> String {
+        let mut s = String::from("node type            count | edge type               count\n");
+        let rows = self.node_types.len().max(self.edge_types.len());
+        for i in 0..rows {
+            let left = self
+                .node_types
+                .get(i)
+                .map(|(t, c)| format!("{:<18} {:>8}", t.name(), c))
+                .unwrap_or_else(|| " ".repeat(27));
+            let right = self
+                .edge_types
+                .get(i)
+                .map(|(t, c)| format!("{:<22} {:>8}", t.name(), c))
+                .unwrap_or_default();
+            s.push_str(&format!("{left} | {right}\n"));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod census_tests {
+    use super::*;
+    use frappe_model::{EdgeType, NodeType};
+
+    #[test]
+    fn census_counts_by_type() {
+        let mut g = GraphStore::new();
+        let a = g.add_node(NodeType::Function, "a");
+        let b = g.add_node(NodeType::Function, "b");
+        let x = g.add_node(NodeType::Global, "x");
+        g.add_edge(a, EdgeType::Calls, b);
+        g.add_edge(a, EdgeType::Writes, x);
+        g.add_edge(b, EdgeType::Writes, x);
+        let c = schema_census(&g);
+        assert_eq!(c.node_types, vec![
+            (NodeType::Function, 2),
+            (NodeType::Global, 1),
+        ]);
+        assert_eq!(c.edge_types, vec![
+            (EdgeType::Calls, 1),
+            (EdgeType::Writes, 2),
+        ]);
+        let table = c.to_table();
+        assert!(table.contains("function"));
+        assert!(table.contains("writes"));
+    }
+
+    #[test]
+    fn census_skips_deleted() {
+        let mut g = GraphStore::new();
+        let a = g.add_node(NodeType::Function, "a");
+        g.delete_node(a).unwrap();
+        let c = schema_census(&g);
+        assert!(c.node_types.is_empty());
+        assert!(c.edge_types.is_empty());
+    }
+}

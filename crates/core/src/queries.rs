@@ -1,0 +1,102 @@
+//! The paper's example queries (Figures 3–6), parameterized.
+//!
+//! These return query text in our Cypher-equivalent dialect, faithful to
+//! the figures modulo quoting; the Table 5 reproduction runs them through
+//! `frappe_query::Engine`.
+
+/// Figure 3 — *Symbol search constrained by module*: fields named
+/// `field_name` reachable from module `module` via `compiled_from` /
+/// `linked_from` and `file_contains`.
+pub fn figure3_code_search(module: &str, field_name: &str) -> String {
+    format!(
+        "START m=node:node_auto_index('short_name: {module}') \
+         MATCH m -[:compiled_from|linked_from*]-> f \
+         WITH distinct f \
+         MATCH f -[:file_contains]-> (n:field{{short_name: '{field_name}'}}) \
+         RETURN n"
+    )
+}
+
+/// Figure 4 — *Go to definition*: definitions of `symbol` that have an
+/// incoming reference whose `NAME_*` token range starts at the cursor.
+pub fn figure4_goto_definition(symbol: &str, file_id: u32, line: u32, col: u32) -> String {
+    format!(
+        "START n=node:node_auto_index('short_name: {symbol}') \
+         WHERE (n) <-[{{NAME_FILE_ID: {file_id}, NAME_START_LINE: {line}, \
+         NAME_START_COLUMN: {col}}}]- () \
+         RETURN n"
+    )
+}
+
+/// Figure 5 — *Paths where field `field` is written*: writers of
+/// `record`'s field that are reachable from calls made by `from` at or
+/// after the line of its call to `to` (at `call_line`).
+pub fn figure5_debugging(
+    from: &str,
+    to: &str,
+    record: &str,
+    field: &str,
+    call_line: u32,
+) -> String {
+    format!(
+        "START from=node:node_auto_index('short_name: {from}'), \
+               to=node:node_auto_index('short_name: {to}'), \
+               b=node:node_auto_index('short_name: {record}') \
+         MATCH writer -[write:writes_member]-> ({{SHORT_NAME:'{field}'}}) <-[:contains]- b \
+         WITH to, from, writer, write \
+         MATCH direct <-[s:calls]- from -[r:calls{{use_start_line: {call_line}}}]-> to \
+         WHERE r.use_start_line >= s.use_start_line AND direct -[:calls*]-> writer \
+         RETURN distinct writer, write.use_start_line"
+    )
+}
+
+/// Figure 6 — *Transitive closure of outgoing calls* (the comprehension
+/// query that does not terminate under path-enumeration semantics).
+pub fn figure6_comprehension(function: &str) -> String {
+    format!(
+        "START n=node:node_auto_index('short_name: {function}') \
+         MATCH n -[:calls*]-> m \
+         RETURN distinct m"
+    )
+}
+
+/// Table 6 — Cypher 1.x style: containers-and-symbols named `name` via the
+/// Lucene index over `TYPE` terms.
+pub fn table6_cypher1x(name: &str) -> String {
+    format!(
+        "START n=node:node_auto_index('(TYPE: struct OR TYPE: union OR TYPE: enum_def \
+         OR TYPE: function) AND NAME: {name}') RETURN n"
+    )
+}
+
+/// Table 6 — Cypher 2.x style: the same query via grouped labels.
+pub fn table6_cypher2x(name: &str) -> String {
+    format!("MATCH (n:container:symbol{{name: \"{name}\"}}) RETURN n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frappe_query::Query;
+
+    #[test]
+    fn all_figures_parse() {
+        for text in [
+            figure3_code_search("wakeup.elf", "id"),
+            figure4_goto_definition("id", 33, 104, 16),
+            figure5_debugging("sr_media_change", "get_sectorsize", "packet_command", "cmd", 236),
+            figure6_comprehension("pci_read_bases"),
+            table6_cypher1x("foo"),
+            table6_cypher2x("foo"),
+        ] {
+            Query::parse(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+        }
+    }
+
+    #[test]
+    fn figure3_mentions_module_and_field() {
+        let q = figure3_code_search("wakeup.elf", "id");
+        assert!(q.contains("wakeup.elf"));
+        assert!(q.contains("(n:field{short_name: 'id'})"));
+    }
+}

@@ -1,0 +1,353 @@
+//! The embedded traversal engine (paper Section 6.1).
+//!
+//! "While the transitive closure is expressible in Cypher, its associated
+//! runtime is unreasonable. We instead implemented transitive closure
+//! ourselves by traversing the graph directly via Neo4j's Java embedded
+//! mode (bypassing Cypher) to achieve sub-second performance."
+//!
+//! These functions are that embedded mode: visited-set BFS over the store's
+//! adjacency chains. They are compared against the declarative engine's
+//! path-enumeration semantics in the Table 5 reproduction.
+
+use frappe_model::{EdgeType, NodeId};
+use frappe_store::graph::Direction;
+use frappe_store::GraphStore;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Traversal direction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Dir {
+    /// Follow edges source → target.
+    Out,
+    /// Follow edges target → source.
+    In,
+    /// Follow edges both ways.
+    Both,
+}
+
+fn directions(d: Dir) -> &'static [Direction] {
+    match d {
+        Dir::Out => &[Direction::Outgoing],
+        Dir::In => &[Direction::Incoming],
+        Dir::Both => &[Direction::Outgoing, Direction::Incoming],
+    }
+}
+
+fn neighbors<'a>(
+    g: &'a GraphStore,
+    n: NodeId,
+    dir: Dir,
+    types: &'a [EdgeType],
+) -> impl Iterator<Item = NodeId> + 'a {
+    directions(dir).iter().flat_map(move |d| {
+        let filter = if types.len() == 1 { Some(types[0]) } else { None };
+        g.edges_dir(n, *d, filter).filter_map(move |e| {
+            if types.len() > 1 && !types.contains(&g.edge_type(e)) {
+                return None;
+            }
+            Some(match d {
+                Direction::Outgoing => g.edge_dst(e),
+                Direction::Incoming => g.edge_src(e),
+            })
+        })
+    })
+}
+
+/// Transitive closure from `start` over `types` edges (empty = all types),
+/// excluding `start` itself, via visited-set BFS. `max_depth` bounds hops.
+///
+/// This is the sub-second embedded implementation of the Figure 6
+/// comprehension query.
+pub fn transitive_closure(
+    g: &GraphStore,
+    start: NodeId,
+    dir: Dir,
+    types: &[EdgeType],
+    max_depth: Option<u32>,
+) -> Vec<NodeId> {
+    transitive_closure_multi(g, &[start], dir, types, max_depth)
+}
+
+/// Closure from several seed nodes at once (used by impact analysis).
+pub fn transitive_closure_multi(
+    g: &GraphStore,
+    starts: &[NodeId],
+    dir: Dir,
+    types: &[EdgeType],
+    max_depth: Option<u32>,
+) -> Vec<NodeId> {
+    let mut visited: HashSet<NodeId> = starts.iter().copied().collect();
+    let mut out = Vec::new();
+    let mut frontier: Vec<NodeId> = starts.to_vec();
+    let mut depth = 0u32;
+    while !frontier.is_empty() && max_depth.is_none_or(|m| depth < m) {
+        depth += 1;
+        let mut next = Vec::new();
+        for n in frontier.drain(..) {
+            for m in neighbors(g, n, dir, types) {
+                if visited.insert(m) {
+                    out.push(m);
+                    next.push(m);
+                }
+            }
+        }
+        frontier = next;
+    }
+    out
+}
+
+/// Whether `to` is reachable from `from` (early-exit BFS).
+pub fn reachable(
+    g: &GraphStore,
+    from: NodeId,
+    to: NodeId,
+    dir: Dir,
+    types: &[EdgeType],
+) -> bool {
+    if from == to {
+        return true;
+    }
+    let mut visited = HashSet::from([from]);
+    let mut queue = VecDeque::from([from]);
+    while let Some(n) = queue.pop_front() {
+        for m in neighbors(g, n, dir, types) {
+            if m == to {
+                return true;
+            }
+            if visited.insert(m) {
+                queue.push_back(m);
+            }
+        }
+    }
+    false
+}
+
+/// Shortest path (fewest hops) from `from` to `to`, inclusive of both
+/// endpoints. Returns `None` when unreachable.
+///
+/// Section 4.4: "shortest path queries are also useful in understanding how
+/// the parts of a codebase fit together".
+pub fn shortest_path(
+    g: &GraphStore,
+    from: NodeId,
+    to: NodeId,
+    dir: Dir,
+    types: &[EdgeType],
+) -> Option<Vec<NodeId>> {
+    if from == to {
+        return Some(vec![from]);
+    }
+    let mut prev: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut queue = VecDeque::from([from]);
+    prev.insert(from, from);
+    while let Some(n) = queue.pop_front() {
+        for m in neighbors(g, n, dir, types) {
+            if let std::collections::hash_map::Entry::Vacant(e) = prev.entry(m) {
+                e.insert(n);
+                if m == to {
+                    // Reconstruct.
+                    let mut path = vec![to];
+                    let mut cur = to;
+                    while cur != from {
+                        cur = prev[&cur];
+                        path.push(cur);
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(m);
+            }
+        }
+    }
+    None
+}
+
+/// Counts distinct relationship-unique paths from `start` over `types`
+/// edges, stopping at `budget` expansion steps. Returns `(paths, aborted)`.
+///
+/// This is the work the declarative engine's `-[:calls*]->` actually does
+/// under Cypher path-enumeration semantics — exposed so benches can show
+/// *why* the Figure 6 query explodes (Table 5 row 4).
+pub fn count_paths(
+    g: &GraphStore,
+    start: NodeId,
+    dir: Dir,
+    types: &[EdgeType],
+    budget: u64,
+) -> (u64, bool) {
+    fn dfs(
+        g: &GraphStore,
+        n: NodeId,
+        dir: Dir,
+        types: &[EdgeType],
+        used: &mut Vec<frappe_model::EdgeId>,
+        steps: &mut u64,
+        paths: &mut u64,
+        budget: u64,
+    ) -> bool {
+        for d in directions(dir) {
+            let filter = if types.len() == 1 { Some(types[0]) } else { None };
+            let edges: Vec<frappe_model::EdgeId> = g.edges_dir(n, *d, filter).collect();
+            for e in edges {
+                if types.len() > 1 && !types.contains(&g.edge_type(e)) {
+                    continue;
+                }
+                *steps += 1;
+                if *steps > budget {
+                    return true;
+                }
+                if used.contains(&e) {
+                    continue;
+                }
+                let m = match d {
+                    Direction::Outgoing => g.edge_dst(e),
+                    Direction::Incoming => g.edge_src(e),
+                };
+                *paths += 1;
+                used.push(e);
+                let aborted = dfs(g, m, dir, types, used, steps, paths, budget);
+                used.pop();
+                if aborted {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+    let mut used = Vec::new();
+    let mut steps = 0;
+    let mut paths = 0;
+    let aborted = dfs(g, start, dir, types, &mut used, &mut steps, &mut paths, budget);
+    (paths, aborted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frappe_model::NodeType;
+
+    /// a → b → c → d, a → c, d → a (cycle back).
+    fn diamondish() -> (GraphStore, Vec<NodeId>) {
+        let mut g = GraphStore::new();
+        let ns: Vec<NodeId> = ["a", "b", "c", "d"]
+            .iter()
+            .map(|n| g.add_node(NodeType::Function, n))
+            .collect();
+        g.add_edge(ns[0], EdgeType::Calls, ns[1]);
+        g.add_edge(ns[1], EdgeType::Calls, ns[2]);
+        g.add_edge(ns[2], EdgeType::Calls, ns[3]);
+        g.add_edge(ns[0], EdgeType::Calls, ns[2]);
+        g.add_edge(ns[3], EdgeType::Calls, ns[0]);
+        g.freeze();
+        (g, ns)
+    }
+
+    #[test]
+    fn closure_excludes_start_handles_cycles() {
+        let (g, ns) = diamondish();
+        let mut c = transitive_closure(&g, ns[0], Dir::Out, &[EdgeType::Calls], None);
+        c.sort_unstable();
+        assert_eq!(c, vec![ns[1], ns[2], ns[3]]);
+    }
+
+    #[test]
+    fn closure_depth_bound() {
+        let (g, ns) = diamondish();
+        let one = transitive_closure(&g, ns[1], Dir::Out, &[EdgeType::Calls], Some(1));
+        assert_eq!(one, vec![ns[2]]);
+        let two = transitive_closure(&g, ns[1], Dir::Out, &[EdgeType::Calls], Some(2));
+        assert_eq!(two.len(), 2);
+    }
+
+    #[test]
+    fn closure_incoming_is_forward_slice() {
+        let (g, ns) = diamondish();
+        // Who can reach c? a (direct + via b), b, d (via cycle d→a).
+        let mut c = transitive_closure(&g, ns[2], Dir::In, &[EdgeType::Calls], None);
+        c.sort_unstable();
+        assert_eq!(c, vec![ns[0], ns[1], ns[3]]);
+    }
+
+    #[test]
+    fn closure_type_filter() {
+        let mut g = GraphStore::new();
+        let a = g.add_node(NodeType::Function, "a");
+        let b = g.add_node(NodeType::Function, "b");
+        let x = g.add_node(NodeType::Global, "x");
+        g.add_edge(a, EdgeType::Calls, b);
+        g.add_edge(a, EdgeType::Writes, x);
+        g.freeze();
+        let only_calls = transitive_closure(&g, a, Dir::Out, &[EdgeType::Calls], None);
+        assert_eq!(only_calls, vec![b]);
+        let all = transitive_closure(&g, a, Dir::Out, &[], None);
+        assert_eq!(all.len(), 2);
+        let multi = transitive_closure(&g, a, Dir::Out, &[EdgeType::Calls, EdgeType::Writes], None);
+        assert_eq!(multi.len(), 2);
+    }
+
+    #[test]
+    fn reachability() {
+        let (g, ns) = diamondish();
+        assert!(reachable(&g, ns[0], ns[3], Dir::Out, &[EdgeType::Calls]));
+        assert!(reachable(&g, ns[3], ns[1], Dir::Out, &[EdgeType::Calls])); // via cycle
+        assert!(reachable(&g, ns[0], ns[0], Dir::Out, &[]));
+        let mut g2 = GraphStore::new();
+        let a = g2.add_node(NodeType::Function, "a");
+        let b = g2.add_node(NodeType::Function, "b");
+        g2.add_edge(b, EdgeType::Calls, a);
+        g2.freeze();
+        assert!(!reachable(&g2, a, b, Dir::Out, &[EdgeType::Calls]));
+    }
+
+    #[test]
+    fn shortest_path_prefers_fewest_hops() {
+        let (g, ns) = diamondish();
+        // a → c directly (2 nodes), not a → b → c.
+        let p = shortest_path(&g, ns[0], ns[2], Dir::Out, &[EdgeType::Calls]).unwrap();
+        assert_eq!(p, vec![ns[0], ns[2]]);
+        let p = shortest_path(&g, ns[0], ns[3], Dir::Out, &[EdgeType::Calls]).unwrap();
+        assert_eq!(p.len(), 3); // a → c → d
+        assert_eq!(shortest_path(&g, ns[0], ns[0], Dir::Out, &[]), Some(vec![ns[0]]));
+    }
+
+    #[test]
+    fn shortest_path_unreachable_is_none() {
+        let mut g = GraphStore::new();
+        let a = g.add_node(NodeType::Function, "a");
+        let b = g.add_node(NodeType::Function, "b");
+        g.freeze();
+        assert_eq!(shortest_path(&g, a, b, Dir::Out, &[]), None);
+    }
+
+    #[test]
+    fn path_count_explodes_on_dense_graphs() {
+        // Complete digraphs: tiny node counts, huge path counts.
+        fn complete(n: usize) -> (GraphStore, Vec<NodeId>) {
+            let mut g = GraphStore::new();
+            let ns: Vec<NodeId> = (0..n)
+                .map(|i| g.add_node(NodeType::Function, &format!("f{i}")))
+                .collect();
+            for a in &ns {
+                for b in &ns {
+                    if a != b {
+                        g.add_edge(*a, EdgeType::Calls, *b);
+                    }
+                }
+            }
+            g.freeze();
+            (g, ns)
+        }
+        let (g, ns) = complete(4);
+        let (paths, aborted) = count_paths(&g, ns[0], Dir::Out, &[EdgeType::Calls], 10_000_000);
+        assert!(!aborted);
+        // The same reachability needs only 3 closure results, yet the
+        // enumeration visits orders of magnitude more paths.
+        let closure = transitive_closure(&g, ns[0], Dir::Out, &[EdgeType::Calls], None);
+        assert_eq!(closure.len(), 3);
+        assert!(paths > 100, "paths = {paths}");
+        // On a denser graph the budget guard fires.
+        let (g6, ns6) = complete(6);
+        let (_, aborted) = count_paths(&g6, ns6[0], Dir::Out, &[EdgeType::Calls], 1_000);
+        assert!(aborted);
+    }
+}

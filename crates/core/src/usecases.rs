@@ -1,0 +1,425 @@
+//! The Section 4 use cases, implemented directly over the store (the
+//! "embedded mode" counterparts of the Figure 3–6 queries).
+//!
+//! Each function mirrors its figure's semantics exactly, so the Table 5
+//! reproduction can check that the declarative engine and the direct
+//! implementation return identical results before comparing their costs.
+
+use crate::traverse::{self, Dir};
+use frappe_model::{EdgeId, EdgeType, FileId, NodeId, NodeType, SrcPos, SrcRange};
+use frappe_store::{GraphStore, NameField, NamePattern, StoreError};
+
+/// §4.1 / Figure 3 — code search constrained by module: fields named
+/// `field_name` present in module `module`.
+pub fn code_search(
+    g: &GraphStore,
+    module: &str,
+    field_name: &str,
+) -> Result<Vec<NodeId>, StoreError> {
+    let modules = g.lookup_name(NameField::ShortName, &NamePattern::parse(module))?;
+    let mut out = Vec::new();
+    for m in modules {
+        // Files in the transitive closure of compiled_from | linked_from.
+        let reached = traverse::transitive_closure(
+            g,
+            m,
+            Dir::Out,
+            &[EdgeType::CompiledFrom, EdgeType::LinkedFrom],
+            None,
+        );
+        for f in reached {
+            if g.node_type(f) != NodeType::File {
+                continue;
+            }
+            for n in g.out_neighbors(f, Some(EdgeType::FileContains)) {
+                if g.node_type(n) == NodeType::Field
+                    && g.node_short_name(n).eq_ignore_ascii_case(field_name)
+                {
+                    out.push(n);
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    Ok(out)
+}
+
+/// §4.2 / Figure 4 — go-to-definition: the definition(s) of `symbol` whose
+/// *references* include one whose representative token starts exactly at
+/// the cursor position.
+pub fn goto_definition(
+    g: &GraphStore,
+    symbol: &str,
+    file: FileId,
+    line: u32,
+    col: u32,
+) -> Result<Vec<NodeId>, StoreError> {
+    let candidates = g.lookup_name(NameField::ShortName, &NamePattern::exact(symbol))?;
+    let at = SrcPos::new(line, col);
+    Ok(candidates
+        .into_iter()
+        .filter(|n| {
+            g.in_edges(*n, None).any(|e| {
+                g.edge_name_range(e)
+                    .is_some_and(|r| r.file == file && r.start == at)
+            })
+        })
+        .collect())
+}
+
+/// §4.2 — find-references: "simply listing the incoming edges of the result
+/// of the go-to-definition query". Returns `(edge, use range)` pairs for
+/// every located reference, ordered by file/position.
+pub fn find_references(g: &GraphStore, node: NodeId) -> Vec<(EdgeId, SrcRange)> {
+    let mut refs: Vec<(EdgeId, SrcRange)> = g
+        .in_edges(node, None)
+        .filter(|e| g.edge_type(*e).is_reference())
+        .filter_map(|e| g.edge_use_range(e).map(|r| (e, r)))
+        .collect();
+    refs.sort_by_key(|(_, r)| (r.file, r.start));
+    refs
+}
+
+/// A §4.3 / Figure 5 result row: a writer of the field, and the line of
+/// its write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldWriter {
+    /// The writing function.
+    pub writer: NodeId,
+    /// `write.use_start_line` of the `writes_member` edge.
+    pub line: u32,
+}
+
+/// §4.3 / Figure 5 — debugging: find writers of `record.field` reachable
+/// from the calls `from` makes at-or-after its `call_line` call to `to`.
+pub fn debug_writes(
+    g: &GraphStore,
+    from: &str,
+    to: &str,
+    record: &str,
+    field: &str,
+    call_line: u32,
+) -> Result<Vec<FieldWriter>, StoreError> {
+    let froms = g.lookup_name(NameField::ShortName, &NamePattern::exact(from))?;
+    let tos = g.lookup_name(NameField::ShortName, &NamePattern::exact(to))?;
+    let records = g.lookup_name(NameField::ShortName, &NamePattern::exact(record))?;
+
+    // writer -[write:writes_member]-> (field) <-[:contains]- record.
+    let mut writers: Vec<(NodeId, u32)> = Vec::new();
+    for b in &records {
+        for fld in g.out_neighbors(*b, Some(EdgeType::Contains)) {
+            if !g.node_short_name(fld).eq_ignore_ascii_case(field) {
+                continue;
+            }
+            for e in g.in_edges(fld, Some(EdgeType::WritesMember)) {
+                let line = g
+                    .edge_use_range(e)
+                    .map_or(0, |r| r.start.line);
+                writers.push((g.edge_src(e), line));
+            }
+        }
+    }
+
+    // direct <-[s:calls]- from -[r:calls {use_start_line}]-> to,
+    // s.use_start_line >= r.use_start_line.
+    let mut out = Vec::new();
+    for f in &froms {
+        let r_lines: Vec<u32> = g
+            .out_edges(*f, Some(EdgeType::Calls))
+            .filter(|e| tos.contains(&g.edge_dst(*e)))
+            .filter_map(|e| g.edge_use_range(e))
+            .filter(|r| r.start.line == call_line)
+            .map(|r| r.start.line)
+            .collect();
+        let Some(r_line) = r_lines.first().copied() else {
+            continue;
+        };
+        // `WHERE r.use_start_line >= s.use_start_line`: only the calls made
+        // *before* (or at) the failing call can have corrupted the state.
+        let direct: Vec<NodeId> = g
+            .out_edges(*f, Some(EdgeType::Calls))
+            .filter(|e| {
+                g.edge_use_range(*e)
+                    .is_some_and(|s| s.start.line <= r_line)
+            })
+            .map(|e| g.edge_dst(e))
+            .collect();
+        for d in direct {
+            for (w, line) in &writers {
+                // `direct -[:calls*]-> writer`: at least one hop.
+                if d != *w
+                    && traverse::reachable(g, d, *w, Dir::Out, &[EdgeType::Calls])
+                    && !out.contains(&FieldWriter {
+                        writer: *w,
+                        line: *line,
+                    })
+                {
+                    out.push(FieldWriter {
+                        writer: *w,
+                        line: *line,
+                    });
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// §4.4 / Figure 6 — a backward slice approximation: the transitive closure
+/// of **outgoing** `calls` edges. "All functions that, if modified, could
+/// alter the behavior of that function."
+pub fn backward_slice(g: &GraphStore, function: NodeId) -> Vec<NodeId> {
+    traverse::transitive_closure(g, function, Dir::Out, &[EdgeType::Calls], None)
+}
+
+/// §4.4 — a forward slice approximation: the transitive closure of
+/// **incoming** `calls` edges. "All code that may be affected if the seed
+/// function is changed."
+pub fn forward_slice(g: &GraphStore, function: NodeId) -> Vec<NodeId> {
+    traverse::transitive_closure(g, function, Dir::In, &[EdgeType::Calls], None)
+}
+
+/// §1 — "How much code could be affected if I change this macro?": the
+/// entities expanding the macro, plus everything that transitively calls
+/// them.
+pub fn macro_impact(g: &GraphStore, macro_node: NodeId) -> Vec<NodeId> {
+    let users: Vec<NodeId> = g
+        .in_neighbors(macro_node, Some(EdgeType::ExpandsMacro))
+        .collect();
+    let mut out = users.clone();
+    out.extend(traverse::transitive_closure_multi(
+        g,
+        &users,
+        Dir::In,
+        &[EdgeType::Calls],
+        None,
+    ));
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// §4.4 — include impact: all files transitively including `file` (the
+/// "same idea applied to file includes").
+pub fn include_impact(g: &GraphStore, file: NodeId) -> Vec<NodeId> {
+    traverse::transitive_closure(g, file, Dir::In, &[EdgeType::Includes], None)
+}
+
+/// §1 — "Does function X or something it calls write to global variable
+/// Y?" — the motivating query of the paper's abstract.
+pub fn writes_global_transitively(
+    g: &GraphStore,
+    function: NodeId,
+    global: NodeId,
+) -> bool {
+    let direct = |f: NodeId| {
+        g.out_edges(f, Some(EdgeType::Writes))
+            .any(|e| g.edge_dst(e) == global)
+    };
+    if direct(function) {
+        return true;
+    }
+    backward_slice(g, function).into_iter().any(direct)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frappe_extract::{CompileDb, Extractor, SourceTree};
+
+    /// A miniature "kernel driver" modeled on the paper's Figure 5 example:
+    /// sr_media_change calls sr_do_ioctl then get_sectorsize; writers of
+    /// packet_command::cmd sit below the direct callees.
+    fn driver() -> (GraphStore, frappe_extract::ExtractOutput) {
+        let mut tree = SourceTree::new();
+        tree.add_file(
+            "sr.h",
+            "struct packet_command { char *cmd; int len; };\n\
+             int sr_do_ioctl(struct packet_command *);\n\
+             int get_sectorsize(int);\n\
+             int fill_cmd(struct packet_command *);\n",
+        );
+        tree.add_file(
+            "sr.c",
+            "#include \"sr.h\"\n\
+             int sr_media_change(struct packet_command *pc) {\n\
+                 sr_do_ioctl(pc);\n\
+                 return get_sectorsize(1);\n\
+             }\n\
+             int sr_do_ioctl(struct packet_command *pc) {\n\
+                 return fill_cmd(pc);\n\
+             }\n\
+             int fill_cmd(struct packet_command *pc) {\n\
+                 pc->cmd = 0;\n\
+                 return pc->len;\n\
+             }\n\
+             int get_sectorsize(int n) { return n; }\n",
+        );
+        let mut db = CompileDb::new();
+        db.compile("sr.c", "sr.o");
+        db.link("sr_mod.elf", &["sr.o"]);
+        let mut out = Extractor::new().extract(&tree, &db).unwrap();
+        out.graph.freeze();
+        let g = std::mem::replace(&mut out.graph, GraphStore::new());
+        (g, out)
+    }
+
+    fn by_name(g: &GraphStore, ty: NodeType, name: &str) -> NodeId {
+        g.lookup_name(NameField::ShortName, &NamePattern::exact(name))
+            .unwrap()
+            .into_iter()
+            .find(|n| g.node_type(*n) == ty)
+            .unwrap_or_else(|| panic!("missing {ty:?} {name}"))
+    }
+
+    #[test]
+    fn code_search_constrained_by_module() {
+        let (g, _) = driver();
+        // Fields named cmd in module sr_mod.elf (Figure 3 shape).
+        let hits = code_search(&g, "sr_mod.elf", "cmd").unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(g.node_short_name(hits[0]), "cmd");
+        // No hits for a nonexistent module.
+        assert!(code_search(&g, "other.elf", "cmd").unwrap().is_empty());
+        // And none for a non-field name even though a function exists.
+        assert!(code_search(&g, "sr_mod.elf", "fill_cmd").unwrap().is_empty());
+    }
+
+    #[test]
+    fn goto_definition_by_reference_position() {
+        let (g, out) = driver();
+        let fill = by_name(&g, NodeType::Function, "fill_cmd");
+        // The call site `fill_cmd(pc)` in sr_do_ioctl is at sr.c:7:8.
+        let sr_c = out.files.get("sr.c").unwrap();
+        let hits = goto_definition(&g, "fill_cmd", sr_c, 7, 8).unwrap();
+        assert!(hits.contains(&fill), "hits: {hits:?}");
+        // A wrong position finds nothing.
+        assert!(goto_definition(&g, "fill_cmd", sr_c, 1, 1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn find_references_lists_reference_edges() {
+        let (g, _) = driver();
+        let fill = by_name(&g, NodeType::Function, "fill_cmd");
+        let refs = find_references(&g, fill);
+        // One call from sr_do_ioctl (the decl in sr.h has link_matches,
+        // which is not a reference edge).
+        assert_eq!(refs.len(), 1);
+        let cmd = by_name(&g, NodeType::Field, "cmd");
+        let refs = find_references(&g, cmd);
+        assert!(!refs.is_empty());
+    }
+
+    #[test]
+    fn debug_writes_matches_figure5() {
+        let (g, _) = driver();
+        // The call to get_sectorsize is on line 4 of sr.c.
+        let writers = debug_writes(
+            &g,
+            "sr_media_change",
+            "get_sectorsize",
+            "packet_command",
+            "cmd",
+            4,
+        )
+        .unwrap();
+        assert_eq!(writers.len(), 1);
+        let fill = by_name(&g, NodeType::Function, "fill_cmd");
+        assert_eq!(writers[0].writer, fill);
+        assert_eq!(writers[0].line, 10); // pc->cmd = 0; on line 10
+        // With a call_line that matches nothing, no writers.
+        let none = debug_writes(
+            &g,
+            "sr_media_change",
+            "get_sectorsize",
+            "packet_command",
+            "cmd",
+            999,
+        )
+        .unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn slices() {
+        let (g, _) = driver();
+        let media = by_name(&g, NodeType::Function, "sr_media_change");
+        let fill = by_name(&g, NodeType::Function, "fill_cmd");
+        let back = backward_slice(&g, media);
+        assert!(back.contains(&fill)); // media → do_ioctl → fill_cmd
+        let fwd = forward_slice(&g, fill);
+        assert!(fwd.contains(&media));
+        assert!(!backward_slice(&g, fill).contains(&media));
+    }
+
+    #[test]
+    fn writes_global_transitively_motivating_query() {
+        let mut g = GraphStore::new();
+        let a = g.add_node(NodeType::Function, "a");
+        let b = g.add_node(NodeType::Function, "b");
+        let c = g.add_node(NodeType::Function, "c");
+        let y = g.add_node(NodeType::Global, "y");
+        g.add_edge(a, EdgeType::Calls, b);
+        g.add_edge(b, EdgeType::Calls, c);
+        g.add_edge(c, EdgeType::Writes, y);
+        g.freeze();
+        assert!(writes_global_transitively(&g, a, y));
+        assert!(writes_global_transitively(&g, c, y));
+        let z = {
+            let mut g2 = GraphStore::new();
+            let f = g2.add_node(NodeType::Function, "f");
+            let z = g2.add_node(NodeType::Global, "z");
+            g2.freeze();
+            (g2, f, z)
+        };
+        assert!(!writes_global_transitively(&z.0, z.1, z.2));
+    }
+
+    #[test]
+    fn macro_impact_includes_transitive_callers() {
+        let mut tree = SourceTree::new();
+        tree.add_file(
+            "m.c",
+            "#define SZ 8\n\
+             int leaf(void) { return SZ; }\n\
+             int mid(void) { return leaf(); }\n\
+             int top(void) { return mid(); }\n\
+             int bystander(void) { return 0; }\n",
+        );
+        let mut db = CompileDb::new();
+        db.compile("m.c", "m.o");
+        let mut out = Extractor::new().extract(&tree, &db).unwrap();
+        out.graph.freeze();
+        let g = &out.graph;
+        let sz = by_name(g, NodeType::Macro, "SZ");
+        let impact = macro_impact(g, sz);
+        let names: Vec<&str> = impact.iter().map(|n| g.node_short_name(*n)).collect();
+        assert!(names.contains(&"leaf"));
+        assert!(names.contains(&"mid"));
+        assert!(names.contains(&"top"));
+        assert!(!names.contains(&"bystander"));
+    }
+
+    #[test]
+    fn include_impact_walks_reverse_includes() {
+        let mut tree = SourceTree::new();
+        tree.add_file("base.h", "int base;\n");
+        tree.add_file("mid.h", "#include \"base.h\"\n");
+        tree.add_file("a.c", "#include \"mid.h\"\n");
+        tree.add_file("b.c", "#include \"base.h\"\n");
+        let mut db = CompileDb::new();
+        db.compile("a.c", "a.o");
+        db.compile("b.c", "b.o");
+        let mut out = Extractor::new().extract(&tree, &db).unwrap();
+        out.graph.freeze();
+        let g = &out.graph;
+        let base = by_name(g, NodeType::File, "base.h");
+        let impact = include_impact(g, base);
+        let names: Vec<&str> = impact.iter().map(|n| g.node_short_name(*n)).collect();
+        assert!(names.contains(&"mid.h"));
+        assert!(names.contains(&"a.c"));
+        assert!(names.contains(&"b.c"));
+        assert_eq!(impact.len(), 3);
+    }
+}

@@ -1,0 +1,460 @@
+//! Abstract syntax tree for the extracted C subset.
+//!
+//! The AST is deliberately shaped around what the dependency graph needs:
+//! every named entity keeps its name token (for `NAME_*` ranges) and every
+//! expression keeps its source range (for `USE_*` ranges).
+
+use crate::lexer::{BinOpKind, Token};
+use frappe_model::{Qualifiers, SrcRange};
+
+/// A use of a type, as spelled at a declaration site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeUse {
+    /// The base (innermost) type.
+    pub base: BaseType,
+    /// Derivations/qualifiers in spoken order (paper Table 2 coding).
+    pub quals: Qualifiers,
+    /// Constant array dimensions (the `ARRAY_LENGTHS` property).
+    pub array_lens: Vec<i64>,
+    /// The base type's name token, when it has a name in source.
+    pub name_tok: Option<Token>,
+}
+
+/// The base type of a [`TypeUse`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaseType {
+    /// `void`.
+    Void,
+    /// A primitive ("int", "unsigned long", "double", ...).
+    Primitive(String),
+    /// `struct name`.
+    Struct(String),
+    /// `union name`.
+    Union(String),
+    /// `enum name`.
+    Enum(String),
+    /// A typedef name (or unknown named type).
+    Named(String),
+    /// A function type (through a function pointer).
+    Function(Box<FuncType>),
+}
+
+impl BaseType {
+    /// The display name of the base type.
+    pub fn display(&self) -> String {
+        match self {
+            BaseType::Void => "void".into(),
+            BaseType::Primitive(s) | BaseType::Named(s) => s.clone(),
+            BaseType::Struct(s) => format!("struct {s}"),
+            BaseType::Union(s) => format!("union {s}"),
+            BaseType::Enum(s) => format!("enum {s}"),
+            BaseType::Function(f) => format!("{} (*)(...)", f.ret.base.display()),
+        }
+    }
+}
+
+/// A function type (return + parameter types).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncType {
+    /// Return type.
+    pub ret: TypeUse,
+    /// Parameter types.
+    pub params: Vec<TypeUse>,
+    /// Whether the parameter list ends with `...`.
+    pub variadic: bool,
+}
+
+/// A struct/union field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldDecl {
+    /// Field name.
+    pub name: String,
+    /// Field type.
+    pub ty: TypeUse,
+    /// Bit-field width, if any (the `BIT_WIDTH` property).
+    pub bit_width: Option<i64>,
+    /// Name token.
+    pub name_tok: Token,
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamDecl {
+    /// Parameter name (absent in prototypes like `int bar(int);`).
+    pub name: Option<String>,
+    /// Parameter type.
+    pub ty: TypeUse,
+    /// Name token, when named.
+    pub name_tok: Option<Token>,
+}
+
+/// A top-level item of a translation unit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopLevel {
+    /// `struct name { ... };` or `union name { ... };`
+    RecordDef {
+        /// Tag name (anonymous records get a synthesized `<anon@line>` tag).
+        name: String,
+        /// Whether this is a union.
+        is_union: bool,
+        /// Fields in order.
+        fields: Vec<FieldDecl>,
+        /// Tag token (or the `struct` keyword token for anonymous records).
+        name_tok: Token,
+    },
+    /// `struct name;` forward declaration.
+    RecordDecl {
+        /// Tag name.
+        name: String,
+        /// Whether this is a union.
+        is_union: bool,
+        /// Tag token.
+        name_tok: Token,
+    },
+    /// `enum name { A, B = 3 };`
+    EnumDef {
+        /// Tag name, if named.
+        name: Option<String>,
+        /// `(name, explicit value, name token)` triples.
+        enumerators: Vec<(String, Option<i64>, Token)>,
+        /// Tag token or `enum` keyword token.
+        name_tok: Token,
+    },
+    /// `typedef <type> name;`
+    Typedef {
+        /// The new name.
+        name: String,
+        /// The aliased type.
+        ty: TypeUse,
+        /// Name token.
+        name_tok: Token,
+    },
+    /// A global variable declaration or definition.
+    Global {
+        /// Variable name.
+        name: String,
+        /// Its type.
+        ty: TypeUse,
+        /// `extern` (a declaration, not a definition).
+        is_extern: bool,
+        /// `static` (internal linkage).
+        is_static: bool,
+        /// Initializer.
+        init: Option<Expr>,
+        /// Name token.
+        name_tok: Token,
+    },
+    /// A function prototype.
+    FunctionDecl {
+        /// Function name.
+        name: String,
+        /// Return type.
+        ret: TypeUse,
+        /// Parameters.
+        params: Vec<ParamDecl>,
+        /// Variadic.
+        variadic: bool,
+        /// `static`.
+        is_static: bool,
+        /// Name token.
+        name_tok: Token,
+    },
+    /// A function definition with a body.
+    FunctionDef {
+        /// Function name.
+        name: String,
+        /// Return type.
+        ret: TypeUse,
+        /// Parameters.
+        params: Vec<ParamDecl>,
+        /// Variadic.
+        variadic: bool,
+        /// `static`.
+        is_static: bool,
+        /// Body statements.
+        body: Vec<Stmt>,
+        /// Name token.
+        name_tok: Token,
+    },
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// A local variable declaration.
+    Decl {
+        /// Variable name.
+        name: String,
+        /// Its type.
+        ty: TypeUse,
+        /// `static` (a `static_local` node).
+        is_static: bool,
+        /// Initializer.
+        init: Option<Expr>,
+        /// Name token.
+        name_tok: Token,
+    },
+    /// An expression statement.
+    Expr(Expr),
+    /// `return [expr];`
+    Return(Option<Expr>),
+    /// `if (cond) then [else els]`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then: Box<Stmt>,
+        /// Else branch.
+        els: Option<Box<Stmt>>,
+    },
+    /// `while (cond) body`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Box<Stmt>,
+    },
+    /// `do body while (cond);`
+    DoWhile {
+        /// Body.
+        body: Box<Stmt>,
+        /// Condition.
+        cond: Expr,
+    },
+    /// `for (init; cond; step) body`
+    For {
+        /// Initializer (a declaration or expression statement).
+        init: Option<Box<Stmt>>,
+        /// Condition.
+        cond: Option<Expr>,
+        /// Step expression.
+        step: Option<Expr>,
+        /// Body.
+        body: Box<Stmt>,
+    },
+    /// `switch (expr) { case ...: ... }` — cases flattened.
+    Switch {
+        /// Scrutinee.
+        expr: Expr,
+        /// `(case label value expr, body statements)`; `None` = `default`.
+        cases: Vec<(Option<Expr>, Vec<Stmt>)>,
+    },
+    /// `{ ... }`
+    Block(Vec<Stmt>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `goto label;`
+    Goto(String),
+    /// `label: stmt`
+    Label(String, Box<Stmt>),
+    /// `;`
+    Empty,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `+`
+    Plus,
+    /// `!`
+    Not,
+    /// `~`
+    BitNot,
+    /// `*`
+    Deref,
+    /// `&`
+    AddrOf,
+    /// `++x`
+    PreInc,
+    /// `--x`
+    PreDec,
+}
+
+/// Binary operators (comparison/logic fold into this for simplicity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Arithmetic / bitwise.
+    Arith(BinOpKind),
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    LogAnd,
+    /// `||`
+    LogOr,
+}
+
+/// An expression with its full source range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// The node.
+    pub kind: ExprKind,
+    /// Source range of the whole expression (the `USE_*` range).
+    pub range: SrcRange,
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// An identifier use.
+    Ident(Token),
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal (textual).
+    FloatLit(String),
+    /// String literal.
+    StrLit(String),
+    /// Char literal.
+    CharLit(char),
+    /// `callee(args...)`.
+    Call {
+        /// The callee (usually an identifier).
+        callee: Box<Expr>,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `base.field` / `base->field`.
+    Member {
+        /// Base expression.
+        base: Box<Expr>,
+        /// Field name.
+        field: String,
+        /// `->` rather than `.`.
+        arrow: bool,
+        /// Field name token.
+        field_tok: Token,
+    },
+    /// `base[index]`.
+    Index {
+        /// Base expression.
+        base: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// `x++` / `x--`.
+    PostIncDec {
+        /// Operand.
+        expr: Box<Expr>,
+        /// `++` rather than `--`.
+        inc: bool,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Assignment (plain or compound).
+    Assign {
+        /// Target.
+        lhs: Box<Expr>,
+        /// Value.
+        rhs: Box<Expr>,
+        /// `Some(op)` for compound assignment (`+=` etc.).
+        op: Option<BinOpKind>,
+    },
+    /// `(type) expr`.
+    Cast {
+        /// Target type.
+        ty: TypeUse,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// `sizeof(type)`.
+    SizeofType(TypeUse),
+    /// `sizeof expr`.
+    SizeofExpr(Box<Expr>),
+    /// `_Alignof(type)`.
+    AlignofType(TypeUse),
+    /// `cond ? then : els`.
+    Ternary {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Then value.
+        then: Box<Expr>,
+        /// Else value.
+        els: Box<Expr>,
+    },
+    /// `lhs, rhs`.
+    Comma(Box<Expr>, Box<Expr>),
+    /// `{ a, b, c }` initializer list.
+    InitList(Vec<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor.
+    pub fn new(kind: ExprKind, range: SrcRange) -> Expr {
+        Expr { kind, range }
+    }
+
+    /// The identifier token, if this is a bare identifier.
+    pub fn as_ident(&self) -> Option<&Token> {
+        match &self.kind {
+            ExprKind::Ident(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed translation unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TranslationUnit {
+    /// Top-level items in source order.
+    pub items: Vec<TopLevel>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frappe_model::FileId;
+
+    #[test]
+    fn base_type_display() {
+        assert_eq!(BaseType::Void.display(), "void");
+        assert_eq!(
+            BaseType::Primitive("unsigned long".into()).display(),
+            "unsigned long"
+        );
+        assert_eq!(BaseType::Struct("scsi_cd".into()).display(), "struct scsi_cd");
+        assert_eq!(BaseType::Enum("state".into()).display(), "enum state");
+    }
+
+    #[test]
+    fn expr_as_ident() {
+        let tok = Token {
+            tok: crate::lexer::CTok::Ident("x".into()),
+            file: FileId(0),
+            line: 1,
+            col: 1,
+            len: 1,
+            in_macro: false,
+        };
+        let e = Expr::new(ExprKind::Ident(tok.clone()), tok.range());
+        assert_eq!(e.as_ident().unwrap().ident(), Some("x"));
+        let lit = Expr::new(ExprKind::IntLit(1), tok.range());
+        assert!(lit.as_ident().is_none());
+    }
+}

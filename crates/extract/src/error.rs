@@ -1,0 +1,72 @@
+//! Extraction errors.
+
+/// Errors raised by the extraction pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExtractError {
+    /// A file referenced by the build or an `#include` was not found.
+    FileNotFound(String),
+    /// A lexical error: file, line, message.
+    Lex {
+        /// The file being lexed.
+        file: String,
+        /// 1-based line.
+        line: u32,
+        /// Description.
+        message: String,
+    },
+    /// A preprocessor error (unterminated conditional, bad directive, ...).
+    Preprocess {
+        /// The file being preprocessed.
+        file: String,
+        /// 1-based line.
+        line: u32,
+        /// Description.
+        message: String,
+    },
+    /// A parse error: file, line, message.
+    Parse {
+        /// The file being parsed.
+        file: String,
+        /// 1-based line.
+        line: u32,
+        /// Description.
+        message: String,
+    },
+    /// An inconsistent build description (duplicate object, unknown input).
+    Build(String),
+}
+
+impl std::fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExtractError::FileNotFound(p) => write!(f, "file not found: {p}"),
+            ExtractError::Lex { file, line, message } => {
+                write!(f, "{file}:{line}: lex error: {message}")
+            }
+            ExtractError::Preprocess { file, line, message } => {
+                write!(f, "{file}:{line}: preprocessor error: {message}")
+            }
+            ExtractError::Parse { file, line, message } => {
+                write!(f, "{file}:{line}: parse error: {message}")
+            }
+            ExtractError::Build(m) => write!(f, "build error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location() {
+        let e = ExtractError::Parse {
+            file: "a.c".into(),
+            line: 3,
+            message: "expected ';'".into(),
+        };
+        assert_eq!(e.to_string(), "a.c:3: parse error: expected ';'");
+    }
+}

@@ -1,0 +1,582 @@
+//! C token lexer.
+//!
+//! Produces a per-line token stream (the preprocessor is line-oriented),
+//! handling comments (`//`, `/* */` incl. multi-line), string/char
+//! literals, numeric literals, all multi-character punctuators, and
+//! backslash line continuations. Every token carries its source location so
+//! the graph's `USE_*`/`NAME_*` edge properties are real positions.
+
+use crate::error::ExtractError;
+use frappe_model::{FileId, SrcPos, SrcRange};
+
+/// A C punctuator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Punct {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `->`
+    Arrow,
+    /// `...`
+    Ellipsis,
+    /// `?`
+    Question,
+    /// `:`
+    Colon,
+    /// `#`
+    Hash,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `++`
+    Inc,
+    /// `--`
+    Dec,
+    /// `=`
+    Assign,
+    /// `+=` `-=` `*=` `/=` `%=` `&=` `|=` `^=` `<<=` `>>=`
+    OpAssign(BinOpKind),
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Not,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `~`
+    Tilde,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+}
+
+/// Binary operator kinds reused by compound assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOpKind {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+}
+
+/// A C token kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CTok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal (suffixes accepted and discarded).
+    Int(i64),
+    /// Floating literal (kept as text; value unused by the graph).
+    Float(String),
+    /// String literal (concatenation not performed).
+    Str(String),
+    /// Character literal.
+    Char(char),
+    /// Punctuator.
+    Punct(Punct),
+}
+
+/// A token with location and provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Kind.
+    pub tok: CTok,
+    /// File of the token (changes under `#include`).
+    pub file: FileId,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Length in characters (for `NAME_*` ranges).
+    pub len: u32,
+    /// Whether this token came out of a macro expansion.
+    pub in_macro: bool,
+}
+
+impl Token {
+    /// The token's source range.
+    pub fn range(&self) -> SrcRange {
+        SrcRange {
+            file: self.file,
+            start: SrcPos::new(self.line, self.col),
+            end: SrcPos::new(self.line, self.col + self.len.saturating_sub(1)),
+        }
+    }
+
+    /// The identifier text, if an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            CTok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the given punctuator.
+    pub fn is_punct(&self, p: Punct) -> bool {
+        self.tok == CTok::Punct(p)
+    }
+}
+
+/// One physical line of tokens (after continuation splicing).
+pub type Line = Vec<Token>;
+
+/// Lexes a file into lines of tokens.
+pub fn lex_file(text: &str, file: FileId, file_name: &str) -> Result<Vec<Line>, ExtractError> {
+    let mut lines: Vec<Line> = Vec::new();
+    let mut cur: Line = Vec::new();
+    let mut chars: Vec<char> = text.chars().collect();
+    // Ensure trailing newline so the last line flushes.
+    if chars.last() != Some(&'\n') {
+        chars.push('\n');
+    }
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+    let err = |line: u32, message: String| ExtractError::Lex {
+        file: file_name.to_owned(),
+        line,
+        message,
+    };
+
+    macro_rules! push {
+        ($tok:expr, $l:expr, $c:expr, $len:expr) => {
+            cur.push(Token {
+                tok: $tok,
+                file,
+                line: $l,
+                col: $c,
+                len: $len,
+                in_macro: false,
+            })
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                lines.push(std::mem::take(&mut cur));
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            '\\' if chars.get(i + 1) == Some(&'\n') => {
+                // Line continuation: splice (the logical line continues).
+                i += 2;
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                i += 2;
+                col += 2;
+                loop {
+                    if i + 1 >= chars.len() {
+                        return Err(err(line, "unterminated block comment".into()));
+                    }
+                    if chars[i] == '*' && chars[i + 1] == '/' {
+                        i += 2;
+                        col += 2;
+                        break;
+                    }
+                    if chars[i] == '\n' {
+                        // Block comments spanning lines still end the
+                        // physical lines they cross (directives cannot span
+                        // comments in our subset).
+                        lines.push(std::mem::take(&mut cur));
+                        line += 1;
+                        col = 1;
+                        i += 1;
+                    } else {
+                        i += 1;
+                        col += 1;
+                    }
+                }
+            }
+            '"' => {
+                let (start_l, start_c) = (line, col);
+                i += 1;
+                col += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= chars.len() || chars[i] == '\n' {
+                        return Err(err(start_l, "unterminated string literal".into()));
+                    }
+                    if chars[i] == '"' {
+                        i += 1;
+                        col += 1;
+                        break;
+                    }
+                    if chars[i] == '\\' && i + 1 < chars.len() {
+                        s.push(unescape(chars[i + 1]));
+                        i += 2;
+                        col += 2;
+                    } else {
+                        s.push(chars[i]);
+                        i += 1;
+                        col += 1;
+                    }
+                }
+                let len = col - start_c;
+                push!(CTok::Str(s), start_l, start_c, len);
+            }
+            '\'' => {
+                let (start_l, start_c) = (line, col);
+                i += 1;
+                col += 1;
+                let ch = if chars.get(i) == Some(&'\\') {
+                    let e = unescape(*chars.get(i + 1).unwrap_or(&'\''));
+                    i += 2;
+                    col += 2;
+                    e
+                } else if let Some(c) = chars.get(i) {
+                    let c = *c;
+                    i += 1;
+                    col += 1;
+                    c
+                } else {
+                    return Err(err(start_l, "unterminated char literal".into()));
+                };
+                if chars.get(i) != Some(&'\'') {
+                    return Err(err(start_l, "unterminated char literal".into()));
+                }
+                i += 1;
+                col += 1;
+                push!(CTok::Char(ch), start_l, start_c, col - start_c);
+            }
+            '0'..='9' => {
+                let (start_l, start_c) = (line, col);
+                let start = i;
+                let mut is_float = false;
+                // Hex?
+                if c == '0' && matches!(chars.get(i + 1), Some('x') | Some('X')) {
+                    i += 2;
+                    col += 2;
+                    while i < chars.len() && chars[i].is_ascii_hexdigit() {
+                        i += 1;
+                        col += 1;
+                    }
+                } else {
+                    while i < chars.len()
+                        && (chars[i].is_ascii_digit() || chars[i] == '.' || chars[i] == 'e'
+                            || chars[i] == 'E')
+                    {
+                        if chars[i] == '.' {
+                            // `..` would be strange in C; treat a second dot
+                            // as a terminator.
+                            if is_float {
+                                break;
+                            }
+                            is_float = true;
+                        } else if chars[i] == 'e' || chars[i] == 'E' {
+                            is_float = true;
+                        }
+                        i += 1;
+                        col += 1;
+                    }
+                }
+                // Suffixes.
+                while i < chars.len() && matches!(chars[i], 'u' | 'U' | 'l' | 'L' | 'f' | 'F') {
+                    i += 1;
+                    col += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let tok = if is_float {
+                    CTok::Float(text)
+                } else {
+                    let digits = text.trim_end_matches(['u', 'U', 'l', 'L']);
+                    let value = if let Some(hex) = digits
+                        .strip_prefix("0x")
+                        .or_else(|| digits.strip_prefix("0X"))
+                    {
+                        i64::from_str_radix(hex, 16)
+                    } else if digits.len() > 1 && digits.starts_with('0') {
+                        i64::from_str_radix(&digits[1..], 8)
+                    } else {
+                        digits.parse()
+                    };
+                    CTok::Int(value.map_err(|_| err(start_l, format!("bad integer '{text}'")))?)
+                };
+                push!(tok, start_l, start_c, col - start_c);
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let (start_l, start_c) = (line, col);
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                    col += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                push!(CTok::Ident(text), start_l, start_c, col - start_c);
+            }
+            _ => {
+                let (start_l, start_c) = (line, col);
+                let (p, width) = lex_punct(&chars[i..])
+                    .ok_or_else(|| err(start_l, format!("unexpected character {c:?}")))?;
+                i += width;
+                col += width as u32;
+                push!(CTok::Punct(p), start_l, start_c, width as u32);
+            }
+        }
+    }
+    Ok(lines)
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+fn lex_punct(rest: &[char]) -> Option<(Punct, usize)> {
+    use BinOpKind::{Add, Sub, Mul, Div, Rem, And, Or, Xor};
+    use Punct::*;
+    let c0 = *rest.first()?;
+    let c1 = rest.get(1).copied().unwrap_or('\0');
+    let c2 = rest.get(2).copied().unwrap_or('\0');
+    Some(match (c0, c1, c2) {
+        ('.', '.', '.') => (Ellipsis, 3),
+        ('<', '<', '=') => (OpAssign(BinOpKind::Shl), 3),
+        ('>', '>', '=') => (OpAssign(BinOpKind::Shr), 3),
+        ('-', '>', _) => (Arrow, 2),
+        ('+', '+', _) => (Inc, 2),
+        ('-', '-', _) => (Dec, 2),
+        ('+', '=', _) => (OpAssign(Add), 2),
+        ('-', '=', _) => (OpAssign(Sub), 2),
+        ('*', '=', _) => (OpAssign(Mul), 2),
+        ('/', '=', _) => (OpAssign(Div), 2),
+        ('%', '=', _) => (OpAssign(Rem), 2),
+        ('&', '=', _) => (OpAssign(And), 2),
+        ('|', '=', _) => (OpAssign(Or), 2),
+        ('^', '=', _) => (OpAssign(Xor), 2),
+        ('=', '=', _) => (EqEq, 2),
+        ('!', '=', _) => (NotEq, 2),
+        ('<', '=', _) => (Le, 2),
+        ('>', '=', _) => (Ge, 2),
+        ('&', '&', _) => (AndAnd, 2),
+        ('|', '|', _) => (OrOr, 2),
+        ('<', '<', _) => (Punct::Shl, 2),
+        ('>', '>', _) => (Punct::Shr, 2),
+        ('(', _, _) => (LParen, 1),
+        (')', _, _) => (RParen, 1),
+        ('[', _, _) => (LBracket, 1),
+        (']', _, _) => (RBracket, 1),
+        ('{', _, _) => (LBrace, 1),
+        ('}', _, _) => (RBrace, 1),
+        (';', _, _) => (Semi, 1),
+        (',', _, _) => (Comma, 1),
+        ('.', _, _) => (Dot, 1),
+        ('?', _, _) => (Question, 1),
+        (':', _, _) => (Colon, 1),
+        ('#', _, _) => (Hash, 1),
+        ('+', _, _) => (Plus, 1),
+        ('-', _, _) => (Minus, 1),
+        ('*', _, _) => (Star, 1),
+        ('/', _, _) => (Slash, 1),
+        ('%', _, _) => (Percent, 1),
+        ('=', _, _) => (Assign, 1),
+        ('<', _, _) => (Lt, 1),
+        ('>', _, _) => (Gt, 1),
+        ('!', _, _) => (Not, 1),
+        ('&', _, _) => (Amp, 1),
+        ('|', _, _) => (Pipe, 1),
+        ('^', _, _) => (Caret, 1),
+        ('~', _, _) => (Tilde, 1),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(text: &str) -> Vec<Line> {
+        lex_file(text, FileId(0), "test.c").unwrap()
+    }
+
+    fn flat(text: &str) -> Vec<CTok> {
+        lex(text).into_iter().flatten().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn identifiers_and_ints() {
+        assert_eq!(flat("int x = 42;"), vec![
+            CTok::Ident("int".into()),
+            CTok::Ident("x".into()),
+            CTok::Punct(Punct::Assign),
+            CTok::Int(42),
+            CTok::Punct(Punct::Semi),
+        ]);
+    }
+
+    #[test]
+    fn hex_octal_suffixes() {
+        assert_eq!(flat("0x1F 010 42UL 7u"), vec![
+            CTok::Int(31),
+            CTok::Int(8),
+            CTok::Int(42),
+            CTok::Int(7),
+        ]);
+    }
+
+    #[test]
+    fn floats() {
+        assert_eq!(flat("1.5 2e3f"), vec![
+            CTok::Float("1.5".into()),
+            CTok::Float("2e3f".into()),
+        ]);
+    }
+
+    #[test]
+    fn strings_chars_and_escapes() {
+        assert_eq!(flat(r#""a\n" 'x' '\t'"#), vec![
+            CTok::Str("a\n".into()),
+            CTok::Char('x'),
+            CTok::Char('\t'),
+        ]);
+        assert!(lex_file("\"oops\n", FileId(0), "t.c").is_err());
+        assert!(lex_file("'a", FileId(0), "t.c").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(flat("a // comment\nb /* c */ d"), vec![
+            CTok::Ident("a".into()),
+            CTok::Ident("b".into()),
+            CTok::Ident("d".into()),
+        ]);
+        assert!(lex_file("/* unterminated", FileId(0), "t.c").is_err());
+    }
+
+    #[test]
+    fn multiline_block_comment_counts_lines() {
+        let lines = lex("a /* x\ny */ b\nc");
+        assert_eq!(lines.len(), 3);
+        let b = &lines[1][0];
+        assert_eq!(b.ident(), Some("b"));
+        assert_eq!(b.line, 2);
+    }
+
+    #[test]
+    fn punctuators_longest_match() {
+        assert_eq!(flat("a->b >>= c <<= ... ++ -- == !="), vec![
+            CTok::Ident("a".into()),
+            CTok::Punct(Punct::Arrow),
+            CTok::Ident("b".into()),
+            CTok::Punct(Punct::OpAssign(BinOpKind::Shr)),
+            CTok::Ident("c".into()),
+            CTok::Punct(Punct::OpAssign(BinOpKind::Shl)),
+            CTok::Punct(Punct::Ellipsis),
+            CTok::Punct(Punct::Inc),
+            CTok::Punct(Punct::Dec),
+            CTok::Punct(Punct::EqEq),
+            CTok::Punct(Punct::NotEq),
+        ]);
+    }
+
+    #[test]
+    fn line_structure_and_positions() {
+        let lines = lex("int x;\n  foo();\n");
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].len(), 3);
+        let foo = &lines[1][0];
+        assert_eq!(foo.line, 2);
+        assert_eq!(foo.col, 3);
+        assert_eq!(foo.len, 3);
+        let r = foo.range();
+        assert_eq!(r.start, SrcPos::new(2, 3));
+        assert_eq!(r.end, SrcPos::new(2, 5));
+    }
+
+    #[test]
+    fn line_continuation_joins_logical_line() {
+        let lines = lex("#define A \\\n 1\nint x;");
+        // The continuation merges line 1 and 2 into one token line; an
+        // empty line is NOT emitted for the spliced newline.
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].len(), 4); // # define A 1
+        assert_eq!(lines[1][0].ident(), Some("int"));
+    }
+
+    #[test]
+    fn directive_hash_is_a_token() {
+        let lines = lex("#include \"foo.h\"");
+        assert!(lines[0][0].is_punct(Punct::Hash));
+        assert_eq!(lines[0][1].ident(), Some("include"));
+        assert_eq!(lines[0][2].tok, CTok::Str("foo.h".into()));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex_file("int $x;", FileId(0), "t.c").is_err());
+        assert!(lex_file("int @;", FileId(0), "t.c").is_err());
+    }
+}

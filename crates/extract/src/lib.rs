@@ -1,0 +1,64 @@
+//! # frappe-extract
+//!
+//! The extractor component of Frappé — the part the paper implements as
+//! compiler wrapper scripts around "a modified version of the complete
+//! Clang compiler", capturing "precise information on the various source
+//! entities and dependencies in each compilation unit".
+//!
+//! We cannot ship Clang, so this crate implements a from-scratch pipeline
+//! for a C subset that is rich enough to produce **every** node and edge
+//! type of the paper's Table 1 from real source text:
+//!
+//! 1. [`source`] — an in-memory source tree (paths → contents) standing in
+//!    for the filesystem, producing `directory`/`file` nodes and
+//!    `dir_contains` edges.
+//! 2. [`lexer`] — a C token lexer.
+//! 3. [`pp`] — a preprocessor: `#include` resolution (`includes` edges),
+//!    object- and function-like macros (`macro` nodes, `expands_macro`
+//!    edges, `IN_MACRO` provenance), and conditional compilation
+//!    (`interrogates_macro` edges).
+//! 4. [`parser`] + [`ast`] — a recursive-descent C parser covering
+//!    declarations, struct/union/enum/typedef, and full statement /
+//!    expression grammars for function bodies.
+//! 5. [`lower`] — AST → dependency graph: def/use analysis classifying
+//!    reads, writes, member accesses, address-of, dereference, calls,
+//!    casts, `sizeof`, and enumerator uses.
+//! 6. [`link`] — the build model (Figure 2's `gcc foo.c -c -o foo.o` /
+//!    `gcc main.c foo.o -o prog`): compilation units, modules,
+//!    `compiled_from` / `linked_from` / `link_declares` / `link_matches`
+//!    edges, and cross-TU declaration↔definition resolution.
+//!
+//! ## Example
+//!
+//! ```
+//! use frappe_extract::{CompileDb, Extractor, SourceTree};
+//!
+//! let mut tree = SourceTree::new();
+//! tree.add_file("foo.h", "int bar(int);\n");
+//! tree.add_file("foo.c", "#include \"foo.h\"\nint bar(int input) { return input; }\n");
+//! tree.add_file(
+//!     "main.c",
+//!     "#include \"foo.h\"\nint main(int argc, char **argv) { return bar(argc); }\n",
+//! );
+//! let mut db = CompileDb::new();
+//! db.compile("foo.c", "foo.o");
+//! db.compile("main.c", "main.o");
+//! db.link("prog", &["main.o", "foo.o"]);
+//!
+//! let out = Extractor::new().extract(&tree, &db).unwrap();
+//! assert!(out.graph.node_count() > 5);
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod link;
+pub mod lower;
+pub mod parser;
+pub mod pp;
+pub mod source;
+
+pub use error::ExtractError;
+pub use link::CompileDb;
+pub use lower::{ExtractOutput, Extractor};
+pub use source::SourceTree;

@@ -1,0 +1,179 @@
+//! The build / link model.
+//!
+//! Figure 2 of the paper shows the build driving the graph: `gcc foo.c -c
+//! -o foo.o` makes the object module `foo.o` with a `compiled_from` edge to
+//! `foo.c`; `gcc main.c foo.o -o prog` makes the executable module `prog`
+//! with a `compiled_from` edge to `main.c` and a `linked_from` edge
+//! (carrying `LINK_ORDER`) to `foo.o`.
+//!
+//! [`CompileDb`] is our stand-in for the paper's compiler wrapper scripts:
+//! it records which sources compile to which objects and which inputs link
+//! into which modules.
+
+use crate::error::ExtractError;
+
+/// One compilation step: `source.c → object.o`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileUnit {
+    /// Source path.
+    pub source: String,
+    /// Object (module) name.
+    pub object: String,
+}
+
+/// One link step: inputs (sources, objects, libs) → output module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkUnit {
+    /// Output module name.
+    pub output: String,
+    /// Linked inputs in link order. Sources are compiled directly into the
+    /// module (`compiled_from`), objects become `linked_from` edges.
+    pub inputs: Vec<String>,
+    /// Static libraries (`linked_from_lib` edges).
+    pub libs: Vec<String>,
+}
+
+/// The recorded build: the paper's "integration with custom builds".
+#[derive(Debug, Clone, Default)]
+pub struct CompileDb {
+    /// Compilation steps in order.
+    pub compiles: Vec<CompileUnit>,
+    /// Link steps in order.
+    pub links: Vec<LinkUnit>,
+}
+
+impl CompileDb {
+    /// Creates an empty build description.
+    pub fn new() -> CompileDb {
+        CompileDb::default()
+    }
+
+    /// Records `gcc <source> -c -o <object>`.
+    pub fn compile(&mut self, source: &str, object: &str) -> &mut Self {
+        self.compiles.push(CompileUnit {
+            source: crate::source::normalize(source),
+            object: object.to_owned(),
+        });
+        self
+    }
+
+    /// Records `gcc <inputs...> -o <output>`. Inputs ending in `.c` are
+    /// compiled directly into the module; other inputs are linked objects.
+    pub fn link(&mut self, output: &str, inputs: &[&str]) -> &mut Self {
+        self.links.push(LinkUnit {
+            output: output.to_owned(),
+            inputs: inputs.iter().map(|s| (*s).to_owned()).collect(),
+            libs: Vec::new(),
+        });
+        self
+    }
+
+    /// Records a static library input to the most recent link step.
+    pub fn link_lib(&mut self, lib: &str) -> &mut Self {
+        if let Some(last) = self.links.last_mut() {
+            last.libs.push(lib.to_owned());
+        }
+        self
+    }
+
+    /// All sources that need extraction: compile-step sources plus `.c`
+    /// inputs of link steps, deduplicated, in first-mention order.
+    pub fn sources(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for c in &self.compiles {
+            if !out.contains(&c.source) {
+                out.push(c.source.clone());
+            }
+        }
+        for l in &self.links {
+            for input in &l.inputs {
+                if input.ends_with(".c") {
+                    let n = crate::source::normalize(input);
+                    if !out.contains(&n) {
+                        out.push(n);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Validates internal consistency: objects referenced by link steps must
+    /// be produced by a compile step (or be `.c` sources).
+    pub fn validate(&self) -> Result<(), ExtractError> {
+        let mut seen = std::collections::HashSet::new();
+        for c in &self.compiles {
+            if !seen.insert(&c.object) {
+                return Err(ExtractError::Build(format!(
+                    "object '{}' produced twice",
+                    c.object
+                )));
+            }
+        }
+        for l in &self.links {
+            for input in &l.inputs {
+                if !input.ends_with(".c") && !self.compiles.iter().any(|c| c.object == *input) {
+                    return Err(ExtractError::Build(format!(
+                        "link input '{}' of module '{}' is not produced by any compile step",
+                        input, l.output
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The Figure 2 build, reusable by tests and examples.
+    pub fn figure2() -> CompileDb {
+        let mut db = CompileDb::new();
+        db.compile("foo.c", "foo.o");
+        db.link("prog", &["main.c", "foo.o"]);
+        db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_build_shape() {
+        let db = CompileDb::figure2();
+        assert_eq!(db.compiles.len(), 1);
+        assert_eq!(db.links.len(), 1);
+        assert_eq!(db.links[0].inputs, vec!["main.c", "foo.o"]);
+        assert_eq!(db.sources(), vec!["foo.c", "main.c"]);
+        db.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_objects() {
+        let mut db = CompileDb::new();
+        db.compile("a.c", "a.o").compile("b.c", "a.o");
+        assert!(db.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_unknown_link_input() {
+        let mut db = CompileDb::new();
+        db.link("prog", &["missing.o"]);
+        assert!(db.validate().is_err());
+    }
+
+    #[test]
+    fn libs_attach_to_last_link() {
+        let mut db = CompileDb::new();
+        db.compile("a.c", "a.o");
+        db.link("prog", &["a.o"]).link_lib("libm.a");
+        assert_eq!(db.links[0].libs, vec!["libm.a"]);
+    }
+
+    #[test]
+    fn sources_dedup() {
+        let mut db = CompileDb::new();
+        db.compile("a.c", "a.o");
+        db.link("p1", &["a.c"]);
+        db.link("p2", &["a.c", "a.o"]);
+        assert_eq!(db.sources(), vec!["a.c"]);
+    }
+}

@@ -1,0 +1,1739 @@
+//! Lowering: preprocessed + parsed translation units → the dependency graph.
+//!
+//! This is where the Table 1 graph model is actually produced. Entities
+//! (functions, globals, records, fields, enums, typedefs, macros, files,
+//! directories, modules) become nodes; a def/use walk over every function
+//! body classifies references into `calls`, `reads`, `writes`,
+//! `reads_member`, `writes_member`, `dereferences`, `takes_address_of`,
+//! `casts_to`, `gets_size_of`, `uses_enumerator`, and friends, each edge
+//! carrying the `USE_*` range of the referencing expression and the
+//! `NAME_*` range of its representative token (Table 2).
+//!
+//! Entities declared in headers are deduplicated across translation units
+//! by their name-token position, so including `foo.h` from ten `.c` files
+//! yields one `bar` declaration node — the "cross-linking of information"
+//! the paper highlights.
+
+use crate::ast::*;
+use crate::error::ExtractError;
+use crate::lexer::Token;
+use crate::link::CompileDb;
+use crate::parser::parse_tokens;
+use crate::pp::{preprocess, MacroUse, Preprocessed};
+use crate::source::{basename, FileMap, SourceTree};
+use frappe_model::{
+    EdgeType, FileId, NodeId, NodeType, PropKey, PropValue, SrcRange,
+};
+use frappe_store::GraphStore;
+use std::collections::{HashMap, HashSet};
+
+/// The extractor facade.
+#[derive(Debug, Clone, Default)]
+pub struct Extractor {
+    /// Predefined macros visible to every translation unit (like `-D`).
+    pub predefined: Vec<(String, String)>,
+}
+
+/// Extraction result.
+pub struct ExtractOutput {
+    /// The dependency graph (not frozen — callers freeze when done).
+    pub graph: GraphStore,
+    /// Path ↔ [`FileId`] mapping.
+    pub files: FileMap,
+    /// File node per [`FileId`] (input to `frappe_store::reify`).
+    pub file_nodes: HashMap<FileId, NodeId>,
+}
+
+impl Extractor {
+    /// Creates an extractor with no predefined macros.
+    pub fn new() -> Extractor {
+        Extractor::default()
+    }
+
+    /// Adds a predefined macro (like `-DNAME=VALUE`).
+    pub fn define(mut self, name: &str, value: &str) -> Extractor {
+        self.predefined.push((name.to_owned(), value.to_owned()));
+        self
+    }
+
+    /// Runs the full pipeline over `tree` as described by `db`.
+    pub fn extract(
+        &self,
+        tree: &SourceTree,
+        db: &CompileDb,
+    ) -> Result<ExtractOutput, ExtractError> {
+        db.validate()?;
+        let mut lw = Lowerer::new();
+        lw.build_filesystem(tree);
+        let predefined: Vec<(&str, &str)> = self
+            .predefined
+            .iter()
+            .map(|(a, b)| (a.as_str(), b.as_str()))
+            .collect();
+        // Phase A: preprocess + parse every TU and lower all declarations,
+        // so cross-TU and forward references resolve to definitions.
+        let mut parsed: Vec<(String, TranslationUnit, Preprocessed)> = Vec::new();
+        for src in db.sources() {
+            let pp = preprocess(tree, &mut lw.files, &src, &predefined)?;
+            let tu = parse_tokens(&pp.tokens, &src)?;
+            parsed.push((src, tu, pp));
+        }
+        for (src, tu, pp) in &parsed {
+            lw.lower_tu_decls(src, tu, pp)?;
+        }
+        // Phase B: walk every function body, then attribute macro uses
+        // (function extents are only known after the bodies).
+        lw.lower_bodies();
+        for (_, _, pp) in &parsed {
+            lw.attach_macro_uses(pp);
+        }
+        lw.link(db)?;
+        Ok(ExtractOutput {
+            graph: lw.g,
+            files: lw.files,
+            file_nodes: lw.file_nodes,
+        })
+    }
+}
+
+/// Reference-edge kinds used by the def/use walk.
+#[derive(Clone, Copy, Debug)]
+enum Mode {
+    Read,
+    Write(SrcRange),
+    ReadWrite(SrcRange),
+    AddrOf(SrcRange),
+}
+
+/// Kind tags for the cross-TU dedup key.
+mod kind {
+    pub const MACRO: u8 = 0;
+    pub const RECORD: u8 = 1;
+    pub const RECORD_DECL: u8 = 2;
+    pub const ENUM: u8 = 3;
+    pub const TYPEDEF: u8 = 4;
+    pub const GLOBAL: u8 = 5;
+    pub const FUNCTION: u8 = 6;
+    pub const FUNCTION_DECL: u8 = 7;
+}
+
+struct Lowerer {
+    g: GraphStore,
+    files: FileMap,
+    file_nodes: HashMap<FileId, NodeId>,
+    dir_nodes: HashMap<String, NodeId>,
+    primitives: HashMap<String, NodeId>,
+    records: HashMap<String, NodeId>,
+    record_decls: HashMap<String, NodeId>,
+    enums: HashMap<String, NodeId>,
+    enumerators: HashMap<String, NodeId>,
+    typedefs: HashMap<String, NodeId>,
+    typedef_record: HashMap<String, String>,
+    functions: HashMap<String, NodeId>,
+    function_decls: HashMap<String, NodeId>,
+    globals: HashMap<String, NodeId>,
+    global_decls: HashMap<String, NodeId>,
+    macros: HashMap<String, NodeId>,
+    fields: HashMap<(String, String), NodeId>,
+    fields_by_name: HashMap<String, Vec<NodeId>>,
+    node_record: HashMap<NodeId, String>,
+    fn_types: HashMap<String, NodeId>,
+    lowered: HashSet<(u32, u32, u32, u8)>,
+    include_edges: HashSet<(FileId, FileId, u32)>,
+    macro_edges: HashSet<(NodeId, NodeId, SrcRange, bool)>,
+    fn_extents: HashMap<FileId, Vec<(u32, u32, NodeId)>>,
+    defs_by_source: HashMap<String, Vec<NodeId>>,
+    files_by_source: HashMap<String, Vec<FileId>>,
+    modules: HashMap<String, NodeId>,
+    pending_bodies: Vec<PendingBody>,
+}
+
+/// A function body (or global initializer) deferred to phase B.
+struct PendingBody {
+    owner: NodeId,
+    params: Vec<(String, NodeId)>,
+    body: Vec<Stmt>,
+    file: FileId,
+    start_line: u32,
+    record_extent: bool,
+}
+
+impl Lowerer {
+    fn new() -> Lowerer {
+        Lowerer {
+            g: GraphStore::new(),
+            files: FileMap::new(),
+            file_nodes: HashMap::new(),
+            dir_nodes: HashMap::new(),
+            primitives: HashMap::new(),
+            records: HashMap::new(),
+            record_decls: HashMap::new(),
+            enums: HashMap::new(),
+            enumerators: HashMap::new(),
+            typedefs: HashMap::new(),
+            typedef_record: HashMap::new(),
+            functions: HashMap::new(),
+            function_decls: HashMap::new(),
+            globals: HashMap::new(),
+            global_decls: HashMap::new(),
+            macros: HashMap::new(),
+            fields: HashMap::new(),
+            fields_by_name: HashMap::new(),
+            node_record: HashMap::new(),
+            fn_types: HashMap::new(),
+            lowered: HashSet::new(),
+            include_edges: HashSet::new(),
+            macro_edges: HashSet::new(),
+            fn_extents: HashMap::new(),
+            defs_by_source: HashMap::new(),
+            files_by_source: HashMap::new(),
+            modules: HashMap::new(),
+            pending_bodies: Vec::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Filesystem
+    // ------------------------------------------------------------------
+
+    fn build_filesystem(&mut self, tree: &SourceTree) {
+        // Directory nodes with dir_contains chains.
+        for dir in tree.directories() {
+            let short = if dir.is_empty() {
+                "<root>".to_owned()
+            } else {
+                basename(&dir).to_owned()
+            };
+            let node = self.g.add_node(NodeType::Directory, &short);
+            if !dir.is_empty() {
+                self.g.set_node_name(node, &dir);
+            }
+            self.dir_nodes.insert(dir.clone(), node);
+        }
+        let dirs: Vec<String> = self.dir_nodes.keys().cloned().collect();
+        for dir in dirs {
+            if !dir.is_empty() {
+                let parent = crate::source::parent(&dir);
+                if let (Some(p), Some(c)) =
+                    (self.dir_nodes.get(&parent), self.dir_nodes.get(&dir))
+                {
+                    self.g.add_edge(*p, EdgeType::DirContains, *c);
+                }
+            }
+        }
+        // File nodes.
+        for (path, _) in tree.iter() {
+            let fid = self.files.id(path);
+            let node = self.g.add_node(NodeType::File, basename(path));
+            self.g.set_node_name(node, path);
+            self.file_nodes.insert(fid, node);
+            let dir = crate::source::parent(path);
+            if let Some(d) = self.dir_nodes.get(&dir) {
+                self.g.add_edge(*d, EdgeType::DirContains, node);
+            }
+        }
+    }
+
+    fn file_node(&mut self, fid: FileId) -> NodeId {
+        if let Some(n) = self.file_nodes.get(&fid) {
+            return *n;
+        }
+        let path = self
+            .files
+            .path(fid)
+            .map(str::to_owned)
+            .unwrap_or_else(|| format!("<file{}>", fid.0));
+        let node = self.g.add_node(NodeType::File, basename(&path));
+        self.g.set_node_name(node, &path);
+        self.file_nodes.insert(fid, node);
+        node
+    }
+
+    // ------------------------------------------------------------------
+    // Translation unit
+    // ------------------------------------------------------------------
+
+    fn lower_tu_decls(
+        &mut self,
+        source: &str,
+        tu: &TranslationUnit,
+        pp: &Preprocessed,
+    ) -> Result<(), ExtractError> {
+        self.files_by_source
+            .insert(source.to_owned(), pp.files.clone());
+        // Includes.
+        for inc in &pp.includes {
+            if self
+                .include_edges
+                .insert((inc.from, inc.to, inc.range.start.line))
+            {
+                let from = self.file_node(inc.from);
+                let to = self.file_node(inc.to);
+                let e = self.g.add_edge(from, EdgeType::Includes, to);
+                self.g.set_edge_use_range(e, inc.range);
+            }
+        }
+        // Macro definitions.
+        for m in &pp.macros {
+            let key = (
+                m.name_range.file.0,
+                m.name_range.start.line,
+                m.name_range.start.col,
+                kind::MACRO,
+            );
+            if self.lowered.insert(key) {
+                let node = self.g.add_node(NodeType::Macro, &m.name);
+                let file = self.file_node(m.file);
+                let e = self.g.add_edge(file, EdgeType::FileContains, node);
+                self.g.set_edge_name_range(e, m.name_range);
+                self.macros.insert(m.name.clone(), node);
+            } else if !self.macros.contains_key(&m.name) {
+                // Re-encountered from another TU: rebind the name.
+                // Find it by lookup later; store on first creation only.
+            }
+        }
+        // Top-level items.
+        let mut tu_defs = Vec::new();
+        for item in &tu.items {
+            self.lower_item(item, &mut tu_defs)?;
+        }
+        self.defs_by_source
+            .entry(source.to_owned())
+            .or_default()
+            .extend(tu_defs);
+        Ok(())
+    }
+
+    /// Phase B, step 1: walk the deferred function bodies / initializers.
+    fn lower_bodies(&mut self) {
+        for pb in std::mem::take(&mut self.pending_bodies) {
+            let mut ctx = FnCtx::new(pb.owner, pb.file);
+            for (name, node) in &pb.params {
+                ctx.bind(name, *node);
+            }
+            ctx.push_scope();
+            for s in &pb.body {
+                self.walk_stmt(&mut ctx, s);
+            }
+            ctx.pop_scope();
+            if pb.record_extent {
+                let end = ctx.max_line.max(pb.start_line);
+                self.fn_extents
+                    .entry(pb.file)
+                    .or_default()
+                    .push((pb.start_line, end, pb.owner));
+            }
+        }
+    }
+
+    /// Phase B, step 2: attribute macro expansions / interrogations to the
+    /// containing function (by extent) or file.
+    fn attach_macro_uses(&mut self, pp: &Preprocessed) {
+        let uses: Vec<(MacroUse, bool)> = pp
+            .expansions
+            .iter()
+            .map(|u| (u.clone(), true))
+            .chain(pp.interrogations.iter().map(|u| (u.clone(), false)))
+            .collect();
+        for (u, is_expansion) in uses {
+            let target = match self.macros.get(&u.name) {
+                Some(n) => *n,
+                None => {
+                    // Interrogating an undefined macro still produces a node.
+                    let node = self.g.add_node(NodeType::Macro, &u.name);
+                    self.macros.insert(u.name.clone(), node);
+                    node
+                }
+            };
+            let src = self.containing_entity(u.range);
+            if self
+                .macro_edges
+                .insert((src, target, u.range, is_expansion))
+            {
+                let ety = if is_expansion {
+                    EdgeType::ExpandsMacro
+                } else {
+                    EdgeType::InterrogatesMacro
+                };
+                let e = self.g.add_edge(src, ety, target);
+                self.g.set_edge_use_range(e, u.range);
+                self.g.set_edge_name_range(e, u.range);
+            }
+        }
+    }
+
+    /// The function whose extent covers `range`, else the file node.
+    fn containing_entity(&mut self, range: SrcRange) -> NodeId {
+        if let Some(extents) = self.fn_extents.get(&range.file) {
+            for (start, end, node) in extents {
+                if range.start.line >= *start && range.start.line <= *end {
+                    return *node;
+                }
+            }
+        }
+        self.file_node(range.file)
+    }
+
+    fn dedup(&mut self, tok: &Token, k: u8) -> bool {
+        self.lowered.insert((tok.file.0, tok.line, tok.col, k))
+    }
+
+    fn lower_item(
+        &mut self,
+        item: &TopLevel,
+        tu_defs: &mut Vec<NodeId>,
+    ) -> Result<(), ExtractError> {
+        match item {
+            TopLevel::RecordDef {
+                name,
+                is_union,
+                fields,
+                name_tok,
+            } => {
+                if !self.dedup(name_tok, kind::RECORD) {
+                    return Ok(());
+                }
+                let ty = if *is_union {
+                    NodeType::Union
+                } else {
+                    NodeType::Struct
+                };
+                let node = self.g.add_node(ty, name);
+                self.records.insert(name.clone(), node);
+                self.attach_to_file(node, name_tok);
+                for f in fields {
+                    let fnode = self.g.add_node(NodeType::Field, &f.name);
+                    self.g.set_node_name(fnode, &format!("{name}::{}", f.name));
+                    self.attach_to_file(fnode, &f.name_tok);
+                    let e = self.g.add_edge(node, EdgeType::Contains, fnode);
+                    self.g.set_edge_name_range(e, f.name_tok.range());
+                    self.isa_type(fnode, &f.ty, Some(f.name_tok.range()), f.bit_width);
+                    self.fields
+                        .insert((name.clone(), f.name.clone()), fnode);
+                    self.fields_by_name
+                        .entry(f.name.clone())
+                        .or_default()
+                        .push(fnode);
+                    if let Some(tag) = self.record_tag_of_type(&f.ty) {
+                        self.node_record.insert(fnode, tag);
+                    }
+                }
+            }
+            TopLevel::RecordDecl {
+                name,
+                is_union,
+                name_tok,
+            } => {
+                if !self.dedup(name_tok, kind::RECORD_DECL) {
+                    return Ok(());
+                }
+                let ty = if *is_union {
+                    NodeType::UnionDecl
+                } else {
+                    NodeType::StructDecl
+                };
+                let node = self.g.add_node(ty, name);
+                self.record_decls.insert(name.clone(), node);
+                self.attach_to_file(node, name_tok);
+                if let Some(def) = self.records.get(name) {
+                    self.g.add_edge(node, EdgeType::Declares, *def);
+                }
+            }
+            TopLevel::EnumDef {
+                name,
+                enumerators,
+                name_tok,
+            } => {
+                if !self.dedup(name_tok, kind::ENUM) {
+                    return Ok(());
+                }
+                let tag = name.clone().unwrap_or_else(|| "<anon enum>".to_owned());
+                let node = self.g.add_node(NodeType::EnumDef, &tag);
+                self.enums.insert(tag.clone(), node);
+                self.attach_to_file(node, name_tok);
+                let mut next = 0i64;
+                for (ename, value, etok) in enumerators {
+                    let v = value.unwrap_or(next);
+                    next = v + 1;
+                    let en = self.g.add_node(NodeType::Enumerator, ename);
+                    self.g.set_node_name(en, &format!("{tag}::{ename}"));
+                    self.attach_to_file(en, etok);
+                    self.g.set_node_prop(en, PropKey::Value, v);
+                    let e = self.g.add_edge(node, EdgeType::Contains, en);
+                    self.g.set_edge_name_range(e, etok.range());
+                    self.enumerators.insert(ename.clone(), en);
+                }
+            }
+            TopLevel::Typedef { name, ty, name_tok } => {
+                if !self.dedup(name_tok, kind::TYPEDEF) {
+                    return Ok(());
+                }
+                let node = self.g.add_node(NodeType::Typedef, name);
+                self.attach_to_file(node, name_tok);
+                self.isa_type(node, ty, Some(name_tok.range()), None);
+                self.typedefs.insert(name.clone(), node);
+                if let Some(tag) = self.record_tag_of_type(ty) {
+                    self.typedef_record.insert(name.clone(), tag);
+                }
+            }
+            TopLevel::Global {
+                name,
+                ty,
+                is_extern,
+                is_static,
+                init,
+                name_tok,
+            } => {
+                if !self.dedup(name_tok, kind::GLOBAL) {
+                    return Ok(());
+                }
+                let node = if *is_extern {
+                    let n = self.g.add_node(NodeType::GlobalDecl, name);
+                    self.global_decls.insert(name.clone(), n);
+                    n
+                } else {
+                    let n = self.g.add_node(NodeType::Global, name);
+                    self.globals.insert(name.clone(), n);
+                    if !is_static {
+                        tu_defs.push(n);
+                    }
+                    n
+                };
+                self.attach_to_file(node, name_tok);
+                self.isa_type(node, ty, Some(name_tok.range()), None);
+                if let Some(tag) = self.record_tag_of_type(ty) {
+                    self.node_record.insert(node, tag);
+                }
+                if let Some(e) = init {
+                    // Reference edges in initializers come from the global;
+                    // deferred so forward references resolve.
+                    self.pending_bodies.push(PendingBody {
+                        owner: node,
+                        params: Vec::new(),
+                        body: vec![Stmt::Expr(e.clone())],
+                        file: name_tok.file,
+                        start_line: name_tok.line,
+                        record_extent: false,
+                    });
+                }
+            }
+            TopLevel::FunctionDecl {
+                name,
+                ret,
+                params,
+                variadic,
+                name_tok,
+                ..
+            } => {
+                if !self.dedup(name_tok, kind::FUNCTION_DECL) {
+                    return Ok(());
+                }
+                let node = self.g.add_node(NodeType::FunctionDecl, name);
+                self.g
+                    .set_node_long_name(node, &signature(name, ret, params, *variadic));
+                if *variadic {
+                    self.g.set_node_prop(node, PropKey::Variadic, true);
+                }
+                self.attach_to_file(node, name_tok);
+                let ret_node = self.type_node(ret);
+                self.g.add_edge(node, EdgeType::HasRetType, ret_node);
+                for (i, p) in params.iter().enumerate() {
+                    let tnode = self.type_node(&p.ty);
+                    let e = self.g.add_edge(node, EdgeType::HasParamType, tnode);
+                    self.g.set_edge_prop(e, PropKey::Index, i as i64);
+                    self.type_use_props(e, &p.ty, None);
+                }
+                self.function_decls.insert(name.clone(), node);
+            }
+            TopLevel::FunctionDef {
+                name,
+                ret,
+                params,
+                variadic,
+                is_static,
+                body,
+                name_tok,
+            } => {
+                if !self.dedup(name_tok, kind::FUNCTION) {
+                    return Ok(());
+                }
+                let node = self.g.add_node(NodeType::Function, name);
+                self.g
+                    .set_node_long_name(node, &signature(name, ret, params, *variadic));
+                if *variadic {
+                    self.g.set_node_prop(node, PropKey::Variadic, true);
+                }
+                if name_tok.in_macro {
+                    self.g.set_node_prop(node, PropKey::InMacro, true);
+                }
+                self.attach_to_file(node, name_tok);
+                let ret_node = self.type_node(ret);
+                self.g.add_edge(node, EdgeType::HasRetType, ret_node);
+                let link_key = if *is_static {
+                    format!("{}#{name}", name_tok.file.0)
+                } else {
+                    name.clone()
+                };
+                self.functions.insert(link_key, node);
+                if !is_static {
+                    tu_defs.push(node);
+                }
+
+                let mut bindings = Vec::with_capacity(params.len());
+                for (i, p) in params.iter().enumerate() {
+                    let pname = p.name.clone().unwrap_or_else(|| format!("<arg{i}>"));
+                    let pn = self.g.add_node(NodeType::Parameter, &pname);
+                    self.g.set_node_name(pn, &format!("{name}::{pname}"));
+                    let e = self.g.add_edge(node, EdgeType::HasParam, pn);
+                    self.g.set_edge_prop(e, PropKey::Index, i as i64);
+                    if let Some(t) = &p.name_tok {
+                        self.g.set_edge_name_range(e, t.range());
+                    }
+                    self.isa_type(pn, &p.ty, p.name_tok.as_ref().map(|t| t.range()), None);
+                    if let Some(tag) = self.record_tag_of_type(&p.ty) {
+                        self.node_record.insert(pn, tag);
+                    }
+                    bindings.push((pname, pn));
+                }
+                self.pending_bodies.push(PendingBody {
+                    owner: node,
+                    params: bindings,
+                    body: body.clone(),
+                    file: name_tok.file,
+                    start_line: name_tok.line,
+                    record_extent: true,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn attach_to_file(&mut self, node: NodeId, name_tok: &Token) {
+        let file = self.file_node(name_tok.file);
+        let e = self.g.add_edge(file, EdgeType::FileContains, node);
+        self.g.set_edge_name_range(e, name_tok.range());
+        if name_tok.in_macro {
+            self.g.set_node_prop(node, PropKey::InMacro, true);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Types
+    // ------------------------------------------------------------------
+
+    fn primitive(&mut self, name: &str) -> NodeId {
+        if let Some(n) = self.primitives.get(name) {
+            return *n;
+        }
+        let n = self.g.add_node(NodeType::Primitive, name);
+        self.primitives.insert(name.to_owned(), n);
+        n
+    }
+
+    /// Resolves a type use to its node, creating implicit declarations for
+    /// unknown tags.
+    fn type_node(&mut self, ty: &TypeUse) -> NodeId {
+        match &ty.base {
+            BaseType::Void => self.primitive("void"),
+            BaseType::Primitive(p) => {
+                let name = if p.is_empty() { "int" } else { p.as_str() };
+                self.primitive(name)
+            }
+            BaseType::Struct(tag) | BaseType::Union(tag) => {
+                if let Some(n) = self.records.get(tag) {
+                    *n
+                } else if let Some(n) = self.record_decls.get(tag) {
+                    *n
+                } else {
+                    let nt = if matches!(ty.base, BaseType::Union(_)) {
+                        NodeType::UnionDecl
+                    } else {
+                        NodeType::StructDecl
+                    };
+                    let n = self.g.add_node(nt, tag);
+                    self.record_decls.insert(tag.clone(), n);
+                    n
+                }
+            }
+            BaseType::Enum(tag) => {
+                if let Some(n) = self.enums.get(tag) {
+                    *n
+                } else {
+                    let n = self.g.add_node(NodeType::EnumDef, tag);
+                    self.enums.insert(tag.clone(), n);
+                    n
+                }
+            }
+            BaseType::Named(name) => {
+                if let Some(n) = self.typedefs.get(name) {
+                    *n
+                } else {
+                    self.primitive(name)
+                }
+            }
+            BaseType::Function(ft) => {
+                let sig = fn_type_signature(ft);
+                if let Some(n) = self.fn_types.get(&sig) {
+                    return *n;
+                }
+                let n = self.g.add_node(NodeType::FunctionType, &sig);
+                self.fn_types.insert(sig, n);
+                let ret = self.type_node(&ft.ret);
+                self.g.add_edge(n, EdgeType::HasRetType, ret);
+                let params: Vec<NodeId> =
+                    ft.params.iter().map(|p| self.type_node(p)).collect();
+                for (i, p) in params.into_iter().enumerate() {
+                    let e = self.g.add_edge(n, EdgeType::HasParamType, p);
+                    self.g.set_edge_prop(e, PropKey::Index, i as i64);
+                }
+                n
+            }
+        }
+    }
+
+    /// Emits the `isa_type` edge with Table 2 properties.
+    fn isa_type(
+        &mut self,
+        from: NodeId,
+        ty: &TypeUse,
+        name_range: Option<SrcRange>,
+        bit_width: Option<i64>,
+    ) {
+        let tnode = self.type_node(ty);
+        let e = self.g.add_edge(from, EdgeType::IsaType, tnode);
+        if let Some(r) = name_range {
+            self.g.set_edge_name_range(e, r);
+            self.g.set_edge_use_range(e, r);
+        }
+        self.type_use_props(e, ty, bit_width);
+    }
+
+    fn type_use_props(
+        &mut self,
+        e: frappe_model::EdgeId,
+        ty: &TypeUse,
+        bit_width: Option<i64>,
+    ) {
+        if !ty.quals.is_empty() {
+            self.g
+                .set_edge_prop(e, PropKey::Qualifiers, ty.quals.encode());
+        }
+        if !ty.array_lens.is_empty() {
+            self.g.set_edge_prop(
+                e,
+                PropKey::ArrayLengths,
+                PropValue::IntList(ty.array_lens.clone()),
+            );
+        }
+        if let Some(bw) = bit_width {
+            self.g.set_edge_prop(e, PropKey::BitWidth, bw);
+        }
+    }
+
+    fn record_tag_of_type(&self, ty: &TypeUse) -> Option<String> {
+        match &ty.base {
+            BaseType::Struct(tag) | BaseType::Union(tag) => Some(tag.clone()),
+            BaseType::Named(n) => self.typedef_record.get(n).cloned(),
+            _ => None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Statements and expressions
+    // ------------------------------------------------------------------
+
+    fn walk_stmt(&mut self, ctx: &mut FnCtx, s: &Stmt) {
+        match s {
+            Stmt::Decl {
+                name,
+                ty,
+                is_static,
+                init,
+                name_tok,
+            } => {
+                let nt = if *is_static {
+                    NodeType::StaticLocal
+                } else {
+                    NodeType::Local
+                };
+                let node = self.g.add_node(nt, name);
+                let owner = self.g.node_short_name(ctx.fn_node).to_owned();
+                self.g.set_node_name(node, &format!("{owner}::{name}"));
+                let e = self.g.add_edge(ctx.fn_node, EdgeType::HasLocal, node);
+                self.g.set_edge_name_range(e, name_tok.range());
+                self.isa_type(node, ty, Some(name_tok.range()), None);
+                if let Some(tag) = self.record_tag_of_type(ty) {
+                    self.node_record.insert(node, tag);
+                }
+                ctx.bind(name, node);
+                ctx.see_line(name_tok.line);
+                if let Some(init) = init {
+                    // Initialization writes the variable.
+                    let w = self.g.add_edge(ctx.fn_node, EdgeType::Writes, node);
+                    self.g.set_edge_use_range(w, init.range);
+                    self.g.set_edge_name_range(w, name_tok.range());
+                    self.walk_expr(ctx, init, Mode::Read);
+                }
+            }
+            Stmt::Expr(e) => self.walk_expr(ctx, e, Mode::Read),
+            Stmt::Return(e) => {
+                if let Some(e) = e {
+                    self.walk_expr(ctx, e, Mode::Read);
+                }
+            }
+            Stmt::If { cond, then, els } => {
+                self.walk_expr(ctx, cond, Mode::Read);
+                self.scoped(ctx, then);
+                if let Some(els) = els {
+                    self.scoped(ctx, els);
+                }
+            }
+            Stmt::While { cond, body } => {
+                self.walk_expr(ctx, cond, Mode::Read);
+                self.scoped(ctx, body);
+            }
+            Stmt::DoWhile { body, cond } => {
+                self.scoped(ctx, body);
+                self.walk_expr(ctx, cond, Mode::Read);
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                ctx.push_scope();
+                if let Some(init) = init {
+                    self.walk_stmt(ctx, init);
+                }
+                if let Some(cond) = cond {
+                    self.walk_expr(ctx, cond, Mode::Read);
+                }
+                if let Some(step) = step {
+                    self.walk_expr(ctx, step, Mode::Read);
+                }
+                self.walk_stmt(ctx, body);
+                ctx.pop_scope();
+            }
+            Stmt::Switch { expr, cases } => {
+                self.walk_expr(ctx, expr, Mode::Read);
+                for (label, body) in cases {
+                    if let Some(l) = label {
+                        self.walk_expr(ctx, l, Mode::Read);
+                    }
+                    ctx.push_scope();
+                    for s in body {
+                        self.walk_stmt(ctx, s);
+                    }
+                    ctx.pop_scope();
+                }
+            }
+            Stmt::Block(stmts) => {
+                ctx.push_scope();
+                for s in stmts {
+                    self.walk_stmt(ctx, s);
+                }
+                ctx.pop_scope();
+            }
+            Stmt::Label(_, inner) => self.walk_stmt(ctx, inner),
+            Stmt::Break | Stmt::Continue | Stmt::Goto(_) | Stmt::Empty => {}
+        }
+    }
+
+    fn scoped(&mut self, ctx: &mut FnCtx, s: &Stmt) {
+        ctx.push_scope();
+        self.walk_stmt(ctx, s);
+        ctx.pop_scope();
+    }
+
+    fn walk_expr(&mut self, ctx: &mut FnCtx, e: &Expr, mode: Mode) {
+        ctx.see_line(e.range.end.line);
+        match &e.kind {
+            ExprKind::Ident(tok) => self.ident_use(ctx, tok, e.range, mode),
+            ExprKind::IntLit(_)
+            | ExprKind::FloatLit(_)
+            | ExprKind::StrLit(_)
+            | ExprKind::CharLit(_) => {}
+            ExprKind::Call { callee, args } => {
+                if let Some(tok) = callee.as_ident() {
+                    let target = self.resolve_callee(ctx, tok);
+                    let edge = self.g.add_edge(ctx.fn_node, EdgeType::Calls, target);
+                    self.g.set_edge_use_range(edge, e.range);
+                    self.g.set_edge_name_range(edge, tok.range());
+                } else {
+                    // Indirect call through an expression (fn pointer).
+                    self.walk_expr(ctx, callee, Mode::Read);
+                }
+                for a in args {
+                    self.walk_expr(ctx, a, Mode::Read);
+                }
+            }
+            ExprKind::Member {
+                base,
+                field,
+                arrow,
+                field_tok,
+            } => {
+                if let Some(fnode) = self.resolve_field(ctx, base, field) {
+                    let kinds: &[EdgeType] = match mode {
+                        Mode::Read => &[EdgeType::ReadsMember],
+                        Mode::Write(_) => &[EdgeType::WritesMember],
+                        Mode::ReadWrite(_) => {
+                            &[EdgeType::ReadsMember, EdgeType::WritesMember]
+                        }
+                        Mode::AddrOf(_) => &[EdgeType::TakesAddressOfMember],
+                    };
+                    for k in kinds {
+                        let use_range = match (k, mode) {
+                            (EdgeType::WritesMember, Mode::Write(r) | Mode::ReadWrite(r)) => r,
+                            (EdgeType::TakesAddressOfMember, Mode::AddrOf(r)) => r,
+                            _ => e.range,
+                        };
+                        let edge = self.g.add_edge(ctx.fn_node, *k, fnode);
+                        self.g.set_edge_use_range(edge, use_range);
+                        self.g.set_edge_name_range(edge, field_tok.range());
+                    }
+                    if *arrow {
+                        let edge =
+                            self.g
+                                .add_edge(ctx.fn_node, EdgeType::DereferencesMember, fnode);
+                        self.g.set_edge_use_range(edge, e.range);
+                        self.g.set_edge_name_range(edge, field_tok.range());
+                    }
+                }
+                // The base variable itself is read (and dereferenced by ->).
+                self.walk_expr(ctx, base, Mode::Read);
+                if *arrow {
+                    if let Some(btok) = base.as_ident() {
+                        if let Some(bnode) = self.resolve_var(ctx, btok.ident().expect("ident"))
+                        {
+                            let edge =
+                                self.g.add_edge(ctx.fn_node, EdgeType::Dereferences, bnode);
+                            self.g.set_edge_use_range(edge, e.range);
+                            self.g.set_edge_name_range(edge, btok.range());
+                        }
+                    }
+                }
+            }
+            ExprKind::Index { base, index } => {
+                self.walk_expr(ctx, base, mode);
+                self.walk_expr(ctx, index, Mode::Read);
+            }
+            ExprKind::Unary { op, expr } => match op {
+                UnOp::Deref => {
+                    if let Some(tok) = expr.as_ident() {
+                        if let Some(node) = self.resolve_var(ctx, tok.ident().expect("ident")) {
+                            let edge =
+                                self.g.add_edge(ctx.fn_node, EdgeType::Dereferences, node);
+                            self.g.set_edge_use_range(edge, e.range);
+                            self.g.set_edge_name_range(edge, tok.range());
+                        }
+                    }
+                    self.walk_expr(ctx, expr, Mode::Read);
+                }
+                UnOp::AddrOf => self.walk_expr(ctx, expr, Mode::AddrOf(e.range)),
+                UnOp::PreInc | UnOp::PreDec => self.walk_expr(ctx, expr, Mode::ReadWrite(e.range)),
+                _ => self.walk_expr(ctx, expr, Mode::Read),
+            },
+            ExprKind::PostIncDec { expr, .. } => {
+                self.walk_expr(ctx, expr, Mode::ReadWrite(e.range))
+            }
+            ExprKind::Binary { lhs, rhs, .. } => {
+                self.walk_expr(ctx, lhs, Mode::Read);
+                self.walk_expr(ctx, rhs, Mode::Read);
+            }
+            ExprKind::Assign { lhs, rhs, op } => {
+                let m = if op.is_some() {
+                    Mode::ReadWrite(e.range)
+                } else {
+                    Mode::Write(e.range)
+                };
+                self.walk_expr(ctx, lhs, m);
+                self.walk_expr(ctx, rhs, Mode::Read);
+            }
+            ExprKind::Cast { ty, expr } => {
+                let tnode = self.type_node(ty);
+                let edge = self.g.add_edge(ctx.fn_node, EdgeType::CastsTo, tnode);
+                self.g.set_edge_use_range(edge, e.range);
+                self.type_use_props(edge, ty, None);
+                self.walk_expr(ctx, expr, Mode::Read);
+            }
+            ExprKind::SizeofType(ty) => {
+                let tnode = self.type_node(ty);
+                let edge = self.g.add_edge(ctx.fn_node, EdgeType::GetsSizeOf, tnode);
+                self.g.set_edge_use_range(edge, e.range);
+            }
+            ExprKind::AlignofType(ty) => {
+                let tnode = self.type_node(ty);
+                let edge = self.g.add_edge(ctx.fn_node, EdgeType::GetsAlignOf, tnode);
+                self.g.set_edge_use_range(edge, e.range);
+            }
+            ExprKind::SizeofExpr(inner) => self.walk_expr(ctx, inner, Mode::Read),
+            ExprKind::Ternary { cond, then, els } => {
+                self.walk_expr(ctx, cond, Mode::Read);
+                self.walk_expr(ctx, then, Mode::Read);
+                self.walk_expr(ctx, els, Mode::Read);
+            }
+            ExprKind::Comma(a, b) => {
+                self.walk_expr(ctx, a, Mode::Read);
+                self.walk_expr(ctx, b, mode);
+            }
+            ExprKind::InitList(items) => {
+                for i in items {
+                    self.walk_expr(ctx, i, Mode::Read);
+                }
+            }
+        }
+    }
+
+    fn ident_use(&mut self, ctx: &mut FnCtx, tok: &Token, expr_range: SrcRange, mode: Mode) {
+        let name = tok.ident().expect("ident token");
+        // Enumerator constants.
+        if let Some(en) = self.enumerators.get(name) {
+            let edge = self.g.add_edge(ctx.fn_node, EdgeType::UsesEnumerator, *en);
+            self.g.set_edge_use_range(edge, expr_range);
+            self.g.set_edge_name_range(edge, tok.range());
+            return;
+        }
+        // A bare function name: its address is taken. Static functions in
+        // the same file shadow external ones (same rule as calls).
+        let static_key = format!("{}#{name}", tok.file.0);
+        if let Some(f) = self
+            .functions
+            .get(&static_key)
+            .or_else(|| self.functions.get(name))
+            .or_else(|| self.function_decls.get(name))
+        {
+            let edge = self.g.add_edge(ctx.fn_node, EdgeType::TakesAddressOf, *f);
+            self.g.set_edge_use_range(edge, expr_range);
+            self.g.set_edge_name_range(edge, tok.range());
+            return;
+        }
+        let Some(node) = self.resolve_var_or_implicit(ctx, tok) else {
+            return;
+        };
+        let kinds: &[EdgeType] = match mode {
+            Mode::Read => &[EdgeType::Reads],
+            Mode::Write(_) => &[EdgeType::Writes],
+            Mode::ReadWrite(_) => &[EdgeType::Reads, EdgeType::Writes],
+            Mode::AddrOf(_) => &[EdgeType::TakesAddressOf],
+        };
+        for k in kinds {
+            let use_range = match (k, mode) {
+                (EdgeType::Writes, Mode::Write(r) | Mode::ReadWrite(r)) => r,
+                (EdgeType::TakesAddressOf, Mode::AddrOf(r)) => r,
+                _ => expr_range,
+            };
+            let edge = self.g.add_edge(ctx.fn_node, *k, node);
+            self.g.set_edge_use_range(edge, use_range);
+            self.g.set_edge_name_range(edge, tok.range());
+        }
+    }
+
+    fn resolve_var(&self, ctx: &FnCtx, name: &str) -> Option<NodeId> {
+        ctx.lookup(name)
+            .or_else(|| self.globals.get(name).copied())
+            .or_else(|| self.global_decls.get(name).copied())
+    }
+
+    fn resolve_var_or_implicit(&mut self, ctx: &FnCtx, tok: &Token) -> Option<NodeId> {
+        let name = tok.ident().expect("ident token");
+        if let Some(n) = self.resolve_var(ctx, name) {
+            return Some(n);
+        }
+        // Unknown identifier: an undeclared global (common in partial
+        // codebases) — create an implicit global_decl node.
+        let n = self.g.add_node(NodeType::GlobalDecl, name);
+        self.attach_to_file(n, tok);
+        self.global_decls.insert(name.to_owned(), n);
+        Some(n)
+    }
+
+    fn resolve_callee(&mut self, ctx: &FnCtx, tok: &Token) -> NodeId {
+        let name = tok.ident().expect("ident token");
+        // A local function pointer shadows global functions.
+        if let Some(n) = ctx.lookup(name) {
+            return n;
+        }
+        // Static functions in the same file shadow external ones.
+        let static_key = format!("{}#{name}", tok.file.0);
+        if let Some(n) = self.functions.get(&static_key) {
+            return *n;
+        }
+        if let Some(n) = self.functions.get(name) {
+            return *n;
+        }
+        if let Some(n) = self.function_decls.get(name) {
+            return *n;
+        }
+        if let Some(n) = self.globals.get(name).or_else(|| self.global_decls.get(name)) {
+            // Calling through a global function pointer.
+            return *n;
+        }
+        // Undeclared function (C89 implicit declaration).
+        let n = self.g.add_node(NodeType::FunctionDecl, name);
+        self.attach_to_file(n, tok);
+        self.function_decls.insert(name.to_owned(), n);
+        n
+    }
+
+    fn resolve_field(&mut self, ctx: &FnCtx, base: &Expr, field: &str) -> Option<NodeId> {
+        if let Some(tag) = self.infer_record(ctx, base) {
+            if let Some(n) = self.fields.get(&(tag.clone(), field.to_owned())) {
+                return Some(*n);
+            }
+        }
+        // Fallback: resolve by field name when unambiguous.
+        match self.fields_by_name.get(field).map(Vec::as_slice) {
+            Some([only]) => Some(*only),
+            Some([first, ..]) => Some(*first),
+            _ => None,
+        }
+    }
+
+    fn infer_record(&self, ctx: &FnCtx, e: &Expr) -> Option<String> {
+        match &e.kind {
+            ExprKind::Ident(tok) => {
+                let node = self.resolve_var(ctx, tok.ident()?)?;
+                self.node_record.get(&node).cloned()
+            }
+            ExprKind::Member { base, field, .. } => {
+                let tag = self.infer_record(ctx, base)?;
+                let fnode = self.fields.get(&(tag, field.clone()))?;
+                self.node_record.get(fnode).cloned()
+            }
+            ExprKind::Index { base, .. }
+            | ExprKind::Unary { expr: base, .. }
+            | ExprKind::PostIncDec { expr: base, .. } => self.infer_record(ctx, base),
+            ExprKind::Cast { ty, .. } => self.record_tag_of_type(ty),
+            _ => None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Link step
+    // ------------------------------------------------------------------
+
+    fn link(&mut self, db: &CompileDb) -> Result<(), ExtractError> {
+        // Object modules.
+        for c in &db.compiles {
+            let m = self.g.add_node(NodeType::Module, &c.object);
+            self.modules.insert(c.object.clone(), m);
+            // The module is compiled from every file of the translation
+            // unit — entry source *and* headers — so the Figure 3 module
+            // closure reaches header-declared entities.
+            for fid in self
+                .files_by_source
+                .get(&c.source)
+                .cloned()
+                .unwrap_or_default()
+            {
+                let fnode = self.file_node(fid);
+                self.g.add_edge(m, EdgeType::CompiledFrom, fnode);
+            }
+            for def in self
+                .defs_by_source
+                .get(&c.source)
+                .cloned()
+                .unwrap_or_default()
+            {
+                self.g.add_edge(m, EdgeType::LinkDeclares, def);
+            }
+        }
+        // Linked modules.
+        for l in &db.links {
+            let m = self.g.add_node(NodeType::Module, &l.output);
+            self.modules.insert(l.output.clone(), m);
+            for (order, input) in l.inputs.iter().enumerate() {
+                if input.ends_with(".c") {
+                    let norm = crate::source::normalize(input);
+                    for fid in self
+                        .files_by_source
+                        .get(&norm)
+                        .cloned()
+                        .unwrap_or_default()
+                    {
+                        let fnode = self.file_node(fid);
+                        self.g.add_edge(m, EdgeType::CompiledFrom, fnode);
+                    }
+                    for def in self
+                        .defs_by_source
+                        .get(&norm)
+                        .cloned()
+                        .unwrap_or_default()
+                    {
+                        self.g.add_edge(m, EdgeType::LinkDeclares, def);
+                    }
+                } else if let Some(obj) = self.modules.get(input) {
+                    let e = self.g.add_edge(m, EdgeType::LinkedFrom, *obj);
+                    self.g.set_edge_prop(e, PropKey::LinkOrder, order as i64);
+                }
+            }
+            for lib in &l.libs {
+                let libnode = if let Some(n) = self.modules.get(lib) {
+                    *n
+                } else {
+                    let n = self.g.add_node(NodeType::Module, lib);
+                    self.modules.insert(lib.clone(), n);
+                    n
+                };
+                self.g.add_edge(m, EdgeType::LinkedFromLib, libnode);
+            }
+        }
+        // Declaration ↔ definition matching.
+        let decl_defs: Vec<(NodeId, NodeId)> = self
+            .function_decls
+            .iter()
+            .filter_map(|(name, decl)| self.functions.get(name).map(|def| (*decl, *def)))
+            .chain(
+                self.global_decls
+                    .iter()
+                    .filter_map(|(name, decl)| self.globals.get(name).map(|def| (*decl, *def))),
+            )
+            .collect();
+        for (decl, def) in decl_defs {
+            self.g.add_edge(decl, EdgeType::LinkMatches, def);
+        }
+        Ok(())
+    }
+}
+
+/// Per-function lowering context.
+struct FnCtx {
+    fn_node: NodeId,
+    scopes: Vec<HashMap<String, NodeId>>,
+    max_line: u32,
+    #[allow(dead_code)]
+    file: FileId,
+}
+
+impl FnCtx {
+    fn new(fn_node: NodeId, file: FileId) -> FnCtx {
+        FnCtx {
+            fn_node,
+            scopes: vec![HashMap::new()],
+            max_line: 0,
+            file,
+        }
+    }
+
+    fn push_scope(&mut self) {
+        self.scopes.push(HashMap::new());
+    }
+
+    fn pop_scope(&mut self) {
+        self.scopes.pop();
+    }
+
+    fn bind(&mut self, name: &str, node: NodeId) {
+        self.scopes
+            .last_mut()
+            .expect("scope stack never empty")
+            .insert(name.to_owned(), node);
+    }
+
+    fn lookup(&self, name: &str) -> Option<NodeId> {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|s| s.get(name).copied())
+    }
+
+    fn see_line(&mut self, line: u32) {
+        self.max_line = self.max_line.max(line);
+    }
+}
+
+fn signature(name: &str, ret: &TypeUse, params: &[ParamDecl], variadic: bool) -> String {
+    let mut s = format!("{} {name}(", ret.base.display());
+    for (i, p) in params.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&p.ty.base.display());
+        let q = p.ty.quals.encode();
+        if !q.is_empty() {
+            s.push(' ');
+            s.push_str(&q);
+        }
+    }
+    if variadic {
+        if !params.is_empty() {
+            s.push_str(", ");
+        }
+        s.push_str("...");
+    }
+    s.push(')');
+    s
+}
+
+fn fn_type_signature(ft: &FuncType) -> String {
+    let mut s = format!("{} (*)(", ft.ret.base.display());
+    for (i, p) in ft.params.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&p.base.display());
+    }
+    if ft.variadic {
+        s.push_str(", ...");
+    }
+    s.push(')');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frappe_model::Label;
+    use frappe_store::{NameField, NamePattern};
+
+    fn extract(files: &[(&str, &str)], db: CompileDb) -> ExtractOutput {
+        let mut tree = SourceTree::new();
+        for (p, c) in files {
+            tree.add_file(p, c);
+        }
+        let mut out = Extractor::new().extract(&tree, &db).unwrap();
+        out.graph.freeze();
+        out
+    }
+
+    fn figure2() -> ExtractOutput {
+        extract(
+            &[
+                ("foo.h", "int bar(int);\n"),
+                ("foo.c", "#include \"foo.h\"\nint bar(int input) { return input; }\n"),
+                (
+                    "main.c",
+                    "#include \"foo.h\"\nint main(int argc, char **argv) { return bar(argc); }\n",
+                ),
+            ],
+            CompileDb::figure2(),
+        )
+    }
+
+    fn find(out: &ExtractOutput, ty: NodeType, name: &str) -> NodeId {
+        out.graph
+            .lookup_name(NameField::ShortName, &NamePattern::exact(name))
+            .unwrap()
+            .into_iter()
+            .find(|n| out.graph.node_type(*n) == ty)
+            .unwrap_or_else(|| panic!("no {ty:?} named {name}"))
+    }
+
+    #[test]
+    fn figure2_nodes_exist() {
+        let out = figure2();
+        let g = &out.graph;
+        for (ty, name) in [
+            (NodeType::Module, "prog"),
+            (NodeType::Module, "foo.o"),
+            (NodeType::File, "main.c"),
+            (NodeType::File, "foo.c"),
+            (NodeType::File, "foo.h"),
+            (NodeType::Function, "main"),
+            (NodeType::Function, "bar"),
+            (NodeType::FunctionDecl, "bar"),
+            (NodeType::Parameter, "argv"),
+            (NodeType::Parameter, "argc"),
+            (NodeType::Parameter, "input"),
+            (NodeType::Primitive, "char"),
+            (NodeType::Primitive, "int"),
+        ] {
+            let _ = find(&out, ty, name);
+        }
+        assert!(g.node_count() >= 13);
+    }
+
+    #[test]
+    fn figure2_edges_exist() {
+        let out = figure2();
+        let g = &out.graph;
+        let prog = find(&out, NodeType::Module, "prog");
+        let foo_o = find(&out, NodeType::Module, "foo.o");
+        let main_c = find(&out, NodeType::File, "main.c");
+        let foo_c = find(&out, NodeType::File, "foo.c");
+        let foo_h = find(&out, NodeType::File, "foo.h");
+        let main_fn = find(&out, NodeType::Function, "main");
+        let bar = find(&out, NodeType::Function, "bar");
+        let bar_decl = find(&out, NodeType::FunctionDecl, "bar");
+
+        // prog -compiled_from-> main.c, prog -linked_from-> foo.o.
+        assert!(g.out_neighbors(prog, Some(EdgeType::CompiledFrom)).any(|n| n == main_c));
+        assert!(g.out_neighbors(prog, Some(EdgeType::LinkedFrom)).any(|n| n == foo_o));
+        // foo.o -compiled_from-> foo.c.
+        assert!(g.out_neighbors(foo_o, Some(EdgeType::CompiledFrom)).any(|n| n == foo_c));
+        // main.c/foo.c -includes-> foo.h.
+        assert!(g.out_neighbors(main_c, Some(EdgeType::Includes)).any(|n| n == foo_h));
+        assert!(g.out_neighbors(foo_c, Some(EdgeType::Includes)).any(|n| n == foo_h));
+        // main -calls-> bar.
+        assert!(g.out_neighbors(main_fn, Some(EdgeType::Calls)).any(|n| n == bar));
+        // decl matches def.
+        assert!(g.out_neighbors(bar_decl, Some(EdgeType::LinkMatches)).any(|n| n == bar));
+        // LINK_ORDER on the linked_from edge.
+        let lf = g.out_edges(prog, Some(EdgeType::LinkedFrom)).next().unwrap();
+        assert_eq!(g.edge_prop(lf, PropKey::Index), None);
+        assert!(g.edge_prop(lf, PropKey::LinkOrder).is_some());
+    }
+
+    #[test]
+    fn figure2_argv_isa_char_with_double_pointer() {
+        let out = figure2();
+        let g = &out.graph;
+        let argv = find(&out, NodeType::Parameter, "argv");
+        let ch = find(&out, NodeType::Primitive, "char");
+        let e = g
+            .out_edges(argv, Some(EdgeType::IsaType))
+            .find(|e| g.edge_dst(*e) == ch)
+            .expect("argv isa_type char");
+        // The paper: "the edge isa_type from argv to char makes use of the
+        // QUALIFIER ** to denote the correct signature".
+        assert_eq!(
+            g.edge_prop(e, PropKey::Qualifiers),
+            Some(PropValue::from("**"))
+        );
+    }
+
+    #[test]
+    fn call_resolves_to_definition_not_decl() {
+        let out = figure2();
+        let g = &out.graph;
+        let main_fn = find(&out, NodeType::Function, "main");
+        let callee = g
+            .out_neighbors(main_fn, Some(EdgeType::Calls))
+            .next()
+            .unwrap();
+        assert_eq!(g.node_type(callee), NodeType::Function);
+    }
+
+    #[test]
+    fn calls_edge_ranges() {
+        let out = figure2();
+        let g = &out.graph;
+        let main_fn = find(&out, NodeType::Function, "main");
+        let e = g.out_edges(main_fn, Some(EdgeType::Calls)).next().unwrap();
+        let use_r = g.edge_use_range(e).unwrap();
+        let name_r = g.edge_name_range(e).unwrap();
+        // `bar(argc)` on line 2 of main.c; name token is `bar` (3 cols).
+        assert_eq!(use_r.start.line, 2);
+        assert_eq!(name_r.end.col - name_r.start.col + 1, 3);
+        // The use range covers the whole call site.
+        assert!(use_r.end.col > name_r.end.col);
+    }
+
+    #[test]
+    fn header_entities_dedup_across_tus() {
+        let out = figure2();
+        let g = &out.graph;
+        // foo.h is included by both TUs, but there is exactly one decl node.
+        let decls = g
+            .lookup_name(NameField::ShortName, &NamePattern::exact("bar"))
+            .unwrap()
+            .into_iter()
+            .filter(|n| g.node_type(*n) == NodeType::FunctionDecl)
+            .count();
+        assert_eq!(decls, 1);
+    }
+
+    #[test]
+    fn reads_writes_members_and_derefs() {
+        let out = extract(
+            &[(
+                "sr.c",
+                "struct packet_command { char *cmd; int len; };\n\
+                 struct packet_command pc;\n\
+                 int g;\n\
+                 void sr_media_change(struct packet_command *p) {\n\
+                     p->cmd = 0;\n\
+                     g = p->len;\n\
+                     g += 2;\n\
+                 }\n",
+            )],
+            {
+                let mut db = CompileDb::new();
+                db.compile("sr.c", "sr.o");
+                db
+            },
+        );
+        let g = &out.graph;
+        let f = find(&out, NodeType::Function, "sr_media_change");
+        let cmd = find(&out, NodeType::Field, "cmd");
+        let len = find(&out, NodeType::Field, "len");
+        let gv = find(&out, NodeType::Global, "g");
+        assert!(g.out_neighbors(f, Some(EdgeType::WritesMember)).any(|n| n == cmd));
+        assert!(g.out_neighbors(f, Some(EdgeType::ReadsMember)).any(|n| n == len));
+        assert!(g.out_neighbors(f, Some(EdgeType::DereferencesMember)).any(|n| n == cmd));
+        assert!(g.out_neighbors(f, Some(EdgeType::Writes)).any(|n| n == gv));
+        // g += 2 both reads and writes g.
+        assert!(g.out_neighbors(f, Some(EdgeType::Reads)).any(|n| n == gv));
+        // Field NAME is qualified.
+        assert_eq!(g.node_name(cmd), "packet_command::cmd");
+    }
+
+    #[test]
+    fn enumerators_and_uses() {
+        let out = extract(
+            &[(
+                "e.c",
+                "enum state { IDLE, BUSY = 5, DONE };\n\
+                 int f(void) { return BUSY + DONE; }\n",
+            )],
+            {
+                let mut db = CompileDb::new();
+                db.compile("e.c", "e.o");
+                db
+            },
+        );
+        let g = &out.graph;
+        let busy = find(&out, NodeType::Enumerator, "BUSY");
+        let done = find(&out, NodeType::Enumerator, "DONE");
+        assert_eq!(g.node_prop(busy, PropKey::Value), Some(PropValue::Int(5)));
+        assert_eq!(g.node_prop(done, PropKey::Value), Some(PropValue::Int(6)));
+        let idle = find(&out, NodeType::Enumerator, "IDLE");
+        assert_eq!(g.node_prop(idle, PropKey::Value), Some(PropValue::Int(0)));
+        let f = find(&out, NodeType::Function, "f");
+        let used: Vec<NodeId> = g
+            .out_neighbors(f, Some(EdgeType::UsesEnumerator))
+            .collect();
+        assert!(used.contains(&busy) && used.contains(&done));
+    }
+
+    #[test]
+    fn macros_expansions_and_interrogations() {
+        let out = extract(
+            &[(
+                "m.c",
+                "#define LIMIT 10\n\
+                 #define DOUBLE(x) ((x) * 2)\n\
+                 #ifdef CONFIG_SMP\n\
+                 int smp;\n\
+                 #endif\n\
+                 int f(int v) { return DOUBLE(v) + LIMIT; }\n",
+            )],
+            {
+                let mut db = CompileDb::new();
+                db.compile("m.c", "m.o");
+                db
+            },
+        );
+        let g = &out.graph;
+        let f = find(&out, NodeType::Function, "f");
+        let limit = find(&out, NodeType::Macro, "LIMIT");
+        let double = find(&out, NodeType::Macro, "DOUBLE");
+        let smp = find(&out, NodeType::Macro, "CONFIG_SMP");
+        assert!(g.out_neighbors(f, Some(EdgeType::ExpandsMacro)).any(|n| n == limit));
+        assert!(g.out_neighbors(f, Some(EdgeType::ExpandsMacro)).any(|n| n == double));
+        // The #ifdef is at file level.
+        let m_c = find(&out, NodeType::File, "m.c");
+        assert!(g.out_neighbors(m_c, Some(EdgeType::InterrogatesMacro)).any(|n| n == smp));
+    }
+
+    #[test]
+    fn locals_params_statics_and_labels() {
+        let out = extract(
+            &[(
+                "l.c",
+                "int f(int n) {\n\
+                     static int counter;\n\
+                     int local = n;\n\
+                     counter++;\n\
+                     return local;\n\
+                 }\n",
+            )],
+            {
+                let mut db = CompileDb::new();
+                db.compile("l.c", "l.o");
+                db
+            },
+        );
+        let g = &out.graph;
+        let f = find(&out, NodeType::Function, "f");
+        let counter = find(&out, NodeType::StaticLocal, "counter");
+        let local = find(&out, NodeType::Local, "local");
+        let n = find(&out, NodeType::Parameter, "n");
+        assert!(g.out_neighbors(f, Some(EdgeType::HasLocal)).any(|x| x == counter));
+        assert!(g.out_neighbors(f, Some(EdgeType::HasLocal)).any(|x| x == local));
+        assert!(g.out_neighbors(f, Some(EdgeType::HasParam)).any(|x| x == n));
+        // counter++ reads and writes.
+        assert!(g.out_neighbors(f, Some(EdgeType::Writes)).any(|x| x == counter));
+        assert!(g.out_neighbors(f, Some(EdgeType::Reads)).any(|x| x == counter));
+        // Labels: local carries the grouped `variable` label.
+        assert!(g.node_labels(local).contains(Label::Variable));
+    }
+
+    #[test]
+    fn casts_sizeof_addressof() {
+        let out = extract(
+            &[(
+                "c.c",
+                "struct pc { int x; };\n\
+                 int f(void *v) {\n\
+                     struct pc *p = (struct pc *) v;\n\
+                     int n = sizeof(struct pc);\n\
+                     int *q = &n;\n\
+                     int m = *q;\n\
+                     return p->x + n + m;\n\
+                 }\n",
+            )],
+            {
+                let mut db = CompileDb::new();
+                db.compile("c.c", "c.o");
+                db
+            },
+        );
+        let g = &out.graph;
+        let f = find(&out, NodeType::Function, "f");
+        let pc = find(&out, NodeType::Struct, "pc");
+        assert!(g.out_neighbors(f, Some(EdgeType::CastsTo)).any(|n| n == pc));
+        assert!(g.out_neighbors(f, Some(EdgeType::GetsSizeOf)).any(|n| n == pc));
+        let n = find(&out, NodeType::Local, "n");
+        assert!(g.out_neighbors(f, Some(EdgeType::TakesAddressOf)).any(|x| x == n));
+        let q = find(&out, NodeType::Local, "q");
+        assert!(g.out_neighbors(f, Some(EdgeType::Dereferences)).any(|x| x == q));
+    }
+
+    #[test]
+    fn directory_structure() {
+        let out = extract(
+            &[
+                ("drivers/scsi/sr.c", "int sr;\n"),
+                ("drivers/net/e100.c", "int e100;\n"),
+            ],
+            {
+                let mut db = CompileDb::new();
+                db.compile("drivers/scsi/sr.c", "sr.o");
+                db.compile("drivers/net/e100.c", "e100.o");
+                db
+            },
+        );
+        let g = &out.graph;
+        let drivers = find(&out, NodeType::Directory, "drivers");
+        let scsi = find(&out, NodeType::Directory, "scsi");
+        assert!(g.out_neighbors(drivers, Some(EdgeType::DirContains)).any(|n| n == scsi));
+        let sr_c = find(&out, NodeType::File, "sr.c");
+        assert!(g.out_neighbors(scsi, Some(EdgeType::DirContains)).any(|n| n == sr_c));
+        assert_eq!(g.node_name(sr_c), "drivers/scsi/sr.c");
+    }
+
+    #[test]
+    fn static_function_shadows_external() {
+        let out = extract(
+            &[
+                ("a.c", "static int helper(void) { return 1; }\nint fa(void) { return helper(); }\n"),
+                ("b.c", "int helper(void) { return 2; }\nint fb(void) { return helper(); }\n"),
+            ],
+            {
+                let mut db = CompileDb::new();
+                db.compile("a.c", "a.o");
+                db.compile("b.c", "b.o");
+                db
+            },
+        );
+        let g = &out.graph;
+        let fa = find(&out, NodeType::Function, "fa");
+        let fb = find(&out, NodeType::Function, "fb");
+        let a_target = g.out_neighbors(fa, Some(EdgeType::Calls)).next().unwrap();
+        let b_target = g.out_neighbors(fb, Some(EdgeType::Calls)).next().unwrap();
+        assert_ne!(a_target, b_target);
+    }
+
+    #[test]
+    fn typedef_chain_resolves_members() {
+        let out = extract(
+            &[(
+                "t.c",
+                "struct msg { int id; };\n\
+                 typedef struct msg msg_t;\n\
+                 int get_id(msg_t *m) { return m->id; }\n",
+            )],
+            {
+                let mut db = CompileDb::new();
+                db.compile("t.c", "t.o");
+                db
+            },
+        );
+        let g = &out.graph;
+        let f = find(&out, NodeType::Function, "get_id");
+        let id = find(&out, NodeType::Field, "id");
+        assert!(g.out_neighbors(f, Some(EdgeType::ReadsMember)).any(|n| n == id));
+        let td = find(&out, NodeType::Typedef, "msg_t");
+        let s = find(&out, NodeType::Struct, "msg");
+        assert!(g.out_neighbors(td, Some(EdgeType::IsaType)).any(|n| n == s));
+    }
+
+    #[test]
+    fn variadic_flag_and_long_name() {
+        let out = extract(
+            &[("v.c", "int printk(const char *fmt, ...);\nint f(void) { return printk(\"x\"); }\n")],
+            {
+                let mut db = CompileDb::new();
+                db.compile("v.c", "v.o");
+                db
+            },
+        );
+        let g = &out.graph;
+        let pk = find(&out, NodeType::FunctionDecl, "printk");
+        assert_eq!(g.node_prop(pk, PropKey::Variadic), Some(PropValue::Bool(true)));
+        let long = g.node_prop(pk, PropKey::LongName).unwrap();
+        assert!(long.as_str().unwrap().contains("printk("));
+    }
+
+    #[test]
+    fn undeclared_function_becomes_implicit_decl() {
+        let out = extract(
+            &[("u.c", "int f(void) { return mystery(); }\n")],
+            {
+                let mut db = CompileDb::new();
+                db.compile("u.c", "u.o");
+                db
+            },
+        );
+        let g = &out.graph;
+        let f = find(&out, NodeType::Function, "f");
+        let target = g.out_neighbors(f, Some(EdgeType::Calls)).next().unwrap();
+        assert_eq!(g.node_type(target), NodeType::FunctionDecl);
+        assert_eq!(g.node_short_name(target), "mystery");
+    }
+
+    #[test]
+    fn function_types_for_pointers() {
+        let out = extract(
+            &[("p.c", "int (*handler)(int, char *);\n")],
+            {
+                let mut db = CompileDb::new();
+                db.compile("p.c", "p.o");
+                db
+            },
+        );
+        let g = &out.graph;
+        let h = find(&out, NodeType::Global, "handler");
+        let ft = g
+            .out_neighbors(h, Some(EdgeType::IsaType))
+            .next()
+            .unwrap();
+        assert_eq!(g.node_type(ft), NodeType::FunctionType);
+        assert_eq!(g.out_neighbors(ft, Some(EdgeType::HasParamType)).count(), 2);
+        assert_eq!(g.out_neighbors(ft, Some(EdgeType::HasRetType)).count(), 1);
+    }
+
+    #[test]
+    fn link_declares_external_defs_only() {
+        let out = extract(
+            &[("d.c", "static int s(void) { return 0; }\nint e(void) { return s(); }\nint gv;\n")],
+            {
+                let mut db = CompileDb::new();
+                db.compile("d.c", "d.o");
+                db
+            },
+        );
+        let g = &out.graph;
+        let m = find(&out, NodeType::Module, "d.o");
+        let declared: Vec<String> = g
+            .out_neighbors(m, Some(EdgeType::LinkDeclares))
+            .map(|n| g.node_short_name(n).to_owned())
+            .collect();
+        assert!(declared.contains(&"e".to_owned()));
+        assert!(declared.contains(&"gv".to_owned()));
+        assert!(!declared.contains(&"s".to_owned()));
+    }
+}

@@ -1,0 +1,1661 @@
+//! Recursive-descent parser for the C subset.
+//!
+//! Consumes the preprocessed token stream (directives already stripped,
+//! macros expanded) and produces a [`TranslationUnit`]. The subset covers
+//! what the Table 1 graph model observes: declarations with full declarator
+//! syntax (pointers, arrays, qualifiers, function pointers), struct / union
+//! / enum / typedef, and complete statement & expression grammars inside
+//! function bodies.
+//!
+//! Typedef names are tracked in a symbol table so `foo_t *x;` parses as a
+//! declaration — the classic C ambiguity.
+
+use crate::ast::*;
+use crate::error::ExtractError;
+use crate::lexer::{BinOpKind, CTok, Punct, Token};
+use frappe_model::{Qualifier, Qualifiers, SrcRange};
+use std::collections::HashSet;
+
+/// Parses a preprocessed token stream into a translation unit.
+pub fn parse_tokens(tokens: &[Token], file_name: &str) -> Result<TranslationUnit, ExtractError> {
+    let mut p = P {
+        toks: tokens,
+        pos: 0,
+        typedefs: HashSet::new(),
+        file: file_name.to_owned(),
+        anon_counter: 0,
+    };
+    let mut items = Vec::new();
+    while p.pos < p.toks.len() {
+        if p.eat_punct(Punct::Semi) {
+            continue;
+        }
+        items.extend(p.top_level()?);
+    }
+    Ok(TranslationUnit { items })
+}
+
+const PRIMITIVE_KWS: &[&str] = &[
+    "void", "char", "short", "int", "long", "float", "double", "signed", "unsigned", "_Bool",
+];
+const QUAL_KWS: &[&str] = &["const", "volatile", "restrict"];
+const STORAGE_KWS: &[&str] = &["static", "extern", "typedef", "inline", "register", "auto"];
+
+struct P<'a> {
+    toks: &'a [Token],
+    pos: usize,
+    typedefs: HashSet<String>,
+    file: String,
+    anon_counter: u32,
+}
+
+impl P<'_> {
+    // ------------------------------------------------------------------
+    // Token helpers
+    // ------------------------------------------------------------------
+
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek_at(&self, off: usize) -> Option<&Token> {
+        self.toks.get(self.pos + off)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn line(&self) -> u32 {
+        self.peek()
+            .or_else(|| self.toks.last())
+            .map_or(0, |t| t.line)
+    }
+
+    fn err(&self, message: impl Into<String>) -> ExtractError {
+        ExtractError::Parse {
+            file: self.file.clone(),
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn eat_punct(&mut self, p: Punct) -> bool {
+        if self.peek().is_some_and(|t| t.is_punct(p)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: Punct, what: &str) -> Result<Token, ExtractError> {
+        if self.peek().is_some_and(|t| t.is_punct(p)) {
+            Ok(self.bump().expect("peeked"))
+        } else {
+            Err(self.err(format!(
+                "expected {what}, found {:?}",
+                self.peek().map(|t| &t.tok)
+            )))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().and_then(Token::ident) == Some(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn peek_ident(&self) -> Option<&str> {
+        self.peek().and_then(Token::ident)
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<Token, ExtractError> {
+        match self.peek() {
+            Some(t) if t.ident().is_some() => Ok(self.bump().expect("peeked")),
+            other => Err(self.err(format!("expected {what}, found {:?}", other.map(|t| &t.tok)))),
+        }
+    }
+
+    /// Does a type start at offset `off`?
+    fn is_type_start_at(&self, off: usize) -> bool {
+        match self.peek_at(off).and_then(Token::ident) {
+            Some(id) => {
+                PRIMITIVE_KWS.contains(&id)
+                    || QUAL_KWS.contains(&id)
+                    || STORAGE_KWS.contains(&id)
+                    || id == "struct"
+                    || id == "union"
+                    || id == "enum"
+                    || self.typedefs.contains(id)
+            }
+            None => false,
+        }
+    }
+
+    fn is_type_start(&self) -> bool {
+        self.is_type_start_at(0)
+    }
+
+    // ------------------------------------------------------------------
+    // Top level
+    // ------------------------------------------------------------------
+
+    fn top_level(&mut self) -> Result<Vec<TopLevel>, ExtractError> {
+        let mut out = Vec::new();
+        // Storage class specifiers.
+        let mut is_typedef = false;
+        let mut is_static = false;
+        let mut is_extern = false;
+        loop {
+            match self.peek_ident() {
+                Some("typedef") => {
+                    is_typedef = true;
+                    self.pos += 1;
+                }
+                Some("static") => {
+                    is_static = true;
+                    self.pos += 1;
+                }
+                Some("extern") => {
+                    is_extern = true;
+                    self.pos += 1;
+                }
+                Some("inline") | Some("register") | Some("auto") => {
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+
+        // Base type (possibly defining a record/enum inline).
+        let (base, base_quals, defined) = self.base_type(&mut out)?;
+        let _ = defined;
+
+        // A bare `struct foo { ... };` / `enum e {...};` / `struct foo;`.
+        if self.eat_punct(Punct::Semi) {
+            return Ok(out);
+        }
+
+        // Declarators.
+        loop {
+            let d = self.declarator(base.clone(), base_quals.clone())?;
+            match d {
+                Declarator::Function {
+                    name,
+                    name_tok,
+                    ret,
+                    params,
+                    variadic,
+                } => {
+                    if self.peek().is_some_and(|t| t.is_punct(Punct::LBrace)) {
+                        let body = self.block()?;
+                        out.push(TopLevel::FunctionDef {
+                            name,
+                            ret,
+                            params,
+                            variadic,
+                            is_static,
+                            body,
+                            name_tok,
+                        });
+                        return Ok(out); // function definitions end the item
+                    }
+                    out.push(TopLevel::FunctionDecl {
+                        name,
+                        ret,
+                        params,
+                        variadic,
+                        is_static,
+                        name_tok,
+                    });
+                }
+                Declarator::Object { name, name_tok, ty } => {
+                    if is_typedef {
+                        self.typedefs.insert(name.clone());
+                        out.push(TopLevel::Typedef { name, ty, name_tok });
+                    } else {
+                        let init = if self.eat_punct(Punct::Assign) {
+                            Some(self.initializer()?)
+                        } else {
+                            None
+                        };
+                        out.push(TopLevel::Global {
+                            name,
+                            ty,
+                            is_extern,
+                            is_static,
+                            init,
+                            name_tok,
+                        });
+                    }
+                }
+            }
+            if self.eat_punct(Punct::Comma) {
+                continue;
+            }
+            self.expect_punct(Punct::Semi, "';'")?;
+            break;
+        }
+        Ok(out)
+    }
+
+    /// Parses the base type (specifiers), emitting inline record/enum
+    /// definitions into `defs`. Returns (base, base qualifiers, defined).
+    fn base_type(
+        &mut self,
+        defs: &mut Vec<TopLevel>,
+    ) -> Result<(BaseType, Qualifiers, bool), ExtractError> {
+        let mut quals = Qualifiers::none();
+        // Leading qualifiers.
+        loop {
+            match self.peek_ident() {
+                Some("const") => {
+                    quals.push(Qualifier::Const);
+                    self.pos += 1;
+                }
+                Some("volatile") => {
+                    quals.push(Qualifier::Volatile);
+                    self.pos += 1;
+                }
+                Some("restrict") => {
+                    quals.push(Qualifier::Restrict);
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let tok = self
+            .peek()
+            .cloned()
+            .ok_or_else(|| self.err("expected type"))?;
+        let id = tok
+            .ident()
+            .ok_or_else(|| self.err("expected type name"))?
+            .to_owned();
+        let mut defined = false;
+        let base = match id.as_str() {
+            "struct" | "union" => {
+                let is_union = id == "union";
+                self.pos += 1;
+                let tag_tok = if self.peek_ident().is_some() {
+                    Some(self.bump().expect("peeked"))
+                } else {
+                    None
+                };
+                let tag = match &tag_tok {
+                    Some(t) => t.ident().expect("ident").to_owned(),
+                    None => {
+                        self.anon_counter += 1;
+                        format!("<anon{}>", self.anon_counter)
+                    }
+                };
+                let name_tok = tag_tok.clone().unwrap_or(tok.clone());
+                if self.peek().is_some_and(|t| t.is_punct(Punct::LBrace)) {
+                    let fields = self.record_fields(defs)?;
+                    defs.push(TopLevel::RecordDef {
+                        name: tag.clone(),
+                        is_union,
+                        fields,
+                        name_tok,
+                    });
+                    defined = true;
+                } else if self.peek().is_some_and(|t| t.is_punct(Punct::Semi))
+                    && tag_tok.is_some()
+                {
+                    defs.push(TopLevel::RecordDecl {
+                        name: tag.clone(),
+                        is_union,
+                        name_tok,
+                    });
+                    defined = true;
+                }
+                if is_union {
+                    BaseType::Union(tag)
+                } else {
+                    BaseType::Struct(tag)
+                }
+            }
+            "enum" => {
+                self.pos += 1;
+                let tag_tok = if self.peek_ident().is_some() {
+                    Some(self.bump().expect("peeked"))
+                } else {
+                    None
+                };
+                let tag = tag_tok
+                    .as_ref()
+                    .map(|t| t.ident().expect("ident").to_owned());
+                let name_tok = tag_tok.clone().unwrap_or(tok.clone());
+                if self.peek().is_some_and(|t| t.is_punct(Punct::LBrace)) {
+                    let enumerators = self.enumerators()?;
+                    defs.push(TopLevel::EnumDef {
+                        name: tag.clone(),
+                        enumerators,
+                        name_tok,
+                    });
+                    defined = true;
+                }
+                BaseType::Enum(tag.unwrap_or_else(|| {
+                    self.anon_counter += 1;
+                    format!("<anon{}>", self.anon_counter)
+                }))
+            }
+            "void" => {
+                self.pos += 1;
+                BaseType::Void
+            }
+            kw if PRIMITIVE_KWS.contains(&kw) => {
+                // Combine multi-word primitives: unsigned long long, ...
+                let mut words = Vec::new();
+                while let Some(w) = self.peek_ident() {
+                    if PRIMITIVE_KWS.contains(&w) && w != "void" {
+                        words.push(w.to_owned());
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                BaseType::Primitive(words.join(" "))
+            }
+            name => {
+                // A typedef or unknown named type.
+                self.pos += 1;
+                BaseType::Named(name.to_owned())
+            }
+        };
+        // Trailing qualifiers (`int const x`).
+        loop {
+            match self.peek_ident() {
+                Some("const") => {
+                    quals.push(Qualifier::Const);
+                    self.pos += 1;
+                }
+                Some("volatile") => {
+                    quals.push(Qualifier::Volatile);
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let name_tok = match &base {
+            BaseType::Primitive(_) | BaseType::Named(_) | BaseType::Void => Some(tok),
+            BaseType::Struct(_) | BaseType::Union(_) | BaseType::Enum(_) => Some(tok),
+            BaseType::Function(_) => None,
+        };
+        let _ = name_tok;
+        Ok((base, quals, defined))
+    }
+
+    fn record_fields(
+        &mut self,
+        defs: &mut Vec<TopLevel>,
+    ) -> Result<Vec<FieldDecl>, ExtractError> {
+        self.expect_punct(Punct::LBrace, "'{'")?;
+        let mut fields = Vec::new();
+        while !self.eat_punct(Punct::RBrace) {
+            if self.eat_punct(Punct::Semi) {
+                continue;
+            }
+            let (base, base_quals, _) = self.base_type(defs)?;
+            loop {
+                let d = self.declarator(base.clone(), base_quals.clone())?;
+                match d {
+                    Declarator::Object { name, name_tok, ty } => {
+                        let bit_width = if self.eat_punct(Punct::Colon) {
+                            match self.bump().map(|t| t.tok) {
+                                Some(CTok::Int(v)) => Some(v),
+                                _ => return Err(self.err("expected bit-field width")),
+                            }
+                        } else {
+                            None
+                        };
+                        fields.push(FieldDecl {
+                            name,
+                            ty,
+                            bit_width,
+                            name_tok,
+                        });
+                    }
+                    Declarator::Function { name, name_tok, ret, params, variadic } => {
+                        // A function declarator inside a record: treat as a
+                        // function-pointer-ish field.
+                        let ft = FuncType {
+                            ret,
+                            params: params.into_iter().map(|p| p.ty).collect(),
+                            variadic,
+                        };
+                        fields.push(FieldDecl {
+                            name,
+                            ty: TypeUse {
+                                base: BaseType::Function(Box::new(ft)),
+                                quals: Qualifiers::none(),
+                                array_lens: Vec::new(),
+                                name_tok: None,
+                            },
+                            bit_width: None,
+                            name_tok,
+                        });
+                    }
+                }
+                if self.eat_punct(Punct::Comma) {
+                    continue;
+                }
+                self.expect_punct(Punct::Semi, "';' after field")?;
+                break;
+            }
+        }
+        Ok(fields)
+    }
+
+    fn enumerators(&mut self) -> Result<Vec<(String, Option<i64>, Token)>, ExtractError> {
+        self.expect_punct(Punct::LBrace, "'{'")?;
+        let mut out = Vec::new();
+        while !self.eat_punct(Punct::RBrace) {
+            let name_tok = self.expect_ident("enumerator name")?;
+            let name = name_tok.ident().expect("ident").to_owned();
+            let value = if self.eat_punct(Punct::Assign) {
+                // Constant expression: accept int literal / negated literal /
+                // anything else → None (value left implicit).
+                match self.peek().map(|t| t.tok.clone()) {
+                    Some(CTok::Int(v)) => {
+                        self.pos += 1;
+                        Some(v)
+                    }
+                    Some(CTok::Punct(Punct::Minus)) => {
+                        self.pos += 1;
+                        match self.bump().map(|t| t.tok) {
+                            Some(CTok::Int(v)) => Some(-v),
+                            _ => return Err(self.err("expected enumerator value")),
+                        }
+                    }
+                    _ => {
+                        // Skip a general const expression.
+                        let _ = self.assign_expr()?;
+                        None
+                    }
+                }
+            } else {
+                None
+            };
+            out.push((name, value, name_tok));
+            if !self.eat_punct(Punct::Comma) {
+                self.expect_punct(Punct::RBrace, "'}' after enumerators")?;
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Declarators
+    // ------------------------------------------------------------------
+
+    fn declarator(
+        &mut self,
+        base: BaseType,
+        base_quals: Qualifiers,
+    ) -> Result<Declarator, ExtractError> {
+        // Pointer derivations: each star may carry its own qualifiers.
+        let mut star_quals: Vec<Qualifiers> = Vec::new();
+        while self.eat_punct(Punct::Star) {
+            let mut q = Qualifiers::none();
+            loop {
+                match self.peek_ident() {
+                    Some("const") => {
+                        q.push(Qualifier::Const);
+                        self.pos += 1;
+                    }
+                    Some("volatile") => {
+                        q.push(Qualifier::Volatile);
+                        self.pos += 1;
+                    }
+                    Some("restrict") => {
+                        q.push(Qualifier::Restrict);
+                        self.pos += 1;
+                    }
+                    _ => break,
+                }
+            }
+            star_quals.push(q);
+        }
+
+        // Function pointer: `(*name)(params)`.
+        if self.peek().is_some_and(|t| t.is_punct(Punct::LParen))
+            && self.peek_at(1).is_some_and(|t| t.is_punct(Punct::Star))
+        {
+            self.pos += 2;
+            let name_tok = self.expect_ident("function pointer name")?;
+            let name = name_tok.ident().expect("ident").to_owned();
+            // Array-of-function-pointer dims.
+            let mut dims = Vec::new();
+            self.array_dims(&mut dims)?;
+            self.expect_punct(Punct::RParen, "')'")?;
+            let (param_tys, variadic) = self.param_type_list()?;
+            let base_tok = self.base_name_token(&base);
+            let ft = FuncType {
+                ret: TypeUse {
+                    base,
+                    quals: encode_quals(&[], &base_quals, &[]),
+                    array_lens: Vec::new(),
+                    name_tok: base_tok,
+                },
+                params: param_tys,
+                variadic,
+            };
+            let mut quals = Qualifiers::none();
+            for d in &dims {
+                let _ = d;
+                quals.push(Qualifier::Array);
+            }
+            quals.push(Qualifier::Pointer);
+            return Ok(Declarator::Object {
+                name,
+                name_tok: name_tok.clone(),
+                ty: TypeUse {
+                    base: BaseType::Function(Box::new(ft)),
+                    quals,
+                    array_lens: dims,
+                    name_tok: None,
+                },
+            });
+        }
+
+        // Abstract declarator (no name), used in parameter types.
+        let name_tok = if self.peek_ident().is_some() {
+            Some(self.bump().expect("peeked"))
+        } else {
+            None
+        };
+
+        // Function declarator: `name(params)`.
+        if name_tok.is_some()
+            && star_quals.is_empty()
+            && self.peek().is_some_and(|t| t.is_punct(Punct::LParen))
+        {
+            let name_tok = name_tok.expect("checked");
+            let name = name_tok.ident().expect("ident").to_owned();
+            let (params, variadic) = self.param_decl_list()?;
+            let base_tok = self.base_name_token(&base);
+            return Ok(Declarator::Function {
+                name,
+                name_tok,
+                ret: TypeUse {
+                    base,
+                    quals: encode_quals(&[], &base_quals, &[]),
+                    array_lens: Vec::new(),
+                    name_tok: base_tok,
+                },
+                params,
+                variadic,
+            });
+        }
+
+        // Pointer-returning function: `type *name(params)`.
+        if name_tok.is_some()
+            && !star_quals.is_empty()
+            && self.peek().is_some_and(|t| t.is_punct(Punct::LParen))
+        {
+            let name_tok = name_tok.expect("checked");
+            let name = name_tok.ident().expect("ident").to_owned();
+            let (params, variadic) = self.param_decl_list()?;
+            let base_tok = self.base_name_token(&base);
+            return Ok(Declarator::Function {
+                name,
+                name_tok,
+                ret: TypeUse {
+                    base,
+                    quals: encode_quals(&[], &base_quals, &star_quals),
+                    array_lens: Vec::new(),
+                    name_tok: base_tok,
+                },
+                params,
+                variadic,
+            });
+        }
+
+        // Object declarator with array dims.
+        let mut dims = Vec::new();
+        self.array_dims(&mut dims)?;
+        let base_tok = self.base_name_token(&base);
+        let ty = TypeUse {
+            base,
+            quals: encode_quals(&dims, &base_quals, &star_quals),
+            array_lens: dims,
+            name_tok: base_tok,
+        };
+        let (name, name_tok) = match name_tok {
+            Some(t) => (t.ident().expect("ident").to_owned(), t),
+            None => (
+                String::new(),
+                // Abstract declarator: synthesize an empty token location.
+                self.toks
+                    .get(self.pos.saturating_sub(1))
+                    .cloned()
+                    .unwrap_or(Token {
+                        tok: CTok::Ident(String::new()),
+                        file: frappe_model::FileId(0),
+                        line: 0,
+                        col: 0,
+                        len: 0,
+                        in_macro: false,
+                    }),
+            ),
+        };
+        Ok(Declarator::Object { name, name_tok, ty })
+    }
+
+    fn base_name_token(&self, base: &BaseType) -> Option<Token> {
+        let _ = base;
+        None // name tokens for type uses are resolved by lowering via names
+    }
+
+    fn array_dims(&mut self, dims: &mut Vec<i64>) -> Result<(), ExtractError> {
+        while self.eat_punct(Punct::LBracket) {
+            match self.peek().map(|t| t.tok.clone()) {
+                Some(CTok::Int(v)) => {
+                    self.pos += 1;
+                    dims.push(v);
+                }
+                Some(CTok::Punct(Punct::RBracket)) => dims.push(0),
+                _ => {
+                    // Non-constant dimension: skip the expression.
+                    let _ = self.assign_expr()?;
+                    dims.push(0);
+                }
+            }
+            self.expect_punct(Punct::RBracket, "']'")?;
+        }
+        Ok(())
+    }
+
+    /// Parameter list of a function *declaration/definition* (named params).
+    fn param_decl_list(&mut self) -> Result<(Vec<ParamDecl>, bool), ExtractError> {
+        self.expect_punct(Punct::LParen, "'('")?;
+        let mut params = Vec::new();
+        let mut variadic = false;
+        if self.eat_punct(Punct::RParen) {
+            return Ok((params, variadic));
+        }
+        // `(void)` means zero parameters.
+        if self.peek_ident() == Some("void")
+            && self.peek_at(1).is_some_and(|t| t.is_punct(Punct::RParen))
+        {
+            self.pos += 2;
+            return Ok((params, variadic));
+        }
+        loop {
+            if self.eat_punct(Punct::Ellipsis) {
+                variadic = true;
+                self.expect_punct(Punct::RParen, "')' after '...'")?;
+                break;
+            }
+            let mut defs = Vec::new();
+            let (base, base_quals, _) = self.base_type(&mut defs)?;
+            let d = self.declarator(base, base_quals)?;
+            match d {
+                Declarator::Object { name, name_tok, ty } => {
+                    if name.is_empty() {
+                        params.push(ParamDecl {
+                            name: None,
+                            ty,
+                            name_tok: None,
+                        });
+                    } else {
+                        params.push(ParamDecl {
+                            name: Some(name),
+                            ty,
+                            name_tok: Some(name_tok),
+                        });
+                    }
+                }
+                Declarator::Function { name, name_tok, ret, params: ps, variadic: v } => {
+                    // `int f(int g(void))` — function param decays to pointer.
+                    let ft = FuncType {
+                        ret,
+                        params: ps.into_iter().map(|p| p.ty).collect(),
+                        variadic: v,
+                    };
+                    params.push(ParamDecl {
+                        name: Some(name),
+                        ty: TypeUse {
+                            base: BaseType::Function(Box::new(ft)),
+                            quals: Qualifiers(vec![Qualifier::Pointer]),
+                            array_lens: Vec::new(),
+                            name_tok: None,
+                        },
+                        name_tok: Some(name_tok),
+                    });
+                }
+            }
+            if self.eat_punct(Punct::Comma) {
+                continue;
+            }
+            self.expect_punct(Punct::RParen, "')'")?;
+            break;
+        }
+        Ok((params, variadic))
+    }
+
+    /// Parameter list of a function *type* (types only).
+    fn param_type_list(&mut self) -> Result<(Vec<TypeUse>, bool), ExtractError> {
+        let (params, variadic) = self.param_decl_list()?;
+        Ok((params.into_iter().map(|p| p.ty).collect(), variadic))
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ExtractError> {
+        self.expect_punct(Punct::LBrace, "'{'")?;
+        let mut out = Vec::new();
+        while !self.eat_punct(Punct::RBrace) {
+            if self.pos >= self.toks.len() {
+                return Err(self.err("unterminated block"));
+            }
+            out.extend(self.stmt()?);
+        }
+        Ok(out)
+    }
+
+    fn single_stmt(&mut self) -> Result<Stmt, ExtractError> {
+        let mut stmts = self.stmt()?;
+        Ok(if stmts.len() == 1 {
+            stmts.remove(0)
+        } else {
+            Stmt::Block(stmts)
+        })
+    }
+
+    fn stmt(&mut self) -> Result<Vec<Stmt>, ExtractError> {
+        match self.peek_ident() {
+            Some("if") => {
+                self.pos += 1;
+                self.expect_punct(Punct::LParen, "'('")?;
+                let cond = self.expr()?;
+                self.expect_punct(Punct::RParen, "')'")?;
+                let then = Box::new(self.single_stmt()?);
+                let els = if self.eat_kw("else") {
+                    Some(Box::new(self.single_stmt()?))
+                } else {
+                    None
+                };
+                return Ok(vec![Stmt::If { cond, then, els }]);
+            }
+            Some("while") => {
+                self.pos += 1;
+                self.expect_punct(Punct::LParen, "'('")?;
+                let cond = self.expr()?;
+                self.expect_punct(Punct::RParen, "')'")?;
+                let body = Box::new(self.single_stmt()?);
+                return Ok(vec![Stmt::While { cond, body }]);
+            }
+            Some("do") => {
+                self.pos += 1;
+                let body = Box::new(self.single_stmt()?);
+                if !self.eat_kw("while") {
+                    return Err(self.err("expected while after do body"));
+                }
+                self.expect_punct(Punct::LParen, "'('")?;
+                let cond = self.expr()?;
+                self.expect_punct(Punct::RParen, "')'")?;
+                self.expect_punct(Punct::Semi, "';'")?;
+                return Ok(vec![Stmt::DoWhile { body, cond }]);
+            }
+            Some("for") => {
+                self.pos += 1;
+                self.expect_punct(Punct::LParen, "'('")?;
+                let init = if self.eat_punct(Punct::Semi) {
+                    None
+                } else if self.is_type_start() {
+                    let decls = self.decl_stmt()?;
+                    Some(Box::new(Stmt::Block(decls)))
+                } else {
+                    let e = self.expr()?;
+                    self.expect_punct(Punct::Semi, "';'")?;
+                    Some(Box::new(Stmt::Expr(e)))
+                };
+                let cond = if self.peek().is_some_and(|t| t.is_punct(Punct::Semi)) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect_punct(Punct::Semi, "';'")?;
+                let step = if self.peek().is_some_and(|t| t.is_punct(Punct::RParen)) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect_punct(Punct::RParen, "')'")?;
+                let body = Box::new(self.single_stmt()?);
+                return Ok(vec![Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                }]);
+            }
+            Some("return") => {
+                self.pos += 1;
+                let e = if self.peek().is_some_and(|t| t.is_punct(Punct::Semi)) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect_punct(Punct::Semi, "';'")?;
+                return Ok(vec![Stmt::Return(e)]);
+            }
+            Some("break") => {
+                self.pos += 1;
+                self.expect_punct(Punct::Semi, "';'")?;
+                return Ok(vec![Stmt::Break]);
+            }
+            Some("continue") => {
+                self.pos += 1;
+                self.expect_punct(Punct::Semi, "';'")?;
+                return Ok(vec![Stmt::Continue]);
+            }
+            Some("goto") => {
+                self.pos += 1;
+                let label = self.expect_ident("label")?;
+                self.expect_punct(Punct::Semi, "';'")?;
+                return Ok(vec![Stmt::Goto(label.ident().expect("ident").to_owned())]);
+            }
+            Some("switch") => {
+                self.pos += 1;
+                self.expect_punct(Punct::LParen, "'('")?;
+                let scrutinee = self.expr()?;
+                self.expect_punct(Punct::RParen, "')'")?;
+                self.expect_punct(Punct::LBrace, "'{'")?;
+                let mut cases: Vec<(Option<Expr>, Vec<Stmt>)> = Vec::new();
+                while !self.eat_punct(Punct::RBrace) {
+                    if self.eat_kw("case") {
+                        let label = self.ternary_expr()?;
+                        self.expect_punct(Punct::Colon, "':'")?;
+                        cases.push((Some(label), Vec::new()));
+                    } else if self.eat_kw("default") {
+                        self.expect_punct(Punct::Colon, "':'")?;
+                        cases.push((None, Vec::new()));
+                    } else {
+                        let stmts = self.stmt()?;
+                        match cases.last_mut() {
+                            Some((_, body)) => body.extend(stmts),
+                            None => return Err(self.err("statement before first case")),
+                        }
+                    }
+                }
+                return Ok(vec![Stmt::Switch {
+                    expr: scrutinee,
+                    cases,
+                }]);
+            }
+            _ => {}
+        }
+        if self.peek().is_some_and(|t| t.is_punct(Punct::LBrace)) {
+            return Ok(vec![Stmt::Block(self.block()?)]);
+        }
+        if self.eat_punct(Punct::Semi) {
+            return Ok(vec![Stmt::Empty]);
+        }
+        // Label: `ident :` followed by a statement.
+        if self.peek_ident().is_some()
+            && self.peek_at(1).is_some_and(|t| t.is_punct(Punct::Colon))
+            && !self.is_type_start()
+        {
+            let label = self.bump().expect("peeked");
+            self.pos += 1; // ':'
+            let inner = self.single_stmt()?;
+            return Ok(vec![Stmt::Label(
+                label.ident().expect("ident").to_owned(),
+                Box::new(inner),
+            )]);
+        }
+        if self.is_type_start() {
+            return self.decl_stmt();
+        }
+        let e = self.expr()?;
+        self.expect_punct(Punct::Semi, "';' after expression")?;
+        Ok(vec![Stmt::Expr(e)])
+    }
+
+    /// A local declaration statement (may declare several variables).
+    fn decl_stmt(&mut self) -> Result<Vec<Stmt>, ExtractError> {
+        let mut is_static = false;
+        loop {
+            match self.peek_ident() {
+                Some("static") => {
+                    is_static = true;
+                    self.pos += 1;
+                }
+                Some("extern") | Some("register") | Some("auto") | Some("inline") => {
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let mut defs = Vec::new();
+        let (base, base_quals, _) = self.base_type(&mut defs)?;
+        if !defs.is_empty() {
+            return Err(self.err("record/enum definitions inside functions are not supported"));
+        }
+        let mut out = Vec::new();
+        loop {
+            let d = self.declarator(base.clone(), base_quals.clone())?;
+            match d {
+                Declarator::Object { name, name_tok, ty } => {
+                    let init = if self.eat_punct(Punct::Assign) {
+                        Some(self.initializer()?)
+                    } else {
+                        None
+                    };
+                    out.push(Stmt::Decl {
+                        name,
+                        ty,
+                        is_static,
+                        init,
+                        name_tok,
+                    });
+                }
+                Declarator::Function { .. } => {
+                    return Err(self.err("local function declarations are not supported"));
+                }
+            }
+            if self.eat_punct(Punct::Comma) {
+                continue;
+            }
+            self.expect_punct(Punct::Semi, "';' after declaration")?;
+            break;
+        }
+        Ok(out)
+    }
+
+    fn initializer(&mut self) -> Result<Expr, ExtractError> {
+        if self.peek().is_some_and(|t| t.is_punct(Punct::LBrace)) {
+            let start = self.bump().expect("peeked");
+            let mut items = Vec::new();
+            while !self.peek().is_some_and(|t| t.is_punct(Punct::RBrace)) {
+                // Designated initializers: `.field = x` — skip the designator.
+                if self.eat_punct(Punct::Dot) {
+                    let _ = self.expect_ident("field designator")?;
+                    self.expect_punct(Punct::Assign, "'='")?;
+                }
+                items.push(self.initializer()?);
+                if !self.eat_punct(Punct::Comma) {
+                    break;
+                }
+            }
+            let rb = self.expect_punct(Punct::RBrace, "'}'")?;
+            Ok(Expr::new(
+                ExprKind::InitList(items),
+                merge(start.range(), rb.range()),
+            ))
+        } else {
+            self.assign_expr()
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions (precedence climbing)
+    // ------------------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, ExtractError> {
+        let mut e = self.assign_expr()?;
+        while self.eat_punct(Punct::Comma) {
+            let rhs = self.assign_expr()?;
+            let range = merge(e.range, rhs.range);
+            e = Expr::new(ExprKind::Comma(Box::new(e), Box::new(rhs)), range);
+        }
+        Ok(e)
+    }
+
+    fn assign_expr(&mut self) -> Result<Expr, ExtractError> {
+        let lhs = self.ternary_expr()?;
+        let op = match self.peek().map(|t| &t.tok) {
+            Some(CTok::Punct(Punct::Assign)) => Some(None),
+            Some(CTok::Punct(Punct::OpAssign(k))) => Some(Some(*k)),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let rhs = self.assign_expr()?;
+            let range = merge(lhs.range, rhs.range);
+            return Ok(Expr::new(
+                ExprKind::Assign {
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                    op,
+                },
+                range,
+            ));
+        }
+        Ok(lhs)
+    }
+
+    fn ternary_expr(&mut self) -> Result<Expr, ExtractError> {
+        let cond = self.binary_expr(0)?;
+        if self.eat_punct(Punct::Question) {
+            let then = self.expr()?;
+            self.expect_punct(Punct::Colon, "':'")?;
+            let els = self.ternary_expr()?;
+            let range = merge(cond.range, els.range);
+            return Ok(Expr::new(
+                ExprKind::Ternary {
+                    cond: Box::new(cond),
+                    then: Box::new(then),
+                    els: Box::new(els),
+                },
+                range,
+            ));
+        }
+        Ok(cond)
+    }
+
+    fn binary_expr(&mut self, min_prec: u8) -> Result<Expr, ExtractError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let Some((op, prec)) = self.peek_binop() else {
+                break;
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.pos += 1;
+            let rhs = self.binary_expr(prec + 1)?;
+            let range = merge(lhs.range, rhs.range);
+            lhs = Expr::new(
+                ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                range,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn peek_binop(&self) -> Option<(BinOp, u8)> {
+        use BinOpKind::*;
+        Some(match self.peek().map(|t| &t.tok)? {
+            CTok::Punct(Punct::OrOr) => (BinOp::LogOr, 1),
+            CTok::Punct(Punct::AndAnd) => (BinOp::LogAnd, 2),
+            CTok::Punct(Punct::Pipe) => (BinOp::Arith(Or), 3),
+            CTok::Punct(Punct::Caret) => (BinOp::Arith(Xor), 4),
+            CTok::Punct(Punct::Amp) => (BinOp::Arith(And), 5),
+            CTok::Punct(Punct::EqEq) => (BinOp::Eq, 6),
+            CTok::Punct(Punct::NotEq) => (BinOp::Ne, 6),
+            CTok::Punct(Punct::Lt) => (BinOp::Lt, 7),
+            CTok::Punct(Punct::Le) => (BinOp::Le, 7),
+            CTok::Punct(Punct::Gt) => (BinOp::Gt, 7),
+            CTok::Punct(Punct::Ge) => (BinOp::Ge, 7),
+            CTok::Punct(Punct::Shl) => (BinOp::Arith(Shl), 8),
+            CTok::Punct(Punct::Shr) => (BinOp::Arith(Shr), 8),
+            CTok::Punct(Punct::Plus) => (BinOp::Arith(Add), 9),
+            CTok::Punct(Punct::Minus) => (BinOp::Arith(Sub), 9),
+            CTok::Punct(Punct::Star) => (BinOp::Arith(Mul), 10),
+            CTok::Punct(Punct::Slash) => (BinOp::Arith(Div), 10),
+            CTok::Punct(Punct::Percent) => (BinOp::Arith(Rem), 10),
+            _ => return None,
+        })
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ExtractError> {
+        let tok = self.peek().cloned().ok_or_else(|| self.err("expected expression"))?;
+        let un = match &tok.tok {
+            CTok::Punct(Punct::Minus) => Some(UnOp::Neg),
+            CTok::Punct(Punct::Plus) => Some(UnOp::Plus),
+            CTok::Punct(Punct::Not) => Some(UnOp::Not),
+            CTok::Punct(Punct::Tilde) => Some(UnOp::BitNot),
+            CTok::Punct(Punct::Star) => Some(UnOp::Deref),
+            CTok::Punct(Punct::Amp) => Some(UnOp::AddrOf),
+            CTok::Punct(Punct::Inc) => Some(UnOp::PreInc),
+            CTok::Punct(Punct::Dec) => Some(UnOp::PreDec),
+            _ => None,
+        };
+        if let Some(op) = un {
+            self.pos += 1;
+            let inner = self.unary_expr()?;
+            let range = merge(tok.range(), inner.range);
+            return Ok(Expr::new(
+                ExprKind::Unary {
+                    op,
+                    expr: Box::new(inner),
+                },
+                range,
+            ));
+        }
+        // sizeof / _Alignof.
+        if let Some(kw @ ("sizeof" | "_Alignof")) = tok.ident() {
+            let is_sizeof = kw == "sizeof";
+            self.pos += 1;
+            if self.peek().is_some_and(|t| t.is_punct(Punct::LParen)) && self.is_type_start_at(1) {
+                self.pos += 1;
+                let ty = self.type_name()?;
+                let rp = self.expect_punct(Punct::RParen, "')'")?;
+                let range = merge(tok.range(), rp.range());
+                return Ok(Expr::new(
+                    if is_sizeof {
+                        ExprKind::SizeofType(ty)
+                    } else {
+                        ExprKind::AlignofType(ty)
+                    },
+                    range,
+                ));
+            }
+            let inner = self.unary_expr()?;
+            let range = merge(tok.range(), inner.range);
+            return Ok(Expr::new(ExprKind::SizeofExpr(Box::new(inner)), range));
+        }
+        // Cast: `(type) expr`.
+        if tok.is_punct(Punct::LParen) && self.is_type_start_at(1) {
+            self.pos += 1;
+            let ty = self.type_name()?;
+            self.expect_punct(Punct::RParen, "')' after cast type")?;
+            let inner = self.unary_expr()?;
+            let range = merge(tok.range(), inner.range);
+            return Ok(Expr::new(
+                ExprKind::Cast {
+                    ty,
+                    expr: Box::new(inner),
+                },
+                range,
+            ));
+        }
+        self.postfix_expr()
+    }
+
+    /// A type name without a declarator name (for casts and sizeof).
+    fn type_name(&mut self) -> Result<TypeUse, ExtractError> {
+        let mut defs = Vec::new();
+        let (base, base_quals, _) = self.base_type(&mut defs)?;
+        let d = self.declarator(base, base_quals)?;
+        match d {
+            Declarator::Object { ty, .. } => Ok(ty),
+            Declarator::Function { .. } => Err(self.err("unexpected function in type name")),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, ExtractError> {
+        let mut e = self.primary_expr()?;
+        loop {
+            match self.peek().map(|t| t.tok.clone()) {
+                Some(CTok::Punct(Punct::LParen)) => {
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    if !self.peek().is_some_and(|t| t.is_punct(Punct::RParen)) {
+                        loop {
+                            args.push(self.assign_expr()?);
+                            if !self.eat_punct(Punct::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    let rp = self.expect_punct(Punct::RParen, "')' after call arguments")?;
+                    let range = merge(e.range, rp.range());
+                    e = Expr::new(
+                        ExprKind::Call {
+                            callee: Box::new(e),
+                            args,
+                        },
+                        range,
+                    );
+                }
+                Some(CTok::Punct(Punct::LBracket)) => {
+                    self.pos += 1;
+                    let idx = self.expr()?;
+                    let rb = self.expect_punct(Punct::RBracket, "']'")?;
+                    let range = merge(e.range, rb.range());
+                    e = Expr::new(
+                        ExprKind::Index {
+                            base: Box::new(e),
+                            index: Box::new(idx),
+                        },
+                        range,
+                    );
+                }
+                Some(CTok::Punct(p @ (Punct::Dot | Punct::Arrow))) => {
+                    self.pos += 1;
+                    let field_tok = self.expect_ident("field name")?;
+                    let range = merge(e.range, field_tok.range());
+                    e = Expr::new(
+                        ExprKind::Member {
+                            base: Box::new(e),
+                            field: field_tok.ident().expect("ident").to_owned(),
+                            arrow: p == Punct::Arrow,
+                            field_tok,
+                        },
+                        range,
+                    );
+                }
+                Some(CTok::Punct(p @ (Punct::Inc | Punct::Dec))) => {
+                    let t = self.bump().expect("peeked");
+                    let range = merge(e.range, t.range());
+                    e = Expr::new(
+                        ExprKind::PostIncDec {
+                            expr: Box::new(e),
+                            inc: p == Punct::Inc,
+                        },
+                        range,
+                    );
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, ExtractError> {
+        let tok = self
+            .peek()
+            .cloned()
+            .ok_or_else(|| self.err("expected expression"))?;
+        match &tok.tok {
+            CTok::Ident(_) => {
+                self.pos += 1;
+                Ok(Expr::new(ExprKind::Ident(tok.clone()), tok.range()))
+            }
+            CTok::Int(v) => {
+                self.pos += 1;
+                Ok(Expr::new(ExprKind::IntLit(*v), tok.range()))
+            }
+            CTok::Float(s) => {
+                self.pos += 1;
+                Ok(Expr::new(ExprKind::FloatLit(s.clone()), tok.range()))
+            }
+            CTok::Str(s) => {
+                self.pos += 1;
+                // Adjacent string literal concatenation.
+                let mut text = s.clone();
+                let mut range = tok.range();
+                while let Some(CTok::Str(next)) = self.peek().map(|t| &t.tok) {
+                    text.push_str(next);
+                    range = merge(range, self.peek().expect("peeked").range());
+                    self.pos += 1;
+                }
+                Ok(Expr::new(ExprKind::StrLit(text), range))
+            }
+            CTok::Char(c) => {
+                self.pos += 1;
+                Ok(Expr::new(ExprKind::CharLit(*c), tok.range()))
+            }
+            CTok::Punct(Punct::LParen) => {
+                self.pos += 1;
+                let inner = self.expr()?;
+                let rp = self.expect_punct(Punct::RParen, "')'")?;
+                Ok(Expr::new(inner.kind, merge(tok.range(), rp.range())))
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+/// Builds the paper's spoken-order qualifier coding from declarator parts:
+/// array derivations (outermost), then pointer derivations (right-to-left),
+/// then the base qualifiers (innermost).
+fn encode_quals(dims: &[i64], base_quals: &Qualifiers, star_quals: &[Qualifiers]) -> Qualifiers {
+    let mut q = Qualifiers::none();
+    for _ in dims {
+        q.push(Qualifier::Array);
+    }
+    for sq in star_quals.iter().rev() {
+        for inner in &sq.0 {
+            q.push(*inner);
+        }
+        q.push(Qualifier::Pointer);
+    }
+    for b in &base_quals.0 {
+        q.push(*b);
+    }
+    q
+}
+
+fn merge(a: SrcRange, b: SrcRange) -> SrcRange {
+    if a.file != b.file {
+        return a;
+    }
+    SrcRange {
+        file: a.file,
+        start: a.start.min(b.start),
+        end: a.end.max(b.end),
+    }
+}
+
+/// A parsed declarator.
+enum Declarator {
+    /// An object (variable / field / typedef target).
+    Object {
+        name: String,
+        name_tok: Token,
+        ty: TypeUse,
+    },
+    /// A function declarator.
+    Function {
+        name: String,
+        name_tok: Token,
+        ret: TypeUse,
+        params: Vec<ParamDecl>,
+        variadic: bool,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex_file;
+    use frappe_model::FileId;
+
+    fn parse(src: &str) -> TranslationUnit {
+        let toks: Vec<Token> = lex_file(src, FileId(0), "t.c")
+            .unwrap()
+            .into_iter()
+            .flatten()
+            .collect();
+        parse_tokens(&toks, "t.c").unwrap()
+    }
+
+    fn parse_err(src: &str) -> ExtractError {
+        let toks: Vec<Token> = lex_file(src, FileId(0), "t.c")
+            .unwrap()
+            .into_iter()
+            .flatten()
+            .collect();
+        parse_tokens(&toks, "t.c").unwrap_err()
+    }
+
+    #[test]
+    fn figure2_files_parse() {
+        let tu = parse("int bar(int);");
+        assert!(matches!(
+            &tu.items[0],
+            TopLevel::FunctionDecl { name, params, .. } if name == "bar" && params.len() == 1
+        ));
+        let tu = parse("int bar(int input) { return input; }");
+        let TopLevel::FunctionDef { name, params, body, .. } = &tu.items[0] else {
+            panic!("expected function def");
+        };
+        assert_eq!(name, "bar");
+        assert_eq!(params[0].name.as_deref(), Some("input"));
+        assert_eq!(body.len(), 1);
+        let tu = parse("int main(int argc, char **argv) { return bar(argc); }");
+        let TopLevel::FunctionDef { params, .. } = &tu.items[0] else {
+            panic!();
+        };
+        // The paper: argv's isa_type edge carries QUALIFIERS "**".
+        assert_eq!(params[1].ty.quals.encode(), "**");
+    }
+
+    #[test]
+    fn globals_and_arrays() {
+        let tu = parse("static int table[16]; extern char *names[4]; int x = 3, y;");
+        let TopLevel::Global { name, ty, is_static, .. } = &tu.items[0] else {
+            panic!();
+        };
+        assert_eq!(name, "table");
+        assert!(*is_static);
+        assert_eq!(ty.quals.encode(), "]");
+        assert_eq!(ty.array_lens, vec![16]);
+        let TopLevel::Global { ty, is_extern, .. } = &tu.items[1] else {
+            panic!();
+        };
+        assert!(*is_extern);
+        assert_eq!(ty.quals.encode(), "]*");
+        let TopLevel::Global { name, init, .. } = &tu.items[2] else {
+            panic!();
+        };
+        assert_eq!(name, "x");
+        assert!(init.is_some());
+        assert!(matches!(&tu.items[3], TopLevel::Global { name, .. } if name == "y"));
+    }
+
+    #[test]
+    fn qualifier_codings() {
+        let get = |src: &str| {
+            let tu = parse(src);
+            match &tu.items[0] {
+                TopLevel::Global { ty, .. } => ty.quals.encode(),
+                _ => panic!(),
+            }
+        };
+        assert_eq!(get("const char *p;"), "*c");
+        assert_eq!(get("char * const p;"), "c*");
+        assert_eq!(get("volatile int v;"), "v");
+        assert_eq!(get("const char * restrict * q;"), "*r*c");
+    }
+
+    #[test]
+    fn struct_union_enum_typedef() {
+        let tu = parse(
+            "struct packet_command { char *cmd; int len : 4; };\n\
+             union u { int a; float b; };\n\
+             enum state { IDLE, BUSY = 5, DONE };\n\
+             typedef unsigned long ulong_t;\n\
+             struct fwd;\n",
+        );
+        let TopLevel::RecordDef { name, fields, is_union, .. } = &tu.items[0] else {
+            panic!();
+        };
+        assert_eq!(name, "packet_command");
+        assert!(!is_union);
+        assert_eq!(fields[0].ty.quals.encode(), "*");
+        assert_eq!(fields[1].bit_width, Some(4));
+        assert!(matches!(&tu.items[1], TopLevel::RecordDef { is_union: true, .. }));
+        let TopLevel::EnumDef { enumerators, .. } = &tu.items[2] else {
+            panic!();
+        };
+        assert_eq!(enumerators.len(), 3);
+        assert_eq!(enumerators[1].1, Some(5));
+        assert_eq!(enumerators[0].1, None);
+        let TopLevel::Typedef { name, ty, .. } = &tu.items[3] else {
+            panic!();
+        };
+        assert_eq!(name, "ulong_t");
+        assert_eq!(ty.base.display(), "unsigned long");
+        assert!(matches!(&tu.items[4], TopLevel::RecordDecl { name, .. } if name == "fwd"));
+    }
+
+    #[test]
+    fn typedef_names_enable_declarations() {
+        let tu = parse("typedef int myint; int f(void) { myint x = 1; return x; }");
+        let TopLevel::FunctionDef { body, .. } = &tu.items[1] else {
+            panic!();
+        };
+        assert!(matches!(&body[0], Stmt::Decl { name, .. } if name == "x"));
+    }
+
+    #[test]
+    fn struct_with_variable_declaration() {
+        let tu = parse("struct point { int x; int y; } origin;");
+        assert!(matches!(&tu.items[0], TopLevel::RecordDef { .. }));
+        let TopLevel::Global { name, ty, .. } = &tu.items[1] else {
+            panic!();
+        };
+        assert_eq!(name, "origin");
+        assert_eq!(ty.base.display(), "struct point");
+    }
+
+    #[test]
+    fn statements_full_set() {
+        let tu = parse(
+            "int f(int n) {\n\
+               int acc = 0;\n\
+               for (int i = 0; i < n; i++) acc += i;\n\
+               while (acc > 100) acc /= 2;\n\
+               do { acc--; } while (acc > 50);\n\
+               if (acc == 0) return 1; else acc = 2;\n\
+               switch (n) { case 1: acc = 1; break; default: acc = 0; }\n\
+               goto out;\n\
+             out: return acc;\n\
+             }",
+        );
+        let TopLevel::FunctionDef { body, .. } = &tu.items[0] else {
+            panic!();
+        };
+        assert!(body.len() >= 7);
+        assert!(matches!(body[1], Stmt::For { .. }));
+        assert!(matches!(body[2], Stmt::While { .. }));
+        assert!(matches!(body[3], Stmt::DoWhile { .. }));
+        assert!(matches!(body[4], Stmt::If { .. }));
+        assert!(matches!(body[5], Stmt::Switch { .. }));
+        assert!(matches!(body[6], Stmt::Goto(_)));
+        assert!(matches!(body[7], Stmt::Label(..)));
+    }
+
+    #[test]
+    fn expressions_precedence() {
+        let tu = parse("int f(void) { return 1 + 2 * 3; }");
+        let TopLevel::FunctionDef { body, .. } = &tu.items[0] else {
+            panic!();
+        };
+        let Stmt::Return(Some(e)) = &body[0] else {
+            panic!();
+        };
+        // 1 + (2 * 3): top is Add.
+        let ExprKind::Binary { op: BinOp::Arith(BinOpKind::Add), rhs, .. } = &e.kind else {
+            panic!("got {:?}", e.kind);
+        };
+        assert!(matches!(
+            rhs.kind,
+            ExprKind::Binary { op: BinOp::Arith(BinOpKind::Mul), .. }
+        ));
+    }
+
+    #[test]
+    fn member_access_and_calls() {
+        let tu = parse("int f(struct pc *p) { p->len = g(p->cmd[0], s.x); return 0; }");
+        let TopLevel::FunctionDef { body, .. } = &tu.items[0] else {
+            panic!();
+        };
+        let Stmt::Expr(e) = &body[0] else { panic!() };
+        let ExprKind::Assign { lhs, rhs, op: None } = &e.kind else {
+            panic!();
+        };
+        assert!(matches!(&lhs.kind, ExprKind::Member { arrow: true, field, .. } if field == "len"));
+        let ExprKind::Call { args, .. } = &rhs.kind else {
+            panic!();
+        };
+        assert_eq!(args.len(), 2);
+        assert!(matches!(&args[1].kind, ExprKind::Member { arrow: false, field, .. } if field == "x"));
+    }
+
+    #[test]
+    fn casts_sizeof_alignof() {
+        let tu = parse(
+            "typedef struct pc pc_t;\n\
+             int f(void *v) { pc_t *p = (pc_t *) v; int n = sizeof(struct pc); \
+              int a = _Alignof(int); int m = sizeof n; return n + a + m; }",
+        );
+        let TopLevel::FunctionDef { body, .. } = &tu.items[1] else {
+            panic!();
+        };
+        let Stmt::Decl { init: Some(e), .. } = &body[0] else {
+            panic!();
+        };
+        assert!(matches!(&e.kind, ExprKind::Cast { .. }));
+        let Stmt::Decl { init: Some(e), .. } = &body[1] else {
+            panic!();
+        };
+        assert!(matches!(&e.kind, ExprKind::SizeofType(_)));
+        let Stmt::Decl { init: Some(e), .. } = &body[2] else {
+            panic!();
+        };
+        assert!(matches!(&e.kind, ExprKind::AlignofType(_)));
+        let Stmt::Decl { init: Some(e), .. } = &body[3] else {
+            panic!();
+        };
+        assert!(matches!(&e.kind, ExprKind::SizeofExpr(_)));
+    }
+
+    #[test]
+    fn function_pointers() {
+        let tu = parse("int (*handler)(int, char *);");
+        let TopLevel::Global { name, ty, .. } = &tu.items[0] else {
+            panic!();
+        };
+        assert_eq!(name, "handler");
+        let BaseType::Function(ft) = &ty.base else {
+            panic!();
+        };
+        assert_eq!(ft.params.len(), 2);
+        assert_eq!(ty.quals.encode(), "*");
+    }
+
+    #[test]
+    fn variadic_and_void_params() {
+        let tu = parse("int printk(const char *fmt, ...); void g(void);");
+        assert!(matches!(&tu.items[0], TopLevel::FunctionDecl { variadic: true, .. }));
+        assert!(
+            matches!(&tu.items[1], TopLevel::FunctionDecl { params, variadic: false, .. } if params.is_empty())
+        );
+    }
+
+    #[test]
+    fn initializer_lists() {
+        let tu = parse("int a[3] = {1, 2, 3}; struct p q = { .x = 1 };");
+        let TopLevel::Global { init: Some(e), .. } = &tu.items[0] else {
+            panic!();
+        };
+        assert!(matches!(&e.kind, ExprKind::InitList(items) if items.len() == 3));
+    }
+
+    #[test]
+    fn ternary_and_logical() {
+        let tu = parse("int f(int a, int b) { return a && b ? a : b || !a; }");
+        let TopLevel::FunctionDef { body, .. } = &tu.items[0] else {
+            panic!();
+        };
+        assert!(matches!(&body[0], Stmt::Return(Some(e)) if matches!(e.kind, ExprKind::Ternary { .. })));
+    }
+
+    #[test]
+    fn string_concat_and_ranges() {
+        let tu = parse("char *s = \"a\" \"b\";");
+        let TopLevel::Global { init: Some(e), .. } = &tu.items[0] else {
+            panic!();
+        };
+        assert!(matches!(&e.kind, ExprKind::StrLit(s) if s == "ab"));
+    }
+
+    #[test]
+    fn call_range_covers_whole_call_site() {
+        let tu = parse("int f(void) { return bar(argc); }");
+        let TopLevel::FunctionDef { body, .. } = &tu.items[0] else {
+            panic!();
+        };
+        let Stmt::Return(Some(e)) = &body[0] else {
+            panic!();
+        };
+        // `bar(argc)` spans cols 22..30 on line 1.
+        assert_eq!(e.range.start.col, 22);
+        assert_eq!(e.range.end.col, 30);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(parse_err("int f( {"), ExtractError::Parse { .. }));
+        assert!(matches!(parse_err("int x"), ExtractError::Parse { .. }));
+        assert!(matches!(parse_err("struct { int"), ExtractError::Parse { .. }));
+        assert!(matches!(
+            parse_err("int f(void) { return 1 + ; }"),
+            ExtractError::Parse { .. }
+        ));
+    }
+
+    #[test]
+    fn pointer_returning_function() {
+        let tu = parse("char *strdup(const char *s);");
+        let TopLevel::FunctionDecl { name, ret, params, .. } = &tu.items[0] else {
+            panic!();
+        };
+        assert_eq!(name, "strdup");
+        assert_eq!(ret.quals.encode(), "*");
+        assert_eq!(params[0].ty.quals.encode(), "*c");
+    }
+}

@@ -1,0 +1,1090 @@
+//! C preprocessor.
+//!
+//! Handles the directives the graph model cares about:
+//!
+//! * `#include "..."` / `#include <...>` — resolved through
+//!   [`SourceTree::resolve_include`], recorded as `includes` edges.
+//! * `#define` / `#undef` — object- and function-like macros; every
+//!   definition becomes a `macro` node.
+//! * `#ifdef` / `#ifndef` / `#if` / `#elif` / `#else` / `#endif` —
+//!   conditional compilation with a small constant-expression evaluator;
+//!   each `defined(X)`-style test is recorded as an `interrogates_macro`
+//!   use.
+//! * `#pragma` — ignored. `#error` — raised as an extraction error when
+//!   reached in an active branch.
+//!
+//! Macro uses in active text are expanded (parameter substitution,
+//! rescanning with self-reference protection); expanded tokens carry
+//! `in_macro = true` (the `IN_MACRO` property of Table 2) and retain the
+//! use-site location, matching the paper's note that, because of the
+//! preprocessor, an edge's source file can differ from both end nodes.
+
+use crate::error::ExtractError;
+use crate::lexer::{lex_file, CTok, Punct, Token};
+use crate::source::{FileMap, SourceTree};
+use frappe_model::{FileId, SrcRange};
+use std::collections::HashMap;
+
+/// A recorded macro definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MacroDef {
+    /// Macro name.
+    pub name: String,
+    /// `Some(params)` for function-like macros.
+    pub params: Option<Vec<String>>,
+    /// Replacement tokens.
+    pub body: Vec<Token>,
+    /// File the definition appears in.
+    pub file: FileId,
+    /// Range of the macro-name token in the `#define`.
+    pub name_range: SrcRange,
+}
+
+/// A recorded `#include` edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IncludeEvent {
+    /// Including file.
+    pub from: FileId,
+    /// Included file.
+    pub to: FileId,
+    /// Range of the directive line.
+    pub range: SrcRange,
+}
+
+/// A macro use: expansion or interrogation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MacroUse {
+    /// Macro name.
+    pub name: String,
+    /// Use-site range.
+    pub range: SrcRange,
+}
+
+/// Preprocessor output for one translation unit.
+#[derive(Debug, Clone, Default)]
+pub struct Preprocessed {
+    /// The expanded token stream fed to the parser.
+    pub tokens: Vec<Token>,
+    /// All macro definitions encountered (in definition order).
+    pub macros: Vec<MacroDef>,
+    /// All `#include` resolutions.
+    pub includes: Vec<IncludeEvent>,
+    /// All macro expansions (object- or function-like).
+    pub expansions: Vec<MacroUse>,
+    /// All conditional interrogations (`#ifdef X`, `defined(X)`).
+    pub interrogations: Vec<MacroUse>,
+    /// Files visited, in first-visit order (entry file first).
+    pub files: Vec<FileId>,
+}
+
+const MAX_INCLUDE_DEPTH: usize = 64;
+const MAX_EXPANSION_DEPTH: usize = 32;
+
+/// Runs the preprocessor over `entry`.
+pub fn preprocess(
+    tree: &SourceTree,
+    files: &mut FileMap,
+    entry: &str,
+    predefined: &[(&str, &str)],
+) -> Result<Preprocessed, ExtractError> {
+    let mut pp = Pp {
+        tree,
+        files,
+        out: Preprocessed::default(),
+        macros: HashMap::new(),
+        include_stack: Vec::new(),
+    };
+    for (name, body) in predefined {
+        let toks = lex_file(body, FileId(u32::MAX), "<predefined>")?
+            .into_iter()
+            .flatten()
+            .collect();
+        pp.macros.insert(
+            (*name).to_owned(),
+            MacroDef {
+                name: (*name).to_owned(),
+                params: None,
+                body: toks,
+                file: FileId(u32::MAX),
+                name_range: SrcRange::new(FileId(u32::MAX), 0, 0, 0, 0),
+            },
+        );
+    }
+    pp.include(entry, None)?;
+    Ok(pp.out)
+}
+
+struct Pp<'a> {
+    tree: &'a SourceTree,
+    files: &'a mut FileMap,
+    out: Preprocessed,
+    macros: HashMap<String, MacroDef>,
+    include_stack: Vec<String>,
+}
+
+/// One level of `#if` nesting.
+#[derive(Debug, Clone, Copy)]
+struct CondFrame {
+    /// This branch is currently emitting tokens.
+    active: bool,
+    /// Some earlier branch of this `#if` chain was taken.
+    taken: bool,
+    /// The enclosing context was active.
+    parent_active: bool,
+}
+
+impl Pp<'_> {
+    fn include(&mut self, path: &str, from: Option<(FileId, SrcRange)>) -> Result<(), ExtractError> {
+        if self.include_stack.len() >= MAX_INCLUDE_DEPTH {
+            return Err(ExtractError::Preprocess {
+                file: path.to_owned(),
+                line: 0,
+                message: "include depth limit exceeded".into(),
+            });
+        }
+        let text = self
+            .tree
+            .read(path)
+            .ok_or_else(|| ExtractError::FileNotFound(path.to_owned()))?
+            .to_owned();
+        let fid = self.files.id(path);
+        if !self.out.files.contains(&fid) {
+            self.out.files.push(fid);
+        }
+        if let Some((from_fid, range)) = from {
+            self.out.includes.push(IncludeEvent {
+                from: from_fid,
+                to: fid,
+                range,
+            });
+        }
+        self.include_stack.push(path.to_owned());
+        let lines = lex_file(&text, fid, path)?;
+        let mut conds: Vec<CondFrame> = Vec::new();
+        for line in lines {
+            if line.first().is_some_and(|t| t.is_punct(Punct::Hash)) {
+                self.directive(path, fid, &line, &mut conds)?;
+            } else if conds.iter().all(|c| c.active) {
+                let expanded = self.expand_line(&line, &mut Vec::new(), 0, path)?;
+                self.out.tokens.extend(expanded);
+            }
+        }
+        if !conds.is_empty() {
+            return Err(ExtractError::Preprocess {
+                file: path.to_owned(),
+                line: 0,
+                message: "unterminated conditional".into(),
+            });
+        }
+        self.include_stack.pop();
+        Ok(())
+    }
+
+    fn directive(
+        &mut self,
+        path: &str,
+        fid: FileId,
+        line: &[Token],
+        conds: &mut Vec<CondFrame>,
+    ) -> Result<(), ExtractError> {
+        let active = conds.iter().all(|c| c.active);
+        let line_no = line.first().map_or(0, |t| t.line);
+        let perr = |message: String| ExtractError::Preprocess {
+            file: path.to_owned(),
+            line: line_no,
+            message,
+        };
+        let name = match line.get(1).and_then(Token::ident) {
+            Some(n) => n.to_owned(),
+            None => return Ok(()), // a bare `#` line is allowed
+        };
+        let rest = &line[2..];
+        match name.as_str() {
+            "include" if active => {
+                let (target, angled) = parse_include_target(rest)
+                    .ok_or_else(|| perr("malformed #include".into()))?;
+                let resolved = self
+                    .tree
+                    .resolve_include(path, &target, angled)
+                    .ok_or_else(|| ExtractError::FileNotFound(target.clone()))?;
+                let range = line_range(line);
+                self.include(&resolved, Some((fid, range)))?;
+            }
+            "define" if active => {
+                let name_tok = rest
+                    .first()
+                    .and_then(|t| t.ident().map(|s| (s.to_owned(), t.clone())))
+                    .ok_or_else(|| perr("#define needs a name".into()))?;
+                let (mname, ntok) = name_tok;
+                // Function-like only when '(' hugs the name (col adjacency).
+                let fnlike = rest.get(1).is_some_and(|t| {
+                    t.is_punct(Punct::LParen) && t.line == ntok.line && t.col == ntok.col + ntok.len
+                });
+                let (params, body_start) = if fnlike {
+                    let mut params = Vec::new();
+                    let mut i = 2;
+                    loop {
+                        match rest.get(i) {
+                            Some(t) if t.is_punct(Punct::RParen) => {
+                                i += 1;
+                                break;
+                            }
+                            Some(t) if t.is_punct(Punct::Comma) => i += 1,
+                            Some(t) => {
+                                let p = t
+                                    .ident()
+                                    .ok_or_else(|| perr("bad macro parameter".into()))?;
+                                params.push(p.to_owned());
+                                i += 1;
+                            }
+                            None => return Err(perr("unterminated macro parameter list".into())),
+                        }
+                    }
+                    (Some(params), i)
+                } else {
+                    (None, 1)
+                };
+                let def = MacroDef {
+                    name: mname.clone(),
+                    params,
+                    body: rest[body_start..].to_vec(),
+                    file: fid,
+                    name_range: ntok.range(),
+                };
+                self.out.macros.push(def.clone());
+                self.macros.insert(mname, def);
+            }
+            "undef" if active => {
+                if let Some(n) = rest.first().and_then(Token::ident) {
+                    self.macros.remove(n);
+                }
+            }
+            "ifdef" | "ifndef" => {
+                let cond = if active {
+                    let n = rest
+                        .first()
+                        .and_then(Token::ident)
+                        .ok_or_else(|| perr(format!("#{name} needs a name")))?;
+                    self.out.interrogations.push(MacroUse {
+                        name: n.to_owned(),
+                        range: rest[0].range(),
+                    });
+                    let defined = self.macros.contains_key(n);
+                    if name == "ifdef" {
+                        defined
+                    } else {
+                        !defined
+                    }
+                } else {
+                    false
+                };
+                conds.push(CondFrame {
+                    active: active && cond,
+                    taken: cond,
+                    parent_active: active,
+                });
+            }
+            "if" => {
+                let cond = if active {
+                    self.eval_condition(rest, path, line_no)?
+                } else {
+                    false
+                };
+                conds.push(CondFrame {
+                    active: active && cond,
+                    taken: cond,
+                    parent_active: active,
+                });
+            }
+            "elif" => {
+                let frame = conds.last_mut().ok_or_else(|| perr("#elif without #if".into()))?;
+                if frame.parent_active && !frame.taken {
+                    let parent_active = frame.parent_active;
+                    let cond = self.eval_condition(rest, path, line_no)?;
+                    let frame = conds.last_mut().expect("frame checked above");
+                    frame.active = parent_active && cond;
+                    frame.taken = cond;
+                } else {
+                    let frame = conds.last_mut().expect("frame checked above");
+                    frame.active = false;
+                }
+            }
+            "else" => {
+                let frame = conds.last_mut().ok_or_else(|| perr("#else without #if".into()))?;
+                frame.active = frame.parent_active && !frame.taken;
+                frame.taken = true;
+            }
+            "endif" => {
+                conds.pop().ok_or_else(|| perr("#endif without #if".into()))?;
+            }
+            "pragma" => {}
+            "error" if active => {
+                return Err(perr("#error reached".into()));
+            }
+            // Inactive or unknown-but-inactive directives are skipped;
+            // unknown active directives are an error.
+            other => {
+                if active && !matches!(other, "include" | "define" | "undef" | "error") {
+                    return Err(perr(format!("unknown directive #{other}")));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates a `#if` / `#elif` expression.
+    fn eval_condition(
+        &mut self,
+        tokens: &[Token],
+        path: &str,
+        line_no: u32,
+    ) -> Result<bool, ExtractError> {
+        let mut ev = CondEval {
+            pp: self,
+            tokens,
+            pos: 0,
+            path,
+            line_no,
+        };
+        let v = ev.or_expr()?;
+        Ok(v != 0)
+    }
+
+    /// Expands macros in one logical line of ordinary text.
+    fn expand_line(
+        &mut self,
+        line: &[Token],
+        expanding: &mut Vec<String>,
+        depth: usize,
+        path: &str,
+    ) -> Result<Vec<Token>, ExtractError> {
+        if depth > MAX_EXPANSION_DEPTH {
+            return Err(ExtractError::Preprocess {
+                file: path.to_owned(),
+                line: line.first().map_or(0, |t| t.line),
+                message: "macro expansion too deep".into(),
+            });
+        }
+        let mut out = Vec::with_capacity(line.len());
+        let mut i = 0usize;
+        while i < line.len() {
+            let t = &line[i];
+            let Some(name) = t.ident() else {
+                out.push(t.clone());
+                i += 1;
+                continue;
+            };
+            if expanding.iter().any(|e| e == name) {
+                out.push(t.clone());
+                i += 1;
+                continue;
+            }
+            let Some(def) = self.macros.get(name).cloned() else {
+                out.push(t.clone());
+                i += 1;
+                continue;
+            };
+            match &def.params {
+                None => {
+                    // Object-like expansion.
+                    self.out.expansions.push(MacroUse {
+                        name: name.to_owned(),
+                        range: t.range(),
+                    });
+                    let body = relocate(&def.body, t);
+                    expanding.push(name.to_owned());
+                    let expanded = self.expand_line(&body, expanding, depth + 1, path)?;
+                    expanding.pop();
+                    out.extend(expanded);
+                    i += 1;
+                }
+                Some(params) => {
+                    // Function-like: requires '(' right after.
+                    if !line.get(i + 1).is_some_and(|n| n.is_punct(Punct::LParen)) {
+                        out.push(t.clone());
+                        i += 1;
+                        continue;
+                    }
+                    let (args, consumed) =
+                        collect_args(&line[i + 2..]).ok_or_else(|| ExtractError::Preprocess {
+                            file: path.to_owned(),
+                            line: t.line,
+                            message: format!("unterminated arguments to macro {name}"),
+                        })?;
+                    if args.len() != params.len() && !(params.is_empty() && args.len() == 1 && args[0].is_empty()) {
+                        return Err(ExtractError::Preprocess {
+                            file: path.to_owned(),
+                            line: t.line,
+                            message: format!(
+                                "macro {name} expects {} arguments, got {}",
+                                params.len(),
+                                args.len()
+                            ),
+                        });
+                    }
+                    self.out.expansions.push(MacroUse {
+                        name: name.to_owned(),
+                        range: t.range(),
+                    });
+                    // Substitute parameters, handling the `#` (stringify)
+                    // and `##` (token paste) operators.
+                    let subst = |tok: &Token, out: &mut Vec<Token>| {
+                        if let Some(pi) =
+                            tok.ident().and_then(|id| params.iter().position(|p| p == id))
+                        {
+                            out.extend(relocate(args.get(pi).map_or(&[][..], |a| a), t));
+                        } else {
+                            out.extend(relocate(std::slice::from_ref(tok), t));
+                        }
+                    };
+                    let mut body = Vec::new();
+                    let mut b = 0usize;
+                    while b < def.body.len() {
+                        let bt = &def.body[b];
+                        // `# param` → string literal of the argument tokens.
+                        if bt.is_punct(Punct::Hash) {
+                            if let Some(pi) = def.body.get(b + 1).and_then(|n| {
+                                n.ident().and_then(|id| params.iter().position(|p| p == id))
+                            }) {
+                                let text =
+                                    stringify_tokens(args.get(pi).map_or(&[][..], |a| a));
+                                body.push(Token {
+                                    tok: CTok::Str(text),
+                                    file: t.file,
+                                    line: t.line,
+                                    col: t.col,
+                                    len: t.len,
+                                    in_macro: true,
+                                });
+                                b += 2;
+                                continue;
+                            }
+                        }
+                        // `x ## y` → paste into a single identifier.
+                        if def.body.get(b + 1).is_some_and(|n| n.is_punct(Punct::Hash))
+                            && def.body.get(b + 2).is_some_and(|n| n.is_punct(Punct::Hash))
+                            && def.body.get(b + 3).is_some()
+                        {
+                            let mut left = Vec::new();
+                            subst(bt, &mut left);
+                            let mut right = Vec::new();
+                            subst(&def.body[b + 3], &mut right);
+                            if let Some(pasted) = paste(left.last(), right.first(), t) {
+                                left.pop();
+                                body.extend(left);
+                                body.push(pasted);
+                                body.extend(right.into_iter().skip(1));
+                                b += 4;
+                                continue;
+                            }
+                        }
+                        subst(bt, &mut body);
+                        b += 1;
+                    }
+                    expanding.push(name.to_owned());
+                    let expanded = self.expand_line(&body, expanding, depth + 1, path)?;
+                    expanding.pop();
+                    out.extend(expanded);
+                    i += 2 + consumed; // ident + '(' + args incl. ')'
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Renders argument tokens back to text for the `#` stringify operator.
+fn stringify_tokens(tokens: &[Token]) -> String {
+    let mut s = String::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if i > 0 {
+            s.push(' ');
+        }
+        match &t.tok {
+            CTok::Ident(id) => s.push_str(id),
+            CTok::Int(v) => s.push_str(&v.to_string()),
+            CTok::Float(f) => s.push_str(f),
+            CTok::Str(x) => {
+                s.push('"');
+                s.push_str(x);
+                s.push('"');
+            }
+            CTok::Char(c) => {
+                s.push('\'');
+                s.push(*c);
+                s.push('\'');
+            }
+            CTok::Punct(_) => s.push_str(punct_text(t)),
+        }
+    }
+    s
+}
+
+/// Best-effort textual form of a punctuator (for stringify/paste).
+fn punct_text(t: &Token) -> &'static str {
+    use Punct::*;
+    match t.tok {
+        CTok::Punct(p) => match p {
+            LParen => "(",
+            RParen => ")",
+            LBracket => "[",
+            RBracket => "]",
+            LBrace => "{",
+            RBrace => "}",
+            Semi => ";",
+            Comma => ",",
+            Dot => ".",
+            Arrow => "->",
+            Ellipsis => "...",
+            Question => "?",
+            Colon => ":",
+            Hash => "#",
+            Plus => "+",
+            Minus => "-",
+            Star => "*",
+            Slash => "/",
+            Percent => "%",
+            Inc => "++",
+            Dec => "--",
+            Assign => "=",
+            OpAssign(_) => "op=",
+            EqEq => "==",
+            NotEq => "!=",
+            Lt => "<",
+            Le => "<=",
+            Gt => ">",
+            Ge => ">=",
+            AndAnd => "&&",
+            OrOr => "||",
+            Not => "!",
+            Amp => "&",
+            Pipe => "|",
+            Caret => "^",
+            Tilde => "~",
+            Shl => "<<",
+            Shr => ">>",
+        },
+        _ => "",
+    }
+}
+
+/// Pastes two tokens into one (`a ## b`). Identifier/identifier and
+/// identifier/integer pastes produce identifiers; anything else fails
+/// (caller falls back to plain substitution).
+fn paste(left: Option<&Token>, right: Option<&Token>, site: &Token) -> Option<Token> {
+    let (l, r) = (left?, right?);
+    let text = match (&l.tok, &r.tok) {
+        (CTok::Ident(a), CTok::Ident(b)) => format!("{a}{b}"),
+        (CTok::Ident(a), CTok::Int(b)) => format!("{a}{b}"),
+        (CTok::Int(a), CTok::Ident(b)) => format!("{a}{b}"),
+        _ => return None,
+    };
+    Some(Token {
+        tok: CTok::Ident(text),
+        file: site.file,
+        line: site.line,
+        col: site.col,
+        len: site.len,
+        in_macro: true,
+    })
+}
+
+/// Re-stamps body tokens at the use site and marks them `in_macro`.
+fn relocate(body: &[Token], site: &Token) -> Vec<Token> {
+    body.iter()
+        .map(|t| Token {
+            tok: t.tok.clone(),
+            file: site.file,
+            line: site.line,
+            col: site.col,
+            len: site.len,
+            in_macro: true,
+        })
+        .collect()
+}
+
+/// Collects macro-call arguments after the opening paren. Returns the
+/// argument token lists and the number of tokens consumed (including the
+/// closing paren).
+fn collect_args(rest: &[Token]) -> Option<(Vec<Vec<Token>>, usize)> {
+    let mut args: Vec<Vec<Token>> = vec![Vec::new()];
+    let mut depth = 0usize;
+    for (i, t) in rest.iter().enumerate() {
+        match &t.tok {
+            CTok::Punct(Punct::LParen) => {
+                depth += 1;
+                args.last_mut().expect("non-empty").push(t.clone());
+            }
+            CTok::Punct(Punct::RParen) => {
+                if depth == 0 {
+                    return Some((args, i + 1));
+                }
+                depth -= 1;
+                args.last_mut().expect("non-empty").push(t.clone());
+            }
+            CTok::Punct(Punct::Comma) if depth == 0 => args.push(Vec::new()),
+            _ => args.last_mut().expect("non-empty").push(t.clone()),
+        }
+    }
+    None
+}
+
+fn parse_include_target(rest: &[Token]) -> Option<(String, bool)> {
+    match rest.first().map(|t| &t.tok) {
+        Some(CTok::Str(s)) => Some((s.clone(), false)),
+        Some(CTok::Punct(Punct::Lt)) => {
+            // Reassemble `<a/b.h>` from tokens up to `>`.
+            let mut name = String::new();
+            for t in &rest[1..] {
+                match &t.tok {
+                    CTok::Punct(Punct::Gt) => return Some((name, true)),
+                    CTok::Ident(s) => name.push_str(s),
+                    CTok::Punct(Punct::Dot) => name.push('.'),
+                    CTok::Punct(Punct::Slash) => name.push('/'),
+                    CTok::Punct(Punct::Minus) => name.push('-'),
+                    CTok::Int(v) => name.push_str(&v.to_string()),
+                    _ => return None,
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+fn line_range(line: &[Token]) -> SrcRange {
+    let first = line.first().expect("non-empty directive line");
+    let last = line.last().expect("non-empty directive line");
+    SrcRange {
+        file: first.file,
+        start: frappe_model::SrcPos::new(first.line, first.col),
+        end: frappe_model::SrcPos::new(last.line, last.col + last.len.saturating_sub(1)),
+    }
+}
+
+/// Constant-expression evaluator for `#if`.
+struct CondEval<'a, 'b> {
+    pp: &'a mut Pp<'b>,
+    tokens: &'a [Token],
+    pos: usize,
+    path: &'a str,
+    line_no: u32,
+}
+
+impl CondEval<'_, '_> {
+    fn err(&self, message: &str) -> ExtractError {
+        ExtractError::Preprocess {
+            file: self.path.to_owned(),
+            line: self.line_no,
+            message: message.to_owned(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn or_expr(&mut self) -> Result<i64, ExtractError> {
+        let mut v = self.and_expr()?;
+        while self.peek().is_some_and(|t| t.is_punct(Punct::OrOr)) {
+            self.pos += 1;
+            let r = self.and_expr()?;
+            v = i64::from(v != 0 || r != 0);
+        }
+        Ok(v)
+    }
+
+    fn and_expr(&mut self) -> Result<i64, ExtractError> {
+        let mut v = self.cmp_expr()?;
+        while self.peek().is_some_and(|t| t.is_punct(Punct::AndAnd)) {
+            self.pos += 1;
+            let r = self.cmp_expr()?;
+            v = i64::from(v != 0 && r != 0);
+        }
+        Ok(v)
+    }
+
+    fn cmp_expr(&mut self) -> Result<i64, ExtractError> {
+        let v = self.unary()?;
+        let op = match self.peek().map(|t| &t.tok) {
+            Some(CTok::Punct(Punct::EqEq)) => Some(Punct::EqEq),
+            Some(CTok::Punct(Punct::NotEq)) => Some(Punct::NotEq),
+            Some(CTok::Punct(Punct::Lt)) => Some(Punct::Lt),
+            Some(CTok::Punct(Punct::Le)) => Some(Punct::Le),
+            Some(CTok::Punct(Punct::Gt)) => Some(Punct::Gt),
+            Some(CTok::Punct(Punct::Ge)) => Some(Punct::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let r = self.unary()?;
+            return Ok(i64::from(match op {
+                Punct::EqEq => v == r,
+                Punct::NotEq => v != r,
+                Punct::Lt => v < r,
+                Punct::Le => v <= r,
+                Punct::Gt => v > r,
+                Punct::Ge => v >= r,
+                _ => unreachable!(),
+            }));
+        }
+        Ok(v)
+    }
+
+    fn unary(&mut self) -> Result<i64, ExtractError> {
+        match self.peek().map(|t| t.tok.clone()) {
+            Some(CTok::Punct(Punct::Not)) => {
+                self.pos += 1;
+                Ok(i64::from(self.unary()? == 0))
+            }
+            Some(CTok::Punct(Punct::LParen)) => {
+                self.pos += 1;
+                let v = self.or_expr()?;
+                if !self.peek().is_some_and(|t| t.is_punct(Punct::RParen)) {
+                    return Err(self.err("expected ')' in #if expression"));
+                }
+                self.pos += 1;
+                Ok(v)
+            }
+            Some(CTok::Int(v)) => {
+                self.pos += 1;
+                Ok(v)
+            }
+            Some(CTok::Ident(id)) if id == "defined" => {
+                self.pos += 1;
+                let parens = self.peek().is_some_and(|t| t.is_punct(Punct::LParen));
+                if parens {
+                    self.pos += 1;
+                }
+                let tok = self
+                    .peek()
+                    .cloned()
+                    .ok_or_else(|| self.err("defined() needs a name"))?;
+                let name = tok
+                    .ident()
+                    .ok_or_else(|| self.err("defined() needs a name"))?
+                    .to_owned();
+                self.pos += 1;
+                if parens {
+                    if !self.peek().is_some_and(|t| t.is_punct(Punct::RParen)) {
+                        return Err(self.err("expected ')' after defined"));
+                    }
+                    self.pos += 1;
+                }
+                self.pp.out.interrogations.push(MacroUse {
+                    name: name.clone(),
+                    range: tok.range(),
+                });
+                Ok(i64::from(self.pp.macros.contains_key(&name)))
+            }
+            Some(CTok::Ident(id)) => {
+                // An ordinary macro name: its integer value if defined as a
+                // single int, else 0 (C semantics for unknown identifiers).
+                let tok = self.peek().cloned().expect("peeked above");
+                self.pos += 1;
+                self.pp.out.interrogations.push(MacroUse {
+                    name: id.clone(),
+                    range: tok.range(),
+                });
+                match self.pp.macros.get(&id) {
+                    Some(def) => match def.body.first().map(|t| &t.tok) {
+                        Some(CTok::Int(v)) if def.body.len() == 1 => Ok(*v),
+                        _ => Ok(0),
+                    },
+                    None => Ok(0),
+                }
+            }
+            _ => Err(self.err("bad #if expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(files: &[(&str, &str)], entry: &str) -> Preprocessed {
+        let mut tree = SourceTree::new();
+        for (p, c) in files {
+            tree.add_file(p, c);
+        }
+        let mut fm = FileMap::new();
+        preprocess(&tree, &mut fm, entry, &[]).unwrap()
+    }
+
+    fn idents(p: &Preprocessed) -> Vec<String> {
+        p.tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_owned))
+            .collect()
+    }
+
+    #[test]
+    fn plain_text_passes_through() {
+        let p = run(&[("a.c", "int x;\nint y;\n")], "a.c");
+        assert_eq!(idents(&p), vec!["int", "x", "int", "y"]);
+        assert!(p.macros.is_empty());
+    }
+
+    #[test]
+    fn include_records_edge_and_inlines_tokens() {
+        let p = run(
+            &[("foo.h", "int bar(int);\n"), ("a.c", "#include \"foo.h\"\nint x;\n")],
+            "a.c",
+        );
+        assert_eq!(p.includes.len(), 1);
+        assert_eq!(p.files.len(), 2);
+        assert_eq!(idents(&p), vec!["int", "bar", "int", "int", "x"]);
+    }
+
+    #[test]
+    fn angled_include_resolves_from_include_dir() {
+        let p = run(
+            &[("include/lib.h", "int lib;\n"), ("a.c", "#include <lib.h>\n")],
+            "a.c",
+        );
+        assert_eq!(p.includes.len(), 1);
+        assert_eq!(idents(&p), vec!["int", "lib"]);
+    }
+
+    #[test]
+    fn missing_include_errors() {
+        let mut tree = SourceTree::new();
+        tree.add_file("a.c", "#include \"nope.h\"\n");
+        let mut fm = FileMap::new();
+        let err = preprocess(&tree, &mut fm, "a.c", &[]).unwrap_err();
+        assert!(matches!(err, ExtractError::FileNotFound(_)));
+    }
+
+    #[test]
+    fn object_macro_expands_with_in_macro_flag() {
+        let p = run(&[("a.c", "#define N 42\nint x = N;\n")], "a.c");
+        assert_eq!(p.macros.len(), 1);
+        assert_eq!(p.expansions.len(), 1);
+        assert_eq!(p.expansions[0].name, "N");
+        let last = p.tokens.last().unwrap();
+        // x = 42 ; — the 42 token is macro-provenance.
+        let n42 = p.tokens.iter().find(|t| t.tok == CTok::Int(42)).unwrap();
+        assert!(n42.in_macro);
+        assert!(!last.in_macro); // ';'
+    }
+
+    #[test]
+    fn function_macro_substitutes_params() {
+        let p = run(
+            &[("a.c", "#define MAX(a, b) ((a) > (b) ? (a) : (b))\nint m = MAX(x, 3);\n")],
+            "a.c",
+        );
+        assert_eq!(p.expansions.len(), 1);
+        let ids = idents(&p);
+        // x appears twice (for both `a` uses).
+        assert_eq!(ids.iter().filter(|s| *s == "x").count(), 2);
+        assert_eq!(
+            p.tokens.iter().filter(|t| t.tok == CTok::Int(3)).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn function_macro_without_parens_is_not_expanded() {
+        let p = run(&[("a.c", "#define F(x) x\nint F;\n")], "a.c");
+        assert!(p.expansions.is_empty());
+        assert_eq!(idents(&p), vec!["int", "F"]);
+    }
+
+    #[test]
+    fn nested_expansion_and_self_reference_guard() {
+        let p = run(
+            &[("a.c", "#define A B\n#define B A\nint x = A;\n")],
+            "a.c",
+        );
+        // A -> B -> A (stops: self-reference).
+        assert_eq!(idents(&p).last().map(String::as_str), Some("A"));
+        let p = run(&[("a.c", "#define ONE 1\n#define TWO (ONE + ONE)\nint x = TWO;\n")], "a.c");
+        assert_eq!(
+            p.tokens.iter().filter(|t| t.tok == CTok::Int(1)).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn ifdef_gates_tokens_and_records_interrogation() {
+        let src = "#define ON 1\n#ifdef ON\nint yes;\n#else\nint no;\n#endif\n";
+        let p = run(&[("a.c", src)], "a.c");
+        assert_eq!(idents(&p), vec!["int", "yes"]);
+        assert_eq!(p.interrogations.len(), 1);
+        assert_eq!(p.interrogations[0].name, "ON");
+    }
+
+    #[test]
+    fn ifndef_include_guard_idiom() {
+        let h = "#ifndef H_GUARD\n#define H_GUARD\nint once;\n#endif\n";
+        let src = "#include \"g.h\"\n#include \"g.h\"\n";
+        let p = run(&[("g.h", h), ("a.c", src)], "a.c");
+        assert_eq!(idents(&p), vec!["int", "once"]);
+        assert_eq!(p.includes.len(), 2);
+    }
+
+    #[test]
+    fn if_elif_else_chains() {
+        let src = "#define V 2\n#if V == 1\nint a;\n#elif V == 2\nint b;\n#elif V == 3\nint c;\n#else\nint d;\n#endif\n";
+        let p = run(&[("a.c", src)], "a.c");
+        assert_eq!(idents(&p), vec!["int", "b"]);
+    }
+
+    #[test]
+    fn if_defined_and_logic() {
+        let src = "#define A 1\n#if defined(A) && !defined(B)\nint ok;\n#endif\n";
+        let p = run(&[("a.c", src)], "a.c");
+        assert_eq!(idents(&p), vec!["int", "ok"]);
+        assert_eq!(p.interrogations.len(), 2);
+    }
+
+    #[test]
+    fn undef_removes_macro() {
+        let src = "#define X 1\n#undef X\n#ifdef X\nint yes;\n#else\nint no;\n#endif\n";
+        let p = run(&[("a.c", src)], "a.c");
+        assert_eq!(idents(&p), vec!["int", "no"]);
+    }
+
+    #[test]
+    fn inactive_branches_skip_everything() {
+        let src = "#if 0\n#include \"nope.h\"\n#define Z 1\njunk junk junk\n#endif\nint x;\n";
+        let p = run(&[("a.c", src)], "a.c");
+        assert_eq!(idents(&p), vec!["int", "x"]);
+        assert!(p.includes.is_empty());
+        // The #define inside the dead branch must not register.
+        assert!(p.macros.is_empty());
+    }
+
+    #[test]
+    fn error_directive_fires_only_when_active() {
+        let mut tree = SourceTree::new();
+        tree.add_file("a.c", "#if 0\n#error dead\n#endif\nint x;\n");
+        let mut fm = FileMap::new();
+        assert!(preprocess(&tree, &mut fm, "a.c", &[]).is_ok());
+        tree.add_file("b.c", "#error live\n");
+        assert!(preprocess(&tree, &mut fm, "b.c", &[]).is_err());
+    }
+
+    #[test]
+    fn unterminated_conditional_errors() {
+        let mut tree = SourceTree::new();
+        tree.add_file("a.c", "#ifdef X\nint x;\n");
+        let mut fm = FileMap::new();
+        assert!(preprocess(&tree, &mut fm, "a.c", &[]).is_err());
+    }
+
+    #[test]
+    fn predefined_macros_apply() {
+        let mut tree = SourceTree::new();
+        tree.add_file("a.c", "#ifdef __KERNEL__\nint k;\n#endif\n");
+        let mut fm = FileMap::new();
+        let p = preprocess(&tree, &mut fm, "a.c", &[("__KERNEL__", "1")]).unwrap();
+        assert_eq!(
+            p.tokens.iter().filter_map(|t| t.ident()).collect::<Vec<_>>(),
+            vec!["int", "k"]
+        );
+    }
+
+    #[test]
+    fn include_cycle_is_cut_by_depth_limit() {
+        let mut tree = SourceTree::new();
+        tree.add_file("a.h", "#include \"b.h\"\n");
+        tree.add_file("b.h", "#include \"a.h\"\n");
+        tree.add_file("a.c", "#include \"a.h\"\n");
+        let mut fm = FileMap::new();
+        assert!(preprocess(&tree, &mut fm, "a.c", &[]).is_err());
+    }
+}
+
+#[cfg(test)]
+mod paste_tests {
+    use super::*;
+
+    fn run(files: &[(&str, &str)], entry: &str) -> Preprocessed {
+        let mut tree = SourceTree::new();
+        for (p, c) in files {
+            tree.add_file(p, c);
+        }
+        let mut fm = FileMap::new();
+        preprocess(&tree, &mut fm, entry, &[]).unwrap()
+    }
+
+    #[test]
+    fn stringify_operator() {
+        let p = run(
+            &[("a.c", "#define STR(x) #x\nchar *s = STR(hello + 1);\n")],
+            "a.c",
+        );
+        let strs: Vec<&str> = p
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                CTok::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, vec!["hello + 1"]);
+    }
+
+    #[test]
+    fn token_paste_builds_identifiers() {
+        // The kernel's DEFINE_*-style pattern.
+        let p = run(
+            &[(
+                "a.c",
+                "#define DEFINE_GETTER(name) int get_##name(void) { return name##_value; }\n\
+                 int speed_value;\nDEFINE_GETTER(speed)\n",
+            )],
+            "a.c",
+        );
+        let ids: Vec<&str> = p.tokens.iter().filter_map(|t| t.ident()).collect();
+        assert!(ids.contains(&"get_speed"), "ids: {ids:?}");
+        assert!(ids.contains(&"speed_value"));
+    }
+
+    #[test]
+    fn pasted_functions_lower_into_graph_nodes() {
+        use crate::link::CompileDb;
+        use crate::lower::Extractor;
+        use frappe_model::NodeType;
+        use frappe_store::{NameField, NamePattern};
+        let mut tree = SourceTree::new();
+        tree.add_file(
+            "g.c",
+            "#define DEFINE_HANDLER(name) int name##_handler(void) { return 0; }\n\
+             DEFINE_HANDLER(irq)\nDEFINE_HANDLER(timer)\n\
+             int main(void) { return irq_handler() + timer_handler(); }\n",
+        );
+        let mut db = CompileDb::new();
+        db.compile("g.c", "g.o");
+        let mut out = Extractor::new().extract(&tree, &db).unwrap();
+        out.graph.freeze();
+        let g = &out.graph;
+        for name in ["irq_handler", "timer_handler"] {
+            let n = g
+                .lookup_name(NameField::ShortName, &NamePattern::exact(name))
+                .unwrap()
+                .into_iter()
+                .find(|n| g.node_type(*n) == NodeType::Function)
+                .unwrap_or_else(|| panic!("missing {name}"));
+            // Macro-generated functions carry IN_MACRO (Table 2).
+            assert_eq!(
+                g.node_prop(n, frappe_model::PropKey::InMacro),
+                Some(frappe_model::PropValue::Bool(true)),
+                "{name} should be IN_MACRO"
+            );
+        }
+    }
+
+    #[test]
+    fn paste_of_int_suffix() {
+        let p = run(
+            &[("a.c", "#define REG(n) reg##n\nint REG(42);\n")],
+            "a.c",
+        );
+        let ids: Vec<&str> = p.tokens.iter().filter_map(|t| t.ident()).collect();
+        assert!(ids.contains(&"reg42"), "ids: {ids:?}");
+    }
+}

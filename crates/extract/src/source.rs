@@ -1,0 +1,266 @@
+//! In-memory source tree.
+//!
+//! The extractor works against a virtual filesystem so tests, examples, and
+//! the synthetic corpus generator can construct codebases without touching
+//! disk. Paths are `/`-separated relative paths (`drivers/scsi/sr.c`).
+
+use frappe_model::FileId;
+use std::collections::BTreeMap;
+
+/// A virtual source tree: path → file contents.
+#[derive(Debug, Clone, Default)]
+pub struct SourceTree {
+    files: BTreeMap<String, String>,
+}
+
+impl SourceTree {
+    /// Creates an empty tree.
+    pub fn new() -> SourceTree {
+        SourceTree::default()
+    }
+
+    /// Adds (or replaces) a file.
+    pub fn add_file(&mut self, path: &str, contents: &str) {
+        self.files.insert(normalize(path), contents.to_owned());
+    }
+
+    /// Removes a file; returns whether it existed.
+    pub fn remove_file(&mut self, path: &str) -> bool {
+        self.files.remove(&normalize(path)).is_some()
+    }
+
+    /// Reads a file.
+    pub fn read(&self, path: &str) -> Option<&str> {
+        self.files.get(&normalize(path)).map(|s| s.as_str())
+    }
+
+    /// Whether a file exists.
+    pub fn contains(&self, path: &str) -> bool {
+        self.files.contains_key(&normalize(path))
+    }
+
+    /// Iterates `(path, contents)` in sorted path order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.files.iter().map(|(p, c)| (p.as_str(), c.as_str()))
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Total lines of code across all files.
+    pub fn total_lines(&self) -> usize {
+        self.files.values().map(|c| c.lines().count()).sum()
+    }
+
+    /// Resolves an `#include` reference: `"name"` includes are resolved
+    /// relative to the including file's directory first, then from the tree
+    /// root; `<name>` includes only from the root (our "system" include dir
+    /// is the tree root's `include/` directory, then the root itself).
+    pub fn resolve_include(&self, from: &str, target: &str, angled: bool) -> Option<String> {
+        let from_dir = parent(&normalize(from));
+        let mut candidates = Vec::new();
+        if !angled {
+            if from_dir.is_empty() {
+                candidates.push(normalize(target));
+            } else {
+                candidates.push(normalize(&format!("{from_dir}/{target}")));
+            }
+        }
+        candidates.push(normalize(&format!("include/{target}")));
+        candidates.push(normalize(target));
+        candidates.into_iter().find(|c| self.files.contains_key(c))
+    }
+
+    /// All distinct directories implied by the file paths, sorted, with ""
+    /// as the root.
+    pub fn directories(&self) -> Vec<String> {
+        let mut dirs: Vec<String> = vec![String::new()];
+        for path in self.files.keys() {
+            let mut dir = parent(path);
+            while !dir.is_empty() {
+                if !dirs.contains(&dir) {
+                    dirs.push(dir.clone());
+                }
+                dir = parent(&dir);
+            }
+        }
+        dirs.sort();
+        dirs
+    }
+}
+
+/// A stable mapping from paths to [`FileId`]s, shared between the
+/// preprocessor (which stamps ranges) and the lowering step (which creates
+/// file nodes).
+#[derive(Debug, Clone, Default)]
+pub struct FileMap {
+    paths: Vec<String>,
+}
+
+impl FileMap {
+    /// Creates an empty map.
+    pub fn new() -> FileMap {
+        FileMap::default()
+    }
+
+    /// Returns the id for `path`, allocating one if new.
+    pub fn id(&mut self, path: &str) -> FileId {
+        let norm = normalize(path);
+        if let Some(i) = self.paths.iter().position(|p| *p == norm) {
+            FileId(i as u32)
+        } else {
+            self.paths.push(norm);
+            FileId((self.paths.len() - 1) as u32)
+        }
+    }
+
+    /// Looks up an existing id.
+    pub fn get(&self, path: &str) -> Option<FileId> {
+        let norm = normalize(path);
+        self.paths.iter().position(|p| *p == norm).map(|i| FileId(i as u32))
+    }
+
+    /// The path for an id.
+    pub fn path(&self, id: FileId) -> Option<&str> {
+        self.paths.get(id.0 as usize).map(|s| s.as_str())
+    }
+
+    /// Iterates `(FileId, path)`.
+    pub fn iter(&self) -> impl Iterator<Item = (FileId, &str)> {
+        self.paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (FileId(i as u32), p.as_str()))
+    }
+
+    /// Number of known files.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Whether no files are known.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+}
+
+/// Normalizes a path: strips leading `./` and `/`, collapses `//`.
+pub fn normalize(path: &str) -> String {
+    let mut out: Vec<&str> = Vec::new();
+    for seg in path.split('/') {
+        match seg {
+            "" | "." => {}
+            ".." => {
+                out.pop();
+            }
+            s => out.push(s),
+        }
+    }
+    out.join("/")
+}
+
+/// The parent directory of a normalized path ("" for top level).
+pub fn parent(path: &str) -> String {
+    match path.rfind('/') {
+        Some(i) => path[..i].to_owned(),
+        None => String::new(),
+    }
+}
+
+/// The final component of a path.
+pub fn basename(path: &str) -> &str {
+    match path.rfind('/') {
+        Some(i) => &path[i + 1..],
+        None => path,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_read_remove() {
+        let mut t = SourceTree::new();
+        t.add_file("./a/b.c", "int x;");
+        assert!(t.contains("a/b.c"));
+        assert_eq!(t.read("a//b.c"), Some("int x;"));
+        assert_eq!(t.len(), 1);
+        assert!(t.remove_file("a/b.c"));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn normalize_paths() {
+        assert_eq!(normalize("./a/./b//c.c"), "a/b/c.c");
+        assert_eq!(normalize("a/../b.c"), "b.c");
+        assert_eq!(parent("a/b/c.c"), "a/b");
+        assert_eq!(parent("c.c"), "");
+        assert_eq!(basename("a/b/c.c"), "c.c");
+        assert_eq!(basename("c.c"), "c.c");
+    }
+
+    #[test]
+    fn include_resolution_prefers_sibling() {
+        let mut t = SourceTree::new();
+        t.add_file("drivers/scsi/sr.h", "");
+        t.add_file("include/sr.h", "");
+        assert_eq!(
+            t.resolve_include("drivers/scsi/sr.c", "sr.h", false),
+            Some("drivers/scsi/sr.h".into())
+        );
+        // Angled includes skip the sibling directory.
+        assert_eq!(
+            t.resolve_include("drivers/scsi/sr.c", "sr.h", true),
+            Some("include/sr.h".into())
+        );
+        assert_eq!(t.resolve_include("drivers/scsi/sr.c", "nope.h", false), None);
+    }
+
+    #[test]
+    fn include_resolution_falls_back_to_root() {
+        let mut t = SourceTree::new();
+        t.add_file("foo.h", "");
+        assert_eq!(
+            t.resolve_include("src/main.c", "foo.h", false),
+            Some("foo.h".into())
+        );
+    }
+
+    #[test]
+    fn directories_enumerated() {
+        let mut t = SourceTree::new();
+        t.add_file("a/b/c.c", "");
+        t.add_file("a/d.c", "");
+        t.add_file("e.c", "");
+        assert_eq!(t.directories(), vec!["".to_owned(), "a".into(), "a/b".into()]);
+    }
+
+    #[test]
+    fn file_map_is_stable() {
+        let mut m = FileMap::new();
+        let a = m.id("x.c");
+        let b = m.id("y.c");
+        assert_eq!(m.id("x.c"), a);
+        assert_ne!(a, b);
+        assert_eq!(m.path(a), Some("x.c"));
+        assert_eq!(m.get("y.c"), Some(b));
+        assert_eq!(m.get("z.c"), None);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn total_lines_counts_all_files() {
+        let mut t = SourceTree::new();
+        t.add_file("a.c", "one\ntwo\n");
+        t.add_file("b.c", "three\n");
+        assert_eq!(t.total_lines(), 3);
+    }
+}

@@ -1,0 +1,212 @@
+//! Extraction tests for common Linux-kernel C idioms: ops tables with
+//! designated initializers, callback registration, nested includes with
+//! guards, bitfields, function-pointer struct fields, and conditional
+//! compilation around whole functions.
+
+use frappe_extract::{CompileDb, Extractor, SourceTree};
+use frappe_model::{EdgeType, NodeId, NodeType, PropKey, PropValue};
+use frappe_store::{GraphStore, NameField, NamePattern};
+
+fn extract(files: &[(&str, &str)]) -> frappe_extract::ExtractOutput {
+    let mut tree = SourceTree::new();
+    for (p, c) in files {
+        tree.add_file(p, c);
+    }
+    let mut db = CompileDb::new();
+    for (p, _) in files {
+        if p.ends_with(".c") {
+            db.compile(p, &format!("{}.o", p.trim_end_matches(".c")));
+        }
+    }
+    let mut out = Extractor::new().extract(&tree, &db).expect("extract");
+    out.graph.freeze();
+    out
+}
+
+fn find(g: &GraphStore, ty: NodeType, name: &str) -> NodeId {
+    g.lookup_name(NameField::ShortName, &NamePattern::exact(name))
+        .unwrap()
+        .into_iter()
+        .find(|n| g.node_type(*n) == ty)
+        .unwrap_or_else(|| panic!("missing {ty} {name}"))
+}
+
+#[test]
+fn ops_table_with_designated_initializers_takes_addresses() {
+    let out = extract(&[(
+        "fops.c",
+        "struct file_ops { int (*open)(int); int (*release)(int); };\n\
+         static int cd_open(int fd) { return fd; }\n\
+         static int cd_release(int fd) { return 0; }\n\
+         struct file_ops cd_fops = { .open = cd_open, .release = cd_release };\n",
+    )]);
+    let g = &out.graph;
+    let fops = find(g, NodeType::Global, "cd_fops");
+    let open = find(g, NodeType::Function, "cd_open");
+    let release = find(g, NodeType::Function, "cd_release");
+    // The initializer takes the functions' addresses, attributed to the
+    // global being initialized.
+    let addressed: Vec<NodeId> = g
+        .out_neighbors(fops, Some(EdgeType::TakesAddressOf))
+        .collect();
+    assert!(addressed.contains(&open), "addressed: {addressed:?}");
+    assert!(addressed.contains(&release));
+}
+
+#[test]
+fn callback_registration_pattern() {
+    let out = extract(&[(
+        "cb.c",
+        "int register_handler(int (*cb)(int));\n\
+         int my_handler(int x) { return x * 2; }\n\
+         int init_module(void) { return register_handler(my_handler); }\n",
+    )]);
+    let g = &out.graph;
+    let init = find(g, NodeType::Function, "init_module");
+    let handler = find(g, NodeType::Function, "my_handler");
+    // init_module calls register_handler and takes my_handler's address.
+    assert!(g
+        .out_neighbors(init, Some(EdgeType::TakesAddressOf))
+        .any(|n| n == handler));
+    let callee = g
+        .out_neighbors(init, Some(EdgeType::Calls))
+        .next()
+        .expect("call edge");
+    assert_eq!(g.node_short_name(callee), "register_handler");
+}
+
+#[test]
+fn bitfields_carry_bit_width() {
+    let out = extract(&[(
+        "bf.c",
+        "struct flags { unsigned int ready : 1; unsigned int mode : 3; };\n",
+    )]);
+    let g = &out.graph;
+    let mode = find(g, NodeType::Field, "mode");
+    let isa = g.out_edges(mode, Some(EdgeType::IsaType)).next().unwrap();
+    assert_eq!(g.edge_prop(isa, PropKey::BitWidth), Some(PropValue::Int(3)));
+}
+
+#[test]
+fn conditional_compilation_gates_functions() {
+    let src = "#define CONFIG_DEBUG 1\n\
+               #ifdef CONFIG_DEBUG\n\
+               int debug_dump(void) { return 1; }\n\
+               #endif\n\
+               #ifdef CONFIG_NUMA\n\
+               int numa_balance(void) { return 2; }\n\
+               #endif\n";
+    let out = extract(&[("cond.c", src)]);
+    let g = &out.graph;
+    // debug_dump exists; numa_balance was compiled out.
+    find(g, NodeType::Function, "debug_dump");
+    assert!(g
+        .lookup_name(NameField::ShortName, &NamePattern::exact("numa_balance"))
+        .unwrap()
+        .is_empty());
+    // Both interrogations are recorded against the file.
+    let f = find(g, NodeType::File, "cond.c");
+    let asked: Vec<String> = g
+        .out_neighbors(f, Some(EdgeType::InterrogatesMacro))
+        .map(|m| g.node_short_name(m).to_owned())
+        .collect();
+    assert!(asked.contains(&"CONFIG_DEBUG".to_owned()));
+    assert!(asked.contains(&"CONFIG_NUMA".to_owned()));
+}
+
+#[test]
+fn nested_include_chain_with_guards() {
+    let out = extract(&[
+        ("include/types.h", "#ifndef TYPES_H\n#define TYPES_H\ntypedef unsigned int u32;\n#endif\n"),
+        ("include/dev.h", "#ifndef DEV_H\n#define DEV_H\n#include \"types.h\"\nstruct dev { u32 id; };\n#endif\n"),
+        ("drv.c", "#include \"dev.h\"\n#include \"types.h\"\nu32 get_id(struct dev *d) { return d->id; }\n"),
+    ]);
+    let g = &out.graph;
+    let drv = find(g, NodeType::File, "drv.c");
+    let dev_h = find(g, NodeType::File, "dev.h");
+    let types_h = find(g, NodeType::File, "types.h");
+    assert!(g.out_neighbors(drv, Some(EdgeType::Includes)).any(|n| n == dev_h));
+    assert!(g.out_neighbors(dev_h, Some(EdgeType::Includes)).any(|n| n == types_h));
+    // The typedef resolves the parameter's member access.
+    let get_id = find(g, NodeType::Function, "get_id");
+    let id = find(g, NodeType::Field, "id");
+    assert!(g.out_neighbors(get_id, Some(EdgeType::ReadsMember)).any(|n| n == id));
+    // u32 typedef node feeds the return type.
+    let u32_td = find(g, NodeType::Typedef, "u32");
+    assert!(g.out_neighbors(get_id, Some(EdgeType::HasRetType)).any(|n| n == u32_td));
+}
+
+#[test]
+fn switch_over_enum_uses_enumerators() {
+    let out = extract(&[(
+        "sw.c",
+        "enum state { S_IDLE, S_RUN, S_STOP };\n\
+         int step(int s) {\n\
+             switch (s) {\n\
+                 case S_IDLE: return S_RUN;\n\
+                 case S_RUN: return S_STOP;\n\
+                 default: return S_IDLE;\n\
+             }\n\
+         }\n",
+    )]);
+    let g = &out.graph;
+    let step = find(g, NodeType::Function, "step");
+    let used: Vec<String> = g
+        .out_neighbors(step, Some(EdgeType::UsesEnumerator))
+        .map(|n| g.node_short_name(n).to_owned())
+        .collect();
+    for e in ["S_IDLE", "S_RUN", "S_STOP"] {
+        assert!(used.contains(&e.to_owned()), "missing {e} in {used:?}");
+    }
+}
+
+#[test]
+fn string_table_and_array_globals() {
+    let out = extract(&[(
+        "tbl.c",
+        "static const char *names[4] = { \"a\", \"b\", \"c\", \"d\" };\n\
+         int lookup(int i) { return names[i] != 0; }\n",
+    )]);
+    let g = &out.graph;
+    let names = find(g, NodeType::Global, "names");
+    let isa = g.out_edges(names, Some(EdgeType::IsaType)).next().unwrap();
+    // array of pointer to const char → "]*c"
+    assert_eq!(
+        g.edge_prop(isa, PropKey::Qualifiers),
+        Some(PropValue::from("]*c"))
+    );
+    assert_eq!(
+        g.edge_prop(isa, PropKey::ArrayLengths),
+        Some(PropValue::IntList(vec![4]))
+    );
+    let lookup = find(g, NodeType::Function, "lookup");
+    assert!(g.out_neighbors(lookup, Some(EdgeType::Reads)).any(|n| n == names));
+}
+
+#[test]
+fn do_while_zero_macro_idiom() {
+    let out = extract(&[(
+        "dw.c",
+        "#define LOCK_AND_RUN(x) do { lock(); (x)++; unlock(); } while (0)\n\
+         void lock(void);\nvoid unlock(void);\n\
+         int counter;\n\
+         void tick(void) { LOCK_AND_RUN(counter); }\n",
+    )]);
+    let g = &out.graph;
+    let tick = find(g, NodeType::Function, "tick");
+    let counter = find(g, NodeType::Global, "counter");
+    // The macro expansion produces real call and write edges inside tick.
+    let callees: Vec<String> = g
+        .out_neighbors(tick, Some(EdgeType::Calls))
+        .map(|n| g.node_short_name(n).to_owned())
+        .collect();
+    assert!(callees.contains(&"lock".to_owned()), "callees: {callees:?}");
+    assert!(callees.contains(&"unlock".to_owned()));
+    assert!(g.out_neighbors(tick, Some(EdgeType::Writes)).any(|n| n == counter));
+    // And an expands_macro edge ties tick to the macro.
+    let macros: Vec<String> = g
+        .out_neighbors(tick, Some(EdgeType::ExpandsMacro))
+        .map(|n| g.node_short_name(n).to_owned())
+        .collect();
+    assert!(macros.contains(&"LOCK_AND_RUN".to_owned()));
+}

@@ -1,0 +1,299 @@
+//! Edge types of the Frappé graph model (paper Table 1, "Edges" column).
+
+use serde::{Deserialize, Serialize};
+
+/// The 30 edge types of Table 1.
+///
+/// The `u8` discriminants are stable and used directly in the fixed-width
+/// relationship records of `frappe-store`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum EdgeType {
+    /// Function → function call.
+    Calls = 0,
+    /// Expression cast to a type.
+    CastsTo = 1,
+    /// Object file ← source file compilation (module → file).
+    CompiledFrom = 2,
+    /// Generic containment (e.g. struct contains field).
+    Contains = 3,
+    /// Declaration site (file/record declares symbol).
+    Declares = 4,
+    /// Pointer dereference of a variable.
+    Dereferences = 5,
+    /// Dereference of a member through a pointer.
+    DereferencesMember = 6,
+    /// Directory → directory/file containment.
+    DirContains = 7,
+    /// Use-site expansion of a macro.
+    ExpandsMacro = 8,
+    /// File → symbol containment.
+    FileContains = 9,
+    /// `_Alignof` use of a type.
+    GetsAlignOf = 10,
+    /// `sizeof` use of a type.
+    GetsSizeOf = 11,
+    /// Function → local variable.
+    HasLocal = 12,
+    /// Function → formal parameter (carries `INDEX`).
+    HasParam = 13,
+    /// Function type → parameter type (carries `INDEX`).
+    HasParamType = 14,
+    /// Function / function type → return type.
+    HasRetType = 15,
+    /// `#include` relationship between files.
+    Includes = 16,
+    /// `#ifdef` / `defined()` interrogation of a macro.
+    InterrogatesMacro = 17,
+    /// Variable/field/typedef → its type (carries `QUALIFIERS` etc.).
+    IsaType = 18,
+    /// Link-time declaration of a symbol by a module.
+    LinkDeclares = 19,
+    /// Link-time match between a declaration and its definition.
+    LinkMatches = 20,
+    /// Module ← object file linking (carries `LINK_ORDER`).
+    LinkedFrom = 21,
+    /// Module ← static library linking.
+    LinkedFromLib = 22,
+    /// Read of a variable.
+    Reads = 23,
+    /// Read of a member.
+    ReadsMember = 24,
+    /// `&x` address taken of a variable.
+    TakesAddressOf = 25,
+    /// `&s.f` address taken of a member.
+    TakesAddressOfMember = 26,
+    /// Use of an enumerator constant.
+    UsesEnumerator = 27,
+    /// Write to a variable.
+    Writes = 28,
+    /// Write to a member.
+    WritesMember = 29,
+}
+
+/// Grouped edge types (Section 6.2: "Edges may also be grouped in a similar
+/// manner (e.g. link, preprocessor, containment, etc.)").
+///
+/// The paper notes Neo4j does *not* extend label support to edges; our store
+/// does, and the `table6_labels` bench measures what that buys.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum EdgeGroup {
+    /// Build/link structure: compiled_from, linked_from, link_declares, ...
+    Link,
+    /// Preprocessor: includes, expands_macro, interrogates_macro.
+    Preprocessor,
+    /// Containment: contains, dir_contains, file_contains, has_local, ...
+    Containment,
+    /// Symbol references: calls, reads, writes, address-of, enumerator use.
+    Reference,
+    /// Type usage: isa_type, casts_to, sizeof/alignof, ret/param types.
+    TypeUse,
+    /// Declaration bookkeeping: declares.
+    Declaration,
+}
+
+impl EdgeType {
+    /// All edge types, in discriminant order.
+    pub const ALL: [EdgeType; 30] = [
+        EdgeType::Calls,
+        EdgeType::CastsTo,
+        EdgeType::CompiledFrom,
+        EdgeType::Contains,
+        EdgeType::Declares,
+        EdgeType::Dereferences,
+        EdgeType::DereferencesMember,
+        EdgeType::DirContains,
+        EdgeType::ExpandsMacro,
+        EdgeType::FileContains,
+        EdgeType::GetsAlignOf,
+        EdgeType::GetsSizeOf,
+        EdgeType::HasLocal,
+        EdgeType::HasParam,
+        EdgeType::HasParamType,
+        EdgeType::HasRetType,
+        EdgeType::Includes,
+        EdgeType::InterrogatesMacro,
+        EdgeType::IsaType,
+        EdgeType::LinkDeclares,
+        EdgeType::LinkMatches,
+        EdgeType::LinkedFrom,
+        EdgeType::LinkedFromLib,
+        EdgeType::Reads,
+        EdgeType::ReadsMember,
+        EdgeType::TakesAddressOf,
+        EdgeType::TakesAddressOfMember,
+        EdgeType::UsesEnumerator,
+        EdgeType::Writes,
+        EdgeType::WritesMember,
+    ];
+
+    /// The number of edge types.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Reconstructs an edge type from its stable `u8` discriminant.
+    pub fn from_u8(v: u8) -> Option<EdgeType> {
+        Self::ALL.get(v as usize).copied()
+    }
+
+    /// The paper's lower-case name for this edge type, as used in queries
+    /// (e.g. `-[:calls*]->`).
+    pub fn name(self) -> &'static str {
+        match self {
+            EdgeType::Calls => "calls",
+            EdgeType::CastsTo => "casts_to",
+            EdgeType::CompiledFrom => "compiled_from",
+            EdgeType::Contains => "contains",
+            EdgeType::Declares => "declares",
+            EdgeType::Dereferences => "dereferences",
+            EdgeType::DereferencesMember => "dereferences_member",
+            EdgeType::DirContains => "dir_contains",
+            EdgeType::ExpandsMacro => "expands_macro",
+            EdgeType::FileContains => "file_contains",
+            EdgeType::GetsAlignOf => "gets_align_of",
+            EdgeType::GetsSizeOf => "gets_size_of",
+            EdgeType::HasLocal => "has_local",
+            EdgeType::HasParam => "has_param",
+            EdgeType::HasParamType => "has_param_type",
+            EdgeType::HasRetType => "has_ret_type",
+            EdgeType::Includes => "includes",
+            EdgeType::InterrogatesMacro => "interrogates_macro",
+            EdgeType::IsaType => "isa_type",
+            EdgeType::LinkDeclares => "link_declares",
+            EdgeType::LinkMatches => "link_matches",
+            EdgeType::LinkedFrom => "linked_from",
+            EdgeType::LinkedFromLib => "linked_from_lib",
+            EdgeType::Reads => "reads",
+            EdgeType::ReadsMember => "reads_member",
+            EdgeType::TakesAddressOf => "takes_address_of",
+            EdgeType::TakesAddressOfMember => "takes_address_of_member",
+            EdgeType::UsesEnumerator => "uses_enumerator",
+            EdgeType::Writes => "writes",
+            EdgeType::WritesMember => "writes_member",
+        }
+    }
+
+    /// Parses the paper's lower-case name.
+    pub fn parse(s: &str) -> Option<EdgeType> {
+        Self::ALL.iter().copied().find(|t| t.name() == s)
+    }
+
+    /// Grouped edge type (Section 6.2).
+    pub fn group(self) -> EdgeGroup {
+        use EdgeGroup::*;
+        use EdgeType::*;
+        match self {
+            CompiledFrom | LinkDeclares | LinkMatches | LinkedFrom | LinkedFromLib => Link,
+            Includes | ExpandsMacro | InterrogatesMacro => Preprocessor,
+            Contains | DirContains | FileContains | HasLocal | HasParam => Containment,
+            Calls | Reads | ReadsMember | Writes | WritesMember | Dereferences
+            | DereferencesMember | TakesAddressOf | TakesAddressOfMember | UsesEnumerator => {
+                Reference
+            }
+            CastsTo | GetsAlignOf | GetsSizeOf | HasParamType | HasRetType | IsaType => TypeUse,
+            Declares => Declaration,
+        }
+    }
+
+    /// Whether edges of this type represent a *symbol reference* with a
+    /// source location in code (and therefore carry the `USE_*`/`NAME_*`
+    /// range properties of Table 2).
+    pub fn is_reference(self) -> bool {
+        matches!(
+            self.group(),
+            EdgeGroup::Reference | EdgeGroup::TypeUse | EdgeGroup::Preprocessor
+        ) && self != EdgeType::Includes
+    }
+
+    /// Whether edges of this type carry the `INDEX` positional property
+    /// (Table 2 says: `has_param` and `has_param_type` only).
+    pub fn has_index_property(self) -> bool {
+        matches!(self, EdgeType::HasParam | EdgeType::HasParamType)
+    }
+
+    /// Whether edges of this type carry the `LINK_ORDER` property
+    /// (Table 2 says: `linked_from` only).
+    pub fn has_link_order_property(self) -> bool {
+        self == EdgeType::LinkedFrom
+    }
+
+    /// Whether edges of this type may carry `QUALIFIERS` / `ARRAY_LENGTHS` /
+    /// `BIT_WIDTH` (Table 2 says: type-use (`isa_type`) edges only).
+    pub fn has_type_use_properties(self) -> bool {
+        self == EdgeType::IsaType
+    }
+}
+
+impl std::fmt::Display for EdgeType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_types_round_trip_discriminant() {
+        for (i, t) in EdgeType::ALL.iter().enumerate() {
+            assert_eq!(*t as u8 as usize, i);
+            assert_eq!(EdgeType::from_u8(*t as u8), Some(*t));
+        }
+        assert_eq!(EdgeType::from_u8(EdgeType::COUNT as u8), None);
+    }
+
+    #[test]
+    fn all_types_round_trip_name() {
+        for t in EdgeType::ALL {
+            assert_eq!(EdgeType::parse(t.name()), Some(t));
+        }
+        assert_eq!(EdgeType::parse("owns"), None);
+    }
+
+    #[test]
+    fn table1_names_match_paper() {
+        assert_eq!(EdgeType::CompiledFrom.name(), "compiled_from");
+        assert_eq!(EdgeType::TakesAddressOfMember.name(), "takes_address_of_member");
+        assert_eq!(EdgeType::LinkedFromLib.name(), "linked_from_lib");
+        assert_eq!(EdgeType::IsaType.name(), "isa_type");
+    }
+
+    #[test]
+    fn every_edge_type_has_a_group() {
+        let mut per_group = std::collections::HashMap::new();
+        for t in EdgeType::ALL {
+            *per_group.entry(t.group()).or_insert(0usize) += 1;
+        }
+        assert_eq!(per_group[&EdgeGroup::Link], 5);
+        assert_eq!(per_group[&EdgeGroup::Preprocessor], 3);
+        assert_eq!(per_group[&EdgeGroup::Containment], 5);
+        assert_eq!(per_group[&EdgeGroup::Reference], 10);
+        assert_eq!(per_group[&EdgeGroup::TypeUse], 6);
+        assert_eq!(per_group[&EdgeGroup::Declaration], 1);
+        assert_eq!(per_group.values().sum::<usize>(), EdgeType::COUNT);
+    }
+
+    #[test]
+    fn reference_edges_carry_source_ranges() {
+        assert!(EdgeType::Calls.is_reference());
+        assert!(EdgeType::WritesMember.is_reference());
+        assert!(EdgeType::ExpandsMacro.is_reference());
+        assert!(EdgeType::IsaType.is_reference());
+        // Structural edges have no use-site in code.
+        assert!(!EdgeType::DirContains.is_reference());
+        assert!(!EdgeType::LinkedFrom.is_reference());
+        // An include is preprocessor-group but file-level, not a token use.
+        assert!(!EdgeType::Includes.is_reference());
+    }
+
+    #[test]
+    fn table2_property_applicability() {
+        assert!(EdgeType::HasParam.has_index_property());
+        assert!(EdgeType::HasParamType.has_index_property());
+        assert!(!EdgeType::Calls.has_index_property());
+        assert!(EdgeType::LinkedFrom.has_link_order_property());
+        assert!(!EdgeType::LinkedFromLib.has_link_order_property());
+        assert!(EdgeType::IsaType.has_type_use_properties());
+        assert!(!EdgeType::CastsTo.has_type_use_properties());
+    }
+}

@@ -1,0 +1,195 @@
+//! Grouped node labels (paper Section 6.2, Table 6).
+//!
+//! Neo4j 2.x introduced node labels; the paper proposes using them so a node
+//! carries both its underlying type (`function`, `struct`, ...) and grouped
+//! types (`symbol`, `type`, `container`). Our store implements this, and the
+//! query language supports `(n:container:symbol {name: "foo"})`.
+
+use serde::{Deserialize, Serialize};
+
+/// A grouped node label.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Label {
+    /// Named program entities developers search for.
+    Symbol = 0,
+    /// Type-like entities.
+    Type = 1,
+    /// Entities that contain other entities.
+    Container = 2,
+    /// Pure declarations (as opposed to definitions).
+    Decl = 3,
+    /// Preprocessor entities (macros).
+    Preprocessor = 4,
+    /// Filesystem entities (directories, files).
+    Filesystem = 5,
+    /// Data variables (globals, locals, parameters, fields).
+    Variable = 6,
+}
+
+impl Label {
+    /// All labels, in discriminant order.
+    pub const ALL: [Label; 7] = [
+        Label::Symbol,
+        Label::Type,
+        Label::Container,
+        Label::Decl,
+        Label::Preprocessor,
+        Label::Filesystem,
+        Label::Variable,
+    ];
+
+    /// The number of labels. Small enough that a label set fits in a `u8`
+    /// bitmask inside the node record.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Reconstructs a label from its stable discriminant.
+    pub fn from_u8(v: u8) -> Option<Label> {
+        Self::ALL.get(v as usize).copied()
+    }
+
+    /// The lower-case query-language name (`:symbol`, `:container`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            Label::Symbol => "symbol",
+            Label::Type => "type",
+            Label::Container => "container",
+            Label::Decl => "decl",
+            Label::Preprocessor => "preprocessor",
+            Label::Filesystem => "filesystem",
+            Label::Variable => "variable",
+        }
+    }
+
+    /// Parses the lower-case name.
+    pub fn parse(s: &str) -> Option<Label> {
+        Self::ALL.iter().copied().find(|l| l.name() == s)
+    }
+
+    /// Bit in the label bitmask.
+    #[inline]
+    pub fn bit(self) -> u8 {
+        1u8 << (self as u8)
+    }
+}
+
+/// A compact set of labels, stored inline in node records.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct LabelSet(pub u8);
+
+impl LabelSet {
+    /// The empty label set.
+    pub const EMPTY: LabelSet = LabelSet(0);
+
+    /// Builds a set from a slice of labels.
+    pub fn from_slice(labels: &[Label]) -> LabelSet {
+        LabelSet(labels.iter().fold(0, |m, l| m | l.bit()))
+    }
+
+    /// Whether `label` is in the set.
+    #[inline]
+    pub fn contains(self, label: Label) -> bool {
+        self.0 & label.bit() != 0
+    }
+
+    /// Whether every label of `other` is in `self`.
+    #[inline]
+    pub fn contains_all(self, other: LabelSet) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Inserts a label.
+    #[inline]
+    pub fn insert(&mut self, label: Label) {
+        self.0 |= label.bit();
+    }
+
+    /// Iterates the labels in the set in discriminant order.
+    pub fn iter(self) -> impl Iterator<Item = Label> {
+        Label::ALL.into_iter().filter(move |l| self.contains(*l))
+    }
+
+    /// Number of labels in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::fmt::Debug for LabelSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for l in self.iter() {
+            if !first {
+                f.write_str(":")?;
+            }
+            first = false;
+            f.write_str(l.name())?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Label> for LabelSet {
+    fn from_iter<I: IntoIterator<Item = Label>>(iter: I) -> Self {
+        let mut s = LabelSet::EMPTY;
+        for l in iter {
+            s.insert(l);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for (i, l) in Label::ALL.iter().enumerate() {
+            assert_eq!(*l as u8 as usize, i);
+            assert_eq!(Label::from_u8(*l as u8), Some(*l));
+            assert_eq!(Label::parse(l.name()), Some(*l));
+        }
+        assert_eq!(Label::parse("bogus"), None);
+    }
+
+    #[test]
+    fn label_set_basic_ops() {
+        let mut s = LabelSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(Label::Symbol);
+        s.insert(Label::Container);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(Label::Symbol));
+        assert!(!s.contains(Label::Type));
+        let collected: Vec<Label> = s.iter().collect();
+        assert_eq!(collected, vec![Label::Symbol, Label::Container]);
+    }
+
+    #[test]
+    fn label_set_contains_all() {
+        let big = LabelSet::from_slice(&[Label::Symbol, Label::Type, Label::Container]);
+        let small = LabelSet::from_slice(&[Label::Symbol, Label::Container]);
+        assert!(big.contains_all(small));
+        assert!(!small.contains_all(big));
+        assert!(small.contains_all(LabelSet::EMPTY));
+    }
+
+    #[test]
+    fn label_set_debug_format() {
+        let s = LabelSet::from_slice(&[Label::Container, Label::Symbol]);
+        assert_eq!(format!("{s:?}"), "symbol:container");
+    }
+
+    #[test]
+    fn label_set_fits_in_u8() {
+        assert!(Label::COUNT <= 8);
+        let all: LabelSet = Label::ALL.into_iter().collect();
+        assert_eq!(all.len(), Label::COUNT);
+    }
+}

@@ -1,0 +1,52 @@
+//! # frappe-model
+//!
+//! The graph schema of the Frappé dependency graph, as defined in Section 3
+//! of *Frappé: Querying the Linux Kernel Dependency Graph* (GRADES 2015).
+//!
+//! This crate is the shared vocabulary of the whole workspace: it defines
+//! the node and edge types of the paper's Table 1, the node and edge
+//! properties of Table 2, the grouped *labels* proposed in Section 6.2 /
+//! Table 6, the qualifier string coding (`]`, `*`, `c`, `v`, `r`), source
+//! ranges, and the dynamically-typed property values stored on nodes and
+//! edges.
+//!
+//! It is used by every other crate: the storage engine (`frappe-store`),
+//! the extractor, the query language, and the synthetic-graph generator.
+//!
+//! ## Example
+//!
+//! ```
+//! use frappe_model::{NodeType, EdgeType, Label, PropKey, PropValue};
+//!
+//! // Table 1: `function` is a node type; it carries the `symbol` and
+//! // `container` group labels from Table 6.
+//! let ty = NodeType::Function;
+//! assert!(ty.labels().contains(&Label::Symbol));
+//! assert!(ty.labels().contains(&Label::Container));
+//!
+//! // Table 1: `calls` is a reference-group edge type.
+//! assert_eq!(EdgeType::Calls.group(), frappe_model::EdgeGroup::Reference);
+//!
+//! // Table 2 properties are identified by well-known keys.
+//! let v = PropValue::from("main");
+//! assert_eq!(PropKey::ShortName.name(), "SHORT_NAME");
+//! assert_eq!(v.as_str(), Some("main"));
+//! ```
+
+pub mod edge_type;
+pub mod ids;
+pub mod label;
+pub mod node_type;
+pub mod props;
+pub mod qualifiers;
+pub mod srcloc;
+pub mod value;
+
+pub use edge_type::{EdgeGroup, EdgeType};
+pub use ids::{EdgeId, FileId, NodeId, VersionId};
+pub use label::{Label, LabelSet};
+pub use node_type::{NodeGroup, NodeType};
+pub use props::{PropKey, PropMap};
+pub use qualifiers::{Qualifier, Qualifiers};
+pub use srcloc::{SrcPos, SrcRange};
+pub use value::PropValue;

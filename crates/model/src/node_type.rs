@@ -1,0 +1,303 @@
+//! Node types of the Frappé graph model (paper Table 1, "Nodes" column).
+//!
+//! Each node in the dependency graph has exactly one [`NodeType`] (stored in
+//! the `TYPE` property in the paper's Neo4j 1.x model) plus a set of derived
+//! group [`Label`]s (the Neo4j 2.x improvement of Table 6).
+
+use crate::label::Label;
+use serde::{Deserialize, Serialize};
+
+/// The 21 node types of Table 1.
+///
+/// The `u8` discriminants are stable and used directly in the fixed-width
+/// node records of `frappe-store`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum NodeType {
+    /// A filesystem directory.
+    Directory = 0,
+    /// An `enum` definition.
+    EnumDef = 1,
+    /// A single enumerator inside an `enum` (carries the `VALUE` property).
+    Enumerator = 2,
+    /// A field (member) of a `struct` or `union`.
+    Field = 3,
+    /// A source or header file.
+    File = 4,
+    /// A function definition.
+    Function = 5,
+    /// A function declaration (prototype) without a body.
+    FunctionDecl = 6,
+    /// A function type (as used through function pointers).
+    FunctionType = 7,
+    /// A global variable definition.
+    Global = 8,
+    /// A global variable declaration (`extern`).
+    GlobalDecl = 9,
+    /// A local variable.
+    Local = 10,
+    /// A preprocessor macro definition.
+    Macro = 11,
+    /// A link-time module: an executable, shared object, or object file.
+    Module = 12,
+    /// A formal parameter of a function.
+    Parameter = 13,
+    /// A primitive type (`int`, `char`, ...).
+    Primitive = 14,
+    /// A function-scope `static` variable.
+    StaticLocal = 15,
+    /// A `struct` definition.
+    Struct = 16,
+    /// A forward `struct` declaration.
+    StructDecl = 17,
+    /// A `typedef`.
+    Typedef = 18,
+    /// A `union` definition.
+    Union = 19,
+    /// A forward `union` declaration.
+    UnionDecl = 20,
+    /// A reified reference site (e.g. a call site).
+    ///
+    /// **Not part of Table 1.** This type exists only for the Section 6.2
+    /// experiment that models references as nodes instead of edges
+    /// (`foo -[:calls]-> callsite -[:calls]-> bar`) to work around the lack
+    /// of hyper-edges. See `frappe_store::reify`.
+    CallSite = 21,
+}
+
+/// Coarse structural grouping used for schema sanity checks and statistics.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum NodeGroup {
+    /// Directories, files, modules.
+    Structure,
+    /// Functions, variables, fields, enumerators, macros.
+    Symbol,
+    /// Types: structs, unions, enums, typedefs, primitives, function types.
+    Type,
+}
+
+impl NodeType {
+    /// All node types, in discriminant order.
+    pub const ALL: [NodeType; 22] = [
+        NodeType::Directory,
+        NodeType::EnumDef,
+        NodeType::Enumerator,
+        NodeType::Field,
+        NodeType::File,
+        NodeType::Function,
+        NodeType::FunctionDecl,
+        NodeType::FunctionType,
+        NodeType::Global,
+        NodeType::GlobalDecl,
+        NodeType::Local,
+        NodeType::Macro,
+        NodeType::Module,
+        NodeType::Parameter,
+        NodeType::Primitive,
+        NodeType::StaticLocal,
+        NodeType::Struct,
+        NodeType::StructDecl,
+        NodeType::Typedef,
+        NodeType::Union,
+        NodeType::UnionDecl,
+        NodeType::CallSite,
+    ];
+
+    /// The number of node types.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Reconstructs a node type from its stable `u8` discriminant.
+    pub fn from_u8(v: u8) -> Option<NodeType> {
+        Self::ALL.get(v as usize).copied()
+    }
+
+    /// The paper's lower-case name for this node type, as it appears in
+    /// Table 1 and in queries (e.g. `(n:field{short_name: 'id'})`).
+    pub fn name(self) -> &'static str {
+        match self {
+            NodeType::Directory => "directory",
+            NodeType::EnumDef => "enum_def",
+            NodeType::Enumerator => "enumerator",
+            NodeType::Field => "field",
+            NodeType::File => "file",
+            NodeType::Function => "function",
+            NodeType::FunctionDecl => "function_decl",
+            NodeType::FunctionType => "function_type",
+            NodeType::Global => "global",
+            NodeType::GlobalDecl => "global_decl",
+            NodeType::Local => "local",
+            NodeType::Macro => "macro",
+            NodeType::Module => "module",
+            NodeType::Parameter => "parameter",
+            NodeType::Primitive => "primitive",
+            NodeType::StaticLocal => "static_local",
+            NodeType::Struct => "struct",
+            NodeType::StructDecl => "struct_decl",
+            NodeType::Typedef => "typedef",
+            NodeType::Union => "union",
+            NodeType::UnionDecl => "union_decl",
+            NodeType::CallSite => "callsite",
+        }
+    }
+
+    /// Parses the paper's lower-case name.
+    pub fn parse(s: &str) -> Option<NodeType> {
+        Self::ALL.iter().copied().find(|t| t.name() == s)
+    }
+
+    /// Coarse structural group.
+    pub fn group(self) -> NodeGroup {
+        use NodeType::*;
+        match self {
+            Directory | File | Module => NodeGroup::Structure,
+            Function | FunctionDecl | Global | GlobalDecl | Local | StaticLocal | Parameter
+            | Field | Enumerator | Macro | CallSite => NodeGroup::Symbol,
+            EnumDef | FunctionType | Primitive | Struct | StructDecl | Typedef | Union
+            | UnionDecl => NodeGroup::Type,
+        }
+    }
+
+    /// The grouped labels of Table 6 (Section 6.2): a node has its underlying
+    /// type *and* grouped types such as `symbol`, `type`, or `container`.
+    ///
+    /// Grouping rules:
+    /// * `symbol` — anything with a name a developer searches for: functions,
+    ///   variables, fields, enumerators, macros, and named types.
+    /// * `type` — structs, unions, enums, typedefs, primitives and function
+    ///   types.
+    /// * `container` — entities that contain other entities: directories,
+    ///   files, modules, functions (contain locals/parameters), and
+    ///   record types (contain fields / enumerators).
+    /// * `decl` — pure declarations as opposed to definitions.
+    /// * `filesystem` — directories and files.
+    /// * `variable` — globals, locals, static locals, parameters, fields.
+    pub fn labels(self) -> &'static [Label] {
+        use Label::*;
+        use NodeType::*;
+        match self {
+            Directory => &[Container, Filesystem],
+            File => &[Container, Filesystem],
+            Module => &[Container],
+            EnumDef => &[Symbol, Type, Container],
+            Enumerator => &[Symbol],
+            Field => &[Symbol, Variable],
+            Function => &[Symbol, Container],
+            FunctionDecl => &[Symbol, Decl],
+            FunctionType => &[Type],
+            Global => &[Symbol, Variable],
+            GlobalDecl => &[Symbol, Variable, Decl],
+            Local => &[Symbol, Variable],
+            StaticLocal => &[Symbol, Variable],
+            Macro => &[Symbol, Preprocessor],
+            Parameter => &[Symbol, Variable],
+            Primitive => &[Type],
+            Struct => &[Symbol, Type, Container],
+            StructDecl => &[Symbol, Type, Decl],
+            Typedef => &[Symbol, Type],
+            Union => &[Symbol, Type, Container],
+            UnionDecl => &[Symbol, Type, Decl],
+            CallSite => &[],
+        }
+    }
+
+    /// Whether nodes of this type carry the `VALUE` property (Table 2 says:
+    /// enumerators only).
+    pub fn has_value_property(self) -> bool {
+        self == NodeType::Enumerator
+    }
+
+    /// Whether nodes of this type may carry `VARIADIC` / `VIRTUAL`
+    /// (Table 2 says: functions only).
+    pub fn has_function_flags(self) -> bool {
+        self == NodeType::Function || self == NodeType::FunctionDecl
+    }
+}
+
+impl std::fmt::Display for NodeType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_types_round_trip_discriminant() {
+        for (i, t) in NodeType::ALL.iter().enumerate() {
+            assert_eq!(*t as u8 as usize, i);
+            assert_eq!(NodeType::from_u8(*t as u8), Some(*t));
+        }
+        assert_eq!(NodeType::from_u8(NodeType::COUNT as u8), None);
+    }
+
+    #[test]
+    fn all_types_round_trip_name() {
+        for t in NodeType::ALL {
+            assert_eq!(NodeType::parse(t.name()), Some(t));
+        }
+        assert_eq!(NodeType::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn table1_names_match_paper() {
+        // Spot-check the exact spellings from Table 1.
+        assert_eq!(NodeType::EnumDef.name(), "enum_def");
+        assert_eq!(NodeType::FunctionDecl.name(), "function_decl");
+        assert_eq!(NodeType::StaticLocal.name(), "static_local");
+        assert_eq!(NodeType::Macro.name(), "macro");
+        assert_eq!(NodeType::Primitive.name(), "primitive");
+    }
+
+    #[test]
+    fn table6_grouped_labels() {
+        // The Table 6 example: struct/union/enum are both containers and
+        // symbols, so the label query `(n:container:symbol{name:"foo"})`
+        // must cover them.
+        for t in [NodeType::Struct, NodeType::Union, NodeType::EnumDef] {
+            assert!(t.labels().contains(&Label::Container), "{t}");
+            assert!(t.labels().contains(&Label::Symbol), "{t}");
+        }
+        // ... but a primitive is a type, not a symbol.
+        assert!(!NodeType::Primitive.labels().contains(&Label::Symbol));
+    }
+
+    #[test]
+    fn value_property_only_on_enumerators() {
+        for t in NodeType::ALL {
+            assert_eq!(t.has_value_property(), t == NodeType::Enumerator);
+        }
+    }
+
+    #[test]
+    fn groups_partition_all_types() {
+        let mut structure = 0;
+        let mut symbol = 0;
+        let mut ty = 0;
+        for t in NodeType::ALL {
+            match t.group() {
+                NodeGroup::Structure => structure += 1,
+                NodeGroup::Symbol => symbol += 1,
+                NodeGroup::Type => ty += 1,
+            }
+        }
+        assert_eq!(structure, 3);
+        assert_eq!(symbol, 11); // the 10 Table 1 symbols + the reified callsite
+        assert_eq!(ty, 8);
+        assert_eq!(structure + symbol + ty, NodeType::COUNT);
+    }
+
+    #[test]
+    fn decl_label_marks_declarations() {
+        for t in [
+            NodeType::FunctionDecl,
+            NodeType::GlobalDecl,
+            NodeType::StructDecl,
+            NodeType::UnionDecl,
+        ] {
+            assert!(t.labels().contains(&Label::Decl), "{t}");
+        }
+        assert!(!NodeType::Function.labels().contains(&Label::Decl));
+    }
+}

@@ -1,0 +1,313 @@
+//! Property keys (paper Table 2) and the ordered property map stored on
+//! nodes and edges.
+
+use crate::value::PropValue;
+use serde::{Deserialize, Serialize};
+
+/// Well-known property keys of Table 2.
+///
+/// Node properties: `TYPE` (held in the record itself in our store, not the
+/// property map), `SHORT_NAME`, `NAME`, `LONG_NAME`, `VALUE`, `VARIADIC`,
+/// `VIRTUAL`, `IN_MACRO`.
+///
+/// Edge properties: the `USE_*` source range of the referencing expression,
+/// the `NAME_*` source range of the representative token, plus `ARRAY_LENGTHS`,
+/// `BIT_WIDTH`, `QUALIFIERS`, `INDEX`, and `LINK_ORDER`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum PropKey {
+    /// The file name / symbol name, e.g. `main`.
+    ShortName = 0,
+    /// The symbol name including its parent, e.g. `message::id`, or a file
+    /// path.
+    Name = 1,
+    /// The fully qualified symbol name, e.g. `message::get_id(int)`.
+    LongName = 2,
+    /// Enumerator integer value (enumerator nodes only).
+    Value = 3,
+    /// Present if the function is variadic (function nodes only).
+    Variadic = 4,
+    /// Present if the function is virtual (function nodes only).
+    Virtual = 5,
+    /// Present if the node results from a macro expansion.
+    InMacro = 6,
+    /// File id of the use-site expression source range.
+    UseFileId = 7,
+    /// Start line of the use-site expression.
+    UseStartLine = 8,
+    /// Start column of the use-site expression.
+    UseStartCol = 9,
+    /// End line of the use-site expression.
+    UseEndLine = 10,
+    /// End column of the use-site expression.
+    UseEndCol = 11,
+    /// File id of the representative token source range.
+    NameFileId = 12,
+    /// Start line of the representative token.
+    NameStartLine = 13,
+    /// Start column of the representative token.
+    NameStartCol = 14,
+    /// End line of the representative token.
+    NameEndLine = 15,
+    /// End column of the representative token.
+    NameEndCol = 16,
+    /// Constant dimension sizes of declared arrays (`isa_type` edges).
+    ArrayLengths = 17,
+    /// Bit width of bit-fields (`isa_type` edges).
+    BitWidth = 18,
+    /// Coded type-qualifier string in spoken order (`isa_type` edges):
+    /// `]` array, `*` pointer, `c` const, `v` volatile, `r` restrict.
+    Qualifiers = 19,
+    /// Parameter position (`has_param` / `has_param_type` edges).
+    Index = 20,
+    /// Link order (`linked_from` edges).
+    LinkOrder = 21,
+}
+
+impl PropKey {
+    /// All keys in discriminant order.
+    pub const ALL: [PropKey; 22] = [
+        PropKey::ShortName,
+        PropKey::Name,
+        PropKey::LongName,
+        PropKey::Value,
+        PropKey::Variadic,
+        PropKey::Virtual,
+        PropKey::InMacro,
+        PropKey::UseFileId,
+        PropKey::UseStartLine,
+        PropKey::UseStartCol,
+        PropKey::UseEndLine,
+        PropKey::UseEndCol,
+        PropKey::NameFileId,
+        PropKey::NameStartLine,
+        PropKey::NameStartCol,
+        PropKey::NameEndLine,
+        PropKey::NameEndCol,
+        PropKey::ArrayLengths,
+        PropKey::BitWidth,
+        PropKey::Qualifiers,
+        PropKey::Index,
+        PropKey::LinkOrder,
+    ];
+
+    /// The number of well-known keys.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Reconstructs a key from its stable discriminant.
+    pub fn from_u8(v: u8) -> Option<PropKey> {
+        Self::ALL.get(v as usize).copied()
+    }
+
+    /// The paper's upper-case name (as it appears in Table 2 and in query
+    /// text like `{NAME_START_LINE: 104}`).
+    pub fn name(self) -> &'static str {
+        match self {
+            PropKey::ShortName => "SHORT_NAME",
+            PropKey::Name => "NAME",
+            PropKey::LongName => "LONG_NAME",
+            PropKey::Value => "VALUE",
+            PropKey::Variadic => "VARIADIC",
+            PropKey::Virtual => "VIRTUAL",
+            PropKey::InMacro => "IN_MACRO",
+            PropKey::UseFileId => "USE_FILE_ID",
+            PropKey::UseStartLine => "USE_START_LINE",
+            PropKey::UseStartCol => "USE_START_COL",
+            PropKey::UseEndLine => "USE_END_LINE",
+            PropKey::UseEndCol => "USE_END_COL",
+            PropKey::NameFileId => "NAME_FILE_ID",
+            PropKey::NameStartLine => "NAME_START_LINE",
+            PropKey::NameStartCol => "NAME_START_COL",
+            PropKey::NameEndLine => "NAME_END_LINE",
+            PropKey::NameEndCol => "NAME_END_COL",
+            PropKey::ArrayLengths => "ARRAY_LENGTHS",
+            PropKey::BitWidth => "BIT_WIDTH",
+            PropKey::Qualifiers => "QUALIFIERS",
+            PropKey::Index => "INDEX",
+            PropKey::LinkOrder => "LINK_ORDER",
+        }
+    }
+
+    /// Parses a property name case-insensitively (queries in the paper use
+    /// both `SHORT_NAME` and `short_name`; Figure 5 uses `use_start_line`).
+    pub fn parse(s: &str) -> Option<PropKey> {
+        // Also accept the Figure 4 spelling `NAME_START_COLUMN`.
+        let norm = s.to_ascii_uppercase();
+        let norm = match norm.as_str() {
+            "NAME_START_COLUMN" => "NAME_START_COL".to_owned(),
+            "NAME_END_COLUMN" => "NAME_END_COL".to_owned(),
+            "USE_START_COLUMN" => "USE_START_COL".to_owned(),
+            "USE_END_COLUMN" => "USE_END_COL".to_owned(),
+            _ => norm,
+        };
+        Self::ALL.iter().copied().find(|k| k.name() == norm)
+    }
+}
+
+impl std::fmt::Display for PropKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An ordered small-map from [`PropKey`] to [`PropValue`].
+///
+/// Properties per entity are few (≤ 22), so a sorted `Vec` beats a hash map
+/// in both space and time; lookups are a binary search over at most a few
+/// cache lines.
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct PropMap {
+    entries: Vec<(PropKey, PropValue)>,
+}
+
+impl PropMap {
+    /// Creates an empty map.
+    pub fn new() -> PropMap {
+        PropMap::default()
+    }
+
+    /// Number of properties.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a property.
+    pub fn get(&self, key: PropKey) -> Option<&PropValue> {
+        self.entries
+            .binary_search_by_key(&key, |(k, _)| *k)
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Inserts or replaces a property, returning the previous value.
+    pub fn insert(&mut self, key: PropKey, value: impl Into<PropValue>) -> Option<PropValue> {
+        let value = value.into();
+        match self.entries.binary_search_by_key(&key, |(k, _)| *k) {
+            Ok(i) => Some(std::mem::replace(&mut self.entries[i].1, value)),
+            Err(i) => {
+                self.entries.insert(i, (key, value));
+                None
+            }
+        }
+    }
+
+    /// Removes a property, returning its value.
+    pub fn remove(&mut self, key: PropKey) -> Option<PropValue> {
+        match self.entries.binary_search_by_key(&key, |(k, _)| *k) {
+            Ok(i) => Some(self.entries.remove(i).1),
+            Err(_) => None,
+        }
+    }
+
+    /// Iterates properties in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (PropKey, &PropValue)> {
+        self.entries.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Builder-style insert for literal construction.
+    pub fn with(mut self, key: PropKey, value: impl Into<PropValue>) -> PropMap {
+        self.insert(key, value);
+        self
+    }
+
+    /// Total simulated storage bytes for this entity's properties, mirroring
+    /// Neo4j's property-chain layout for the Table 4 size accounting: a
+    /// 41-byte property record holds up to four property blocks, and long
+    /// string/array values spill into 128-byte dynamic-store blocks.
+    pub fn storage_bytes(&self) -> usize {
+        use crate::value::{BLOCKS_PER_RECORD, PROPERTY_RECORD};
+        let records = self.entries.len().div_ceil(BLOCKS_PER_RECORD) * PROPERTY_RECORD;
+        let dynamic: usize = self.entries.iter().map(|(_, v)| v.dynamic_bytes()).sum();
+        records + dynamic
+    }
+}
+
+impl FromIterator<(PropKey, PropValue)> for PropMap {
+    fn from_iter<I: IntoIterator<Item = (PropKey, PropValue)>>(iter: I) -> Self {
+        let mut m = PropMap::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_round_trip() {
+        for (i, k) in PropKey::ALL.iter().enumerate() {
+            assert_eq!(*k as u8 as usize, i);
+            assert_eq!(PropKey::from_u8(*k as u8), Some(*k));
+            assert_eq!(PropKey::parse(k.name()), Some(*k));
+        }
+    }
+
+    #[test]
+    fn parse_is_case_insensitive_and_handles_column_spelling() {
+        // Figure 3 uses lower-case `short_name`, Figure 5 `use_start_line`.
+        assert_eq!(PropKey::parse("short_name"), Some(PropKey::ShortName));
+        assert_eq!(PropKey::parse("use_start_line"), Some(PropKey::UseStartLine));
+        // Figure 4 uses NAME_START_COLUMN (Table 2 says NAME_START_COL).
+        assert_eq!(PropKey::parse("NAME_START_COLUMN"), Some(PropKey::NameStartCol));
+        assert_eq!(PropKey::parse("frobnicate"), None);
+    }
+
+    #[test]
+    fn map_insert_get_remove() {
+        let mut m = PropMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(PropKey::ShortName, "main"), None);
+        assert_eq!(
+            m.insert(PropKey::ShortName, "bar"),
+            Some(PropValue::from("main"))
+        );
+        m.insert(PropKey::Value, 3i64);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(PropKey::ShortName), Some(&PropValue::from("bar")));
+        assert_eq!(m.get(PropKey::Name), None);
+        assert_eq!(m.remove(PropKey::Value), Some(PropValue::Int(3)));
+        assert_eq!(m.remove(PropKey::Value), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn map_iterates_in_key_order() {
+        let m = PropMap::new()
+            .with(PropKey::LinkOrder, 1i64)
+            .with(PropKey::ShortName, "x")
+            .with(PropKey::UseStartLine, 10i64);
+        let keys: Vec<PropKey> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(
+            keys,
+            vec![PropKey::ShortName, PropKey::UseStartLine, PropKey::LinkOrder]
+        );
+    }
+
+    #[test]
+    fn storage_bytes_groups_blocks_into_records() {
+        // Two short properties share one 41-byte property record.
+        let m = PropMap::new()
+            .with(PropKey::ShortName, "main")
+            .with(PropKey::UseStartLine, 10i64);
+        assert_eq!(m.storage_bytes(), 41);
+        // Five properties need two records.
+        let m5 = PropMap::new()
+            .with(PropKey::UseFileId, 1i64)
+            .with(PropKey::UseStartLine, 1i64)
+            .with(PropKey::UseStartCol, 1i64)
+            .with(PropKey::UseEndLine, 1i64)
+            .with(PropKey::UseEndCol, 1i64);
+        assert_eq!(m5.storage_bytes(), 82);
+        // Long strings add dynamic blocks on top.
+        let long = PropMap::new().with(PropKey::LongName, "x".repeat(200));
+        assert!(long.storage_bytes() > 41 + 128);
+    }
+}

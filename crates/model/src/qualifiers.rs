@@ -1,0 +1,168 @@
+//! Type-qualifier coding (paper Table 2, `QUALIFIERS` edge property).
+//!
+//! The paper codes the qualifiers of a declared type as a string *in spoken
+//! order*: `]` for array, `*` for pointer, `c` for const, `v` for volatile
+//! and `r` for restrict. For example `char **argv` (Figure 2) yields the
+//! coding `**`, and `const char *p` ("pointer to const char") yields `*c`.
+
+use serde::{Deserialize, Serialize};
+
+/// A single type qualifier / derivation step.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Qualifier {
+    /// Array derivation (`]`).
+    Array,
+    /// Pointer derivation (`*`).
+    Pointer,
+    /// `const` (`c`).
+    Const,
+    /// `volatile` (`v`).
+    Volatile,
+    /// `restrict` (`r`).
+    Restrict,
+}
+
+impl Qualifier {
+    /// The paper's single-character coding.
+    pub fn code(self) -> char {
+        match self {
+            Qualifier::Array => ']',
+            Qualifier::Pointer => '*',
+            Qualifier::Const => 'c',
+            Qualifier::Volatile => 'v',
+            Qualifier::Restrict => 'r',
+        }
+    }
+
+    /// Parses a single coding character.
+    pub fn from_code(c: char) -> Option<Qualifier> {
+        match c {
+            ']' => Some(Qualifier::Array),
+            '*' => Some(Qualifier::Pointer),
+            'c' => Some(Qualifier::Const),
+            'v' => Some(Qualifier::Volatile),
+            'r' => Some(Qualifier::Restrict),
+            _ => None,
+        }
+    }
+}
+
+/// A sequence of qualifiers in spoken order.
+///
+/// "Spoken order" reads the declaration aloud from the identifier outwards:
+/// `char **argv` is "argv is a pointer to pointer to char" → `**`;
+/// `int x[4]` is "x is an array of int" → `]`;
+/// `const int *p` is "p is a pointer to const int" → `*c`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub struct Qualifiers(pub Vec<Qualifier>);
+
+impl Qualifiers {
+    /// The empty (unqualified) sequence.
+    pub fn none() -> Qualifiers {
+        Qualifiers(Vec::new())
+    }
+
+    /// Whether there are no qualifiers.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Number of derivation steps.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Appends a qualifier (outermost-first construction).
+    pub fn push(&mut self, q: Qualifier) {
+        self.0.push(q);
+    }
+
+    /// Encodes to the paper's coded string.
+    pub fn encode(&self) -> String {
+        self.0.iter().map(|q| q.code()).collect()
+    }
+
+    /// Decodes the paper's coded string; returns `None` on any unknown
+    /// character.
+    pub fn decode(s: &str) -> Option<Qualifiers> {
+        s.chars()
+            .map(Qualifier::from_code)
+            .collect::<Option<Vec<_>>>()
+            .map(Qualifiers)
+    }
+
+    /// Number of pointer derivations (useful for queries like "all double
+    /// pointers").
+    pub fn pointer_depth(&self) -> usize {
+        self.0
+            .iter()
+            .filter(|q| **q == Qualifier::Pointer)
+            .count()
+    }
+
+    /// Whether the outermost derivation makes this an array type.
+    pub fn is_array(&self) -> bool {
+        self.0.first() == Some(&Qualifier::Array)
+    }
+}
+
+impl std::fmt::Display for Qualifiers {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.encode())
+    }
+}
+
+impl FromIterator<Qualifier> for Qualifiers {
+    fn from_iter<I: IntoIterator<Item = Qualifier>>(iter: I) -> Self {
+        Qualifiers(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_argv_is_double_pointer() {
+        // The paper: "the edge isa_type from argv to char makes use of the
+        // QUALIFIER ** to denote the correct signature for argv".
+        let q = Qualifiers(vec![Qualifier::Pointer, Qualifier::Pointer]);
+        assert_eq!(q.encode(), "**");
+        assert_eq!(q.pointer_depth(), 2);
+        assert!(!q.is_array());
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for s in ["", "*", "**", "]c", "*c", "]*v", "*r", "]]*cvr"] {
+            let q = Qualifiers::decode(s).unwrap();
+            assert_eq!(q.encode(), s);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unknown_codes() {
+        assert_eq!(Qualifiers::decode("*x"), None);
+        assert_eq!(Qualifiers::decode("&"), None);
+    }
+
+    #[test]
+    fn spoken_order_semantics() {
+        // int x[4] → "array of int" → "]"
+        let arr = Qualifiers(vec![Qualifier::Array]);
+        assert!(arr.is_array());
+        // int *x[4] → "array of pointer to int" → "]*"
+        let arr_of_ptr = Qualifiers::decode("]*").unwrap();
+        assert!(arr_of_ptr.is_array());
+        assert_eq!(arr_of_ptr.pointer_depth(), 1);
+        // int (*x)[4] → "pointer to array of int" → "*]"
+        let ptr_to_arr = Qualifiers::decode("*]").unwrap();
+        assert!(!ptr_to_arr.is_array());
+    }
+
+    #[test]
+    fn display_matches_encode() {
+        let q = Qualifiers::decode("*c").unwrap();
+        assert_eq!(q.to_string(), "*c");
+    }
+}

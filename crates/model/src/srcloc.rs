@@ -1,0 +1,158 @@
+//! Source positions and ranges.
+//!
+//! Table 2 attaches two ranges to every reference edge: the `USE_*` range of
+//! the whole referencing expression (e.g. the complete call site of a
+//! `calls` edge) and the `NAME_*` range of the representative token (e.g.
+//! the function-name token). Because of the C preprocessor, the file of a
+//! range is not necessarily the file of either end node, so ranges carry
+//! their own [`FileId`].
+
+use crate::ids::FileId;
+use crate::props::{PropKey, PropMap};
+use serde::{Deserialize, Serialize};
+
+/// A 1-based line/column position.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct SrcPos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl SrcPos {
+    /// Creates a position.
+    pub fn new(line: u32, col: u32) -> SrcPos {
+        SrcPos { line, col }
+    }
+}
+
+impl std::fmt::Display for SrcPos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A source range within one file.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct SrcRange {
+    /// The file the range lies in.
+    pub file: FileId,
+    /// Inclusive start.
+    pub start: SrcPos,
+    /// Inclusive end.
+    pub end: SrcPos,
+}
+
+impl SrcRange {
+    /// Creates a range from raw coordinates.
+    pub fn new(file: FileId, sl: u32, sc: u32, el: u32, ec: u32) -> SrcRange {
+        SrcRange {
+            file,
+            start: SrcPos::new(sl, sc),
+            end: SrcPos::new(el, ec),
+        }
+    }
+
+    /// A single-token range on one line.
+    pub fn token(file: FileId, line: u32, col: u32, len: u32) -> SrcRange {
+        SrcRange::new(file, line, col, line, col + len.saturating_sub(1))
+    }
+
+    /// Whether `pos` lies within this range.
+    pub fn contains(&self, file: FileId, pos: SrcPos) -> bool {
+        self.file == file && self.start <= pos && pos <= self.end
+    }
+
+    /// Writes this range into `props` using the `USE_*` keys.
+    pub fn write_use_props(&self, props: &mut PropMap) {
+        props.insert(PropKey::UseFileId, self.file.0);
+        props.insert(PropKey::UseStartLine, self.start.line);
+        props.insert(PropKey::UseStartCol, self.start.col);
+        props.insert(PropKey::UseEndLine, self.end.line);
+        props.insert(PropKey::UseEndCol, self.end.col);
+    }
+
+    /// Writes this range into `props` using the `NAME_*` keys.
+    pub fn write_name_props(&self, props: &mut PropMap) {
+        props.insert(PropKey::NameFileId, self.file.0);
+        props.insert(PropKey::NameStartLine, self.start.line);
+        props.insert(PropKey::NameStartCol, self.start.col);
+        props.insert(PropKey::NameEndLine, self.end.line);
+        props.insert(PropKey::NameEndCol, self.end.col);
+    }
+
+    /// Reads a `USE_*` range back out of a property map.
+    pub fn read_use_props(props: &PropMap) -> Option<SrcRange> {
+        Some(SrcRange::new(
+            FileId(props.get(PropKey::UseFileId)?.as_int()? as u32),
+            props.get(PropKey::UseStartLine)?.as_int()? as u32,
+            props.get(PropKey::UseStartCol)?.as_int()? as u32,
+            props.get(PropKey::UseEndLine)?.as_int()? as u32,
+            props.get(PropKey::UseEndCol)?.as_int()? as u32,
+        ))
+    }
+
+    /// Reads a `NAME_*` range back out of a property map.
+    pub fn read_name_props(props: &PropMap) -> Option<SrcRange> {
+        Some(SrcRange::new(
+            FileId(props.get(PropKey::NameFileId)?.as_int()? as u32),
+            props.get(PropKey::NameStartLine)?.as_int()? as u32,
+            props.get(PropKey::NameStartCol)?.as_int()? as u32,
+            props.get(PropKey::NameEndLine)?.as_int()? as u32,
+            props.get(PropKey::NameEndCol)?.as_int()? as u32,
+        ))
+    }
+}
+
+impl std::fmt::Display for SrcRange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "f{}:{}-{}", self.file.0, self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positions_order_lexicographically() {
+        assert!(SrcPos::new(1, 80) < SrcPos::new(2, 1));
+        assert!(SrcPos::new(3, 4) < SrcPos::new(3, 5));
+    }
+
+    #[test]
+    fn token_range_spans_len_columns() {
+        let r = SrcRange::token(FileId(0), 10, 5, 3);
+        assert_eq!(r.start, SrcPos::new(10, 5));
+        assert_eq!(r.end, SrcPos::new(10, 7));
+        assert!(r.contains(FileId(0), SrcPos::new(10, 6)));
+        assert!(!r.contains(FileId(0), SrcPos::new(10, 8)));
+        assert!(!r.contains(FileId(1), SrcPos::new(10, 6)));
+    }
+
+    #[test]
+    fn use_props_round_trip() {
+        let r = SrcRange::new(FileId(7), 1, 2, 3, 4);
+        let mut m = PropMap::new();
+        r.write_use_props(&mut m);
+        assert_eq!(SrcRange::read_use_props(&m), Some(r));
+        assert_eq!(SrcRange::read_name_props(&m), None);
+    }
+
+    #[test]
+    fn name_props_round_trip() {
+        let r = SrcRange::new(FileId(9), 104, 16, 104, 18);
+        let mut m = PropMap::new();
+        r.write_name_props(&mut m);
+        assert_eq!(SrcRange::read_name_props(&m), Some(r));
+        // This is exactly the Figure 4 go-to-definition anchor shape.
+        assert_eq!(m.get(PropKey::NameStartLine), Some(&104i64.into()));
+    }
+
+    #[test]
+    fn display_formats() {
+        let r = SrcRange::new(FileId(2), 1, 1, 1, 4);
+        assert_eq!(r.to_string(), "f2:1:1-1:4");
+    }
+}

@@ -1,0 +1,241 @@
+//! Dynamically-typed property values.
+//!
+//! The paper's property graph model (Tables 2) attaches heterogeneous
+//! values to nodes and edges: strings (`SHORT_NAME`), integers
+//! (`USE_START_LINE`, `VALUE`), flags (`VARIADIC`), and coded strings
+//! (`QUALIFIERS`). [`PropValue`] is the sum type the store keeps.
+
+use serde::{Deserialize, Serialize};
+
+/// On-disk size of one property record (Neo4j: 41 bytes, holding up to four
+/// property blocks).
+pub const PROPERTY_RECORD: usize = 41;
+/// Block size of the dynamic string/array store.
+pub const DYNAMIC_BLOCK: usize = 128;
+/// Property blocks per property record.
+pub const BLOCKS_PER_RECORD: usize = 4;
+
+/// A property value on a node or edge.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum PropValue {
+    /// A 64-bit signed integer (line numbers, enumerator values, indexes).
+    Int(i64),
+    /// A string (names, paths, qualifier codings).
+    Str(String),
+    /// A boolean flag. The paper models flags like `VARIADIC` as
+    /// present/absent; the store represents presence as `Bool(true)`.
+    Bool(bool),
+    /// A list of integers (the `ARRAY_LENGTHS` property: constant dimension
+    /// sizes of declared arrays).
+    IntList(Vec<i64>),
+}
+
+impl PropValue {
+    /// The integer value, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            PropValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            PropValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            PropValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The integer list, if this is an `IntList`.
+    pub fn as_int_list(&self) -> Option<&[i64]> {
+        match self {
+            PropValue::IntList(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is "truthy" in a query `WHERE` context: nonzero
+    /// integers, non-empty strings, `true`, non-empty lists.
+    pub fn truthy(&self) -> bool {
+        match self {
+            PropValue::Int(v) => *v != 0,
+            PropValue::Str(s) => !s.is_empty(),
+            PropValue::Bool(b) => *b,
+            PropValue::IntList(v) => !v.is_empty(),
+        }
+    }
+
+    /// Total order used by `ORDER BY` and comparison operators. Values of
+    /// different kinds order by kind (Int < Str < Bool < IntList), values of
+    /// the same kind order naturally.
+    pub fn cmp_total(&self, other: &PropValue) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        fn kind(v: &PropValue) -> u8 {
+            match v {
+                PropValue::Int(_) => 0,
+                PropValue::Str(_) => 1,
+                PropValue::Bool(_) => 2,
+                PropValue::IntList(_) => 3,
+            }
+        }
+        match (self, other) {
+            (PropValue::Int(a), PropValue::Int(b)) => a.cmp(b),
+            (PropValue::Str(a), PropValue::Str(b)) => a.cmp(b),
+            (PropValue::Bool(a), PropValue::Bool(b)) => a.cmp(b),
+            (PropValue::IntList(a), PropValue::IntList(b)) => a.cmp(b),
+            _ => kind(self).cmp(&kind(other)).then(Ordering::Equal),
+        }
+    }
+
+    /// Approximate on-disk size in bytes, mirroring Neo4j property records
+    /// for the Table 4 size accounting: a property record is 41 bytes; long
+    /// strings spill into a dynamic string store in 128-byte blocks.
+    pub fn storage_bytes(&self) -> usize {
+        PROPERTY_RECORD + self.dynamic_bytes()
+    }
+
+    /// Bytes this value spills into the dynamic string/array store, beyond
+    /// the inline property block. Short strings (< 24 bytes) pack inline
+    /// into the property record, like Neo4j's short-string encoding.
+    pub fn dynamic_bytes(&self) -> usize {
+        match self {
+            PropValue::Int(_) | PropValue::Bool(_) => 0,
+            PropValue::Str(s) => {
+                if s.len() < 24 {
+                    0
+                } else {
+                    s.len().div_ceil(DYNAMIC_BLOCK - 8) * DYNAMIC_BLOCK
+                }
+            }
+            PropValue::IntList(v) => (v.len() * 8).div_ceil(DYNAMIC_BLOCK - 8) * DYNAMIC_BLOCK,
+        }
+    }
+}
+
+impl From<i64> for PropValue {
+    fn from(v: i64) -> Self {
+        PropValue::Int(v)
+    }
+}
+
+impl From<i32> for PropValue {
+    fn from(v: i32) -> Self {
+        PropValue::Int(v as i64)
+    }
+}
+
+impl From<u32> for PropValue {
+    fn from(v: u32) -> Self {
+        PropValue::Int(v as i64)
+    }
+}
+
+impl From<usize> for PropValue {
+    fn from(v: usize) -> Self {
+        PropValue::Int(v as i64)
+    }
+}
+
+impl From<&str> for PropValue {
+    fn from(v: &str) -> Self {
+        PropValue::Str(v.to_owned())
+    }
+}
+
+impl From<String> for PropValue {
+    fn from(v: String) -> Self {
+        PropValue::Str(v)
+    }
+}
+
+impl From<bool> for PropValue {
+    fn from(v: bool) -> Self {
+        PropValue::Bool(v)
+    }
+}
+
+impl std::fmt::Display for PropValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PropValue::Int(v) => write!(f, "{v}"),
+            PropValue::Str(s) => write!(f, "{s}"),
+            PropValue::Bool(b) => write!(f, "{b}"),
+            PropValue::IntList(v) => {
+                write!(f, "[")?;
+                for (i, x) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(PropValue::Int(3).as_int(), Some(3));
+        assert_eq!(PropValue::Int(3).as_str(), None);
+        assert_eq!(PropValue::from("x").as_str(), Some("x"));
+        assert_eq!(PropValue::Bool(true).as_bool(), Some(true));
+        assert_eq!(
+            PropValue::IntList(vec![1, 2]).as_int_list(),
+            Some(&[1i64, 2][..])
+        );
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(PropValue::Int(1).truthy());
+        assert!(!PropValue::Int(0).truthy());
+        assert!(PropValue::from("a").truthy());
+        assert!(!PropValue::from("").truthy());
+        assert!(!PropValue::Bool(false).truthy());
+        assert!(!PropValue::IntList(vec![]).truthy());
+    }
+
+    #[test]
+    fn total_order_within_and_across_kinds() {
+        use std::cmp::Ordering;
+        assert_eq!(PropValue::Int(1).cmp_total(&PropValue::Int(2)), Ordering::Less);
+        assert_eq!(
+            PropValue::from("a").cmp_total(&PropValue::from("b")),
+            Ordering::Less
+        );
+        // Int sorts before Str regardless of content.
+        assert_eq!(
+            PropValue::Int(999).cmp_total(&PropValue::from("a")),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn storage_accounting_short_vs_long_strings() {
+        let short = PropValue::from("main");
+        let long = PropValue::from("a".repeat(500));
+        assert_eq!(short.storage_bytes(), 41);
+        assert!(long.storage_bytes() > 41 + 128);
+    }
+
+    #[test]
+    fn display_renders_values() {
+        assert_eq!(PropValue::Int(7).to_string(), "7");
+        assert_eq!(PropValue::from("x").to_string(), "x");
+        assert_eq!(PropValue::IntList(vec![1, 2]).to_string(), "[1, 2]");
+    }
+}

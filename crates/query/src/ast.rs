@@ -1,0 +1,268 @@
+//! Abstract syntax tree of the query language.
+
+use crate::error::QueryError;
+use crate::lucene::LuceneQuery;
+use frappe_model::{EdgeType, Label, NodeType, PropKey, PropValue};
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// `START` items (may be empty in 2.x-style label-scan queries).
+    pub starts: Vec<StartItem>,
+    /// `MATCH` / `WHERE` / `WITH` clauses in source order.
+    pub clauses: Vec<Clause>,
+    /// The final `RETURN`.
+    pub ret: Return,
+}
+
+impl Query {
+    /// Parses a query from text.
+    pub fn parse(text: &str) -> Result<Query, QueryError> {
+        crate::parser::parse(text)
+    }
+}
+
+/// One `v = node:node_auto_index('...')` binding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StartItem {
+    /// The variable bound to the lookup results.
+    pub var: String,
+    /// The parsed Lucene-style index query.
+    pub lookup: LuceneQuery,
+}
+
+/// A pipeline clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Clause {
+    /// `MATCH p1, p2, ...`
+    Match(Vec<Pattern>),
+    /// `WHERE expr`
+    Where(Expr),
+    /// `WITH [distinct] items`
+    With {
+        /// Deduplicate carried rows.
+        distinct: bool,
+        /// Carried items (each re-binds a name downstream).
+        items: Vec<Item>,
+    },
+}
+
+/// The final projection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Return {
+    /// Deduplicate result rows.
+    pub distinct: bool,
+    /// Projected items.
+    pub items: Vec<Item>,
+    /// `ORDER BY` keys: `(expression, descending)`.
+    pub order_by: Vec<(Expr, bool)>,
+    /// Optional `SKIP`.
+    pub skip: Option<u64>,
+    /// Optional `LIMIT`.
+    pub limit: Option<u64>,
+}
+
+/// A projected item: an expression with an output name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Item {
+    /// The projected expression.
+    pub expr: Expr,
+    /// The column name (variable name, `var.prop`, or explicit alias).
+    pub name: String,
+}
+
+/// A linear graph pattern: alternating node and relationship elements,
+/// `n0 -rel0- n1 -rel1- n2 ...`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pattern {
+    /// Node patterns (`rels.len() + 1` of them).
+    pub nodes: Vec<NodePattern>,
+    /// Relationship patterns between consecutive nodes.
+    pub rels: Vec<RelPattern>,
+}
+
+/// A node pattern: `(v:label1:label2 {key: lit})`, `(v)`, `v`, or `()`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NodePattern {
+    /// Variable name, if bound.
+    pub var: Option<String>,
+    /// Label constraints (Table 1 types and/or Table 6 group labels).
+    pub labels: Vec<LabelSpec>,
+    /// Inline property equality constraints.
+    pub props: Vec<(PropKey, PropValue)>,
+}
+
+/// A node label constraint: either an underlying Table 1 type
+/// (`:field`) or a Table 6 grouped label (`:container`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LabelSpec {
+    /// Exact node type.
+    Type(NodeType),
+    /// Grouped label.
+    Group(Label),
+}
+
+/// Direction of a relationship pattern, relative to source order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelDir {
+    /// `-[...]->`: left node is the source.
+    LeftToRight,
+    /// `<-[...]-`: right node is the source.
+    RightToLeft,
+    /// `-[...]-`: either direction.
+    Undirected,
+}
+
+/// A relationship pattern: `-[v:type1|type2 *min..max {key: lit}]->`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelPattern {
+    /// Variable name, if bound (only valid for fixed-length patterns).
+    pub var: Option<String>,
+    /// Allowed edge types (empty = any).
+    pub types: Vec<EdgeType>,
+    /// Direction.
+    pub dir: RelDir,
+    /// Variable-length hop range: `*` = `(1, None)`, `*2..4` = `(2, Some(4))`.
+    pub var_len: Option<(u32, Option<u32>)>,
+    /// Inline property equality constraints on the edge.
+    pub props: Vec<(PropKey, PropValue)>,
+}
+
+/// A boolean / scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal.
+    Lit(PropValue),
+    /// `NULL`.
+    Null,
+    /// A variable reference.
+    Var(String),
+    /// `var.property`.
+    Prop(String, PropKey),
+    /// Binary comparison.
+    Cmp(Box<Expr>, CmpOp, Box<Expr>),
+    /// Logical AND.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical OR.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical XOR.
+    Xor(Box<Expr>, Box<Expr>),
+    /// Logical NOT.
+    Not(Box<Expr>),
+    /// A pattern predicate (`WHERE (n) <-[...]- ()` in Figure 4, or
+    /// `direct -[:calls*]-> writer` in Figure 5): true if the pattern has
+    /// at least one match consistent with the current bindings.
+    PatternPredicate(Pattern),
+    /// `count(expr)` / `count(*)` — only valid in `RETURN` items; rows are
+    /// implicitly grouped by the non-aggregate items (Cypher semantics).
+    Count(Option<Box<Expr>>),
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl Pattern {
+    /// All variable names bound by this pattern (nodes and rels).
+    pub fn variables(&self) -> impl Iterator<Item = &str> {
+        self.nodes
+            .iter()
+            .filter_map(|n| n.var.as_deref())
+            .chain(self.rels.iter().filter_map(|r| r.var.as_deref()))
+    }
+}
+
+impl Expr {
+    /// Free variables referenced by the expression (excluding those bound
+    /// inside pattern predicates).
+    pub fn variables<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Lit(_) | Expr::Null => {}
+            Expr::Var(v) => out.push(v),
+            Expr::Prop(v, _) => out.push(v),
+            Expr::Cmp(a, _, b) | Expr::And(a, b) | Expr::Or(a, b) | Expr::Xor(a, b) => {
+                a.variables(out);
+                b.variables(out);
+            }
+            Expr::Not(a) => a.variables(out),
+            Expr::Count(e) => {
+                if let Some(e) = e {
+                    e.variables(out);
+                }
+            }
+            Expr::PatternPredicate(p) => {
+                for v in p.variables() {
+                    out.push(v);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_variables() {
+        let p = Pattern {
+            nodes: vec![
+                NodePattern {
+                    var: Some("a".into()),
+                    ..Default::default()
+                },
+                NodePattern::default(),
+                NodePattern {
+                    var: Some("b".into()),
+                    ..Default::default()
+                },
+            ],
+            rels: vec![
+                RelPattern {
+                    var: Some("r".into()),
+                    types: vec![],
+                    dir: RelDir::LeftToRight,
+                    var_len: None,
+                    props: vec![],
+                },
+                RelPattern {
+                    var: None,
+                    types: vec![],
+                    dir: RelDir::Undirected,
+                    var_len: None,
+                    props: vec![],
+                },
+            ],
+        };
+        let vars: Vec<&str> = p.variables().collect();
+        assert_eq!(vars, vec!["a", "b", "r"]);
+    }
+
+    #[test]
+    fn expr_variables() {
+        let e = Expr::And(
+            Box::new(Expr::Cmp(
+                Box::new(Expr::Prop("r".into(), PropKey::UseStartLine)),
+                CmpOp::Ge,
+                Box::new(Expr::Prop("s".into(), PropKey::UseStartLine)),
+            )),
+            Box::new(Expr::Not(Box::new(Expr::Var("x".into())))),
+        );
+        let mut vars = Vec::new();
+        e.variables(&mut vars);
+        assert_eq!(vars, vec!["r", "s", "x"]);
+    }
+}

@@ -1,0 +1,81 @@
+//! Query errors: lexing, parsing, semantic, and runtime.
+
+/// Errors raised while parsing or executing a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// Lexical error at a byte offset.
+    Lex {
+        /// Byte offset into the query text.
+        offset: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Parse error near a token.
+    Parse {
+        /// Byte offset of the offending token.
+        offset: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Semantic error (unknown edge type, unbound variable, ...).
+    Semantic(String),
+    /// The executor exceeded its step budget (the Table 5 "> 15 mins,
+    /// aborted" condition, surfaced cleanly).
+    BudgetExhausted {
+        /// Steps taken before aborting.
+        steps: u64,
+    },
+    /// The executor exceeded its wall-clock timeout.
+    Timeout {
+        /// The configured limit in milliseconds.
+        limit_ms: u64,
+    },
+    /// The store rejected an operation (e.g. index lookup before freeze).
+    Store(String),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Lex { offset, message } => {
+                write!(f, "lex error at offset {offset}: {message}")
+            }
+            QueryError::Parse { offset, message } => {
+                write!(f, "parse error at offset {offset}: {message}")
+            }
+            QueryError::Semantic(m) => write!(f, "semantic error: {m}"),
+            QueryError::BudgetExhausted { steps } => {
+                write!(f, "query aborted after {steps} expansion steps")
+            }
+            QueryError::Timeout { limit_ms } => {
+                write!(f, "query aborted after {limit_ms} ms")
+            }
+            QueryError::Store(m) => write!(f, "store error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<frappe_store::StoreError> for QueryError {
+    fn from(e: frappe_store::StoreError) -> Self {
+        QueryError::Store(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = QueryError::Parse {
+            offset: 5,
+            message: "expected MATCH".into(),
+        };
+        assert!(e.to_string().contains("offset 5"));
+        assert!(QueryError::BudgetExhausted { steps: 9 }
+            .to_string()
+            .contains("9 expansion steps"));
+    }
+}

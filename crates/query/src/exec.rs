@@ -1,0 +1,1801 @@
+//! Query executor.
+//!
+//! Queries run as a materialized pipeline: `START` produces the initial
+//! binding table, each `MATCH` expands it by pattern matching, `WHERE`
+//! filters, `WITH` projects/deduplicates, `RETURN` produces the final
+//! result table.
+//!
+//! ## Pattern matching strategy
+//!
+//! Each pattern is a chain of node and relationship patterns. The executor
+//! picks an *anchor*: the first node whose variable is already bound; if
+//! none, the node with the most selective standalone constraint (a
+//! `short_name`/`name` property → name index lookup, a label → label-index
+//! scan, else a full node scan, mirroring Neo4j's `AllNodesScan`). From the
+//! anchor it expands hop by hop to the right, then to the left.
+//!
+//! ## Variable-length semantics (the Table 5 story)
+//!
+//! [`PathSemantics::Enumerate`] (the default) expands `*` patterns by
+//! depth-first *path enumeration* with relationship uniqueness — Cypher's
+//! semantics. The number of paths in a dense call graph grows explosively,
+//! which is why the paper's Figure 6 query "does not terminate within 15
+//! minutes". Every expansion consumes budget; exhaustion aborts with
+//! [`QueryError::BudgetExhausted`] rather than hanging.
+//!
+//! [`PathSemantics::Reachability`] expands `*` patterns with a visited-set
+//! BFS — each reachable endpoint is produced once. This is the specialized
+//! traversal of Section 6.1, exposed as an engine option so the two can be
+//! compared on identical queries.
+
+use crate::ast::{Clause, CmpOp, Expr, Item, LabelSpec, NodePattern, Pattern, Query, RelDir,
+    RelPattern};
+use crate::error::QueryError;
+use crate::value::Value;
+use frappe_model::{EdgeId, NodeId, PropKey, PropValue};
+use frappe_store::graph::Direction;
+use frappe_store::{GraphStore, NameField, NamePattern};
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// How variable-length patterns are expanded.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PathSemantics {
+    /// Cypher-style relationship-unique path enumeration (default — and the
+    /// cause of the Table 5 comprehension abort).
+    #[default]
+    Enumerate,
+    /// Visited-set reachability (the Section 6.1 specialized traversal).
+    Reachability,
+}
+
+/// Executor configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineOptions {
+    /// Variable-length expansion semantics.
+    pub path_semantics: PathSemantics,
+    /// Abort after this many expansion steps.
+    pub max_steps: u64,
+    /// Abort after this wall-clock time.
+    pub timeout: Option<Duration>,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            path_semantics: PathSemantics::Enumerate,
+            max_steps: 50_000_000,
+            timeout: None,
+        }
+    }
+}
+
+/// The query engine.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Engine {
+    /// Configuration used by [`Engine::run`].
+    pub options: EngineOptions,
+}
+
+/// A query result table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResultSet {
+    /// Column names from the `RETURN` items.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Vec<Value>>,
+    /// Expansion steps consumed (a deterministic work measure).
+    pub steps: u64,
+}
+
+impl ResultSet {
+    /// Renders an aligned text table (for examples and the report binary).
+    pub fn to_table(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, c) in self.columns.iter().enumerate() {
+            out.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        out.push('\n');
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                out.push_str(&format!("{:<w$}  ", cell, w = widths[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Engine {
+    /// Creates an engine with default options.
+    pub fn new() -> Engine {
+        Engine::default()
+    }
+
+    /// Creates an engine with the given options.
+    pub fn with_options(options: EngineOptions) -> Engine {
+        Engine { options }
+    }
+
+    /// Runs `query` against `g`.
+    pub fn run(&self, g: &GraphStore, query: &Query) -> Result<ResultSet, QueryError> {
+        let mut budget = Budget::new(self.options.max_steps, self.options.timeout);
+        let mut ctx = Ctx {
+            g,
+            semantics: self.options.path_semantics,
+            budget: &mut budget,
+        };
+
+        // START: cartesian product of index lookups.
+        let mut table = Table::unit();
+        for item in &query.starts {
+            let hits = item.lookup.eval(g)?;
+            table = table.cross_bind(&item.var, hits);
+        }
+
+        for clause in &query.clauses {
+            match clause {
+                Clause::Match(patterns) => {
+                    for p in patterns {
+                        table = expand_pattern(&mut ctx, table, p)?;
+                    }
+                }
+                Clause::Where(expr) => {
+                    let mut kept = Vec::new();
+                    for row in table.rows {
+                        if eval_truthy(&mut ctx, &table.vars, &row, expr)? {
+                            kept.push(row);
+                        }
+                    }
+                    table = Table {
+                        vars: table.vars,
+                        rows: kept,
+                    };
+                }
+                Clause::With { distinct, items } => {
+                    table = project(&mut ctx, &table, items, *distinct)?;
+                }
+            }
+        }
+
+        // RETURN with aggregates: implicit grouping by the non-aggregate
+        // items (Cypher semantics), then SKIP/LIMIT.
+        let has_aggregate = query
+            .ret
+            .items
+            .iter()
+            .any(|i| matches!(i.expr, Expr::Count(_)));
+        if has_aggregate {
+            if !query.ret.order_by.is_empty() {
+                return Err(QueryError::Semantic(
+                    "ORDER BY is not supported together with count()".into(),
+                ));
+            }
+            let mut index: std::collections::HashMap<Vec<Value>, usize> = Default::default();
+            let mut groups: Vec<(Vec<Value>, Vec<u64>)> = Vec::new();
+            let n_aggs = query
+                .ret
+                .items
+                .iter()
+                .filter(|i| matches!(i.expr, Expr::Count(_)))
+                .count();
+            for row in &table.rows {
+                let mut key = Vec::new();
+                let mut contributes = Vec::with_capacity(n_aggs);
+                for item in &query.ret.items {
+                    match &item.expr {
+                        Expr::Count(None) => contributes.push(true),
+                        Expr::Count(Some(inner)) => {
+                            let v = eval_value(&mut ctx, &table.vars, row, inner)?;
+                            contributes.push(!v.is_null());
+                        }
+                        other => key.push(eval_value(&mut ctx, &table.vars, row, other)?),
+                    }
+                }
+                let slot = *index.entry(key.clone()).or_insert_with(|| {
+                    groups.push((key, vec![0; n_aggs]));
+                    groups.len() - 1
+                });
+                for (i, c) in contributes.into_iter().enumerate() {
+                    groups[slot].1[i] += u64::from(c);
+                }
+            }
+            let skip = query
+                .ret
+                .skip
+                .map_or(0, |s| usize::try_from(s).unwrap_or(usize::MAX));
+            let mut rows: Vec<Vec<Value>> = groups
+                .into_iter()
+                .skip(skip)
+                .map(|(key, counts)| {
+                    let mut ki = 0;
+                    let mut ci = 0;
+                    query
+                        .ret
+                        .items
+                        .iter()
+                        .map(|item| {
+                            if matches!(item.expr, Expr::Count(_)) {
+                                let v = Value::Scalar(PropValue::Int(counts[ci] as i64));
+                                ci += 1;
+                                v
+                            } else {
+                                let v = key[ki].clone();
+                                ki += 1;
+                                v
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            if let Some(limit) = query.ret.limit {
+                rows.truncate(usize::try_from(limit).unwrap_or(usize::MAX));
+            }
+            return Ok(ResultSet {
+                columns: query.ret.items.iter().map(|i| i.name.clone()).collect(),
+                rows,
+                steps: budget.steps,
+            });
+        }
+
+        // RETURN: project (with sort keys computed against the full binding
+        // scope), then DISTINCT, ORDER BY, SKIP, LIMIT.
+        let mut combined: Vec<(Vec<Value>, Vec<Value>)> =
+            Vec::with_capacity(table.rows.len());
+        for row in &table.rows {
+            let mut proj = Vec::with_capacity(query.ret.items.len());
+            for item in &query.ret.items {
+                proj.push(eval_value(&mut ctx, &table.vars, row, &item.expr)?);
+            }
+            let mut keys = Vec::with_capacity(query.ret.order_by.len());
+            for (expr, _) in &query.ret.order_by {
+                keys.push(eval_value(&mut ctx, &table.vars, row, expr)?);
+            }
+            combined.push((keys, proj));
+        }
+        if query.ret.distinct {
+            let mut seen: HashSet<Vec<Value>> = HashSet::new();
+            combined.retain(|(_, proj)| seen.insert(proj.clone()));
+        }
+        if !query.ret.order_by.is_empty() {
+            let descs: Vec<bool> = query.ret.order_by.iter().map(|(_, d)| *d).collect();
+            combined.sort_by(|a, b| {
+                for (i, desc) in descs.iter().enumerate() {
+                    let ord = value_cmp(&a.0[i], &b.0[i]);
+                    if ord != std::cmp::Ordering::Equal {
+                        return if *desc { ord.reverse() } else { ord };
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        }
+        let skip = query.ret.skip.map_or(0, |s| usize::try_from(s).unwrap_or(usize::MAX));
+        let mut rows: Vec<Vec<Value>> = combined
+            .into_iter()
+            .skip(skip)
+            .map(|(_, proj)| proj)
+            .collect();
+        if let Some(limit) = query.ret.limit {
+            rows.truncate(usize::try_from(limit).unwrap_or(usize::MAX));
+        }
+        Ok(ResultSet {
+            columns: query.ret.items.iter().map(|i| i.name.clone()).collect(),
+            rows,
+            steps: budget.steps,
+        })
+    }
+
+    /// Parses and runs a query in one call.
+    pub fn run_str(&self, g: &GraphStore, text: &str) -> Result<ResultSet, QueryError> {
+        self.run(g, &Query::parse(text)?)
+    }
+
+    /// Produces a textual plan sketch (anchor choices, expansion order).
+    pub fn explain(&self, g: &GraphStore, query: &Query) -> String {
+        let mut out = String::new();
+        let mut bound: Vec<String> = query.starts.iter().map(|s| s.var.clone()).collect();
+        for s in &query.starts {
+            out.push_str(&format!("IndexLookup {} <- {:?}\n", s.var, s.lookup));
+        }
+        for clause in &query.clauses {
+            match clause {
+                Clause::Match(patterns) => {
+                    for p in patterns {
+                        let anchor = choose_anchor(g, p, |v| bound.iter().any(|b| b == v));
+                        out.push_str(&format!(
+                            "Expand pattern ({} nodes, {} rels) from anchor #{} [{}]\n",
+                            p.nodes.len(),
+                            p.rels.len(),
+                            anchor.index,
+                            anchor.describe()
+                        ));
+                        for v in p.variables() {
+                            if !bound.iter().any(|b| b == v) {
+                                bound.push(v.to_owned());
+                            }
+                        }
+                    }
+                }
+                Clause::Where(_) => out.push_str("Filter\n"),
+                Clause::With { distinct, items } => {
+                    out.push_str(&format!(
+                        "Project{} [{}]\n",
+                        if *distinct { " distinct" } else { "" },
+                        items
+                            .iter()
+                            .map(|i| i.name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ));
+                    bound = items.iter().map(|i| i.name.clone()).collect();
+                }
+            }
+        }
+        out.push_str(&format!(
+            "Return{} ({} items)\n",
+            if query.ret.distinct { " distinct" } else { "" },
+            query.ret.items.len()
+        ));
+        out
+    }
+}
+
+// ----------------------------------------------------------------------
+// Binding table
+// ----------------------------------------------------------------------
+
+/// Variable slots plus materialized rows.
+struct Table {
+    vars: Vars,
+    rows: Vec<Row>,
+}
+
+type Row = Vec<Value>;
+
+#[derive(Clone, Default)]
+struct Vars {
+    names: Vec<String>,
+}
+
+impl Vars {
+    fn slot(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    fn ensure(&mut self, name: &str) -> usize {
+        if let Some(i) = self.slot(name) {
+            i
+        } else {
+            self.names.push(name.to_owned());
+            self.names.len() - 1
+        }
+    }
+}
+
+impl Table {
+    /// One empty row, no variables (the pipeline seed).
+    fn unit() -> Table {
+        Table {
+            vars: Vars::default(),
+            rows: vec![Vec::new()],
+        }
+    }
+
+    /// Cartesian product with a list of nodes bound to `var`.
+    fn cross_bind(mut self, var: &str, nodes: Vec<NodeId>) -> Table {
+        let slot = self.vars.ensure(var);
+        let mut rows = Vec::with_capacity(self.rows.len() * nodes.len().max(1));
+        for row in &self.rows {
+            for n in &nodes {
+                let mut r = row.clone();
+                grow(&mut r, slot);
+                r[slot] = Value::Node(*n);
+                rows.push(r);
+            }
+        }
+        Table {
+            vars: self.vars,
+            rows,
+        }
+    }
+}
+
+fn grow(row: &mut Row, slot: usize) {
+    if row.len() <= slot {
+        row.resize(slot + 1, Value::Null);
+    }
+}
+
+fn get(row: &Row, slot: usize) -> &Value {
+    row.get(slot).unwrap_or(&Value::Null)
+}
+
+// ----------------------------------------------------------------------
+// Budget
+// ----------------------------------------------------------------------
+
+struct Budget {
+    steps: u64,
+    max_steps: u64,
+    deadline: Option<Instant>,
+    limit_ms: u64,
+}
+
+impl Budget {
+    fn new(max_steps: u64, timeout: Option<Duration>) -> Budget {
+        Budget {
+            steps: 0,
+            max_steps,
+            deadline: timeout.map(|t| Instant::now() + t),
+            limit_ms: timeout.map_or(0, |t| t.as_millis() as u64),
+        }
+    }
+
+    #[inline]
+    fn tick(&mut self) -> Result<(), QueryError> {
+        self.steps += 1;
+        if self.steps > self.max_steps {
+            return Err(QueryError::BudgetExhausted { steps: self.steps });
+        }
+        if self.steps.is_multiple_of(4096) {
+            if let Some(d) = self.deadline {
+                if Instant::now() >= d {
+                    return Err(QueryError::Timeout {
+                        limit_ms: self.limit_ms,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+struct Ctx<'a> {
+    g: &'a GraphStore,
+    semantics: PathSemantics,
+    budget: &'a mut Budget,
+}
+
+// ----------------------------------------------------------------------
+// Pattern matching
+// ----------------------------------------------------------------------
+
+/// Anchor choice for a pattern.
+struct Anchor {
+    index: usize,
+    kind: AnchorKind,
+}
+
+enum AnchorKind {
+    BoundVar,
+    NameIndex(NameField, String),
+    LabelScan(LabelSpec),
+    AllNodes,
+}
+
+impl Anchor {
+    fn describe(&self) -> &'static str {
+        match self.kind {
+            AnchorKind::BoundVar => "bound variable",
+            AnchorKind::NameIndex(..) => "name-index lookup",
+            AnchorKind::LabelScan(_) => "label scan",
+            AnchorKind::AllNodes => "all-nodes scan",
+        }
+    }
+}
+
+fn choose_anchor(_g: &GraphStore, p: &Pattern, is_bound: impl Fn(&str) -> bool) -> Anchor {
+    // 1. A node whose variable is already bound.
+    for (i, n) in p.nodes.iter().enumerate() {
+        if n.var.as_deref().is_some_and(&is_bound) {
+            return Anchor {
+                index: i,
+                kind: AnchorKind::BoundVar,
+            };
+        }
+    }
+    // 2. A node with an indexable name property.
+    for (i, n) in p.nodes.iter().enumerate() {
+        for (k, v) in &n.props {
+            if let Some(s) = v.as_str() {
+                match k {
+                    PropKey::ShortName => {
+                        return Anchor {
+                            index: i,
+                            kind: AnchorKind::NameIndex(NameField::ShortName, s.to_owned()),
+                        }
+                    }
+                    PropKey::Name => {
+                        return Anchor {
+                            index: i,
+                            kind: AnchorKind::NameIndex(NameField::Name, s.to_owned()),
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    // 3. A node with a label constraint.
+    for (i, n) in p.nodes.iter().enumerate() {
+        if let Some(spec) = n.labels.first() {
+            return Anchor {
+                index: i,
+                kind: AnchorKind::LabelScan(*spec),
+            };
+        }
+    }
+    // 4. Fall back to scanning everything from the leftmost node.
+    Anchor {
+        index: 0,
+        kind: AnchorKind::AllNodes,
+    }
+}
+
+/// Gives every anonymous node pattern a hidden variable (`#a<i>`), so the
+/// chain expander can track which positions are already matched. Hidden
+/// names use `#`, which the lexer rejects, so they can never collide with
+/// user variables.
+fn anonymize(pattern: &Pattern) -> Pattern {
+    let mut p = pattern.clone();
+    for (i, n) in p.nodes.iter_mut().enumerate() {
+        if n.var.is_none() {
+            n.var = Some(format!("#a{i}"));
+        }
+    }
+    p
+}
+
+/// Expands `pattern` against every row of `table`.
+fn expand_pattern(ctx: &mut Ctx, table: Table, pattern: &Pattern) -> Result<Table, QueryError> {
+    let pattern = anonymize(pattern);
+    let mut vars = table.vars;
+    // Pre-allocate slots for all pattern variables.
+    for v in pattern.variables() {
+        vars.ensure(v);
+    }
+    let mut out_rows = Vec::new();
+    for row in table.rows {
+        match_pattern_into(ctx, &vars, &row, &pattern, false, &mut |r| {
+            out_rows.push(r.to_vec())
+        })?;
+    }
+    Ok(Table {
+        vars,
+        rows: out_rows,
+    })
+}
+
+/// Checks whether `pattern` has at least one match extending `row`
+/// (the WHERE pattern-predicate case). Stops at the first match.
+fn pattern_exists(
+    ctx: &mut Ctx,
+    vars: &Vars,
+    row: &Row,
+    pattern: &Pattern,
+) -> Result<bool, QueryError> {
+    let pattern = anonymize(pattern);
+    let mut vars = vars.clone();
+    for v in pattern.variables() {
+        vars.ensure(v);
+    }
+    let mut found = false;
+    match_pattern_into(ctx, &vars, row, &pattern, true, &mut |_| found = true)?;
+    Ok(found)
+}
+
+/// Core matcher: emits each extension of `row` matching `pattern`.
+/// With `first_only`, stops after the first emission.
+fn match_pattern_into(
+    ctx: &mut Ctx,
+    vars: &Vars,
+    row: &Row,
+    pattern: &Pattern,
+    first_only: bool,
+    emit: &mut dyn FnMut(&Row),
+) -> Result<(), QueryError> {
+    let is_bound = |v: &str| {
+        vars.slot(v)
+            .is_some_and(|s| !matches!(get(row, s), Value::Null))
+    };
+    let anchor = choose_anchor(ctx.g, pattern, is_bound);
+
+    // Candidate anchor nodes.
+    let candidates: Vec<NodeId> = match &anchor.kind {
+        AnchorKind::BoundVar => {
+            let var = pattern.nodes[anchor.index]
+                .var
+                .as_deref()
+                .expect("bound anchor has var");
+            let slot = vars.slot(var).expect("var allocated");
+            match get(row, slot) {
+                Value::Node(n) => vec![*n],
+                _ => Vec::new(),
+            }
+        }
+        AnchorKind::NameIndex(field, text) => {
+            if ctx.g.is_frozen() {
+                ctx.g.lookup_name(*field, &NamePattern::parse(text))?
+            } else {
+                ctx.g.nodes().collect()
+            }
+        }
+        AnchorKind::LabelScan(spec) => {
+            if ctx.g.is_frozen() {
+                match spec {
+                    LabelSpec::Type(t) => ctx.g.nodes_with_type(*t)?.to_vec(),
+                    LabelSpec::Group(l) => ctx.g.nodes_with_label(*l)?.to_vec(),
+                }
+            } else {
+                ctx.g.nodes().collect()
+            }
+        }
+        AnchorKind::AllNodes => ctx.g.nodes().collect(),
+    };
+
+    let mut scratch = row.clone();
+    let mut done = false;
+    for cand in candidates {
+        if done && first_only {
+            break;
+        }
+        ctx.budget.tick()?;
+        // Bind the anchor node (checks its own constraints).
+        let mut trail = Trail::default();
+        if !bind_node(ctx, vars, &mut scratch, &pattern.nodes[anchor.index], cand, &mut trail) {
+            trail.undo(&mut scratch);
+            continue;
+        }
+        // Expand right from the anchor, then left; used-edge set enforces
+        // per-pattern relationship uniqueness.
+        let mut used = Vec::new();
+        expand_chain(
+            ctx,
+            vars,
+            &mut scratch,
+            pattern,
+            anchor.index,
+            true,
+            &mut used,
+            first_only,
+            &mut done,
+            emit,
+        )?;
+        trail.undo(&mut scratch);
+    }
+    Ok(())
+}
+
+/// Undo log for speculative bindings.
+#[derive(Default)]
+struct Trail {
+    entries: Vec<(usize, Value)>,
+}
+
+impl Trail {
+    fn save(&mut self, row: &Row, slot: usize) {
+        self.entries.push((slot, get(row, slot).clone()));
+    }
+
+    fn undo(self, row: &mut Row) {
+        for (slot, old) in self.entries.into_iter().rev() {
+            grow(row, slot);
+            row[slot] = old;
+        }
+    }
+}
+
+/// Tries to bind node pattern `np` to `node`, mutating `row` (and recording
+/// changes in `trail`). Returns false if constraints fail.
+fn bind_node(
+    ctx: &Ctx,
+    vars: &Vars,
+    row: &mut Row,
+    np: &NodePattern,
+    node: NodeId,
+    trail: &mut Trail,
+) -> bool {
+    for spec in &np.labels {
+        let ok = match spec {
+            LabelSpec::Type(t) => ctx.g.node_type(node) == *t,
+            LabelSpec::Group(l) => ctx.g.node_labels(node).contains(*l),
+        };
+        if !ok {
+            return false;
+        }
+    }
+    for (k, v) in &np.props {
+        match ctx.g.node_prop(node, *k) {
+            Some(actual) if values_eq(&actual, v) => {}
+            _ => return false,
+        }
+    }
+    if let Some(var) = &np.var {
+        let slot = vars.slot(var).expect("var allocated");
+        match get(row, slot) {
+            Value::Null => {
+                trail.save(row, slot);
+                grow(row, slot);
+                row[slot] = Value::Node(node);
+            }
+            Value::Node(existing) => {
+                if *existing != node {
+                    return false;
+                }
+            }
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// Property equality: strings compare case-insensitively (the paper's
+/// Figure 3/5 queries mix `SHORT_NAME` and `short_name` casings and Lucene
+/// analyzers lower-case terms); other kinds compare exactly.
+fn values_eq(a: &PropValue, b: &PropValue) -> bool {
+    match (a, b) {
+        (PropValue::Str(x), PropValue::Str(y)) => x.eq_ignore_ascii_case(y),
+        _ => a == b,
+    }
+}
+
+/// Recursively expands the chain from `pos` (whose node is bound) in
+/// direction `rightwards`; when the right side is exhausted, switches to the
+/// left side; when both are exhausted, emits.
+#[allow(clippy::too_many_arguments)]
+fn expand_chain(
+    ctx: &mut Ctx,
+    vars: &Vars,
+    row: &mut Row,
+    pattern: &Pattern,
+    pos: usize,
+    rightwards: bool,
+    used: &mut Vec<EdgeId>,
+    first_only: bool,
+    done: &mut bool,
+    emit: &mut dyn FnMut(&Row),
+) -> Result<(), QueryError> {
+    if *done && first_only {
+        return Ok(());
+    }
+    if rightwards {
+        if pos + 1 >= pattern.nodes.len() {
+            // Right side complete; do the left side from the anchor... but
+            // the anchor index is lost here, so the left side is handled by
+            // the caller convention: we restart leftwards from the leftmost
+            // originally-bound position, which is tracked via `used` growth.
+            // Simpler: the left side starts at the original anchor; encode
+            // by scanning for the first unbound node from the right end of
+            // the left segment. We detect "left work remaining" by checking
+            // node 0's bindability only when anchor > 0 — handled below via
+            // the leftward pass trigger.
+            return expand_left(ctx, vars, row, pattern, first_only, done, used, emit);
+        }
+        let rel = &pattern.rels[pos];
+        let from_node = bound_node(vars, row, &pattern.nodes[pos]).expect("current node bound");
+        step_over_rel(
+            ctx, vars, row, pattern, rel, from_node, pos, true, used, first_only, done, emit,
+        )
+    } else {
+        unreachable!("leftward expansion goes through expand_left")
+    }
+}
+
+/// Finds the leftmost contiguous run of unbound nodes ending just before a
+/// bound node, and expands leftwards from that bound node. When no unbound
+/// node remains, emits the row.
+#[allow(clippy::too_many_arguments)]
+fn expand_left(
+    ctx: &mut Ctx,
+    vars: &Vars,
+    row: &mut Row,
+    pattern: &Pattern,
+    first_only: bool,
+    done: &mut bool,
+    used: &mut Vec<EdgeId>,
+    emit: &mut dyn FnMut(&Row),
+) -> Result<(), QueryError> {
+    // Find the rightmost unbound node position (all nodes to its right are
+    // bound by construction).
+    let unbound = (0..pattern.nodes.len())
+        .rev()
+        .find(|i| bound_node(vars, row, &pattern.nodes[*i]).is_none());
+    let Some(target) = unbound else {
+        *done = true;
+        emit(row);
+        return Ok(());
+    };
+    // The node to its right must be bound; step leftwards over rels[target].
+    let from_node =
+        bound_node(vars, row, &pattern.nodes[target + 1]).expect("right neighbor bound");
+    let rel = &pattern.rels[target];
+    step_over_rel(
+        ctx, vars, row, pattern, rel, from_node, target, false, used, first_only, done, emit,
+    )
+}
+
+/// The node currently bound at a pattern position, if determinable.
+/// Anonymous nodes (no var) are never "bound" — they re-match every time —
+/// except that anonymous matching always succeeds afresh during expansion.
+fn bound_node(vars: &Vars, row: &Row, np: &NodePattern) -> Option<NodeId> {
+    let var = np.var.as_deref()?;
+    let slot = vars.slot(var)?;
+    match get(row, slot) {
+        Value::Node(n) => Some(*n),
+        _ => None,
+    }
+}
+
+/// Expands one relationship pattern from `from_node`. `moving_right` says
+/// whether we travel from `nodes[pos]` to `nodes[pos+1]` (true) or from
+/// `nodes[pos+1]` to `nodes[pos]` (false).
+#[allow(clippy::too_many_arguments)]
+fn step_over_rel(
+    ctx: &mut Ctx,
+    vars: &Vars,
+    row: &mut Row,
+    pattern: &Pattern,
+    rel: &RelPattern,
+    from_node: NodeId,
+    pos: usize,
+    moving_right: bool,
+    used: &mut Vec<EdgeId>,
+    first_only: bool,
+    done: &mut bool,
+    emit: &mut dyn FnMut(&Row),
+) -> Result<(), QueryError> {
+    let target_np = if moving_right {
+        &pattern.nodes[pos + 1]
+    } else {
+        &pattern.nodes[pos]
+    };
+
+    // Effective traversal directions from `from_node`'s perspective.
+    let dirs: &[Direction] = match (rel.dir, moving_right) {
+        (RelDir::LeftToRight, true) | (RelDir::RightToLeft, false) => &[Direction::Outgoing],
+        (RelDir::LeftToRight, false) | (RelDir::RightToLeft, true) => &[Direction::Incoming],
+        (RelDir::Undirected, _) => &[Direction::Outgoing, Direction::Incoming],
+    };
+
+    match rel.var_len {
+        None => {
+            for dir in dirs {
+                // Collect first: the recursion below needs &mut ctx.
+                let edges: Vec<EdgeId> = typed_edges(ctx.g, from_node, *dir, rel);
+                for e in edges {
+                    if *done && first_only {
+                        return Ok(());
+                    }
+                    ctx.budget.tick()?;
+                    if used.contains(&e) {
+                        continue;
+                    }
+                    if !edge_props_match(ctx.g, e, rel) {
+                        continue;
+                    }
+                    let other = match dir {
+                        Direction::Outgoing => ctx.g.edge_dst(e),
+                        Direction::Incoming => ctx.g.edge_src(e),
+                    };
+                    let mut trail = Trail::default();
+                    // Bind the rel variable if named.
+                    if let Some(rv) = &rel.var {
+                        let slot = vars.slot(rv).expect("var allocated");
+                        match get(row, slot) {
+                            Value::Null => {
+                                trail.save(row, slot);
+                                grow(row, slot);
+                                row[slot] = Value::Edge(e);
+                            }
+                            Value::Edge(existing) if *existing == e => {}
+                            _ => {
+                                trail.undo(row);
+                                continue;
+                            }
+                        }
+                    }
+                    if bind_node(ctx, vars, row, target_np, other, &mut trail) {
+                        used.push(e);
+                        if moving_right {
+                            expand_chain(
+                                ctx, vars, row, pattern, pos + 1, true, used, first_only, done,
+                                emit,
+                            )?;
+                        } else {
+                            expand_left(ctx, vars, row, pattern, first_only, done, used, emit)?;
+                        }
+                        used.pop();
+                    }
+                    trail.undo(row);
+                }
+            }
+            Ok(())
+        }
+        Some((min, max)) => {
+            match ctx.semantics {
+                PathSemantics::Enumerate => var_len_enumerate(
+                    ctx, vars, row, pattern, rel, from_node, pos, moving_right, dirs, min, max,
+                    used, first_only, done, emit,
+                ),
+                PathSemantics::Reachability => {
+                    // Visited-set BFS: each endpoint once.
+                    let mut visited: HashSet<NodeId> = HashSet::from([from_node]);
+                    let mut frontier = vec![from_node];
+                    let mut reached: Vec<NodeId> = Vec::new();
+                    let mut depth = 0u32;
+                    if min == 0 {
+                        reached.push(from_node);
+                    }
+                    while !frontier.is_empty() && max.is_none_or(|m| depth < m) {
+                        depth += 1;
+                        let mut next = Vec::new();
+                        for n in frontier.drain(..) {
+                            for dir in dirs {
+                                let edges: Vec<EdgeId> = typed_edges(ctx.g, n, *dir, rel);
+                                for e in edges {
+                                    ctx.budget.tick()?;
+                                    if !edge_props_match(ctx.g, e, rel) {
+                                        continue;
+                                    }
+                                    let other = match dir {
+                                        Direction::Outgoing => ctx.g.edge_dst(e),
+                                        Direction::Incoming => ctx.g.edge_src(e),
+                                    };
+                                    if visited.insert(other) {
+                                        next.push(other);
+                                        if depth >= min {
+                                            reached.push(other);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        frontier = next;
+                    }
+                    for other in reached {
+                        if *done && first_only {
+                            return Ok(());
+                        }
+                        let mut trail = Trail::default();
+                        if bind_node(ctx, vars, row, target_np, other, &mut trail) {
+                            if moving_right {
+                                expand_chain(
+                                    ctx, vars, row, pattern, pos + 1, true, used, first_only,
+                                    done, emit,
+                                )?;
+                            } else {
+                                expand_left(ctx, vars, row, pattern, first_only, done, used, emit)?;
+                            }
+                        }
+                        trail.undo(row);
+                    }
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+/// DFS path enumeration for variable-length rels (Cypher semantics).
+#[allow(clippy::too_many_arguments)]
+fn var_len_enumerate(
+    ctx: &mut Ctx,
+    vars: &Vars,
+    row: &mut Row,
+    pattern: &Pattern,
+    rel: &RelPattern,
+    at: NodeId,
+    pos: usize,
+    moving_right: bool,
+    dirs: &[Direction],
+    min: u32,
+    max: Option<u32>,
+    used: &mut Vec<EdgeId>,
+    first_only: bool,
+    done: &mut bool,
+    emit: &mut dyn FnMut(&Row),
+) -> Result<(), QueryError> {
+    let depth = 0u32; // depth tracked through recursion below
+    var_len_dfs(
+        ctx, vars, row, pattern, rel, at, pos, moving_right, dirs, min, max, used, first_only,
+        done, emit, depth,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn var_len_dfs(
+    ctx: &mut Ctx,
+    vars: &Vars,
+    row: &mut Row,
+    pattern: &Pattern,
+    rel: &RelPattern,
+    at: NodeId,
+    pos: usize,
+    moving_right: bool,
+    dirs: &[Direction],
+    min: u32,
+    max: Option<u32>,
+    used: &mut Vec<EdgeId>,
+    first_only: bool,
+    done: &mut bool,
+    emit: &mut dyn FnMut(&Row),
+    depth: u32,
+) -> Result<(), QueryError> {
+    if *done && first_only {
+        return Ok(());
+    }
+    let target_np = if moving_right {
+        &pattern.nodes[pos + 1]
+    } else {
+        &pattern.nodes[pos]
+    };
+    // Endpoint emission at depths within [min, max].
+    if depth >= min {
+        let mut trail = Trail::default();
+        if bind_node(ctx, vars, row, target_np, at, &mut trail) {
+            if moving_right {
+                expand_chain(ctx, vars, row, pattern, pos + 1, true, used, first_only, done, emit)?;
+            } else {
+                expand_left(ctx, vars, row, pattern, first_only, done, used, emit)?;
+            }
+        }
+        trail.undo(row);
+        if *done && first_only {
+            return Ok(());
+        }
+    }
+    if max.is_some_and(|m| depth >= m) {
+        return Ok(());
+    }
+    for dir in dirs {
+        let edges: Vec<EdgeId> = typed_edges(ctx.g, at, *dir, rel);
+        for e in edges {
+            if *done && first_only {
+                return Ok(());
+            }
+            ctx.budget.tick()?;
+            if used.contains(&e) {
+                continue;
+            }
+            if !edge_props_match(ctx.g, e, rel) {
+                continue;
+            }
+            let other = match dir {
+                Direction::Outgoing => ctx.g.edge_dst(e),
+                Direction::Incoming => ctx.g.edge_src(e),
+            };
+            used.push(e);
+            var_len_dfs(
+                ctx,
+                vars,
+                row,
+                pattern,
+                rel,
+                other,
+                pos,
+                moving_right,
+                dirs,
+                min,
+                max,
+                used,
+                first_only,
+                done,
+                emit,
+                depth + 1,
+            )?;
+            used.pop();
+        }
+    }
+    Ok(())
+}
+
+/// Edges of `n` in `dir` restricted to the rel's type set.
+fn typed_edges(g: &GraphStore, n: NodeId, dir: Direction, rel: &RelPattern) -> Vec<EdgeId> {
+    match rel.types.as_slice() {
+        [] => g.edges_dir(n, dir, None).collect(),
+        [single] => g.edges_dir(n, dir, Some(*single)).collect(),
+        many => g
+            .edges_dir(n, dir, None)
+            .filter(|e| many.contains(&g.edge_type(*e)))
+            .collect(),
+    }
+}
+
+fn edge_props_match(g: &GraphStore, e: EdgeId, rel: &RelPattern) -> bool {
+    rel.props.iter().all(|(k, v)| {
+        g.edge_prop(e, *k)
+            .is_some_and(|actual| values_eq(&actual, v))
+    })
+}
+
+// ----------------------------------------------------------------------
+// Expressions
+// ----------------------------------------------------------------------
+
+fn eval_truthy(ctx: &mut Ctx, vars: &Vars, row: &Row, expr: &Expr) -> Result<bool, QueryError> {
+    Ok(match expr {
+        Expr::PatternPredicate(p) => pattern_exists(ctx, vars, row, p)?,
+        Expr::And(a, b) => eval_truthy(ctx, vars, row, a)? && eval_truthy(ctx, vars, row, b)?,
+        Expr::Or(a, b) => eval_truthy(ctx, vars, row, a)? || eval_truthy(ctx, vars, row, b)?,
+        Expr::Xor(a, b) => eval_truthy(ctx, vars, row, a)? ^ eval_truthy(ctx, vars, row, b)?,
+        Expr::Not(a) => !eval_truthy(ctx, vars, row, a)?,
+        other => match eval_value(ctx, vars, row, other)? {
+            Value::Scalar(v) => v.truthy(),
+            Value::Null => false,
+            Value::Node(_) | Value::Edge(_) => true,
+        },
+    })
+}
+
+fn eval_value(ctx: &mut Ctx, vars: &Vars, row: &Row, expr: &Expr) -> Result<Value, QueryError> {
+    Ok(match expr {
+        Expr::Lit(v) => Value::Scalar(v.clone()),
+        Expr::Null => Value::Null,
+        Expr::Var(v) => {
+            let slot = vars
+                .slot(v)
+                .ok_or_else(|| QueryError::Semantic(format!("unbound variable '{v}'")))?;
+            get(row, slot).clone()
+        }
+        Expr::Prop(v, key) => {
+            let slot = vars
+                .slot(v)
+                .ok_or_else(|| QueryError::Semantic(format!("unbound variable '{v}'")))?;
+            match get(row, slot) {
+                Value::Node(n) => ctx.g.node_prop(*n, *key).map_or(Value::Null, Value::Scalar),
+                Value::Edge(e) => ctx.g.edge_prop(*e, *key).map_or(Value::Null, Value::Scalar),
+                Value::Null => Value::Null,
+                Value::Scalar(_) => {
+                    return Err(QueryError::Semantic(format!(
+                        "cannot read property of scalar '{v}'"
+                    )))
+                }
+            }
+        }
+        Expr::Cmp(a, op, b) => {
+            let (av, bv) = (
+                eval_value(ctx, vars, row, a)?,
+                eval_value(ctx, vars, row, b)?,
+            );
+            Value::Scalar(PropValue::Bool(compare(&av, &bv, *op)))
+        }
+        Expr::Count(_) => {
+            return Err(QueryError::Semantic(
+                "count() is only valid in RETURN items".into(),
+            ))
+        }
+        Expr::And(..) | Expr::Or(..) | Expr::Xor(..) | Expr::Not(..) | Expr::PatternPredicate(_) => {
+            let b = eval_truthy(ctx, vars, row, expr)?;
+            Value::Scalar(PropValue::Bool(b))
+        }
+    })
+}
+
+/// Total order over runtime values for `ORDER BY`: Null < Node < Edge <
+/// Scalar; within a kind, natural order.
+fn value_cmp(a: &Value, b: &Value) -> std::cmp::Ordering {
+    fn kind(v: &Value) -> u8 {
+        match v {
+            Value::Null => 0,
+            Value::Node(_) => 1,
+            Value::Edge(_) => 2,
+            Value::Scalar(_) => 3,
+        }
+    }
+    match (a, b) {
+        (Value::Node(x), Value::Node(y)) => x.cmp(y),
+        (Value::Edge(x), Value::Edge(y)) => x.cmp(y),
+        (Value::Scalar(x), Value::Scalar(y)) => x.cmp_total(y),
+        _ => kind(a).cmp(&kind(b)),
+    }
+}
+
+fn compare(a: &Value, b: &Value, op: CmpOp) -> bool {
+    use std::cmp::Ordering;
+    let ord: Option<Ordering> = match (a, b) {
+        (Value::Null, _) | (_, Value::Null) => None,
+        (Value::Node(x), Value::Node(y)) => Some(x.cmp(y)),
+        (Value::Edge(x), Value::Edge(y)) => Some(x.cmp(y)),
+        (Value::Scalar(x), Value::Scalar(y)) => match (x, y) {
+            (PropValue::Str(xs), PropValue::Str(ys)) => {
+                // Case-insensitive like values_eq for consistency.
+                Some(xs.to_ascii_lowercase().cmp(&ys.to_ascii_lowercase()))
+            }
+            _ if std::mem::discriminant(x) == std::mem::discriminant(y) => Some(x.cmp_total(y)),
+            _ => None,
+        },
+        _ => None,
+    };
+    match (ord, op) {
+        (Some(Ordering::Equal), CmpOp::Eq | CmpOp::Le | CmpOp::Ge) => true,
+        (Some(Ordering::Less), CmpOp::Ne | CmpOp::Lt | CmpOp::Le) => true,
+        (Some(Ordering::Greater), CmpOp::Ne | CmpOp::Gt | CmpOp::Ge) => true,
+        _ => false,
+    }
+}
+
+// ----------------------------------------------------------------------
+// Projection
+// ----------------------------------------------------------------------
+
+fn project(
+    ctx: &mut Ctx,
+    table: &Table,
+    items: &[Item],
+    distinct: bool,
+) -> Result<Table, QueryError> {
+    let mut vars = Vars::default();
+    for item in items {
+        vars.ensure(&item.name);
+    }
+    let mut rows = Vec::with_capacity(table.rows.len());
+    let mut seen: HashSet<Row> = Default::default();
+    for row in &table.rows {
+        let mut out = Vec::with_capacity(items.len());
+        for item in items {
+            out.push(eval_value(ctx, &table.vars, row, &item.expr)?);
+        }
+        if distinct {
+            if seen.contains(&out) {
+                continue;
+            }
+            seen.insert(out.clone());
+        }
+        rows.push(out);
+    }
+    Ok(Table { vars, rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frappe_model::{EdgeType, FileId, NodeType, SrcRange};
+
+    /// fig2-like store: prog <- foo.o etc., plus a small call graph.
+    fn sample() -> GraphStore {
+        let mut g = GraphStore::new();
+        let main = g.add_node(NodeType::Function, "main");
+        let bar = g.add_node(NodeType::Function, "bar");
+        let baz = g.add_node(NodeType::Function, "baz");
+        let x = g.add_node(NodeType::Global, "x");
+        let file = g.add_node(NodeType::File, "main.c");
+        g.add_edge(file, EdgeType::FileContains, main);
+        g.add_edge(file, EdgeType::FileContains, bar);
+        let e = g.add_edge(main, EdgeType::Calls, bar);
+        g.set_edge_use_range(e, SrcRange::new(FileId(0), 10, 1, 10, 8));
+        g.set_edge_name_range(e, SrcRange::new(FileId(0), 10, 1, 10, 3));
+        let e2 = g.add_edge(bar, EdgeType::Calls, baz);
+        g.set_edge_use_range(e2, SrcRange::new(FileId(0), 20, 1, 20, 8));
+        g.add_edge(main, EdgeType::Writes, x);
+        g.add_edge(baz, EdgeType::Reads, x);
+        g.freeze();
+        g
+    }
+
+    fn run(g: &GraphStore, q: &str) -> ResultSet {
+        Engine::new().run_str(g, q).unwrap()
+    }
+
+    #[test]
+    fn start_and_single_hop() {
+        let g = sample();
+        let r = run(
+            &g,
+            "START n=node:node_auto_index('short_name: main') MATCH n -[:calls]-> m RETURN m",
+        );
+        assert_eq!(r.columns, vec!["m"]);
+        assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn reverse_direction() {
+        let g = sample();
+        let r = run(
+            &g,
+            "START n=node:node_auto_index('short_name: bar') MATCH n <-[:calls]- m RETURN m",
+        );
+        assert_eq!(r.rows.len(), 1); // main calls bar
+    }
+
+    #[test]
+    fn undirected_matches_both() {
+        let g = sample();
+        let r = run(
+            &g,
+            "START n=node:node_auto_index('short_name: bar') MATCH n -[:calls]- m RETURN m",
+        );
+        assert_eq!(r.rows.len(), 2); // main (incoming) + baz (outgoing)
+    }
+
+    #[test]
+    fn var_length_transitive_closure() {
+        let g = sample();
+        let r = run(
+            &g,
+            "START n=node:node_auto_index('short_name: main') \
+             MATCH n -[:calls*]-> m RETURN distinct m",
+        );
+        assert_eq!(r.rows.len(), 2); // bar, baz
+    }
+
+    #[test]
+    fn var_length_bounds() {
+        let g = sample();
+        let one = run(
+            &g,
+            "START n=node:node_auto_index('short_name: main') \
+             MATCH n -[:calls*1..1]-> m RETURN m",
+        );
+        assert_eq!(one.rows.len(), 1);
+        let exactly_two = run(
+            &g,
+            "START n=node:node_auto_index('short_name: main') \
+             MATCH n -[:calls*2]-> m RETURN m",
+        );
+        assert_eq!(exactly_two.rows.len(), 1); // baz only
+        let zero = run(
+            &g,
+            "START n=node:node_auto_index('short_name: main') \
+             MATCH n -[:calls*0..1]-> m RETURN m",
+        );
+        assert_eq!(zero.rows.len(), 2); // main itself + bar
+    }
+
+    #[test]
+    fn reachability_semantics_agree_on_results() {
+        let g = sample();
+        let q = Query::parse(
+            "START n=node:node_auto_index('short_name: main') \
+             MATCH n -[:calls*]-> m RETURN distinct m",
+        )
+        .unwrap();
+        let enumerate = Engine::new().run(&g, &q).unwrap();
+        let reach = Engine::with_options(EngineOptions {
+            path_semantics: PathSemantics::Reachability,
+            ..Default::default()
+        })
+        .run(&g, &q)
+        .unwrap();
+        let to_set = |r: &ResultSet| {
+            r.rows
+                .iter()
+                .map(|row| row[0].clone())
+                .collect::<std::collections::HashSet<_>>()
+        };
+        assert_eq!(to_set(&enumerate), to_set(&reach));
+        assert!(reach.steps <= enumerate.steps);
+    }
+
+    #[test]
+    fn property_filters_on_nodes_and_edges() {
+        let g = sample();
+        let r = run(
+            &g,
+            "MATCH (f:file) -[:file_contains]-> (n:function {short_name: 'bar'}) RETURN n",
+        );
+        assert_eq!(r.rows.len(), 1);
+        let r = run(
+            &g,
+            "MATCH a -[r:calls {use_start_line: 20}]-> b RETURN a, b",
+        );
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.columns, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn where_comparisons() {
+        let g = sample();
+        let r = run(
+            &g,
+            "MATCH a -[r:calls]-> b WHERE r.use_start_line >= 15 RETURN b",
+        );
+        assert_eq!(r.rows.len(), 1); // bar->baz at line 20
+    }
+
+    #[test]
+    fn where_pattern_predicate() {
+        let g = sample();
+        // Functions that (transitively) read x.
+        let r = run(
+            &g,
+            "START x=node:node_auto_index('short_name: x') \
+             MATCH (f:function) WHERE f -[:calls*0..]-> m AND m -[:reads]-> x \
+             RETURN distinct f",
+        );
+        // That form needs m bound; instead express with two predicates:
+        // simpler check below.
+        drop(r);
+        let r = run(
+            &g,
+            "START x=node:node_auto_index('short_name: x') \
+             MATCH (f:function {short_name: 'baz'}) WHERE f -[:reads]-> x RETURN f",
+        );
+        assert_eq!(r.rows.len(), 1);
+        let r = run(
+            &g,
+            "START x=node:node_auto_index('short_name: x') \
+             MATCH (f:function {short_name: 'bar'}) WHERE f -[:reads]-> x RETURN f",
+        );
+        assert_eq!(r.rows.len(), 0);
+    }
+
+    #[test]
+    fn with_distinct_dedups_midstream() {
+        let g = sample();
+        // Both file_contains edges lead to the same file when walked
+        // backwards from two functions; WITH distinct collapses it.
+        let r = run(
+            &g,
+            "MATCH (n:function) <-[:file_contains]- f WITH distinct f \
+             MATCH f -[:file_contains]-> m RETURN m",
+        );
+        assert_eq!(r.rows.len(), 2); // main, bar exactly once each
+    }
+
+    #[test]
+    fn return_distinct_and_limit() {
+        let g = sample();
+        let r = run(&g, "MATCH (n:function) RETURN n LIMIT 2");
+        assert_eq!(r.rows.len(), 2);
+        let r = run(
+            &g,
+            "MATCH (n:function) -[:calls]- m RETURN distinct n",
+        );
+        assert_eq!(r.rows.len(), 3);
+    }
+
+    #[test]
+    fn return_properties() {
+        let g = sample();
+        let r = run(
+            &g,
+            "START n=node:node_auto_index('short_name: main') RETURN n.short_name",
+        );
+        assert_eq!(r.rows[0][0], Value::Scalar(PropValue::from("main")));
+        assert_eq!(r.columns, vec!["n.short_name"]);
+    }
+
+    #[test]
+    fn label_scan_without_start() {
+        let g = sample();
+        let r = run(&g, "MATCH (n:global) RETURN n");
+        assert_eq!(r.rows.len(), 1);
+        let r = run(&g, "MATCH (n:symbol) RETURN n");
+        assert_eq!(r.rows.len(), 4); // 3 functions + 1 global
+    }
+
+    #[test]
+    fn budget_aborts_runaway_enumeration() {
+        // A dense graph: path enumeration between hubs explodes.
+        let mut g = GraphStore::new();
+        let nodes: Vec<NodeId> = (0..14)
+            .map(|i| g.add_node(NodeType::Function, &format!("f{i}")))
+            .collect();
+        for a in &nodes {
+            for b in &nodes {
+                if a != b {
+                    g.add_edge(*a, EdgeType::Calls, *b);
+                }
+            }
+        }
+        g.freeze();
+        let engine = Engine::with_options(EngineOptions {
+            max_steps: 100_000,
+            ..Default::default()
+        });
+        let q = Query::parse(
+            "START n=node:node_auto_index('short_name: f0') \
+             MATCH n -[:calls*]-> m RETURN distinct m",
+        )
+        .unwrap();
+        let err = engine.run(&g, &q).unwrap_err();
+        assert!(matches!(err, QueryError::BudgetExhausted { .. }));
+        // Reachability semantics handle the same query instantly.
+        let reach = Engine::with_options(EngineOptions {
+            path_semantics: PathSemantics::Reachability,
+            max_steps: 100_000,
+            ..Default::default()
+        });
+        let r = reach.run(&g, &q).unwrap();
+        assert_eq!(r.rows.len(), 13);
+    }
+
+    #[test]
+    fn relationship_uniqueness_within_pattern() {
+        // a -> b -> a: the path a-b-a uses two distinct edges and is valid;
+        // but a single edge cannot be reused, so *2 from a over one edge
+        // cannot bounce a->b->a via the same edge twice.
+        let mut g = GraphStore::new();
+        let a = g.add_node(NodeType::Function, "a");
+        let b = g.add_node(NodeType::Function, "b");
+        g.add_edge(a, EdgeType::Calls, b);
+        g.freeze();
+        let r = run(
+            &g,
+            "START n=node:node_auto_index('short_name: a') \
+             MATCH n -[:calls*2]- m RETURN m",
+        );
+        assert_eq!(r.rows.len(), 0);
+    }
+
+    #[test]
+    fn multiple_patterns_join_on_shared_vars() {
+        let g = sample();
+        let r = run(
+            &g,
+            "MATCH (f:file) -[:file_contains]-> n, n -[:calls]-> m RETURN n, m",
+        );
+        assert_eq!(r.rows.len(), 2); // main->bar and bar->baz (both in file)
+    }
+
+    #[test]
+    fn anchor_mid_pattern_bound_variable() {
+        let g = sample();
+        // b is bound by START; anchor must be b (rightmost node), expanding
+        // leftwards through an anonymous node.
+        let r = run(
+            &g,
+            "START b=node:node_auto_index('short_name: main.c') \
+             MATCH writer -[:writes]-> (x) <-[:reads]- reader, b -[:file_contains]-> writer \
+             RETURN writer, reader",
+        );
+        assert_eq!(r.rows.len(), 1);
+        let names: Vec<String> = r.rows[0]
+            .iter()
+            .map(|v| g.node_short_name(v.as_node().unwrap()).to_owned())
+            .collect();
+        assert_eq!(names, vec!["main", "baz"]);
+    }
+
+    #[test]
+    fn unbound_variable_errors() {
+        let g = sample();
+        let err = Engine::new()
+            .run_str(&g, "MATCH (n:function) RETURN nope")
+            .unwrap_err();
+        assert!(matches!(err, QueryError::Semantic(_)));
+    }
+
+    #[test]
+    fn explain_mentions_anchors() {
+        let g = sample();
+        let q = Query::parse(
+            "START n=node:node_auto_index('short_name: main') MATCH n -[:calls]-> m RETURN m",
+        )
+        .unwrap();
+        let plan = Engine::new().explain(&g, &q);
+        assert!(plan.contains("IndexLookup"));
+        assert!(plan.contains("bound variable"));
+    }
+
+    #[test]
+    fn timeout_fires() {
+        let mut g = GraphStore::new();
+        let nodes: Vec<NodeId> = (0..14)
+            .map(|i| g.add_node(NodeType::Function, &format!("f{i}")))
+            .collect();
+        for a in &nodes {
+            for b in &nodes {
+                if a != b {
+                    g.add_edge(*a, EdgeType::Calls, *b);
+                }
+            }
+        }
+        g.freeze();
+        let engine = Engine::with_options(EngineOptions {
+            timeout: Some(Duration::from_millis(20)),
+            ..Default::default()
+        });
+        let err = engine
+            .run_str(
+                &g,
+                "START n=node:node_auto_index('short_name: f0') \
+                 MATCH n -[:calls*]-> m RETURN distinct m",
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            QueryError::Timeout { .. } | QueryError::BudgetExhausted { .. }
+        ));
+    }
+}
+
+#[cfg(test)]
+mod order_by_tests {
+    use super::*;
+    use frappe_model::{EdgeType, NodeType, PropValue};
+
+    fn lines_graph() -> GraphStore {
+        let mut g = GraphStore::new();
+        let f = g.add_node(NodeType::Function, "f");
+        for (name, line) in [("c", 30u32), ("a", 10), ("b", 20)] {
+            let callee = g.add_node(NodeType::Function, name);
+            let e = g.add_edge(f, EdgeType::Calls, callee);
+            g.set_edge_use_range(
+                e,
+                frappe_model::SrcRange::new(frappe_model::FileId(0), line, 1, line, 9),
+            );
+        }
+        g.freeze();
+        g
+    }
+
+    #[test]
+    fn order_by_property_ascending_and_descending() {
+        let g = lines_graph();
+        let run = |q: &str| {
+            Engine::new()
+                .run_str(&g, q)
+                .unwrap()
+                .rows
+                .iter()
+                .map(|r| r[0].to_string())
+                .collect::<Vec<_>>()
+        };
+        let asc = run(
+            "START f=node:node_auto_index('short_name: f') \
+             MATCH f -[r:calls]-> m \
+             RETURN m.short_name ORDER BY r.use_start_line",
+        );
+        assert_eq!(asc, vec!["a", "b", "c"]);
+        let desc = run(
+            "START f=node:node_auto_index('short_name: f') \
+             MATCH f -[r:calls]-> m \
+             RETURN m.short_name ORDER BY r.use_start_line DESC",
+        );
+        assert_eq!(desc, vec!["c", "b", "a"]);
+    }
+
+    #[test]
+    fn skip_and_limit_paginate() {
+        let g = lines_graph();
+        let r = Engine::new()
+            .run_str(
+                &g,
+                "START f=node:node_auto_index('short_name: f') \
+                 MATCH f -[r:calls]-> m \
+                 RETURN m.short_name ORDER BY m.short_name SKIP 1 LIMIT 1",
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0], Value::Scalar(PropValue::from("b")));
+    }
+
+    #[test]
+    fn order_by_multiple_keys() {
+        let g = lines_graph();
+        let r = Engine::new()
+            .run_str(
+                &g,
+                "START f=node:node_auto_index('short_name: f') \
+                 MATCH f -[r:calls]-> m \
+                 RETURN m ORDER BY f.short_name, r.use_start_line DESC",
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 3);
+        // Ties on the first key resolved by the second, descending.
+        let g2 = &g;
+        let names: Vec<&str> = r
+            .rows
+            .iter()
+            .map(|row| g2.node_short_name(row[0].as_node().unwrap()))
+            .collect();
+        assert_eq!(names, vec!["c", "b", "a"]);
+    }
+
+    #[test]
+    fn order_by_parse_errors() {
+        assert!(Query::parse("MATCH (n) RETURN n ORDER n").is_err());
+        assert!(Query::parse("MATCH (n) RETURN n SKIP x").is_err());
+    }
+}
+
+#[cfg(test)]
+mod aggregate_tests {
+    use super::*;
+    use frappe_model::{EdgeType, NodeType, PropValue};
+
+    fn callgraph() -> GraphStore {
+        let mut g = GraphStore::new();
+        let a = g.add_node(NodeType::Function, "a");
+        let b = g.add_node(NodeType::Function, "b");
+        let c = g.add_node(NodeType::Function, "c");
+        g.add_edge(a, EdgeType::Calls, b);
+        g.add_edge(a, EdgeType::Calls, c);
+        g.add_edge(b, EdgeType::Calls, c);
+        g.freeze();
+        g
+    }
+
+    #[test]
+    fn count_star_counts_rows() {
+        let g = callgraph();
+        let r = Engine::new()
+            .run_str(&g, "MATCH (n:function) -[:calls]-> m RETURN count(*)")
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Scalar(PropValue::Int(3))]]);
+        assert_eq!(r.columns, vec!["count(*)"]);
+    }
+
+    #[test]
+    fn implicit_grouping_by_non_aggregate_items() {
+        let g = callgraph();
+        // Out-degree per function.
+        let r = Engine::new()
+            .run_str(
+                &g,
+                "MATCH n -[:calls]-> m RETURN n.short_name, count(m)",
+            )
+            .unwrap();
+        let mut rows: Vec<(String, i64)> = r
+            .rows
+            .iter()
+            .map(|row| {
+                (
+                    row[0].to_string(),
+                    row[1].as_scalar().unwrap().as_int().unwrap(),
+                )
+            })
+            .collect();
+        rows.sort();
+        assert_eq!(rows, vec![("a".into(), 2), ("b".into(), 1)]);
+    }
+
+    #[test]
+    fn count_expr_skips_nulls() {
+        let g = callgraph();
+        // LONG_NAME is unset everywhere, so count(n.long_name) is 0 while
+        // count(*) is 3.
+        let r = Engine::new()
+            .run_str(
+                &g,
+                "MATCH (n:function) RETURN count(n.long_name), count(*)",
+            )
+            .unwrap();
+        assert_eq!(
+            r.rows,
+            vec![vec![
+                Value::Scalar(PropValue::Int(0)),
+                Value::Scalar(PropValue::Int(3)),
+            ]]
+        );
+    }
+
+    #[test]
+    fn count_outside_return_is_rejected() {
+        let g = callgraph();
+        let err = Engine::new()
+            .run_str(&g, "MATCH (n) WHERE count(*) > 1 RETURN n")
+            .unwrap_err();
+        assert!(matches!(err, QueryError::Semantic(_)));
+    }
+
+    #[test]
+    fn count_with_order_by_is_rejected() {
+        let g = callgraph();
+        let err = Engine::new()
+            .run_str(&g, "MATCH (n) RETURN count(*) ORDER BY n")
+            .unwrap_err();
+        assert!(matches!(err, QueryError::Semantic(_)));
+    }
+
+    #[test]
+    fn count_with_limit() {
+        let g = callgraph();
+        let r = Engine::new()
+            .run_str(&g, "MATCH n -[:calls]-> m RETURN n, count(m) LIMIT 1")
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+    }
+}

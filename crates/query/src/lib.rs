@@ -1,0 +1,76 @@
+//! # frappe-query
+//!
+//! The declarative graph query language and processor — our substitute for
+//! the Neo4j **Cypher** language the paper uses for all of Section 4's
+//! queries.
+//!
+//! The dialect is Cypher-1.x-flavoured with the 2.x node-label syntax of
+//! Table 6. Every query in the paper (Figures 3–6 and Table 6) runs
+//! verbatim-modulo-quoting. The surface:
+//!
+//! ```text
+//! START v = node:node_auto_index('short_name: wakeup.elf'), ...
+//! MATCH m -[:compiled_from|linked_from*]-> f
+//! WITH distinct f
+//! MATCH f -[:file_contains]-> (n:field {short_name: 'id'})
+//! WHERE n.short_name = 'id' AND (n) <-[{name_start_line: 104}]- ()
+//! RETURN distinct n, n.short_name LIMIT 10
+//! ```
+//!
+//! * `START` items evaluate Lucene-style index queries against the store's
+//!   name index ([`lucene`]).
+//! * `MATCH` patterns support labels/types on nodes, edge-type
+//!   alternation, property maps on nodes and edges, both directions, and
+//!   variable-length paths (`*`, `*2..4`).
+//! * `WHERE` supports boolean logic, comparisons on node/edge properties,
+//!   and *pattern predicates* (Figures 4 and 5 use these).
+//! * `WITH [distinct]` re-roots the pipeline carrying selected bindings,
+//!   `RETURN [distinct] ... [LIMIT n]` produces the result table.
+//!
+//! ## Path semantics and the Table 5 abort
+//!
+//! Variable-length patterns are evaluated, by default, with Cypher's
+//! *relationship-unique path enumeration* semantics
+//! ([`PathSemantics::Enumerate`]). On a dense call graph the number of
+//! distinct paths is astronomically larger than the number of reachable
+//! nodes, which is precisely why the paper's Figure 6 transitive-closure
+//! query did not terminate within 15 minutes (Table 5, "aborted"). The
+//! executor runs under a step budget and reports
+//! [`QueryError::BudgetExhausted`] instead of hanging.
+//! [`PathSemantics::Reachability`] switches variable-length expansion to a
+//! visited-set BFS — the "specialized implementation" fix of Section 6.1 —
+//! and is measured as an ablation.
+//!
+//! ## Example
+//!
+//! ```
+//! use frappe_model::{EdgeType, NodeType};
+//! use frappe_store::GraphStore;
+//! use frappe_query::{Engine, Query};
+//!
+//! let mut g = GraphStore::new();
+//! let main = g.add_node(NodeType::Function, "main");
+//! let bar = g.add_node(NodeType::Function, "bar");
+//! g.add_edge(main, EdgeType::Calls, bar);
+//! g.freeze();
+//!
+//! let q = Query::parse(
+//!     "START n = node:node_auto_index('short_name: main') \
+//!      MATCH n -[:calls]-> m RETURN m",
+//! ).unwrap();
+//! let result = Engine::new().run(&g, &q).unwrap();
+//! assert_eq!(result.rows.len(), 1);
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod exec;
+pub mod lucene;
+pub mod parser;
+pub mod token;
+pub mod value;
+
+pub use ast::Query;
+pub use error::QueryError;
+pub use exec::{Engine, EngineOptions, PathSemantics, ResultSet};
+pub use value::Value;

@@ -1,0 +1,284 @@
+//! The Lucene-style index query mini-language used inside `START` items.
+//!
+//! Neo4j 1.x `node_auto_index` lookups take a Lucene query string. The
+//! paper uses two shapes:
+//!
+//! * Figure 3/4/5/6: `'short_name: wakeup.elf'` — a single field term.
+//! * Table 6 (Cypher 1.x row):
+//!   `'(TYPE: struct OR TYPE: union ...) AND NAME: foo'` — boolean
+//!   combinations over `TYPE`, `NAME` and `SHORT_NAME` terms.
+//!
+//! Terms on name fields may contain `*`/`?` wildcards, matching Lucene's
+//! wildcard queries.
+
+use crate::error::QueryError;
+use frappe_model::{NodeId, NodeType};
+use frappe_store::{GraphStore, NameField, NamePattern, StoreError};
+
+/// A parsed Lucene-style query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LuceneQuery {
+    /// `short_name: <pattern>` or `name: <pattern>`.
+    Name(NameField, NamePattern),
+    /// `type: <node type>`.
+    Type(NodeType),
+    /// Conjunction.
+    And(Box<LuceneQuery>, Box<LuceneQuery>),
+    /// Disjunction.
+    Or(Box<LuceneQuery>, Box<LuceneQuery>),
+}
+
+impl LuceneQuery {
+    /// Parses a Lucene-style query string.
+    pub fn parse(text: &str) -> Result<LuceneQuery, QueryError> {
+        let tokens = tokenize(text)?;
+        let mut p = P { tokens, pos: 0 };
+        let q = p.or_expr()?;
+        if p.pos != p.tokens.len() {
+            return Err(QueryError::Semantic(format!(
+                "trailing input in index query: {text:?}"
+            )));
+        }
+        Ok(q)
+    }
+
+    /// Evaluates against a frozen store, returning sorted distinct node ids.
+    pub fn eval(&self, g: &GraphStore) -> Result<Vec<NodeId>, StoreError> {
+        match self {
+            LuceneQuery::Name(field, pat) => g.lookup_name(*field, pat),
+            LuceneQuery::Type(ty) => Ok(g.nodes_with_type(*ty)?.to_vec()),
+            LuceneQuery::And(a, b) => {
+                let (a, b) = (a.eval(g)?, b.eval(g)?);
+                Ok(intersect(&a, &b))
+            }
+            LuceneQuery::Or(a, b) => {
+                let (a, b) = (a.eval(g)?, b.eval(g)?);
+                let mut out = a;
+                out.extend(b);
+                out.sort_unstable();
+                out.dedup();
+                Ok(out)
+            }
+        }
+    }
+}
+
+fn intersect(a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum LTok {
+    Field(String),
+    Value(String),
+    And,
+    Or,
+    LParen,
+    RParen,
+}
+
+fn tokenize(text: &str) -> Result<Vec<LTok>, QueryError> {
+    let mut out = Vec::new();
+    let mut chars = text.char_indices().peekable();
+    while let Some((i, c)) = chars.peek().copied() {
+        match c {
+            ' ' | '\t' | '\n' => {
+                chars.next();
+            }
+            '(' => {
+                out.push(LTok::LParen);
+                chars.next();
+            }
+            ')' => {
+                out.push(LTok::RParen);
+                chars.next();
+            }
+            _ => {
+                // Read a bare word up to whitespace / parens / colon.
+                let start = i;
+                let mut end = start;
+                let mut is_field = false;
+                while let Some((j, c)) = chars.peek().copied() {
+                    if c == ' ' || c == '(' || c == ')' || c == '\t' {
+                        break;
+                    }
+                    if c == ':' {
+                        end = j;
+                        is_field = true;
+                        chars.next();
+                        break;
+                    }
+                    end = j + c.len_utf8();
+                    chars.next();
+                }
+                let word = &text[start..end];
+                if word.is_empty() {
+                    return Err(QueryError::Semantic(format!(
+                        "empty term in index query at offset {start}"
+                    )));
+                }
+                if is_field {
+                    out.push(LTok::Field(word.to_ascii_lowercase()));
+                } else {
+                    match word.to_ascii_uppercase().as_str() {
+                        "AND" => out.push(LTok::And),
+                        "OR" => out.push(LTok::Or),
+                        _ => out.push(LTok::Value(word.to_owned())),
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct P {
+    tokens: Vec<LTok>,
+    pos: usize,
+}
+
+impl P {
+    fn or_expr(&mut self) -> Result<LuceneQuery, QueryError> {
+        let mut lhs = self.and_expr()?;
+        while self.tokens.get(self.pos) == Some(&LTok::Or) {
+            self.pos += 1;
+            let rhs = self.and_expr()?;
+            lhs = LuceneQuery::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<LuceneQuery, QueryError> {
+        let mut lhs = self.primary()?;
+        while self.tokens.get(self.pos) == Some(&LTok::And) {
+            self.pos += 1;
+            let rhs = self.primary()?;
+            lhs = LuceneQuery::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn primary(&mut self) -> Result<LuceneQuery, QueryError> {
+        match self.tokens.get(self.pos).cloned() {
+            Some(LTok::LParen) => {
+                self.pos += 1;
+                let inner = self.or_expr()?;
+                if self.tokens.get(self.pos) != Some(&LTok::RParen) {
+                    return Err(QueryError::Semantic(
+                        "unclosed '(' in index query".into(),
+                    ));
+                }
+                self.pos += 1;
+                Ok(inner)
+            }
+            Some(LTok::Field(field)) => {
+                let value = match self.tokens.get(self.pos + 1) {
+                    Some(LTok::Value(v)) => v.clone(),
+                    _ => {
+                        return Err(QueryError::Semantic(format!(
+                            "field '{field}' needs a value in index query"
+                        )))
+                    }
+                };
+                self.pos += 2;
+                match field.as_str() {
+                    "short_name" => Ok(LuceneQuery::Name(
+                        NameField::ShortName,
+                        NamePattern::parse(&value),
+                    )),
+                    "name" => Ok(LuceneQuery::Name(NameField::Name, NamePattern::parse(&value))),
+                    "type" => {
+                        let ty = NodeType::parse(&value.to_ascii_lowercase()).ok_or_else(|| {
+                            QueryError::Semantic(format!("unknown node type '{value}'"))
+                        })?;
+                        Ok(LuceneQuery::Type(ty))
+                    }
+                    other => Err(QueryError::Semantic(format!(
+                        "unknown index field '{other}'"
+                    ))),
+                }
+            }
+            other => Err(QueryError::Semantic(format!(
+                "unexpected token in index query: {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frappe_model::NodeType;
+
+    fn store() -> GraphStore {
+        let mut g = GraphStore::new();
+        g.add_node(NodeType::Struct, "foo");
+        g.add_node(NodeType::Union, "foo");
+        g.add_node(NodeType::Function, "foo");
+        g.add_node(NodeType::Struct, "other");
+        g.freeze();
+        g
+    }
+
+    #[test]
+    fn single_term() {
+        let q = LuceneQuery::parse("short_name: wakeup.elf").unwrap();
+        assert_eq!(
+            q,
+            LuceneQuery::Name(NameField::ShortName, NamePattern::exact("wakeup.elf"))
+        );
+    }
+
+    #[test]
+    fn table6_cypher1x_query() {
+        // The paper's Table 6 Cypher 1.x example, trimmed to two types.
+        let q =
+            LuceneQuery::parse("(TYPE: struct OR TYPE: union) AND NAME: foo").unwrap();
+        let g = store();
+        let hits = q.eval(&g).unwrap();
+        assert_eq!(hits.len(), 2); // struct foo + union foo, not function foo
+    }
+
+    #[test]
+    fn wildcard_terms() {
+        let g = store();
+        let q = LuceneQuery::parse("short_name: fo*").unwrap();
+        assert_eq!(q.eval(&g).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn or_unions_and_dedups() {
+        let g = store();
+        let q = LuceneQuery::parse("short_name: foo OR name: foo").unwrap();
+        assert_eq!(q.eval(&g).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(LuceneQuery::parse("bogus_field: x").is_err());
+        assert!(LuceneQuery::parse("type: nonsense").is_err());
+        assert!(LuceneQuery::parse("(short_name: a").is_err());
+        assert!(LuceneQuery::parse("short_name: a extra_junk: b").is_err());
+        assert!(LuceneQuery::parse("short_name:").is_err());
+    }
+
+    #[test]
+    fn type_term_scans_label_index() {
+        let g = store();
+        let q = LuceneQuery::parse("type: struct").unwrap();
+        assert_eq!(q.eval(&g).unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,695 @@
+//! Recursive-descent parser for the query language.
+//!
+//! The parser resolves identifiers eagerly: edge-type names, node labels and
+//! property keys must be known schema names (Table 1 / Table 2 / Table 6),
+//! so typos surface at parse time rather than as silently-empty results.
+
+use crate::ast::{
+    Clause, CmpOp, Expr, Item, LabelSpec, NodePattern, Pattern, Query, RelDir, RelPattern, Return,
+    StartItem,
+};
+use crate::error::QueryError;
+use crate::lucene::LuceneQuery;
+use crate::token::{lex, Spanned, Tok};
+use frappe_model::{EdgeType, Label, NodeType, PropKey, PropValue};
+
+/// Parses a complete query.
+pub fn parse(text: &str) -> Result<Query, QueryError> {
+    let tokens = lex(text)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.err("unexpected trailing input"));
+    }
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos + 1).map(|t| &t.tok)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|t| t.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map_or(0, |t| t.offset)
+    }
+
+    fn err(&self, message: impl Into<String>) -> QueryError {
+        QueryError::Parse {
+            offset: self.offset(),
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<(), QueryError> {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Kw(k)) if *k == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, QueryError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    // --------------------------------------------------------------
+    // Top level
+    // --------------------------------------------------------------
+
+    fn query(&mut self) -> Result<Query, QueryError> {
+        let mut starts = Vec::new();
+        if self.eat_kw("START") {
+            loop {
+                starts.push(self.start_item()?);
+                if self.peek() == Some(&Tok::Comma) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        let mut clauses = Vec::new();
+        loop {
+            if self.eat_kw("MATCH") {
+                let mut patterns = vec![self.pattern()?];
+                while self.peek() == Some(&Tok::Comma) {
+                    self.pos += 1;
+                    patterns.push(self.pattern()?);
+                }
+                clauses.push(Clause::Match(patterns));
+            } else if self.eat_kw("WHERE") {
+                clauses.push(Clause::Where(self.expr()?));
+            } else if self.eat_kw("WITH") {
+                let distinct = self.eat_kw("DISTINCT");
+                let items = self.items()?;
+                clauses.push(Clause::With { distinct, items });
+            } else {
+                break;
+            }
+        }
+        if !self.eat_kw("RETURN") {
+            return Err(self.err("expected RETURN"));
+        }
+        let distinct = self.eat_kw("DISTINCT");
+        let items = self.items()?;
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            if !self.eat_kw("BY") {
+                return Err(self.err("expected BY after ORDER"));
+            }
+            loop {
+                let key = self.expr()?;
+                let desc = if self.eat_kw("DESC") {
+                    true
+                } else {
+                    self.eat_kw("ASC");
+                    false
+                };
+                order_by.push((key, desc));
+                if self.peek() == Some(&Tok::Comma) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        let count_after = |kw: &str, p: &mut Self| -> Result<Option<u64>, QueryError> {
+            if p.eat_kw(kw) {
+                match p.next() {
+                    Some(Tok::Int(n)) if n >= 0 => Ok(Some(n as u64)),
+                    _ => Err(p.err(format!("expected non-negative integer after {kw}"))),
+                }
+            } else {
+                Ok(None)
+            }
+        };
+        let skip = count_after("SKIP", self)?;
+        let limit = count_after("LIMIT", self)?;
+        Ok(Query {
+            starts,
+            clauses,
+            ret: Return {
+                distinct,
+                items,
+                order_by,
+                skip,
+                limit,
+            },
+        })
+    }
+
+    /// `v = node:node_auto_index('lucene query')`
+    fn start_item(&mut self) -> Result<StartItem, QueryError> {
+        let var = self.ident("start variable")?;
+        self.expect(&Tok::Eq, "'='")?;
+        let src = self.ident("'node'")?;
+        if !src.eq_ignore_ascii_case("node") {
+            return Err(self.err("only node index lookups are supported in START"));
+        }
+        self.expect(&Tok::Colon, "':'")?;
+        let idx = self.ident("index name")?;
+        if !idx.eq_ignore_ascii_case("node_auto_index") {
+            return Err(self.err(format!("unknown index '{idx}'")));
+        }
+        self.expect(&Tok::LParen, "'('")?;
+        let text = match self.next() {
+            Some(Tok::Str(s)) => s,
+            other => return Err(self.err(format!("expected index query string, found {other:?}"))),
+        };
+        self.expect(&Tok::RParen, "')'")?;
+        let lookup = LuceneQuery::parse(&text)?;
+        Ok(StartItem { var, lookup })
+    }
+
+    fn items(&mut self) -> Result<Vec<Item>, QueryError> {
+        let mut items = vec![self.item()?];
+        while self.peek() == Some(&Tok::Comma) {
+            self.pos += 1;
+            items.push(self.item()?);
+        }
+        Ok(items)
+    }
+
+    fn item(&mut self) -> Result<Item, QueryError> {
+        let expr = self.expr()?;
+        let name = match &expr {
+            Expr::Var(v) => v.clone(),
+            Expr::Prop(v, k) => format!("{v}.{}", k.name().to_ascii_lowercase()),
+            Expr::Count(None) => "count(*)".to_owned(),
+            Expr::Count(Some(inner)) => match inner.as_ref() {
+                Expr::Var(v) => format!("count({v})"),
+                _ => "count(...)".to_owned(),
+            },
+            other => format!("{other:?}"),
+        };
+        Ok(Item { expr, name })
+    }
+
+    // --------------------------------------------------------------
+    // Patterns
+    // --------------------------------------------------------------
+
+    fn pattern(&mut self) -> Result<Pattern, QueryError> {
+        let mut nodes = vec![self.node_pattern()?];
+        let mut rels = Vec::new();
+        while matches!(self.peek(), Some(Tok::Dash) | Some(Tok::BackArrow)) {
+            rels.push(self.rel_pattern()?);
+            nodes.push(self.node_pattern()?);
+        }
+        Ok(Pattern { nodes, rels })
+    }
+
+    fn node_pattern(&mut self) -> Result<NodePattern, QueryError> {
+        match self.peek() {
+            Some(Tok::Ident(_)) => {
+                let var = self.ident("node variable")?;
+                Ok(NodePattern {
+                    var: Some(var),
+                    labels: Vec::new(),
+                    props: Vec::new(),
+                })
+            }
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let mut np = NodePattern::default();
+                if let Some(Tok::Ident(_)) = self.peek() {
+                    np.var = Some(self.ident("node variable")?);
+                }
+                while self.peek() == Some(&Tok::Colon) {
+                    self.pos += 1;
+                    let label = self.ident("node label")?;
+                    np.labels.push(resolve_label(&label, self)?);
+                }
+                if self.peek() == Some(&Tok::LBrace) {
+                    np.props = self.prop_map()?;
+                }
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(np)
+            }
+            other => Err(self.err(format!("expected node pattern, found {other:?}"))),
+        }
+    }
+
+    fn rel_pattern(&mut self) -> Result<RelPattern, QueryError> {
+        // Left end: '-' or '<-'.
+        let left_in = match self.next() {
+            Some(Tok::Dash) => false,
+            Some(Tok::BackArrow) => true,
+            other => return Err(self.err(format!("expected relationship, found {other:?}"))),
+        };
+        let mut rp = RelPattern {
+            var: None,
+            types: Vec::new(),
+            dir: RelDir::Undirected,
+            var_len: None,
+            props: Vec::new(),
+        };
+        if self.peek() == Some(&Tok::LBracket) {
+            self.pos += 1;
+            if let Some(Tok::Ident(_)) = self.peek() {
+                rp.var = Some(self.ident("relationship variable")?);
+            }
+            if self.peek() == Some(&Tok::Colon) {
+                self.pos += 1;
+                loop {
+                    let name = self.ident("edge type")?;
+                    let ty = EdgeType::parse(&name.to_ascii_lowercase())
+                        .ok_or_else(|| self.err(format!("unknown edge type '{name}'")))?;
+                    rp.types.push(ty);
+                    if self.peek() == Some(&Tok::Pipe) {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            if self.peek() == Some(&Tok::Star) {
+                self.pos += 1;
+                let mut min = 1u32;
+                let mut max = None;
+                if let Some(Tok::Int(n)) = self.peek() {
+                    min = u32::try_from(*n).map_err(|_| self.err("bad hop count"))?;
+                    self.pos += 1;
+                    if self.peek() == Some(&Tok::DotDot) {
+                        self.pos += 1;
+                        if let Some(Tok::Int(m)) = self.peek() {
+                            max = Some(u32::try_from(*m).map_err(|_| self.err("bad hop count"))?);
+                            self.pos += 1;
+                        }
+                    } else {
+                        // `*2` alone = exactly 2 hops.
+                        max = Some(min);
+                    }
+                } else if self.peek() == Some(&Tok::DotDot) {
+                    self.pos += 1;
+                    if let Some(Tok::Int(m)) = self.peek() {
+                        max = Some(u32::try_from(*m).map_err(|_| self.err("bad hop count"))?);
+                        self.pos += 1;
+                    }
+                }
+                rp.var_len = Some((min, max));
+            }
+            if self.peek() == Some(&Tok::LBrace) {
+                rp.props = self.prop_map()?;
+            }
+            self.expect(&Tok::RBracket, "']'")?;
+        }
+        // Right end: '->' or '-'.
+        let right_out = match self.next() {
+            Some(Tok::Arrow) => true,
+            Some(Tok::Dash) => false,
+            other => return Err(self.err(format!("expected '->' or '-', found {other:?}"))),
+        };
+        rp.dir = match (left_in, right_out) {
+            (false, true) => RelDir::LeftToRight,
+            (true, false) => RelDir::RightToLeft,
+            (false, false) => RelDir::Undirected,
+            (true, true) => return Err(self.err("relationship cannot point both ways")),
+        };
+        if rp.var.is_some() && rp.var_len.is_some() {
+            return Err(self.err("variable-length relationships cannot be named"));
+        }
+        Ok(rp)
+    }
+
+    fn prop_map(&mut self) -> Result<Vec<(PropKey, PropValue)>, QueryError> {
+        self.expect(&Tok::LBrace, "'{'")?;
+        let mut props = Vec::new();
+        loop {
+            let key_name = self.ident("property key")?;
+            let key = PropKey::parse(&key_name)
+                .ok_or_else(|| self.err(format!("unknown property '{key_name}'")))?;
+            self.expect(&Tok::Colon, "':'")?;
+            let value = self.literal()?;
+            props.push((key, value));
+            if self.peek() == Some(&Tok::Comma) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.expect(&Tok::RBrace, "'}'")?;
+        Ok(props)
+    }
+
+    fn literal(&mut self) -> Result<PropValue, QueryError> {
+        match self.next() {
+            Some(Tok::Str(s)) => Ok(PropValue::Str(s)),
+            Some(Tok::Int(n)) => Ok(PropValue::Int(n)),
+            Some(Tok::Kw("TRUE")) => Ok(PropValue::Bool(true)),
+            Some(Tok::Kw("FALSE")) => Ok(PropValue::Bool(false)),
+            other => Err(self.err(format!("expected literal, found {other:?}"))),
+        }
+    }
+
+    // --------------------------------------------------------------
+    // Expressions
+    // --------------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, QueryError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, QueryError> {
+        let mut lhs = self.xor_expr()?;
+        while self.eat_kw("OR") {
+            let rhs = self.xor_expr()?;
+            lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn xor_expr(&mut self) -> Result<Expr, QueryError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_kw("XOR") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Xor(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, QueryError> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let rhs = self.not_expr()?;
+            lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, QueryError> {
+        if self.eat_kw("NOT") {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, QueryError> {
+        // A pattern predicate can start here: try the pattern parse first
+        // when the lookahead suggests one, backtracking on failure.
+        if self.looks_like_pattern_predicate() {
+            let save = self.pos;
+            match self.pattern() {
+                Ok(p) if !p.rels.is_empty() => return Ok(Expr::PatternPredicate(p)),
+                _ => self.pos = save,
+            }
+        }
+        let lhs = self.primary()?;
+        let op = match self.peek() {
+            Some(Tok::Eq) => Some(CmpOp::Eq),
+            Some(Tok::Ne) => Some(CmpOp::Ne),
+            Some(Tok::Lt) => Some(CmpOp::Lt),
+            Some(Tok::Le) => Some(CmpOp::Le),
+            Some(Tok::Gt) => Some(CmpOp::Gt),
+            Some(Tok::Ge) => Some(CmpOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let rhs = self.primary()?;
+            Ok(Expr::Cmp(Box::new(lhs), op, Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    /// Heuristic lookahead: `(` or an identifier followed by `-`/`<-` starts
+    /// a pattern predicate rather than a scalar expression.
+    fn looks_like_pattern_predicate(&self) -> bool {
+        match self.peek() {
+            Some(Tok::LParen) => true,
+            Some(Tok::Ident(_)) => {
+                matches!(self.peek2(), Some(Tok::Dash) | Some(Tok::BackArrow))
+            }
+            _ => false,
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, QueryError> {
+        match self.peek().cloned() {
+            Some(Tok::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::Lit(PropValue::Str(s)))
+            }
+            Some(Tok::Int(n)) => {
+                self.pos += 1;
+                Ok(Expr::Lit(PropValue::Int(n)))
+            }
+            Some(Tok::Kw("TRUE")) => {
+                self.pos += 1;
+                Ok(Expr::Lit(PropValue::Bool(true)))
+            }
+            Some(Tok::Kw("FALSE")) => {
+                self.pos += 1;
+                Ok(Expr::Lit(PropValue::Bool(false)))
+            }
+            Some(Tok::Kw("NULL")) => {
+                self.pos += 1;
+                Ok(Expr::Null)
+            }
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let inner = self.expr()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(inner)
+            }
+            Some(Tok::Ident(id)) if id.eq_ignore_ascii_case("count")
+                && self.peek2() == Some(&Tok::LParen) =>
+            {
+                self.pos += 2;
+                let inner = if self.peek() == Some(&Tok::Star) {
+                    self.pos += 1;
+                    None
+                } else {
+                    Some(Box::new(self.expr()?))
+                };
+                self.expect(&Tok::RParen, "')' after count")?;
+                Ok(Expr::Count(inner))
+            }
+            Some(Tok::Ident(_)) => {
+                let var = self.ident("variable")?;
+                if self.peek() == Some(&Tok::Dot) {
+                    self.pos += 1;
+                    let prop_name = self.ident("property name")?;
+                    let key = PropKey::parse(&prop_name)
+                        .ok_or_else(|| self.err(format!("unknown property '{prop_name}'")))?;
+                    Ok(Expr::Prop(var, key))
+                } else {
+                    Ok(Expr::Var(var))
+                }
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+fn resolve_label(name: &str, p: &Parser) -> Result<LabelSpec, QueryError> {
+    let lower = name.to_ascii_lowercase();
+    if let Some(ty) = NodeType::parse(&lower) {
+        Ok(LabelSpec::Type(ty))
+    } else if let Some(l) = Label::parse(&lower) {
+        Ok(LabelSpec::Group(l))
+    } else {
+        Err(p.err(format!("unknown node label '{name}'")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_parses() {
+        let q = Query::parse(
+            "START m=node:node_auto_index('short_name: wakeup.elf') \
+             MATCH m -[:compiled_from|linked_from*]-> f \
+             WITH distinct f \
+             MATCH f -[:file_contains]-> (n:field{short_name: 'id'}) \
+             RETURN n",
+        )
+        .unwrap();
+        assert_eq!(q.starts.len(), 1);
+        assert_eq!(q.clauses.len(), 3);
+        let Clause::Match(ps) = &q.clauses[0] else {
+            panic!("expected MATCH")
+        };
+        let rel = &ps[0].rels[0];
+        assert_eq!(rel.types, vec![EdgeType::CompiledFrom, EdgeType::LinkedFrom]);
+        assert_eq!(rel.var_len, Some((1, None)));
+        assert_eq!(rel.dir, RelDir::LeftToRight);
+        let Clause::Match(ps) = &q.clauses[2] else {
+            panic!("expected MATCH")
+        };
+        let n = &ps[0].nodes[1];
+        assert_eq!(n.labels, vec![LabelSpec::Type(NodeType::Field)]);
+        assert_eq!(
+            n.props,
+            vec![(PropKey::ShortName, PropValue::from("id"))]
+        );
+    }
+
+    #[test]
+    fn figure4_parses_with_pattern_predicate() {
+        let q = Query::parse(
+            "START n=node:node_auto_index('short_name: id') \
+             WHERE (n) <-[{NAME_FILE_ID: 33, NAME_START_LINE: 104, NAME_START_COLUMN: 16}]- () \
+             RETURN n",
+        )
+        .unwrap();
+        let Clause::Where(Expr::PatternPredicate(p)) = &q.clauses[0] else {
+            panic!("expected pattern predicate, got {:?}", q.clauses[0]);
+        };
+        assert_eq!(p.rels[0].dir, RelDir::RightToLeft);
+        assert_eq!(p.rels[0].props.len(), 3);
+        assert_eq!(p.nodes[1].var, None);
+    }
+
+    #[test]
+    fn figure5_parses() {
+        let q = Query::parse(
+            "START from=node:node_auto_index('short_name: sr_media_change'), \
+                   to=node:node_auto_index('short_name: get_sectorsize'), \
+                   b=node:node_auto_index('short_name: packet_command') \
+             MATCH writer -[write:writes_member]-> ({SHORT_NAME:'cmd'}) <-[:contains]- b \
+             WITH to, from, writer, write \
+             MATCH direct <-[s:calls]- from -[r:calls{use_start_line: 236}]-> to \
+             WHERE r.use_start_line >= s.use_start_line AND direct -[:calls*]-> writer \
+             RETURN distinct writer, write.use_start_line",
+        )
+        .unwrap();
+        assert_eq!(q.starts.len(), 3);
+        assert!(q.ret.distinct);
+        assert_eq!(q.ret.items.len(), 2);
+        assert_eq!(q.ret.items[1].name, "write.use_start_line");
+        // Clauses: MATCH, WITH, MATCH, WHERE.
+        assert_eq!(q.clauses.len(), 4);
+        // The WHERE is a conjunction whose right side is a pattern predicate.
+        let Clause::Where(Expr::And(_, rhs)) = &q.clauses[3] else {
+            panic!("expected WHERE with AND");
+        };
+        assert!(matches!(**rhs, Expr::PatternPredicate(_)));
+    }
+
+    #[test]
+    fn figure6_parses() {
+        let q = Query::parse(
+            "START n=node:node_auto_index('short_name: pci_read_bases') \
+             MATCH n -[:calls*]-> m RETURN distinct m",
+        )
+        .unwrap();
+        assert!(q.ret.distinct);
+        let Clause::Match(ps) = &q.clauses[0] else {
+            panic!()
+        };
+        assert_eq!(ps[0].rels[0].var_len, Some((1, None)));
+    }
+
+    #[test]
+    fn table6_cypher2x_label_match() {
+        let q = Query::parse("MATCH (n:container:symbol{name: \"foo\"}) RETURN n").unwrap();
+        assert!(q.starts.is_empty());
+        let Clause::Match(ps) = &q.clauses[0] else {
+            panic!()
+        };
+        assert_eq!(
+            ps[0].nodes[0].labels,
+            vec![
+                LabelSpec::Group(Label::Container),
+                LabelSpec::Group(Label::Symbol)
+            ]
+        );
+    }
+
+    #[test]
+    fn hop_ranges() {
+        let parse_rel = |s: &str| {
+            let q = Query::parse(&format!("MATCH a {s} b RETURN a")).unwrap();
+            let Clause::Match(ps) = &q.clauses[0] else {
+                panic!()
+            };
+            ps[0].rels[0].clone()
+        };
+        assert_eq!(parse_rel("-[:calls*]->").var_len, Some((1, None)));
+        assert_eq!(parse_rel("-[:calls*2]->").var_len, Some((2, Some(2))));
+        assert_eq!(parse_rel("-[:calls*2..4]->").var_len, Some((2, Some(4))));
+        assert_eq!(parse_rel("-[:calls*..3]->").var_len, Some((1, Some(3))));
+        assert_eq!(parse_rel("-[:calls]->").var_len, None);
+    }
+
+    #[test]
+    fn undirected_and_reverse_edges() {
+        let q = Query::parse("MATCH a -[:calls]- b, c <-[:reads]- d RETURN a").unwrap();
+        let Clause::Match(ps) = &q.clauses[0] else {
+            panic!()
+        };
+        assert_eq!(ps[0].rels[0].dir, RelDir::Undirected);
+        assert_eq!(ps[1].rels[0].dir, RelDir::RightToLeft);
+    }
+
+    #[test]
+    fn limit_clause() {
+        let q = Query::parse("MATCH (n:function) RETURN n LIMIT 10").unwrap();
+        assert_eq!(q.ret.limit, Some(10));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(Query::parse("MATCH (n RETURN n").is_err());
+        assert!(Query::parse("MATCH (n:not_a_label) RETURN n").is_err());
+        assert!(Query::parse("MATCH a -[:not_an_edge]-> b RETURN a").is_err());
+        assert!(Query::parse("MATCH (n {bogus_prop: 1}) RETURN n").is_err());
+        assert!(Query::parse("MATCH (n) RETURN n LIMIT 'x'").is_err());
+        assert!(Query::parse("RETURN").is_err());
+        assert!(Query::parse("MATCH (n) RETURN n extra").is_err());
+        assert!(Query::parse("MATCH a <-[:calls]-> b RETURN a").is_err());
+        assert!(Query::parse("START n=node:other_index('x') RETURN n").is_err());
+    }
+
+    #[test]
+    fn named_varlength_rejected() {
+        assert!(Query::parse("MATCH a -[r:calls*]-> b RETURN r").is_err());
+    }
+
+    #[test]
+    fn parenthesized_expression_still_works() {
+        let q = Query::parse("MATCH (n) WHERE (n.value > 1 AND n.value < 5) RETURN n").unwrap();
+        let Clause::Where(e) = &q.clauses[1] else {
+            panic!()
+        };
+        assert!(matches!(e, Expr::And(_, _)));
+    }
+}

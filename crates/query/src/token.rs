@@ -1,0 +1,388 @@
+//! Lexer for the query language.
+
+use crate::error::QueryError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Keyword (normalized upper-case): START, MATCH, WHERE, WITH, RETURN,
+    /// DISTINCT, LIMIT, AND, OR, XOR, NOT, TRUE, FALSE, NULL.
+    Kw(&'static str),
+    /// Identifier (variable, property key, label, edge type, index name).
+    Ident(String),
+    /// Single- or double-quoted string literal.
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `|`
+    Pipe,
+    /// `*`
+    Star,
+    /// `..`
+    DotDot,
+    /// `.`
+    Dot,
+    /// `-`
+    Dash,
+    /// `->`
+    Arrow,
+    /// `<-`
+    BackArrow,
+}
+
+/// A token with its byte offset in the query text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Byte offset of the token start.
+    pub offset: usize,
+}
+
+const KEYWORDS: &[&str] = &[
+    "START", "MATCH", "WHERE", "WITH", "RETURN", "DISTINCT", "LIMIT", "AND", "OR", "XOR", "NOT",
+    "TRUE", "FALSE", "NULL", "ORDER", "BY", "DESC", "ASC", "SKIP", "EXPLAIN",
+];
+
+/// Lexes query text into tokens.
+pub fn lex(input: &str) -> Result<Vec<Spanned>, QueryError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Spanned { tok: Tok::LParen, offset: start });
+                i += 1;
+            }
+            ')' => {
+                out.push(Spanned { tok: Tok::RParen, offset: start });
+                i += 1;
+            }
+            '[' => {
+                out.push(Spanned { tok: Tok::LBracket, offset: start });
+                i += 1;
+            }
+            ']' => {
+                out.push(Spanned { tok: Tok::RBracket, offset: start });
+                i += 1;
+            }
+            '{' => {
+                out.push(Spanned { tok: Tok::LBrace, offset: start });
+                i += 1;
+            }
+            '}' => {
+                out.push(Spanned { tok: Tok::RBrace, offset: start });
+                i += 1;
+            }
+            ',' => {
+                out.push(Spanned { tok: Tok::Comma, offset: start });
+                i += 1;
+            }
+            ':' => {
+                out.push(Spanned { tok: Tok::Colon, offset: start });
+                i += 1;
+            }
+            '|' => {
+                out.push(Spanned { tok: Tok::Pipe, offset: start });
+                i += 1;
+            }
+            '*' => {
+                out.push(Spanned { tok: Tok::Star, offset: start });
+                i += 1;
+            }
+            '=' => {
+                out.push(Spanned { tok: Tok::Eq, offset: start });
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Spanned { tok: Tok::Ne, offset: start });
+                i += 2;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Spanned { tok: Tok::Ne, offset: start });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { tok: Tok::Le, offset: start });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'-') {
+                    out.push(Spanned { tok: Tok::BackArrow, offset: start });
+                    i += 2;
+                } else {
+                    out.push(Spanned { tok: Tok::Lt, offset: start });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { tok: Tok::Ge, offset: start });
+                    i += 2;
+                } else {
+                    out.push(Spanned { tok: Tok::Gt, offset: start });
+                    i += 1;
+                }
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Spanned { tok: Tok::Arrow, offset: start });
+                    i += 2;
+                } else {
+                    out.push(Spanned { tok: Tok::Dash, offset: start });
+                    i += 1;
+                }
+            }
+            '.' => {
+                if bytes.get(i + 1) == Some(&b'.') {
+                    out.push(Spanned { tok: Tok::DotDot, offset: start });
+                    i += 2;
+                } else {
+                    out.push(Spanned { tok: Tok::Dot, offset: start });
+                    i += 1;
+                }
+            }
+            '\'' | '"' => {
+                let quote = bytes[i];
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(QueryError::Lex {
+                            offset: start,
+                            message: "unterminated string literal".into(),
+                        });
+                    }
+                    if bytes[i] == quote {
+                        i += 1;
+                        break;
+                    }
+                    if bytes[i] == b'\\' && i + 1 < bytes.len() {
+                        let esc = bytes[i + 1] as char;
+                        s.push(match esc {
+                            'n' => '\n',
+                            't' => '\t',
+                            other => other,
+                        });
+                        i += 2;
+                    } else {
+                        // Query text is valid UTF-8; push char-wise.
+                        let ch_start = i;
+                        let ch = input[ch_start..].chars().next().expect("in bounds");
+                        s.push(ch);
+                        i += ch.len_utf8();
+                    }
+                }
+                out.push(Spanned { tok: Tok::Str(s), offset: start });
+            }
+            '0'..='9' => {
+                let mut v: i64 = 0;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    v = v
+                        .checked_mul(10)
+                        .and_then(|v| v.checked_add(i64::from(bytes[i] - b'0')))
+                        .ok_or_else(|| QueryError::Lex {
+                            offset: start,
+                            message: "integer literal overflow".into(),
+                        })?;
+                    i += 1;
+                }
+                out.push(Spanned { tok: Tok::Int(v), offset: start });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '`' => {
+                // Backtick-quoted identifiers pass any characters through.
+                if c == '`' {
+                    i += 1;
+                    let mut s = String::new();
+                    while i < bytes.len() && bytes[i] != b'`' {
+                        s.push(bytes[i] as char);
+                        i += 1;
+                    }
+                    if i >= bytes.len() {
+                        return Err(QueryError::Lex {
+                            offset: start,
+                            message: "unterminated backtick identifier".into(),
+                        });
+                    }
+                    i += 1;
+                    out.push(Spanned { tok: Tok::Ident(s), offset: start });
+                } else {
+                    while i < bytes.len()
+                        && ((bytes[i] as char).is_ascii_alphanumeric()
+                            || bytes[i] == b'_'
+                            || bytes[i] == b'.')
+                    {
+                        // Dots terminate identifiers (property access) —
+                        // handled by the parser, so stop at them.
+                        if bytes[i] == b'.' {
+                            break;
+                        }
+                        i += 1;
+                    }
+                    let word = &input[start..i];
+                    let upper = word.to_ascii_uppercase();
+                    if let Some(kw) = KEYWORDS.iter().find(|k| **k == upper) {
+                        out.push(Spanned { tok: Tok::Kw(kw), offset: start });
+                    } else {
+                        out.push(Spanned {
+                            tok: Tok::Ident(word.to_owned()),
+                            offset: start,
+                        });
+                    }
+                }
+            }
+            other => {
+                return Err(QueryError::Lex {
+                    offset: start,
+                    message: format!("unexpected character {other:?}"),
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Tok> {
+        lex(s).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(toks("start MATCH Return"), vec![
+            Tok::Kw("START"),
+            Tok::Kw("MATCH"),
+            Tok::Kw("RETURN"),
+        ]);
+    }
+
+    #[test]
+    fn arrows_and_dashes() {
+        assert_eq!(toks("-[:calls]->"), vec![
+            Tok::Dash,
+            Tok::LBracket,
+            Tok::Colon,
+            Tok::Ident("calls".into()),
+            Tok::RBracket,
+            Tok::Arrow,
+        ]);
+        assert_eq!(toks("<-[]-"), vec![
+            Tok::BackArrow,
+            Tok::LBracket,
+            Tok::RBracket,
+            Tok::Dash,
+        ]);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(toks("= <> != < <= > >="), vec![
+            Tok::Eq,
+            Tok::Ne,
+            Tok::Ne,
+            Tok::Lt,
+            Tok::Le,
+            Tok::Gt,
+            Tok::Ge,
+        ]);
+    }
+
+    #[test]
+    fn string_literals_both_quotes_and_escapes() {
+        assert_eq!(toks("'abc' \"x\" 'a\\'b'"), vec![
+            Tok::Str("abc".into()),
+            Tok::Str("x".into()),
+            Tok::Str("a'b".into()),
+        ]);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(matches!(lex("'oops"), Err(QueryError::Lex { .. })));
+    }
+
+    #[test]
+    fn integers_and_overflow() {
+        assert_eq!(toks("0 104 236"), vec![Tok::Int(0), Tok::Int(104), Tok::Int(236)]);
+        assert!(lex("99999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn dots_and_ranges() {
+        assert_eq!(toks("r.use_start_line *1..3"), vec![
+            Tok::Ident("r".into()),
+            Tok::Dot,
+            Tok::Ident("use_start_line".into()),
+            Tok::Star,
+            Tok::Int(1),
+            Tok::DotDot,
+            Tok::Int(3),
+        ]);
+    }
+
+    #[test]
+    fn line_comments_skipped() {
+        assert_eq!(toks("match // find\nreturn"), vec![
+            Tok::Kw("MATCH"),
+            Tok::Kw("RETURN"),
+        ]);
+    }
+
+    #[test]
+    fn backtick_identifiers() {
+        assert_eq!(toks("`weird name`"), vec![Tok::Ident("weird name".into())]);
+        assert!(lex("`oops").is_err());
+    }
+
+    #[test]
+    fn offsets_are_byte_positions() {
+        let ts = lex("ab cd").unwrap();
+        assert_eq!(ts[0].offset, 0);
+        assert_eq!(ts[1].offset, 3);
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(matches!(lex("match @"), Err(QueryError::Lex { offset: 6, .. })));
+    }
+}

@@ -1,0 +1,89 @@
+//! Runtime values flowing through the query pipeline.
+
+use frappe_model::{EdgeId, NodeId, PropValue};
+
+/// A value bound to a variable or produced by a `RETURN` item.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// A graph node.
+    Node(NodeId),
+    /// A graph edge (relationship).
+    Edge(EdgeId),
+    /// A scalar property value.
+    Scalar(PropValue),
+    /// SQL-ish missing value (absent property).
+    Null,
+}
+
+impl Value {
+    /// The node id, if this is a node.
+    pub fn as_node(&self) -> Option<NodeId> {
+        match self {
+            Value::Node(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The edge id, if this is an edge.
+    pub fn as_edge(&self) -> Option<EdgeId> {
+        match self {
+            Value::Edge(e) => Some(*e),
+            _ => None,
+        }
+    }
+
+    /// The scalar, if this is a scalar.
+    pub fn as_scalar(&self) -> Option<&PropValue> {
+        match self {
+            Value::Scalar(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Node(n) => write!(f, "({n:?})"),
+            Value::Edge(e) => write!(f, "[{e:?}]"),
+            Value::Scalar(v) => write!(f, "{v}"),
+            Value::Null => write!(f, "null"),
+        }
+    }
+}
+
+impl From<PropValue> for Value {
+    fn from(v: PropValue) -> Self {
+        Value::Scalar(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Node(NodeId(1)).as_node(), Some(NodeId(1)));
+        assert_eq!(Value::Node(NodeId(1)).as_edge(), None);
+        assert_eq!(Value::Edge(EdgeId(2)).as_edge(), Some(EdgeId(2)));
+        assert!(Value::Null.is_null());
+        assert_eq!(
+            Value::Scalar(PropValue::Int(3)).as_scalar(),
+            Some(&PropValue::Int(3))
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Node(NodeId(1)).to_string(), "(n1)");
+        assert_eq!(Value::Edge(EdgeId(2)).to_string(), "[e2]");
+        assert_eq!(Value::Scalar(PropValue::from("x")).to_string(), "x");
+        assert_eq!(Value::Null.to_string(), "null");
+    }
+}

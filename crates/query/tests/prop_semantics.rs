@@ -1,0 +1,105 @@
+//! Property tests over the query engine: on random *acyclic* graphs (where
+//! path enumeration terminates), enumeration and reachability semantics
+//! agree on `RETURN distinct` endpoints; and both agree with a reference
+//! BFS.
+
+use frappe_model::{EdgeType, NodeId, NodeType};
+use frappe_query::{Engine, EngineOptions, PathSemantics, Query};
+use frappe_store::GraphStore;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn dag(edges: &[(u8, u8)], n: usize) -> GraphStore {
+    let mut g = GraphStore::new();
+    let ids: Vec<NodeId> = (0..n)
+        .map(|i| g.add_node(NodeType::Function, &format!("f{i}")))
+        .collect();
+    for (a, b) in edges {
+        // Orient edges from lower to higher index: guaranteed acyclic.
+        let (a, b) = (*a as usize % n, *b as usize % n);
+        if a < b {
+            g.add_edge(ids[a], EdgeType::Calls, ids[b]);
+        } else if b < a {
+            g.add_edge(ids[b], EdgeType::Calls, ids[a]);
+        }
+    }
+    g.freeze();
+    g
+}
+
+fn reference_closure(g: &GraphStore, start: NodeId) -> HashSet<NodeId> {
+    let mut seen = HashSet::from([start]);
+    let mut stack = vec![start];
+    while let Some(n) = stack.pop() {
+        for m in g.out_neighbors(n, Some(EdgeType::Calls)) {
+            if seen.insert(m) {
+                stack.push(m);
+            }
+        }
+    }
+    seen.remove(&start);
+    seen
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prop_semantics_agree_on_dags(
+        edges in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..40),
+    ) {
+        let n = 12;
+        let g = dag(&edges, n);
+        let q = Query::parse(
+            "START n=node:node_auto_index('short_name: f0') \
+             MATCH n -[:calls*]-> m RETURN distinct m",
+        )
+        .unwrap();
+        let run = |sem: PathSemantics| {
+            Engine::with_options(EngineOptions {
+                path_semantics: sem,
+                max_steps: 10_000_000,
+                ..Default::default()
+            })
+            .run(&g, &q)
+            .unwrap()
+            .rows
+            .into_iter()
+            .map(|row| row[0].as_node().unwrap())
+            .collect::<HashSet<_>>()
+        };
+        let enumerate = run(PathSemantics::Enumerate);
+        let reach = run(PathSemantics::Reachability);
+        let reference = reference_closure(&g, NodeId(0));
+        prop_assert_eq!(&enumerate, &reference);
+        prop_assert_eq!(&reach, &reference);
+    }
+
+    /// Fixed-length hop counts agree with manual hop expansion.
+    #[test]
+    fn prop_two_hop_matches_manual(
+        edges in proptest::collection::vec((0u8..10, 0u8..10), 0..30),
+    ) {
+        let n = 10;
+        let g = dag(&edges, n);
+        let q = Query::parse(
+            "START n=node:node_auto_index('short_name: f0') \
+             MATCH n -[:calls*2]-> m RETURN distinct m",
+        )
+        .unwrap();
+        let got: HashSet<NodeId> = Engine::new()
+            .run(&g, &q)
+            .unwrap()
+            .rows
+            .into_iter()
+            .map(|row| row[0].as_node().unwrap())
+            .collect();
+        let mut expect = HashSet::new();
+        for m1 in g.out_neighbors(NodeId(0), Some(EdgeType::Calls)) {
+            for m2 in g.out_neighbors(m1, Some(EdgeType::Calls)) {
+                expect.insert(m2);
+            }
+        }
+        prop_assert_eq!(got, expect);
+    }
+}

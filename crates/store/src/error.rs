@@ -1,0 +1,50 @@
+//! Store error type.
+
+use frappe_model::{EdgeId, NodeId};
+
+/// Errors raised by the storage engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// A node id that does not exist (or has been deleted).
+    NodeNotFound(NodeId),
+    /// An edge id that does not exist (or has been deleted).
+    EdgeNotFound(EdgeId),
+    /// Mutation attempted after [`crate::GraphStore::freeze`].
+    Frozen,
+    /// Index lookups attempted before [`crate::GraphStore::freeze`].
+    NotFrozen,
+    /// A malformed snapshot (bad magic, truncated data, or unknown ids).
+    CorruptSnapshot(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::NodeNotFound(id) => write!(f, "node {id:?} not found"),
+            StoreError::EdgeNotFound(id) => write!(f, "edge {id:?} not found"),
+            StoreError::Frozen => write!(f, "store is frozen; mutations are not allowed"),
+            StoreError::NotFrozen => {
+                write!(f, "store is not frozen; indexes are not built yet")
+            }
+            StoreError::CorruptSnapshot(msg) => write!(f, "corrupt snapshot: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        assert_eq!(
+            StoreError::NodeNotFound(NodeId(3)).to_string(),
+            "node n3 not found"
+        );
+        assert!(StoreError::CorruptSnapshot("bad magic".into())
+            .to_string()
+            .contains("bad magic"));
+    }
+}

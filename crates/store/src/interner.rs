@@ -1,0 +1,142 @@
+//! String interning.
+//!
+//! Symbol names in a kernel-scale graph repeat heavily (`int` alone is the
+//! target of ~79 k `isa_type` edges — Figure 7), so node names and long
+//! property strings are interned once and referenced by a `u32` symbol.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An interned string handle.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Sym(pub u32);
+
+/// An append-only string interner.
+///
+/// Interning is bijective: equal strings get equal symbols, and every symbol
+/// resolves back to exactly the string that produced it (verified by a
+/// property test).
+#[derive(Default, Serialize, Deserialize)]
+pub struct StringInterner {
+    strings: Vec<Box<str>>,
+    lookup: HashMap<Box<str>, Sym>,
+}
+
+impl StringInterner {
+    /// Creates an empty interner.
+    pub fn new() -> StringInterner {
+        StringInterner::default()
+    }
+
+    /// Interns `s`, returning its symbol (existing or fresh).
+    pub fn intern(&mut self, s: &str) -> Sym {
+        if let Some(sym) = self.lookup.get(s) {
+            return *sym;
+        }
+        let sym = Sym(u32::try_from(self.strings.len()).expect("interner overflow"));
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.lookup.insert(boxed, sym);
+        sym
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if `sym` was not produced by this interner.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.strings[sym.0 as usize]
+    }
+
+    /// Looks up an existing string without interning.
+    pub fn get(&self, s: &str) -> Option<Sym> {
+        self.lookup.get(s).copied()
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the interner is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates `(Sym, &str)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Sym(i as u32), &**s))
+    }
+
+    /// Total bytes of the interned string data (for Table 4 accounting).
+    pub fn data_bytes(&self) -> usize {
+        self.strings.iter().map(|s| s.len()).sum()
+    }
+}
+
+impl std::fmt::Debug for StringInterner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "StringInterner({} strings)", self.strings.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn intern_dedupes() {
+        let mut i = StringInterner::new();
+        let a = i.intern("int");
+        let b = i.intern("char");
+        let a2 = i.intern("int");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.resolve(a), "int");
+        assert_eq!(i.resolve(b), "char");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = StringInterner::new();
+        assert_eq!(i.get("x"), None);
+        let s = i.intern("x");
+        assert_eq!(i.get("x"), Some(s));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut i = StringInterner::new();
+        i.intern("a");
+        i.intern("b");
+        let all: Vec<_> = i.iter().map(|(_, s)| s.to_owned()).collect();
+        assert_eq!(all, vec!["a", "b"]);
+        assert_eq!(i.data_bytes(), 2);
+    }
+
+    proptest! {
+        /// Interning is a bijection between distinct strings and symbols.
+        #[test]
+        fn prop_intern_bijective(strings in proptest::collection::vec(".{0,12}", 0..64)) {
+            let mut i = StringInterner::new();
+            let syms: Vec<Sym> = strings.iter().map(|s| i.intern(s)).collect();
+            for (s, sym) in strings.iter().zip(&syms) {
+                prop_assert_eq!(i.resolve(*sym), s.as_str());
+            }
+            // Equal strings ⇒ equal syms; distinct strings ⇒ distinct syms.
+            for (a, sa) in strings.iter().zip(&syms) {
+                for (b, sb) in strings.iter().zip(&syms) {
+                    prop_assert_eq!(a == b, sa == sb);
+                }
+            }
+            let distinct: std::collections::HashSet<_> = strings.iter().collect();
+            prop_assert_eq!(i.len(), distinct.len());
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Label and type indexes (the Neo4j 2.x label scans of Table 6).
+
+use crate::graph::GraphStore;
+use frappe_model::{Label, NodeId, NodeType};
+
+/// Sorted node-id lists per grouped label and per Table 1 node type.
+#[derive(Debug)]
+pub struct LabelIndex {
+    by_label: Vec<Vec<NodeId>>,
+    by_type: Vec<Vec<NodeId>>,
+}
+
+impl LabelIndex {
+    /// Builds the index over all live nodes.
+    pub fn build(g: &GraphStore) -> LabelIndex {
+        let mut by_label = vec![Vec::new(); Label::COUNT];
+        let mut by_type = vec![Vec::new(); NodeType::COUNT];
+        for id in g.nodes() {
+            let data = g.node_data(id);
+            for l in data.labels.iter() {
+                by_label[l as usize].push(id);
+            }
+            by_type[data.ty as usize].push(id);
+        }
+        LabelIndex { by_label, by_type }
+    }
+
+    /// Live nodes carrying `label`, sorted by id.
+    pub fn with_label(&self, label: Label) -> &[NodeId] {
+        &self.by_label[label as usize]
+    }
+
+    /// Live nodes of type `ty`, sorted by id.
+    pub fn with_type(&self, ty: NodeType) -> &[NodeId] {
+        &self.by_type[ty as usize]
+    }
+
+    /// Sorted intersection of several label lists — the Table 6
+    /// `(n:container:symbol)` scan.
+    pub fn with_all_labels(&self, labels: &[Label]) -> Vec<NodeId> {
+        match labels {
+            [] => Vec::new(),
+            [only] => self.with_label(*only).to_vec(),
+            [first, rest @ ..] => {
+                let mut acc = self.with_label(*first).to_vec();
+                for l in rest {
+                    let other = self.with_label(*l);
+                    acc = intersect_sorted(&acc, other);
+                }
+                acc
+            }
+        }
+    }
+
+    /// Simulated index size in bytes (4 bytes per posting).
+    pub fn storage_bytes(&self) -> usize {
+        let postings: usize = self.by_label.iter().map(Vec::len).sum::<usize>()
+            + self.by_type.iter().map(Vec::len).sum::<usize>();
+        postings * 4
+    }
+}
+
+/// Intersects two sorted id slices.
+fn intersect_sorted(a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> GraphStore {
+        let mut g = GraphStore::new();
+        g.add_node(NodeType::Function, "f"); // symbol, container
+        g.add_node(NodeType::Struct, "s"); // symbol, type, container
+        g.add_node(NodeType::Primitive, "int"); // type
+        g.add_node(NodeType::File, "a.c"); // container, filesystem
+        g.freeze();
+        g
+    }
+
+    #[test]
+    fn label_lists() {
+        let g = sample();
+        assert_eq!(g.nodes_with_label(Label::Symbol).unwrap().len(), 2);
+        assert_eq!(g.nodes_with_label(Label::Type).unwrap().len(), 2);
+        assert_eq!(g.nodes_with_label(Label::Container).unwrap().len(), 3);
+        assert_eq!(g.nodes_with_label(Label::Filesystem).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn type_lists() {
+        let g = sample();
+        assert_eq!(g.nodes_with_type(NodeType::Function).unwrap().len(), 1);
+        assert_eq!(g.nodes_with_type(NodeType::Union).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn multi_label_intersection() {
+        let mut g = GraphStore::new();
+        let f = g.add_node(NodeType::Function, "f");
+        let s = g.add_node(NodeType::Struct, "s");
+        g.add_node(NodeType::Primitive, "int");
+        g.freeze();
+        let idx = LabelIndex::build(&g);
+        // Table 6: container AND symbol.
+        let both = idx.with_all_labels(&[Label::Container, Label::Symbol]);
+        assert_eq!(both, vec![f, s]);
+        assert!(idx.with_all_labels(&[]).is_empty());
+    }
+
+    #[test]
+    fn deleted_nodes_excluded() {
+        let mut g = GraphStore::new();
+        let a = g.add_node(NodeType::Function, "a");
+        g.add_node(NodeType::Function, "b");
+        g.delete_node(a).unwrap();
+        g.freeze();
+        assert_eq!(g.nodes_with_type(NodeType::Function).unwrap().len(), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_intersect_sorted_is_set_intersection(
+            a in proptest::collection::btree_set(0u32..64, 0..32),
+            b in proptest::collection::btree_set(0u32..64, 0..32),
+        ) {
+            let av: Vec<NodeId> = a.iter().map(|x| NodeId(*x)).collect();
+            let bv: Vec<NodeId> = b.iter().map(|x| NodeId(*x)).collect();
+            let got = intersect_sorted(&av, &bv);
+            let expect: Vec<NodeId> =
+                a.intersection(&b).map(|x| NodeId(*x)).collect();
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! # frappe-store
+//!
+//! A from-scratch property-graph storage engine — the substitute for the
+//! Neo4j community edition the paper used as Frappé's *repository* and
+//! *query processor* backend.
+//!
+//! The engine intentionally mirrors the architectural elements of Neo4j
+//! that the paper's observations depend on:
+//!
+//! * **Fixed-width record stores** for nodes and relationships, with
+//!   relationship records chained into per-node adjacency lists
+//!   ([`graph::GraphStore`]).
+//! * **Property records** hanging off nodes and edges, with short-string
+//!   inlining and a dynamic store for long values (size-accounted for the
+//!   paper's Table 4 in [`stats`]).
+//! * A **name index** with exact / prefix / wildcard lookup — the paper's
+//!   `node_auto_index` Lucene index ([`name_index`]).
+//! * **Node labels** (the Neo4j 2.x feature of Table 6), extended to edge
+//!   groups, with bitmap indexes ([`label_index`]).
+//! * A **page cache** whose cold/warm state is what separates the two
+//!   timing columns of Table 5 ([`pagecache`]).
+//! * Binary **snapshot** persistence ([`snapshot`]).
+//! * An optional **call-site reification** transform implementing the
+//!   hyper-edge workaround discussed in Section 6.2 ([`reify`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use frappe_model::{EdgeType, NodeType, PropKey};
+//! use frappe_store::GraphStore;
+//!
+//! let mut g = GraphStore::new();
+//! let main = g.add_node(NodeType::Function, "main");
+//! let bar = g.add_node(NodeType::Function, "bar");
+//! g.add_edge(main, EdgeType::Calls, bar);
+//! g.freeze();
+//!
+//! let callees: Vec<_> = g.out_neighbors(main, Some(EdgeType::Calls)).collect();
+//! assert_eq!(callees, vec![bar]);
+//! assert_eq!(g.node_prop(bar, PropKey::ShortName).unwrap().as_str(), Some("bar"));
+//! ```
+
+pub mod error;
+pub mod graph;
+pub mod interner;
+pub mod label_index;
+pub mod name_index;
+pub mod pagecache;
+pub mod reify;
+pub mod snapshot;
+pub mod stats;
+
+pub use error::StoreError;
+pub use graph::{EdgeData, GraphStore, NodeData};
+pub use interner::StringInterner;
+pub use name_index::{NameField, NamePattern};
+pub use pagecache::{CacheMode, CacheStats, IoCostModel, PageCache};
+pub use stats::StoreStats;

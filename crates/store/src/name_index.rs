@@ -1,0 +1,530 @@
+//! The name index — the paper's `node_auto_index`.
+//!
+//! Frappé's code-search use case (Section 4.1) "requires an index of symbol
+//! names with wildcard or fuzzy matching support". Neo4j 1.x provided this
+//! through an automatic Lucene index queried with
+//! `node:node_auto_index('short_name: wakeup.elf')`. We implement the same
+//! capability as a sorted term dictionary with postings lists, supporting
+//! exact, prefix, and general wildcard (`*`, `?`) lookup, all
+//! case-insensitive like Lucene's default analyzer.
+
+use crate::graph::GraphStore;
+use crate::pagecache::StoreFile;
+use frappe_model::NodeId;
+
+/// Which indexed field a lookup targets.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NameField {
+    /// The `SHORT_NAME` property (symbol or file name).
+    ShortName,
+    /// The `NAME` property (qualified name or file path).
+    Name,
+}
+
+impl NameField {
+    /// Parses the Lucene-style field name used in `START` clauses.
+    pub fn parse(s: &str) -> Option<NameField> {
+        match s.to_ascii_lowercase().as_str() {
+            "short_name" => Some(NameField::ShortName),
+            "name" => Some(NameField::Name),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed name pattern.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum NamePattern {
+    /// No wildcards: exact (case-insensitive) term match.
+    Exact(String),
+    /// A single trailing `*`: prefix match (fast range scan).
+    Prefix(String),
+    /// General glob with `*` / `?`.
+    Wildcard(String),
+    /// Lucene-style fuzzy match (`term~` / `term~2`): terms within the
+    /// given Levenshtein distance.
+    Fuzzy(String, u8),
+}
+
+impl NamePattern {
+    /// Builds an exact pattern.
+    pub fn exact(s: &str) -> NamePattern {
+        NamePattern::Exact(s.to_ascii_lowercase())
+    }
+
+    /// Parses a pattern string, classifying it by its wildcard structure.
+    /// A trailing `~` (optionally `~1` / `~2`) selects fuzzy matching, like
+    /// Lucene's fuzzy term queries.
+    pub fn parse(s: &str) -> NamePattern {
+        let lower = s.to_ascii_lowercase();
+        if let Some(tilde) = lower.rfind('~') {
+            let (term, dist) = lower.split_at(tilde);
+            let dist = dist[1..].parse::<u8>().unwrap_or(1).min(3);
+            if !term.contains(['*', '?']) {
+                return NamePattern::Fuzzy(term.to_owned(), dist);
+            }
+        }
+        let has_q = lower.contains('?');
+        let star_count = lower.matches('*').count();
+        if !has_q && star_count == 0 {
+            NamePattern::Exact(lower)
+        } else if !has_q && star_count == 1 && lower.ends_with('*') {
+            NamePattern::Prefix(lower[..lower.len() - 1].to_owned())
+        } else {
+            NamePattern::Wildcard(lower)
+        }
+    }
+
+    /// The literal prefix usable to narrow a term-dictionary scan.
+    fn scan_prefix(&self) -> &str {
+        match self {
+            NamePattern::Exact(s) | NamePattern::Prefix(s) => s,
+            NamePattern::Wildcard(s) => {
+                let end = s.find(['*', '?']).unwrap_or(s.len());
+                &s[..end]
+            }
+            // A fuzzy term can differ in its first character: no prefix.
+            NamePattern::Fuzzy(..) => "",
+        }
+    }
+
+    /// Whether `term` (already lower-cased) matches.
+    pub fn matches(&self, term: &str) -> bool {
+        match self {
+            NamePattern::Exact(s) => term == s,
+            NamePattern::Prefix(p) => term.starts_with(p.as_str()),
+            NamePattern::Wildcard(p) => glob_match(p, term),
+            NamePattern::Fuzzy(p, d) => edit_distance_at_most(p, term, *d as usize),
+        }
+    }
+}
+
+/// Banded Levenshtein: is `dist(a, b) ≤ k`? O(len·k) time, O(len) space.
+pub fn edit_distance_at_most(a: &str, b: &str, k: usize) -> bool {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.len().abs_diff(b.len()) > k {
+        return false;
+    }
+    const INF: usize = usize::MAX / 2;
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![INF; b.len() + 1];
+    for i in 1..=a.len() {
+        cur[0] = i;
+        let lo = i.saturating_sub(k).max(1);
+        let hi = (i + k).min(b.len());
+        if lo > 1 {
+            cur[lo - 1] = INF;
+        }
+        let mut row_min = cur[0];
+        for j in lo..=hi {
+            let sub = prev[j - 1] + usize::from(a[i - 1] != b[j - 1]);
+            let del = prev[j] + 1;
+            let ins = cur[j - 1] + 1;
+            cur[j] = sub.min(del).min(ins);
+            row_min = row_min.min(cur[j]);
+        }
+        if hi < b.len() {
+            cur[hi + 1] = INF;
+        }
+        if row_min > k {
+            return false;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()] <= k
+}
+
+/// Iterative glob matching with `*` (any run) and `?` (any one char).
+/// Classic two-pointer algorithm with backtracking to the last `*`.
+pub fn glob_match(pattern: &str, text: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    let (mut pi, mut ti) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None;
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '?' || p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == '*' {
+            star = Some((pi, ti));
+            pi += 1;
+        } else if let Some((sp, st)) = star {
+            pi = sp + 1;
+            ti = st + 1;
+            star = Some((sp, st + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+/// One field's term dictionary: sorted lower-cased terms with postings.
+#[derive(Debug, Default)]
+struct FieldIndex {
+    /// Sorted by term.
+    terms: Vec<(Box<str>, Vec<NodeId>)>,
+    /// Cumulative simulated byte offset of each term entry (for paging).
+    offsets: Vec<u64>,
+}
+
+impl FieldIndex {
+    fn build(entries: impl Iterator<Item = (String, NodeId)>) -> FieldIndex {
+        let mut map: std::collections::HashMap<String, Vec<NodeId>> = Default::default();
+        for (term, id) in entries {
+            map.entry(term).or_default().push(id);
+        }
+        let mut terms: Vec<(Box<str>, Vec<NodeId>)> = map
+            .into_iter()
+            .map(|(t, mut ids)| {
+                ids.sort_unstable();
+                (t.into_boxed_str(), ids)
+            })
+            .collect();
+        terms.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let mut offsets = Vec::with_capacity(terms.len() + 1);
+        let mut off = 0u64;
+        for (t, ids) in &terms {
+            offsets.push(off);
+            off += (t.len() + 16 + ids.len() * 4) as u64;
+        }
+        offsets.push(off);
+        FieldIndex { terms, offsets }
+    }
+
+    fn storage_bytes(&self) -> usize {
+        *self.offsets.last().unwrap_or(&0) as usize
+    }
+
+    /// Index of the first term ≥ `prefix`.
+    fn lower_bound(&self, prefix: &str) -> usize {
+        self.terms.partition_point(|(t, _)| &**t < prefix)
+    }
+}
+
+/// The two-field name index.
+#[derive(Debug)]
+pub struct NameIndex {
+    short_name: FieldIndex,
+    name: FieldIndex,
+}
+
+impl NameIndex {
+    /// Builds the index over all live nodes of `g`.
+    pub fn build(g: &GraphStore) -> NameIndex {
+        let interner = g.interner();
+        let short_entries = g.nodes().map(|id| {
+            (
+                interner.resolve(g.node_short_sym(id)).to_ascii_lowercase(),
+                id,
+            )
+        });
+        let short_name = FieldIndex::build(short_entries);
+        let name_entries = g.nodes().map(|id| {
+            (
+                interner.resolve(g.node_name_sym(id)).to_ascii_lowercase(),
+                id,
+            )
+        });
+        let name = FieldIndex::build(name_entries);
+        NameIndex { short_name, name }
+    }
+
+    fn field(&self, f: NameField) -> &FieldIndex {
+        match f {
+            NameField::ShortName => &self.short_name,
+            NameField::Name => &self.name,
+        }
+    }
+
+    /// Simulated index size in bytes (Table 4 "Indexes" row contribution).
+    pub fn storage_bytes(&self) -> usize {
+        self.short_name.storage_bytes() + self.name.storage_bytes()
+    }
+
+    /// Looks up all nodes whose `field` term matches `pattern`, charging
+    /// page-cache accesses for each term entry visited.
+    pub fn lookup(&self, g: &GraphStore, pattern: &NamePattern, field: NameField) -> Vec<NodeId> {
+        let fi = self.field(field);
+        let prefix = pattern.scan_prefix();
+        let start = fi.lower_bound(prefix);
+        let mut out = Vec::new();
+        for i in start..fi.terms.len() {
+            let (term, ids) = &fi.terms[i];
+            if !term.starts_with(prefix) {
+                break;
+            }
+            g.cache.touch_range(
+                StoreFile::NameIndex,
+                fi.offsets[i],
+                fi.offsets[i + 1] - fi.offsets[i],
+            );
+            if pattern.matches(term) {
+                out.extend_from_slice(ids);
+            }
+            if matches!(pattern, NamePattern::Exact(_)) {
+                break;
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frappe_model::NodeType;
+    use proptest::prelude::*;
+
+    fn sample() -> GraphStore {
+        let mut g = GraphStore::new();
+        for name in ["main", "bar", "baz", "pci_read_bases", "sr_media_change", "Main"] {
+            g.add_node(NodeType::Function, name);
+        }
+        let f = g.add_node(NodeType::File, "wakeup.elf");
+        g.set_node_name(f, "arch/x86/boot/wakeup.elf");
+        g
+    }
+
+    #[test]
+    fn pattern_classification() {
+        assert_eq!(NamePattern::parse("main"), NamePattern::Exact("main".into()));
+        assert_eq!(NamePattern::parse("ba*"), NamePattern::Prefix("ba".into()));
+        assert_eq!(
+            NamePattern::parse("b?r"),
+            NamePattern::Wildcard("b?r".into())
+        );
+        assert_eq!(
+            NamePattern::parse("*_change"),
+            NamePattern::Wildcard("*_change".into())
+        );
+        // Case folded at parse time.
+        assert_eq!(NamePattern::parse("MAIN"), NamePattern::Exact("main".into()));
+    }
+
+    #[test]
+    fn exact_lookup_is_case_insensitive() {
+        let g = {
+            let mut g = sample();
+            g.freeze();
+            g
+        };
+        let hits = g
+            .lookup_name(NameField::ShortName, &NamePattern::parse("main"))
+            .unwrap();
+        // Both `main` and `Main` fold to the same term.
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn prefix_and_wildcard_lookup() {
+        let mut g = sample();
+        g.freeze();
+        let prefix = g
+            .lookup_name(NameField::ShortName, &NamePattern::parse("ba*"))
+            .unwrap();
+        assert_eq!(prefix.len(), 2); // bar, baz
+        let wc = g
+            .lookup_name(NameField::ShortName, &NamePattern::parse("*_read_*"))
+            .unwrap();
+        assert_eq!(wc.len(), 1); // pci_read_bases
+        let q = g
+            .lookup_name(NameField::ShortName, &NamePattern::parse("ba?"))
+            .unwrap();
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn name_field_indexes_full_path() {
+        let mut g = sample();
+        g.freeze();
+        let hits = g
+            .lookup_name(NameField::Name, &NamePattern::parse("arch/*"))
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        // SHORT_NAME still finds the file by its bare name (Figure 3).
+        let hits = g
+            .lookup_name(NameField::ShortName, &NamePattern::parse("wakeup.elf"))
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn field_parse() {
+        assert_eq!(NameField::parse("short_name"), Some(NameField::ShortName));
+        assert_eq!(NameField::parse("NAME"), Some(NameField::Name));
+        assert_eq!(NameField::parse("long_name"), None);
+    }
+
+    #[test]
+    fn glob_matcher_basics() {
+        assert!(glob_match("", ""));
+        assert!(glob_match("*", "anything"));
+        assert!(glob_match("a*b", "ab"));
+        assert!(glob_match("a*b", "axxxb"));
+        assert!(!glob_match("a*b", "axxxc"));
+        assert!(glob_match("?", "x"));
+        assert!(!glob_match("?", ""));
+        assert!(glob_match("*a*a*", "banana"));
+        assert!(!glob_match("*ab", "ba"));
+    }
+
+    #[test]
+    fn deleted_nodes_are_not_indexed() {
+        let mut g = sample();
+        let doomed = g.add_node(NodeType::Function, "doomed");
+        g.delete_node(doomed).unwrap();
+        g.freeze();
+        let hits = g
+            .lookup_name(NameField::ShortName, &NamePattern::parse("doomed"))
+            .unwrap();
+        assert!(hits.is_empty());
+    }
+
+    proptest! {
+        /// Index lookup agrees with a brute-force linear scan for arbitrary
+        /// names and patterns built from a small alphabet.
+        #[test]
+        fn prop_index_matches_linear_scan(
+            names in proptest::collection::vec("[abc]{0,4}", 1..24),
+            pattern in "[abc*?]{0,5}",
+        ) {
+            let mut g = GraphStore::new();
+            let ids: Vec<NodeId> =
+                names.iter().map(|n| g.add_node(NodeType::Function, n)).collect();
+            g.freeze();
+            let pat = NamePattern::parse(&pattern);
+            let mut expected: Vec<NodeId> = ids
+                .iter()
+                .zip(&names)
+                .filter(|(_, n)| pat.matches(&n.to_ascii_lowercase()))
+                .map(|(id, _)| *id)
+                .collect();
+            expected.sort_unstable();
+            expected.dedup();
+            let got = g.lookup_name(NameField::ShortName, &pat).unwrap();
+            prop_assert_eq!(got, expected);
+        }
+
+        /// The glob matcher agrees with a simple recursive reference
+        /// implementation.
+        #[test]
+        fn prop_glob_matches_reference(
+            pattern in "[ab*?]{0,6}",
+            text in "[ab]{0,6}",
+        ) {
+            fn reference(p: &[char], t: &[char]) -> bool {
+                match (p.first(), t.first()) {
+                    (None, None) => true,
+                    (Some('*'), _) => {
+                        reference(&p[1..], t)
+                            || (!t.is_empty() && reference(p, &t[1..]))
+                    }
+                    (Some('?'), Some(_)) => reference(&p[1..], &t[1..]),
+                    (Some(c), Some(d)) if c == d => reference(&p[1..], &t[1..]),
+                    _ => false,
+                }
+            }
+            let p: Vec<char> = pattern.chars().collect();
+            let t: Vec<char> = text.chars().collect();
+            prop_assert_eq!(glob_match(&pattern, &text), reference(&p, &t));
+        }
+    }
+}
+
+#[cfg(test)]
+mod fuzzy_tests {
+    use super::*;
+    use frappe_model::NodeType;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fuzzy_pattern_parses() {
+        assert_eq!(
+            NamePattern::parse("pci_read~"),
+            NamePattern::Fuzzy("pci_read".into(), 1)
+        );
+        assert_eq!(
+            NamePattern::parse("PCI~2"),
+            NamePattern::Fuzzy("pci".into(), 2)
+        );
+        // Fuzzy caps at distance 3; wildcards disable fuzziness.
+        assert_eq!(
+            NamePattern::parse("x~9"),
+            NamePattern::Fuzzy("x".into(), 3)
+        );
+        assert!(matches!(NamePattern::parse("a*b~"), NamePattern::Wildcard(_)));
+    }
+
+    #[test]
+    fn fuzzy_lookup_finds_typos() {
+        let mut g = GraphStore::new();
+        let target = g.add_node(NodeType::Function, "sr_media_change");
+        g.add_node(NodeType::Function, "sr_media_charge"); // distance 1
+        g.add_node(NodeType::Function, "unrelated");
+        g.freeze();
+        // The developer typo'd the query ("sr_media_chnge").
+        let hits = g
+            .lookup_name(NameField::ShortName, &NamePattern::parse("sr_media_chnge~"))
+            .unwrap();
+        assert!(hits.contains(&target));
+        assert_eq!(hits.len(), 1); // "charge" is distance 2 from the typo
+        let hits2 = g
+            .lookup_name(NameField::ShortName, &NamePattern::parse("sr_media_chnge~2"))
+            .unwrap();
+        assert_eq!(hits2.len(), 2);
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert!(edit_distance_at_most("abc", "abc", 0));
+        assert!(edit_distance_at_most("abc", "abd", 1));
+        assert!(!edit_distance_at_most("abc", "abd", 0));
+        assert!(edit_distance_at_most("abc", "ab", 1));
+        assert!(edit_distance_at_most("abc", "xabc", 1));
+        assert!(!edit_distance_at_most("abc", "xyz", 2));
+        assert!(edit_distance_at_most("", "ab", 2));
+        assert!(!edit_distance_at_most("", "ab", 1));
+    }
+
+    fn levenshtein_reference(a: &[char], b: &[char]) -> usize {
+        let mut dp = vec![vec![0usize; b.len() + 1]; a.len() + 1];
+        for i in 0..=a.len() {
+            dp[i][0] = i;
+        }
+        for j in 0..=b.len() {
+            dp[0][j] = j;
+        }
+        for i in 1..=a.len() {
+            for j in 1..=b.len() {
+                dp[i][j] = (dp[i - 1][j - 1] + usize::from(a[i - 1] != b[j - 1]))
+                    .min(dp[i - 1][j] + 1)
+                    .min(dp[i][j - 1] + 1);
+            }
+        }
+        dp[a.len()][b.len()]
+    }
+
+    proptest! {
+        /// The banded check agrees with full Levenshtein for all k in 0..4.
+        #[test]
+        fn prop_banded_matches_reference(a in "[ab]{0,8}", b in "[ab]{0,8}") {
+            let av: Vec<char> = a.chars().collect();
+            let bv: Vec<char> = b.chars().collect();
+            let d = levenshtein_reference(&av, &bv);
+            for k in 0..4usize {
+                prop_assert_eq!(
+                    edit_distance_at_most(&a, &b, k),
+                    d <= k,
+                    "a={} b={} k={} d={}", a, b, k, d
+                );
+            }
+        }
+    }
+}

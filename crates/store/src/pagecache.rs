@@ -1,0 +1,496 @@
+//! Buffer-cache simulation.
+//!
+//! The two timing columns of the paper's Table 5 ("cold" vs "warm") are an
+//! operating-system page-cache effect: the first run of a query faults the
+//! touched store pages in from disk, later runs hit RAM. We reproduce that
+//! effect deterministically: every record access in the store is routed
+//! through a [`PageCache`] that maps byte offsets to 8 KiB pages, tracks
+//! which pages are resident, counts faults and hits, and charges a
+//! configurable simulated I/O cost per fault.
+//!
+//! Two ways to consume the cost:
+//!
+//! * **Accounting** (default): read [`CacheStats::simulated_io`] after a
+//!   query and report `wall + simulated_io` as the cold time. This is what
+//!   the benches and EXPERIMENTS.md use — deterministic and fast.
+//! * **Real delay** ([`IoCostModel::realize`]): busy-wait the cost on every
+//!   fault, so wall-clock itself shows the cold/warm gap.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Simulated page size. Matches Neo4j's 8 KiB store pages.
+pub const PAGE_SIZE: u64 = 8192;
+
+/// The distinct store "files" whose pages are cached independently,
+/// mirroring Neo4j's `neostore.nodestore.db`, `neostore.relationshipstore.db`,
+/// property store, and index files.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(usize)]
+pub enum StoreFile {
+    /// Fixed-width node records.
+    NodeRecords = 0,
+    /// Fixed-width relationship records.
+    EdgeRecords = 1,
+    /// Node property chains.
+    NodeProps = 2,
+    /// Edge property chains.
+    EdgeProps = 3,
+    /// The name index (the paper's Lucene `node_auto_index`).
+    NameIndex = 4,
+    /// Dynamic store for long strings / arrays.
+    DynamicStore = 5,
+}
+
+/// Number of store files.
+pub const STORE_FILES: usize = 6;
+
+/// Cache behaviour mode.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CacheMode {
+    /// No accounting at all (build phase / when timings are irrelevant).
+    #[default]
+    Off,
+    /// Accounting enabled. Use [`PageCache::make_cold`] / `warm_up` to set
+    /// the starting residency.
+    Tracked,
+}
+
+/// Cost model for a page fault.
+#[derive(Clone, Copy, Debug)]
+pub struct IoCostModel {
+    /// Simulated time to fault one 8 KiB page in from storage.
+    ///
+    /// Default 100 µs — a conservative random-read figure for the 2014-era
+    /// server storage the paper's numbers were collected on.
+    pub fault_cost: Duration,
+    /// If `true`, each fault also busy-waits `fault_cost` so the effect is
+    /// visible in raw wall-clock measurements.
+    pub realize: bool,
+}
+
+impl Default for IoCostModel {
+    fn default() -> Self {
+        IoCostModel {
+            fault_cost: Duration::from_micros(100),
+            realize: false,
+        }
+    }
+}
+
+/// Fault/hit counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Pages faulted in since the last reset.
+    pub faults: u64,
+    /// Page accesses that hit a resident page.
+    pub hits: u64,
+    /// Total simulated I/O time (`faults × fault_cost`).
+    pub simulated_io: Duration,
+}
+
+/// Per-file page residency bitmaps with atomic fault accounting.
+///
+/// Reads take `&self`; residency bits and counters are atomics, so concurrent
+/// readers need no lock.
+///
+/// An optional **capacity** bounds total resident pages (the "store bigger
+/// than RAM" regime): when a fault would exceed it, a clock hand sweeps the
+/// bitmaps and evicts one resident page. With no capacity set the cache
+/// only ever grows (the paper's setup — the 800 MB store fit in the 128 GB
+/// server, so warm meant fully resident).
+#[derive(Debug)]
+pub struct PageCache {
+    mode: CacheMode,
+    cost: IoCostModel,
+    /// One bitmap per store file; bit = page resident.
+    resident: [Vec<AtomicU64>; STORE_FILES],
+    faults: AtomicU64,
+    hits: AtomicU64,
+    /// Registered page count per file (to mask tail bits on warm-up).
+    pages: [u64; STORE_FILES],
+    /// Max resident pages (0 = unbounded).
+    capacity_pages: u64,
+    resident_count: AtomicU64,
+    /// Clock hand for eviction: packed (file_index, word_index).
+    clock: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PageCache {
+    /// Creates a cache in [`CacheMode::Off`] with no registered files.
+    pub fn new() -> PageCache {
+        PageCache {
+            mode: CacheMode::Off,
+            cost: IoCostModel::default(),
+            resident: Default::default(),
+            faults: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            pages: [0; STORE_FILES],
+            capacity_pages: 0,
+            resident_count: AtomicU64::new(0),
+            clock: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Bounds the cache to `pages` resident pages (0 = unbounded). Evicts
+    /// immediately if already above the bound.
+    pub fn set_capacity_pages(&mut self, pages: u64) {
+        self.capacity_pages = pages;
+        if pages > 0 {
+            while self.resident_count.load(Ordering::Relaxed) > pages {
+                if !self.evict_one() {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Configured capacity (0 = unbounded).
+    pub fn capacity_pages(&self) -> u64 {
+        self.capacity_pages
+    }
+
+    /// Sweeps the clock hand to the next resident page and evicts it.
+    /// Returns false when nothing is resident.
+    fn evict_one(&self) -> bool {
+        let total_words: usize = self.resident.iter().map(Vec::len).sum();
+        if total_words == 0 {
+            return false;
+        }
+        for _ in 0..total_words + 1 {
+            let pos = self.clock.fetch_add(1, Ordering::Relaxed) as usize % total_words;
+            // Map the linear position back to (file, word).
+            let mut idx = pos;
+            for bitmap in &self.resident {
+                if idx < bitmap.len() {
+                    let word = bitmap[idx].load(Ordering::Relaxed);
+                    if word != 0 {
+                        let bit = word.trailing_zeros();
+                        let prev = bitmap[idx].fetch_and(!(1u64 << bit), Ordering::Relaxed);
+                        if prev & (1u64 << bit) != 0 {
+                            self.resident_count.fetch_sub(1, Ordering::Relaxed);
+                            self.evictions.fetch_add(1, Ordering::Relaxed);
+                            return true;
+                        }
+                    }
+                    break;
+                }
+                idx -= bitmap.len();
+            }
+        }
+        false
+    }
+
+    /// Pages evicted since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Sets the cache mode.
+    pub fn set_mode(&mut self, mode: CacheMode) {
+        self.mode = mode;
+    }
+
+    /// Current mode.
+    pub fn mode(&self) -> CacheMode {
+        self.mode
+    }
+
+    /// Sets the I/O cost model.
+    pub fn set_cost_model(&mut self, cost: IoCostModel) {
+        self.cost = cost;
+    }
+
+    /// Current cost model.
+    pub fn cost_model(&self) -> IoCostModel {
+        self.cost
+    }
+
+    /// (Re)registers a store file of `bytes` length. All pages start
+    /// non-resident (cold).
+    pub fn register_file(&mut self, file: StoreFile, bytes: u64) {
+        let pages = bytes.div_ceil(PAGE_SIZE).max(1);
+        let words = usize::try_from(pages.div_ceil(64)).expect("page table too large");
+        let mut bitmap = Vec::with_capacity(words);
+        bitmap.resize_with(words, || AtomicU64::new(0));
+        self.resident[file as usize] = bitmap;
+        self.pages[file as usize] = pages;
+    }
+
+    /// Touches the page containing `offset` in `file`, recording a hit or a
+    /// fault. Returns `true` if the access faulted.
+    #[inline]
+    pub fn touch(&self, file: StoreFile, offset: u64) -> bool {
+        if self.mode == CacheMode::Off {
+            return false;
+        }
+        let page = offset / PAGE_SIZE;
+        let bitmap = &self.resident[file as usize];
+        if bitmap.is_empty() {
+            return false;
+        }
+        let word = (page / 64) as usize % bitmap.len();
+        let bit = 1u64 << (page % 64);
+        let prev = bitmap[word].fetch_or(bit, Ordering::Relaxed);
+        if prev & bit == 0 {
+            self.faults.fetch_add(1, Ordering::Relaxed);
+            let count = self.resident_count.fetch_add(1, Ordering::Relaxed) + 1;
+            if self.capacity_pages > 0 && count > self.capacity_pages {
+                self.evict_one();
+            }
+            if self.cost.realize {
+                let start = std::time::Instant::now();
+                while start.elapsed() < self.cost.fault_cost {
+                    std::hint::spin_loop();
+                }
+            }
+            true
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    }
+
+    /// Touches every page of the `len` bytes starting at `offset`.
+    pub fn touch_range(&self, file: StoreFile, offset: u64, len: u64) {
+        if self.mode == CacheMode::Off || len == 0 {
+            return;
+        }
+        let first = offset / PAGE_SIZE;
+        let last = (offset + len - 1) / PAGE_SIZE;
+        for page in first..=last {
+            self.touch(file, page * PAGE_SIZE);
+        }
+    }
+
+    /// Evicts everything: the next run is a cold run.
+    pub fn make_cold(&self) {
+        for bitmap in &self.resident {
+            for w in bitmap {
+                w.store(0, Ordering::Relaxed);
+            }
+        }
+        self.resident_count.store(0, Ordering::Relaxed);
+    }
+
+    /// Marks every registered page resident (up to the capacity bound, if
+    /// one is set): the next run is a warm run.
+    pub fn warm_up(&self) {
+        for (fi, bitmap) in self.resident.iter().enumerate() {
+            let pages = self.pages[fi];
+            for (wi, w) in bitmap.iter().enumerate() {
+                // Mask off bits beyond the file's real page count.
+                let remaining = pages.saturating_sub(wi as u64 * 64);
+                let mask = if remaining >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << remaining) - 1
+                };
+                w.store(mask, Ordering::Relaxed);
+            }
+        }
+        let total: u64 = self
+            .resident
+            .iter()
+            .flat_map(|b| b.iter())
+            .map(|w| u64::from(w.load(Ordering::Relaxed).count_ones()))
+            .sum();
+        self.resident_count.store(total, Ordering::Relaxed);
+        if self.capacity_pages > 0 {
+            while self.resident_count.load(Ordering::Relaxed) > self.capacity_pages {
+                if !self.evict_one() {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Resets the fault/hit counters (residency is untouched).
+    pub fn reset_stats(&self) {
+        self.faults.store(0, Ordering::Relaxed);
+        self.hits.store(0, Ordering::Relaxed);
+    }
+
+    /// Reads the counters.
+    pub fn stats(&self) -> CacheStats {
+        let faults = self.faults.load(Ordering::Relaxed);
+        CacheStats {
+            faults,
+            hits: self.hits.load(Ordering::Relaxed),
+            simulated_io: self.cost.fault_cost.saturating_mul(
+                u32::try_from(faults.min(u64::from(u32::MAX))).unwrap_or(u32::MAX),
+            ),
+        }
+    }
+
+    /// Number of currently resident pages across all files.
+    pub fn resident_pages(&self) -> u64 {
+        self.resident
+            .iter()
+            .flat_map(|b| b.iter())
+            .map(|w| u64::from(w.load(Ordering::Relaxed).count_ones()))
+            .sum()
+    }
+}
+
+impl Default for PageCache {
+    fn default() -> Self {
+        PageCache::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracked_cache(bytes: u64) -> PageCache {
+        let mut c = PageCache::new();
+        c.register_file(StoreFile::NodeRecords, bytes);
+        c.set_mode(CacheMode::Tracked);
+        c
+    }
+
+    #[test]
+    fn off_mode_records_nothing() {
+        let mut c = PageCache::new();
+        c.register_file(StoreFile::NodeRecords, PAGE_SIZE * 4);
+        assert!(!c.touch(StoreFile::NodeRecords, 0));
+        assert_eq!(c.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn first_touch_faults_second_hits() {
+        let c = tracked_cache(PAGE_SIZE * 4);
+        assert!(c.touch(StoreFile::NodeRecords, 0));
+        assert!(!c.touch(StoreFile::NodeRecords, 1));
+        assert!(!c.touch(StoreFile::NodeRecords, PAGE_SIZE - 1));
+        assert!(c.touch(StoreFile::NodeRecords, PAGE_SIZE));
+        let s = c.stats();
+        assert_eq!(s.faults, 2);
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.simulated_io, Duration::from_micros(200));
+    }
+
+    #[test]
+    fn make_cold_evicts() {
+        let c = tracked_cache(PAGE_SIZE * 2);
+        c.touch(StoreFile::NodeRecords, 0);
+        assert_eq!(c.resident_pages(), 1);
+        c.make_cold();
+        assert_eq!(c.resident_pages(), 0);
+        assert!(c.touch(StoreFile::NodeRecords, 0));
+    }
+
+    #[test]
+    fn warm_up_prefaults_everything() {
+        let c = tracked_cache(PAGE_SIZE * 8);
+        c.warm_up();
+        c.reset_stats();
+        for p in 0..8 {
+            assert!(!c.touch(StoreFile::NodeRecords, p * PAGE_SIZE));
+        }
+        assert_eq!(c.stats().faults, 0);
+        assert_eq!(c.stats().hits, 8);
+    }
+
+    #[test]
+    fn touch_range_covers_all_pages() {
+        let c = tracked_cache(PAGE_SIZE * 8);
+        c.touch_range(StoreFile::NodeRecords, PAGE_SIZE / 2, PAGE_SIZE * 2);
+        // Spans pages 0, 1, 2.
+        assert_eq!(c.stats().faults, 3);
+    }
+
+    #[test]
+    fn unregistered_file_is_ignored() {
+        let mut c = PageCache::new();
+        c.set_mode(CacheMode::Tracked);
+        assert!(!c.touch(StoreFile::EdgeRecords, 0));
+        assert_eq!(c.stats().faults, 0);
+    }
+
+    #[test]
+    fn realized_cost_delays() {
+        let mut c = PageCache::new();
+        c.register_file(StoreFile::NodeRecords, PAGE_SIZE * 4);
+        c.set_mode(CacheMode::Tracked);
+        c.set_cost_model(IoCostModel {
+            fault_cost: Duration::from_millis(2),
+            realize: true,
+        });
+        let t = std::time::Instant::now();
+        c.touch(StoreFile::NodeRecords, 0);
+        assert!(t.elapsed() >= Duration::from_millis(2));
+    }
+}
+
+#[cfg(test)]
+mod capacity_tests {
+    use super::*;
+
+    #[test]
+    fn bounded_cache_evicts_at_capacity() {
+        let mut c = PageCache::new();
+        c.register_file(StoreFile::NodeRecords, PAGE_SIZE * 64);
+        c.set_mode(CacheMode::Tracked);
+        c.set_capacity_pages(4);
+        for p in 0..16u64 {
+            c.touch(StoreFile::NodeRecords, p * PAGE_SIZE);
+        }
+        assert!(c.resident_pages() <= 4, "resident = {}", c.resident_pages());
+        assert_eq!(c.stats().faults, 16);
+        assert!(c.evictions() >= 12);
+    }
+
+    #[test]
+    fn bounded_cache_rethrashes_on_repeat_scan() {
+        // Working set (8 pages) larger than capacity (4): a repeated scan
+        // keeps faulting — the thrash regime.
+        let mut c = PageCache::new();
+        c.register_file(StoreFile::NodeRecords, PAGE_SIZE * 8);
+        c.set_mode(CacheMode::Tracked);
+        c.set_capacity_pages(4);
+        for _round in 0..3 {
+            for p in 0..8u64 {
+                c.touch(StoreFile::NodeRecords, p * PAGE_SIZE);
+            }
+        }
+        let s = c.stats();
+        assert!(s.faults > 12, "faults = {}", s.faults);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let mut c = PageCache::new();
+        c.register_file(StoreFile::NodeRecords, PAGE_SIZE * 64);
+        c.set_mode(CacheMode::Tracked);
+        for p in 0..64u64 {
+            c.touch(StoreFile::NodeRecords, p * PAGE_SIZE);
+        }
+        assert_eq!(c.resident_pages(), 64);
+        assert_eq!(c.evictions(), 0);
+    }
+
+    #[test]
+    fn warm_up_respects_capacity() {
+        let mut c = PageCache::new();
+        c.register_file(StoreFile::NodeRecords, PAGE_SIZE * 64);
+        c.set_mode(CacheMode::Tracked);
+        c.set_capacity_pages(10);
+        c.warm_up();
+        assert!(c.resident_pages() <= 10);
+    }
+
+    #[test]
+    fn set_capacity_below_current_residency_evicts() {
+        let mut c = PageCache::new();
+        c.register_file(StoreFile::NodeRecords, PAGE_SIZE * 32);
+        c.set_mode(CacheMode::Tracked);
+        c.warm_up();
+        assert_eq!(c.resident_pages(), 32);
+        c.set_capacity_pages(8);
+        assert!(c.resident_pages() <= 8);
+    }
+}

@@ -1,0 +1,206 @@
+//! Reference reification — the Section 6.2 hyper-edge workaround.
+//!
+//! The paper: *"One workaround for a lack of hyper edge support is to
+//! instead model references as nodes. For example, `foo -[:calls]-> bar`,
+//! where an edge property associates the containing file, would become
+//! `foo -[:calls]-> callsite -[:calls]-> bar` and
+//! `file -[:contains]-> callsite`."*
+//!
+//! [`reify_references`] applies exactly that transform to a store, producing
+//! a new store where every reference edge that carries a `USE_*` range is
+//! split through a [`NodeType::CallSite`] node linked to its containing file
+//! node. Optionally the original direct edge is kept as a *shortcut* (the
+//! paper's "possible solution ... adding the original edge as a shortcut as
+//! well"). The `ablation_reify` bench compares query cost on both models.
+
+use crate::graph::GraphStore;
+use frappe_model::{EdgeType, FileId, NodeId, NodeType};
+use std::collections::HashMap;
+
+/// Options for the reification transform.
+#[derive(Clone, Copy, Debug)]
+pub struct ReifyOptions {
+    /// Keep the original direct edge alongside the reified path.
+    pub keep_shortcut_edges: bool,
+}
+
+impl Default for ReifyOptions {
+    fn default() -> Self {
+        ReifyOptions {
+            keep_shortcut_edges: false,
+        }
+    }
+}
+
+/// Statistics from a reification run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReifyReport {
+    /// Reference edges that were split through a call-site node.
+    pub reified: usize,
+    /// Edges copied through unchanged (structural edges, or references
+    /// without a use range).
+    pub copied: usize,
+    /// `contains` edges added from file nodes to call sites.
+    pub contains_added: usize,
+}
+
+/// Rewrites `g` into a new store where references are call-site nodes.
+///
+/// `file_nodes` maps the `FileId`s appearing in `USE_*` ranges to the file
+/// nodes of the graph; references in files without a node get a call site
+/// but no `contains` edge. Node ids of the original graph are preserved
+/// (call sites are appended after them).
+pub fn reify_references(
+    g: &GraphStore,
+    file_nodes: &HashMap<FileId, NodeId>,
+    options: ReifyOptions,
+) -> (GraphStore, ReifyReport) {
+    let mut out = GraphStore::new();
+    let mut report = ReifyReport::default();
+
+    // Copy nodes, preserving ids (including tombstones as placeholders).
+    for idx in 0..g.node_capacity() {
+        let id = NodeId::from_index(idx);
+        if g.node_exists(id) {
+            let ty = g.node_type(id);
+            let new_id = out.add_node(ty, g.node_short_name(id));
+            debug_assert_eq!(new_id, id);
+            let name = g.node_name(id).to_owned();
+            if name != g.node_short_name(id) {
+                out.set_node_name(id, &name);
+            }
+            if let Some(long) = g.node_prop(id, frappe_model::PropKey::LongName) {
+                if let Some(s) = long.as_str() {
+                    out.set_node_long_name(id, s);
+                }
+            }
+        } else {
+            let placeholder = out.add_node(NodeType::Local, "");
+            out.delete_node(placeholder).expect("fresh placeholder");
+        }
+    }
+
+    for e in g.edges() {
+        let ty = g.edge_type(e);
+        let (src, dst) = (g.edge_src(e), g.edge_dst(e));
+        let use_range = g.edge_use_range(e);
+        if ty.is_reference() && use_range.is_some() {
+            let range = use_range.expect("checked above");
+            let site = out.add_node(NodeType::CallSite, ty.name());
+            let first = out.add_edge(src, ty, site);
+            let second = out.add_edge(site, ty, dst);
+            out.set_edge_use_range(first, range);
+            out.set_edge_use_range(second, range);
+            if let Some(name_range) = g.edge_name_range(e) {
+                out.set_edge_name_range(first, name_range);
+                out.set_edge_name_range(second, name_range);
+            }
+            if let Some(file_node) = file_nodes.get(&range.file) {
+                out.add_edge(*file_node, EdgeType::Contains, site);
+                report.contains_added += 1;
+            }
+            report.reified += 1;
+            if options.keep_shortcut_edges {
+                out.add_edge(src, ty, dst);
+            }
+        } else {
+            let copied = out.add_edge(src, ty, dst);
+            if let Some(r) = use_range {
+                out.set_edge_use_range(copied, r);
+            }
+            if let Some(r) = g.edge_name_range(e) {
+                out.set_edge_name_range(copied, r);
+            }
+            report.copied += 1;
+        }
+    }
+    (out, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frappe_model::SrcRange;
+
+    fn sample() -> (GraphStore, NodeId, NodeId, NodeId, HashMap<FileId, NodeId>) {
+        let mut g = GraphStore::new();
+        let file = g.add_node(NodeType::File, "main.c");
+        let main = g.add_node(NodeType::Function, "main");
+        let bar = g.add_node(NodeType::Function, "bar");
+        g.add_edge(file, EdgeType::FileContains, main);
+        let call = g.add_edge(main, EdgeType::Calls, bar);
+        g.set_edge_use_range(call, SrcRange::new(FileId(0), 5, 3, 5, 12));
+        let files = HashMap::from([(FileId(0), file)]);
+        (g, file, main, bar, files)
+    }
+
+    #[test]
+    fn reference_edges_become_callsite_paths() {
+        let (g, file, main, bar, files) = sample();
+        let (r, report) = reify_references(&g, &files, ReifyOptions::default());
+        assert_eq!(report.reified, 1);
+        assert_eq!(report.copied, 1); // the structural file_contains edge
+        assert_eq!(report.contains_added, 1);
+        // main -[:calls]-> site -[:calls]-> bar
+        let site = r
+            .out_neighbors(main, Some(EdgeType::Calls))
+            .next()
+            .expect("call site");
+        assert_eq!(r.node_type(site), NodeType::CallSite);
+        let target: Vec<NodeId> = r.out_neighbors(site, Some(EdgeType::Calls)).collect();
+        assert_eq!(target, vec![bar]);
+        // file -[:contains]-> site
+        let contained: Vec<NodeId> = r.out_neighbors(file, Some(EdgeType::Contains)).collect();
+        assert_eq!(contained, vec![site]);
+    }
+
+    #[test]
+    fn shortcut_edges_preserve_direct_reachability() {
+        let (g, _, main, bar, files) = sample();
+        let (r, _) = reify_references(
+            &g,
+            &files,
+            ReifyOptions {
+                keep_shortcut_edges: true,
+            },
+        );
+        // Both the 2-hop reified path and the direct shortcut exist.
+        let direct: Vec<NodeId> = r
+            .out_neighbors(main, Some(EdgeType::Calls))
+            .filter(|n| *n == bar)
+            .collect();
+        assert_eq!(direct, vec![bar]);
+    }
+
+    #[test]
+    fn node_ids_are_preserved() {
+        let (g, file, main, bar, files) = sample();
+        let (r, _) = reify_references(&g, &files, ReifyOptions::default());
+        assert_eq!(r.node_short_name(file), "main.c");
+        assert_eq!(r.node_short_name(main), "main");
+        assert_eq!(r.node_short_name(bar), "bar");
+    }
+
+    #[test]
+    fn references_without_range_are_copied_not_reified() {
+        let mut g = GraphStore::new();
+        let a = g.add_node(NodeType::Function, "a");
+        let b = g.add_node(NodeType::Function, "b");
+        g.add_edge(a, EdgeType::Calls, b); // no use range
+        let (r, report) = reify_references(&g, &HashMap::new(), ReifyOptions::default());
+        assert_eq!(report.reified, 0);
+        assert_eq!(report.copied, 1);
+        let direct: Vec<NodeId> = r.out_neighbors(a, Some(EdgeType::Calls)).collect();
+        assert_eq!(direct, vec![b]);
+    }
+
+    #[test]
+    fn deleted_nodes_keep_placeholder_slots() {
+        let (mut g, _, main, _, files) = sample();
+        let doomed = g.add_node(NodeType::Global, "gone");
+        g.delete_node(doomed).unwrap();
+        let (r, _) = reify_references(&g, &files, ReifyOptions::default());
+        assert!(!r.node_exists(doomed));
+        assert_eq!(r.node_short_name(main), "main");
+    }
+}

@@ -1,0 +1,490 @@
+//! Binary snapshot persistence.
+//!
+//! Section 6.3 discusses shipping "the graph data store Frappé generates
+//! within the version control system alongside the source code". That
+//! requires a compact, deterministic on-disk format. This module implements
+//! a hand-rolled little-endian binary codec (no external format crates):
+//! `encode` serializes the complete logical store — including tombstones, so
+//! node/edge ids are stable across a round trip, which the temporal store
+//! depends on — and `decode` rebuilds it.
+//!
+//! Format (version 1):
+//!
+//! ```text
+//! magic "FRAP" | version u32 | frozen u8
+//! interner:  count u32, then per string: len u32 + utf8 bytes
+//! nodes:     count u32, then per node: ty u8, labels u8, flags u8,
+//!            short u32, [name u32], [long u32], [propmap]
+//! edges:     count u32, then per edge: ty u8, flags u8, src u32, dst u32,
+//!            [use_range 5×u32], [name_range 5×u32], [propmap]
+//! propmap:   count u16, then per entry: key u8, tag u8, payload
+//! ```
+
+use crate::error::StoreError;
+use crate::graph::GraphStore;
+use crate::interner::Sym;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use frappe_model::{
+    EdgeType, FileId, LabelSet, NodeId, NodeType, PropKey, PropMap, PropValue, SrcRange,
+};
+
+const MAGIC: &[u8; 4] = b"FRAP";
+const VERSION: u32 = 1;
+
+// Node/edge flag bits.
+const F_DELETED: u8 = 1;
+const F_NAME: u8 = 2;
+const F_LONG: u8 = 4;
+const F_EXTRA: u8 = 8;
+const F_USE_RANGE: u8 = 2;
+const F_NAME_RANGE: u8 = 4;
+
+/// Serializes the store to bytes.
+pub fn encode(g: &GraphStore) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + g.nodes.len() * 24 + g.edges.len() * 24);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u8(u8::from(g.frozen));
+
+    buf.put_u32_le(g.interner.len() as u32);
+    for (_, s) in g.interner.iter() {
+        buf.put_u32_le(s.len() as u32);
+        buf.put_slice(s.as_bytes());
+    }
+
+    buf.put_u32_le(g.nodes.len() as u32);
+    for n in &g.nodes {
+        buf.put_u8(n.ty as u8);
+        buf.put_u8(n.labels.0);
+        let mut flags = 0u8;
+        flags |= if n.deleted { F_DELETED } else { 0 };
+        flags |= if n.name.is_some() { F_NAME } else { 0 };
+        flags |= if n.long_name.is_some() { F_LONG } else { 0 };
+        flags |= if n.extra.is_some() { F_EXTRA } else { 0 };
+        buf.put_u8(flags);
+        buf.put_u32_le(n.short_name.0);
+        if let Some(s) = n.name {
+            buf.put_u32_le(s.0);
+        }
+        if let Some(s) = n.long_name {
+            buf.put_u32_le(s.0);
+        }
+        if let Some(m) = n.extra.as_deref() {
+            encode_propmap(&mut buf, m);
+        }
+    }
+
+    buf.put_u32_le(g.edges.len() as u32);
+    for e in &g.edges {
+        buf.put_u8(e.ty as u8);
+        let mut flags = 0u8;
+        flags |= if e.deleted { F_DELETED } else { 0 };
+        flags |= if e.use_range.is_some() { F_USE_RANGE } else { 0 };
+        flags |= if e.name_range.is_some() { F_NAME_RANGE } else { 0 };
+        flags |= if e.extra.is_some() { F_EXTRA } else { 0 };
+        buf.put_u8(flags);
+        buf.put_u32_le(e.src);
+        buf.put_u32_le(e.dst);
+        if let Some(r) = e.use_range {
+            encode_range(&mut buf, r);
+        }
+        if let Some(r) = e.name_range {
+            encode_range(&mut buf, r);
+        }
+        if let Some(m) = e.extra.as_deref() {
+            encode_propmap(&mut buf, m);
+        }
+    }
+    buf.freeze()
+}
+
+fn encode_range(buf: &mut BytesMut, r: SrcRange) {
+    buf.put_u32_le(r.file.0);
+    buf.put_u32_le(r.start.line);
+    buf.put_u32_le(r.start.col);
+    buf.put_u32_le(r.end.line);
+    buf.put_u32_le(r.end.col);
+}
+
+fn encode_propmap(buf: &mut BytesMut, m: &PropMap) {
+    buf.put_u16_le(m.len() as u16);
+    for (k, v) in m.iter() {
+        buf.put_u8(k as u8);
+        match v {
+            PropValue::Int(i) => {
+                buf.put_u8(0);
+                buf.put_i64_le(*i);
+            }
+            PropValue::Str(s) => {
+                buf.put_u8(1);
+                buf.put_u32_le(s.len() as u32);
+                buf.put_slice(s.as_bytes());
+            }
+            PropValue::Bool(b) => {
+                buf.put_u8(2);
+                buf.put_u8(u8::from(*b));
+            }
+            PropValue::IntList(v) => {
+                buf.put_u8(3);
+                buf.put_u32_le(v.len() as u32);
+                for i in v {
+                    buf.put_i64_le(*i);
+                }
+            }
+        }
+    }
+}
+
+/// Deserializes a store from bytes. If the snapshot was frozen, the decoded
+/// store is re-frozen (indexes rebuilt).
+pub fn decode(mut data: &[u8]) -> Result<GraphStore, StoreError> {
+    let corrupt = |msg: &str| StoreError::CorruptSnapshot(msg.to_owned());
+    if data.remaining() < 9 {
+        return Err(corrupt("truncated header"));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let version = data.get_u32_le();
+    if version != VERSION {
+        return Err(corrupt("unsupported version"));
+    }
+    let frozen = data.get_u8() != 0;
+
+    let mut g = GraphStore::new();
+
+    // Interner: rebuild in order so Sym values are identical.
+    let nstrings = read_u32(&mut data)? as usize;
+    for _ in 0..nstrings {
+        let s = read_string(&mut data)?;
+        g.interner.intern(&s);
+    }
+    let check_sym = |sym: u32, g: &GraphStore| -> Result<Sym, StoreError> {
+        if (sym as usize) < g.interner.len() {
+            Ok(Sym(sym))
+        } else {
+            Err(StoreError::CorruptSnapshot("dangling string ref".into()))
+        }
+    };
+
+    let nnodes = read_u32(&mut data)? as usize;
+    for _ in 0..nnodes {
+        if data.remaining() < 7 {
+            return Err(corrupt("truncated node"));
+        }
+        let ty = NodeType::from_u8(data.get_u8()).ok_or_else(|| corrupt("bad node type"))?;
+        let labels = LabelSet(data.get_u8());
+        let flags = data.get_u8();
+        let short = check_sym(data.get_u32_le(), &g)?;
+        let name = if flags & F_NAME != 0 {
+            Some(check_sym(read_u32(&mut data)?, &g)?)
+        } else {
+            None
+        };
+        let long_name = if flags & F_LONG != 0 {
+            Some(check_sym(read_u32(&mut data)?, &g)?)
+        } else {
+            None
+        };
+        let extra = if flags & F_EXTRA != 0 {
+            Some(Box::new(decode_propmap(&mut data)?))
+        } else {
+            None
+        };
+        // Push the record directly (instead of add_node) so the interner is
+        // not touched — Sym values must stay byte-identical for
+        // encode∘decode to be the identity.
+        let id = NodeId::from_index(g.nodes.len());
+        g.nodes.push(crate::graph::NodeData {
+            ty,
+            labels,
+            short_name: short,
+            name,
+            long_name,
+            first_out: u32::MAX,
+            first_in: u32::MAX,
+            out_degree: 0,
+            in_degree: 0,
+            extra,
+            deleted: false,
+        });
+        g.live_nodes += 1;
+        if flags & F_DELETED != 0 {
+            g.delete_node(id).map_err(|_| corrupt("bad tombstone"))?;
+        }
+    }
+
+    let nedges = read_u32(&mut data)? as usize;
+    for _ in 0..nedges {
+        if data.remaining() < 10 {
+            return Err(corrupt("truncated edge"));
+        }
+        let ty = EdgeType::from_u8(data.get_u8()).ok_or_else(|| corrupt("bad edge type"))?;
+        let flags = data.get_u8();
+        let src = NodeId(data.get_u32_le());
+        let dst = NodeId(data.get_u32_le());
+        if src.index() >= g.nodes.len() || dst.index() >= g.nodes.len() {
+            return Err(corrupt("dangling edge endpoint"));
+        }
+        let use_range = if flags & F_USE_RANGE != 0 {
+            Some(decode_range(&mut data)?)
+        } else {
+            None
+        };
+        let name_range = if flags & F_NAME_RANGE != 0 {
+            Some(decode_range(&mut data)?)
+        } else {
+            None
+        };
+        let extra = if flags & F_EXTRA != 0 {
+            Some(Box::new(decode_propmap(&mut data)?))
+        } else {
+            None
+        };
+        // A live edge may legitimately point at a deleted node only if the
+        // edge itself is deleted.
+        let deleted = flags & F_DELETED != 0;
+        if !deleted && (g.nodes[src.index()].deleted || g.nodes[dst.index()].deleted) {
+            return Err(corrupt("live edge on deleted node"));
+        }
+        if g.nodes[src.index()].deleted || g.nodes[dst.index()].deleted {
+            // Recreate the tombstone directly without chain surgery.
+            g.edges.push(crate::graph::EdgeData {
+                ty,
+                src: src.0,
+                dst: dst.0,
+                next_out: u32::MAX,
+                next_in: u32::MAX,
+                use_range,
+                name_range,
+                extra,
+                deleted: true,
+            });
+        } else {
+            let id = g.add_edge(src, ty, dst);
+            {
+                let e = &mut g.edges[id.index()];
+                e.use_range = use_range;
+                e.name_range = name_range;
+                e.extra = extra;
+            }
+            if deleted {
+                g.delete_edge(id).map_err(|_| corrupt("bad edge tombstone"))?;
+            }
+        }
+    }
+    if data.has_remaining() {
+        return Err(corrupt("trailing bytes"));
+    }
+    if frozen {
+        g.freeze();
+    }
+    Ok(g)
+}
+
+fn read_u32(data: &mut &[u8]) -> Result<u32, StoreError> {
+    if data.remaining() < 4 {
+        return Err(StoreError::CorruptSnapshot("truncated u32".into()));
+    }
+    Ok(data.get_u32_le())
+}
+
+fn read_string(data: &mut &[u8]) -> Result<String, StoreError> {
+    let len = read_u32(data)? as usize;
+    if data.remaining() < len {
+        return Err(StoreError::CorruptSnapshot("truncated string".into()));
+    }
+    let mut bytes = vec![0u8; len];
+    data.copy_to_slice(&mut bytes);
+    String::from_utf8(bytes).map_err(|_| StoreError::CorruptSnapshot("invalid utf8".into()))
+}
+
+fn decode_range(data: &mut &[u8]) -> Result<SrcRange, StoreError> {
+    if data.remaining() < 20 {
+        return Err(StoreError::CorruptSnapshot("truncated range".into()));
+    }
+    Ok(SrcRange::new(
+        FileId(data.get_u32_le()),
+        data.get_u32_le(),
+        data.get_u32_le(),
+        data.get_u32_le(),
+        data.get_u32_le(),
+    ))
+}
+
+fn decode_propmap(data: &mut &[u8]) -> Result<PropMap, StoreError> {
+    if data.remaining() < 2 {
+        return Err(StoreError::CorruptSnapshot("truncated propmap".into()));
+    }
+    let n = data.get_u16_le() as usize;
+    let mut m = PropMap::new();
+    for _ in 0..n {
+        if data.remaining() < 2 {
+            return Err(StoreError::CorruptSnapshot("truncated prop entry".into()));
+        }
+        let key =
+            PropKey::from_u8(data.get_u8()).ok_or_else(|| {
+                StoreError::CorruptSnapshot("bad prop key".into())
+            })?;
+        let tag = data.get_u8();
+        let value = match tag {
+            0 => {
+                if data.remaining() < 8 {
+                    return Err(StoreError::CorruptSnapshot("truncated int".into()));
+                }
+                PropValue::Int(data.get_i64_le())
+            }
+            1 => PropValue::Str(read_string(data)?),
+            2 => {
+                if data.remaining() < 1 {
+                    return Err(StoreError::CorruptSnapshot("truncated bool".into()));
+                }
+                PropValue::Bool(data.get_u8() != 0)
+            }
+            3 => {
+                let len = read_u32(data)? as usize;
+                if data.remaining() < len * 8 {
+                    return Err(StoreError::CorruptSnapshot("truncated int list".into()));
+                }
+                PropValue::IntList((0..len).map(|_| data.get_i64_le()).collect())
+            }
+            _ => return Err(StoreError::CorruptSnapshot("bad value tag".into())),
+        };
+        m.insert(key, value);
+    }
+    Ok(m)
+}
+
+/// Writes a snapshot to a file.
+pub fn save(g: &GraphStore, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, encode(g))
+}
+
+/// Reads a snapshot from a file.
+pub fn load(path: &std::path::Path) -> std::io::Result<GraphStore> {
+    let data = std::fs::read(path)?;
+    decode(&data).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name_index::{NameField, NamePattern};
+    use frappe_model::PropKey;
+
+    fn build_sample() -> GraphStore {
+        let mut g = GraphStore::new();
+        let main = g.add_node(NodeType::Function, "main");
+        let bar = g.add_node(NodeType::Function, "bar");
+        let x = g.add_node(NodeType::Global, "x");
+        g.set_node_name(x, "foo.c::x");
+        g.set_node_long_name(main, "main(int, char **)");
+        g.set_node_prop(main, PropKey::Variadic, true);
+        let e = g.add_edge(main, EdgeType::Calls, bar);
+        g.set_edge_use_range(e, SrcRange::new(FileId(1), 4, 10, 4, 18));
+        g.set_edge_name_range(e, SrcRange::new(FileId(1), 4, 10, 4, 12));
+        let w = g.add_edge(main, EdgeType::Writes, x);
+        g.set_edge_prop(w, PropKey::Index, 2i64);
+        g
+    }
+
+    #[test]
+    fn round_trip_preserves_content() {
+        let mut g = build_sample();
+        g.freeze();
+        let bytes = encode(&g);
+        let g2 = decode(&bytes).unwrap();
+        assert!(g2.is_frozen());
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        let main = g2
+            .lookup_name(NameField::ShortName, &NamePattern::exact("main"))
+            .unwrap()[0];
+        assert_eq!(g2.node_prop(main, PropKey::Variadic), Some(PropValue::Bool(true)));
+        assert_eq!(
+            g2.node_prop(main, PropKey::LongName).unwrap().as_str(),
+            Some("main(int, char **)")
+        );
+        let callees: Vec<_> = g2.out_neighbors(main, Some(EdgeType::Calls)).collect();
+        assert_eq!(callees.len(), 1);
+        let e = g2.out_edges(main, Some(EdgeType::Calls)).next().unwrap();
+        assert_eq!(
+            g2.edge_use_range(e),
+            Some(SrcRange::new(FileId(1), 4, 10, 4, 18))
+        );
+    }
+
+    #[test]
+    fn round_trip_preserves_tombstones_and_ids() {
+        let mut g = build_sample();
+        let doomed = g.add_node(NodeType::Local, "tmp");
+        let survivor = g.add_node(NodeType::Local, "keep");
+        g.delete_node(doomed).unwrap();
+        let bytes = encode(&g);
+        let g2 = decode(&bytes).unwrap();
+        assert!(!g2.node_exists(doomed));
+        assert!(g2.node_exists(survivor));
+        assert_eq!(g2.node_short_name(survivor), "keep");
+        // Ids are stable: capacity includes tombstones.
+        assert_eq!(g2.node_capacity(), g.node_capacity());
+    }
+
+    #[test]
+    fn round_trip_unfrozen_store() {
+        let g = build_sample();
+        let g2 = decode(&encode(&g)).unwrap();
+        assert!(!g2.is_frozen());
+        assert_eq!(g2.node_count(), 3);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(matches!(
+            decode(b"not a snapshot"),
+            Err(StoreError::CorruptSnapshot(_))
+        ));
+        assert!(matches!(decode(b""), Err(StoreError::CorruptSnapshot(_))));
+    }
+
+    #[test]
+    fn decode_rejects_truncation_everywhere() {
+        let mut g = build_sample();
+        g.freeze();
+        let bytes = encode(&g);
+        // Chop the snapshot at every prefix length; none may panic, all
+        // must error (except the full length).
+        for cut in 0..bytes.len() {
+            assert!(
+                decode(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded successfully"
+            );
+        }
+        assert!(decode(&bytes).is_ok());
+    }
+
+    #[test]
+    fn decode_rejects_trailing_bytes() {
+        let g = build_sample();
+        let mut bytes = encode(&g).to_vec();
+        bytes.push(0);
+        assert!(matches!(
+            decode(&bytes),
+            Err(StoreError::CorruptSnapshot(_))
+        ));
+    }
+
+    #[test]
+    fn save_and_load_file() {
+        let mut g = build_sample();
+        g.freeze();
+        let dir = std::env::temp_dir().join("frappe_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.frap");
+        save(&g, &path).unwrap();
+        let g2 = load(&path).unwrap();
+        assert_eq!(g2.node_count(), g.node_count());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,196 @@
+//! Property tests over the store: adjacency-chain integrity under random
+//! interleavings of inserts and deletes, snapshot round-trips, and
+//! index-vs-scan equivalence.
+
+use frappe_model::{EdgeType, NodeId, NodeType};
+use frappe_store::{snapshot, GraphStore, NameField, NamePattern};
+use proptest::prelude::*;
+
+/// A random mutation script.
+#[derive(Debug, Clone)]
+enum Op {
+    AddNode(u8),
+    AddEdge(u8, u8, u8),
+    DeleteNode(u8),
+    DeleteEdge(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..21).prop_map(Op::AddNode),
+        (any::<u8>(), 0u8..30, any::<u8>()).prop_map(|(a, t, b)| Op::AddEdge(a, t, b)),
+        any::<u8>().prop_map(Op::DeleteNode),
+        any::<u8>().prop_map(Op::DeleteEdge),
+    ]
+}
+
+/// Applies a script, tracking a naive shadow model of live nodes/edges.
+fn apply(ops: &[Op]) -> (GraphStore, Vec<bool>, Vec<(usize, usize, EdgeType, bool)>) {
+    let mut g = GraphStore::new();
+    let mut nodes_alive: Vec<bool> = Vec::new();
+    // (src, dst, ty, alive)
+    let mut edges: Vec<(usize, usize, EdgeType, bool)> = Vec::new();
+    for op in ops {
+        match op {
+            Op::AddNode(t) => {
+                let ty = NodeType::from_u8(*t % 21).unwrap();
+                g.add_node(ty, &format!("n{}", nodes_alive.len()));
+                nodes_alive.push(true);
+            }
+            Op::AddEdge(a, t, b) => {
+                let live: Vec<usize> = (0..nodes_alive.len())
+                    .filter(|i| nodes_alive[*i])
+                    .collect();
+                if live.is_empty() {
+                    continue;
+                }
+                let src = live[*a as usize % live.len()];
+                let dst = live[*b as usize % live.len()];
+                let ty = EdgeType::from_u8(*t % 30).unwrap();
+                g.add_edge(NodeId(src as u32), ty, NodeId(dst as u32));
+                edges.push((src, dst, ty, true));
+            }
+            Op::DeleteNode(a) => {
+                let live: Vec<usize> = (0..nodes_alive.len())
+                    .filter(|i| nodes_alive[*i])
+                    .collect();
+                if live.is_empty() {
+                    continue;
+                }
+                let victim = live[*a as usize % live.len()];
+                g.delete_node(NodeId(victim as u32)).unwrap();
+                nodes_alive[victim] = false;
+                for e in edges.iter_mut() {
+                    if e.3 && (e.0 == victim || e.1 == victim) {
+                        e.3 = false;
+                    }
+                }
+            }
+            Op::DeleteEdge(a) => {
+                let live: Vec<usize> =
+                    (0..edges.len()).filter(|i| edges[*i].3).collect();
+                if live.is_empty() {
+                    continue;
+                }
+                let victim = live[*a as usize % live.len()];
+                g.delete_edge(frappe_model::EdgeId(victim as u32)).unwrap();
+                edges[victim].3 = false;
+            }
+        }
+    }
+    (g, nodes_alive, edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Adjacency chains agree with the shadow model after any interleaving
+    /// of inserts and deletes.
+    #[test]
+    fn prop_adjacency_matches_shadow_model(
+        ops in proptest::collection::vec(op_strategy(), 0..120),
+    ) {
+        let (g, nodes_alive, edges) = apply(&ops);
+        let live_nodes = nodes_alive.iter().filter(|x| **x).count();
+        let live_edges = edges.iter().filter(|e| e.3).count();
+        prop_assert_eq!(g.node_count(), live_nodes);
+        prop_assert_eq!(g.edge_count(), live_edges);
+        // Per-node out-chain contents equal the shadow's.
+        for (i, alive) in nodes_alive.iter().enumerate() {
+            if !alive {
+                continue;
+            }
+            let n = NodeId(i as u32);
+            let mut got: Vec<(usize, EdgeType)> = g
+                .out_edges(n, None)
+                .map(|e| (g.edge_dst(e).index(), g.edge_type(e)))
+                .collect();
+            got.sort_unstable_by_key(|(d, t)| (*d, *t as u8));
+            let mut expect: Vec<(usize, EdgeType)> = edges
+                .iter()
+                .filter(|(s, _, _, alive)| *alive && *s == i)
+                .map(|(_, d, t, _)| (*d, *t))
+                .collect();
+            expect.sort_unstable_by_key(|(d, t)| (*d, *t as u8));
+            prop_assert_eq!(got, expect);
+            // Degrees agree with chain length.
+            prop_assert_eq!(g.out_degree(n), g.out_edges(n, None).count());
+            prop_assert_eq!(g.in_degree(n), g.in_edges(n, None).count());
+        }
+    }
+
+    /// encode ∘ decode is the identity on arbitrary mutation results,
+    /// including tombstones, and double-encoding is stable.
+    #[test]
+    fn prop_snapshot_round_trip(
+        ops in proptest::collection::vec(op_strategy(), 0..80),
+    ) {
+        let (g, _, _) = apply(&ops);
+        let bytes = snapshot::encode(&g);
+        let g2 = snapshot::decode(&bytes).unwrap();
+        prop_assert_eq!(g2.node_count(), g.node_count());
+        prop_assert_eq!(g2.edge_count(), g.edge_count());
+        prop_assert_eq!(snapshot::encode(&g2), bytes);
+    }
+
+    /// After freezing, every live node is findable by exact name lookup.
+    #[test]
+    fn prop_name_index_complete(
+        ops in proptest::collection::vec(op_strategy(), 0..60),
+    ) {
+        let (mut g, nodes_alive, _) = apply(&ops);
+        g.freeze();
+        for (i, alive) in nodes_alive.iter().enumerate() {
+            let n = NodeId(i as u32);
+            let hits = g
+                .lookup_name(NameField::ShortName, &NamePattern::exact(&format!("n{i}")))
+                .unwrap();
+            prop_assert_eq!(hits.contains(&n), *alive);
+        }
+    }
+}
+
+/// A frozen store is shareable across threads: the page-cache counters are
+/// atomics and reads take `&self`.
+#[test]
+fn frozen_store_is_thread_shareable() {
+    let mut g = GraphStore::new();
+    let mut prev = None;
+    for i in 0..512 {
+        let n = g.add_node(NodeType::Function, &format!("fn_{i}"));
+        if let Some(p) = prev {
+            g.add_edge(p, EdgeType::Calls, n);
+        }
+        prev = Some(n);
+    }
+    g.set_cache_mode(frappe_store::CacheMode::Tracked);
+    g.freeze();
+    let g = &g;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut visited = 0usize;
+                    let mut cur = NodeId(t); // distinct start per thread
+                    loop {
+                        match g.out_neighbors(cur, None).next() {
+                            Some(next) => {
+                                visited += 1;
+                                cur = next;
+                            }
+                            None => break,
+                        }
+                    }
+                    visited
+                })
+            })
+            .collect();
+        for (t, h) in handles.into_iter().enumerate() {
+            let visited = h.join().expect("no panic");
+            assert_eq!(visited, 511 - t);
+        }
+    });
+    // Counters saw traffic from all threads.
+    let stats = g.cache_stats();
+    assert!(stats.faults + stats.hits > 1000);
+}

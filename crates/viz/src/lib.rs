@@ -1,0 +1,44 @@
+//! # frappe-viz
+//!
+//! The *interface* component of Frappé: a zoomable 2D spatial visualization
+//! of the code "that employs a cartographic map metaphor such that the
+//! continent/country/state/city hierarchy of the map corresponds to the
+//! equivalent in source code: the high-level architectural components down
+//! to the individual files and functions" (paper §2, citing the authors'
+//! Code Maps work).
+//!
+//! * [`treemap`] — a squarified-treemap layout engine (Bruls et al.) over
+//!   the `directory → file → function` containment hierarchy; area is
+//!   proportional to contained entity count.
+//! * [`codemap`] — builds the map from a [`GraphStore`](frappe_store::GraphStore) and renders SVG,
+//!   with query-result **overlays**: "Overlaying query results on this map
+//!   — be they individual source entities, paths through the code, or
+//!   transitive closures — gives an immediate general impression of the
+//!   location, locality, structure, and quantity of results."
+//!
+//! ## Example
+//!
+//! ```
+//! use frappe_model::{EdgeType, NodeType};
+//! use frappe_store::GraphStore;
+//! use frappe_viz::codemap::CodeMap;
+//!
+//! let mut g = GraphStore::new();
+//! let dir = g.add_node(NodeType::Directory, "drivers");
+//! let file = g.add_node(NodeType::File, "sr.c");
+//! let f = g.add_node(NodeType::Function, "sr_probe");
+//! g.add_edge(dir, EdgeType::DirContains, file);
+//! g.add_edge(file, EdgeType::FileContains, f);
+//! g.freeze();
+//!
+//! let map = CodeMap::build(&g, 800.0, 600.0);
+//! let svg = map.render_svg(&[f]);
+//! assert!(svg.contains("<svg"));
+//! assert!(svg.contains("sr.c"));
+//! ```
+
+pub mod codemap;
+pub mod treemap;
+
+pub use codemap::CodeMap;
+pub use treemap::{squarify, Rect};

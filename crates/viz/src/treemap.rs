@@ -1,0 +1,256 @@
+//! Squarified treemap layout (Bruls, Huizing & van Wijk, 2000).
+
+/// An axis-aligned rectangle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// Left edge.
+    pub x: f64,
+    /// Top edge.
+    pub y: f64,
+    /// Width.
+    pub w: f64,
+    /// Height.
+    pub h: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle.
+    pub fn new(x: f64, y: f64, w: f64, h: f64) -> Rect {
+        Rect { x, y, w, h }
+    }
+
+    /// Area.
+    pub fn area(&self) -> f64 {
+        self.w * self.h
+    }
+
+    /// Whether `other` lies within `self` (with tolerance).
+    pub fn contains(&self, other: &Rect) -> bool {
+        const EPS: f64 = 1e-6;
+        other.x >= self.x - EPS
+            && other.y >= self.y - EPS
+            && other.x + other.w <= self.x + self.w + EPS
+            && other.y + other.h <= self.y + self.h + EPS
+    }
+
+    /// Whether two rectangles overlap with positive area.
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        const EPS: f64 = 1e-6;
+        self.x + EPS < other.x + other.w
+            && other.x + EPS < self.x + self.w
+            && self.y + EPS < other.y + other.h
+            && other.y + EPS < self.y + self.h
+    }
+
+    /// Shrinks by `margin` on all sides (clamped to a point).
+    pub fn inset(&self, margin: f64) -> Rect {
+        let m = margin.min(self.w / 2.0).min(self.h / 2.0);
+        Rect::new(self.x + m, self.y + m, self.w - 2.0 * m, self.h - 2.0 * m)
+    }
+
+    /// Center point.
+    pub fn center(&self) -> (f64, f64) {
+        (self.x + self.w / 2.0, self.y + self.h / 2.0)
+    }
+}
+
+/// Lays out `weights` inside `bounds` with the squarified algorithm,
+/// returning one rectangle per weight (same order). Zero/negative weights
+/// get zero-area slots. Total child area equals the bounds area.
+pub fn squarify(weights: &[f64], bounds: Rect) -> Vec<Rect> {
+    let n = weights.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let total: f64 = weights.iter().map(|w| w.max(0.0)).sum();
+    if total <= 0.0 {
+        // All-zero: tile uniformly.
+        return squarify(&vec![1.0; n], bounds);
+    }
+    // Sort descending by weight (the algorithm requires it), remembering
+    // original positions.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|a, b| {
+        weights[*b]
+            .partial_cmp(&weights[*a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let scale = bounds.area() / total;
+    let areas: Vec<f64> = order.iter().map(|i| weights[*i].max(0.0) * scale).collect();
+
+    let mut out = vec![Rect::new(bounds.x, bounds.y, 0.0, 0.0); n];
+    let mut free = bounds;
+    let mut row: Vec<usize> = Vec::new(); // indices into `areas`
+    let mut i = 0usize;
+    while i < areas.len() {
+        let side = free.w.min(free.h);
+        if row.is_empty() {
+            row.push(i);
+            i += 1;
+            continue;
+        }
+        if worst(&row, &areas, side) >= worst_with(&row, &areas, areas[i], side) {
+            row.push(i);
+            i += 1;
+        } else {
+            layout_row(&row, &areas, &order, &mut free, &mut out);
+            row.clear();
+        }
+    }
+    if !row.is_empty() {
+        layout_row(&row, &areas, &order, &mut free, &mut out);
+    }
+    out
+}
+
+fn row_sum(row: &[usize], areas: &[f64]) -> f64 {
+    row.iter().map(|i| areas[*i]).sum()
+}
+
+/// Worst aspect ratio of the current row laid along a side of length `side`.
+fn worst(row: &[usize], areas: &[f64], side: f64) -> f64 {
+    let s = row_sum(row, areas);
+    if s <= 0.0 || side <= 0.0 {
+        return f64::INFINITY;
+    }
+    let mut worst = 0.0f64;
+    for i in row {
+        let a = areas[*i].max(1e-12);
+        let ratio = (side * side * a / (s * s)).max(s * s / (side * side * a));
+        worst = worst.max(ratio);
+    }
+    worst
+}
+
+fn worst_with(row: &[usize], areas: &[f64], extra: f64, side: f64) -> f64 {
+    let s = row_sum(row, areas) + extra;
+    if s <= 0.0 || side <= 0.0 {
+        return f64::INFINITY;
+    }
+    let mut worst = 0.0f64;
+    for a in row.iter().map(|i| areas[*i]).chain(std::iter::once(extra)) {
+        let a = a.max(1e-12);
+        let ratio = (side * side * a / (s * s)).max(s * s / (side * side * a));
+        worst = worst.max(ratio);
+    }
+    worst
+}
+
+/// Lays the row along the shorter side of `free`, consuming the strip.
+fn layout_row(row: &[usize], areas: &[f64], order: &[usize], free: &mut Rect, out: &mut [Rect]) {
+    let s = row_sum(row, areas);
+    if s <= 0.0 {
+        for i in row {
+            out[order[*i]] = Rect::new(free.x, free.y, 0.0, 0.0);
+        }
+        return;
+    }
+    if free.w >= free.h {
+        // Vertical strip on the left.
+        let strip_w = s / free.h.max(1e-12);
+        let mut y = free.y;
+        for i in row {
+            let h = areas[*i] / strip_w.max(1e-12);
+            out[order[*i]] = Rect::new(free.x, y, strip_w, h);
+            y += h;
+        }
+        free.x += strip_w;
+        free.w -= strip_w;
+    } else {
+        // Horizontal strip on top.
+        let strip_h = s / free.w.max(1e-12);
+        let mut x = free.x;
+        for i in row {
+            let w = areas[*i] / strip_h.max(1e-12);
+            out[order[*i]] = Rect::new(x, free.y, w, strip_h);
+            x += w;
+        }
+        free.y += strip_h;
+        free.h -= strip_h;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_weight_fills_bounds() {
+        let b = Rect::new(0.0, 0.0, 100.0, 50.0);
+        let r = squarify(&[3.0], b);
+        assert_eq!(r.len(), 1);
+        assert!((r[0].area() - 5000.0).abs() < 1e-6);
+        assert!(b.contains(&r[0]));
+    }
+
+    #[test]
+    fn areas_proportional_to_weights() {
+        let b = Rect::new(0.0, 0.0, 100.0, 100.0);
+        let rs = squarify(&[1.0, 2.0, 3.0, 4.0], b);
+        let total: f64 = rs.iter().map(Rect::area).sum();
+        assert!((total - 10_000.0).abs() < 1e-6);
+        assert!((rs[3].area() / rs[0].area() - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_weights_tile_uniformly() {
+        let b = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let rs = squarify(&[0.0, 0.0], b);
+        assert_eq!(rs.len(), 2);
+        assert!((rs[0].area() - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rect_helpers() {
+        let a = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let b = Rect::new(2.0, 2.0, 3.0, 3.0);
+        assert!(a.contains(&b));
+        assert!(!b.contains(&a));
+        assert!(a.overlaps(&b));
+        let c = Rect::new(20.0, 0.0, 5.0, 5.0);
+        assert!(!a.overlaps(&c));
+        let inset = a.inset(1.0);
+        assert_eq!(inset, Rect::new(1.0, 1.0, 8.0, 8.0));
+        assert_eq!(a.center(), (5.0, 5.0));
+    }
+
+    #[test]
+    fn squarified_aspect_beats_slicing() {
+        // 8 equal weights in a square: squarified keeps ratios near 1,
+        // naive slicing would give 8:1 slivers.
+        let b = Rect::new(0.0, 0.0, 100.0, 100.0);
+        let rs = squarify(&vec![1.0; 8], b);
+        for r in &rs {
+            let ratio = (r.w / r.h).max(r.h / r.w);
+            assert!(ratio < 3.0, "aspect {ratio}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_layout_invariants(
+            weights in proptest::collection::vec(0.0f64..50.0, 1..24),
+        ) {
+            let b = Rect::new(0.0, 0.0, 640.0, 480.0);
+            let rs = squarify(&weights, b);
+            prop_assert_eq!(rs.len(), weights.len());
+            let total: f64 = rs.iter().map(Rect::area).sum();
+            prop_assert!((total - b.area()).abs() < 1.0, "area sum {total}");
+            for r in &rs {
+                prop_assert!(b.contains(r), "{r:?} outside bounds");
+            }
+            // Pairwise non-overlap.
+            for i in 0..rs.len() {
+                for j in (i + 1)..rs.len() {
+                    prop_assert!(
+                        !rs[i].overlaps(&rs[j]),
+                        "{:?} overlaps {:?}",
+                        rs[i],
+                        rs[j]
+                    );
+                }
+            }
+        }
+    }
+}

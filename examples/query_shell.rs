@@ -1,0 +1,84 @@
+//! An interactive query shell over a kernel-scale graph — the closest thing
+//! to sitting at the paper's Frappé prompt.
+//!
+//! Run with: `cargo run --release --example query_shell [scale]`
+//!
+//! Then type queries, e.g.:
+//!
+//! ```text
+//! START n=node:node_auto_index('short_name: pci_read_bases') MATCH n -[:calls]-> m RETURN m.short_name LIMIT 10
+//! MATCH (n:struct {short_name: 'packet_command'}) RETURN n.name
+//! MATCH (n:container:symbol) RETURN n.short_name LIMIT 5
+//! :explain MATCH (n:field {short_name: 'id'}) RETURN n
+//! :quit
+//! ```
+
+use frappe::query::{Engine, EngineOptions, Query};
+use frappe::synth::{generate, SynthSpec};
+use std::io::{BufRead, Write};
+use std::time::Instant;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+    eprintln!("loading kernel graph at scale {scale} ...");
+    let out = generate(&SynthSpec::scaled(scale));
+    let g = &out.graph;
+    eprintln!(
+        "{} nodes / {} edges ready. Type a query, :explain <query>, or :quit.",
+        g.node_count(),
+        g.edge_count()
+    );
+    let engine = Engine::with_options(EngineOptions {
+        max_steps: 5_000_000,
+        timeout: Some(std::time::Duration::from_secs(10)),
+        ..Default::default()
+    });
+
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    loop {
+        print!("frappe> ");
+        let _ = stdout.flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == ":quit" || line == ":q" {
+            break;
+        }
+        if let Some(text) = line.strip_prefix(":explain ") {
+            match Query::parse(text) {
+                Ok(q) => println!("{}", engine.explain(g, &q)),
+                Err(e) => println!("error: {e}"),
+            }
+            continue;
+        }
+        match Query::parse(line) {
+            Ok(q) => {
+                let t = Instant::now();
+                match engine.run(g, &q) {
+                    Ok(result) => {
+                        print!("{}", result.to_table());
+                        println!(
+                            "{} row(s) in {:.2?} ({} steps)",
+                            result.rows.len(),
+                            t.elapsed(),
+                            result.steps
+                        );
+                    }
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            Err(e) => println!("parse error: {e}"),
+        }
+    }
+}

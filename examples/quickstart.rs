@@ -1,0 +1,113 @@
+//! Quickstart: the paper's Figure 2 example, end to end.
+//!
+//! Builds the three-file program from Figure 2 (`foo.h`, `foo.c`,
+//! `main.c`), records its build (`gcc foo.c -c -o foo.o`;
+//! `gcc main.c foo.o -o prog`), extracts the dependency graph, and then
+//! asks it questions — both through the declarative query language and the
+//! direct API.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use frappe::core::usecases;
+use frappe::extract::{CompileDb, Extractor, SourceTree};
+use frappe::model::{EdgeType, NodeType, PropKey};
+use frappe::query::Engine;
+use frappe::store::{NameField, NamePattern};
+
+fn main() {
+    // ------------------------------------------------------------------
+    // The Figure 2 sources.
+    // ------------------------------------------------------------------
+    let mut tree = SourceTree::new();
+    tree.add_file("foo.h", "int bar(int);\n");
+    tree.add_file(
+        "foo.c",
+        "#include \"foo.h\"\nint bar(int input) { return input; }\n",
+    );
+    tree.add_file(
+        "main.c",
+        "#include \"foo.h\"\nint main(int argc, char **argv) { return bar(argc); }\n",
+    );
+
+    // The Figure 2 build: gcc foo.c -c -o foo.o ; gcc main.c foo.o -o prog
+    let db = CompileDb::figure2();
+
+    // ------------------------------------------------------------------
+    // Extraction.
+    // ------------------------------------------------------------------
+    let mut out = Extractor::new().extract(&tree, &db).expect("extraction");
+    out.graph.freeze();
+    let g = &out.graph;
+    println!(
+        "extracted {} nodes and {} edges from {} lines of C\n",
+        g.node_count(),
+        g.edge_count(),
+        tree.total_lines()
+    );
+
+    // ------------------------------------------------------------------
+    // Walk the Figure 2 dependency graph.
+    // ------------------------------------------------------------------
+    let by = |ty: NodeType, name: &str| {
+        g.lookup_name(NameField::ShortName, &NamePattern::exact(name))
+            .unwrap()
+            .into_iter()
+            .find(|n| g.node_type(*n) == ty)
+            .unwrap_or_else(|| panic!("missing {ty} {name}"))
+    };
+    let prog = by(NodeType::Module, "prog");
+    println!("Figure 2 edges:");
+    for e in g.out_edges(prog, None) {
+        println!(
+            "  prog -[:{}]-> {}",
+            g.edge_type(e),
+            g.node_short_name(g.edge_dst(e))
+        );
+    }
+    let main_fn = by(NodeType::Function, "main");
+    for e in g.out_edges(main_fn, Some(EdgeType::Calls)) {
+        let r = g.edge_use_range(e).unwrap();
+        println!(
+            "  main -[:calls]-> {} (call site {})",
+            g.node_short_name(g.edge_dst(e)),
+            r
+        );
+    }
+    // The paper highlights argv's `isa_type` edge with QUALIFIERS "**".
+    let argv = by(NodeType::Parameter, "argv");
+    let isa = g.out_edges(argv, Some(EdgeType::IsaType)).next().unwrap();
+    println!(
+        "  argv -[:isa_type {{QUALIFIERS: {:?}}}]-> {}",
+        g.edge_prop(isa, PropKey::Qualifiers).unwrap().to_string(),
+        g.node_short_name(g.edge_dst(isa))
+    );
+
+    // ------------------------------------------------------------------
+    // Ask a question declaratively...
+    // ------------------------------------------------------------------
+    let engine = Engine::new();
+    let result = engine
+        .run_str(
+            g,
+            "START n = node:node_auto_index('short_name: main') \
+             MATCH n -[:calls]-> m RETURN m, m.long_name",
+        )
+        .expect("query");
+    println!("\nWho does main call?\n{}", result.to_table());
+
+    // ------------------------------------------------------------------
+    // ... and through the use-case API (go-to-definition, Figure 4 style).
+    // ------------------------------------------------------------------
+    let main_c = out.files.get("main.c").unwrap();
+    // `bar(argc)` is referenced on line 2 column 42 of main.c.
+    let defs = usecases::goto_definition(g, "bar", main_c, 2, 42).expect("goto");
+    for d in defs {
+        println!(
+            "go-to-definition on the call to bar → {} {:?}",
+            g.node_short_name(d),
+            g.node_type(d)
+        );
+    }
+    let refs = usecases::find_references(g, by(NodeType::Function, "bar"));
+    println!("find-references on bar → {} reference(s)", refs.len());
+}

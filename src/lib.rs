@@ -1,0 +1,10 @@
+//! Facade crate re-exporting the whole Frappé workspace.
+pub use frappe_core as core;
+pub use frappe_extract as extract;
+pub use frappe_model as model;
+pub use frappe_query as query;
+pub use frappe_relational as relational;
+pub use frappe_store as store;
+pub use frappe_synth as synth;
+pub use frappe_temporal as temporal;
+pub use frappe_viz as viz;

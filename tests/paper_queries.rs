@@ -1,0 +1,165 @@
+//! The Figures 3–6 queries over a kernel-shaped graph: the declarative
+//! engine and the direct use-case API must return identical results, and
+//! the Figure 6 pathology must reproduce.
+
+use frappe::core::{queries, traverse, usecases};
+use frappe::model::EdgeType;
+use frappe::query::{Engine, EngineOptions, PathSemantics, Query, QueryError};
+use frappe::synth::{generate, SynthSpec};
+
+fn graph() -> frappe::synth::SynthOutput {
+    generate(&SynthSpec::scaled(0.02))
+}
+
+#[test]
+fn figure3_declarative_matches_direct() {
+    let out = graph();
+    let g = &out.graph;
+    let r = Engine::new()
+        .run_str(g, &queries::figure3_code_search("wakeup.elf", "id"))
+        .unwrap();
+    let direct = usecases::code_search(g, "wakeup.elf", "id").unwrap();
+    assert_eq!(r.rows.len(), direct.len());
+    assert_eq!(direct.len(), 4); // the planted Figure 3 result set
+    let mut declared: Vec<_> = r
+        .rows
+        .iter()
+        .map(|row| row[0].as_node().expect("node result"))
+        .collect();
+    declared.sort_unstable();
+    assert_eq!(declared, direct);
+}
+
+#[test]
+fn figure4_declarative_matches_direct() {
+    let out = graph();
+    let g = &out.graph;
+    let (file, line, col) = out.landmarks.goto_anchor;
+    let r = Engine::new()
+        .run_str(g, &queries::figure4_goto_definition("id", file.0, line, col))
+        .unwrap();
+    let direct = usecases::goto_definition(g, "id", file, line, col).unwrap();
+    assert_eq!(r.rows.len(), direct.len());
+    assert_eq!(direct.len(), 1);
+    assert_eq!(r.rows[0][0].as_node(), Some(direct[0]));
+}
+
+#[test]
+fn figure5_declarative_matches_direct() {
+    let out = graph();
+    let g = &out.graph;
+    let lm = &out.landmarks;
+    let r = Engine::new()
+        .run_str(
+            g,
+            &queries::figure5_debugging(
+                "sr_media_change",
+                "get_sectorsize",
+                "packet_command",
+                "cmd",
+                lm.failing_call_line,
+            ),
+        )
+        .unwrap();
+    let direct = usecases::debug_writes(
+        g,
+        "sr_media_change",
+        "get_sectorsize",
+        "packet_command",
+        "cmd",
+        lm.failing_call_line,
+    )
+    .unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(direct.len(), 1);
+    assert_eq!(r.rows[0][0].as_node(), Some(direct[0].writer));
+    assert_eq!(direct[0].writer, lm.cmd_writer);
+    // The noise writer (reachable only through the post-failure call) is
+    // excluded by the line constraint.
+}
+
+#[test]
+fn figure6_enumeration_aborts_but_reachability_agrees_with_embedded() {
+    let out = graph();
+    let g = &out.graph;
+    let lm = &out.landmarks;
+    let text = queries::figure6_comprehension("pci_read_bases");
+    let q = Query::parse(&text).unwrap();
+
+    // Path-enumeration semantics blow through any reasonable budget.
+    let abort = Engine::with_options(EngineOptions {
+        max_steps: 200_000,
+        ..Default::default()
+    });
+    assert!(matches!(
+        abort.run(g, &q).unwrap_err(),
+        QueryError::BudgetExhausted { .. }
+    ));
+
+    // Reachability semantics and the embedded traversal agree exactly.
+    let reach = Engine::with_options(EngineOptions {
+        path_semantics: PathSemantics::Reachability,
+        ..Default::default()
+    })
+    .run(g, &q)
+    .unwrap();
+    let embedded = traverse::transitive_closure(
+        g,
+        lm.pci_read_bases,
+        traverse::Dir::Out,
+        &[EdgeType::Calls],
+        None,
+    );
+    assert_eq!(reach.rows.len(), embedded.len());
+    assert!(embedded.len() > 10);
+    let mut reach_ids: Vec<_> = reach
+        .rows
+        .iter()
+        .map(|row| row[0].as_node().expect("node"))
+        .collect();
+    reach_ids.sort_unstable();
+    let mut embedded = embedded;
+    embedded.sort_unstable();
+    assert_eq!(reach_ids, embedded);
+}
+
+#[test]
+fn table6_syntaxes_agree() {
+    let out = graph();
+    let g = &out.graph;
+    let engine = Engine::new();
+    let r1 = engine
+        .run_str(g, &queries::table6_cypher1x("packet_command"))
+        .unwrap();
+    let r2 = engine
+        .run_str(g, &queries::table6_cypher2x("packet_command"))
+        .unwrap();
+    assert_eq!(r1.rows.len(), r2.rows.len());
+    assert_eq!(r1.rows.len(), 1);
+    assert_eq!(r1.rows[0][0], r2.rows[0][0]);
+    // (Relative cost is measured by the table6_labels bench; the executor
+    // step counter doesn't see the Lucene-union work inside START.)
+}
+
+#[test]
+fn motivating_question_from_the_abstract() {
+    // "Does function X or something it calls write to global variable Y?"
+    let out = graph();
+    let g = &out.graph;
+    // Find some function that writes some global, then ask about a caller.
+    let mut found = None;
+    for e in g.edges() {
+        if g.edge_type(e) == EdgeType::Writes
+            && g.node_type(g.edge_dst(e)) == frappe::model::NodeType::Global
+        {
+            found = Some((g.edge_src(e), g.edge_dst(e)));
+            break;
+        }
+    }
+    let (writer, global) = found.expect("some global write exists");
+    assert!(usecases::writes_global_transitively(g, writer, global));
+    let caller = g.in_neighbors(writer, Some(EdgeType::Calls)).next();
+    if let Some(caller) = caller {
+        assert!(usecases::writes_global_transitively(g, caller, global));
+    }
+}

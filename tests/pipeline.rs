@@ -1,0 +1,163 @@
+//! Full-pipeline integration: generated C sources → preprocessor → parser
+//! → lowering → link → store → indexes → declarative queries →
+//! visualization → reification → snapshot.
+
+use frappe::core::usecases;
+use frappe::extract::Extractor;
+use frappe::model::{EdgeType, NodeType};
+use frappe::query::Engine;
+use frappe::store::reify::{reify_references, ReifyOptions};
+use frappe::store::{NameField, NamePattern};
+use frappe::synth::{mini_kernel, MiniKernelSpec};
+use frappe::viz::CodeMap;
+
+fn build() -> frappe::extract::ExtractOutput {
+    let (tree, db) = mini_kernel(&MiniKernelSpec::default());
+    let mut out = Extractor::new().extract(&tree, &db).expect("extract");
+    out.graph.freeze();
+    out
+}
+
+#[test]
+fn extraction_produces_consistent_counts() {
+    let out = build();
+    let g = &out.graph;
+    let stats = frappe::store::StoreStats::compute(g);
+    assert_eq!(stats.node_count, g.node_count());
+    assert_eq!(stats.edge_count, g.edge_count());
+    assert!(stats.density() > 2.0);
+    // Every edge endpoint is live.
+    for e in g.edges() {
+        assert!(g.node_exists(g.edge_src(e)));
+        assert!(g.node_exists(g.edge_dst(e)));
+    }
+}
+
+#[test]
+fn declarative_queries_on_extracted_sources() {
+    let out = build();
+    let g = &out.graph;
+    let engine = Engine::new();
+    // Every subsystem's f0_0 is found via prefix search.
+    let r = engine
+        .run_str(g, "MATCH (n:function {short_name: 'sched_f0_0'}) RETURN n")
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+    // Struct-and-field navigation.
+    let r = engine
+        .run_str(
+            g,
+            "START s = node:node_auto_index('short_name: sched_dev') \
+             MATCH s -[:contains]-> (f:field) RETURN f.name",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 4); // id, state, name, kobj
+    // Cross-file call chain exists: vmlinux reaches printk's file.
+    let r = engine
+        .run_str(
+            g,
+            "START m = node:node_auto_index('short_name: vmlinux') \
+             MATCH m -[:compiled_from|linked_from*]-> f \
+             WITH distinct f \
+             MATCH f -[:file_contains]-> (n:function {short_name: 'printk'}) \
+             RETURN n",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+}
+
+#[test]
+fn macro_impact_and_slices_work_on_extraction() {
+    let out = build();
+    let g = &out.graph;
+    let kbug = g
+        .lookup_name(NameField::ShortName, &NamePattern::exact("KBUG_ON"))
+        .unwrap()
+        .into_iter()
+        .find(|n| g.node_type(*n) == NodeType::Macro)
+        .expect("macro node");
+    let impact = usecases::macro_impact(g, kbug);
+    // Every function uses <SUB>_CHECK which expands KBUG_ON... through
+    // nested expansion, so the impact covers most functions.
+    let fn_count = g.nodes_with_type(NodeType::Function).unwrap().len();
+    assert!(impact.len() >= fn_count / 2, "{} of {fn_count}", impact.len());
+}
+
+#[test]
+fn reified_store_preserves_call_reachability() {
+    let out = build();
+    let g = &out.graph;
+    let (mut reified, report) = reify_references(g, &out.file_nodes, ReifyOptions::default());
+    reified.freeze();
+    assert!(report.reified > 0);
+    // For every function, the set of callees is identical (modulo the
+    // intermediate call-site node).
+    let printk = g
+        .lookup_name(NameField::ShortName, &NamePattern::exact("printk"))
+        .unwrap()
+        .into_iter()
+        .find(|n| g.node_type(*n) == NodeType::Function)
+        .unwrap();
+    let plain_callers: std::collections::HashSet<_> = g
+        .in_neighbors(printk, Some(EdgeType::Calls))
+        .collect();
+    let reified_callers: std::collections::HashSet<_> = reified
+        .in_neighbors(printk, Some(EdgeType::Calls))
+        .flat_map(|site| reified.in_neighbors(site, Some(EdgeType::Calls)).collect::<Vec<_>>())
+        .collect();
+    assert_eq!(plain_callers, reified_callers);
+}
+
+#[test]
+fn code_map_covers_extraction() {
+    let out = build();
+    let g = &out.graph;
+    let map = CodeMap::build(g, 640.0, 480.0);
+    // All directories and files appear on the map.
+    let dirs = g.nodes_with_type(NodeType::Directory).unwrap().len();
+    let files = g.nodes_with_type(NodeType::File).unwrap().len();
+    let placed_dirs = map
+        .items
+        .iter()
+        .filter(|i| i.ty == NodeType::Directory)
+        .count();
+    let placed_files = map.items.iter().filter(|i| i.ty == NodeType::File).count();
+    assert_eq!(placed_dirs, dirs);
+    assert_eq!(placed_files, files);
+    // printk.c is placed (its tile may be too small for a text label).
+    assert!(map.items.iter().any(|i| i.label == "printk.c"));
+    let svg = map.render_svg(&[]);
+    assert!(svg.contains("drivers"));
+}
+
+#[test]
+fn snapshot_round_trip_full_pipeline() {
+    let out = build();
+    let g = &out.graph;
+    let bytes = frappe::store::snapshot::encode(g);
+    let g2 = frappe::store::snapshot::decode(&bytes).unwrap();
+    assert_eq!(g2.node_count(), g.node_count());
+    assert_eq!(g2.edge_count(), g.edge_count());
+    // Queries behave identically on the decoded store.
+    let engine = Engine::new();
+    let q = "MATCH (n:function {short_name: 'printk'}) RETURN n";
+    assert_eq!(
+        engine.run_str(g, q).unwrap().rows.len(),
+        engine.run_str(&g2, q).unwrap().rows.len()
+    );
+}
+
+#[test]
+fn synthetic_graph_and_extracted_graph_share_schema() {
+    // Both producers emit the same Table 1 vocabulary, so tools written
+    // against one work against the other.
+    let extracted = build();
+    let synth = frappe::synth::generate(&frappe::synth::SynthSpec::tiny());
+    for g in [&extracted.graph, &synth.graph] {
+        assert!(!g.nodes_with_type(NodeType::Function).unwrap().is_empty());
+        assert!(!g.nodes_with_type(NodeType::Struct).unwrap().is_empty());
+        assert!(!g.nodes_with_type(NodeType::Macro).unwrap().is_empty());
+        assert!(g.edges().any(|e| g.edge_type(e) == EdgeType::Calls));
+        assert!(g.edges().any(|e| g.edge_type(e) == EdgeType::IsaType));
+    }
+}

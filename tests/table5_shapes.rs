@@ -1,0 +1,105 @@
+//! Locks in the Table 5 *shape* claims as assertions, so a regression in
+//! the cache simulation, the planner, or the generator that would silently
+//! invalidate EXPERIMENTS.md fails CI instead.
+
+use frappe::core::queries;
+use frappe::query::{Engine, EngineOptions, PathSemantics, Query, QueryError};
+use frappe::store::{CacheMode, IoCostModel};
+use frappe::synth::{generate, SynthSpec};
+use frappe_bench::{run_cold_warm, ColdWarm};
+
+fn tracked_graph() -> frappe::synth::SynthOutput {
+    let mut out = generate(&SynthSpec::scaled(0.02));
+    out.graph.unfreeze();
+    out.graph.set_cache_mode(CacheMode::Tracked);
+    out.graph.set_io_cost(IoCostModel::default());
+    out.graph.freeze();
+    out
+}
+
+#[test]
+fn cold_exceeds_warm_for_all_index_anchored_queries() {
+    let out = tracked_graph();
+    let g = &out.graph;
+    let lm = &out.landmarks;
+    let engine = Engine::new();
+    let queries = [
+        ("fig3", queries::figure3_code_search("wakeup.elf", "id")),
+        (
+            "fig4",
+            queries::figure4_goto_definition(
+                "id",
+                lm.goto_anchor.0 .0,
+                lm.goto_anchor.1,
+                lm.goto_anchor.2,
+            ),
+        ),
+        (
+            "fig5",
+            queries::figure5_debugging(
+                "sr_media_change",
+                "get_sectorsize",
+                "packet_command",
+                "cmd",
+                lm.failing_call_line,
+            ),
+        ),
+    ];
+    for (name, text) in queries {
+        let q = Query::parse(&text).unwrap();
+        let cw = run_cold_warm(g, 3, || engine.run(g, &q).unwrap().rows.len());
+        assert!(cw.cold_faults > 0, "{name}: no faults charged");
+        let (_, cold_avg, _) = ColdWarm::stats(&cw.cold);
+        let (_, warm_avg, _) = ColdWarm::stats(&cw.warm);
+        assert!(
+            cold_avg > warm_avg * 3,
+            "{name}: cold {cold_avg:?} not ≫ warm {warm_avg:?}"
+        );
+        assert!(cw.result_count > 0, "{name}: empty result");
+    }
+}
+
+#[test]
+fn comprehension_aborts_under_enumeration_and_matches_under_reachability() {
+    let out = tracked_graph();
+    let g = &out.graph;
+    g.warm_up();
+    let q = Query::parse(&queries::figure6_comprehension("pci_read_bases")).unwrap();
+    let abort = Engine::with_options(EngineOptions {
+        max_steps: 100_000,
+        ..Default::default()
+    });
+    assert!(matches!(
+        abort.run(g, &q).unwrap_err(),
+        QueryError::BudgetExhausted { .. }
+    ));
+    let reach = Engine::with_options(EngineOptions {
+        path_semantics: PathSemantics::Reachability,
+        ..Default::default()
+    })
+    .run(g, &q)
+    .unwrap();
+    let embedded = frappe::core::usecases::backward_slice(g, out.landmarks.pci_read_bases);
+    assert_eq!(reach.rows.len(), embedded.len());
+}
+
+#[test]
+fn bounded_cache_destroys_warm_performance() {
+    let mut out = tracked_graph();
+    let seed = out.landmarks.pci_read_bases;
+    // Unbounded: after one closure the working set is resident.
+    out.graph.warm_up();
+    out.graph.reset_cache_stats();
+    let _ = frappe::core::usecases::backward_slice(&out.graph, seed);
+    assert_eq!(out.graph.cache_stats().faults, 0);
+    // Tightly bounded: the same "warm" closure keeps faulting.
+    out.graph.set_cache_capacity_pages(64);
+    out.graph.warm_up();
+    out.graph.reset_cache_stats();
+    let _ = frappe::core::usecases::backward_slice(&out.graph, seed);
+    assert!(
+        out.graph.cache_stats().faults > 50,
+        "faults = {}",
+        out.graph.cache_stats().faults
+    );
+}

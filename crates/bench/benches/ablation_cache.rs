@@ -7,7 +7,7 @@
 //! comprehension closure, showing the thrash regime a memory-constrained
 //! deployment would hit.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use frappe_harness::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use frappe_bench::scale_from_env;
 use frappe_core::traverse;
 use frappe_model::EdgeType;

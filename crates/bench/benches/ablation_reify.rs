@@ -6,7 +6,7 @@
 //! notes the trade-off: per-file reference matching improves, but general
 //! traversals get longer paths. We measure both directions.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use frappe_harness::bench::{criterion_group, criterion_main, Criterion};
 use frappe_bench::{bench_graph, scale_from_env};
 use frappe_core::traverse;
 use frappe_model::{EdgeType, NodeType};

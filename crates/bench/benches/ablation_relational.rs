@@ -6,7 +6,7 @@
 //! `WITH RECURSIVE` evaluation (each iteration re-scans the edge relation)
 //! vs. adjacency-chain traversal.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use frappe_harness::bench::{criterion_group, criterion_main, Criterion};
 use frappe_bench::{bench_graph, scale_from_env};
 use frappe_core::traverse;
 use frappe_model::EdgeType;

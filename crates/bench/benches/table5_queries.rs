@@ -11,7 +11,7 @@
 //! page cache), the *abort path* of the enumeration semantics, and the
 //! embedded closure.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use frappe_harness::bench::{criterion_group, criterion_main, Criterion};
 use frappe_bench::{bench_graph, scale_from_env};
 use frappe_core::{queries, traverse, usecases};
 use frappe_query::{Engine, EngineOptions, PathSemantics, Query, QueryError};

@@ -1,0 +1,589 @@
+//! A minimal shrinking property-test runner replacing `proptest`.
+//!
+//! A [`Strategy`] produces [`Shrinkable`] values — a value plus a lazy list
+//! of smaller candidates (a rose tree). [`check`] runs a property over many
+//! seeded cases; on failure it greedily walks the shrink tree to a (locally)
+//! minimal counterexample and panics with the seed and shrunk input so the
+//! failure reproduces.
+//!
+//! Environment knobs:
+//! - `FRAPPE_PT_CASES` — cases per property (default 64)
+//! - `FRAPPE_PT_SEED`  — base seed (default 0x5EED)
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::rc::Rc;
+
+use crate::rng::Rng;
+
+/// A generated value together with lazily computed shrink candidates,
+/// each itself shrinkable (rose tree).
+#[derive(Clone)]
+pub struct Shrinkable<T> {
+    /// The generated value.
+    pub value: T,
+    shrinks: Rc<dyn Fn() -> Vec<Shrinkable<T>>>,
+}
+
+impl<T: 'static> Shrinkable<T> {
+    /// A value with no shrink candidates.
+    pub fn leaf(value: T) -> Shrinkable<T> {
+        Shrinkable {
+            value,
+            shrinks: Rc::new(Vec::new),
+        }
+    }
+
+    /// A value with the given lazy shrink candidates.
+    pub fn with_shrinks(
+        value: T,
+        shrinks: impl Fn() -> Vec<Shrinkable<T>> + 'static,
+    ) -> Shrinkable<T> {
+        Shrinkable {
+            value,
+            shrinks: Rc::new(shrinks),
+        }
+    }
+
+    /// This value's immediate shrink candidates.
+    pub fn shrinks(&self) -> Vec<Shrinkable<T>> {
+        (self.shrinks)()
+    }
+
+    /// Maps the value and every shrink candidate through `f`.
+    pub fn map<U: 'static>(self, f: Rc<dyn Fn(&T) -> U>) -> Shrinkable<U>
+    where
+        T: Clone,
+    {
+        let value = f(&self.value);
+        let inner = self.shrinks.clone();
+        let shrinks = move || {
+            inner()
+                .into_iter()
+                .map(|s| s.map(f.clone()))
+                .collect::<Vec<_>>()
+        };
+        Shrinkable::with_shrinks(value, shrinks)
+    }
+}
+
+/// A generator of shrinkable values.
+#[derive(Clone)]
+pub struct Strategy<T> {
+    gen: Rc<dyn Fn(&mut Rng) -> Shrinkable<T>>,
+}
+
+impl<T: 'static> Strategy<T> {
+    /// Wraps a generation function.
+    pub fn new(gen: impl Fn(&mut Rng) -> Shrinkable<T> + 'static) -> Strategy<T> {
+        Strategy { gen: Rc::new(gen) }
+    }
+
+    /// Generates one shrinkable value.
+    pub fn generate(&self, rng: &mut Rng) -> Shrinkable<T> {
+        (self.gen)(rng)
+    }
+
+    /// A strategy whose values are mapped through `f` (shrinks map through
+    /// the underlying tree, so mapped strategies still shrink well).
+    pub fn map<U: 'static>(self, f: impl Fn(&T) -> U + 'static) -> Strategy<U>
+    where
+        T: Clone,
+    {
+        let f: Rc<dyn Fn(&T) -> U> = Rc::new(f);
+        Strategy::new(move |rng| (self.gen)(rng).map(f.clone()))
+    }
+}
+
+/// Always produces `value`, never shrinks.
+pub fn just<T: Clone + 'static>(value: T) -> Strategy<T> {
+    Strategy::new(move |_| Shrinkable::leaf(value.clone()))
+}
+
+fn shrink_int_toward<T>(value: T, lo: T) -> Vec<Shrinkable<T>>
+where
+    T: Copy + PartialOrd + IntHalve + 'static,
+{
+    // Candidates: the lower bound itself, then values approaching `value`
+    // from *below* by successive halving of the remaining distance
+    // (`value - d` for d = full, full/2, …, 1). Ending at `value - 1`
+    // guarantees greedy shrinking can always take the last single step to
+    // the true minimal counterexample.
+    let mut out = Vec::new();
+    if value == lo {
+        return out;
+    }
+    let mut push = |v: T| {
+        if out.iter().all(|s: &Shrinkable<T>| s.value != v) {
+            out.push(Shrinkable::with_shrinks(v, move || shrink_int_toward(v, lo)));
+        }
+    };
+    push(lo);
+    let full = T::distance(lo, value);
+    let mut delta = full.halve();
+    while delta.is_positive_distance() {
+        let cand = T::add_distance(lo, full.minus(delta));
+        if cand != value && cand != lo {
+            push(cand);
+        }
+        delta = delta.halve();
+    }
+    out
+}
+
+/// Integer helper for shrinking arithmetic without per-type code.
+pub trait IntHalve: PartialEq + Copy {
+    /// `hi - lo` as a distance value.
+    fn distance(lo: Self, hi: Self) -> Self::Dist
+    where
+        Self: Sized;
+    /// `lo + d`.
+    fn add_distance(lo: Self, d: Self::Dist) -> Self;
+    /// The distance type.
+    type Dist: Copy + DistOps;
+}
+
+/// Operations on a shrink distance.
+pub trait DistOps {
+    /// Halves the distance (toward zero).
+    fn halve(self) -> Self;
+    /// Whether the distance is still nonzero.
+    fn is_positive_distance(self) -> bool;
+    /// Saturating subtraction of another distance.
+    fn minus(self, other: Self) -> Self;
+}
+
+impl DistOps for u64 {
+    fn halve(self) -> u64 {
+        self / 2
+    }
+    fn is_positive_distance(self) -> bool {
+        self > 0
+    }
+    fn minus(self, other: u64) -> u64 {
+        self.saturating_sub(other)
+    }
+}
+
+macro_rules! int_halve {
+    ($($t:ty),*) => {$(
+        impl IntHalve for $t {
+            type Dist = u64;
+            fn distance(lo: $t, hi: $t) -> u64 {
+                (hi as i128 - lo as i128) as u64
+            }
+            fn add_distance(lo: $t, d: u64) -> $t {
+                (lo as i128 + d as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_halve!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! int_range_strategy {
+    ($($fn_name:ident: $t:ty),*) => {$(
+        /// Uniform integers in `[lo, hi)`, shrinking toward `lo`.
+        pub fn $fn_name(lo: $t, hi: $t) -> Strategy<$t> {
+            assert!(lo < hi, "empty range");
+            Strategy::new(move |rng| {
+                let v = rng.random_range(lo..hi);
+                Shrinkable::with_shrinks(v, move || shrink_int_toward(v, lo))
+            })
+        }
+    )*};
+}
+
+int_range_strategy!(
+    u8_range: u8,
+    u16_range: u16,
+    u32_range: u32,
+    u64_range: u64,
+    usize_range: usize,
+    i64_range: i64
+);
+
+/// Uniform `f64` in `[lo, hi)`, shrinking toward `lo`.
+pub fn f64_range(lo: f64, hi: f64) -> Strategy<f64> {
+    assert!(lo < hi, "empty range");
+    fn shrink_f64(value: f64, lo: f64) -> Vec<Shrinkable<f64>> {
+        if value == lo {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        out.push(Shrinkable::with_shrinks(lo, move || shrink_f64(lo, lo)));
+        let mid = lo + (value - lo) / 2.0;
+        if mid != lo && mid != value {
+            out.push(Shrinkable::with_shrinks(mid, move || shrink_f64(mid, lo)));
+        }
+        out
+    }
+    Strategy::new(move |rng| {
+        let v = rng.random_range(lo..hi);
+        Shrinkable::with_shrinks(v, move || shrink_f64(v, lo))
+    })
+}
+
+/// `true`/`false` uniformly, shrinking `true → false`.
+pub fn any_bool() -> Strategy<bool> {
+    Strategy::new(|rng| {
+        let v = rng.random_bool(0.5);
+        Shrinkable::with_shrinks(v, move || {
+            if v {
+                vec![Shrinkable::leaf(false)]
+            } else {
+                Vec::new()
+            }
+        })
+    })
+}
+
+fn shrink_vec<T: Clone + 'static>(items: Vec<Shrinkable<T>>, min_len: usize) -> Vec<Shrinkable<Vec<T>>> {
+    let mut out = Vec::new();
+    // First: drop chunks (half, then single elements), respecting min_len.
+    if items.len() > min_len {
+        let half = items.len() / 2;
+        if half >= min_len && half < items.len() {
+            // Keep either half.
+            let first: Vec<_> = items[..half].to_vec();
+            let second: Vec<_> = items[items.len() - half..].to_vec();
+            out.push(assemble_vec(first, min_len));
+            out.push(assemble_vec(second, min_len));
+        }
+        for i in 0..items.len() {
+            let mut fewer = items.clone();
+            fewer.remove(i);
+            out.push(assemble_vec(fewer, min_len));
+        }
+    }
+    // Then: shrink each element in place.
+    for (i, item) in items.iter().enumerate() {
+        for smaller in item.shrinks() {
+            let mut copy = items.clone();
+            copy[i] = smaller;
+            out.push(assemble_vec(copy, min_len));
+        }
+    }
+    out
+}
+
+fn assemble_vec<T: Clone + 'static>(items: Vec<Shrinkable<T>>, min_len: usize) -> Shrinkable<Vec<T>> {
+    let value: Vec<T> = items.iter().map(|s| s.value.clone()).collect();
+    Shrinkable::with_shrinks(value, move || shrink_vec(items.clone(), min_len))
+}
+
+/// Vectors of `element` with a length drawn from `[min_len, max_len)`.
+/// Shrinks by removing elements (down to `min_len`) and shrinking elements.
+pub fn vec_of<T: Clone + 'static>(
+    element: Strategy<T>,
+    min_len: usize,
+    max_len: usize,
+) -> Strategy<Vec<T>> {
+    assert!(min_len < max_len, "empty length range");
+    Strategy::new(move |rng| {
+        let len = rng.random_range(min_len..max_len);
+        let items: Vec<Shrinkable<T>> = (0..len).map(|_| element.generate(rng)).collect();
+        assemble_vec(items, min_len)
+    })
+}
+
+/// Strings over `alphabet` with length in `[min_len, max_len)`. Shrinks by
+/// dropping characters and moving characters toward the first alphabet entry.
+pub fn string_of(alphabet: &str, min_len: usize, max_len: usize) -> Strategy<String> {
+    let chars: Vec<char> = alphabet.chars().collect();
+    assert!(!chars.is_empty(), "empty alphabet");
+    let char_strategy = usize_range(0, chars.len()).map({
+        let chars = chars.clone();
+        move |i| chars[*i]
+    });
+    vec_of(char_strategy, min_len, max_len).map(|cs| cs.iter().collect::<String>())
+}
+
+/// Arbitrary short strings mixing ASCII and a few multibyte characters.
+pub fn any_string(min_len: usize, max_len: usize) -> Strategy<String> {
+    string_of(
+        "abcdefghijklmnopqrstuvwxyzABCXYZ0123456789_-./ éλ中",
+        min_len,
+        max_len,
+    )
+}
+
+/// Pairs of independent strategies.
+pub fn tuple2<A: Clone + 'static, B: Clone + 'static>(
+    a: Strategy<A>,
+    b: Strategy<B>,
+) -> Strategy<(A, B)> {
+    Strategy::new(move |rng| assemble_tuple2(a.generate(rng), b.generate(rng)))
+}
+
+fn assemble_tuple2<A: Clone + 'static, B: Clone + 'static>(
+    a: Shrinkable<A>,
+    b: Shrinkable<B>,
+) -> Shrinkable<(A, B)> {
+    let value = (a.value.clone(), b.value.clone());
+    Shrinkable::with_shrinks(value, move || {
+        let mut out = Vec::new();
+        for sa in a.shrinks() {
+            out.push(assemble_tuple2(sa, b.clone()));
+        }
+        for sb in b.shrinks() {
+            out.push(assemble_tuple2(a.clone(), sb));
+        }
+        out
+    })
+}
+
+/// Triples of independent strategies.
+pub fn tuple3<A: Clone + 'static, B: Clone + 'static, C: Clone + 'static>(
+    a: Strategy<A>,
+    b: Strategy<B>,
+    c: Strategy<C>,
+) -> Strategy<(A, B, C)> {
+    tuple2(a, tuple2(b, c)).map(|(a, (b, c))| (a.clone(), b.clone(), c.clone()))
+}
+
+/// Picks uniformly among the given strategies. Shrinking prefers moving to
+/// an earlier strategy's simplest value, then shrinking within the choice.
+pub fn one_of<T: Clone + 'static>(options: Vec<Strategy<T>>) -> Strategy<T> {
+    assert!(!options.is_empty(), "one_of needs at least one option");
+    Strategy::new(move |rng| {
+        let idx = rng.random_range(0..options.len());
+        let chosen = options[idx].generate(rng);
+        if idx == 0 {
+            return chosen;
+        }
+        // Offer a jump to the first option's value (deterministically seeded
+        // so shrinking is reproducible) before in-place shrinks.
+        let first = options[0].generate(&mut Rng::seed_from_u64(0));
+        let chosen2 = chosen.clone();
+        Shrinkable::with_shrinks(chosen.value.clone(), move || {
+            let mut out = vec![first.clone()];
+            out.extend(chosen2.shrinks());
+            out
+        })
+    })
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn passes<T>(prop: &dyn Fn(&T) -> Result<(), String>, value: &T) -> Result<(), String> {
+    match catch_unwind(AssertUnwindSafe(|| prop(value))) {
+        Ok(r) => r,
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic>".to_owned());
+            Err(format!("panic: {msg}"))
+        }
+    }
+}
+
+/// Runs `prop` against `cases` generated inputs (default 64, override via
+/// `FRAPPE_PT_CASES`). On failure, shrinks to a locally minimal
+/// counterexample and panics with the case seed and the shrunk value.
+///
+/// The property reports failure either by returning `Err(reason)` or by
+/// panicking (so plain `assert!` works).
+pub fn check<T: Clone + std::fmt::Debug + 'static>(
+    name: &str,
+    strategy: &Strategy<T>,
+    prop: impl Fn(&T) -> Result<(), String>,
+) {
+    let cases = env_usize("FRAPPE_PT_CASES", 64);
+    let base_seed = env_u64("FRAPPE_PT_SEED", 0x5EED) ^ fnv1a(name);
+    let prop: &dyn Fn(&T) -> Result<(), String> = &prop;
+
+    for case in 0..cases as u64 {
+        let seed = base_seed.wrapping_add(case);
+        let mut rng = Rng::seed_from_u64(seed);
+        let generated = strategy.generate(&mut rng);
+        let first_failure = match passes(prop, &generated.value) {
+            Ok(()) => continue,
+            Err(e) => e,
+        };
+
+        // Greedy shrink: repeatedly move to the first failing candidate.
+        let mut current = generated;
+        let mut reason = first_failure.clone();
+        let mut steps = 0usize;
+        'outer: while steps < 1000 {
+            for candidate in current.shrinks() {
+                steps += 1;
+                if steps >= 1000 {
+                    break 'outer;
+                }
+                if let Err(e) = passes(prop, &candidate.value) {
+                    current = candidate;
+                    reason = e;
+                    continue 'outer;
+                }
+            }
+            break; // every candidate passes: locally minimal
+        }
+
+        panic!(
+            "property '{name}' failed (seed {seed:#x}, case {case}, {steps} shrink steps)\n\
+             minimal counterexample: {:?}\nreason: {reason}\n\
+             original failure: {first_failure}\n\
+             rerun with FRAPPE_PT_SEED={:#x} FRAPPE_PT_CASES={}",
+            current.value,
+            base_seed ^ fnv1a(name),
+            cases,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_passes() {
+        check("sum_commutes", &tuple2(u32_range(0, 100), u32_range(0, 100)), |(a, b)| {
+            if a + b == b + a {
+                Ok(())
+            } else {
+                Err("math broke".into())
+            }
+        });
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_minimal() {
+        // Property: all values < 10. Minimal counterexample is exactly 10.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check("lt_ten", &u32_range(0, 1000), |v| {
+                if *v < 10 {
+                    Ok(())
+                } else {
+                    Err(format!("{v} >= 10"))
+                }
+            });
+        }));
+        let msg = match result {
+            Ok(()) => panic!("property should have failed"),
+            Err(p) => p
+                .downcast_ref::<String>()
+                .cloned()
+                .expect("panic message should be a String"),
+        };
+        assert!(
+            msg.contains("minimal counterexample: 10"),
+            "shrinking did not reach 10:\n{msg}"
+        );
+    }
+
+    #[test]
+    fn vec_shrinks_toward_short_and_small() {
+        // Property: no element equals 7. Minimal counterexample: [7].
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check(
+                "no_sevens",
+                &vec_of(u8_range(0, 50), 0, 20),
+                |xs| {
+                    if xs.contains(&7) {
+                        Err("found 7".into())
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        }));
+        let msg = match result {
+            Ok(()) => panic!("property should have failed"),
+            Err(p) => p.downcast_ref::<String>().cloned().unwrap(),
+        };
+        assert!(
+            msg.contains("minimal counterexample: [7]"),
+            "shrinking did not reach [7]:\n{msg}"
+        );
+    }
+
+    #[test]
+    fn panicking_property_is_caught_and_shrunk() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check("assert_style", &u32_range(0, 100), |v| {
+                assert!(*v < 5, "{v} too big");
+                Ok(())
+            });
+        }));
+        let msg = match result {
+            Ok(()) => panic!("property should have failed"),
+            Err(p) => p.downcast_ref::<String>().cloned().unwrap(),
+        };
+        assert!(msg.contains("minimal counterexample: 5"), "{msg}");
+    }
+
+    #[test]
+    fn strategies_are_deterministic_per_seed() {
+        let s = vec_of(u32_range(0, 1000), 0, 10);
+        let a = s.generate(&mut Rng::seed_from_u64(99)).value;
+        let b = s.generate(&mut Rng::seed_from_u64(99)).value;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn string_strategies_respect_alphabet_and_length() {
+        let s = string_of("ab", 1, 5);
+        let mut rng = Rng::seed_from_u64(1);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng).value;
+            assert!((1..5).contains(&v.chars().count()));
+            assert!(v.chars().all(|c| c == 'a' || c == 'b'));
+        }
+    }
+
+    #[test]
+    fn one_of_draws_from_all_options() {
+        let s = one_of(vec![just(1u32), just(2), just(3)]);
+        let mut rng = Rng::seed_from_u64(4);
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[s.generate(&mut rng).value as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn mapped_strategies_shrink_through() {
+        // Doubled ints: property fails for >= 20, minimal should be 20
+        // (i.e. underlying 10 mapped through ×2).
+        let s = u32_range(0, 1000).map(|v| v * 2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check("doubled", &s, |v| {
+                if *v < 20 {
+                    Ok(())
+                } else {
+                    Err("big".into())
+                }
+            });
+        }));
+        let msg = match result {
+            Ok(()) => panic!("property should have failed"),
+            Err(p) => p.downcast_ref::<String>().cloned().unwrap(),
+        };
+        assert!(msg.contains("minimal counterexample: 20"), "{msg}");
+    }
+}

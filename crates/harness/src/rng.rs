@@ -1,0 +1,324 @@
+//! Seeded deterministic PRNG: xoshiro256++ with SplitMix64 seeding.
+//!
+//! Replaces `rand` for the synthetic-graph and synthetic-source generators.
+//! Determinism is load-bearing: the Section 5 evaluation harness (Tables
+//! 3–6) regenerates its graphs from fixed seeds, so the sequence produced
+//! for a given seed is pinned by golden-value tests and must never change.
+//! If the algorithm ever has to change, bump the seeds in `frappe-synth` and
+//! re-baseline the calibration tests in the same commit.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A seeded xoshiro256++ generator.
+///
+/// The API mirrors the subset of `rand` the workspace used: construction via
+/// [`Rng::seed_from_u64`] and sampling via [`Rng::random_range`], plus
+/// [`Rng::shuffle`] and weighted choice.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Seeds the full 256-bit state from a 64-bit seed via SplitMix64, the
+    /// expansion the xoshiro authors recommend.
+    pub fn seed_from_u64(seed: u64) -> Rng {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// The next raw 64-bit output (xoshiro256++).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// The next 32-bit output (upper half of [`Rng::next_u64`]).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)` via Lemire's multiply-shift reduction
+    /// (bias < 2⁻⁶⁴, irrelevant at our sample counts and a single multiply).
+    #[inline]
+    fn bounded_u64(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    /// Samples uniformly from a range, like `rand`'s `random_range`.
+    ///
+    /// Supported: `Range`/`RangeInclusive` over the integer types and
+    /// `Range<f64>`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    #[inline]
+    pub fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn random_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.bounded_u64(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// Uniformly picks an element.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> Option<&'a T> {
+        if xs.is_empty() {
+            None
+        } else {
+            Some(&xs[self.bounded_u64(xs.len() as u64) as usize])
+        }
+    }
+
+    /// Picks an index with probability proportional to its weight. Zero or
+    /// negative weights never win. Returns `None` if no weight is positive.
+    pub fn choose_weighted(&mut self, weights: &[f64]) -> Option<usize> {
+        let total: f64 = weights.iter().filter(|w| **w > 0.0).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let mut x = self.next_f64() * total;
+        for (i, w) in weights.iter().enumerate() {
+            if *w > 0.0 {
+                x -= *w;
+                if x < 0.0 {
+                    return Some(i);
+                }
+            }
+        }
+        // Float round-off: fall back to the last positive weight.
+        weights.iter().rposition(|w| *w > 0.0)
+    }
+}
+
+/// A range that [`Rng::random_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample(self, rng: &mut Rng) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.bounded_u64(span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample(self, rng: &mut Rng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.bounded_u64(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample(self, rng: &mut Rng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + (self.end - self.start) * rng.next_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Golden outputs: the first 8 raw outputs for seeds {0, 1, 0xdeadbeef}.
+    /// These pin the generator algorithm itself — see the module docs. The
+    /// values were produced by this implementation at introduction time and
+    /// cross-checked against the reference xoshiro256++ / SplitMix64 C code.
+    #[test]
+    fn golden_sequences_are_pinned() {
+        let first8 = |seed: u64| {
+            let mut r = Rng::seed_from_u64(seed);
+            std::array::from_fn::<u64, 8, _>(|_| r.next_u64())
+        };
+        assert_eq!(
+            first8(0),
+            [
+                0x53175d61490b23df,
+                0x61da6f3dc380d507,
+                0x5c0fdf91ec9a7bfc,
+                0x02eebf8c3bbe5e1a,
+                0x7eca04ebaf4a5eea,
+                0x0543c37757f08d9a,
+                0xdb7490c75ab5026e,
+                0xd87343e6464bc959,
+            ]
+        );
+        assert_eq!(
+            first8(1),
+            [
+                0xcfc5d07f6f03c29b,
+                0xbf424132963fe08d,
+                0x19a37d5757aaf520,
+                0xbf08119f05cd56d6,
+                0x2f47184b86186fa4,
+                0x97299fcae7202345,
+                0xfca3c79508f41507,
+                0x85fea5c90363f221,
+            ]
+        );
+        assert_eq!(
+            first8(0xdeadbeef),
+            [
+                0x0c520eb8fea98ede,
+                0x2b74a6338b80e0e2,
+                0xbe238770c3795322,
+                0x5f235f98a244ea97,
+                0xe004f0cc1514d858,
+                0x436a209963ff9223,
+                0x8302e81b9685b6d4,
+                0xa7eec00b77ec3019,
+            ]
+        );
+    }
+
+    #[test]
+    fn equal_seeds_equal_streams() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Rng::seed_from_u64(7);
+        for _ in 0..2000 {
+            let x = r.random_range(3..17u8);
+            assert!((3..17).contains(&x));
+            let y = r.random_range(0..5usize);
+            assert!(y < 5);
+            let z = r.random_range(-10..10i64);
+            assert!((-10..10).contains(&z));
+            let f = r.random_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let i = r.random_range(0..=3u32);
+            assert!(i <= 3);
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut r = Rng::seed_from_u64(11);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[r.random_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn unit_float_distribution_is_sane() {
+        let mut r = Rng::seed_from_u64(5);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| r.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Rng::seed_from_u64(9);
+        let mut xs: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(xs, sorted, "shuffle left the slice in order");
+    }
+
+    #[test]
+    fn weighted_choice_respects_weights() {
+        let mut r = Rng::seed_from_u64(13);
+        let weights = [0.0, 1.0, 9.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..5000 {
+            counts[r.choose_weighted(&weights).unwrap()] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert!(counts[2] > counts[1] * 5, "counts {counts:?}");
+        assert_eq!(r.choose_weighted(&[0.0, -1.0]), None);
+        assert_eq!(r.choose_weighted(&[]), None);
+    }
+
+    #[test]
+    fn choose_picks_elements() {
+        let mut r = Rng::seed_from_u64(3);
+        let xs = [10, 20, 30];
+        for _ in 0..50 {
+            assert!(xs.contains(r.choose(&xs).unwrap()));
+        }
+        assert_eq!(r.choose::<u8>(&[]), None);
+    }
+
+    #[test]
+    fn random_bool_probabilities() {
+        let mut r = Rng::seed_from_u64(21);
+        assert!(!(0..100).any(|_| r.random_bool(0.0)));
+        assert!((0..100).all(|_| r.random_bool(1.0)));
+        let heads = (0..10_000).filter(|_| r.random_bool(0.3)).count();
+        assert!((2500..3500).contains(&heads), "heads {heads}");
+    }
+}

@@ -1,0 +1,468 @@
+//! Derive-free serialization: a compact length-prefixed little-endian binary
+//! codec plus a line-oriented text codec.
+//!
+//! Replaces `serde` (whose derives the model types used to carry without
+//! ever feeding a real format) and `bytes` (whose `Buf`/`BufMut` the
+//! snapshot codec cursored with). Types opt in by writing explicit
+//! [`Encode`]/[`Decode`] impls — there is deliberately no derive: the
+//! snapshot format is a stable on-disk contract ("ship the data store in
+//! version control", paper §6.3), and explicit impls make format changes
+//! reviewable.
+
+use std::fmt;
+
+/// An error produced while decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    msg: String,
+}
+
+impl DecodeError {
+    /// Creates an error with a short description of the corruption.
+    pub fn new(msg: impl Into<String>) -> DecodeError {
+        DecodeError { msg: msg.into() }
+    }
+
+    /// The description.
+    pub fn message(&self) -> &str {
+        &self.msg
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A growable little-endian byte sink (the `BufMut` replacement).
+#[derive(Default, Debug, Clone)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+macro_rules! put_le {
+    ($($name:ident: $t:ty),*) => {$(
+        /// Appends the value in little-endian byte order.
+        #[inline]
+        pub fn $name(&mut self, v: $t) {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    )*};
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    /// Creates a writer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> ByteWriter {
+        ByteWriter {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends one byte.
+    #[inline]
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    put_le!(put_u16_le: u16, put_u32_le: u32, put_u64_le: u64, put_i64_le: i64, put_f64_le: f64);
+
+    /// Appends raw bytes.
+    #[inline]
+    pub fn put_slice(&mut self, s: &[u8]) {
+        self.buf.extend_from_slice(s);
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the bytes.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// The bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// A cursor over a byte slice (the `Buf` replacement).
+///
+/// The `try_get_*` methods return [`DecodeError`] on underflow; the
+/// unprefixed `get_*` methods panic (use them only behind an explicit
+/// [`ByteReader::remaining`] guard, mirroring `bytes::Buf`).
+#[derive(Debug, Clone, Copy)]
+pub struct ByteReader<'a> {
+    data: &'a [u8],
+}
+
+macro_rules! get_le {
+    ($($get:ident / $try_get:ident: $t:ty),*) => {$(
+        /// Reads the value (little-endian). Panics on underflow.
+        #[inline]
+        pub fn $get(&mut self) -> $t {
+            self.$try_get().expect("byte reader underflow")
+        }
+
+        /// Reads the value (little-endian), or errors on underflow.
+        #[inline]
+        pub fn $try_get(&mut self) -> Result<$t, DecodeError> {
+            const N: usize = std::mem::size_of::<$t>();
+            if self.data.len() < N {
+                return Err(DecodeError::new(concat!("truncated ", stringify!($t))));
+            }
+            let (head, rest) = self.data.split_at(N);
+            self.data = rest;
+            Ok(<$t>::from_le_bytes(head.try_into().unwrap()))
+        }
+    )*};
+}
+
+impl<'a> ByteReader<'a> {
+    /// Wraps a byte slice.
+    pub fn new(data: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { data }
+    }
+
+    /// Bytes left to read.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether any bytes are left.
+    #[inline]
+    pub fn has_remaining(&self) -> bool {
+        !self.data.is_empty()
+    }
+
+    get_le!(
+        get_u8 / try_get_u8: u8,
+        get_u16_le / try_get_u16_le: u16,
+        get_u32_le / try_get_u32_le: u32,
+        get_u64_le / try_get_u64_le: u64,
+        get_i64_le / try_get_i64_le: i64,
+        get_f64_le / try_get_f64_le: f64
+    );
+
+    /// Copies exactly `dst.len()` bytes out. Panics on underflow.
+    #[inline]
+    pub fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        let (head, rest) = self.data.split_at(dst.len());
+        dst.copy_from_slice(head);
+        self.data = rest;
+    }
+
+    /// Borrows the next `n` bytes without copying, or errors on underflow.
+    #[inline]
+    pub fn try_take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.data.len() < n {
+            return Err(DecodeError::new("truncated bytes"));
+        }
+        let (head, rest) = self.data.split_at(n);
+        self.data = rest;
+        Ok(head)
+    }
+}
+
+/// A value with a binary encoding.
+pub trait Encode {
+    /// Appends this value's encoding to `w`.
+    fn encode(&self, w: &mut ByteWriter);
+}
+
+/// A value decodable from its [`Encode`] output.
+pub trait Decode: Sized {
+    /// Reads one value, consuming exactly the bytes [`Encode::encode`]
+    /// produced.
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError>;
+}
+
+/// Encodes a value into a fresh byte vector.
+pub fn encode_to_vec<T: Encode + ?Sized>(value: &T) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    value.encode(&mut w);
+    w.into_vec()
+}
+
+/// Decodes a value from a byte slice, rejecting trailing bytes.
+pub fn decode_from_slice<T: Decode>(data: &[u8]) -> Result<T, DecodeError> {
+    let mut r = ByteReader::new(data);
+    let v = T::decode(&mut r)?;
+    if r.has_remaining() {
+        return Err(DecodeError::new("trailing bytes"));
+    }
+    Ok(v)
+}
+
+macro_rules! prim_codec {
+    ($($t:ty => $put:ident / $get:ident),*) => {$(
+        impl Encode for $t {
+            #[inline]
+            fn encode(&self, w: &mut ByteWriter) {
+                w.$put(*self);
+            }
+        }
+        impl Decode for $t {
+            #[inline]
+            fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+                r.$get()
+            }
+        }
+    )*};
+}
+
+prim_codec!(
+    u8 => put_u8 / try_get_u8,
+    u16 => put_u16_le / try_get_u16_le,
+    u32 => put_u32_le / try_get_u32_le,
+    u64 => put_u64_le / try_get_u64_le,
+    i64 => put_i64_le / try_get_i64_le,
+    f64 => put_f64_le / try_get_f64_le
+);
+
+impl Encode for bool {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u8(u8::from(*self));
+    }
+}
+
+impl Decode for bool {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        match r.try_get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(DecodeError::new("bad bool byte")),
+        }
+    }
+}
+
+impl Encode for str {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u32_le(self.len() as u32);
+        w.put_slice(self.as_bytes());
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.as_str().encode(w);
+    }
+}
+
+impl Decode for String {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let len = r.try_get_u32_le()? as usize;
+        let bytes = r.try_take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::new("invalid utf8"))
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            None => w.put_u8(0),
+            Some(v) => {
+                w.put_u8(1);
+                v.encode(w);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        match r.try_get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            _ => Err(DecodeError::new("bad option tag")),
+        }
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u32_le(self.len() as u32);
+        for v in self {
+            v.encode(w);
+        }
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let len = r.try_get_u32_le()? as usize;
+        // Guard against absurd length prefixes in corrupt input: never
+        // preallocate more than the bytes that could plausibly back it.
+        let mut out = Vec::with_capacity(len.min(r.remaining()));
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.0.encode(w);
+        self.1.encode(w);
+    }
+}
+
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+/// Line-oriented text records: tab-separated fields, one record per line,
+/// with `\t` / `\n` / `\r` / `\\` escaped. Human-greppable sidecar format
+/// for debug dumps and golden files.
+pub mod text {
+    use super::DecodeError;
+
+    /// Escapes one field.
+    pub fn escape_field(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '\t' => out.push_str("\\t"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    /// Reverses [`escape_field`].
+    pub fn unescape_field(s: &str) -> Result<String, DecodeError> {
+        let mut out = String::with_capacity(s.len());
+        let mut chars = s.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('\\') => out.push('\\'),
+                Some('t') => out.push('\t'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                _ => return Err(DecodeError::new("bad escape")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Appends one record (fields + terminating newline) to `out`.
+    pub fn write_record(out: &mut String, fields: &[&str]) {
+        for (i, f) in fields.iter().enumerate() {
+            if i > 0 {
+                out.push('\t');
+            }
+            out.push_str(&escape_field(f));
+        }
+        out.push('\n');
+    }
+
+    /// Parses one line (without its newline) back into fields.
+    pub fn parse_record(line: &str) -> Result<Vec<String>, DecodeError> {
+        line.split('\t').map(unescape_field).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = ByteWriter::new();
+        0xABu8.encode(&mut w);
+        0x1234u16.encode(&mut w);
+        0xDEADBEEFu32.encode(&mut w);
+        (-5i64).encode(&mut w);
+        1.5f64.encode(&mut w);
+        true.encode(&mut w);
+        let bytes = w.into_vec();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(u8::decode(&mut r).unwrap(), 0xAB);
+        assert_eq!(u16::decode(&mut r).unwrap(), 0x1234);
+        assert_eq!(u32::decode(&mut r).unwrap(), 0xDEADBEEF);
+        assert_eq!(i64::decode(&mut r).unwrap(), -5);
+        assert_eq!(f64::decode(&mut r).unwrap(), 1.5);
+        assert!(bool::decode(&mut r).unwrap());
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn little_endian_layout_is_pinned() {
+        assert_eq!(encode_to_vec(&0x0102_0304u32), vec![4, 3, 2, 1]);
+        assert_eq!(encode_to_vec(&0x0102u16), vec![2, 1]);
+    }
+
+    #[test]
+    fn compound_round_trip() {
+        let v: (String, Vec<Option<u32>>) =
+            ("héllo\tworld".to_owned(), vec![Some(1), None, Some(3)]);
+        let bytes = encode_to_vec(&v);
+        let back: (String, Vec<Option<u32>>) = decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        assert!(decode_from_slice::<String>(&[5, 0, 0, 0, b'a']).is_err()); // short
+        assert!(decode_from_slice::<bool>(&[2]).is_err());
+        assert!(decode_from_slice::<Option<u8>>(&[7]).is_err());
+        // Trailing bytes rejected.
+        assert!(decode_from_slice::<u8>(&[1, 2]).is_err());
+        // Invalid UTF-8 rejected.
+        assert!(decode_from_slice::<String>(&[2, 0, 0, 0, 0xFF, 0xFE]).is_err());
+        // Absurd vec length prefix errors out instead of allocating.
+        assert!(decode_from_slice::<Vec<u64>>(&[0xFF, 0xFF, 0xFF, 0xFF]).is_err());
+    }
+
+    #[test]
+    fn every_truncation_errors() {
+        let bytes = encode_to_vec(&(
+            "abc".to_owned(),
+            vec![Some(7u32), None],
+        ));
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_from_slice::<(String, Vec<Option<u32>>)>(&bytes[..cut]).is_err(),
+                "prefix {cut} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn text_records_round_trip() {
+        let fields = ["plain", "with\ttab", "with\nnewline", "back\\slash", ""];
+        let mut out = String::new();
+        text::write_record(&mut out, &fields);
+        assert_eq!(out.lines().count(), 1);
+        let back = text::parse_record(out.trim_end_matches('\n')).unwrap();
+        assert_eq!(back, fields);
+        assert!(text::unescape_field("bad\\x").is_err());
+        assert!(text::unescape_field("dangling\\").is_err());
+    }
+}

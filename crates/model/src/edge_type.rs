@@ -1,12 +1,12 @@
 //! Edge types of the Frappé graph model (paper Table 1, "Edges" column).
 
-use serde::{Deserialize, Serialize};
+use frappe_harness::serdes::{ByteReader, ByteWriter, Decode, DecodeError, Encode};
 
 /// The 30 edge types of Table 1.
 ///
 /// The `u8` discriminants are stable and used directly in the fixed-width
 /// relationship records of `frappe-store`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 #[repr(u8)]
 pub enum EdgeType {
     /// Function → function call.
@@ -76,7 +76,7 @@ pub enum EdgeType {
 ///
 /// The paper notes Neo4j does *not* extend label support to edges; our store
 /// does, and the `table6_labels` bench measures what that buys.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum EdgeGroup {
     /// Build/link structure: compiled_from, linked_from, link_declares, ...
     Link,
@@ -223,6 +223,18 @@ impl EdgeType {
     }
 }
 
+impl Encode for EdgeType {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u8(*self as u8);
+    }
+}
+
+impl Decode for EdgeType {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        EdgeType::from_u8(r.try_get_u8()?).ok_or_else(|| DecodeError::new("bad edge type"))
+    }
+}
+
 impl std::fmt::Display for EdgeType {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
@@ -248,6 +260,15 @@ mod tests {
             assert_eq!(EdgeType::parse(t.name()), Some(t));
         }
         assert_eq!(EdgeType::parse("owns"), None);
+    }
+
+    #[test]
+    fn codec_round_trips_and_validates() {
+        use frappe_harness::serdes::{decode_from_slice, encode_to_vec};
+        for t in EdgeType::ALL {
+            assert_eq!(decode_from_slice::<EdgeType>(&encode_to_vec(&t)).unwrap(), t);
+        }
+        assert!(decode_from_slice::<EdgeType>(&[EdgeType::COUNT as u8]).is_err());
     }
 
     #[test]

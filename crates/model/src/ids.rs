@@ -4,17 +4,17 @@
 //! dense indices into the record stores of `frappe-store`, mirroring how
 //! Neo4j node/relationship ids index fixed-width store records.
 
-use serde::{Deserialize, Serialize};
+use frappe_harness::serdes::{ByteReader, ByteWriter, Decode, DecodeError, Encode};
 
 /// Identifier of a node in the dependency graph.
 ///
 /// Dense: ids are handed out sequentially by the store, so they double as
 /// indices into columnar per-node data (degree arrays, visited bitsets).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 /// Identifier of an edge (relationship) in the dependency graph.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EdgeId(pub u32);
 
 /// Identifier of a source file, used by the `USE_FILE_ID` / `NAME_FILE_ID`
@@ -23,12 +23,12 @@ pub struct EdgeId(pub u32);
 /// The paper stores raw file ids on edges (rather than a hyper-edge to the
 /// file node) because Neo4j lacks hyper-edges — see Section 6.2. We keep the
 /// same representation so the clumsiness it causes can be measured.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FileId(pub u32);
 
 /// Identifier of a codebase version in the temporal store (`frappe-temporal`),
 /// addressing the Section 6.3 challenge of evolving codebases.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VersionId(pub u32);
 
 macro_rules! id_impls {
@@ -47,6 +47,18 @@ macro_rules! id_impls {
             #[inline]
             pub fn from_index(i: usize) -> Self {
                 $t(u32::try_from(i).expect("id overflow"))
+            }
+        }
+
+        impl Encode for $t {
+            fn encode(&self, w: &mut ByteWriter) {
+                w.put_u32_le(self.0);
+            }
+        }
+
+        impl Decode for $t {
+            fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+                Ok($t(r.try_get_u32_le()?))
             }
         }
 
@@ -98,6 +110,18 @@ mod tests {
     #[should_panic(expected = "id overflow")]
     fn from_index_rejects_overflow() {
         let _ = NodeId::from_index(usize::try_from(u64::from(u32::MAX) + 1).unwrap());
+    }
+
+    #[test]
+    fn ids_encode_as_u32_le() {
+        use frappe_harness::serdes::{decode_from_slice, encode_to_vec};
+        assert_eq!(encode_to_vec(&NodeId(0x01020304)), vec![4, 3, 2, 1]);
+        assert_eq!(decode_from_slice::<EdgeId>(&[7, 0, 0, 0]).unwrap(), EdgeId(7));
+        assert_eq!(decode_from_slice::<FileId>(&[9, 0, 0, 0]).unwrap(), FileId(9));
+        assert_eq!(
+            decode_from_slice::<VersionId>(&[2, 0, 0, 0]).unwrap(),
+            VersionId(2)
+        );
     }
 
     #[test]

@@ -5,10 +5,10 @@
 //! types (`symbol`, `type`, `container`). Our store implements this, and the
 //! query language supports `(n:container:symbol {name: "foo"})`.
 
-use serde::{Deserialize, Serialize};
+use frappe_harness::serdes::{ByteReader, ByteWriter, Decode, DecodeError, Encode};
 
 /// A grouped node label.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 #[repr(u8)]
 pub enum Label {
     /// Named program entities developers search for.
@@ -74,8 +74,32 @@ impl Label {
 }
 
 /// A compact set of labels, stored inline in node records.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct LabelSet(pub u8);
+
+impl Encode for Label {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u8(*self as u8);
+    }
+}
+
+impl Decode for Label {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Label::from_u8(r.try_get_u8()?).ok_or_else(|| DecodeError::new("bad label"))
+    }
+}
+
+impl Encode for LabelSet {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u8(self.0);
+    }
+}
+
+impl Decode for LabelSet {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(LabelSet(r.try_get_u8()?))
+    }
+}
 
 impl LabelSet {
     /// The empty label set.
@@ -184,6 +208,17 @@ mod tests {
     fn label_set_debug_format() {
         let s = LabelSet::from_slice(&[Label::Container, Label::Symbol]);
         assert_eq!(format!("{s:?}"), "symbol:container");
+    }
+
+    #[test]
+    fn label_codec_round_trips_and_validates() {
+        use frappe_harness::serdes::{decode_from_slice, encode_to_vec};
+        for l in Label::ALL {
+            assert_eq!(decode_from_slice::<Label>(&encode_to_vec(&l)).unwrap(), l);
+        }
+        assert!(decode_from_slice::<Label>(&[200]).is_err());
+        let s = LabelSet::from_slice(&[Label::Symbol, Label::Decl]);
+        assert_eq!(decode_from_slice::<LabelSet>(&encode_to_vec(&s)).unwrap(), s);
     }
 
     #[test]

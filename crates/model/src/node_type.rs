@@ -5,13 +5,13 @@
 //! group [`Label`]s (the Neo4j 2.x improvement of Table 6).
 
 use crate::label::Label;
-use serde::{Deserialize, Serialize};
+use frappe_harness::serdes::{ByteReader, ByteWriter, Decode, DecodeError, Encode};
 
 /// The 21 node types of Table 1.
 ///
 /// The `u8` discriminants are stable and used directly in the fixed-width
 /// node records of `frappe-store`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 #[repr(u8)]
 pub enum NodeType {
     /// A filesystem directory.
@@ -66,7 +66,7 @@ pub enum NodeType {
 }
 
 /// Coarse structural grouping used for schema sanity checks and statistics.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum NodeGroup {
     /// Directories, files, modules.
     Structure,
@@ -213,6 +213,18 @@ impl NodeType {
     }
 }
 
+impl Encode for NodeType {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u8(*self as u8);
+    }
+}
+
+impl Decode for NodeType {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        NodeType::from_u8(r.try_get_u8()?).ok_or_else(|| DecodeError::new("bad node type"))
+    }
+}
+
 impl std::fmt::Display for NodeType {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
@@ -238,6 +250,15 @@ mod tests {
             assert_eq!(NodeType::parse(t.name()), Some(t));
         }
         assert_eq!(NodeType::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn codec_round_trips_and_validates() {
+        use frappe_harness::serdes::{decode_from_slice, encode_to_vec};
+        for t in NodeType::ALL {
+            assert_eq!(decode_from_slice::<NodeType>(&encode_to_vec(&t)).unwrap(), t);
+        }
+        assert!(decode_from_slice::<NodeType>(&[NodeType::COUNT as u8]).is_err());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! nodes and edges.
 
 use crate::value::PropValue;
-use serde::{Deserialize, Serialize};
+use frappe_harness::serdes::{ByteReader, ByteWriter, Decode, DecodeError, Encode};
 
 /// Well-known property keys of Table 2.
 ///
@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 /// Edge properties: the `USE_*` source range of the referencing expression,
 /// the `NAME_*` source range of the representative token, plus `ARRAY_LENGTHS`,
 /// `BIT_WIDTH`, `QUALIFIERS`, `INDEX`, and `LINK_ORDER`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 #[repr(u8)]
 pub enum PropKey {
     /// The file name / symbol name, e.g. `main`.
@@ -144,6 +144,18 @@ impl PropKey {
     }
 }
 
+impl Encode for PropKey {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u8(*self as u8);
+    }
+}
+
+impl Decode for PropKey {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        PropKey::from_u8(r.try_get_u8()?).ok_or_else(|| DecodeError::new("bad prop key"))
+    }
+}
+
 impl std::fmt::Display for PropKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
@@ -155,7 +167,7 @@ impl std::fmt::Display for PropKey {
 /// Properties per entity are few (≤ 22), so a sorted `Vec` beats a hash map
 /// in both space and time; lookups are a binary search over at most a few
 /// cache lines.
-#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug, Default)]
 pub struct PropMap {
     entries: Vec<(PropKey, PropValue)>,
 }
@@ -227,6 +239,31 @@ impl PropMap {
     }
 }
 
+/// Binary layout (snapshot format v1): u16 LE entry count, then per entry
+/// the key byte and the tagged [`PropValue`], in key order.
+impl Encode for PropMap {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u16_le(self.entries.len() as u16);
+        for (k, v) in self.iter() {
+            k.encode(w);
+            v.encode(w);
+        }
+    }
+}
+
+impl Decode for PropMap {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let n = r.try_get_u16_le()? as usize;
+        let mut m = PropMap::new();
+        for _ in 0..n {
+            let k = PropKey::decode(r)?;
+            let v = PropValue::decode(r)?;
+            m.insert(k, v);
+        }
+        Ok(m)
+    }
+}
+
 impl FromIterator<(PropKey, PropValue)> for PropMap {
     fn from_iter<I: IntoIterator<Item = (PropKey, PropValue)>>(iter: I) -> Self {
         let mut m = PropMap::new();
@@ -289,6 +326,23 @@ mod tests {
             keys,
             vec![PropKey::ShortName, PropKey::UseStartLine, PropKey::LinkOrder]
         );
+    }
+
+    #[test]
+    fn map_codec_round_trips_in_key_order() {
+        use frappe_harness::serdes::{decode_from_slice, encode_to_vec};
+        let m = PropMap::new()
+            .with(PropKey::LinkOrder, 9i64)
+            .with(PropKey::ShortName, "main")
+            .with(PropKey::Variadic, true)
+            .with(PropKey::ArrayLengths, PropValue::IntList(vec![4, 2]));
+        let bytes = encode_to_vec(&m);
+        let back: PropMap = decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, m);
+        // Encoding is canonical: re-encoding the decoded map is identical.
+        assert_eq!(encode_to_vec(&back), bytes);
+        // Unknown key byte is rejected.
+        assert!(decode_from_slice::<PropMap>(&[1, 0, 99, 0, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
     }
 
     #[test]

@@ -5,10 +5,10 @@
 //! and `r` for restrict. For example `char **argv` (Figure 2) yields the
 //! coding `**`, and `const char *p` ("pointer to const char") yields `*c`.
 
-use serde::{Deserialize, Serialize};
+use frappe_harness::serdes::{ByteReader, ByteWriter, Decode, DecodeError, Encode};
 
 /// A single type qualifier / derivation step.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Qualifier {
     /// Array derivation (`]`).
     Array,
@@ -53,7 +53,7 @@ impl Qualifier {
 /// `char **argv` is "argv is a pointer to pointer to char" → `**`;
 /// `int x[4]` is "x is an array of int" → `]`;
 /// `const int *p` is "p is a pointer to const int" → `*c`.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
 pub struct Qualifiers(pub Vec<Qualifier>);
 
 impl Qualifiers {
@@ -103,6 +103,22 @@ impl Qualifiers {
     /// Whether the outermost derivation makes this an array type.
     pub fn is_array(&self) -> bool {
         self.0.first() == Some(&Qualifier::Array)
+    }
+}
+
+/// Binary layout: the paper's coded string (`]*cvr` alphabet), as a
+/// u32-length-prefixed UTF-8 string — identical to how a `QUALIFIERS`
+/// property value is stored.
+impl Encode for Qualifiers {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.encode().encode(w);
+    }
+}
+
+impl Decode for Qualifiers {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let s = String::decode(r)?;
+        Qualifiers::decode(&s).ok_or_else(|| DecodeError::new("bad qualifier coding"))
     }
 }
 
@@ -158,6 +174,16 @@ mod tests {
         // int (*x)[4] → "pointer to array of int" → "*]"
         let ptr_to_arr = Qualifiers::decode("*]").unwrap();
         assert!(!ptr_to_arr.is_array());
+    }
+
+    #[test]
+    fn binary_codec_round_trips_coded_string() {
+        use frappe_harness::serdes::{decode_from_slice, encode_to_vec};
+        let q = Qualifiers::decode("]*cvr").unwrap();
+        let bytes = encode_to_vec(&q);
+        assert_eq!(decode_from_slice::<Qualifiers>(&bytes).unwrap(), q);
+        // An invalid coding character is rejected at decode time.
+        assert!(decode_from_slice::<Qualifiers>(&encode_to_vec("&x")).is_err());
     }
 
     #[test]

@@ -9,10 +9,10 @@
 
 use crate::ids::FileId;
 use crate::props::{PropKey, PropMap};
-use serde::{Deserialize, Serialize};
+use frappe_harness::serdes::{ByteReader, ByteWriter, Decode, DecodeError, Encode};
 
 /// A 1-based line/column position.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct SrcPos {
     /// 1-based line.
     pub line: u32,
@@ -34,7 +34,7 @@ impl std::fmt::Display for SrcPos {
 }
 
 /// A source range within one file.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct SrcRange {
     /// The file the range lies in.
     pub file: FileId,
@@ -105,6 +105,42 @@ impl SrcRange {
     }
 }
 
+impl Encode for SrcPos {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u32_le(self.line);
+        w.put_u32_le(self.col);
+    }
+}
+
+impl Decode for SrcPos {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(SrcPos {
+            line: r.try_get_u32_le()?,
+            col: r.try_get_u32_le()?,
+        })
+    }
+}
+
+/// Binary layout (snapshot format v1): five u32 LE words — file id, start
+/// line/col, end line/col.
+impl Encode for SrcRange {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u32_le(self.file.0);
+        self.start.encode(w);
+        self.end.encode(w);
+    }
+}
+
+impl Decode for SrcRange {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(SrcRange {
+            file: FileId(r.try_get_u32_le()?),
+            start: SrcPos::decode(r)?,
+            end: SrcPos::decode(r)?,
+        })
+    }
+}
+
 impl std::fmt::Display for SrcRange {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "f{}:{}-{}", self.file.0, self.start, self.end)
@@ -148,6 +184,19 @@ mod tests {
         assert_eq!(SrcRange::read_name_props(&m), Some(r));
         // This is exactly the Figure 4 go-to-definition anchor shape.
         assert_eq!(m.get(PropKey::NameStartLine), Some(&104i64.into()));
+    }
+
+    #[test]
+    fn range_codec_is_five_u32_words() {
+        use frappe_harness::serdes::{decode_from_slice, encode_to_vec};
+        let r = SrcRange::new(FileId(1), 4, 10, 4, 18);
+        let bytes = encode_to_vec(&r);
+        assert_eq!(bytes.len(), 20);
+        assert_eq!(
+            bytes,
+            vec![1, 0, 0, 0, 4, 0, 0, 0, 10, 0, 0, 0, 4, 0, 0, 0, 18, 0, 0, 0]
+        );
+        assert_eq!(decode_from_slice::<SrcRange>(&bytes).unwrap(), r);
     }
 
     #[test]

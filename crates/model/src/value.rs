@@ -5,7 +5,7 @@
 //! (`USE_START_LINE`, `VALUE`), flags (`VARIADIC`), and coded strings
 //! (`QUALIFIERS`). [`PropValue`] is the sum type the store keeps.
 
-use serde::{Deserialize, Serialize};
+use frappe_harness::serdes::{ByteReader, ByteWriter, Decode, DecodeError, Encode};
 
 /// On-disk size of one property record (Neo4j: 41 bytes, holding up to four
 /// property blocks).
@@ -16,7 +16,7 @@ pub const DYNAMIC_BLOCK: usize = 128;
 pub const BLOCKS_PER_RECORD: usize = 4;
 
 /// A property value on a node or edge.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum PropValue {
     /// A 64-bit signed integer (line numbers, enumerator values, indexes).
     Int(i64),
@@ -117,6 +117,55 @@ impl PropValue {
                 }
             }
             PropValue::IntList(v) => (v.len() * 8).div_ceil(DYNAMIC_BLOCK - 8) * DYNAMIC_BLOCK,
+        }
+    }
+}
+
+/// Binary layout (snapshot format v1): tag byte `0`=Int, `1`=Str, `2`=Bool,
+/// `3`=IntList, followed by the payload (i64 LE / u32-length-prefixed UTF-8 /
+/// u8 / u32 count + i64 LE items).
+impl Encode for PropValue {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            PropValue::Int(i) => {
+                w.put_u8(0);
+                w.put_i64_le(*i);
+            }
+            PropValue::Str(s) => {
+                w.put_u8(1);
+                w.put_u32_le(s.len() as u32);
+                w.put_slice(s.as_bytes());
+            }
+            PropValue::Bool(b) => {
+                w.put_u8(2);
+                w.put_u8(u8::from(*b));
+            }
+            PropValue::IntList(v) => {
+                w.put_u8(3);
+                w.put_u32_le(v.len() as u32);
+                for i in v {
+                    w.put_i64_le(*i);
+                }
+            }
+        }
+    }
+}
+
+impl Decode for PropValue {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        match r.try_get_u8()? {
+            0 => Ok(PropValue::Int(r.try_get_i64_le()?)),
+            1 => Ok(PropValue::Str(String::decode(r)?)),
+            2 => Ok(PropValue::Bool(r.try_get_u8()? != 0)),
+            3 => {
+                let len = r.try_get_u32_le()? as usize;
+                let mut v = Vec::with_capacity(len.min(r.remaining() / 8));
+                for _ in 0..len {
+                    v.push(r.try_get_i64_le()?);
+                }
+                Ok(PropValue::IntList(v))
+            }
+            _ => Err(DecodeError::new("bad value tag")),
         }
     }
 }
@@ -230,6 +279,39 @@ mod tests {
         let long = PropValue::from("a".repeat(500));
         assert_eq!(short.storage_bytes(), 41);
         assert!(long.storage_bytes() > 41 + 128);
+    }
+
+    #[test]
+    fn codec_round_trips_every_variant() {
+        use frappe_harness::serdes::{decode_from_slice, encode_to_vec};
+        for v in [
+            PropValue::Int(-42),
+            PropValue::from("héllo"),
+            PropValue::Bool(true),
+            PropValue::Bool(false),
+            PropValue::IntList(vec![1, -2, i64::MAX]),
+            PropValue::IntList(vec![]),
+        ] {
+            let bytes = encode_to_vec(&v);
+            assert_eq!(decode_from_slice::<PropValue>(&bytes).unwrap(), v);
+        }
+        // Unknown tag is rejected.
+        assert!(decode_from_slice::<PropValue>(&[9]).is_err());
+    }
+
+    #[test]
+    fn codec_layout_is_pinned() {
+        use frappe_harness::serdes::encode_to_vec;
+        // The snapshot v1 layout is an on-disk contract: tag then payload.
+        assert_eq!(
+            encode_to_vec(&PropValue::Int(1)),
+            vec![0, 1, 0, 0, 0, 0, 0, 0, 0]
+        );
+        assert_eq!(
+            encode_to_vec(&PropValue::from("ab")),
+            vec![1, 2, 0, 0, 0, b'a', b'b']
+        );
+        assert_eq!(encode_to_vec(&PropValue::Bool(true)), vec![2, 1]);
     }
 
     #[test]

@@ -3,10 +3,10 @@
 //! agree on `RETURN distinct` endpoints; and both agree with a reference
 //! BFS.
 
+use frappe_harness::proptest_lite as pt;
 use frappe_model::{EdgeType, NodeId, NodeType};
 use frappe_query::{Engine, EngineOptions, PathSemantics, Query};
 use frappe_store::GraphStore;
-use proptest::prelude::*;
 use std::collections::HashSet;
 
 fn dag(edges: &[(u8, u8)], n: usize) -> GraphStore {
@@ -41,15 +41,16 @@ fn reference_closure(g: &GraphStore, start: NodeId) -> HashSet<NodeId> {
     seen
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn prop_semantics_agree_on_dags(
-        edges in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..40),
-    ) {
+#[test]
+fn prop_semantics_agree_on_dags() {
+    let strategy = pt::vec_of(
+        pt::tuple2(pt::u8_range(0, 255), pt::u8_range(0, 255)),
+        0,
+        40,
+    );
+    pt::check("semantics_agree_on_dags", &strategy, |edges| {
         let n = 12;
-        let g = dag(&edges, n);
+        let g = dag(edges, n);
         let q = Query::parse(
             "START n=node:node_auto_index('short_name: f0') \
              MATCH n -[:calls*]-> m RETURN distinct m",
@@ -71,17 +72,23 @@ proptest! {
         let enumerate = run(PathSemantics::Enumerate);
         let reach = run(PathSemantics::Reachability);
         let reference = reference_closure(&g, NodeId(0));
-        prop_assert_eq!(&enumerate, &reference);
-        prop_assert_eq!(&reach, &reference);
-    }
+        assert_eq!(enumerate, reference);
+        assert_eq!(reach, reference);
+        Ok(())
+    });
+}
 
-    /// Fixed-length hop counts agree with manual hop expansion.
-    #[test]
-    fn prop_two_hop_matches_manual(
-        edges in proptest::collection::vec((0u8..10, 0u8..10), 0..30),
-    ) {
+/// Fixed-length hop counts agree with manual hop expansion.
+#[test]
+fn prop_two_hop_matches_manual() {
+    let strategy = pt::vec_of(
+        pt::tuple2(pt::u8_range(0, 10), pt::u8_range(0, 10)),
+        0,
+        30,
+    );
+    pt::check("two_hop_matches_manual", &strategy, |edges| {
         let n = 10;
-        let g = dag(&edges, n);
+        let g = dag(edges, n);
         let q = Query::parse(
             "START n=node:node_auto_index('short_name: f0') \
              MATCH n -[:calls*2]-> m RETURN distinct m",
@@ -100,6 +107,7 @@ proptest! {
                 expect.insert(m2);
             }
         }
-        prop_assert_eq!(got, expect);
-    }
+        assert_eq!(got, expect);
+        Ok(())
+    });
 }

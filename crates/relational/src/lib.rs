@@ -301,7 +301,6 @@ pub fn traversal_reachability(g: &GraphStore, seed: NodeId, types: &[EdgeType]) 
 mod tests {
     use super::*;
     use frappe_model::NodeType;
-    use proptest::prelude::*;
 
     fn chain_graph(n: usize) -> (GraphStore, Vec<NodeId>) {
         let mut g = GraphStore::new();
@@ -404,39 +403,42 @@ mod tests {
         assert_eq!(reach.len(), 2); // b and a (through the cycle)
     }
 
-    proptest! {
-        /// Semi-naive relational evaluation and direct traversal agree on
-        /// random graphs.
-        #[test]
-        fn prop_relational_matches_traversal(
-            edges in proptest::collection::vec((0u32..20, 0u32..20), 0..60),
-            seed in 0u32..20,
-        ) {
+    /// Semi-naive relational evaluation and direct traversal agree on
+    /// random graphs.
+    #[test]
+    fn prop_relational_matches_traversal() {
+        use frappe_harness::proptest_lite as pt;
+        let strategy = pt::tuple2(
+            pt::vec_of(pt::tuple2(pt::u32_range(0, 20), pt::u32_range(0, 20)), 0, 60),
+            pt::u32_range(0, 20),
+        );
+        pt::check("relational_matches_traversal", &strategy, |(edges, seed)| {
             let mut g = GraphStore::new();
             let ns: Vec<NodeId> =
                 (0..20).map(|i| g.add_node(NodeType::Function, &format!("f{i}"))).collect();
-            for (a, b) in &edges {
+            for (a, b) in edges {
                 g.add_edge(ns[*a as usize], EdgeType::Calls, ns[*b as usize]);
             }
             g.freeze();
             let rel = Relation::edges_from_graph(&g, &[EdgeType::Calls]);
             let mut stats = EvalStats::default();
-            let reach = recursive_reachability(&rel, ns[seed as usize], &mut stats);
+            let reach = recursive_reachability(&rel, ns[*seed as usize], &mut stats);
             let mut rel_ids: Vec<i64> =
                 reach.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
             rel_ids.sort_unstable();
-            let trav = traversal_reachability(&g, ns[seed as usize], &[EdgeType::Calls]);
+            let trav = traversal_reachability(&g, ns[*seed as usize], &[EdgeType::Calls]);
             let mut trav_ids: Vec<i64> = trav
                 .iter()
                 .map(|n| i64::from(n.0))
-                .filter(|id| *id != i64::from(ns[seed as usize].0))
+                .filter(|id| *id != i64::from(ns[*seed as usize].0))
                 .collect();
             // The relational version includes the seed if it is reachable
             // through a cycle; traversal excludes only unreached seed.
-            let seed_id = i64::from(ns[seed as usize].0);
+            let seed_id = i64::from(ns[*seed as usize].0);
             rel_ids.retain(|id| *id != seed_id);
             trav_ids.sort_unstable();
-            prop_assert_eq!(rel_ids, trav_ids);
-        }
+            assert_eq!(rel_ids, trav_ids);
+            Ok(())
+        });
     }
 }

@@ -23,7 +23,6 @@ use crate::pagecache::{CacheMode, CacheStats, IoCostModel, PageCache, StoreFile}
 use frappe_model::{
     EdgeId, EdgeType, Label, LabelSet, NodeId, NodeType, PropKey, PropMap, PropValue, SrcRange,
 };
-use serde::{Deserialize, Serialize};
 
 /// Simulated on-disk node record size (Neo4j 2.x: 15 bytes incl. in-use byte).
 pub const NODE_RECORD_BYTES: u64 = 15;
@@ -34,7 +33,7 @@ pub const EDGE_RECORD_BYTES: u64 = 34;
 const NIL: u32 = u32::MAX;
 
 /// In-memory node record.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct NodeData {
     /// The node's Table 1 type.
     pub ty: NodeType,
@@ -53,7 +52,7 @@ pub struct NodeData {
 }
 
 /// In-memory edge (relationship) record.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct EdgeData {
     /// The edge's Table 1 type.
     pub ty: EdgeType,
@@ -96,7 +95,10 @@ pub enum Direction {
 }
 
 /// The property-graph store.
-#[derive(Serialize, Deserialize)]
+///
+/// Persistence goes through the [`crate::snapshot`] codec, which serializes
+/// the logical fields (records, interner, liveness, frozen flag) and
+/// rebuilds the derived state (cache, indexes, property offsets) on load.
 pub struct GraphStore {
     pub(crate) nodes: Vec<NodeData>,
     pub(crate) edges: Vec<EdgeData>,
@@ -104,17 +106,12 @@ pub struct GraphStore {
     pub(crate) live_nodes: u32,
     pub(crate) live_edges: u32,
     pub(crate) frozen: bool,
-    #[serde(skip)]
     pub(crate) cache: PageCache,
-    #[serde(skip)]
     pub(crate) name_index: Option<NameIndex>,
-    #[serde(skip)]
     pub(crate) label_index: Option<LabelIndex>,
     /// Cumulative simulated byte offset of each node's property chain
     /// (built at freeze; drives NodeProps page accounting).
-    #[serde(skip)]
     node_prop_offsets: Vec<u64>,
-    #[serde(skip)]
     edge_prop_offsets: Vec<u64>,
 }
 

@@ -4,11 +4,10 @@
 //! target of ~79 k `isa_type` edges — Figure 7), so node names and long
 //! property strings are interned once and referenced by a `u32` symbol.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// An interned string handle.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Sym(pub u32);
 
 /// An append-only string interner.
@@ -16,7 +15,7 @@ pub struct Sym(pub u32);
 /// Interning is bijective: equal strings get equal symbols, and every symbol
 /// resolves back to exactly the string that produced it (verified by a
 /// property test).
-#[derive(Default, Serialize, Deserialize)]
+#[derive(Default)]
 pub struct StringInterner {
     strings: Vec<Box<str>>,
     lookup: HashMap<Box<str>, Sym>,
@@ -86,7 +85,6 @@ impl std::fmt::Debug for StringInterner {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn intern_dedupes() {
@@ -120,23 +118,26 @@ mod tests {
         assert_eq!(i.data_bytes(), 2);
     }
 
-    proptest! {
-        /// Interning is a bijection between distinct strings and symbols.
-        #[test]
-        fn prop_intern_bijective(strings in proptest::collection::vec(".{0,12}", 0..64)) {
+    /// Interning is a bijection between distinct strings and symbols.
+    #[test]
+    fn prop_intern_bijective() {
+        use frappe_harness::proptest_lite as pt;
+        let strategy = pt::vec_of(pt::any_string(0, 13), 0, 64);
+        pt::check("intern_bijective", &strategy, |strings| {
             let mut i = StringInterner::new();
             let syms: Vec<Sym> = strings.iter().map(|s| i.intern(s)).collect();
             for (s, sym) in strings.iter().zip(&syms) {
-                prop_assert_eq!(i.resolve(*sym), s.as_str());
+                assert_eq!(i.resolve(*sym), s.as_str());
             }
             // Equal strings ⇒ equal syms; distinct strings ⇒ distinct syms.
             for (a, sa) in strings.iter().zip(&syms) {
                 for (b, sb) in strings.iter().zip(&syms) {
-                    prop_assert_eq!(a == b, sa == sb);
+                    assert_eq!(a == b, sa == sb);
                 }
             }
             let distinct: std::collections::HashSet<_> = strings.iter().collect();
-            prop_assert_eq!(i.len(), distinct.len());
-        }
+            assert_eq!(i.len(), distinct.len());
+            Ok(())
+        });
     }
 }

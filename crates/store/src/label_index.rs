@@ -81,7 +81,6 @@ fn intersect_sorted(a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn sample() -> GraphStore {
         let mut g = GraphStore::new();
@@ -133,18 +132,23 @@ mod tests {
         assert_eq!(g.nodes_with_type(NodeType::Function).unwrap().len(), 1);
     }
 
-    proptest! {
-        #[test]
-        fn prop_intersect_sorted_is_set_intersection(
-            a in proptest::collection::btree_set(0u32..64, 0..32),
-            b in proptest::collection::btree_set(0u32..64, 0..32),
-        ) {
+    #[test]
+    fn prop_intersect_sorted_is_set_intersection() {
+        use frappe_harness::proptest_lite as pt;
+        use std::collections::BTreeSet;
+        let strategy = pt::tuple2(
+            pt::vec_of(pt::u32_range(0, 64), 0, 32),
+            pt::vec_of(pt::u32_range(0, 64), 0, 32),
+        );
+        pt::check("intersect_sorted_is_set_intersection", &strategy, |(a, b)| {
+            let a: BTreeSet<u32> = a.iter().copied().collect();
+            let b: BTreeSet<u32> = b.iter().copied().collect();
             let av: Vec<NodeId> = a.iter().map(|x| NodeId(*x)).collect();
             let bv: Vec<NodeId> = b.iter().map(|x| NodeId(*x)).collect();
             let got = intersect_sorted(&av, &bv);
-            let expect: Vec<NodeId> =
-                a.intersection(&b).map(|x| NodeId(*x)).collect();
-            prop_assert_eq!(got, expect);
-        }
+            let expect: Vec<NodeId> = a.intersection(&b).map(|x| NodeId(*x)).collect();
+            assert_eq!(got, expect);
+            Ok(())
+        });
     }
 }

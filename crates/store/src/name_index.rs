@@ -280,7 +280,6 @@ impl NameIndex {
 mod tests {
     use super::*;
     use frappe_model::NodeType;
-    use proptest::prelude::*;
 
     fn sample() -> GraphStore {
         let mut g = GraphStore::new();
@@ -387,54 +386,58 @@ mod tests {
         assert!(hits.is_empty());
     }
 
-    proptest! {
-        /// Index lookup agrees with a brute-force linear scan for arbitrary
-        /// names and patterns built from a small alphabet.
-        #[test]
-        fn prop_index_matches_linear_scan(
-            names in proptest::collection::vec("[abc]{0,4}", 1..24),
-            pattern in "[abc*?]{0,5}",
-        ) {
+    /// Index lookup agrees with a brute-force linear scan for arbitrary
+    /// names and patterns built from a small alphabet.
+    #[test]
+    fn prop_index_matches_linear_scan() {
+        use frappe_harness::proptest_lite as pt;
+        let strategy = pt::tuple2(
+            pt::vec_of(pt::string_of("abc", 0, 5), 1, 24),
+            pt::string_of("abc*?", 0, 6),
+        );
+        pt::check("index_matches_linear_scan", &strategy, |(names, pattern)| {
             let mut g = GraphStore::new();
             let ids: Vec<NodeId> =
                 names.iter().map(|n| g.add_node(NodeType::Function, n)).collect();
             g.freeze();
-            let pat = NamePattern::parse(&pattern);
+            let pat = NamePattern::parse(pattern);
             let mut expected: Vec<NodeId> = ids
                 .iter()
-                .zip(&names)
+                .zip(names)
                 .filter(|(_, n)| pat.matches(&n.to_ascii_lowercase()))
                 .map(|(id, _)| *id)
                 .collect();
             expected.sort_unstable();
             expected.dedup();
             let got = g.lookup_name(NameField::ShortName, &pat).unwrap();
-            prop_assert_eq!(got, expected);
-        }
+            assert_eq!(got, expected);
+            Ok(())
+        });
+    }
 
-        /// The glob matcher agrees with a simple recursive reference
-        /// implementation.
-        #[test]
-        fn prop_glob_matches_reference(
-            pattern in "[ab*?]{0,6}",
-            text in "[ab]{0,6}",
-        ) {
-            fn reference(p: &[char], t: &[char]) -> bool {
-                match (p.first(), t.first()) {
-                    (None, None) => true,
-                    (Some('*'), _) => {
-                        reference(&p[1..], t)
-                            || (!t.is_empty() && reference(p, &t[1..]))
-                    }
-                    (Some('?'), Some(_)) => reference(&p[1..], &t[1..]),
-                    (Some(c), Some(d)) if c == d => reference(&p[1..], &t[1..]),
-                    _ => false,
+    /// The glob matcher agrees with a simple recursive reference
+    /// implementation.
+    #[test]
+    fn prop_glob_matches_reference() {
+        use frappe_harness::proptest_lite as pt;
+        fn reference(p: &[char], t: &[char]) -> bool {
+            match (p.first(), t.first()) {
+                (None, None) => true,
+                (Some('*'), _) => {
+                    reference(&p[1..], t) || (!t.is_empty() && reference(p, &t[1..]))
                 }
+                (Some('?'), Some(_)) => reference(&p[1..], &t[1..]),
+                (Some(c), Some(d)) if c == d => reference(&p[1..], &t[1..]),
+                _ => false,
             }
+        }
+        let strategy = pt::tuple2(pt::string_of("ab*?", 0, 7), pt::string_of("ab", 0, 7));
+        pt::check("glob_matches_reference", &strategy, |(pattern, text)| {
             let p: Vec<char> = pattern.chars().collect();
             let t: Vec<char> = text.chars().collect();
-            prop_assert_eq!(glob_match(&pattern, &text), reference(&p, &t));
-        }
+            assert_eq!(glob_match(pattern, text), reference(&p, &t));
+            Ok(())
+        });
     }
 }
 
@@ -442,7 +445,6 @@ mod tests {
 mod fuzzy_tests {
     use super::*;
     use frappe_model::NodeType;
-    use proptest::prelude::*;
 
     #[test]
     fn fuzzy_pattern_parses() {
@@ -511,20 +513,23 @@ mod fuzzy_tests {
         dp[a.len()][b.len()]
     }
 
-    proptest! {
-        /// The banded check agrees with full Levenshtein for all k in 0..4.
-        #[test]
-        fn prop_banded_matches_reference(a in "[ab]{0,8}", b in "[ab]{0,8}") {
+    /// The banded check agrees with full Levenshtein for all k in 0..4.
+    #[test]
+    fn prop_banded_matches_reference() {
+        use frappe_harness::proptest_lite as pt;
+        let strategy = pt::tuple2(pt::string_of("ab", 0, 9), pt::string_of("ab", 0, 9));
+        pt::check("banded_matches_reference", &strategy, |(a, b)| {
             let av: Vec<char> = a.chars().collect();
             let bv: Vec<char> = b.chars().collect();
             let d = levenshtein_reference(&av, &bv);
             for k in 0..4usize {
-                prop_assert_eq!(
-                    edit_distance_at_most(&a, &b, k),
+                assert_eq!(
+                    edit_distance_at_most(a, b, k),
                     d <= k,
-                    "a={} b={} k={} d={}", a, b, k, d
+                    "a={a} b={b} k={k} d={d}"
                 );
             }
-        }
+            Ok(())
+        });
     }
 }

@@ -3,10 +3,10 @@
 //! Section 6.3 discusses shipping "the graph data store Frappé generates
 //! within the version control system alongside the source code". That
 //! requires a compact, deterministic on-disk format. This module implements
-//! a hand-rolled little-endian binary codec (no external format crates):
-//! `encode` serializes the complete logical store — including tombstones, so
-//! node/edge ids are stable across a round trip, which the temporal store
-//! depends on — and `decode` rebuilds it.
+//! a hand-rolled little-endian binary codec on `frappe_harness::serdes` (no
+//! external format crates): `encode` serializes the complete logical store —
+//! including tombstones, so node/edge ids are stable across a round trip,
+//! which the temporal store depends on — and `decode` rebuilds it.
 //!
 //! Format (version 1):
 //!
@@ -19,14 +19,15 @@
 //!            [use_range 5×u32], [name_range 5×u32], [propmap]
 //! propmap:   count u16, then per entry: key u8, tag u8, payload
 //! ```
+//!
+//! The propmap and range layouts are the `Encode`/`Decode` impls on
+//! `frappe_model` types; this module only adds the record framing.
 
 use crate::error::StoreError;
 use crate::graph::GraphStore;
 use crate::interner::Sym;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-use frappe_model::{
-    EdgeType, FileId, LabelSet, NodeId, NodeType, PropKey, PropMap, PropValue, SrcRange,
-};
+use frappe_harness::serdes::{ByteReader, ByteWriter, Decode, Encode};
+use frappe_model::{EdgeType, LabelSet, NodeId, NodeType, PropMap, SrcRange};
 
 const MAGIC: &[u8; 4] = b"FRAP";
 const VERSION: u32 = 1;
@@ -40,8 +41,8 @@ const F_USE_RANGE: u8 = 2;
 const F_NAME_RANGE: u8 = 4;
 
 /// Serializes the store to bytes.
-pub fn encode(g: &GraphStore) -> Bytes {
-    let mut buf = BytesMut::with_capacity(64 + g.nodes.len() * 24 + g.edges.len() * 24);
+pub fn encode(g: &GraphStore) -> Vec<u8> {
+    let mut buf = ByteWriter::with_capacity(64 + g.nodes.len() * 24 + g.edges.len() * 24);
     buf.put_slice(MAGIC);
     buf.put_u32_le(VERSION);
     buf.put_u8(u8::from(g.frozen));
@@ -70,7 +71,7 @@ pub fn encode(g: &GraphStore) -> Bytes {
             buf.put_u32_le(s.0);
         }
         if let Some(m) = n.extra.as_deref() {
-            encode_propmap(&mut buf, m);
+            m.encode(&mut buf);
         }
     }
 
@@ -86,58 +87,22 @@ pub fn encode(g: &GraphStore) -> Bytes {
         buf.put_u32_le(e.src);
         buf.put_u32_le(e.dst);
         if let Some(r) = e.use_range {
-            encode_range(&mut buf, r);
+            r.encode(&mut buf);
         }
         if let Some(r) = e.name_range {
-            encode_range(&mut buf, r);
+            r.encode(&mut buf);
         }
         if let Some(m) = e.extra.as_deref() {
-            encode_propmap(&mut buf, m);
+            m.encode(&mut buf);
         }
     }
-    buf.freeze()
-}
-
-fn encode_range(buf: &mut BytesMut, r: SrcRange) {
-    buf.put_u32_le(r.file.0);
-    buf.put_u32_le(r.start.line);
-    buf.put_u32_le(r.start.col);
-    buf.put_u32_le(r.end.line);
-    buf.put_u32_le(r.end.col);
-}
-
-fn encode_propmap(buf: &mut BytesMut, m: &PropMap) {
-    buf.put_u16_le(m.len() as u16);
-    for (k, v) in m.iter() {
-        buf.put_u8(k as u8);
-        match v {
-            PropValue::Int(i) => {
-                buf.put_u8(0);
-                buf.put_i64_le(*i);
-            }
-            PropValue::Str(s) => {
-                buf.put_u8(1);
-                buf.put_u32_le(s.len() as u32);
-                buf.put_slice(s.as_bytes());
-            }
-            PropValue::Bool(b) => {
-                buf.put_u8(2);
-                buf.put_u8(u8::from(*b));
-            }
-            PropValue::IntList(v) => {
-                buf.put_u8(3);
-                buf.put_u32_le(v.len() as u32);
-                for i in v {
-                    buf.put_i64_le(*i);
-                }
-            }
-        }
-    }
+    buf.into_vec()
 }
 
 /// Deserializes a store from bytes. If the snapshot was frozen, the decoded
 /// store is re-frozen (indexes rebuilt).
-pub fn decode(mut data: &[u8]) -> Result<GraphStore, StoreError> {
+pub fn decode(data: &[u8]) -> Result<GraphStore, StoreError> {
+    let mut data = ByteReader::new(data);
     let corrupt = |msg: &str| StoreError::CorruptSnapshot(msg.to_owned());
     if data.remaining() < 9 {
         return Err(corrupt("truncated header"));
@@ -284,77 +249,21 @@ pub fn decode(mut data: &[u8]) -> Result<GraphStore, StoreError> {
     Ok(g)
 }
 
-fn read_u32(data: &mut &[u8]) -> Result<u32, StoreError> {
-    if data.remaining() < 4 {
-        return Err(StoreError::CorruptSnapshot("truncated u32".into()));
-    }
-    Ok(data.get_u32_le())
+fn read_u32(data: &mut ByteReader<'_>) -> Result<u32, StoreError> {
+    data.try_get_u32_le()
+        .map_err(|_| StoreError::CorruptSnapshot("truncated u32".into()))
 }
 
-fn read_string(data: &mut &[u8]) -> Result<String, StoreError> {
-    let len = read_u32(data)? as usize;
-    if data.remaining() < len {
-        return Err(StoreError::CorruptSnapshot("truncated string".into()));
-    }
-    let mut bytes = vec![0u8; len];
-    data.copy_to_slice(&mut bytes);
-    String::from_utf8(bytes).map_err(|_| StoreError::CorruptSnapshot("invalid utf8".into()))
+fn read_string(data: &mut ByteReader<'_>) -> Result<String, StoreError> {
+    String::decode(data).map_err(|e| StoreError::CorruptSnapshot(e.message().to_owned()))
 }
 
-fn decode_range(data: &mut &[u8]) -> Result<SrcRange, StoreError> {
-    if data.remaining() < 20 {
-        return Err(StoreError::CorruptSnapshot("truncated range".into()));
-    }
-    Ok(SrcRange::new(
-        FileId(data.get_u32_le()),
-        data.get_u32_le(),
-        data.get_u32_le(),
-        data.get_u32_le(),
-        data.get_u32_le(),
-    ))
+fn decode_range(data: &mut ByteReader<'_>) -> Result<SrcRange, StoreError> {
+    SrcRange::decode(data).map_err(|_| StoreError::CorruptSnapshot("truncated range".into()))
 }
 
-fn decode_propmap(data: &mut &[u8]) -> Result<PropMap, StoreError> {
-    if data.remaining() < 2 {
-        return Err(StoreError::CorruptSnapshot("truncated propmap".into()));
-    }
-    let n = data.get_u16_le() as usize;
-    let mut m = PropMap::new();
-    for _ in 0..n {
-        if data.remaining() < 2 {
-            return Err(StoreError::CorruptSnapshot("truncated prop entry".into()));
-        }
-        let key =
-            PropKey::from_u8(data.get_u8()).ok_or_else(|| {
-                StoreError::CorruptSnapshot("bad prop key".into())
-            })?;
-        let tag = data.get_u8();
-        let value = match tag {
-            0 => {
-                if data.remaining() < 8 {
-                    return Err(StoreError::CorruptSnapshot("truncated int".into()));
-                }
-                PropValue::Int(data.get_i64_le())
-            }
-            1 => PropValue::Str(read_string(data)?),
-            2 => {
-                if data.remaining() < 1 {
-                    return Err(StoreError::CorruptSnapshot("truncated bool".into()));
-                }
-                PropValue::Bool(data.get_u8() != 0)
-            }
-            3 => {
-                let len = read_u32(data)? as usize;
-                if data.remaining() < len * 8 {
-                    return Err(StoreError::CorruptSnapshot("truncated int list".into()));
-                }
-                PropValue::IntList((0..len).map(|_| data.get_i64_le()).collect())
-            }
-            _ => return Err(StoreError::CorruptSnapshot("bad value tag".into())),
-        };
-        m.insert(key, value);
-    }
-    Ok(m)
+fn decode_propmap(data: &mut ByteReader<'_>) -> Result<PropMap, StoreError> {
+    PropMap::decode(data).map_err(|e| StoreError::CorruptSnapshot(e.message().to_owned()))
 }
 
 /// Writes a snapshot to a file.
@@ -372,7 +281,7 @@ pub fn load(path: &std::path::Path) -> std::io::Result<GraphStore> {
 mod tests {
     use super::*;
     use crate::name_index::{NameField, NamePattern};
-    use frappe_model::PropKey;
+    use frappe_model::{FileId, PropKey, PropValue};
 
     fn build_sample() -> GraphStore {
         let mut g = GraphStore::new();
@@ -467,7 +376,7 @@ mod tests {
     #[test]
     fn decode_rejects_trailing_bytes() {
         let g = build_sample();
-        let mut bytes = encode(&g).to_vec();
+        let mut bytes = encode(&g);
         bytes.push(0);
         assert!(matches!(
             decode(&bytes),

@@ -2,9 +2,9 @@
 //! interleavings of inserts and deletes, snapshot round-trips, and
 //! index-vs-scan equivalence.
 
+use frappe_harness::proptest_lite as pt;
 use frappe_model::{EdgeType, NodeId, NodeType};
 use frappe_store::{snapshot, GraphStore, NameField, NamePattern};
-use proptest::prelude::*;
 
 /// A random mutation script.
 #[derive(Debug, Clone)]
@@ -15,13 +15,14 @@ enum Op {
     DeleteEdge(u8),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u8..21).prop_map(Op::AddNode),
-        (any::<u8>(), 0u8..30, any::<u8>()).prop_map(|(a, t, b)| Op::AddEdge(a, t, b)),
-        any::<u8>().prop_map(Op::DeleteNode),
-        any::<u8>().prop_map(Op::DeleteEdge),
-    ]
+fn op_strategy() -> pt::Strategy<Op> {
+    pt::one_of(vec![
+        pt::u8_range(0, 21).map(|t| Op::AddNode(*t)),
+        pt::tuple3(pt::u8_range(0, 255), pt::u8_range(0, 30), pt::u8_range(0, 255))
+            .map(|(a, t, b)| Op::AddEdge(*a, *t, *b)),
+        pt::u8_range(0, 255).map(|a| Op::DeleteNode(*a)),
+        pt::u8_range(0, 255).map(|a| Op::DeleteEdge(*a)),
+    ])
 }
 
 /// Applies a script, tracking a naive shadow model of live nodes/edges.
@@ -81,20 +82,17 @@ fn apply(ops: &[Op]) -> (GraphStore, Vec<bool>, Vec<(usize, usize, EdgeType, boo
     (g, nodes_alive, edges)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Adjacency chains agree with the shadow model after any interleaving
-    /// of inserts and deletes.
-    #[test]
-    fn prop_adjacency_matches_shadow_model(
-        ops in proptest::collection::vec(op_strategy(), 0..120),
-    ) {
-        let (g, nodes_alive, edges) = apply(&ops);
+/// Adjacency chains agree with the shadow model after any interleaving
+/// of inserts and deletes.
+#[test]
+fn prop_adjacency_matches_shadow_model() {
+    let strategy = pt::vec_of(op_strategy(), 0, 120);
+    pt::check("adjacency_matches_shadow_model", &strategy, |ops| {
+        let (g, nodes_alive, edges) = apply(ops);
         let live_nodes = nodes_alive.iter().filter(|x| **x).count();
         let live_edges = edges.iter().filter(|e| e.3).count();
-        prop_assert_eq!(g.node_count(), live_nodes);
-        prop_assert_eq!(g.edge_count(), live_edges);
+        assert_eq!(g.node_count(), live_nodes);
+        assert_eq!(g.edge_count(), live_edges);
         // Per-node out-chain contents equal the shadow's.
         for (i, alive) in nodes_alive.iter().enumerate() {
             if !alive {
@@ -112,42 +110,92 @@ proptest! {
                 .map(|(_, d, t, _)| (*d, *t))
                 .collect();
             expect.sort_unstable_by_key(|(d, t)| (*d, *t as u8));
-            prop_assert_eq!(got, expect);
+            assert_eq!(got, expect);
             // Degrees agree with chain length.
-            prop_assert_eq!(g.out_degree(n), g.out_edges(n, None).count());
-            prop_assert_eq!(g.in_degree(n), g.in_edges(n, None).count());
+            assert_eq!(g.out_degree(n), g.out_edges(n, None).count());
+            assert_eq!(g.in_degree(n), g.in_edges(n, None).count());
         }
-    }
+        Ok(())
+    });
+}
 
-    /// encode ∘ decode is the identity on arbitrary mutation results,
-    /// including tombstones, and double-encoding is stable.
-    #[test]
-    fn prop_snapshot_round_trip(
-        ops in proptest::collection::vec(op_strategy(), 0..80),
-    ) {
-        let (g, _, _) = apply(&ops);
+/// encode ∘ decode is the identity on arbitrary mutation results: counts,
+/// per-node records (type, labels, name), adjacency *order*, tombstones,
+/// name-index results, and the bytes themselves (double-encoding is stable).
+#[test]
+fn prop_snapshot_round_trip() {
+    let strategy = pt::vec_of(op_strategy(), 0, 80);
+    pt::check("snapshot_round_trip", &strategy, |ops| {
+        let (mut g, nodes_alive, _) = apply(ops);
         let bytes = snapshot::encode(&g);
-        let g2 = snapshot::decode(&bytes).unwrap();
-        prop_assert_eq!(g2.node_count(), g.node_count());
-        prop_assert_eq!(g2.edge_count(), g.edge_count());
-        prop_assert_eq!(snapshot::encode(&g2), bytes);
-    }
+        let mut g2 = snapshot::decode(&bytes).unwrap();
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        assert_eq!(g2.node_capacity(), g.node_capacity());
+        assert_eq!(snapshot::encode(&g2), bytes);
 
-    /// After freezing, every live node is findable by exact name lookup.
-    #[test]
-    fn prop_name_index_complete(
-        ops in proptest::collection::vec(op_strategy(), 0..60),
-    ) {
-        let (mut g, nodes_alive, _) = apply(&ops);
+        // Node records survive: type, labels, short name, liveness.
+        for (i, alive) in nodes_alive.iter().enumerate() {
+            let n = NodeId(i as u32);
+            assert_eq!(g2.node_exists(n), *alive);
+            if !alive {
+                continue;
+            }
+            assert_eq!(g2.node_type(n), g.node_type(n));
+            assert_eq!(g2.node_labels(n), g.node_labels(n));
+            assert_eq!(g2.node_short_name(n), g.node_short_name(n));
+            // Adjacency order is preserved edge-for-edge, not just as a set:
+            // traversal semantics depend on chain order.
+            let before: Vec<(usize, EdgeType)> = g
+                .out_edges(n, None)
+                .map(|e| (g.edge_dst(e).index(), g.edge_type(e)))
+                .collect();
+            let after: Vec<(usize, EdgeType)> = g2
+                .out_edges(n, None)
+                .map(|e| (g2.edge_dst(e).index(), g2.edge_type(e)))
+                .collect();
+            assert_eq!(after, before, "out-chain order changed for node {i}");
+            let before_in: Vec<(usize, EdgeType)> = g
+                .in_edges(n, None)
+                .map(|e| (g.edge_src(e).index(), g.edge_type(e)))
+                .collect();
+            let after_in: Vec<(usize, EdgeType)> = g2
+                .in_edges(n, None)
+                .map(|e| (g2.edge_src(e).index(), g2.edge_type(e)))
+                .collect();
+            assert_eq!(after_in, before_in, "in-chain order changed for node {i}");
+        }
+
+        // Name-index results survive a freeze on both sides.
+        g.freeze();
+        g2.freeze();
+        for i in 0..nodes_alive.len() {
+            let pat = NamePattern::exact(&format!("n{i}"));
+            assert_eq!(
+                g2.lookup_name(NameField::ShortName, &pat).unwrap(),
+                g.lookup_name(NameField::ShortName, &pat).unwrap()
+            );
+        }
+        Ok(())
+    });
+}
+
+/// After freezing, every live node is findable by exact name lookup.
+#[test]
+fn prop_name_index_complete() {
+    let strategy = pt::vec_of(op_strategy(), 0, 60);
+    pt::check("name_index_complete", &strategy, |ops| {
+        let (mut g, nodes_alive, _) = apply(ops);
         g.freeze();
         for (i, alive) in nodes_alive.iter().enumerate() {
             let n = NodeId(i as u32);
             let hits = g
                 .lookup_name(NameField::ShortName, &NamePattern::exact(&format!("n{i}")))
                 .unwrap();
-            prop_assert_eq!(hits.contains(&n), *alive);
+            assert_eq!(hits.contains(&n), *alive);
         }
-    }
+        Ok(())
+    });
 }
 
 /// A frozen store is shareable across threads: the page-cache counters are

@@ -14,13 +14,13 @@
 //!
 //! Everything is deterministic per seed. The callee lists of the call graph
 //! (the bulk of the random sampling) are drawn in parallel worker threads
-//! via `crossbeam`, one RNG stream per chunk, so determinism is preserved.
+//! via `std::thread::scope`, one RNG stream per chunk, so determinism is
+//! preserved.
 
 use crate::names::{self, Zipf};
+use frappe_harness::rng::Rng;
 use frappe_model::{EdgeType, FileId, NodeId, NodeType, PropKey, SrcRange};
 use frappe_store::GraphStore;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use std::collections::HashMap;
 
 /// Generator configuration.
@@ -151,7 +151,7 @@ struct FnInfo {
 
 /// Generates the graph.
 pub fn generate(spec: &SynthSpec) -> SynthOutput {
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = Rng::seed_from_u64(spec.seed);
     let counts = Counts::derive(spec.scale);
     let mut g = GraphStore::new();
     let mut file_nodes: HashMap<FileId, NodeId> = HashMap::new();
@@ -435,7 +435,7 @@ pub fn generate(spec: &SynthSpec) -> SynthOutput {
         .collect();
     let n_threads = 2usize;
     let chunk = fns.len().div_ceil(n_threads.max(1)).max(1);
-    let call_lists: Vec<Vec<(usize, usize, u32)>> = crossbeam::thread::scope(|scope| {
+    let call_lists: Vec<Vec<(usize, usize, u32)>> = std::thread::scope(|scope| {
         let fns = &fns;
         let per_sys_fns = &per_sys_fns;
         let global_zipf = &global_zipf;
@@ -443,8 +443,8 @@ pub fn generate(spec: &SynthSpec) -> SynthOutput {
         let seed = spec.seed;
         let handles: Vec<_> = (0..n_threads)
             .map(|t| {
-                scope.spawn(move |_| {
-                    let mut rng = StdRng::seed_from_u64(seed ^ (0xC0FFEE + t as u64));
+                scope.spawn(move || {
+                    let mut rng = Rng::seed_from_u64(seed ^ (0xC0FFEE + t as u64));
                     let lo = t * chunk;
                     let hi = ((t + 1) * chunk).min(fns.len());
                     let mut out = Vec::new();
@@ -471,8 +471,7 @@ pub fn generate(spec: &SynthSpec) -> SynthOutput {
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("synth worker")).collect()
-    })
-    .expect("crossbeam scope");
+    });
 
     for list in call_lists {
         for (caller, callee, line) in list {
@@ -681,7 +680,7 @@ pub fn generate(spec: &SynthSpec) -> SynthOutput {
 }
 
 /// Heavy-tailed out-degree: mostly small, occasionally large.
-fn sample_out_degree(rng: &mut StdRng) -> usize {
+fn sample_out_degree(rng: &mut Rng) -> usize {
     match rng.random_range(0..100u8) {
         0..=24 => rng.random_range(0..3usize),
         25..=79 => rng.random_range(3..9usize),
@@ -691,7 +690,7 @@ fn sample_out_degree(rng: &mut StdRng) -> usize {
 }
 
 /// Approximate Poisson via two uniform draws (cheap, deterministic).
-fn poisson_ish(rng: &mut StdRng, mean: f64) -> usize {
+fn poisson_ish(rng: &mut Rng, mean: f64) -> usize {
     let lo = mean.floor() as usize;
     let frac = mean - lo as f64;
     lo + usize::from(rng.random_range(0.0..1.0) < frac) + rng.random_range(0..2usize)
@@ -702,7 +701,7 @@ fn poisson_ish(rng: &mut StdRng, mean: f64) -> usize {
 #[allow(clippy::too_many_arguments)]
 fn plant_landmarks(
     g: &mut GraphStore,
-    rng: &mut StdRng,
+    rng: &mut Rng,
     file_nodes: &mut HashMap<FileId, NodeId>,
     next_file: &mut u32,
     arch_dir: NodeId,
@@ -882,6 +881,19 @@ mod tests {
         c.seed ^= 1;
         let c = generate(&c);
         assert_ne!(a.graph.edge_count(), c.graph.edge_count());
+    }
+
+    /// Golden snapshot of the tiny-spec graph shape. Any change to the RNG
+    /// stream, the name tables, or the generator's draw order shows up here
+    /// as a count drift — deliberate changes must re-pin these numbers.
+    #[test]
+    fn tiny_spec_counts_are_pinned() {
+        let out = generate(&SynthSpec::tiny());
+        assert_eq!(
+            (out.graph.node_count(), out.graph.edge_count()),
+            (5_476, 33_364),
+            "tiny-spec graph shape drifted"
+        );
     }
 
     #[test]

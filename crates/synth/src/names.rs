@@ -4,8 +4,7 @@
 //! visualization use cases) and to collide about as often as real symbol
 //! names do; they carry no semantics.
 
-use rand::rngs::StdRng;
-use rand::RngExt;
+use frappe_harness::rng::Rng;
 
 /// Subsystem prefixes (double as directory names).
 pub const SUBSYSTEMS: &[&str] = &[
@@ -88,12 +87,12 @@ pub const HOT_MACROS: &[&str] = &[
 ];
 
 /// Picks a uniform element.
-pub fn pick<'a>(rng: &mut StdRng, pool: &[&'a str]) -> &'a str {
+pub fn pick<'a>(rng: &mut Rng, pool: &[&'a str]) -> &'a str {
     pool[rng.random_range(0..pool.len())]
 }
 
 /// A `prefix_verb_noun`-style function name.
-pub fn function_name(rng: &mut StdRng, subsystem: &str) -> String {
+pub fn function_name(rng: &mut Rng, subsystem: &str) -> String {
     match rng.random_range(0..4u8) {
         0 => format!("{subsystem}_{}", pick(rng, VERBS)),
         1 => format!("{subsystem}_{}_{}", pick(rng, VERBS), pick(rng, NOUNS)),
@@ -103,7 +102,7 @@ pub fn function_name(rng: &mut StdRng, subsystem: &str) -> String {
 }
 
 /// A variable name.
-pub fn variable_name(rng: &mut StdRng) -> String {
+pub fn variable_name(rng: &mut Rng) -> String {
     match rng.random_range(0..4u8) {
         0 => pick(rng, NOUNS).to_owned(),
         1 => format!("{}_{}", pick(rng, NOUNS), pick(rng, NOUNS)),
@@ -116,12 +115,12 @@ pub fn variable_name(rng: &mut StdRng) -> String {
 }
 
 /// A struct tag.
-pub fn struct_name(rng: &mut StdRng, subsystem: &str) -> String {
+pub fn struct_name(rng: &mut Rng, subsystem: &str) -> String {
     format!("{subsystem}_{}", pick(rng, NOUNS))
 }
 
 /// A macro name.
-pub fn macro_name(rng: &mut StdRng, subsystem: &str) -> String {
+pub fn macro_name(rng: &mut Rng, subsystem: &str) -> String {
     format!(
         "{}_{}",
         subsystem.to_ascii_uppercase(),
@@ -130,7 +129,7 @@ pub fn macro_name(rng: &mut StdRng, subsystem: &str) -> String {
 }
 
 /// A file name within a subsystem.
-pub fn file_name(rng: &mut StdRng, subsystem: &str, index: usize, header: bool) -> String {
+pub fn file_name(rng: &mut Rng, subsystem: &str, index: usize, header: bool) -> String {
     let stem = if index == 0 {
         subsystem.to_owned()
     } else {
@@ -158,7 +157,7 @@ impl Zipf {
     }
 
     /// Samples a rank.
-    pub fn sample(&self, rng: &mut StdRng) -> usize {
+    pub fn sample(&self, rng: &mut Rng) -> usize {
         let total = *self.cumulative.last().expect("non-empty Zipf");
         let x: f64 = rng.random_range(0.0..total);
         self.cumulative.partition_point(|c| *c < x)
@@ -178,12 +177,11 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn names_are_deterministic_per_seed() {
-        let mut a = StdRng::seed_from_u64(7);
-        let mut b = StdRng::seed_from_u64(7);
+        let mut a = Rng::seed_from_u64(7);
+        let mut b = Rng::seed_from_u64(7);
         for _ in 0..32 {
             assert_eq!(function_name(&mut a, "pci"), function_name(&mut b, "pci"));
         }
@@ -192,7 +190,7 @@ mod tests {
     #[test]
     fn zipf_prefers_low_ranks() {
         let z = Zipf::new(100, 1.1);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let mut counts = vec![0usize; 100];
         for _ in 0..20_000 {
             counts[z.sample(&mut rng)] += 1;
@@ -205,7 +203,7 @@ mod tests {
     #[test]
     fn zipf_sample_in_range() {
         let z = Zipf::new(5, 1.0);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         for _ in 0..1000 {
             assert!(z.sample(&mut rng) < 5);
         }
@@ -215,7 +213,7 @@ mod tests {
 
     #[test]
     fn name_shapes() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let f = function_name(&mut rng, "scsi");
         assert!(f.contains("scsi"));
         let s = struct_name(&mut rng, "pci");

@@ -10,8 +10,7 @@
 
 use crate::names;
 use frappe_extract::{CompileDb, SourceTree};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use frappe_harness::rng::Rng;
 use std::fmt::Write as _;
 
 /// Configuration for the mini-kernel source generator.
@@ -44,7 +43,7 @@ impl Default for MiniKernelSpec {
 /// subsystem links a `<sub>.elf` from its objects; a final `vmlinux` links
 /// everything.
 pub fn mini_kernel(spec: &MiniKernelSpec) -> (SourceTree, CompileDb) {
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = Rng::seed_from_u64(spec.seed);
     let mut tree = SourceTree::new();
     let mut db = CompileDb::new();
 

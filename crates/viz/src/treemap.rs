@@ -173,7 +173,6 @@ fn layout_row(row: &[usize], areas: &[f64], order: &[usize], free: &mut Rect, ou
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn single_weight_fills_bounds() {
@@ -227,23 +226,23 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn prop_layout_invariants(
-            weights in proptest::collection::vec(0.0f64..50.0, 1..24),
-        ) {
+    #[test]
+    fn prop_layout_invariants() {
+        use frappe_harness::proptest_lite as pt;
+        let strategy = pt::vec_of(pt::f64_range(0.0, 50.0), 1, 24);
+        pt::check("layout_invariants", &strategy, |weights| {
             let b = Rect::new(0.0, 0.0, 640.0, 480.0);
-            let rs = squarify(&weights, b);
-            prop_assert_eq!(rs.len(), weights.len());
+            let rs = squarify(weights, b);
+            assert_eq!(rs.len(), weights.len());
             let total: f64 = rs.iter().map(Rect::area).sum();
-            prop_assert!((total - b.area()).abs() < 1.0, "area sum {total}");
+            assert!((total - b.area()).abs() < 1.0, "area sum {total}");
             for r in &rs {
-                prop_assert!(b.contains(r), "{r:?} outside bounds");
+                assert!(b.contains(r), "{r:?} outside bounds");
             }
             // Pairwise non-overlap.
             for i in 0..rs.len() {
                 for j in (i + 1)..rs.len() {
-                    prop_assert!(
+                    assert!(
                         !rs[i].overlaps(&rs[j]),
                         "{:?} overlaps {:?}",
                         rs[i],
@@ -251,6 +250,7 @@ mod tests {
                     );
                 }
             }
-        }
+            Ok(())
+        });
     }
 }

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate (see ROADMAP.md). Hermetic: the workspace has
+# zero external crates, so everything runs with --offline and succeeds on
+# a machine with an empty registry and no network.
+#
+# Usage:
+#   scripts/verify.sh            # tier-1: build + tests + bench compile
+#   scripts/verify.sh --offline  # same (offline is already the default);
+#                                # kept as an explicit CI entrypoint
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CARGO_FLAGS=(--offline)
+for arg in "$@"; do
+  case "$arg" in
+    --offline) ;; # default; accepted for CI-invocation symmetry
+    *)
+      echo "usage: scripts/verify.sh [--offline]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+echo "==> cargo build --release ${CARGO_FLAGS[*]}"
+cargo build --release "${CARGO_FLAGS[@]}"
+
+echo "==> cargo test -q --workspace ${CARGO_FLAGS[*]}"
+cargo test -q --workspace --release "${CARGO_FLAGS[@]}"
+
+echo "==> cargo bench --no-run --workspace ${CARGO_FLAGS[*]}"
+cargo bench --no-run --workspace "${CARGO_FLAGS[@]}"
+
+echo "verify: OK"

@@ -7,9 +7,9 @@
 //! comprehension closure, showing the thrash regime a memory-constrained
 //! deployment would hit.
 
-use frappe_harness::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use frappe_bench::scale_from_env;
 use frappe_core::traverse;
+use frappe_harness::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use frappe_model::EdgeType;
 use frappe_store::{CacheMode, IoCostModel};
 use frappe_synth::{generate, SynthSpec};

@@ -1,0 +1,65 @@
+//! Mmap-vs-decode ablation — how much of the cold-open cost the zero-copy
+//! read path removes.
+//!
+//! The paper's server paid a full store load before the first query could
+//! run. The mapped reader replaces the decode (allocate every node, edge,
+//! and string) with a validation scan over the mapped bytes, deferring
+//! index construction to first use. This ablation measures both halves:
+//! the bare cold open, and cold open plus the first name-index query (which
+//! absorbs the mapped reader's lazy index build), on the same snapshot
+//! file. Expect the mapped cold open to come in well over 5× faster.
+
+use frappe_bench::scale_from_env;
+use frappe_harness::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use frappe_store::{snapshot, GraphView, MappedGraph, NameField, NamePattern};
+use frappe_synth::{generate, SynthSpec};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Tiny spec: 5476 nodes / 33364 edges at the default scale. The ratio
+    // grows with store size, so the small end is the conservative bound.
+    let mut out = generate(&SynthSpec::scaled((scale_from_env() / 12.5).max(0.01)));
+    out.graph.freeze();
+    let dir = std::env::temp_dir().join("frappe-ablation-mmap");
+    std::fs::create_dir_all(&dir).expect("create snapshot dir");
+    let path = dir.join("snapshot.bin");
+    snapshot::save(&out.graph, &path).expect("write snapshot");
+    let pattern = NamePattern::parse("pci_*");
+
+    let mut group = c.benchmark_group("ablation_mmap");
+    group.sample_size(10);
+
+    group.bench_with_input(BenchmarkId::new("cold_open", "decode"), &path, |b, p| {
+        b.iter(|| black_box(snapshot::load(p).unwrap().node_count()))
+    });
+    group.bench_with_input(BenchmarkId::new("cold_open", "mmap"), &path, |b, p| {
+        b.iter(|| black_box(MappedGraph::open(p).unwrap().node_count()))
+    });
+
+    group.bench_with_input(
+        BenchmarkId::new("open_plus_first_query", "decode"),
+        &path,
+        |b, p| {
+            b.iter(|| {
+                let g = snapshot::load(p).unwrap();
+                black_box(g.lookup_name(NameField::ShortName, &pattern).unwrap().len())
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("open_plus_first_query", "mmap"),
+        &path,
+        |b, p| {
+            b.iter(|| {
+                let g = MappedGraph::open(p).unwrap();
+                black_box(g.lookup_name(NameField::ShortName, &pattern).unwrap().len())
+            })
+        },
+    );
+
+    group.finish();
+    let _ = std::fs::remove_file(&path);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

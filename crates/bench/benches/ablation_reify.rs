@@ -6,9 +6,9 @@
 //! notes the trade-off: per-file reference matching improves, but general
 //! traversals get longer paths. We measure both directions.
 
-use frappe_harness::bench::{criterion_group, criterion_main, Criterion};
 use frappe_bench::{bench_graph, scale_from_env};
 use frappe_core::traverse;
+use frappe_harness::bench::{criterion_group, criterion_main, Criterion};
 use frappe_model::{EdgeType, NodeType};
 use frappe_store::reify::{reify_references, ReifyOptions};
 use std::hint::black_box;
@@ -32,14 +32,8 @@ fn bench(c: &mut Criterion) {
     group.bench_function("closure_edge_model", |b| {
         b.iter(|| {
             black_box(
-                traverse::transitive_closure(
-                    g,
-                    seed,
-                    traverse::Dir::Out,
-                    &[EdgeType::Calls],
-                    None,
-                )
-                .len(),
+                traverse::transitive_closure(g, seed, traverse::Dir::Out, &[EdgeType::Calls], None)
+                    .len(),
             )
         })
     });

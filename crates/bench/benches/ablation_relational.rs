@@ -6,9 +6,9 @@
 //! `WITH RECURSIVE` evaluation (each iteration re-scans the edge relation)
 //! vs. adjacency-chain traversal.
 
-use frappe_harness::bench::{criterion_group, criterion_main, Criterion};
 use frappe_bench::{bench_graph, scale_from_env};
 use frappe_core::traverse;
+use frappe_harness::bench::{criterion_group, criterion_main, Criterion};
 use frappe_model::EdgeType;
 use frappe_relational::{recursive_reachability, EvalStats, Relation};
 use std::hint::black_box;
@@ -49,14 +49,8 @@ fn bench(c: &mut Criterion) {
     group.bench_function("graph_traversal", |b| {
         b.iter(|| {
             black_box(
-                traverse::transitive_closure(
-                    g,
-                    seed,
-                    traverse::Dir::Out,
-                    &[EdgeType::Calls],
-                    None,
-                )
-                .len(),
+                traverse::transitive_closure(g, seed, traverse::Dir::Out, &[EdgeType::Calls], None)
+                    .len(),
             )
         })
     });

@@ -3,9 +3,9 @@
 //! Benches the degree scan; the series itself is printed by
 //! `report --fig7` and recorded in EXPERIMENTS.md.
 
-use frappe_harness::bench::{criterion_group, criterion_main, Criterion};
 use frappe_bench::{bench_graph, scale_from_env};
 use frappe_core::metrics::degree_histogram;
+use frappe_harness::bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {

@@ -3,8 +3,8 @@
 //! The paper computes these "via Neo4j's Java API in ~20ms" (footnote to
 //! Table 3). We time the equivalent direct store scan.
 
-use frappe_harness::bench::{criterion_group, criterion_main, Criterion};
 use frappe_bench::{bench_graph, scale_from_env};
+use frappe_harness::bench::{criterion_group, criterion_main, Criterion};
 use frappe_store::StoreStats;
 use std::hint::black_box;
 

@@ -4,8 +4,8 @@
 //! Times the store-file accounting scan and reports the breakdown (printed
 //! by `report --table4`; the bench verifies the scan cost stays linear).
 
-use frappe_harness::bench::{criterion_group, criterion_main, Criterion};
 use frappe_bench::{bench_graph, scale_from_env};
+use frappe_harness::bench::{criterion_group, criterion_main, Criterion};
 use frappe_store::StoreStats;
 use std::hint::black_box;
 

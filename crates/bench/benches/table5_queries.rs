@@ -11,9 +11,9 @@
 //! page cache), the *abort path* of the enumeration semantics, and the
 //! embedded closure.
 
-use frappe_harness::bench::{criterion_group, criterion_main, Criterion};
 use frappe_bench::{bench_graph, scale_from_env};
 use frappe_core::{queries, traverse, usecases};
+use frappe_harness::bench::{criterion_group, criterion_main, Criterion};
 use frappe_query::{Engine, EngineOptions, PathSemantics, Query, QueryError};
 use std::hint::black_box;
 

@@ -4,9 +4,9 @@
 //! in both syntaxes; labels make it shorter *and* (in our store) faster,
 //! because the label bitmap index replaces a multi-term Lucene union.
 
-use frappe_harness::bench::{criterion_group, criterion_main, Criterion};
 use frappe_bench::{bench_graph, scale_from_env};
 use frappe_core::queries;
+use frappe_harness::bench::{criterion_group, criterion_main, Criterion};
 use frappe_query::{Engine, Query};
 use std::hint::black_box;
 

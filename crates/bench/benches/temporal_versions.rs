@@ -4,8 +4,8 @@
 //! storing a new version as a delta (vs. a full copy), materializing an
 //! old version, and running change impact analysis across versions.
 
-use frappe_harness::bench::{criterion_group, criterion_main, Criterion};
 use frappe_bench::scale_from_env;
+use frappe_harness::bench::{criterion_group, criterion_main, Criterion};
 use frappe_model::{EdgeType, NodeType};
 use frappe_synth::{generate, SynthSpec};
 use frappe_temporal::TemporalStore;

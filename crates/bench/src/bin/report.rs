@@ -38,8 +38,8 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .expect("--scale needs a number");
             }
-            s @ ("--table3" | "--table4" | "--table5" | "--fig7" | "--table6"
-            | "--ablations" | "--temporal") => sections.push(&s[2..]),
+            s @ ("--table3" | "--table4" | "--table5" | "--fig7" | "--table6" | "--ablations"
+            | "--temporal") => sections.push(&s[2..]),
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -72,7 +72,10 @@ fn main() {
         let stats = StoreStats::compute(g);
         let elapsed = t.elapsed();
         println!("== Table 3. Graph metrics (computed via store API in {elapsed:.2?}) ==");
-        println!("{:>12} {:>12} {:>10}", "Node count", "Edge count", "Density");
+        println!(
+            "{:>12} {:>12} {:>10}",
+            "Node count", "Edge count", "Density"
+        );
         println!("{}\n", stats.table3_row());
         println!("Schema census (Table 1 vocabulary):");
         println!("{}", metrics::schema_census(g).to_table());
@@ -183,7 +186,10 @@ fn main() {
         println!(
             "{:<22} aborted after {} steps in {:.2?} (≈{:.1}M steps/s; the full \
              enumeration exceeds any budget — paper: > 15 mins, aborted)",
-            "Comprehension Fig.6", steps, abort_time, rate / 1e6
+            "Comprehension Fig.6",
+            steps,
+            abort_time,
+            rate / 1e6
         );
 
         // Comprehension via the embedded traversal (§6.1 workaround).
@@ -258,7 +264,10 @@ fn main() {
         small.graph.set_io_cost(IoCostModel::default());
         small.graph.freeze();
         let seed = small.landmarks.pci_read_bases;
-        println!("{:>14} {:>12} {:>16}", "capacity (pages)", "faults", "simulated I/O");
+        println!(
+            "{:>14} {:>12} {:>16}",
+            "capacity (pages)", "faults", "simulated I/O"
+        );
         for capacity in [0u64, 4096, 1024, 256] {
             small.graph.set_cache_capacity_pages(capacity);
             small.graph.warm_up();
@@ -273,7 +282,11 @@ fn main() {
             let stats = small.graph.cache_stats();
             println!(
                 "{:>14} {:>12} {:>16.2?}",
-                if capacity == 0 { "unbounded".to_owned() } else { capacity.to_string() },
+                if capacity == 0 {
+                    "unbounded".to_owned()
+                } else {
+                    capacity.to_string()
+                },
                 stats.faults,
                 stats.simulated_io
             );

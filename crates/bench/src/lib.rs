@@ -137,7 +137,10 @@ mod tests {
         assert!(cw.cold_faults > 0);
         let (_, cold_avg, _) = ColdWarm::stats(&cw.cold);
         let (_, warm_avg, _) = ColdWarm::stats(&cw.warm);
-        assert!(cold_avg > warm_avg, "cold {cold_avg:?} vs warm {warm_avg:?}");
+        assert!(
+            cold_avg > warm_avg,
+            "cold {cold_avg:?} vs warm {warm_avg:?}"
+        );
         assert!(cw.result_count > 0);
     }
 

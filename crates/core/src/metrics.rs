@@ -5,7 +5,7 @@
 //! record stores.
 
 use frappe_model::NodeId;
-use frappe_store::GraphStore;
+use frappe_store::GraphView;
 
 /// Degree-distribution statistics (Figure 7).
 #[derive(Debug, Clone, PartialEq)]
@@ -23,7 +23,7 @@ pub struct DegreeStats {
 
 /// Computes the in+out degree of every live node and summarizes Figure 7.
 /// `top_k` controls how many hub nodes are reported.
-pub fn degree_histogram(g: &GraphStore, top_k: usize) -> DegreeStats {
+pub fn degree_histogram<G: GraphView>(g: &G, top_k: usize) -> DegreeStats {
     let mut degrees: Vec<(NodeId, usize)> = g
         .nodes()
         .map(|n| (n, g.out_degree(n) + g.in_degree(n)))
@@ -80,6 +80,7 @@ impl DegreeStats {
 mod tests {
     use super::*;
     use frappe_model::{EdgeType, NodeType};
+    use frappe_store::GraphStore;
 
     fn star(n: usize) -> (GraphStore, NodeId) {
         let mut g = GraphStore::new();
@@ -151,7 +152,7 @@ pub struct SchemaCensus {
 }
 
 /// Counts nodes and edges per schema type.
-pub fn schema_census(g: &GraphStore) -> SchemaCensus {
+pub fn schema_census<G: GraphView>(g: &G) -> SchemaCensus {
     let mut nodes = vec![0usize; frappe_model::NodeType::COUNT];
     for n in g.nodes() {
         nodes[g.node_type(n) as usize] += 1;
@@ -200,6 +201,7 @@ impl SchemaCensus {
 mod census_tests {
     use super::*;
     use frappe_model::{EdgeType, NodeType};
+    use frappe_store::GraphStore;
 
     #[test]
     fn census_counts_by_type() {
@@ -211,14 +213,14 @@ mod census_tests {
         g.add_edge(a, EdgeType::Writes, x);
         g.add_edge(b, EdgeType::Writes, x);
         let c = schema_census(&g);
-        assert_eq!(c.node_types, vec![
-            (NodeType::Function, 2),
-            (NodeType::Global, 1),
-        ]);
-        assert_eq!(c.edge_types, vec![
-            (EdgeType::Calls, 1),
-            (EdgeType::Writes, 2),
-        ]);
+        assert_eq!(
+            c.node_types,
+            vec![(NodeType::Function, 2), (NodeType::Global, 1),]
+        );
+        assert_eq!(
+            c.edge_types,
+            vec![(EdgeType::Calls, 1), (EdgeType::Writes, 2),]
+        );
         let table = c.to_table();
         assert!(table.contains("function"));
         assert!(table.contains("writes"));

@@ -84,7 +84,13 @@ mod tests {
         for text in [
             figure3_code_search("wakeup.elf", "id"),
             figure4_goto_definition("id", 33, 104, 16),
-            figure5_debugging("sr_media_change", "get_sectorsize", "packet_command", "cmd", 236),
+            figure5_debugging(
+                "sr_media_change",
+                "get_sectorsize",
+                "packet_command",
+                "cmd",
+                236,
+            ),
             figure6_comprehension("pci_read_bases"),
             table6_cypher1x("foo"),
             table6_cypher2x("foo"),

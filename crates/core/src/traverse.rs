@@ -11,7 +11,7 @@
 
 use frappe_model::{EdgeType, NodeId};
 use frappe_store::graph::Direction;
-use frappe_store::GraphStore;
+use frappe_store::GraphView;
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Traversal direction.
@@ -33,14 +33,18 @@ fn directions(d: Dir) -> &'static [Direction] {
     }
 }
 
-fn neighbors<'a>(
-    g: &'a GraphStore,
+fn neighbors<'a, G: GraphView>(
+    g: &'a G,
     n: NodeId,
     dir: Dir,
     types: &'a [EdgeType],
 ) -> impl Iterator<Item = NodeId> + 'a {
     directions(dir).iter().flat_map(move |d| {
-        let filter = if types.len() == 1 { Some(types[0]) } else { None };
+        let filter = if types.len() == 1 {
+            Some(types[0])
+        } else {
+            None
+        };
         g.edges_dir(n, *d, filter).filter_map(move |e| {
             if types.len() > 1 && !types.contains(&g.edge_type(e)) {
                 return None;
@@ -58,8 +62,8 @@ fn neighbors<'a>(
 ///
 /// This is the sub-second embedded implementation of the Figure 6
 /// comprehension query.
-pub fn transitive_closure(
-    g: &GraphStore,
+pub fn transitive_closure<G: GraphView>(
+    g: &G,
     start: NodeId,
     dir: Dir,
     types: &[EdgeType],
@@ -69,8 +73,8 @@ pub fn transitive_closure(
 }
 
 /// Closure from several seed nodes at once (used by impact analysis).
-pub fn transitive_closure_multi(
-    g: &GraphStore,
+pub fn transitive_closure_multi<G: GraphView>(
+    g: &G,
     starts: &[NodeId],
     dir: Dir,
     types: &[EdgeType],
@@ -97,8 +101,8 @@ pub fn transitive_closure_multi(
 }
 
 /// Whether `to` is reachable from `from` (early-exit BFS).
-pub fn reachable(
-    g: &GraphStore,
+pub fn reachable<G: GraphView>(
+    g: &G,
     from: NodeId,
     to: NodeId,
     dir: Dir,
@@ -127,8 +131,8 @@ pub fn reachable(
 ///
 /// Section 4.4: "shortest path queries are also useful in understanding how
 /// the parts of a codebase fit together".
-pub fn shortest_path(
-    g: &GraphStore,
+pub fn shortest_path<G: GraphView>(
+    g: &G,
     from: NodeId,
     to: NodeId,
     dir: Dir,
@@ -168,15 +172,15 @@ pub fn shortest_path(
 /// This is the work the declarative engine's `-[:calls*]->` actually does
 /// under Cypher path-enumeration semantics — exposed so benches can show
 /// *why* the Figure 6 query explodes (Table 5 row 4).
-pub fn count_paths(
-    g: &GraphStore,
+pub fn count_paths<G: GraphView>(
+    g: &G,
     start: NodeId,
     dir: Dir,
     types: &[EdgeType],
     budget: u64,
 ) -> (u64, bool) {
-    fn dfs(
-        g: &GraphStore,
+    fn dfs<G: GraphView>(
+        g: &G,
         n: NodeId,
         dir: Dir,
         types: &[EdgeType],
@@ -186,7 +190,11 @@ pub fn count_paths(
         budget: u64,
     ) -> bool {
         for d in directions(dir) {
-            let filter = if types.len() == 1 { Some(types[0]) } else { None };
+            let filter = if types.len() == 1 {
+                Some(types[0])
+            } else {
+                None
+            };
             let edges: Vec<frappe_model::EdgeId> = g.edges_dir(n, *d, filter).collect();
             for e in edges {
                 if types.len() > 1 && !types.contains(&g.edge_type(e)) {
@@ -217,7 +225,9 @@ pub fn count_paths(
     let mut used = Vec::new();
     let mut steps = 0;
     let mut paths = 0;
-    let aborted = dfs(g, start, dir, types, &mut used, &mut steps, &mut paths, budget);
+    let aborted = dfs(
+        g, start, dir, types, &mut used, &mut steps, &mut paths, budget,
+    );
     (paths, aborted)
 }
 
@@ -225,6 +235,7 @@ pub fn count_paths(
 mod tests {
     use super::*;
     use frappe_model::NodeType;
+    use frappe_store::GraphStore;
 
     /// a → b → c → d, a → c, d → a (cycle back).
     fn diamondish() -> (GraphStore, Vec<NodeId>) {
@@ -307,7 +318,10 @@ mod tests {
         assert_eq!(p, vec![ns[0], ns[2]]);
         let p = shortest_path(&g, ns[0], ns[3], Dir::Out, &[EdgeType::Calls]).unwrap();
         assert_eq!(p.len(), 3); // a → c → d
-        assert_eq!(shortest_path(&g, ns[0], ns[0], Dir::Out, &[]), Some(vec![ns[0]]));
+        assert_eq!(
+            shortest_path(&g, ns[0], ns[0], Dir::Out, &[]),
+            Some(vec![ns[0]])
+        );
     }
 
     #[test]

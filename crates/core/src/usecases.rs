@@ -7,12 +7,12 @@
 
 use crate::traverse::{self, Dir};
 use frappe_model::{EdgeId, EdgeType, FileId, NodeId, NodeType, SrcPos, SrcRange};
-use frappe_store::{GraphStore, NameField, NamePattern, StoreError};
+use frappe_store::{GraphView, NameField, NamePattern, StoreError};
 
 /// §4.1 / Figure 3 — code search constrained by module: fields named
 /// `field_name` present in module `module`.
-pub fn code_search(
-    g: &GraphStore,
+pub fn code_search<G: GraphView>(
+    g: &G,
     module: &str,
     field_name: &str,
 ) -> Result<Vec<NodeId>, StoreError> {
@@ -48,8 +48,8 @@ pub fn code_search(
 /// §4.2 / Figure 4 — go-to-definition: the definition(s) of `symbol` whose
 /// *references* include one whose representative token starts exactly at
 /// the cursor position.
-pub fn goto_definition(
-    g: &GraphStore,
+pub fn goto_definition<G: GraphView>(
+    g: &G,
     symbol: &str,
     file: FileId,
     line: u32,
@@ -71,7 +71,7 @@ pub fn goto_definition(
 /// §4.2 — find-references: "simply listing the incoming edges of the result
 /// of the go-to-definition query". Returns `(edge, use range)` pairs for
 /// every located reference, ordered by file/position.
-pub fn find_references(g: &GraphStore, node: NodeId) -> Vec<(EdgeId, SrcRange)> {
+pub fn find_references<G: GraphView>(g: &G, node: NodeId) -> Vec<(EdgeId, SrcRange)> {
     let mut refs: Vec<(EdgeId, SrcRange)> = g
         .in_edges(node, None)
         .filter(|e| g.edge_type(*e).is_reference())
@@ -93,8 +93,8 @@ pub struct FieldWriter {
 
 /// §4.3 / Figure 5 — debugging: find writers of `record.field` reachable
 /// from the calls `from` makes at-or-after its `call_line` call to `to`.
-pub fn debug_writes(
-    g: &GraphStore,
+pub fn debug_writes<G: GraphView>(
+    g: &G,
     from: &str,
     to: &str,
     record: &str,
@@ -113,9 +113,7 @@ pub fn debug_writes(
                 continue;
             }
             for e in g.in_edges(fld, Some(EdgeType::WritesMember)) {
-                let line = g
-                    .edge_use_range(e)
-                    .map_or(0, |r| r.start.line);
+                let line = g.edge_use_range(e).map_or(0, |r| r.start.line);
                 writers.push((g.edge_src(e), line));
             }
         }
@@ -139,10 +137,7 @@ pub fn debug_writes(
         // *before* (or at) the failing call can have corrupted the state.
         let direct: Vec<NodeId> = g
             .out_edges(*f, Some(EdgeType::Calls))
-            .filter(|e| {
-                g.edge_use_range(*e)
-                    .is_some_and(|s| s.start.line <= r_line)
-            })
+            .filter(|e| g.edge_use_range(*e).is_some_and(|s| s.start.line <= r_line))
             .map(|e| g.edge_dst(e))
             .collect();
         for d in direct {
@@ -169,21 +164,21 @@ pub fn debug_writes(
 /// §4.4 / Figure 6 — a backward slice approximation: the transitive closure
 /// of **outgoing** `calls` edges. "All functions that, if modified, could
 /// alter the behavior of that function."
-pub fn backward_slice(g: &GraphStore, function: NodeId) -> Vec<NodeId> {
+pub fn backward_slice<G: GraphView>(g: &G, function: NodeId) -> Vec<NodeId> {
     traverse::transitive_closure(g, function, Dir::Out, &[EdgeType::Calls], None)
 }
 
 /// §4.4 — a forward slice approximation: the transitive closure of
 /// **incoming** `calls` edges. "All code that may be affected if the seed
 /// function is changed."
-pub fn forward_slice(g: &GraphStore, function: NodeId) -> Vec<NodeId> {
+pub fn forward_slice<G: GraphView>(g: &G, function: NodeId) -> Vec<NodeId> {
     traverse::transitive_closure(g, function, Dir::In, &[EdgeType::Calls], None)
 }
 
 /// §1 — "How much code could be affected if I change this macro?": the
 /// entities expanding the macro, plus everything that transitively calls
 /// them.
-pub fn macro_impact(g: &GraphStore, macro_node: NodeId) -> Vec<NodeId> {
+pub fn macro_impact<G: GraphView>(g: &G, macro_node: NodeId) -> Vec<NodeId> {
     let users: Vec<NodeId> = g
         .in_neighbors(macro_node, Some(EdgeType::ExpandsMacro))
         .collect();
@@ -202,17 +197,13 @@ pub fn macro_impact(g: &GraphStore, macro_node: NodeId) -> Vec<NodeId> {
 
 /// §4.4 — include impact: all files transitively including `file` (the
 /// "same idea applied to file includes").
-pub fn include_impact(g: &GraphStore, file: NodeId) -> Vec<NodeId> {
+pub fn include_impact<G: GraphView>(g: &G, file: NodeId) -> Vec<NodeId> {
     traverse::transitive_closure(g, file, Dir::In, &[EdgeType::Includes], None)
 }
 
 /// §1 — "Does function X or something it calls write to global variable
 /// Y?" — the motivating query of the paper's abstract.
-pub fn writes_global_transitively(
-    g: &GraphStore,
-    function: NodeId,
-    global: NodeId,
-) -> bool {
+pub fn writes_global_transitively<G: GraphView>(g: &G, function: NodeId, global: NodeId) -> bool {
     let direct = |f: NodeId| {
         g.out_edges(f, Some(EdgeType::Writes))
             .any(|e| g.edge_dst(e) == global)
@@ -227,6 +218,7 @@ pub fn writes_global_transitively(
 mod tests {
     use super::*;
     use frappe_extract::{CompileDb, Extractor, SourceTree};
+    use frappe_store::GraphStore;
 
     /// A miniature "kernel driver" modeled on the paper's Figure 5 example:
     /// sr_media_change calls sr_do_ioctl then get_sectorsize; writers of
@@ -283,7 +275,9 @@ mod tests {
         // No hits for a nonexistent module.
         assert!(code_search(&g, "other.elf", "cmd").unwrap().is_empty());
         // And none for a non-field name even though a function exists.
-        assert!(code_search(&g, "sr_mod.elf", "fill_cmd").unwrap().is_empty());
+        assert!(code_search(&g, "sr_mod.elf", "fill_cmd")
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -295,7 +289,9 @@ mod tests {
         let hits = goto_definition(&g, "fill_cmd", sr_c, 7, 8).unwrap();
         assert!(hits.contains(&fill), "hits: {hits:?}");
         // A wrong position finds nothing.
-        assert!(goto_definition(&g, "fill_cmd", sr_c, 1, 1).unwrap().is_empty());
+        assert!(goto_definition(&g, "fill_cmd", sr_c, 1, 1)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -328,7 +324,7 @@ mod tests {
         let fill = by_name(&g, NodeType::Function, "fill_cmd");
         assert_eq!(writers[0].writer, fill);
         assert_eq!(writers[0].line, 10); // pc->cmd = 0; on line 10
-        // With a call_line that matches nothing, no writers.
+                                         // With a call_line that matches nothing, no writers.
         let none = debug_writes(
             &g,
             "sr_media_change",

@@ -438,7 +438,10 @@ mod tests {
             BaseType::Primitive("unsigned long".into()).display(),
             "unsigned long"
         );
-        assert_eq!(BaseType::Struct("scsi_cd".into()).display(), "struct scsi_cd");
+        assert_eq!(
+            BaseType::Struct("scsi_cd".into()).display(),
+            "struct scsi_cd"
+        );
         assert_eq!(BaseType::Enum("state".into()).display(), "enum state");
     }
 

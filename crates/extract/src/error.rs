@@ -40,13 +40,25 @@ impl std::fmt::Display for ExtractError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ExtractError::FileNotFound(p) => write!(f, "file not found: {p}"),
-            ExtractError::Lex { file, line, message } => {
+            ExtractError::Lex {
+                file,
+                line,
+                message,
+            } => {
                 write!(f, "{file}:{line}: lex error: {message}")
             }
-            ExtractError::Preprocess { file, line, message } => {
+            ExtractError::Preprocess {
+                file,
+                line,
+                message,
+            } => {
                 write!(f, "{file}:{line}: preprocessor error: {message}")
             }
-            ExtractError::Parse { file, line, message } => {
+            ExtractError::Parse {
+                file,
+                line,
+                message,
+            } => {
                 write!(f, "{file}:{line}: parse error: {message}")
             }
             ExtractError::Build(m) => write!(f, "build error: {m}"),

@@ -322,7 +322,9 @@ pub fn lex_file(text: &str, file: FileId, file_name: &str) -> Result<Vec<Line>, 
                     }
                 } else {
                     while i < chars.len()
-                        && (chars[i].is_ascii_digit() || chars[i] == '.' || chars[i] == 'e'
+                        && (chars[i].is_ascii_digit()
+                            || chars[i] == '.'
+                            || chars[i] == 'e'
                             || chars[i] == 'E')
                     {
                         if chars[i] == '.' {
@@ -397,7 +399,7 @@ fn unescape(c: char) -> char {
 }
 
 fn lex_punct(rest: &[char]) -> Option<(Punct, usize)> {
-    use BinOpKind::{Add, Sub, Mul, Div, Rem, And, Or, Xor};
+    use BinOpKind::{Add, And, Div, Mul, Or, Rem, Sub, Xor};
     use Punct::*;
     let c0 = *rest.first()?;
     let c1 = rest.get(1).copied().unwrap_or('\0');
@@ -468,51 +470,54 @@ mod tests {
 
     #[test]
     fn identifiers_and_ints() {
-        assert_eq!(flat("int x = 42;"), vec![
-            CTok::Ident("int".into()),
-            CTok::Ident("x".into()),
-            CTok::Punct(Punct::Assign),
-            CTok::Int(42),
-            CTok::Punct(Punct::Semi),
-        ]);
+        assert_eq!(
+            flat("int x = 42;"),
+            vec![
+                CTok::Ident("int".into()),
+                CTok::Ident("x".into()),
+                CTok::Punct(Punct::Assign),
+                CTok::Int(42),
+                CTok::Punct(Punct::Semi),
+            ]
+        );
     }
 
     #[test]
     fn hex_octal_suffixes() {
-        assert_eq!(flat("0x1F 010 42UL 7u"), vec![
-            CTok::Int(31),
-            CTok::Int(8),
-            CTok::Int(42),
-            CTok::Int(7),
-        ]);
+        assert_eq!(
+            flat("0x1F 010 42UL 7u"),
+            vec![CTok::Int(31), CTok::Int(8), CTok::Int(42), CTok::Int(7),]
+        );
     }
 
     #[test]
     fn floats() {
-        assert_eq!(flat("1.5 2e3f"), vec![
-            CTok::Float("1.5".into()),
-            CTok::Float("2e3f".into()),
-        ]);
+        assert_eq!(
+            flat("1.5 2e3f"),
+            vec![CTok::Float("1.5".into()), CTok::Float("2e3f".into()),]
+        );
     }
 
     #[test]
     fn strings_chars_and_escapes() {
-        assert_eq!(flat(r#""a\n" 'x' '\t'"#), vec![
-            CTok::Str("a\n".into()),
-            CTok::Char('x'),
-            CTok::Char('\t'),
-        ]);
+        assert_eq!(
+            flat(r#""a\n" 'x' '\t'"#),
+            vec![CTok::Str("a\n".into()), CTok::Char('x'), CTok::Char('\t'),]
+        );
         assert!(lex_file("\"oops\n", FileId(0), "t.c").is_err());
         assert!(lex_file("'a", FileId(0), "t.c").is_err());
     }
 
     #[test]
     fn comments_are_skipped() {
-        assert_eq!(flat("a // comment\nb /* c */ d"), vec![
-            CTok::Ident("a".into()),
-            CTok::Ident("b".into()),
-            CTok::Ident("d".into()),
-        ]);
+        assert_eq!(
+            flat("a // comment\nb /* c */ d"),
+            vec![
+                CTok::Ident("a".into()),
+                CTok::Ident("b".into()),
+                CTok::Ident("d".into()),
+            ]
+        );
         assert!(lex_file("/* unterminated", FileId(0), "t.c").is_err());
     }
 
@@ -527,19 +532,22 @@ mod tests {
 
     #[test]
     fn punctuators_longest_match() {
-        assert_eq!(flat("a->b >>= c <<= ... ++ -- == !="), vec![
-            CTok::Ident("a".into()),
-            CTok::Punct(Punct::Arrow),
-            CTok::Ident("b".into()),
-            CTok::Punct(Punct::OpAssign(BinOpKind::Shr)),
-            CTok::Ident("c".into()),
-            CTok::Punct(Punct::OpAssign(BinOpKind::Shl)),
-            CTok::Punct(Punct::Ellipsis),
-            CTok::Punct(Punct::Inc),
-            CTok::Punct(Punct::Dec),
-            CTok::Punct(Punct::EqEq),
-            CTok::Punct(Punct::NotEq),
-        ]);
+        assert_eq!(
+            flat("a->b >>= c <<= ... ++ -- == !="),
+            vec![
+                CTok::Ident("a".into()),
+                CTok::Punct(Punct::Arrow),
+                CTok::Ident("b".into()),
+                CTok::Punct(Punct::OpAssign(BinOpKind::Shr)),
+                CTok::Ident("c".into()),
+                CTok::Punct(Punct::OpAssign(BinOpKind::Shl)),
+                CTok::Punct(Punct::Ellipsis),
+                CTok::Punct(Punct::Inc),
+                CTok::Punct(Punct::Dec),
+                CTok::Punct(Punct::EqEq),
+                CTok::Punct(Punct::NotEq),
+            ]
+        );
     }
 
     #[test]

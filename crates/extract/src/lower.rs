@@ -21,9 +21,7 @@ use crate::link::CompileDb;
 use crate::parser::parse_tokens;
 use crate::pp::{preprocess, MacroUse, Preprocessed};
 use crate::source::{basename, FileMap, SourceTree};
-use frappe_model::{
-    EdgeType, FileId, NodeId, NodeType, PropKey, PropValue, SrcRange,
-};
+use frappe_model::{EdgeType, FileId, NodeId, NodeType, PropKey, PropValue, SrcRange};
 use frappe_store::GraphStore;
 use std::collections::{HashMap, HashSet};
 
@@ -214,8 +212,7 @@ impl Lowerer {
         for dir in dirs {
             if !dir.is_empty() {
                 let parent = crate::source::parent(&dir);
-                if let (Some(p), Some(c)) =
-                    (self.dir_nodes.get(&parent), self.dir_nodes.get(&dir))
+                if let (Some(p), Some(c)) = (self.dir_nodes.get(&parent), self.dir_nodes.get(&dir))
                 {
                     self.g.add_edge(*p, EdgeType::DirContains, *c);
                 }
@@ -408,8 +405,7 @@ impl Lowerer {
                     let e = self.g.add_edge(node, EdgeType::Contains, fnode);
                     self.g.set_edge_name_range(e, f.name_tok.range());
                     self.isa_type(fnode, &f.ty, Some(f.name_tok.range()), f.bit_width);
-                    self.fields
-                        .insert((name.clone(), f.name.clone()), fnode);
+                    self.fields.insert((name.clone(), f.name.clone()), fnode);
                     self.fields_by_name
                         .entry(f.name.clone())
                         .or_default()
@@ -680,8 +676,7 @@ impl Lowerer {
                 self.fn_types.insert(sig, n);
                 let ret = self.type_node(&ft.ret);
                 self.g.add_edge(n, EdgeType::HasRetType, ret);
-                let params: Vec<NodeId> =
-                    ft.params.iter().map(|p| self.type_node(p)).collect();
+                let params: Vec<NodeId> = ft.params.iter().map(|p| self.type_node(p)).collect();
                 for (i, p) in params.into_iter().enumerate() {
                     let e = self.g.add_edge(n, EdgeType::HasParamType, p);
                     self.g.set_edge_prop(e, PropKey::Index, i as i64);
@@ -708,12 +703,7 @@ impl Lowerer {
         self.type_use_props(e, ty, bit_width);
     }
 
-    fn type_use_props(
-        &mut self,
-        e: frappe_model::EdgeId,
-        ty: &TypeUse,
-        bit_width: Option<i64>,
-    ) {
+    fn type_use_props(&mut self, e: frappe_model::EdgeId, ty: &TypeUse, bit_width: Option<i64>) {
         if !ty.quals.is_empty() {
             self.g
                 .set_edge_prop(e, PropKey::Qualifiers, ty.quals.encode());
@@ -878,9 +868,7 @@ impl Lowerer {
                     let kinds: &[EdgeType] = match mode {
                         Mode::Read => &[EdgeType::ReadsMember],
                         Mode::Write(_) => &[EdgeType::WritesMember],
-                        Mode::ReadWrite(_) => {
-                            &[EdgeType::ReadsMember, EdgeType::WritesMember]
-                        }
+                        Mode::ReadWrite(_) => &[EdgeType::ReadsMember, EdgeType::WritesMember],
                         Mode::AddrOf(_) => &[EdgeType::TakesAddressOfMember],
                     };
                     for k in kinds {
@@ -905,10 +893,8 @@ impl Lowerer {
                 self.walk_expr(ctx, base, Mode::Read);
                 if *arrow {
                     if let Some(btok) = base.as_ident() {
-                        if let Some(bnode) = self.resolve_var(ctx, btok.ident().expect("ident"))
-                        {
-                            let edge =
-                                self.g.add_edge(ctx.fn_node, EdgeType::Dereferences, bnode);
+                        if let Some(bnode) = self.resolve_var(ctx, btok.ident().expect("ident")) {
+                            let edge = self.g.add_edge(ctx.fn_node, EdgeType::Dereferences, bnode);
                             self.g.set_edge_use_range(edge, e.range);
                             self.g.set_edge_name_range(edge, btok.range());
                         }
@@ -923,8 +909,7 @@ impl Lowerer {
                 UnOp::Deref => {
                     if let Some(tok) = expr.as_ident() {
                         if let Some(node) = self.resolve_var(ctx, tok.ident().expect("ident")) {
-                            let edge =
-                                self.g.add_edge(ctx.fn_node, EdgeType::Dereferences, node);
+                            let edge = self.g.add_edge(ctx.fn_node, EdgeType::Dereferences, node);
                             self.g.set_edge_use_range(edge, e.range);
                             self.g.set_edge_name_range(edge, tok.range());
                         }
@@ -1066,7 +1051,11 @@ impl Lowerer {
         if let Some(n) = self.function_decls.get(name) {
             return *n;
         }
-        if let Some(n) = self.globals.get(name).or_else(|| self.global_decls.get(name)) {
+        if let Some(n) = self
+            .globals
+            .get(name)
+            .or_else(|| self.global_decls.get(name))
+        {
             // Calling through a global function pointer.
             return *n;
         }
@@ -1147,21 +1136,11 @@ impl Lowerer {
             for (order, input) in l.inputs.iter().enumerate() {
                 if input.ends_with(".c") {
                     let norm = crate::source::normalize(input);
-                    for fid in self
-                        .files_by_source
-                        .get(&norm)
-                        .cloned()
-                        .unwrap_or_default()
-                    {
+                    for fid in self.files_by_source.get(&norm).cloned().unwrap_or_default() {
                         let fnode = self.file_node(fid);
                         self.g.add_edge(m, EdgeType::CompiledFrom, fnode);
                     }
-                    for def in self
-                        .defs_by_source
-                        .get(&norm)
-                        .cloned()
-                        .unwrap_or_default()
-                    {
+                    for def in self.defs_by_source.get(&norm).cloned().unwrap_or_default() {
                         self.g.add_edge(m, EdgeType::LinkDeclares, def);
                     }
                 } else if let Some(obj) = self.modules.get(input) {
@@ -1233,10 +1212,7 @@ impl FnCtx {
     }
 
     fn lookup(&self, name: &str) -> Option<NodeId> {
-        self.scopes
-            .iter()
-            .rev()
-            .find_map(|s| s.get(name).copied())
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
     }
 
     fn see_line(&mut self, line: u32) {
@@ -1302,7 +1278,10 @@ mod tests {
         extract(
             &[
                 ("foo.h", "int bar(int);\n"),
-                ("foo.c", "#include \"foo.h\"\nint bar(int input) { return input; }\n"),
+                (
+                    "foo.c",
+                    "#include \"foo.h\"\nint bar(int input) { return input; }\n",
+                ),
                 (
                     "main.c",
                     "#include \"foo.h\"\nint main(int argc, char **argv) { return bar(argc); }\n",
@@ -1359,19 +1338,36 @@ mod tests {
         let bar_decl = find(&out, NodeType::FunctionDecl, "bar");
 
         // prog -compiled_from-> main.c, prog -linked_from-> foo.o.
-        assert!(g.out_neighbors(prog, Some(EdgeType::CompiledFrom)).any(|n| n == main_c));
-        assert!(g.out_neighbors(prog, Some(EdgeType::LinkedFrom)).any(|n| n == foo_o));
+        assert!(g
+            .out_neighbors(prog, Some(EdgeType::CompiledFrom))
+            .any(|n| n == main_c));
+        assert!(g
+            .out_neighbors(prog, Some(EdgeType::LinkedFrom))
+            .any(|n| n == foo_o));
         // foo.o -compiled_from-> foo.c.
-        assert!(g.out_neighbors(foo_o, Some(EdgeType::CompiledFrom)).any(|n| n == foo_c));
+        assert!(g
+            .out_neighbors(foo_o, Some(EdgeType::CompiledFrom))
+            .any(|n| n == foo_c));
         // main.c/foo.c -includes-> foo.h.
-        assert!(g.out_neighbors(main_c, Some(EdgeType::Includes)).any(|n| n == foo_h));
-        assert!(g.out_neighbors(foo_c, Some(EdgeType::Includes)).any(|n| n == foo_h));
+        assert!(g
+            .out_neighbors(main_c, Some(EdgeType::Includes))
+            .any(|n| n == foo_h));
+        assert!(g
+            .out_neighbors(foo_c, Some(EdgeType::Includes))
+            .any(|n| n == foo_h));
         // main -calls-> bar.
-        assert!(g.out_neighbors(main_fn, Some(EdgeType::Calls)).any(|n| n == bar));
+        assert!(g
+            .out_neighbors(main_fn, Some(EdgeType::Calls))
+            .any(|n| n == bar));
         // decl matches def.
-        assert!(g.out_neighbors(bar_decl, Some(EdgeType::LinkMatches)).any(|n| n == bar));
+        assert!(g
+            .out_neighbors(bar_decl, Some(EdgeType::LinkMatches))
+            .any(|n| n == bar));
         // LINK_ORDER on the linked_from edge.
-        let lf = g.out_edges(prog, Some(EdgeType::LinkedFrom)).next().unwrap();
+        let lf = g
+            .out_edges(prog, Some(EdgeType::LinkedFrom))
+            .next()
+            .unwrap();
         assert_eq!(g.edge_prop(lf, PropKey::Index), None);
         assert!(g.edge_prop(lf, PropKey::LinkOrder).is_some());
     }
@@ -1460,9 +1456,15 @@ mod tests {
         let cmd = find(&out, NodeType::Field, "cmd");
         let len = find(&out, NodeType::Field, "len");
         let gv = find(&out, NodeType::Global, "g");
-        assert!(g.out_neighbors(f, Some(EdgeType::WritesMember)).any(|n| n == cmd));
-        assert!(g.out_neighbors(f, Some(EdgeType::ReadsMember)).any(|n| n == len));
-        assert!(g.out_neighbors(f, Some(EdgeType::DereferencesMember)).any(|n| n == cmd));
+        assert!(g
+            .out_neighbors(f, Some(EdgeType::WritesMember))
+            .any(|n| n == cmd));
+        assert!(g
+            .out_neighbors(f, Some(EdgeType::ReadsMember))
+            .any(|n| n == len));
+        assert!(g
+            .out_neighbors(f, Some(EdgeType::DereferencesMember))
+            .any(|n| n == cmd));
         assert!(g.out_neighbors(f, Some(EdgeType::Writes)).any(|n| n == gv));
         // g += 2 both reads and writes g.
         assert!(g.out_neighbors(f, Some(EdgeType::Reads)).any(|n| n == gv));
@@ -1492,9 +1494,7 @@ mod tests {
         let idle = find(&out, NodeType::Enumerator, "IDLE");
         assert_eq!(g.node_prop(idle, PropKey::Value), Some(PropValue::Int(0)));
         let f = find(&out, NodeType::Function, "f");
-        let used: Vec<NodeId> = g
-            .out_neighbors(f, Some(EdgeType::UsesEnumerator))
-            .collect();
+        let used: Vec<NodeId> = g.out_neighbors(f, Some(EdgeType::UsesEnumerator)).collect();
         assert!(used.contains(&busy) && used.contains(&done));
     }
 
@@ -1521,11 +1521,17 @@ mod tests {
         let limit = find(&out, NodeType::Macro, "LIMIT");
         let double = find(&out, NodeType::Macro, "DOUBLE");
         let smp = find(&out, NodeType::Macro, "CONFIG_SMP");
-        assert!(g.out_neighbors(f, Some(EdgeType::ExpandsMacro)).any(|n| n == limit));
-        assert!(g.out_neighbors(f, Some(EdgeType::ExpandsMacro)).any(|n| n == double));
+        assert!(g
+            .out_neighbors(f, Some(EdgeType::ExpandsMacro))
+            .any(|n| n == limit));
+        assert!(g
+            .out_neighbors(f, Some(EdgeType::ExpandsMacro))
+            .any(|n| n == double));
         // The #ifdef is at file level.
         let m_c = find(&out, NodeType::File, "m.c");
-        assert!(g.out_neighbors(m_c, Some(EdgeType::InterrogatesMacro)).any(|n| n == smp));
+        assert!(g
+            .out_neighbors(m_c, Some(EdgeType::InterrogatesMacro))
+            .any(|n| n == smp));
     }
 
     #[test]
@@ -1551,12 +1557,20 @@ mod tests {
         let counter = find(&out, NodeType::StaticLocal, "counter");
         let local = find(&out, NodeType::Local, "local");
         let n = find(&out, NodeType::Parameter, "n");
-        assert!(g.out_neighbors(f, Some(EdgeType::HasLocal)).any(|x| x == counter));
-        assert!(g.out_neighbors(f, Some(EdgeType::HasLocal)).any(|x| x == local));
+        assert!(g
+            .out_neighbors(f, Some(EdgeType::HasLocal))
+            .any(|x| x == counter));
+        assert!(g
+            .out_neighbors(f, Some(EdgeType::HasLocal))
+            .any(|x| x == local));
         assert!(g.out_neighbors(f, Some(EdgeType::HasParam)).any(|x| x == n));
         // counter++ reads and writes.
-        assert!(g.out_neighbors(f, Some(EdgeType::Writes)).any(|x| x == counter));
-        assert!(g.out_neighbors(f, Some(EdgeType::Reads)).any(|x| x == counter));
+        assert!(g
+            .out_neighbors(f, Some(EdgeType::Writes))
+            .any(|x| x == counter));
+        assert!(g
+            .out_neighbors(f, Some(EdgeType::Reads))
+            .any(|x| x == counter));
         // Labels: local carries the grouped `variable` label.
         assert!(g.node_labels(local).contains(Label::Variable));
     }
@@ -1585,11 +1599,17 @@ mod tests {
         let f = find(&out, NodeType::Function, "f");
         let pc = find(&out, NodeType::Struct, "pc");
         assert!(g.out_neighbors(f, Some(EdgeType::CastsTo)).any(|n| n == pc));
-        assert!(g.out_neighbors(f, Some(EdgeType::GetsSizeOf)).any(|n| n == pc));
+        assert!(g
+            .out_neighbors(f, Some(EdgeType::GetsSizeOf))
+            .any(|n| n == pc));
         let n = find(&out, NodeType::Local, "n");
-        assert!(g.out_neighbors(f, Some(EdgeType::TakesAddressOf)).any(|x| x == n));
+        assert!(g
+            .out_neighbors(f, Some(EdgeType::TakesAddressOf))
+            .any(|x| x == n));
         let q = find(&out, NodeType::Local, "q");
-        assert!(g.out_neighbors(f, Some(EdgeType::Dereferences)).any(|x| x == q));
+        assert!(g
+            .out_neighbors(f, Some(EdgeType::Dereferences))
+            .any(|x| x == q));
     }
 
     #[test]
@@ -1609,9 +1629,13 @@ mod tests {
         let g = &out.graph;
         let drivers = find(&out, NodeType::Directory, "drivers");
         let scsi = find(&out, NodeType::Directory, "scsi");
-        assert!(g.out_neighbors(drivers, Some(EdgeType::DirContains)).any(|n| n == scsi));
+        assert!(g
+            .out_neighbors(drivers, Some(EdgeType::DirContains))
+            .any(|n| n == scsi));
         let sr_c = find(&out, NodeType::File, "sr.c");
-        assert!(g.out_neighbors(scsi, Some(EdgeType::DirContains)).any(|n| n == sr_c));
+        assert!(g
+            .out_neighbors(scsi, Some(EdgeType::DirContains))
+            .any(|n| n == sr_c));
         assert_eq!(g.node_name(sr_c), "drivers/scsi/sr.c");
     }
 
@@ -1619,8 +1643,14 @@ mod tests {
     fn static_function_shadows_external() {
         let out = extract(
             &[
-                ("a.c", "static int helper(void) { return 1; }\nint fa(void) { return helper(); }\n"),
-                ("b.c", "int helper(void) { return 2; }\nint fb(void) { return helper(); }\n"),
+                (
+                    "a.c",
+                    "static int helper(void) { return 1; }\nint fa(void) { return helper(); }\n",
+                ),
+                (
+                    "b.c",
+                    "int helper(void) { return 2; }\nint fb(void) { return helper(); }\n",
+                ),
             ],
             {
                 let mut db = CompileDb::new();
@@ -1655,7 +1685,9 @@ mod tests {
         let g = &out.graph;
         let f = find(&out, NodeType::Function, "get_id");
         let id = find(&out, NodeType::Field, "id");
-        assert!(g.out_neighbors(f, Some(EdgeType::ReadsMember)).any(|n| n == id));
+        assert!(g
+            .out_neighbors(f, Some(EdgeType::ReadsMember))
+            .any(|n| n == id));
         let td = find(&out, NodeType::Typedef, "msg_t");
         let s = find(&out, NodeType::Struct, "msg");
         assert!(g.out_neighbors(td, Some(EdgeType::IsaType)).any(|n| n == s));
@@ -1664,7 +1696,10 @@ mod tests {
     #[test]
     fn variadic_flag_and_long_name() {
         let out = extract(
-            &[("v.c", "int printk(const char *fmt, ...);\nint f(void) { return printk(\"x\"); }\n")],
+            &[(
+                "v.c",
+                "int printk(const char *fmt, ...);\nint f(void) { return printk(\"x\"); }\n",
+            )],
             {
                 let mut db = CompileDb::new();
                 db.compile("v.c", "v.o");
@@ -1673,21 +1708,21 @@ mod tests {
         );
         let g = &out.graph;
         let pk = find(&out, NodeType::FunctionDecl, "printk");
-        assert_eq!(g.node_prop(pk, PropKey::Variadic), Some(PropValue::Bool(true)));
+        assert_eq!(
+            g.node_prop(pk, PropKey::Variadic),
+            Some(PropValue::Bool(true))
+        );
         let long = g.node_prop(pk, PropKey::LongName).unwrap();
         assert!(long.as_str().unwrap().contains("printk("));
     }
 
     #[test]
     fn undeclared_function_becomes_implicit_decl() {
-        let out = extract(
-            &[("u.c", "int f(void) { return mystery(); }\n")],
-            {
-                let mut db = CompileDb::new();
-                db.compile("u.c", "u.o");
-                db
-            },
-        );
+        let out = extract(&[("u.c", "int f(void) { return mystery(); }\n")], {
+            let mut db = CompileDb::new();
+            db.compile("u.c", "u.o");
+            db
+        });
         let g = &out.graph;
         let f = find(&out, NodeType::Function, "f");
         let target = g.out_neighbors(f, Some(EdgeType::Calls)).next().unwrap();
@@ -1697,20 +1732,14 @@ mod tests {
 
     #[test]
     fn function_types_for_pointers() {
-        let out = extract(
-            &[("p.c", "int (*handler)(int, char *);\n")],
-            {
-                let mut db = CompileDb::new();
-                db.compile("p.c", "p.o");
-                db
-            },
-        );
+        let out = extract(&[("p.c", "int (*handler)(int, char *);\n")], {
+            let mut db = CompileDb::new();
+            db.compile("p.c", "p.o");
+            db
+        });
         let g = &out.graph;
         let h = find(&out, NodeType::Global, "handler");
-        let ft = g
-            .out_neighbors(h, Some(EdgeType::IsaType))
-            .next()
-            .unwrap();
+        let ft = g.out_neighbors(h, Some(EdgeType::IsaType)).next().unwrap();
         assert_eq!(g.node_type(ft), NodeType::FunctionType);
         assert_eq!(g.out_neighbors(ft, Some(EdgeType::HasParamType)).count(), 2);
         assert_eq!(g.out_neighbors(ft, Some(EdgeType::HasRetType)).count(), 1);
@@ -1719,7 +1748,10 @@ mod tests {
     #[test]
     fn link_declares_external_defs_only() {
         let out = extract(
-            &[("d.c", "static int s(void) { return 0; }\nint e(void) { return s(); }\nint gv;\n")],
+            &[(
+                "d.c",
+                "static int s(void) { return 0; }\nint e(void) { return s(); }\nint gv;\n",
+            )],
             {
                 let mut db = CompileDb::new();
                 db.compile("d.c", "d.o");

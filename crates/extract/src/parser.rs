@@ -120,7 +120,10 @@ impl P<'_> {
     fn expect_ident(&mut self, what: &str) -> Result<Token, ExtractError> {
         match self.peek() {
             Some(t) if t.ident().is_some() => Ok(self.bump().expect("peeked")),
-            other => Err(self.err(format!("expected {what}, found {:?}", other.map(|t| &t.tok)))),
+            other => Err(self.err(format!(
+                "expected {what}, found {:?}",
+                other.map(|t| &t.tok)
+            ))),
         }
     }
 
@@ -307,8 +310,7 @@ impl P<'_> {
                         name_tok,
                     });
                     defined = true;
-                } else if self.peek().is_some_and(|t| t.is_punct(Punct::Semi))
-                    && tag_tok.is_some()
+                } else if self.peek().is_some_and(|t| t.is_punct(Punct::Semi)) && tag_tok.is_some()
                 {
                     defs.push(TopLevel::RecordDecl {
                         name: tag.clone(),
@@ -394,10 +396,7 @@ impl P<'_> {
         Ok((base, quals, defined))
     }
 
-    fn record_fields(
-        &mut self,
-        defs: &mut Vec<TopLevel>,
-    ) -> Result<Vec<FieldDecl>, ExtractError> {
+    fn record_fields(&mut self, defs: &mut Vec<TopLevel>) -> Result<Vec<FieldDecl>, ExtractError> {
         self.expect_punct(Punct::LBrace, "'{'")?;
         let mut fields = Vec::new();
         while !self.eat_punct(Punct::RBrace) {
@@ -424,7 +423,13 @@ impl P<'_> {
                             name_tok,
                         });
                     }
-                    Declarator::Function { name, name_tok, ret, params, variadic } => {
+                    Declarator::Function {
+                        name,
+                        name_tok,
+                        ret,
+                        params,
+                        variadic,
+                    } => {
                         // A function declarator inside a record: treat as a
                         // function-pointer-ish field.
                         let ft = FuncType {
@@ -716,7 +721,13 @@ impl P<'_> {
                         });
                     }
                 }
-                Declarator::Function { name, name_tok, ret, params: ps, variadic: v } => {
+                Declarator::Function {
+                    name,
+                    name_tok,
+                    ret,
+                    params: ps,
+                    variadic: v,
+                } => {
                     // `int f(int g(void))` — function param decays to pointer.
                     let ft = FuncType {
                         ret,
@@ -1108,7 +1119,10 @@ impl P<'_> {
     }
 
     fn unary_expr(&mut self) -> Result<Expr, ExtractError> {
-        let tok = self.peek().cloned().ok_or_else(|| self.err("expected expression"))?;
+        let tok = self
+            .peek()
+            .cloned()
+            .ok_or_else(|| self.err("expected expression"))?;
         let un = match &tok.tok {
             CTok::Punct(Punct::Minus) => Some(UnOp::Neg),
             CTok::Punct(Punct::Plus) => Some(UnOp::Plus),
@@ -1378,7 +1392,10 @@ mod tests {
             TopLevel::FunctionDecl { name, params, .. } if name == "bar" && params.len() == 1
         ));
         let tu = parse("int bar(int input) { return input; }");
-        let TopLevel::FunctionDef { name, params, body, .. } = &tu.items[0] else {
+        let TopLevel::FunctionDef {
+            name, params, body, ..
+        } = &tu.items[0]
+        else {
             panic!("expected function def");
         };
         assert_eq!(name, "bar");
@@ -1395,7 +1412,13 @@ mod tests {
     #[test]
     fn globals_and_arrays() {
         let tu = parse("static int table[16]; extern char *names[4]; int x = 3, y;");
-        let TopLevel::Global { name, ty, is_static, .. } = &tu.items[0] else {
+        let TopLevel::Global {
+            name,
+            ty,
+            is_static,
+            ..
+        } = &tu.items[0]
+        else {
             panic!();
         };
         assert_eq!(name, "table");
@@ -1439,14 +1462,23 @@ mod tests {
              typedef unsigned long ulong_t;\n\
              struct fwd;\n",
         );
-        let TopLevel::RecordDef { name, fields, is_union, .. } = &tu.items[0] else {
+        let TopLevel::RecordDef {
+            name,
+            fields,
+            is_union,
+            ..
+        } = &tu.items[0]
+        else {
             panic!();
         };
         assert_eq!(name, "packet_command");
         assert!(!is_union);
         assert_eq!(fields[0].ty.quals.encode(), "*");
         assert_eq!(fields[1].bit_width, Some(4));
-        assert!(matches!(&tu.items[1], TopLevel::RecordDef { is_union: true, .. }));
+        assert!(matches!(
+            &tu.items[1],
+            TopLevel::RecordDef { is_union: true, .. }
+        ));
         let TopLevel::EnumDef { enumerators, .. } = &tu.items[2] else {
             panic!();
         };
@@ -1518,12 +1550,20 @@ mod tests {
             panic!();
         };
         // 1 + (2 * 3): top is Add.
-        let ExprKind::Binary { op: BinOp::Arith(BinOpKind::Add), rhs, .. } = &e.kind else {
+        let ExprKind::Binary {
+            op: BinOp::Arith(BinOpKind::Add),
+            rhs,
+            ..
+        } = &e.kind
+        else {
             panic!("got {:?}", e.kind);
         };
         assert!(matches!(
             rhs.kind,
-            ExprKind::Binary { op: BinOp::Arith(BinOpKind::Mul), .. }
+            ExprKind::Binary {
+                op: BinOp::Arith(BinOpKind::Mul),
+                ..
+            }
         ));
     }
 
@@ -1542,7 +1582,9 @@ mod tests {
             panic!();
         };
         assert_eq!(args.len(), 2);
-        assert!(matches!(&args[1].kind, ExprKind::Member { arrow: false, field, .. } if field == "x"));
+        assert!(
+            matches!(&args[1].kind, ExprKind::Member { arrow: false, field, .. } if field == "x")
+        );
     }
 
     #[test]
@@ -1590,7 +1632,10 @@ mod tests {
     #[test]
     fn variadic_and_void_params() {
         let tu = parse("int printk(const char *fmt, ...); void g(void);");
-        assert!(matches!(&tu.items[0], TopLevel::FunctionDecl { variadic: true, .. }));
+        assert!(matches!(
+            &tu.items[0],
+            TopLevel::FunctionDecl { variadic: true, .. }
+        ));
         assert!(
             matches!(&tu.items[1], TopLevel::FunctionDecl { params, variadic: false, .. } if params.is_empty())
         );
@@ -1611,7 +1656,9 @@ mod tests {
         let TopLevel::FunctionDef { body, .. } = &tu.items[0] else {
             panic!();
         };
-        assert!(matches!(&body[0], Stmt::Return(Some(e)) if matches!(e.kind, ExprKind::Ternary { .. })));
+        assert!(
+            matches!(&body[0], Stmt::Return(Some(e)) if matches!(e.kind, ExprKind::Ternary { .. }))
+        );
     }
 
     #[test]
@@ -1641,7 +1688,10 @@ mod tests {
     fn parse_errors() {
         assert!(matches!(parse_err("int f( {"), ExtractError::Parse { .. }));
         assert!(matches!(parse_err("int x"), ExtractError::Parse { .. }));
-        assert!(matches!(parse_err("struct { int"), ExtractError::Parse { .. }));
+        assert!(matches!(
+            parse_err("struct { int"),
+            ExtractError::Parse { .. }
+        ));
         assert!(matches!(
             parse_err("int f(void) { return 1 + ; }"),
             ExtractError::Parse { .. }
@@ -1651,7 +1701,10 @@ mod tests {
     #[test]
     fn pointer_returning_function() {
         let tu = parse("char *strdup(const char *s);");
-        let TopLevel::FunctionDecl { name, ret, params, .. } = &tu.items[0] else {
+        let TopLevel::FunctionDecl {
+            name, ret, params, ..
+        } = &tu.items[0]
+        else {
             panic!();
         };
         assert_eq!(name, "strdup");

@@ -134,7 +134,11 @@ struct CondFrame {
 }
 
 impl Pp<'_> {
-    fn include(&mut self, path: &str, from: Option<(FileId, SrcRange)>) -> Result<(), ExtractError> {
+    fn include(
+        &mut self,
+        path: &str,
+        from: Option<(FileId, SrcRange)>,
+    ) -> Result<(), ExtractError> {
         if self.include_stack.len() >= MAX_INCLUDE_DEPTH {
             return Err(ExtractError::Preprocess {
                 file: path.to_owned(),
@@ -201,8 +205,8 @@ impl Pp<'_> {
         let rest = &line[2..];
         match name.as_str() {
             "include" if active => {
-                let (target, angled) = parse_include_target(rest)
-                    .ok_or_else(|| perr("malformed #include".into()))?;
+                let (target, angled) =
+                    parse_include_target(rest).ok_or_else(|| perr("malformed #include".into()))?;
                 let resolved = self
                     .tree
                     .resolve_include(path, &target, angled)
@@ -297,7 +301,9 @@ impl Pp<'_> {
                 });
             }
             "elif" => {
-                let frame = conds.last_mut().ok_or_else(|| perr("#elif without #if".into()))?;
+                let frame = conds
+                    .last_mut()
+                    .ok_or_else(|| perr("#elif without #if".into()))?;
                 if frame.parent_active && !frame.taken {
                     let parent_active = frame.parent_active;
                     let cond = self.eval_condition(rest, path, line_no)?;
@@ -310,12 +316,16 @@ impl Pp<'_> {
                 }
             }
             "else" => {
-                let frame = conds.last_mut().ok_or_else(|| perr("#else without #if".into()))?;
+                let frame = conds
+                    .last_mut()
+                    .ok_or_else(|| perr("#else without #if".into()))?;
                 frame.active = frame.parent_active && !frame.taken;
                 frame.taken = true;
             }
             "endif" => {
-                conds.pop().ok_or_else(|| perr("#endif without #if".into()))?;
+                conds
+                    .pop()
+                    .ok_or_else(|| perr("#endif without #if".into()))?;
             }
             "pragma" => {}
             "error" if active => {
@@ -411,7 +421,9 @@ impl Pp<'_> {
                             line: t.line,
                             message: format!("unterminated arguments to macro {name}"),
                         })?;
-                    if args.len() != params.len() && !(params.is_empty() && args.len() == 1 && args[0].is_empty()) {
+                    if args.len() != params.len()
+                        && !(params.is_empty() && args.len() == 1 && args[0].is_empty())
+                    {
                         return Err(ExtractError::Preprocess {
                             file: path.to_owned(),
                             line: t.line,
@@ -429,8 +441,9 @@ impl Pp<'_> {
                     // Substitute parameters, handling the `#` (stringify)
                     // and `##` (token paste) operators.
                     let subst = |tok: &Token, out: &mut Vec<Token>| {
-                        if let Some(pi) =
-                            tok.ident().and_then(|id| params.iter().position(|p| p == id))
+                        if let Some(pi) = tok
+                            .ident()
+                            .and_then(|id| params.iter().position(|p| p == id))
                         {
                             out.extend(relocate(args.get(pi).map_or(&[][..], |a| a), t));
                         } else {
@@ -446,8 +459,7 @@ impl Pp<'_> {
                             if let Some(pi) = def.body.get(b + 1).and_then(|n| {
                                 n.ident().and_then(|id| params.iter().position(|p| p == id))
                             }) {
-                                let text =
-                                    stringify_tokens(args.get(pi).map_or(&[][..], |a| a));
+                                let text = stringify_tokens(args.get(pi).map_or(&[][..], |a| a));
                                 body.push(Token {
                                     tok: CTok::Str(text),
                                     file: t.file,
@@ -829,7 +841,10 @@ mod tests {
     #[test]
     fn include_records_edge_and_inlines_tokens() {
         let p = run(
-            &[("foo.h", "int bar(int);\n"), ("a.c", "#include \"foo.h\"\nint x;\n")],
+            &[
+                ("foo.h", "int bar(int);\n"),
+                ("a.c", "#include \"foo.h\"\nint x;\n"),
+            ],
             "a.c",
         );
         assert_eq!(p.includes.len(), 1);
@@ -840,7 +855,10 @@ mod tests {
     #[test]
     fn angled_include_resolves_from_include_dir() {
         let p = run(
-            &[("include/lib.h", "int lib;\n"), ("a.c", "#include <lib.h>\n")],
+            &[
+                ("include/lib.h", "int lib;\n"),
+                ("a.c", "#include <lib.h>\n"),
+            ],
             "a.c",
         );
         assert_eq!(p.includes.len(), 1);
@@ -872,17 +890,17 @@ mod tests {
     #[test]
     fn function_macro_substitutes_params() {
         let p = run(
-            &[("a.c", "#define MAX(a, b) ((a) > (b) ? (a) : (b))\nint m = MAX(x, 3);\n")],
+            &[(
+                "a.c",
+                "#define MAX(a, b) ((a) > (b) ? (a) : (b))\nint m = MAX(x, 3);\n",
+            )],
             "a.c",
         );
         assert_eq!(p.expansions.len(), 1);
         let ids = idents(&p);
         // x appears twice (for both `a` uses).
         assert_eq!(ids.iter().filter(|s| *s == "x").count(), 2);
-        assert_eq!(
-            p.tokens.iter().filter(|t| t.tok == CTok::Int(3)).count(),
-            2
-        );
+        assert_eq!(p.tokens.iter().filter(|t| t.tok == CTok::Int(3)).count(), 2);
     }
 
     #[test]
@@ -894,17 +912,17 @@ mod tests {
 
     #[test]
     fn nested_expansion_and_self_reference_guard() {
-        let p = run(
-            &[("a.c", "#define A B\n#define B A\nint x = A;\n")],
-            "a.c",
-        );
+        let p = run(&[("a.c", "#define A B\n#define B A\nint x = A;\n")], "a.c");
         // A -> B -> A (stops: self-reference).
         assert_eq!(idents(&p).last().map(String::as_str), Some("A"));
-        let p = run(&[("a.c", "#define ONE 1\n#define TWO (ONE + ONE)\nint x = TWO;\n")], "a.c");
-        assert_eq!(
-            p.tokens.iter().filter(|t| t.tok == CTok::Int(1)).count(),
-            2
+        let p = run(
+            &[(
+                "a.c",
+                "#define ONE 1\n#define TWO (ONE + ONE)\nint x = TWO;\n",
+            )],
+            "a.c",
         );
+        assert_eq!(p.tokens.iter().filter(|t| t.tok == CTok::Int(1)).count(), 2);
     }
 
     #[test]
@@ -982,7 +1000,10 @@ mod tests {
         let mut fm = FileMap::new();
         let p = preprocess(&tree, &mut fm, "a.c", &[("__KERNEL__", "1")]).unwrap();
         assert_eq!(
-            p.tokens.iter().filter_map(|t| t.ident()).collect::<Vec<_>>(),
+            p.tokens
+                .iter()
+                .filter_map(|t| t.ident())
+                .collect::<Vec<_>>(),
             vec!["int", "k"]
         );
     }
@@ -1080,10 +1101,7 @@ mod paste_tests {
 
     #[test]
     fn paste_of_int_suffix() {
-        let p = run(
-            &[("a.c", "#define REG(n) reg##n\nint REG(42);\n")],
-            "a.c",
-        );
+        let p = run(&[("a.c", "#define REG(n) reg##n\nint REG(42);\n")], "a.c");
         let ids: Vec<&str> = p.tokens.iter().filter_map(|t| t.ident()).collect();
         assert!(ids.contains(&"reg42"), "ids: {ids:?}");
     }

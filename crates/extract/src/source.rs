@@ -124,7 +124,10 @@ impl FileMap {
     /// Looks up an existing id.
     pub fn get(&self, path: &str) -> Option<FileId> {
         let norm = normalize(path);
-        self.paths.iter().position(|p| *p == norm).map(|i| FileId(i as u32))
+        self.paths
+            .iter()
+            .position(|p| *p == norm)
+            .map(|i| FileId(i as u32))
     }
 
     /// The path for an id.
@@ -221,7 +224,10 @@ mod tests {
             t.resolve_include("drivers/scsi/sr.c", "sr.h", true),
             Some("include/sr.h".into())
         );
-        assert_eq!(t.resolve_include("drivers/scsi/sr.c", "nope.h", false), None);
+        assert_eq!(
+            t.resolve_include("drivers/scsi/sr.c", "nope.h", false),
+            None
+        );
     }
 
     #[test]
@@ -240,7 +246,10 @@ mod tests {
         t.add_file("a/b/c.c", "");
         t.add_file("a/d.c", "");
         t.add_file("e.c", "");
-        assert_eq!(t.directories(), vec!["".to_owned(), "a".into(), "a/b".into()]);
+        assert_eq!(
+            t.directories(),
+            vec!["".to_owned(), "a".into(), "a/b".into()]
+        );
     }
 
     #[test]

@@ -125,15 +125,23 @@ fn nested_include_chain_with_guards() {
     let drv = find(g, NodeType::File, "drv.c");
     let dev_h = find(g, NodeType::File, "dev.h");
     let types_h = find(g, NodeType::File, "types.h");
-    assert!(g.out_neighbors(drv, Some(EdgeType::Includes)).any(|n| n == dev_h));
-    assert!(g.out_neighbors(dev_h, Some(EdgeType::Includes)).any(|n| n == types_h));
+    assert!(g
+        .out_neighbors(drv, Some(EdgeType::Includes))
+        .any(|n| n == dev_h));
+    assert!(g
+        .out_neighbors(dev_h, Some(EdgeType::Includes))
+        .any(|n| n == types_h));
     // The typedef resolves the parameter's member access.
     let get_id = find(g, NodeType::Function, "get_id");
     let id = find(g, NodeType::Field, "id");
-    assert!(g.out_neighbors(get_id, Some(EdgeType::ReadsMember)).any(|n| n == id));
+    assert!(g
+        .out_neighbors(get_id, Some(EdgeType::ReadsMember))
+        .any(|n| n == id));
     // u32 typedef node feeds the return type.
     let u32_td = find(g, NodeType::Typedef, "u32");
-    assert!(g.out_neighbors(get_id, Some(EdgeType::HasRetType)).any(|n| n == u32_td));
+    assert!(g
+        .out_neighbors(get_id, Some(EdgeType::HasRetType))
+        .any(|n| n == u32_td));
 }
 
 #[test]
@@ -180,7 +188,9 @@ fn string_table_and_array_globals() {
         Some(PropValue::IntList(vec![4]))
     );
     let lookup = find(g, NodeType::Function, "lookup");
-    assert!(g.out_neighbors(lookup, Some(EdgeType::Reads)).any(|n| n == names));
+    assert!(g
+        .out_neighbors(lookup, Some(EdgeType::Reads))
+        .any(|n| n == names));
 }
 
 #[test]
@@ -202,7 +212,9 @@ fn do_while_zero_macro_idiom() {
         .collect();
     assert!(callees.contains(&"lock".to_owned()), "callees: {callees:?}");
     assert!(callees.contains(&"unlock".to_owned()));
-    assert!(g.out_neighbors(tick, Some(EdgeType::Writes)).any(|n| n == counter));
+    assert!(g
+        .out_neighbors(tick, Some(EdgeType::Writes))
+        .any(|n| n == counter));
     // And an expands_macro edge ties tick to the macro.
     let macros: Vec<String> = g
         .out_neighbors(tick, Some(EdgeType::ExpandsMacro))

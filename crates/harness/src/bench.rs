@@ -191,9 +191,31 @@ fn time_once(f: &mut dyn FnMut(&mut Bencher), iters: u64) -> Duration {
     b.elapsed
 }
 
+/// Smoke mode: `FRAPPE_BENCH_QUICK=1` skips calibration and warmup and runs
+/// each benchmark once per sample with the minimum sample count — CI uses it
+/// to verify every bench target end-to-end (and still emit its JSON) without
+/// paying for statistically meaningful timings.
+fn quick_mode() -> bool {
+    std::env::var("FRAPPE_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
 /// Calibrates an iteration count whose total runtime is near
 /// [`TARGET_SAMPLE_TIME`], then warms up and takes `sample_size` samples.
 fn run_benchmark(name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) -> Stats {
+    if quick_mode() {
+        let per_iter: Vec<f64> = (0..2).map(|_| time_once(f, 1).as_nanos() as f64).collect();
+        let mean = (per_iter[0] + per_iter[1]) / 2.0;
+        return Stats {
+            name: name.to_owned(),
+            median_ns: mean,
+            mean_ns: mean,
+            stddev_ns: 0.0,
+            min_ns: per_iter[0].min(per_iter[1]),
+            max_ns: per_iter[0].max(per_iter[1]),
+            samples: 2,
+            iters_per_sample: 1,
+        };
+    }
     // Calibrate: grow iters until one sample is long enough to time reliably.
     let mut iters: u64 = 1;
     loop {
@@ -287,7 +309,13 @@ fn json_escape(s: &str) -> String {
 
 fn sanitize_file_component(s: &str) -> String {
     s.chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == '-' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -295,8 +323,8 @@ fn sanitize_file_component(s: &str) -> String {
 /// `target/frappe-bench`). Failures are reported but non-fatal: benches
 /// should still run on read-only checkouts.
 fn write_json(group: &str, results: &[Stats]) {
-    let dir = std::env::var("FRAPPE_BENCH_DIR")
-        .unwrap_or_else(|_| "target/frappe-bench".to_owned());
+    let dir =
+        std::env::var("FRAPPE_BENCH_DIR").unwrap_or_else(|_| "target/frappe-bench".to_owned());
     let epoch_secs = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())

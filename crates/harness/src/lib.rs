@@ -11,7 +11,8 @@
 //! | [`rng`] | `rand` | `frappe-synth` graph/source generators |
 //! | [`serdes`] | `serde` + `bytes` | `frappe-model` codecs, `frappe-store` snapshots |
 //! | [`proptest_lite`] | `proptest` | property tests across the workspace |
-//! | [`bench`] | `criterion` | the 9 `frappe-bench` bench targets |
+//! | [`bench`] | `criterion` | the `frappe-bench` bench targets |
+//! | [`mmap`] | `memmap2` | `frappe-store` zero-copy snapshot reads |
 //!
 //! Everything here is deliberately boring: seeded deterministic PRNG with
 //! golden-value tests, explicit derive-free binary codecs, a shrinking
@@ -19,6 +20,7 @@
 //! with a criterion-compatible-enough API surface.
 
 pub mod bench;
+pub mod mmap;
 pub mod proptest_lite;
 pub mod rng;
 pub mod serdes;

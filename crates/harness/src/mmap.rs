@@ -1,0 +1,269 @@
+//! Read-only memory mapping without external crates.
+//!
+//! The snapshot reader (`frappe-store::mapped`) wants to serve queries
+//! straight out of the on-disk snapshot without decoding it into owned
+//! `Vec`s. That needs `mmap(2)`, which std does not expose; pulling in the
+//! `memmap2` crate would break the workspace's zero-dependency guarantee.
+//! So this module declares the two raw libc symbols itself (std already
+//! links libc on unix — the `extern "C"` block only names symbols that are
+//! guaranteed present) and confines **all** `unsafe` in the workspace to
+//! the audited block below.
+//!
+//! ## Safety argument
+//!
+//! * `map_fd` maps `len > 0` bytes of an open file descriptor with
+//!   `PROT_READ | MAP_PRIVATE`. The kernel validates the fd and length; on
+//!   any failure (`MAP_FAILED`) we fall back to reading the file into an
+//!   owned buffer, so a successful return is the only path that dereferences
+//!   the pointer.
+//! * The mapping is private and read-only: no alias can write through it,
+//!   and we never create a `&mut` into it.
+//! * The returned slice's lifetime is tied to the [`Mmap`] value; `Drop`
+//!   calls `munmap` exactly once with the same `(ptr, len)` pair.
+//! * **Precondition documented to callers:** the underlying file must not be
+//!   truncated while mapped (shrinking a mapped file makes reads past the
+//!   new end fault, on every mmap consumer ever written). Consumers treat
+//!   snapshot files as immutable artifacts; writers create new files.
+//! * `len == 0` never reaches `mmap` (it would be `EINVAL`); the empty file
+//!   becomes an empty owned buffer.
+//!
+//! On non-unix platforms the `Owned` fallback is the only variant, so the
+//! module is still portable (and `unsafe`-free there).
+
+use std::fs::File;
+use std::io::Read;
+use std::ops::Deref;
+use std::path::Path;
+
+#[cfg(unix)]
+mod sys {
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    pub type CVoid = core::ffi::c_void;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut CVoid,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut CVoid;
+        pub fn munmap(addr: *mut CVoid, len: usize) -> i32;
+    }
+
+    pub fn map_failed() -> *mut CVoid {
+        usize::MAX as *mut CVoid
+    }
+}
+
+/// A read-only view of a file: either a real `mmap(2)` mapping or an owned
+/// in-memory buffer (the fallback, and the path for in-memory snapshots).
+pub struct Mmap {
+    inner: Inner,
+}
+
+enum Inner {
+    #[cfg(unix)]
+    Mapped {
+        ptr: *const u8,
+        len: usize,
+    },
+    Owned(Vec<u8>),
+}
+
+// SAFETY: the mapping is private and read-only for its whole lifetime, so
+// sharing or moving it across threads cannot race with any writer.
+#[cfg(unix)]
+unsafe impl Send for Mmap {}
+#[cfg(unix)]
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Maps `path` read-only. Falls back to [`Mmap::open_buffered`] when the
+    /// platform has no mmap, the file is empty, or the syscall fails.
+    pub fn open(path: &Path) -> std::io::Result<Mmap> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        #[cfg(unix)]
+        {
+            if len > 0 && len <= usize::MAX as u64 {
+                if let Some(m) = Self::map_fd(&file, len as usize) {
+                    return Ok(m);
+                }
+            }
+        }
+        Self::read_into_buffer(file, len)
+    }
+
+    /// Reads `path` into an owned, naturally aligned buffer — the explicit
+    /// no-mmap path (also exercised on unix by tests).
+    pub fn open_buffered(path: &Path) -> std::io::Result<Mmap> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        Self::read_into_buffer(file, len)
+    }
+
+    /// Wraps an in-memory byte buffer (e.g. an encoded snapshot that was
+    /// never written to disk).
+    pub fn from_vec(data: Vec<u8>) -> Mmap {
+        Mmap {
+            inner: Inner::Owned(data),
+        }
+    }
+
+    /// Whether this view is a real kernel mapping (false = owned buffer).
+    pub fn is_mapped(&self) -> bool {
+        match &self.inner {
+            #[cfg(unix)]
+            Inner::Mapped { .. } => true,
+            Inner::Owned(_) => false,
+        }
+    }
+
+    fn read_into_buffer(mut file: File, len: u64) -> std::io::Result<Mmap> {
+        let mut buf = Vec::with_capacity(usize::try_from(len).unwrap_or(0));
+        file.read_to_end(&mut buf)?;
+        Ok(Mmap {
+            inner: Inner::Owned(buf),
+        })
+    }
+
+    #[cfg(unix)]
+    fn map_fd(file: &File, len: usize) -> Option<Mmap> {
+        use std::os::unix::io::AsRawFd;
+        // SAFETY: see the module-level safety argument. `len > 0` is checked
+        // by the caller, the fd is open for the duration of the call, and a
+        // MAP_FAILED return is handled without dereferencing.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == sys::map_failed() || ptr.is_null() {
+            return None;
+        }
+        Some(Mmap {
+            inner: Inner::Mapped {
+                ptr: ptr as *const u8,
+                len,
+            },
+        })
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match &self.inner {
+            #[cfg(unix)]
+            // SAFETY: `ptr` came from a successful PROT_READ mapping of
+            // exactly `len` bytes that lives until `Drop`; the slice cannot
+            // outlive `self`.
+            Inner::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            Inner::Owned(v) => v,
+        }
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Inner::Mapped { ptr, len } = self.inner {
+            // SAFETY: `(ptr, len)` is the exact pair a successful mmap
+            // returned, unmapped exactly once.
+            unsafe {
+                sys::munmap(ptr as *mut sys::CVoid, len);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Mmap({} bytes, {})",
+            self.len(),
+            if self.is_mapped() { "mapped" } else { "owned" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_file(name: &str, contents: &[u8]) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("frappe-mmap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn open_maps_file_contents() {
+        let path = temp_file("data.bin", b"hello mapped world");
+        let m = Mmap::open(&path).unwrap();
+        assert_eq!(&m[..], b"hello mapped world");
+        #[cfg(unix)]
+        assert!(m.is_mapped());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_buffered_matches_mapped() {
+        let path = temp_file("both.bin", &[7u8; 4096]);
+        let mapped = Mmap::open(&path).unwrap();
+        let buffered = Mmap::open_buffered(&path).unwrap();
+        assert_eq!(&mapped[..], &buffered[..]);
+        assert!(!buffered.is_mapped());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_is_owned_and_empty() {
+        let path = temp_file("empty.bin", b"");
+        let m = Mmap::open(&path).unwrap();
+        assert!(m.is_empty());
+        assert!(!m.is_mapped());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn from_vec_wraps_without_copy_semantics_change() {
+        let m = Mmap::from_vec(vec![1, 2, 3]);
+        assert_eq!(&m[..], &[1, 2, 3]);
+        assert!(!m.is_mapped());
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        assert!(Mmap::open(Path::new("/nonexistent/frappe/nope.bin")).is_err());
+    }
+
+    #[test]
+    fn mapping_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Mmap>();
+    }
+
+    #[test]
+    fn drop_unmaps_without_crashing() {
+        let path = temp_file("drop.bin", &[42u8; 65536]);
+        for _ in 0..16 {
+            let m = Mmap::open(&path).unwrap();
+            assert_eq!(m[65535], 42);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

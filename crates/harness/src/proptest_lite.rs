@@ -114,7 +114,9 @@ where
     }
     let mut push = |v: T| {
         if out.iter().all(|s: &Shrinkable<T>| s.value != v) {
-            out.push(Shrinkable::with_shrinks(v, move || shrink_int_toward(v, lo)));
+            out.push(Shrinkable::with_shrinks(v, move || {
+                shrink_int_toward(v, lo)
+            }));
         }
     };
     push(lo);
@@ -237,7 +239,10 @@ pub fn any_bool() -> Strategy<bool> {
     })
 }
 
-fn shrink_vec<T: Clone + 'static>(items: Vec<Shrinkable<T>>, min_len: usize) -> Vec<Shrinkable<Vec<T>>> {
+fn shrink_vec<T: Clone + 'static>(
+    items: Vec<Shrinkable<T>>,
+    min_len: usize,
+) -> Vec<Shrinkable<Vec<T>>> {
     let mut out = Vec::new();
     // First: drop chunks (half, then single elements), respecting min_len.
     if items.len() > min_len {
@@ -266,7 +271,10 @@ fn shrink_vec<T: Clone + 'static>(items: Vec<Shrinkable<T>>, min_len: usize) -> 
     out
 }
 
-fn assemble_vec<T: Clone + 'static>(items: Vec<Shrinkable<T>>, min_len: usize) -> Shrinkable<Vec<T>> {
+fn assemble_vec<T: Clone + 'static>(
+    items: Vec<Shrinkable<T>>,
+    min_len: usize,
+) -> Shrinkable<Vec<T>> {
     let value: Vec<T> = items.iter().map(|s| s.value.clone()).collect();
     Shrinkable::with_shrinks(value, move || shrink_vec(items.clone(), min_len))
 }
@@ -461,13 +469,17 @@ mod tests {
 
     #[test]
     fn passing_property_passes() {
-        check("sum_commutes", &tuple2(u32_range(0, 100), u32_range(0, 100)), |(a, b)| {
-            if a + b == b + a {
-                Ok(())
-            } else {
-                Err("math broke".into())
-            }
-        });
+        check(
+            "sum_commutes",
+            &tuple2(u32_range(0, 100), u32_range(0, 100)),
+            |(a, b)| {
+                if a + b == b + a {
+                    Ok(())
+                } else {
+                    Err("math broke".into())
+                }
+            },
+        );
     }
 
     #[test]
@@ -499,17 +511,13 @@ mod tests {
     fn vec_shrinks_toward_short_and_small() {
         // Property: no element equals 7. Minimal counterexample: [7].
         let result = catch_unwind(AssertUnwindSafe(|| {
-            check(
-                "no_sevens",
-                &vec_of(u8_range(0, 50), 0, 20),
-                |xs| {
-                    if xs.contains(&7) {
-                        Err("found 7".into())
-                    } else {
-                        Ok(())
-                    }
-                },
-            );
+            check("no_sevens", &vec_of(u8_range(0, 50), 0, 20), |xs| {
+                if xs.contains(&7) {
+                    Err("found 7".into())
+                } else {
+                    Ok(())
+                }
+            });
         }));
         let msg = match result {
             Ok(()) => panic!("property should have failed"),

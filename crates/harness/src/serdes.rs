@@ -442,10 +442,7 @@ mod tests {
 
     #[test]
     fn every_truncation_errors() {
-        let bytes = encode_to_vec(&(
-            "abc".to_owned(),
-            vec![Some(7u32), None],
-        ));
+        let bytes = encode_to_vec(&("abc".to_owned(), vec![Some(7u32), None]));
         for cut in 0..bytes.len() {
             assert!(
                 decode_from_slice::<(String, Vec<Option<u32>>)>(&bytes[..cut]).is_err(),

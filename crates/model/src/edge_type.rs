@@ -266,7 +266,10 @@ mod tests {
     fn codec_round_trips_and_validates() {
         use frappe_harness::serdes::{decode_from_slice, encode_to_vec};
         for t in EdgeType::ALL {
-            assert_eq!(decode_from_slice::<EdgeType>(&encode_to_vec(&t)).unwrap(), t);
+            assert_eq!(
+                decode_from_slice::<EdgeType>(&encode_to_vec(&t)).unwrap(),
+                t
+            );
         }
         assert!(decode_from_slice::<EdgeType>(&[EdgeType::COUNT as u8]).is_err());
     }
@@ -274,7 +277,10 @@ mod tests {
     #[test]
     fn table1_names_match_paper() {
         assert_eq!(EdgeType::CompiledFrom.name(), "compiled_from");
-        assert_eq!(EdgeType::TakesAddressOfMember.name(), "takes_address_of_member");
+        assert_eq!(
+            EdgeType::TakesAddressOfMember.name(),
+            "takes_address_of_member"
+        );
         assert_eq!(EdgeType::LinkedFromLib.name(), "linked_from_lib");
         assert_eq!(EdgeType::IsaType.name(), "isa_type");
     }

@@ -116,8 +116,14 @@ mod tests {
     fn ids_encode_as_u32_le() {
         use frappe_harness::serdes::{decode_from_slice, encode_to_vec};
         assert_eq!(encode_to_vec(&NodeId(0x01020304)), vec![4, 3, 2, 1]);
-        assert_eq!(decode_from_slice::<EdgeId>(&[7, 0, 0, 0]).unwrap(), EdgeId(7));
-        assert_eq!(decode_from_slice::<FileId>(&[9, 0, 0, 0]).unwrap(), FileId(9));
+        assert_eq!(
+            decode_from_slice::<EdgeId>(&[7, 0, 0, 0]).unwrap(),
+            EdgeId(7)
+        );
+        assert_eq!(
+            decode_from_slice::<FileId>(&[9, 0, 0, 0]).unwrap(),
+            FileId(9)
+        );
         assert_eq!(
             decode_from_slice::<VersionId>(&[2, 0, 0, 0]).unwrap(),
             VersionId(2)

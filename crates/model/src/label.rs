@@ -218,7 +218,10 @@ mod tests {
         }
         assert!(decode_from_slice::<Label>(&[200]).is_err());
         let s = LabelSet::from_slice(&[Label::Symbol, Label::Decl]);
-        assert_eq!(decode_from_slice::<LabelSet>(&encode_to_vec(&s)).unwrap(), s);
+        assert_eq!(
+            decode_from_slice::<LabelSet>(&encode_to_vec(&s)).unwrap(),
+            s
+        );
     }
 
     #[test]

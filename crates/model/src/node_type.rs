@@ -256,7 +256,10 @@ mod tests {
     fn codec_round_trips_and_validates() {
         use frappe_harness::serdes::{decode_from_slice, encode_to_vec};
         for t in NodeType::ALL {
-            assert_eq!(decode_from_slice::<NodeType>(&encode_to_vec(&t)).unwrap(), t);
+            assert_eq!(
+                decode_from_slice::<NodeType>(&encode_to_vec(&t)).unwrap(),
+                t
+            );
         }
         assert!(decode_from_slice::<NodeType>(&[NodeType::COUNT as u8]).is_err());
     }

@@ -291,9 +291,15 @@ mod tests {
     fn parse_is_case_insensitive_and_handles_column_spelling() {
         // Figure 3 uses lower-case `short_name`, Figure 5 `use_start_line`.
         assert_eq!(PropKey::parse("short_name"), Some(PropKey::ShortName));
-        assert_eq!(PropKey::parse("use_start_line"), Some(PropKey::UseStartLine));
+        assert_eq!(
+            PropKey::parse("use_start_line"),
+            Some(PropKey::UseStartLine)
+        );
         // Figure 4 uses NAME_START_COLUMN (Table 2 says NAME_START_COL).
-        assert_eq!(PropKey::parse("NAME_START_COLUMN"), Some(PropKey::NameStartCol));
+        assert_eq!(
+            PropKey::parse("NAME_START_COLUMN"),
+            Some(PropKey::NameStartCol)
+        );
         assert_eq!(PropKey::parse("frobnicate"), None);
     }
 
@@ -324,7 +330,11 @@ mod tests {
         let keys: Vec<PropKey> = m.iter().map(|(k, _)| k).collect();
         assert_eq!(
             keys,
-            vec![PropKey::ShortName, PropKey::UseStartLine, PropKey::LinkOrder]
+            vec![
+                PropKey::ShortName,
+                PropKey::UseStartLine,
+                PropKey::LinkOrder
+            ]
         );
     }
 

@@ -94,10 +94,7 @@ impl Qualifiers {
     /// Number of pointer derivations (useful for queries like "all double
     /// pointers").
     pub fn pointer_depth(&self) -> usize {
-        self.0
-            .iter()
-            .filter(|q| **q == Qualifier::Pointer)
-            .count()
+        self.0.iter().filter(|q| **q == Qualifier::Pointer).count()
     }
 
     /// Whether the outermost derivation makes this an array type.

@@ -261,7 +261,10 @@ mod tests {
     #[test]
     fn total_order_within_and_across_kinds() {
         use std::cmp::Ordering;
-        assert_eq!(PropValue::Int(1).cmp_total(&PropValue::Int(2)), Ordering::Less);
+        assert_eq!(
+            PropValue::Int(1).cmp_total(&PropValue::Int(2)),
+            Ordering::Less
+        );
         assert_eq!(
             PropValue::from("a").cmp_total(&PropValue::from("b")),
             Ordering::Less

@@ -28,13 +28,14 @@
 //! traversal of Section 6.1, exposed as an engine option so the two can be
 //! compared on identical queries.
 
-use crate::ast::{Clause, CmpOp, Expr, Item, LabelSpec, NodePattern, Pattern, Query, RelDir,
-    RelPattern};
+use crate::ast::{
+    Clause, CmpOp, Expr, Item, LabelSpec, NodePattern, Pattern, Query, RelDir, RelPattern,
+};
 use crate::error::QueryError;
 use crate::value::Value;
 use frappe_model::{EdgeId, NodeId, PropKey, PropValue};
 use frappe_store::graph::Direction;
-use frappe_store::{GraphStore, NameField, NamePattern};
+use frappe_store::{GraphView, NameField, NamePattern};
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
@@ -129,7 +130,7 @@ impl Engine {
     }
 
     /// Runs `query` against `g`.
-    pub fn run(&self, g: &GraphStore, query: &Query) -> Result<ResultSet, QueryError> {
+    pub fn run<G: GraphView>(&self, g: &G, query: &Query) -> Result<ResultSet, QueryError> {
         let mut budget = Budget::new(self.options.max_steps, self.options.timeout);
         let mut ctx = Ctx {
             g,
@@ -251,8 +252,7 @@ impl Engine {
 
         // RETURN: project (with sort keys computed against the full binding
         // scope), then DISTINCT, ORDER BY, SKIP, LIMIT.
-        let mut combined: Vec<(Vec<Value>, Vec<Value>)> =
-            Vec::with_capacity(table.rows.len());
+        let mut combined: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(table.rows.len());
         for row in &table.rows {
             let mut proj = Vec::with_capacity(query.ret.items.len());
             for item in &query.ret.items {
@@ -280,7 +280,10 @@ impl Engine {
                 std::cmp::Ordering::Equal
             });
         }
-        let skip = query.ret.skip.map_or(0, |s| usize::try_from(s).unwrap_or(usize::MAX));
+        let skip = query
+            .ret
+            .skip
+            .map_or(0, |s| usize::try_from(s).unwrap_or(usize::MAX));
         let mut rows: Vec<Vec<Value>> = combined
             .into_iter()
             .skip(skip)
@@ -297,12 +300,12 @@ impl Engine {
     }
 
     /// Parses and runs a query in one call.
-    pub fn run_str(&self, g: &GraphStore, text: &str) -> Result<ResultSet, QueryError> {
+    pub fn run_str<G: GraphView>(&self, g: &G, text: &str) -> Result<ResultSet, QueryError> {
         self.run(g, &Query::parse(text)?)
     }
 
     /// Produces a textual plan sketch (anchor choices, expansion order).
-    pub fn explain(&self, g: &GraphStore, query: &Query) -> String {
+    pub fn explain<G: GraphView>(&self, g: &G, query: &Query) -> String {
         let mut out = String::new();
         let mut bound: Vec<String> = query.starts.iter().map(|s| s.var.clone()).collect();
         for s in &query.starts {
@@ -461,8 +464,8 @@ impl Budget {
     }
 }
 
-struct Ctx<'a> {
-    g: &'a GraphStore,
+struct Ctx<'a, G: GraphView> {
+    g: &'a G,
     semantics: PathSemantics,
     budget: &'a mut Budget,
 }
@@ -495,7 +498,7 @@ impl Anchor {
     }
 }
 
-fn choose_anchor(_g: &GraphStore, p: &Pattern, is_bound: impl Fn(&str) -> bool) -> Anchor {
+fn choose_anchor<G: GraphView>(_g: &G, p: &Pattern, is_bound: impl Fn(&str) -> bool) -> Anchor {
     // 1. A node whose variable is already bound.
     for (i, n) in p.nodes.iter().enumerate() {
         if n.var.as_deref().is_some_and(&is_bound) {
@@ -558,7 +561,11 @@ fn anonymize(pattern: &Pattern) -> Pattern {
 }
 
 /// Expands `pattern` against every row of `table`.
-fn expand_pattern(ctx: &mut Ctx, table: Table, pattern: &Pattern) -> Result<Table, QueryError> {
+fn expand_pattern<G: GraphView>(
+    ctx: &mut Ctx<'_, G>,
+    table: Table,
+    pattern: &Pattern,
+) -> Result<Table, QueryError> {
     let pattern = anonymize(pattern);
     let mut vars = table.vars;
     // Pre-allocate slots for all pattern variables.
@@ -579,8 +586,8 @@ fn expand_pattern(ctx: &mut Ctx, table: Table, pattern: &Pattern) -> Result<Tabl
 
 /// Checks whether `pattern` has at least one match extending `row`
 /// (the WHERE pattern-predicate case). Stops at the first match.
-fn pattern_exists(
-    ctx: &mut Ctx,
+fn pattern_exists<G: GraphView>(
+    ctx: &mut Ctx<'_, G>,
     vars: &Vars,
     row: &Row,
     pattern: &Pattern,
@@ -597,8 +604,8 @@ fn pattern_exists(
 
 /// Core matcher: emits each extension of `row` matching `pattern`.
 /// With `first_only`, stops after the first emission.
-fn match_pattern_into(
-    ctx: &mut Ctx,
+fn match_pattern_into<G: GraphView>(
+    ctx: &mut Ctx<'_, G>,
     vars: &Vars,
     row: &Row,
     pattern: &Pattern,
@@ -653,7 +660,14 @@ fn match_pattern_into(
         ctx.budget.tick()?;
         // Bind the anchor node (checks its own constraints).
         let mut trail = Trail::default();
-        if !bind_node(ctx, vars, &mut scratch, &pattern.nodes[anchor.index], cand, &mut trail) {
+        if !bind_node(
+            ctx,
+            vars,
+            &mut scratch,
+            &pattern.nodes[anchor.index],
+            cand,
+            &mut trail,
+        ) {
             trail.undo(&mut scratch);
             continue;
         }
@@ -698,8 +712,8 @@ impl Trail {
 
 /// Tries to bind node pattern `np` to `node`, mutating `row` (and recording
 /// changes in `trail`). Returns false if constraints fail.
-fn bind_node(
-    ctx: &Ctx,
+fn bind_node<G: GraphView>(
+    ctx: &Ctx<'_, G>,
     vars: &Vars,
     row: &mut Row,
     np: &NodePattern,
@@ -754,8 +768,8 @@ fn values_eq(a: &PropValue, b: &PropValue) -> bool {
 /// direction `rightwards`; when the right side is exhausted, switches to the
 /// left side; when both are exhausted, emits.
 #[allow(clippy::too_many_arguments)]
-fn expand_chain(
-    ctx: &mut Ctx,
+fn expand_chain<G: GraphView>(
+    ctx: &mut Ctx<'_, G>,
     vars: &Vars,
     row: &mut Row,
     pattern: &Pattern,
@@ -796,8 +810,8 @@ fn expand_chain(
 /// bound node, and expands leftwards from that bound node. When no unbound
 /// node remains, emits the row.
 #[allow(clippy::too_many_arguments)]
-fn expand_left(
-    ctx: &mut Ctx,
+fn expand_left<G: GraphView>(
+    ctx: &mut Ctx<'_, G>,
     vars: &Vars,
     row: &mut Row,
     pattern: &Pattern,
@@ -841,8 +855,8 @@ fn bound_node(vars: &Vars, row: &Row, np: &NodePattern) -> Option<NodeId> {
 /// whether we travel from `nodes[pos]` to `nodes[pos+1]` (true) or from
 /// `nodes[pos+1]` to `nodes[pos]` (false).
 #[allow(clippy::too_many_arguments)]
-fn step_over_rel(
-    ctx: &mut Ctx,
+fn step_over_rel<G: GraphView>(
+    ctx: &mut Ctx<'_, G>,
     vars: &Vars,
     row: &mut Row,
     pattern: &Pattern,
@@ -909,7 +923,15 @@ fn step_over_rel(
                         used.push(e);
                         if moving_right {
                             expand_chain(
-                                ctx, vars, row, pattern, pos + 1, true, used, first_only, done,
+                                ctx,
+                                vars,
+                                row,
+                                pattern,
+                                pos + 1,
+                                true,
+                                used,
+                                first_only,
+                                done,
                                 emit,
                             )?;
                         } else {
@@ -925,8 +947,21 @@ fn step_over_rel(
         Some((min, max)) => {
             match ctx.semantics {
                 PathSemantics::Enumerate => var_len_enumerate(
-                    ctx, vars, row, pattern, rel, from_node, pos, moving_right, dirs, min, max,
-                    used, first_only, done, emit,
+                    ctx,
+                    vars,
+                    row,
+                    pattern,
+                    rel,
+                    from_node,
+                    pos,
+                    moving_right,
+                    dirs,
+                    min,
+                    max,
+                    used,
+                    first_only,
+                    done,
+                    emit,
                 ),
                 PathSemantics::Reachability => {
                     // Visited-set BFS: each endpoint once.
@@ -971,8 +1006,16 @@ fn step_over_rel(
                         if bind_node(ctx, vars, row, target_np, other, &mut trail) {
                             if moving_right {
                                 expand_chain(
-                                    ctx, vars, row, pattern, pos + 1, true, used, first_only,
-                                    done, emit,
+                                    ctx,
+                                    vars,
+                                    row,
+                                    pattern,
+                                    pos + 1,
+                                    true,
+                                    used,
+                                    first_only,
+                                    done,
+                                    emit,
                                 )?;
                             } else {
                                 expand_left(ctx, vars, row, pattern, first_only, done, used, emit)?;
@@ -989,8 +1032,8 @@ fn step_over_rel(
 
 /// DFS path enumeration for variable-length rels (Cypher semantics).
 #[allow(clippy::too_many_arguments)]
-fn var_len_enumerate(
-    ctx: &mut Ctx,
+fn var_len_enumerate<G: GraphView>(
+    ctx: &mut Ctx<'_, G>,
     vars: &Vars,
     row: &mut Row,
     pattern: &Pattern,
@@ -1008,14 +1051,28 @@ fn var_len_enumerate(
 ) -> Result<(), QueryError> {
     let depth = 0u32; // depth tracked through recursion below
     var_len_dfs(
-        ctx, vars, row, pattern, rel, at, pos, moving_right, dirs, min, max, used, first_only,
-        done, emit, depth,
+        ctx,
+        vars,
+        row,
+        pattern,
+        rel,
+        at,
+        pos,
+        moving_right,
+        dirs,
+        min,
+        max,
+        used,
+        first_only,
+        done,
+        emit,
+        depth,
     )
 }
 
 #[allow(clippy::too_many_arguments)]
-fn var_len_dfs(
-    ctx: &mut Ctx,
+fn var_len_dfs<G: GraphView>(
+    ctx: &mut Ctx<'_, G>,
     vars: &Vars,
     row: &mut Row,
     pattern: &Pattern,
@@ -1045,7 +1102,18 @@ fn var_len_dfs(
         let mut trail = Trail::default();
         if bind_node(ctx, vars, row, target_np, at, &mut trail) {
             if moving_right {
-                expand_chain(ctx, vars, row, pattern, pos + 1, true, used, first_only, done, emit)?;
+                expand_chain(
+                    ctx,
+                    vars,
+                    row,
+                    pattern,
+                    pos + 1,
+                    true,
+                    used,
+                    first_only,
+                    done,
+                    emit,
+                )?;
             } else {
                 expand_left(ctx, vars, row, pattern, first_only, done, used, emit)?;
             }
@@ -1101,7 +1169,7 @@ fn var_len_dfs(
 }
 
 /// Edges of `n` in `dir` restricted to the rel's type set.
-fn typed_edges(g: &GraphStore, n: NodeId, dir: Direction, rel: &RelPattern) -> Vec<EdgeId> {
+fn typed_edges<G: GraphView>(g: &G, n: NodeId, dir: Direction, rel: &RelPattern) -> Vec<EdgeId> {
     match rel.types.as_slice() {
         [] => g.edges_dir(n, dir, None).collect(),
         [single] => g.edges_dir(n, dir, Some(*single)).collect(),
@@ -1112,7 +1180,7 @@ fn typed_edges(g: &GraphStore, n: NodeId, dir: Direction, rel: &RelPattern) -> V
     }
 }
 
-fn edge_props_match(g: &GraphStore, e: EdgeId, rel: &RelPattern) -> bool {
+fn edge_props_match<G: GraphView>(g: &G, e: EdgeId, rel: &RelPattern) -> bool {
     rel.props.iter().all(|(k, v)| {
         g.edge_prop(e, *k)
             .is_some_and(|actual| values_eq(&actual, v))
@@ -1123,7 +1191,12 @@ fn edge_props_match(g: &GraphStore, e: EdgeId, rel: &RelPattern) -> bool {
 // Expressions
 // ----------------------------------------------------------------------
 
-fn eval_truthy(ctx: &mut Ctx, vars: &Vars, row: &Row, expr: &Expr) -> Result<bool, QueryError> {
+fn eval_truthy<G: GraphView>(
+    ctx: &mut Ctx<'_, G>,
+    vars: &Vars,
+    row: &Row,
+    expr: &Expr,
+) -> Result<bool, QueryError> {
     Ok(match expr {
         Expr::PatternPredicate(p) => pattern_exists(ctx, vars, row, p)?,
         Expr::And(a, b) => eval_truthy(ctx, vars, row, a)? && eval_truthy(ctx, vars, row, b)?,
@@ -1138,7 +1211,12 @@ fn eval_truthy(ctx: &mut Ctx, vars: &Vars, row: &Row, expr: &Expr) -> Result<boo
     })
 }
 
-fn eval_value(ctx: &mut Ctx, vars: &Vars, row: &Row, expr: &Expr) -> Result<Value, QueryError> {
+fn eval_value<G: GraphView>(
+    ctx: &mut Ctx<'_, G>,
+    vars: &Vars,
+    row: &Row,
+    expr: &Expr,
+) -> Result<Value, QueryError> {
     Ok(match expr {
         Expr::Lit(v) => Value::Scalar(v.clone()),
         Expr::Null => Value::Null,
@@ -1175,7 +1253,11 @@ fn eval_value(ctx: &mut Ctx, vars: &Vars, row: &Row, expr: &Expr) -> Result<Valu
                 "count() is only valid in RETURN items".into(),
             ))
         }
-        Expr::And(..) | Expr::Or(..) | Expr::Xor(..) | Expr::Not(..) | Expr::PatternPredicate(_) => {
+        Expr::And(..)
+        | Expr::Or(..)
+        | Expr::Xor(..)
+        | Expr::Not(..)
+        | Expr::PatternPredicate(_) => {
             let b = eval_truthy(ctx, vars, row, expr)?;
             Value::Scalar(PropValue::Bool(b))
         }
@@ -1229,8 +1311,8 @@ fn compare(a: &Value, b: &Value, op: CmpOp) -> bool {
 // Projection
 // ----------------------------------------------------------------------
 
-fn project(
-    ctx: &mut Ctx,
+fn project<G: GraphView>(
+    ctx: &mut Ctx<'_, G>,
     table: &Table,
     items: &[Item],
     distinct: bool,
@@ -1261,6 +1343,7 @@ fn project(
 mod tests {
     use super::*;
     use frappe_model::{EdgeType, FileId, NodeType, SrcRange};
+    use frappe_store::GraphStore;
 
     /// fig2-like store: prog <- foo.o etc., plus a small call graph.
     fn sample() -> GraphStore {
@@ -1448,10 +1531,7 @@ mod tests {
         let g = sample();
         let r = run(&g, "MATCH (n:function) RETURN n LIMIT 2");
         assert_eq!(r.rows.len(), 2);
-        let r = run(
-            &g,
-            "MATCH (n:function) -[:calls]- m RETURN distinct n",
-        );
+        let r = run(&g, "MATCH (n:function) -[:calls]- m RETURN distinct n");
         assert_eq!(r.rows.len(), 3);
     }
 
@@ -1615,6 +1695,7 @@ mod tests {
 mod order_by_tests {
     use super::*;
     use frappe_model::{EdgeType, NodeType, PropValue};
+    use frappe_store::GraphStore;
 
     fn lines_graph() -> GraphStore {
         let mut g = GraphStore::new();
@@ -1643,17 +1724,13 @@ mod order_by_tests {
                 .map(|r| r[0].to_string())
                 .collect::<Vec<_>>()
         };
-        let asc = run(
-            "START f=node:node_auto_index('short_name: f') \
+        let asc = run("START f=node:node_auto_index('short_name: f') \
              MATCH f -[r:calls]-> m \
-             RETURN m.short_name ORDER BY r.use_start_line",
-        );
+             RETURN m.short_name ORDER BY r.use_start_line");
         assert_eq!(asc, vec!["a", "b", "c"]);
-        let desc = run(
-            "START f=node:node_auto_index('short_name: f') \
+        let desc = run("START f=node:node_auto_index('short_name: f') \
              MATCH f -[r:calls]-> m \
-             RETURN m.short_name ORDER BY r.use_start_line DESC",
-        );
+             RETURN m.short_name ORDER BY r.use_start_line DESC");
         assert_eq!(desc, vec!["c", "b", "a"]);
     }
 
@@ -1705,6 +1782,7 @@ mod order_by_tests {
 mod aggregate_tests {
     use super::*;
     use frappe_model::{EdgeType, NodeType, PropValue};
+    use frappe_store::GraphStore;
 
     fn callgraph() -> GraphStore {
         let mut g = GraphStore::new();
@@ -1733,10 +1811,7 @@ mod aggregate_tests {
         let g = callgraph();
         // Out-degree per function.
         let r = Engine::new()
-            .run_str(
-                &g,
-                "MATCH n -[:calls]-> m RETURN n.short_name, count(m)",
-            )
+            .run_str(&g, "MATCH n -[:calls]-> m RETURN n.short_name, count(m)")
             .unwrap();
         let mut rows: Vec<(String, i64)> = r
             .rows
@@ -1758,10 +1833,7 @@ mod aggregate_tests {
         // LONG_NAME is unset everywhere, so count(n.long_name) is 0 while
         // count(*) is 3.
         let r = Engine::new()
-            .run_str(
-                &g,
-                "MATCH (n:function) RETURN count(n.long_name), count(*)",
-            )
+            .run_str(&g, "MATCH (n:function) RETURN count(n.long_name), count(*)")
             .unwrap();
         assert_eq!(
             r.rows,

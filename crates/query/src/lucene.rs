@@ -13,7 +13,7 @@
 
 use crate::error::QueryError;
 use frappe_model::{NodeId, NodeType};
-use frappe_store::{GraphStore, NameField, NamePattern, StoreError};
+use frappe_store::{GraphView, NameField, NamePattern, StoreError};
 
 /// A parsed Lucene-style query.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,7 +43,7 @@ impl LuceneQuery {
     }
 
     /// Evaluates against a frozen store, returning sorted distinct node ids.
-    pub fn eval(&self, g: &GraphStore) -> Result<Vec<NodeId>, StoreError> {
+    pub fn eval<G: GraphView>(&self, g: &G) -> Result<Vec<NodeId>, StoreError> {
         match self {
             LuceneQuery::Name(field, pat) => g.lookup_name(*field, pat),
             LuceneQuery::Type(ty) => Ok(g.nodes_with_type(*ty)?.to_vec()),
@@ -177,9 +177,7 @@ impl P {
                 self.pos += 1;
                 let inner = self.or_expr()?;
                 if self.tokens.get(self.pos) != Some(&LTok::RParen) {
-                    return Err(QueryError::Semantic(
-                        "unclosed '(' in index query".into(),
-                    ));
+                    return Err(QueryError::Semantic("unclosed '(' in index query".into()));
                 }
                 self.pos += 1;
                 Ok(inner)
@@ -199,7 +197,10 @@ impl P {
                         NameField::ShortName,
                         NamePattern::parse(&value),
                     )),
-                    "name" => Ok(LuceneQuery::Name(NameField::Name, NamePattern::parse(&value))),
+                    "name" => Ok(LuceneQuery::Name(
+                        NameField::Name,
+                        NamePattern::parse(&value),
+                    )),
                     "type" => {
                         let ty = NodeType::parse(&value.to_ascii_lowercase()).ok_or_else(|| {
                             QueryError::Semantic(format!("unknown node type '{value}'"))
@@ -222,6 +223,7 @@ impl P {
 mod tests {
     use super::*;
     use frappe_model::NodeType;
+    use frappe_store::GraphStore;
 
     fn store() -> GraphStore {
         let mut g = GraphStore::new();
@@ -245,8 +247,7 @@ mod tests {
     #[test]
     fn table6_cypher1x_query() {
         // The paper's Table 6 Cypher 1.x example, trimmed to two types.
-        let q =
-            LuceneQuery::parse("(TYPE: struct OR TYPE: union) AND NAME: foo").unwrap();
+        let q = LuceneQuery::parse("(TYPE: struct OR TYPE: union) AND NAME: foo").unwrap();
         let g = store();
         let hits = q.eval(&g).unwrap();
         assert_eq!(hits.len(), 2); // struct foo + union foo, not function foo

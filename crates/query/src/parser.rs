@@ -487,8 +487,8 @@ impl Parser {
                 self.expect(&Tok::RParen, "')'")?;
                 Ok(inner)
             }
-            Some(Tok::Ident(id)) if id.eq_ignore_ascii_case("count")
-                && self.peek2() == Some(&Tok::LParen) =>
+            Some(Tok::Ident(id))
+                if id.eq_ignore_ascii_case("count") && self.peek2() == Some(&Tok::LParen) =>
             {
                 self.pos += 2;
                 let inner = if self.peek() == Some(&Tok::Star) {
@@ -548,7 +548,10 @@ mod tests {
             panic!("expected MATCH")
         };
         let rel = &ps[0].rels[0];
-        assert_eq!(rel.types, vec![EdgeType::CompiledFrom, EdgeType::LinkedFrom]);
+        assert_eq!(
+            rel.types,
+            vec![EdgeType::CompiledFrom, EdgeType::LinkedFrom]
+        );
         assert_eq!(rel.var_len, Some((1, None)));
         assert_eq!(rel.dir, RelDir::LeftToRight);
         let Clause::Match(ps) = &q.clauses[2] else {
@@ -556,10 +559,7 @@ mod tests {
         };
         let n = &ps[0].nodes[1];
         assert_eq!(n.labels, vec![LabelSpec::Type(NodeType::Field)]);
-        assert_eq!(
-            n.props,
-            vec![(PropKey::ShortName, PropValue::from("id"))]
-        );
+        assert_eq!(n.props, vec![(PropKey::ShortName, PropValue::from("id"))]);
     }
 
     #[test]

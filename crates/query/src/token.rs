@@ -90,92 +90,158 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, QueryError> {
                 }
             }
             '(' => {
-                out.push(Spanned { tok: Tok::LParen, offset: start });
+                out.push(Spanned {
+                    tok: Tok::LParen,
+                    offset: start,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Spanned { tok: Tok::RParen, offset: start });
+                out.push(Spanned {
+                    tok: Tok::RParen,
+                    offset: start,
+                });
                 i += 1;
             }
             '[' => {
-                out.push(Spanned { tok: Tok::LBracket, offset: start });
+                out.push(Spanned {
+                    tok: Tok::LBracket,
+                    offset: start,
+                });
                 i += 1;
             }
             ']' => {
-                out.push(Spanned { tok: Tok::RBracket, offset: start });
+                out.push(Spanned {
+                    tok: Tok::RBracket,
+                    offset: start,
+                });
                 i += 1;
             }
             '{' => {
-                out.push(Spanned { tok: Tok::LBrace, offset: start });
+                out.push(Spanned {
+                    tok: Tok::LBrace,
+                    offset: start,
+                });
                 i += 1;
             }
             '}' => {
-                out.push(Spanned { tok: Tok::RBrace, offset: start });
+                out.push(Spanned {
+                    tok: Tok::RBrace,
+                    offset: start,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Spanned { tok: Tok::Comma, offset: start });
+                out.push(Spanned {
+                    tok: Tok::Comma,
+                    offset: start,
+                });
                 i += 1;
             }
             ':' => {
-                out.push(Spanned { tok: Tok::Colon, offset: start });
+                out.push(Spanned {
+                    tok: Tok::Colon,
+                    offset: start,
+                });
                 i += 1;
             }
             '|' => {
-                out.push(Spanned { tok: Tok::Pipe, offset: start });
+                out.push(Spanned {
+                    tok: Tok::Pipe,
+                    offset: start,
+                });
                 i += 1;
             }
             '*' => {
-                out.push(Spanned { tok: Tok::Star, offset: start });
+                out.push(Spanned {
+                    tok: Tok::Star,
+                    offset: start,
+                });
                 i += 1;
             }
             '=' => {
-                out.push(Spanned { tok: Tok::Eq, offset: start });
+                out.push(Spanned {
+                    tok: Tok::Eq,
+                    offset: start,
+                });
                 i += 1;
             }
             '!' if bytes.get(i + 1) == Some(&b'=') => {
-                out.push(Spanned { tok: Tok::Ne, offset: start });
+                out.push(Spanned {
+                    tok: Tok::Ne,
+                    offset: start,
+                });
                 i += 2;
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'>') {
-                    out.push(Spanned { tok: Tok::Ne, offset: start });
+                    out.push(Spanned {
+                        tok: Tok::Ne,
+                        offset: start,
+                    });
                     i += 2;
                 } else if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Spanned { tok: Tok::Le, offset: start });
+                    out.push(Spanned {
+                        tok: Tok::Le,
+                        offset: start,
+                    });
                     i += 2;
                 } else if bytes.get(i + 1) == Some(&b'-') {
-                    out.push(Spanned { tok: Tok::BackArrow, offset: start });
+                    out.push(Spanned {
+                        tok: Tok::BackArrow,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    out.push(Spanned { tok: Tok::Lt, offset: start });
+                    out.push(Spanned {
+                        tok: Tok::Lt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Spanned { tok: Tok::Ge, offset: start });
+                    out.push(Spanned {
+                        tok: Tok::Ge,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    out.push(Spanned { tok: Tok::Gt, offset: start });
+                    out.push(Spanned {
+                        tok: Tok::Gt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '-' => {
                 if bytes.get(i + 1) == Some(&b'>') {
-                    out.push(Spanned { tok: Tok::Arrow, offset: start });
+                    out.push(Spanned {
+                        tok: Tok::Arrow,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    out.push(Spanned { tok: Tok::Dash, offset: start });
+                    out.push(Spanned {
+                        tok: Tok::Dash,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '.' => {
                 if bytes.get(i + 1) == Some(&b'.') {
-                    out.push(Spanned { tok: Tok::DotDot, offset: start });
+                    out.push(Spanned {
+                        tok: Tok::DotDot,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    out.push(Spanned { tok: Tok::Dot, offset: start });
+                    out.push(Spanned {
+                        tok: Tok::Dot,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
@@ -210,7 +276,10 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, QueryError> {
                         i += ch.len_utf8();
                     }
                 }
-                out.push(Spanned { tok: Tok::Str(s), offset: start });
+                out.push(Spanned {
+                    tok: Tok::Str(s),
+                    offset: start,
+                });
             }
             '0'..='9' => {
                 let mut v: i64 = 0;
@@ -224,7 +293,10 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, QueryError> {
                         })?;
                     i += 1;
                 }
-                out.push(Spanned { tok: Tok::Int(v), offset: start });
+                out.push(Spanned {
+                    tok: Tok::Int(v),
+                    offset: start,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' || c == '`' => {
                 // Backtick-quoted identifiers pass any characters through.
@@ -242,7 +314,10 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, QueryError> {
                         });
                     }
                     i += 1;
-                    out.push(Spanned { tok: Tok::Ident(s), offset: start });
+                    out.push(Spanned {
+                        tok: Tok::Ident(s),
+                        offset: start,
+                    });
                 } else {
                     while i < bytes.len()
                         && ((bytes[i] as char).is_ascii_alphanumeric()
@@ -259,7 +334,10 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, QueryError> {
                     let word = &input[start..i];
                     let upper = word.to_ascii_uppercase();
                     if let Some(kw) = KEYWORDS.iter().find(|k| **k == upper) {
-                        out.push(Spanned { tok: Tok::Kw(kw), offset: start });
+                        out.push(Spanned {
+                            tok: Tok::Kw(kw),
+                            offset: start,
+                        });
                     } else {
                         out.push(Spanned {
                             tok: Tok::Ident(word.to_owned()),
@@ -289,51 +367,57 @@ mod tests {
 
     #[test]
     fn keywords_are_case_insensitive() {
-        assert_eq!(toks("start MATCH Return"), vec![
-            Tok::Kw("START"),
-            Tok::Kw("MATCH"),
-            Tok::Kw("RETURN"),
-        ]);
+        assert_eq!(
+            toks("start MATCH Return"),
+            vec![Tok::Kw("START"), Tok::Kw("MATCH"), Tok::Kw("RETURN"),]
+        );
     }
 
     #[test]
     fn arrows_and_dashes() {
-        assert_eq!(toks("-[:calls]->"), vec![
-            Tok::Dash,
-            Tok::LBracket,
-            Tok::Colon,
-            Tok::Ident("calls".into()),
-            Tok::RBracket,
-            Tok::Arrow,
-        ]);
-        assert_eq!(toks("<-[]-"), vec![
-            Tok::BackArrow,
-            Tok::LBracket,
-            Tok::RBracket,
-            Tok::Dash,
-        ]);
+        assert_eq!(
+            toks("-[:calls]->"),
+            vec![
+                Tok::Dash,
+                Tok::LBracket,
+                Tok::Colon,
+                Tok::Ident("calls".into()),
+                Tok::RBracket,
+                Tok::Arrow,
+            ]
+        );
+        assert_eq!(
+            toks("<-[]-"),
+            vec![Tok::BackArrow, Tok::LBracket, Tok::RBracket, Tok::Dash,]
+        );
     }
 
     #[test]
     fn comparison_operators() {
-        assert_eq!(toks("= <> != < <= > >="), vec![
-            Tok::Eq,
-            Tok::Ne,
-            Tok::Ne,
-            Tok::Lt,
-            Tok::Le,
-            Tok::Gt,
-            Tok::Ge,
-        ]);
+        assert_eq!(
+            toks("= <> != < <= > >="),
+            vec![
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Ne,
+                Tok::Lt,
+                Tok::Le,
+                Tok::Gt,
+                Tok::Ge,
+            ]
+        );
     }
 
     #[test]
     fn string_literals_both_quotes_and_escapes() {
-        assert_eq!(toks("'abc' \"x\" 'a\\'b'"), vec![
-            Tok::Str("abc".into()),
-            Tok::Str("x".into()),
-            Tok::Str("a'b".into()),
-        ]);
+        assert_eq!(
+            toks("'abc' \"x\" 'a\\'b'"),
+            vec![
+                Tok::Str("abc".into()),
+                Tok::Str("x".into()),
+                Tok::Str("a'b".into()),
+            ]
+        );
     }
 
     #[test]
@@ -343,29 +427,35 @@ mod tests {
 
     #[test]
     fn integers_and_overflow() {
-        assert_eq!(toks("0 104 236"), vec![Tok::Int(0), Tok::Int(104), Tok::Int(236)]);
+        assert_eq!(
+            toks("0 104 236"),
+            vec![Tok::Int(0), Tok::Int(104), Tok::Int(236)]
+        );
         assert!(lex("99999999999999999999999").is_err());
     }
 
     #[test]
     fn dots_and_ranges() {
-        assert_eq!(toks("r.use_start_line *1..3"), vec![
-            Tok::Ident("r".into()),
-            Tok::Dot,
-            Tok::Ident("use_start_line".into()),
-            Tok::Star,
-            Tok::Int(1),
-            Tok::DotDot,
-            Tok::Int(3),
-        ]);
+        assert_eq!(
+            toks("r.use_start_line *1..3"),
+            vec![
+                Tok::Ident("r".into()),
+                Tok::Dot,
+                Tok::Ident("use_start_line".into()),
+                Tok::Star,
+                Tok::Int(1),
+                Tok::DotDot,
+                Tok::Int(3),
+            ]
+        );
     }
 
     #[test]
     fn line_comments_skipped() {
-        assert_eq!(toks("match // find\nreturn"), vec![
-            Tok::Kw("MATCH"),
-            Tok::Kw("RETURN"),
-        ]);
+        assert_eq!(
+            toks("match // find\nreturn"),
+            vec![Tok::Kw("MATCH"), Tok::Kw("RETURN"),]
+        );
     }
 
     #[test]
@@ -383,6 +473,9 @@ mod tests {
 
     #[test]
     fn rejects_stray_characters() {
-        assert!(matches!(lex("match @"), Err(QueryError::Lex { offset: 6, .. })));
+        assert!(matches!(
+            lex("match @"),
+            Err(QueryError::Lex { offset: 6, .. })
+        ));
     }
 }

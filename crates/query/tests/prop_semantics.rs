@@ -81,11 +81,7 @@ fn prop_semantics_agree_on_dags() {
 /// Fixed-length hop counts agree with manual hop expansion.
 #[test]
 fn prop_two_hop_matches_manual() {
-    let strategy = pt::vec_of(
-        pt::tuple2(pt::u8_range(0, 10), pt::u8_range(0, 10)),
-        0,
-        30,
-    );
+    let strategy = pt::vec_of(pt::tuple2(pt::u8_range(0, 10), pt::u8_range(0, 10)), 0, 30);
     pt::check("two_hop_matches_manual", &strategy, |edges| {
         let n = 10;
         let g = dag(edges, n);

@@ -22,7 +22,7 @@
 
 use frappe_model::{EdgeType, NodeId, PropValue};
 use frappe_store::graph::Direction;
-use frappe_store::GraphStore;
+use frappe_store::GraphView;
 use std::collections::{HashMap, HashSet};
 
 /// A column-named relation with heterogeneous rows.
@@ -76,7 +76,7 @@ impl Relation {
 
     /// Builds the `calls(src, dst)` relation (or any edge-type subset) from
     /// a graph store — what an RDBMS-backed Frappé would bulk-load.
-    pub fn edges_from_graph(g: &GraphStore, types: &[EdgeType]) -> Relation {
+    pub fn edges_from_graph<G: GraphView>(g: &G, types: &[EdgeType]) -> Relation {
         let mut r = Relation::new("edges", &["src", "type", "dst"]);
         for e in g.edges() {
             let ty = g.edge_type(e);
@@ -92,7 +92,7 @@ impl Relation {
     }
 
     /// Builds the `nodes(id, type, short_name)` relation.
-    pub fn nodes_from_graph(g: &GraphStore) -> Relation {
+    pub fn nodes_from_graph<G: GraphView>(g: &G) -> Relation {
         let mut r = Relation::new("nodes", &["id", "type", "short_name"]);
         for n in g.nodes() {
             r.rows.push(vec![
@@ -128,7 +128,8 @@ impl Relation {
         for row in &self.rows {
             stats.tuples_read += 1;
             stats.tuples_produced += 1;
-            out.rows.push(idxs.iter().map(|i| row[*i].clone()).collect());
+            out.rows
+                .push(idxs.iter().map(|i| row[*i].clone()).collect());
         }
         out
     }
@@ -172,11 +173,8 @@ impl Relation {
             if let Some(matches) = table.get(&row[probe_key]) {
                 for m in matches {
                     stats.tuples_produced += 1;
-                    let (l, r): (&Vec<PropValue>, &Vec<PropValue>) = if build_is_left {
-                        (m, row)
-                    } else {
-                        (row, m)
-                    };
+                    let (l, r): (&Vec<PropValue>, &Vec<PropValue>) =
+                        if build_is_left { (m, row) } else { (row, m) };
                     let mut joined = l.clone();
                     joined.extend(r.iter().cloned());
                     out.rows.push(joined);
@@ -231,11 +229,7 @@ impl Relation {
 /// optimization — yet still pays hash-table builds and tuple materialization
 /// every round, which is exactly the "repeated join operations" cost the
 /// paper attributes to relational backends.
-pub fn recursive_reachability(
-    edges: &Relation,
-    seed: NodeId,
-    stats: &mut EvalStats,
-) -> Relation {
+pub fn recursive_reachability(edges: &Relation, seed: NodeId, stats: &mut EvalStats) -> Relation {
     let src = edges.col("src").expect("src column");
     let dst = edges.col("dst").expect("dst column");
     let seed_val = PropValue::Int(i64::from(seed.0));
@@ -276,12 +270,20 @@ pub fn recursive_reachability(
 
 /// The same computation by direct graph traversal (for result equivalence
 /// checks; the bench uses `frappe_core::traverse` directly).
-pub fn traversal_reachability(g: &GraphStore, seed: NodeId, types: &[EdgeType]) -> Vec<NodeId> {
+pub fn traversal_reachability<G: GraphView>(
+    g: &G,
+    seed: NodeId,
+    types: &[EdgeType],
+) -> Vec<NodeId> {
     let mut visited = HashSet::from([seed]);
     let mut stack = vec![seed];
     let mut out = Vec::new();
     while let Some(n) = stack.pop() {
-        let filter = if types.len() == 1 { Some(types[0]) } else { None };
+        let filter = if types.len() == 1 {
+            Some(types[0])
+        } else {
+            None
+        };
         for e in g.edges_dir(n, Direction::Outgoing, filter) {
             if types.len() > 1 && !types.contains(&g.edge_type(e)) {
                 continue;
@@ -301,6 +303,7 @@ pub fn traversal_reachability(g: &GraphStore, seed: NodeId, types: &[EdgeType]) 
 mod tests {
     use super::*;
     use frappe_model::NodeType;
+    use frappe_store::GraphStore;
 
     fn chain_graph(n: usize) -> (GraphStore, Vec<NodeId>) {
         let mut g = GraphStore::new();
@@ -329,9 +332,7 @@ mod tests {
         let (g, _) = chain_graph(4);
         let nodes = Relation::nodes_from_graph(&g);
         let mut stats = EvalStats::default();
-        let f1 = nodes.select(&mut stats, |row| {
-            row[2] == PropValue::Str("f1".into())
-        });
+        let f1 = nodes.select(&mut stats, |row| row[2] == PropValue::Str("f1".into()));
         assert_eq!(f1.len(), 1);
         let names = nodes.project(&mut stats, &["short_name"]);
         assert_eq!(names.columns, vec!["short_name"]);
@@ -409,36 +410,45 @@ mod tests {
     fn prop_relational_matches_traversal() {
         use frappe_harness::proptest_lite as pt;
         let strategy = pt::tuple2(
-            pt::vec_of(pt::tuple2(pt::u32_range(0, 20), pt::u32_range(0, 20)), 0, 60),
+            pt::vec_of(
+                pt::tuple2(pt::u32_range(0, 20), pt::u32_range(0, 20)),
+                0,
+                60,
+            ),
             pt::u32_range(0, 20),
         );
-        pt::check("relational_matches_traversal", &strategy, |(edges, seed)| {
-            let mut g = GraphStore::new();
-            let ns: Vec<NodeId> =
-                (0..20).map(|i| g.add_node(NodeType::Function, &format!("f{i}"))).collect();
-            for (a, b) in edges {
-                g.add_edge(ns[*a as usize], EdgeType::Calls, ns[*b as usize]);
-            }
-            g.freeze();
-            let rel = Relation::edges_from_graph(&g, &[EdgeType::Calls]);
-            let mut stats = EvalStats::default();
-            let reach = recursive_reachability(&rel, ns[*seed as usize], &mut stats);
-            let mut rel_ids: Vec<i64> =
-                reach.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
-            rel_ids.sort_unstable();
-            let trav = traversal_reachability(&g, ns[*seed as usize], &[EdgeType::Calls]);
-            let mut trav_ids: Vec<i64> = trav
-                .iter()
-                .map(|n| i64::from(n.0))
-                .filter(|id| *id != i64::from(ns[*seed as usize].0))
-                .collect();
-            // The relational version includes the seed if it is reachable
-            // through a cycle; traversal excludes only unreached seed.
-            let seed_id = i64::from(ns[*seed as usize].0);
-            rel_ids.retain(|id| *id != seed_id);
-            trav_ids.sort_unstable();
-            assert_eq!(rel_ids, trav_ids);
-            Ok(())
-        });
+        pt::check(
+            "relational_matches_traversal",
+            &strategy,
+            |(edges, seed)| {
+                let mut g = GraphStore::new();
+                let ns: Vec<NodeId> = (0..20)
+                    .map(|i| g.add_node(NodeType::Function, &format!("f{i}")))
+                    .collect();
+                for (a, b) in edges {
+                    g.add_edge(ns[*a as usize], EdgeType::Calls, ns[*b as usize]);
+                }
+                g.freeze();
+                let rel = Relation::edges_from_graph(&g, &[EdgeType::Calls]);
+                let mut stats = EvalStats::default();
+                let reach = recursive_reachability(&rel, ns[*seed as usize], &mut stats);
+                let mut rel_ids: Vec<i64> =
+                    reach.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+                rel_ids.sort_unstable();
+                let trav = traversal_reachability(&g, ns[*seed as usize], &[EdgeType::Calls]);
+                let mut trav_ids: Vec<i64> = trav
+                    .iter()
+                    .map(|n| i64::from(n.0))
+                    .filter(|id| *id != i64::from(ns[*seed as usize].0))
+                    .collect();
+                // The relational version includes the seed if it is reachable
+                // through a cycle; traversal excludes only unreached seed.
+                let seed_id = i64::from(ns[*seed as usize].0);
+                rel_ids.retain(|id| *id != seed_id);
+                trav_ids.sort_unstable();
+                assert_eq!(rel_ids, trav_ids);
+                Ok(())
+            },
+        );
     }
 }

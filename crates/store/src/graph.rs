@@ -420,12 +420,18 @@ impl GraphStore {
         self.edge_prop_offsets.push(off);
         let edge_prop_total = off;
 
+        self.cache.register_file(
+            StoreFile::NodeRecords,
+            self.nodes.len() as u64 * NODE_RECORD_BYTES,
+        );
+        self.cache.register_file(
+            StoreFile::EdgeRecords,
+            self.edges.len() as u64 * EDGE_RECORD_BYTES,
+        );
         self.cache
-            .register_file(StoreFile::NodeRecords, self.nodes.len() as u64 * NODE_RECORD_BYTES);
+            .register_file(StoreFile::NodeProps, node_prop_total);
         self.cache
-            .register_file(StoreFile::EdgeRecords, self.edges.len() as u64 * EDGE_RECORD_BYTES);
-        self.cache.register_file(StoreFile::NodeProps, node_prop_total);
-        self.cache.register_file(StoreFile::EdgeProps, edge_prop_total);
+            .register_file(StoreFile::EdgeProps, edge_prop_total);
         let idx_bytes = self.name_index.as_ref().map_or(0, |i| i.storage_bytes());
         self.cache
             .register_file(StoreFile::NameIndex, idx_bytes as u64);
@@ -558,14 +564,16 @@ impl GraphStore {
     #[inline]
     fn touch_node_props(&self, id: NodeId) {
         if let Some(w) = self.node_prop_offsets.get(id.index()..id.index() + 2) {
-            self.cache.touch_range(StoreFile::NodeProps, w[0], w[1] - w[0]);
+            self.cache
+                .touch_range(StoreFile::NodeProps, w[0], w[1] - w[0]);
         }
     }
 
     #[inline]
     fn touch_edge_props(&self, id: EdgeId) {
         if let Some(w) = self.edge_prop_offsets.get(id.index()..id.index() + 2) {
-            self.cache.touch_range(StoreFile::EdgeProps, w[0], w[1] - w[0]);
+            self.cache
+                .touch_range(StoreFile::EdgeProps, w[0], w[1] - w[0]);
         }
     }
 
@@ -883,7 +891,10 @@ mod tests {
     fn extra_props_round_trip() {
         let (mut g, main, _, _) = tiny();
         g.set_node_prop(main, PropKey::Variadic, true);
-        assert_eq!(g.node_prop(main, PropKey::Variadic), Some(PropValue::Bool(true)));
+        assert_eq!(
+            g.node_prop(main, PropKey::Variadic),
+            Some(PropValue::Bool(true))
+        );
         assert_eq!(g.node_prop(main, PropKey::Virtual), None);
     }
 
@@ -896,7 +907,10 @@ mod tests {
         g.set_edge_use_range(e, use_r);
         g.set_edge_name_range(e, name_r);
         assert_eq!(g.edge_use_range(e), Some(use_r));
-        assert_eq!(g.edge_prop(e, PropKey::UseStartLine), Some(PropValue::Int(10)));
+        assert_eq!(
+            g.edge_prop(e, PropKey::UseStartLine),
+            Some(PropValue::Int(10))
+        );
         assert_eq!(g.edge_prop(e, PropKey::NameEndCol), Some(PropValue::Int(8)));
         assert_eq!(g.edge_src(e), main);
         assert_eq!(g.edge_dst(e), bar);

@@ -13,14 +13,25 @@ pub struct LabelIndex {
 impl LabelIndex {
     /// Builds the index over all live nodes.
     pub fn build(g: &GraphStore) -> LabelIndex {
+        Self::build_from(g.nodes().map(|id| {
+            let data = g.node_data(id);
+            (id, data.labels, data.ty)
+        }))
+    }
+
+    /// Builds the index from `(id, labels, type)` triples in ascending id
+    /// order — the shared constructor for the owned store and the mapped
+    /// reader.
+    pub(crate) fn build_from(
+        nodes: impl Iterator<Item = (NodeId, frappe_model::LabelSet, NodeType)>,
+    ) -> LabelIndex {
         let mut by_label = vec![Vec::new(); Label::COUNT];
         let mut by_type = vec![Vec::new(); NodeType::COUNT];
-        for id in g.nodes() {
-            let data = g.node_data(id);
-            for l in data.labels.iter() {
+        for (id, labels, ty) in nodes {
+            for l in labels.iter() {
                 by_label[l as usize].push(id);
             }
-            by_type[data.ty as usize].push(id);
+            by_type[ty as usize].push(id);
         }
         LabelIndex { by_label, by_type }
     }
@@ -140,15 +151,19 @@ mod tests {
             pt::vec_of(pt::u32_range(0, 64), 0, 32),
             pt::vec_of(pt::u32_range(0, 64), 0, 32),
         );
-        pt::check("intersect_sorted_is_set_intersection", &strategy, |(a, b)| {
-            let a: BTreeSet<u32> = a.iter().copied().collect();
-            let b: BTreeSet<u32> = b.iter().copied().collect();
-            let av: Vec<NodeId> = a.iter().map(|x| NodeId(*x)).collect();
-            let bv: Vec<NodeId> = b.iter().map(|x| NodeId(*x)).collect();
-            let got = intersect_sorted(&av, &bv);
-            let expect: Vec<NodeId> = a.intersection(&b).map(|x| NodeId(*x)).collect();
-            assert_eq!(got, expect);
-            Ok(())
-        });
+        pt::check(
+            "intersect_sorted_is_set_intersection",
+            &strategy,
+            |(a, b)| {
+                let a: BTreeSet<u32> = a.iter().copied().collect();
+                let b: BTreeSet<u32> = b.iter().copied().collect();
+                let av: Vec<NodeId> = a.iter().map(|x| NodeId(*x)).collect();
+                let bv: Vec<NodeId> = b.iter().map(|x| NodeId(*x)).collect();
+                let got = intersect_sorted(&av, &bv);
+                let expect: Vec<NodeId> = a.intersection(&b).map(|x| NodeId(*x)).collect();
+                assert_eq!(got, expect);
+                Ok(())
+            },
+        );
     }
 }

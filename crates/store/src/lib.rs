@@ -19,7 +19,9 @@
 //!   groups, with bitmap indexes ([`label_index`]).
 //! * A **page cache** whose cold/warm state is what separates the two
 //!   timing columns of Table 5 ([`pagecache`]).
-//! * Binary **snapshot** persistence ([`snapshot`]).
+//! * Binary **snapshot** persistence ([`snapshot`]), plus a **zero-copy
+//!   mapped reader** serving the same format straight out of an mmap'd
+//!   file ([`mapped`]), behind the shared [`view::GraphView`] trait.
 //! * An optional **call-site reification** transform implementing the
 //!   hyper-edge workaround discussed in Section 6.2 ([`reify`]).
 //!
@@ -44,15 +46,19 @@ pub mod error;
 pub mod graph;
 pub mod interner;
 pub mod label_index;
+pub mod mapped;
 pub mod name_index;
 pub mod pagecache;
 pub mod reify;
 pub mod snapshot;
 pub mod stats;
+pub mod view;
 
 pub use error::StoreError;
 pub use graph::{EdgeData, GraphStore, NodeData};
 pub use interner::StringInterner;
+pub use mapped::{MappedGraph, MappedSnapshot};
 pub use name_index::{NameField, NamePattern};
 pub use pagecache::{CacheMode, CacheStats, IoCostModel, PageCache};
 pub use stats::StoreStats;
+pub use view::GraphView;

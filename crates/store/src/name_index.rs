@@ -75,8 +75,9 @@ impl NamePattern {
         }
     }
 
-    /// The literal prefix usable to narrow a term-dictionary scan.
-    fn scan_prefix(&self) -> &str {
+    /// The literal prefix usable to narrow a term-dictionary scan (shared
+    /// with the mapped reader's lazily built term dictionary).
+    pub(crate) fn scan_prefix(&self) -> &str {
         match self {
             NamePattern::Exact(s) | NamePattern::Prefix(s) => s,
             NamePattern::Wildcard(s) => {
@@ -283,7 +284,14 @@ mod tests {
 
     fn sample() -> GraphStore {
         let mut g = GraphStore::new();
-        for name in ["main", "bar", "baz", "pci_read_bases", "sr_media_change", "Main"] {
+        for name in [
+            "main",
+            "bar",
+            "baz",
+            "pci_read_bases",
+            "sr_media_change",
+            "Main",
+        ] {
             g.add_node(NodeType::Function, name);
         }
         let f = g.add_node(NodeType::File, "wakeup.elf");
@@ -293,7 +301,10 @@ mod tests {
 
     #[test]
     fn pattern_classification() {
-        assert_eq!(NamePattern::parse("main"), NamePattern::Exact("main".into()));
+        assert_eq!(
+            NamePattern::parse("main"),
+            NamePattern::Exact("main".into())
+        );
         assert_eq!(NamePattern::parse("ba*"), NamePattern::Prefix("ba".into()));
         assert_eq!(
             NamePattern::parse("b?r"),
@@ -304,7 +315,10 @@ mod tests {
             NamePattern::Wildcard("*_change".into())
         );
         // Case folded at parse time.
-        assert_eq!(NamePattern::parse("MAIN"), NamePattern::Exact("main".into()));
+        assert_eq!(
+            NamePattern::parse("MAIN"),
+            NamePattern::Exact("main".into())
+        );
     }
 
     #[test]
@@ -395,24 +409,30 @@ mod tests {
             pt::vec_of(pt::string_of("abc", 0, 5), 1, 24),
             pt::string_of("abc*?", 0, 6),
         );
-        pt::check("index_matches_linear_scan", &strategy, |(names, pattern)| {
-            let mut g = GraphStore::new();
-            let ids: Vec<NodeId> =
-                names.iter().map(|n| g.add_node(NodeType::Function, n)).collect();
-            g.freeze();
-            let pat = NamePattern::parse(pattern);
-            let mut expected: Vec<NodeId> = ids
-                .iter()
-                .zip(names)
-                .filter(|(_, n)| pat.matches(&n.to_ascii_lowercase()))
-                .map(|(id, _)| *id)
-                .collect();
-            expected.sort_unstable();
-            expected.dedup();
-            let got = g.lookup_name(NameField::ShortName, &pat).unwrap();
-            assert_eq!(got, expected);
-            Ok(())
-        });
+        pt::check(
+            "index_matches_linear_scan",
+            &strategy,
+            |(names, pattern)| {
+                let mut g = GraphStore::new();
+                let ids: Vec<NodeId> = names
+                    .iter()
+                    .map(|n| g.add_node(NodeType::Function, n))
+                    .collect();
+                g.freeze();
+                let pat = NamePattern::parse(pattern);
+                let mut expected: Vec<NodeId> = ids
+                    .iter()
+                    .zip(names)
+                    .filter(|(_, n)| pat.matches(&n.to_ascii_lowercase()))
+                    .map(|(id, _)| *id)
+                    .collect();
+                expected.sort_unstable();
+                expected.dedup();
+                let got = g.lookup_name(NameField::ShortName, &pat).unwrap();
+                assert_eq!(got, expected);
+                Ok(())
+            },
+        );
     }
 
     /// The glob matcher agrees with a simple recursive reference
@@ -423,9 +443,7 @@ mod tests {
         fn reference(p: &[char], t: &[char]) -> bool {
             match (p.first(), t.first()) {
                 (None, None) => true,
-                (Some('*'), _) => {
-                    reference(&p[1..], t) || (!t.is_empty() && reference(p, &t[1..]))
-                }
+                (Some('*'), _) => reference(&p[1..], t) || (!t.is_empty() && reference(p, &t[1..])),
                 (Some('?'), Some(_)) => reference(&p[1..], &t[1..]),
                 (Some(c), Some(d)) if c == d => reference(&p[1..], &t[1..]),
                 _ => false,
@@ -457,11 +475,11 @@ mod fuzzy_tests {
             NamePattern::Fuzzy("pci".into(), 2)
         );
         // Fuzzy caps at distance 3; wildcards disable fuzziness.
-        assert_eq!(
-            NamePattern::parse("x~9"),
-            NamePattern::Fuzzy("x".into(), 3)
-        );
-        assert!(matches!(NamePattern::parse("a*b~"), NamePattern::Wildcard(_)));
+        assert_eq!(NamePattern::parse("x~9"), NamePattern::Fuzzy("x".into(), 3));
+        assert!(matches!(
+            NamePattern::parse("a*b~"),
+            NamePattern::Wildcard(_)
+        ));
     }
 
     #[test]
@@ -478,7 +496,10 @@ mod fuzzy_tests {
         assert!(hits.contains(&target));
         assert_eq!(hits.len(), 1); // "charge" is distance 2 from the typo
         let hits2 = g
-            .lookup_name(NameField::ShortName, &NamePattern::parse("sr_media_chnge~2"))
+            .lookup_name(
+                NameField::ShortName,
+                &NamePattern::parse("sr_media_chnge~2"),
+            )
             .unwrap();
         assert_eq!(hits2.len(), 2);
     }

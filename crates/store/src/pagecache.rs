@@ -319,9 +319,10 @@ impl PageCache {
         CacheStats {
             faults,
             hits: self.hits.load(Ordering::Relaxed),
-            simulated_io: self.cost.fault_cost.saturating_mul(
-                u32::try_from(faults.min(u64::from(u32::MAX))).unwrap_or(u32::MAX),
-            ),
+            simulated_io: self
+                .cost
+                .fault_cost
+                .saturating_mul(u32::try_from(faults.min(u64::from(u32::MAX))).unwrap_or(u32::MAX)),
         }
     }
 

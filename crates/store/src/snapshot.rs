@@ -29,16 +29,17 @@ use crate::interner::Sym;
 use frappe_harness::serdes::{ByteReader, ByteWriter, Decode, Encode};
 use frappe_model::{EdgeType, LabelSet, NodeId, NodeType, PropMap, SrcRange};
 
-const MAGIC: &[u8; 4] = b"FRAP";
-const VERSION: u32 = 1;
+pub(crate) const MAGIC: &[u8; 4] = b"FRAP";
+pub(crate) const VERSION: u32 = 1;
 
-// Node/edge flag bits.
-const F_DELETED: u8 = 1;
-const F_NAME: u8 = 2;
-const F_LONG: u8 = 4;
-const F_EXTRA: u8 = 8;
-const F_USE_RANGE: u8 = 2;
-const F_NAME_RANGE: u8 = 4;
+// Node/edge flag bits (shared with the zero-copy reader in `crate::mapped`,
+// which parses the exact same byte layout by offset arithmetic).
+pub(crate) const F_DELETED: u8 = 1;
+pub(crate) const F_NAME: u8 = 2;
+pub(crate) const F_LONG: u8 = 4;
+pub(crate) const F_EXTRA: u8 = 8;
+pub(crate) const F_USE_RANGE: u8 = 2;
+pub(crate) const F_NAME_RANGE: u8 = 4;
 
 /// Serializes the store to bytes.
 pub fn encode(g: &GraphStore) -> Vec<u8> {
@@ -80,8 +81,16 @@ pub fn encode(g: &GraphStore) -> Vec<u8> {
         buf.put_u8(e.ty as u8);
         let mut flags = 0u8;
         flags |= if e.deleted { F_DELETED } else { 0 };
-        flags |= if e.use_range.is_some() { F_USE_RANGE } else { 0 };
-        flags |= if e.name_range.is_some() { F_NAME_RANGE } else { 0 };
+        flags |= if e.use_range.is_some() {
+            F_USE_RANGE
+        } else {
+            0
+        };
+        flags |= if e.name_range.is_some() {
+            F_NAME_RANGE
+        } else {
+            0
+        };
         flags |= if e.extra.is_some() { F_EXTRA } else { 0 };
         buf.put_u8(flags);
         buf.put_u32_le(e.src);
@@ -236,7 +245,8 @@ pub fn decode(data: &[u8]) -> Result<GraphStore, StoreError> {
                 e.extra = extra;
             }
             if deleted {
-                g.delete_edge(id).map_err(|_| corrupt("bad edge tombstone"))?;
+                g.delete_edge(id)
+                    .map_err(|_| corrupt("bad edge tombstone"))?;
             }
         }
     }
@@ -311,7 +321,10 @@ mod tests {
         let main = g2
             .lookup_name(NameField::ShortName, &NamePattern::exact("main"))
             .unwrap()[0];
-        assert_eq!(g2.node_prop(main, PropKey::Variadic), Some(PropValue::Bool(true)));
+        assert_eq!(
+            g2.node_prop(main, PropKey::Variadic),
+            Some(PropValue::Bool(true))
+        );
         assert_eq!(
             g2.node_prop(main, PropKey::LongName).unwrap().as_str(),
             Some("main(int, char **)")

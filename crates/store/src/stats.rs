@@ -102,7 +102,11 @@ impl StoreStats {
 impl std::fmt::Display for StoreStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "Table 3. Graph metrics")?;
-        writeln!(f, "{:>12} {:>12} {:>10}", "Node count", "Edge count", "Density")?;
+        writeln!(
+            f,
+            "{:>12} {:>12} {:>10}",
+            "Node count", "Edge count", "Density"
+        )?;
         writeln!(f, "{}", self.table3_row())?;
         writeln!(f, "Table 4. Database size (MB)")?;
         writeln!(

@@ -1,0 +1,252 @@
+//! The read-only graph abstraction shared by the owned store and the
+//! zero-copy mapped reader.
+//!
+//! `frappe-query`, `frappe-core`, `frappe-relational`, and `frappe-viz` all
+//! execute against `impl GraphView`, so the same query runs over a fully
+//! decoded [`GraphStore`](crate::GraphStore) or a
+//! [`MappedGraph`](crate::MappedGraph) borrowing records straight out of an
+//! mmap'd snapshot. The trait is exactly the read surface those consumers
+//! were already using — mutation, page-cache control, and interner access
+//! stay on the concrete types.
+
+use crate::error::StoreError;
+use crate::graph::Direction;
+use crate::name_index::{NameField, NamePattern};
+use frappe_model::{
+    EdgeId, EdgeType, Label, LabelSet, NodeId, NodeType, PropKey, PropValue, SrcRange,
+};
+
+/// Read-only access to a property graph.
+///
+/// Semantics every implementation must share (the equivalence property test
+/// in `crate::mapped` pins them):
+///
+/// * ids are dense and stable, including tombstones: `node_capacity` /
+///   `edge_capacity` count allocated records, `node_count` / `edge_count`
+///   only live ones;
+/// * adjacency order is the store's LIFO chain order — the live edges of a
+///   node in **descending edge-id order**;
+/// * index lookups (`lookup_name`, `nodes_with_label`, `nodes_with_type`)
+///   require a frozen graph and return `StoreError::NotFrozen` otherwise.
+pub trait GraphView {
+    /// Number of live nodes.
+    fn node_count(&self) -> usize;
+    /// Number of live edges.
+    fn edge_count(&self) -> usize;
+    /// Highest node id ever allocated (including deleted).
+    fn node_capacity(&self) -> usize;
+    /// Highest edge id ever allocated (including deleted).
+    fn edge_capacity(&self) -> usize;
+    /// Whether indexes are built and lookups are allowed.
+    fn is_frozen(&self) -> bool;
+    /// Whether `id` refers to a live node.
+    fn node_exists(&self, id: NodeId) -> bool;
+    /// Whether `id` refers to a live edge.
+    fn edge_exists(&self, id: EdgeId) -> bool;
+    /// The node's Table 1 type.
+    fn node_type(&self, id: NodeId) -> NodeType;
+    /// The node's label set.
+    fn node_labels(&self, id: NodeId) -> LabelSet;
+    /// The node's `SHORT_NAME`.
+    fn node_short_name(&self, id: NodeId) -> &str;
+    /// The node's `NAME` (falls back to `SHORT_NAME`).
+    fn node_name(&self, id: NodeId) -> &str;
+    /// Reads a node property (Table 2).
+    fn node_prop(&self, id: NodeId, key: PropKey) -> Option<PropValue>;
+    /// Live out-degree.
+    fn out_degree(&self, id: NodeId) -> usize;
+    /// Live in-degree.
+    fn in_degree(&self, id: NodeId) -> usize;
+    /// The edge's Table 1 type.
+    fn edge_type(&self, id: EdgeId) -> EdgeType;
+    /// Source node of an edge.
+    fn edge_src(&self, id: EdgeId) -> NodeId;
+    /// Target node of an edge.
+    fn edge_dst(&self, id: EdgeId) -> NodeId;
+    /// The edge's `USE_*` range.
+    fn edge_use_range(&self, id: EdgeId) -> Option<SrcRange>;
+    /// The edge's `NAME_*` range.
+    fn edge_name_range(&self, id: EdgeId) -> Option<SrcRange>;
+    /// Reads an edge property (Table 2), synthesizing range keys.
+    fn edge_prop(&self, id: EdgeId, key: PropKey) -> Option<PropValue>;
+    /// Iterates all live node ids in ascending order.
+    fn nodes(&self) -> impl Iterator<Item = NodeId> + '_;
+    /// Iterates all live edge ids in ascending order.
+    fn edges(&self) -> impl Iterator<Item = EdgeId> + '_;
+    /// Iterates the live edges incident to `id` in `dir` in chain order,
+    /// optionally filtered by type.
+    fn edges_dir(
+        &self,
+        id: NodeId,
+        dir: Direction,
+        ty: Option<EdgeType>,
+    ) -> impl Iterator<Item = EdgeId> + '_;
+
+    /// Outgoing edges of `id` (optionally typed).
+    fn out_edges(&self, id: NodeId, ty: Option<EdgeType>) -> impl Iterator<Item = EdgeId> + '_ {
+        self.edges_dir(id, Direction::Outgoing, ty)
+    }
+
+    /// Incoming edges of `id` (optionally typed).
+    fn in_edges(&self, id: NodeId, ty: Option<EdgeType>) -> impl Iterator<Item = EdgeId> + '_ {
+        self.edges_dir(id, Direction::Incoming, ty)
+    }
+
+    /// Outgoing neighbors of `id` (optionally typed).
+    fn out_neighbors(&self, id: NodeId, ty: Option<EdgeType>) -> impl Iterator<Item = NodeId> + '_ {
+        self.out_edges(id, ty).map(move |e| self.edge_dst(e))
+    }
+
+    /// Incoming neighbors of `id` (optionally typed).
+    fn in_neighbors(&self, id: NodeId, ty: Option<EdgeType>) -> impl Iterator<Item = NodeId> + '_ {
+        self.in_edges(id, ty).map(move |e| self.edge_src(e))
+    }
+
+    /// Looks up nodes by name pattern (the paper's `node_auto_index`).
+    fn lookup_name(
+        &self,
+        field: NameField,
+        pattern: &NamePattern,
+    ) -> Result<Vec<NodeId>, StoreError>;
+    /// All live nodes carrying `label`, sorted by id.
+    fn nodes_with_label(&self, label: Label) -> Result<&[NodeId], StoreError>;
+    /// All live nodes of Table 1 type `ty`, sorted by id.
+    fn nodes_with_type(&self, ty: NodeType) -> Result<&[NodeId], StoreError>;
+}
+
+/// The owned store is the reference implementation: every method delegates
+/// to the inherent method of the same name (inherent methods win name
+/// resolution, so there is no recursion).
+impl GraphView for crate::GraphStore {
+    fn node_count(&self) -> usize {
+        self.node_count()
+    }
+    fn edge_count(&self) -> usize {
+        self.edge_count()
+    }
+    fn node_capacity(&self) -> usize {
+        self.node_capacity()
+    }
+    fn edge_capacity(&self) -> usize {
+        self.edge_capacity()
+    }
+    fn is_frozen(&self) -> bool {
+        self.is_frozen()
+    }
+    fn node_exists(&self, id: NodeId) -> bool {
+        self.node_exists(id)
+    }
+    fn edge_exists(&self, id: EdgeId) -> bool {
+        self.edge_exists(id)
+    }
+    fn node_type(&self, id: NodeId) -> NodeType {
+        self.node_type(id)
+    }
+    fn node_labels(&self, id: NodeId) -> LabelSet {
+        self.node_labels(id)
+    }
+    fn node_short_name(&self, id: NodeId) -> &str {
+        self.node_short_name(id)
+    }
+    fn node_name(&self, id: NodeId) -> &str {
+        self.node_name(id)
+    }
+    fn node_prop(&self, id: NodeId, key: PropKey) -> Option<PropValue> {
+        self.node_prop(id, key)
+    }
+    fn out_degree(&self, id: NodeId) -> usize {
+        self.out_degree(id)
+    }
+    fn in_degree(&self, id: NodeId) -> usize {
+        self.in_degree(id)
+    }
+    fn edge_type(&self, id: EdgeId) -> EdgeType {
+        self.edge_type(id)
+    }
+    fn edge_src(&self, id: EdgeId) -> NodeId {
+        self.edge_src(id)
+    }
+    fn edge_dst(&self, id: EdgeId) -> NodeId {
+        self.edge_dst(id)
+    }
+    fn edge_use_range(&self, id: EdgeId) -> Option<SrcRange> {
+        self.edge_use_range(id)
+    }
+    fn edge_name_range(&self, id: EdgeId) -> Option<SrcRange> {
+        self.edge_name_range(id)
+    }
+    fn edge_prop(&self, id: EdgeId, key: PropKey) -> Option<PropValue> {
+        self.edge_prop(id, key)
+    }
+    fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes()
+    }
+    fn edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.edges()
+    }
+    fn edges_dir(
+        &self,
+        id: NodeId,
+        dir: Direction,
+        ty: Option<EdgeType>,
+    ) -> impl Iterator<Item = EdgeId> + '_ {
+        self.edges_dir(id, dir, ty)
+    }
+    fn lookup_name(
+        &self,
+        field: NameField,
+        pattern: &NamePattern,
+    ) -> Result<Vec<NodeId>, StoreError> {
+        self.lookup_name(field, pattern)
+    }
+    fn nodes_with_label(&self, label: Label) -> Result<&[NodeId], StoreError> {
+        self.nodes_with_label(label)
+    }
+    fn nodes_with_type(&self, ty: NodeType) -> Result<&[NodeId], StoreError> {
+        self.nodes_with_type(ty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphStore;
+
+    /// Exercise a graph through the trait only — proves generic consumers
+    /// can do everything they did against the concrete store.
+    fn describe<G: GraphView>(g: &G) -> (usize, usize, Vec<NodeId>, Vec<NodeId>) {
+        let first = g.nodes().next().unwrap();
+        let out: Vec<NodeId> = g.out_neighbors(first, None).collect();
+        let by_name = g
+            .lookup_name(NameField::ShortName, &NamePattern::exact("main"))
+            .unwrap();
+        (g.node_count(), g.edge_count(), out, by_name)
+    }
+
+    #[test]
+    fn graphstore_implements_graphview() {
+        let mut g = GraphStore::new();
+        let main = g.add_node(NodeType::Function, "main");
+        let bar = g.add_node(NodeType::Function, "bar");
+        let x = g.add_node(NodeType::Global, "x");
+        g.add_edge(main, EdgeType::Calls, bar);
+        g.add_edge(main, EdgeType::Writes, x);
+        g.freeze();
+        let (nc, ec, out, by_name) = describe(&g);
+        assert_eq!((nc, ec), (3, 2));
+        assert_eq!(out, vec![x, bar]); // LIFO chain order
+        assert_eq!(by_name, vec![main]);
+    }
+
+    #[test]
+    fn default_methods_agree_with_inherent_ones() {
+        let mut g = GraphStore::new();
+        let a = g.add_node(NodeType::Function, "a");
+        let b = g.add_node(NodeType::Function, "b");
+        g.add_edge(a, EdgeType::Calls, b);
+        g.add_edge(b, EdgeType::Calls, a);
+        let via_trait: Vec<NodeId> = GraphView::in_neighbors(&g, a, None).collect();
+        let inherent: Vec<NodeId> = g.in_neighbors(a, None).collect();
+        assert_eq!(via_trait, inherent);
+    }
+}

@@ -18,8 +18,12 @@ enum Op {
 fn op_strategy() -> pt::Strategy<Op> {
     pt::one_of(vec![
         pt::u8_range(0, 21).map(|t| Op::AddNode(*t)),
-        pt::tuple3(pt::u8_range(0, 255), pt::u8_range(0, 30), pt::u8_range(0, 255))
-            .map(|(a, t, b)| Op::AddEdge(*a, *t, *b)),
+        pt::tuple3(
+            pt::u8_range(0, 255),
+            pt::u8_range(0, 30),
+            pt::u8_range(0, 255),
+        )
+        .map(|(a, t, b)| Op::AddEdge(*a, *t, *b)),
         pt::u8_range(0, 255).map(|a| Op::DeleteNode(*a)),
         pt::u8_range(0, 255).map(|a| Op::DeleteEdge(*a)),
     ])
@@ -39,9 +43,7 @@ fn apply(ops: &[Op]) -> (GraphStore, Vec<bool>, Vec<(usize, usize, EdgeType, boo
                 nodes_alive.push(true);
             }
             Op::AddEdge(a, t, b) => {
-                let live: Vec<usize> = (0..nodes_alive.len())
-                    .filter(|i| nodes_alive[*i])
-                    .collect();
+                let live: Vec<usize> = (0..nodes_alive.len()).filter(|i| nodes_alive[*i]).collect();
                 if live.is_empty() {
                     continue;
                 }
@@ -52,9 +54,7 @@ fn apply(ops: &[Op]) -> (GraphStore, Vec<bool>, Vec<(usize, usize, EdgeType, boo
                 edges.push((src, dst, ty, true));
             }
             Op::DeleteNode(a) => {
-                let live: Vec<usize> = (0..nodes_alive.len())
-                    .filter(|i| nodes_alive[*i])
-                    .collect();
+                let live: Vec<usize> = (0..nodes_alive.len()).filter(|i| nodes_alive[*i]).collect();
                 if live.is_empty() {
                     continue;
                 }
@@ -68,8 +68,7 @@ fn apply(ops: &[Op]) -> (GraphStore, Vec<bool>, Vec<(usize, usize, EdgeType, boo
                 }
             }
             Op::DeleteEdge(a) => {
-                let live: Vec<usize> =
-                    (0..edges.len()).filter(|i| edges[*i].3).collect();
+                let live: Vec<usize> = (0..edges.len()).filter(|i| edges[*i].3).collect();
                 if live.is_empty() {
                     continue;
                 }

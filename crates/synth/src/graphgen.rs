@@ -317,7 +317,10 @@ pub fn generate(spec: &SynthSpec) -> SynthOutput {
             // Typedefs.
             let ntypedefs = poisson_ish(&mut rng, counts.typedefs_per_header);
             for _ in 0..ntypedefs {
-                let td = g.add_node(NodeType::Typedef, &format!("{}_t", names::pick(&mut rng, names::NOUNS)));
+                let td = g.add_node(
+                    NodeType::Typedef,
+                    &format!("{}_t", names::pick(&mut rng, names::NOUNS)),
+                );
                 g.add_edge(hnode, EdgeType::FileContains, td);
                 let target = if !sys.records.is_empty() && rng.random_range(0..2u8) == 0 {
                     sys.records[rng.random_range(0..sys.records.len())].0
@@ -395,7 +398,11 @@ pub fn generate(spec: &SynthSpec) -> SynthOutput {
                 let e = g.add_edge(*cnode, EdgeType::FileContains, f);
                 g.set_edge_name_range(e, SrcRange::token(*cfid, line, 5, name.len() as u32));
                 // Return type.
-                g.add_edge(f, EdgeType::HasRetType, primitives[prim_zipf.sample(&mut rng)]);
+                g.add_edge(
+                    f,
+                    EdgeType::HasRetType,
+                    primitives[prim_zipf.sample(&mut rng)],
+                );
                 fns.push(FnInfo {
                     node: f,
                     subsystem: si,
@@ -409,7 +416,12 @@ pub fn generate(spec: &SynthSpec) -> SynthOutput {
                         let e = g.add_edge(*hnode, EdgeType::FileContains, d);
                         g.set_edge_name_range(
                             e,
-                            SrcRange::token(*hfid, decls.len() as u32 % 900 + 20, 5, name.len() as u32),
+                            SrcRange::token(
+                                *hfid,
+                                decls.len() as u32 % 900 + 20,
+                                5,
+                                name.len() as u32,
+                            ),
                         );
                         g.add_edge(d, EdgeType::LinkMatches, f);
                         decls.push((d, si));
@@ -470,7 +482,10 @@ pub fn generate(spec: &SynthSpec) -> SynthOutput {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("synth worker")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("synth worker"))
+            .collect()
     });
 
     for list in call_lists {
@@ -914,7 +929,11 @@ mod tests {
         let stats = frappe_core::metrics::degree_histogram(&out.graph, 5);
         // The top node should be a primitive (the `int` hub of Figure 7).
         let (top, deg) = stats.top[0];
-        assert_eq!(out.graph.node_type(top), NodeType::Primitive, "top degree {deg}");
+        assert_eq!(
+            out.graph.node_type(top),
+            NodeType::Primitive,
+            "top degree {deg}"
+        );
         // Hub degree dwarfs the mean.
         assert!(deg as f64 > stats.mean_degree * 50.0);
         // Most nodes have tiny degree.
@@ -1052,11 +1071,14 @@ mod calibration_tests {
             g.edge_count()
         );
         // Figure 7: int ≈ 79 k, NULL ≈ 19 k.
-        let int_deg = g.in_degree(out.landmarks.int_primitive)
-            + g.out_degree(out.landmarks.int_primitive);
+        let int_deg =
+            g.in_degree(out.landmarks.int_primitive) + g.out_degree(out.landmarks.int_primitive);
         assert!((60_000..110_000).contains(&int_deg), "int degree {int_deg}");
         let null_deg = g.in_degree(out.landmarks.null_macro);
-        assert!((14_000..27_000).contains(&null_deg), "NULL degree {null_deg}");
+        assert!(
+            (14_000..27_000).contains(&null_deg),
+            "NULL degree {null_deg}"
+        );
         // Table 4: total size within 2x of the paper's ~800 MB.
         let stats = frappe_store::StoreStats::compute(g);
         let mb = frappe_store::StoreStats::mb(stats.total_bytes());

@@ -8,27 +8,67 @@ use frappe_harness::rng::Rng;
 
 /// Subsystem prefixes (double as directory names).
 pub const SUBSYSTEMS: &[&str] = &[
-    "sched", "mm", "ext4", "nfs", "scsi", "usb", "pci", "net", "ipv4", "tcp", "udp", "sock",
-    "dev", "irq", "acpi", "apic", "dma", "vfs", "proc", "sysfs", "block", "char", "tty",
-    "serial", "input", "hid", "snd", "drm", "kvm", "xen", "crypto", "security", "audit",
+    "sched", "mm", "ext4", "nfs", "scsi", "usb", "pci", "net", "ipv4", "tcp", "udp", "sock", "dev",
+    "irq", "acpi", "apic", "dma", "vfs", "proc", "sysfs", "block", "char", "tty", "serial",
+    "input", "hid", "snd", "drm", "kvm", "xen", "crypto", "security", "audit",
 ];
 
 /// Verbs used in function names.
 pub const VERBS: &[&str] = &[
-    "read", "write", "init", "exit", "probe", "remove", "alloc", "free", "get", "set", "put",
-    "register", "unregister", "enable", "disable", "start", "stop", "open", "close", "flush",
-    "sync", "lookup", "insert", "delete", "update", "handle", "process", "queue", "submit",
-    "complete", "wait", "wake", "lock", "unlock", "map", "unmap", "attach", "detach", "parse",
-    "validate", "check", "setup", "teardown", "resume", "suspend",
+    "read",
+    "write",
+    "init",
+    "exit",
+    "probe",
+    "remove",
+    "alloc",
+    "free",
+    "get",
+    "set",
+    "put",
+    "register",
+    "unregister",
+    "enable",
+    "disable",
+    "start",
+    "stop",
+    "open",
+    "close",
+    "flush",
+    "sync",
+    "lookup",
+    "insert",
+    "delete",
+    "update",
+    "handle",
+    "process",
+    "queue",
+    "submit",
+    "complete",
+    "wait",
+    "wake",
+    "lock",
+    "unlock",
+    "map",
+    "unmap",
+    "attach",
+    "detach",
+    "parse",
+    "validate",
+    "check",
+    "setup",
+    "teardown",
+    "resume",
+    "suspend",
 ];
 
 /// Nouns used in function/variable names.
 pub const NOUNS: &[&str] = &[
-    "buffer", "page", "queue", "list", "entry", "table", "cache", "pool", "slot", "region",
-    "zone", "segment", "block", "sector", "inode", "dentry", "file", "path", "request", "bio",
-    "skb", "packet", "frame", "desc", "ring", "channel", "port", "bus", "bridge", "device",
-    "driver", "handler", "callback", "timer", "clock", "counter", "state", "flags", "mask",
-    "config", "params", "info", "stats", "ctx", "data",
+    "buffer", "page", "queue", "list", "entry", "table", "cache", "pool", "slot", "region", "zone",
+    "segment", "block", "sector", "inode", "dentry", "file", "path", "request", "bio", "skb",
+    "packet", "frame", "desc", "ring", "channel", "port", "bus", "bridge", "device", "driver",
+    "handler", "callback", "timer", "clock", "counter", "state", "flags", "mask", "config",
+    "params", "info", "stats", "ctx", "data",
 ];
 
 /// Primitive type names with Zipf-ish hotness (index 0 hottest). The paper

@@ -116,7 +116,8 @@ pub fn mini_kernel(spec: &MiniKernelSpec) -> (SourceTree, CompileDb) {
                 // Member traffic.
                 match rng.random_range(0..3u8) {
                     0 => {
-                        let _ = writeln!(src, "    dev->state = {}_BUSY;", sub.to_ascii_uppercase());
+                        let _ =
+                            writeln!(src, "    dev->state = {}_BUSY;", sub.to_ascii_uppercase());
                     }
                     1 => {
                         let _ = writeln!(src, "    ret = dev->id + dev->kobj.refcount;");
@@ -187,7 +188,10 @@ mod tests {
         // The second subsystem's f0_1 calls into the first subsystem.
         let sub0 = names::SUBSYSTEMS[0];
         let target = g
-            .lookup_name(NameField::ShortName, &NamePattern::exact(&format!("{sub0}_f0_0")))
+            .lookup_name(
+                NameField::ShortName,
+                &NamePattern::exact(&format!("{sub0}_f0_0")),
+            )
             .unwrap()
             .into_iter()
             .find(|n| g.node_type(*n) == NodeType::Function)
@@ -233,7 +237,9 @@ mod tests {
         let vmlinux = g
             .lookup_name(NameField::ShortName, &NamePattern::exact("vmlinux"))
             .unwrap()[0];
-        let linked: Vec<_> = g.out_neighbors(vmlinux, Some(EdgeType::LinkedFrom)).collect();
+        let linked: Vec<_> = g
+            .out_neighbors(vmlinux, Some(EdgeType::LinkedFrom))
+            .collect();
         assert!(linked.len() >= 13); // printk.o + 4 subsystems × 3 files
     }
 }

@@ -49,10 +49,8 @@
 //! ```
 
 use frappe_core::traverse::{self, Dir};
-use frappe_model::{
-    EdgeId, EdgeType, NodeId, NodeType, PropKey, PropValue, SrcRange, VersionId,
-};
-use frappe_store::{snapshot, GraphStore, StoreError};
+use frappe_model::{EdgeId, EdgeType, NodeId, NodeType, PropKey, PropValue, SrcRange, VersionId};
+use frappe_store::{snapshot, GraphStore, MappedGraph, StoreError};
 
 /// One recorded mutation.
 #[derive(Debug, Clone, PartialEq)]
@@ -291,8 +289,8 @@ impl TemporalStore {
 
     /// Materializes version `v` as an *unfrozen* working graph.
     fn materialize(&self, v: VersionId) -> Result<GraphStore, TemporalError> {
-        let mut g = snapshot::decode(&self.base)
-            .map_err(|e| TemporalError::ReplayFailed(e.to_string()))?;
+        let mut g =
+            snapshot::decode(&self.base).map_err(|e| TemporalError::ReplayFailed(e.to_string()))?;
         g.unfreeze();
         for step in self.chain(v)? {
             for op in &self.versions[step.index()].ops {
@@ -351,14 +349,33 @@ impl TemporalStore {
         Ok(g)
     }
 
+    /// Materializes version `v` as a zero-copy [`MappedGraph`]: the version
+    /// is replayed, frozen, encoded once, and served by offset arithmetic —
+    /// no second decode. Useful when a checkout is queried read-only (the
+    /// common case for historical versions) and the caller wants the
+    /// mapped read path's lazy indexes instead of a full `GraphStore`.
+    pub fn checkout_mapped(&self, v: VersionId) -> Result<MappedGraph, TemporalError> {
+        let bytes = match &self.cache {
+            // The cache slot may be unfrozen; round-trip it frozen so the
+            // mapped graph allows index lookups.
+            Some((cached, g)) if *cached == v => {
+                let mut copy = snapshot::decode(&snapshot::encode(g))
+                    .map_err(|e| TemporalError::ReplayFailed(e.to_string()))?;
+                copy.freeze();
+                snapshot::encode(&copy)
+            }
+            _ => {
+                let mut g = self.materialize(v)?;
+                g.freeze();
+                snapshot::encode(&g)
+            }
+        };
+        MappedGraph::from_bytes(bytes).map_err(|e| TemporalError::ReplayFailed(e.to_string()))
+    }
+
     /// Simulated on-disk size of version `v`'s delta (ops only).
     pub fn delta_bytes(&self, v: VersionId) -> Result<usize, TemporalError> {
-        Ok(self
-            .meta(v)?
-            .ops
-            .iter()
-            .map(DeltaOp::encoded_bytes)
-            .sum())
+        Ok(self.meta(v)?.ops.iter().map(DeltaOp::encoded_bytes).sum())
     }
 
     /// Size of a full snapshot of version `v` — what storing each version
@@ -454,17 +471,19 @@ fn replay(g: &mut GraphStore, op: &DeltaOp) -> Result<(), TemporalError> {
         } => {
             let got = g.add_node(*ty, short_name);
             if got != *node {
-                return Err(fail(format!("node id drift: expected {node:?}, got {got:?}")));
+                return Err(fail(format!(
+                    "node id drift: expected {node:?}, got {got:?}"
+                )));
             }
         }
         DeltaOp::SetNodeName { node, name } => g.set_node_name(*node, name),
-        DeltaOp::SetNodeProp { node, key, value } => {
-            g.set_node_prop(*node, *key, value.clone())
-        }
+        DeltaOp::SetNodeProp { node, key, value } => g.set_node_prop(*node, *key, value.clone()),
         DeltaOp::AddEdge { edge, src, ty, dst } => {
             let got = g.add_edge(*src, *ty, *dst);
             if got != *edge {
-                return Err(fail(format!("edge id drift: expected {edge:?}, got {got:?}")));
+                return Err(fail(format!(
+                    "edge id drift: expected {edge:?}, got {got:?}"
+                )));
             }
         }
         DeltaOp::SetEdgeUseRange { edge, range } => g.set_edge_use_range(*edge, *range),
@@ -650,6 +669,54 @@ mod tests {
         let (ts, _) = TemporalStore::new(g, "base");
         assert!(matches!(
             ts.checkout(VersionId(9)),
+            Err(TemporalError::UnknownVersion(_))
+        ));
+    }
+
+    #[test]
+    fn mapped_checkout_agrees_with_owned_checkout() {
+        use frappe_store::GraphView;
+        let (g, a, _, c) = base();
+        let (mut ts, v0) = TemporalStore::new(g, "base");
+        let mut tx = ts.begin(v0).unwrap();
+        let d = tx.add_node(NodeType::Function, "d");
+        tx.add_edge(c, EdgeType::Calls, d);
+        let ab = tx
+            .graph()
+            .out_edges(a, Some(EdgeType::Calls))
+            .next()
+            .unwrap();
+        tx.delete_edge(ab).unwrap();
+        let v1 = ts.commit(tx, "mixed");
+        // Both the cached head version and a cold middle version.
+        for v in [v0, v1] {
+            let owned = ts.checkout(v).unwrap();
+            let mapped = ts.checkout_mapped(v).unwrap();
+            assert!(mapped.is_frozen());
+            assert_eq!(mapped.node_count(), owned.node_count());
+            assert_eq!(mapped.edge_count(), owned.edge_count());
+            for n in owned.nodes() {
+                assert_eq!(mapped.node_short_name(n), owned.node_short_name(n));
+                assert_eq!(
+                    GraphView::out_edges(&mapped, n, None).collect::<Vec<_>>(),
+                    owned.out_edges(n, None).collect::<Vec<_>>()
+                );
+            }
+            // The generic traversal engine runs over the mapped checkout.
+            let closure_mapped =
+                traverse::transitive_closure(&mapped, a, Dir::Out, &[EdgeType::Calls], None);
+            let closure_owned =
+                traverse::transitive_closure(&owned, a, Dir::Out, &[EdgeType::Calls], None);
+            assert_eq!(closure_mapped, closure_owned);
+        }
+        let hits = ts
+            .checkout_mapped(v1)
+            .unwrap()
+            .lookup_name(NameField::ShortName, &NamePattern::exact("d"))
+            .unwrap();
+        assert_eq!(hits, vec![d]);
+        assert!(matches!(
+            ts.checkout_mapped(VersionId(9)),
             Err(TemporalError::UnknownVersion(_))
         ));
     }

@@ -3,7 +3,7 @@
 
 use crate::treemap::{squarify, Rect};
 use frappe_model::{EdgeType, NodeId, NodeType};
-use frappe_store::GraphStore;
+use frappe_store::GraphView;
 use std::collections::HashMap;
 
 /// One placed map item.
@@ -36,7 +36,7 @@ impl CodeMap {
     /// Builds the map from the containment hierarchy of `g`
     /// (`dir_contains` → `file_contains`), weighting each tile by the
     /// number of entities it transitively contains.
-    pub fn build(g: &GraphStore, width: f64, height: f64) -> CodeMap {
+    pub fn build<G: GraphView>(g: &G, width: f64, height: f64) -> CodeMap {
         // Roots: directories with no incoming dir_contains.
         let mut roots: Vec<NodeId> = g
             .nodes_with_type(NodeType::Directory)
@@ -74,9 +74,9 @@ impl CodeMap {
         map
     }
 
-    fn place(
+    fn place<G: GraphView>(
         &mut self,
-        g: &GraphStore,
+        g: &G,
         node: NodeId,
         rect: Rect,
         depth: usize,
@@ -152,7 +152,10 @@ impl CodeMap {
                 s.push_str(&format!(
                     "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{:.1}\" \
                      fill=\"none\" stroke=\"#c0392b\" stroke-width=\"2\"/>\n",
-                    r.x, r.y, r.w.max(2.0), r.h.max(2.0)
+                    r.x,
+                    r.y,
+                    r.w.max(2.0),
+                    r.h.max(2.0)
                 ));
             }
         }
@@ -184,11 +187,9 @@ impl CodeMap {
 }
 
 /// Containment children shown on the map.
-fn children_of(g: &GraphStore, node: NodeId) -> Vec<NodeId> {
+fn children_of<G: GraphView>(g: &G, node: NodeId) -> Vec<NodeId> {
     match g.node_type(node) {
-        NodeType::Directory => g
-            .out_neighbors(node, Some(EdgeType::DirContains))
-            .collect(),
+        NodeType::Directory => g.out_neighbors(node, Some(EdgeType::DirContains)).collect(),
         NodeType::File => g
             .out_neighbors(node, Some(EdgeType::FileContains))
             .filter(|n| {
@@ -203,28 +204,32 @@ fn children_of(g: &GraphStore, node: NodeId) -> Vec<NodeId> {
 }
 
 /// Transitive entity count (memoized).
-fn weight(g: &GraphStore, node: NodeId, memo: &mut HashMap<NodeId, f64>) -> f64 {
+fn weight<G: GraphView>(g: &G, node: NodeId, memo: &mut HashMap<NodeId, f64>) -> f64 {
     if let Some(w) = memo.get(&node) {
         return *w;
     }
     // Insert a guard against containment cycles (shouldn't exist, but
     // never hang on hostile data).
     memo.insert(node, 1.0);
-    let w = 1.0 + children_of(g, node)
-        .into_iter()
-        .map(|c| weight(g, c, memo))
-        .sum::<f64>();
+    let w = 1.0
+        + children_of(g, node)
+            .into_iter()
+            .map(|c| weight(g, c, memo))
+            .sum::<f64>();
     memo.insert(node, w);
     w
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use frappe_store::GraphStore;
 
     fn tree() -> (GraphStore, NodeId, NodeId, NodeId) {
         let mut g = GraphStore::new();

@@ -242,12 +242,7 @@ mod tests {
             // Pairwise non-overlap.
             for i in 0..rs.len() {
                 for j in (i + 1)..rs.len() {
-                    assert!(
-                        !rs[i].overlaps(&rs[j]),
-                        "{:?} overlaps {:?}",
-                        rs[i],
-                        rs[j]
-                    );
+                    assert!(!rs[i].overlaps(&rs[j]), "{:?} overlaps {:?}", rs[i], rs[j]);
                 }
             }
             Ok(())

@@ -98,7 +98,10 @@ fn main() {
     // The old version still answers queries exactly as before.
     let g0 = ts.checkout(VersionId(0)).unwrap();
     assert!(g0
-        .lookup_name(NameField::ShortName, &NamePattern::exact("sched_validate_fix"))
+        .lookup_name(
+            NameField::ShortName,
+            &NamePattern::exact("sched_validate_fix")
+        )
         .unwrap()
         .is_empty());
     println!("\nv0 checkout is untouched (no sched_validate_fix there) ✓");

@@ -32,10 +32,18 @@ fn main() {
     println!("plan:\n{}", indent(&engine.explain(g, &q)));
     let t = Instant::now();
     let declarative = engine.run(g, &q).unwrap();
-    println!("  declarative: {} rows in {:?}", declarative.rows.len(), t.elapsed());
+    println!(
+        "  declarative: {} rows in {:?}",
+        declarative.rows.len(),
+        t.elapsed()
+    );
     let t = Instant::now();
     let direct = usecases::code_search(g, "wakeup.elf", "id").unwrap();
-    println!("  direct API : {} fields in {:?}", direct.len(), t.elapsed());
+    println!(
+        "  direct API : {} fields in {:?}",
+        direct.len(),
+        t.elapsed()
+    );
     assert_eq!(declarative.rows.len(), direct.len());
 
     // --- Figure 4: go-to-definition ------------------------------------
@@ -59,7 +67,11 @@ fn main() {
     println!("\nFigure 5 (debugging):\n  {text}");
     let t = Instant::now();
     let r = engine.run_str(g, &text).unwrap();
-    println!("  declarative: {} writer(s) in {:?}", r.rows.len(), t.elapsed());
+    println!(
+        "  declarative: {} writer(s) in {:?}",
+        r.rows.len(),
+        t.elapsed()
+    );
     println!("{}", indent(&r.to_table()));
     let direct = usecases::debug_writes(
         g,
@@ -92,7 +104,10 @@ fn main() {
              the paper's '> 15 mins, aborted'",
             t.elapsed()
         ),
-        Ok(r) => println!("  declarative finished with {} rows (tiny graph)", r.rows.len()),
+        Ok(r) => println!(
+            "  declarative finished with {} rows (tiny graph)",
+            r.rows.len()
+        ),
         Err(e) => panic!("{e}"),
     }
     let t = Instant::now();

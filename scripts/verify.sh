@@ -4,27 +4,42 @@
 # a machine with an empty registry and no network.
 #
 # Usage:
-#   scripts/verify.sh            # tier-1: build + tests + bench compile
+#   scripts/verify.sh            # tier-1: release build + tests + bench compile
 #   scripts/verify.sh --offline  # same (offline is already the default);
 #                                # kept as an explicit CI entrypoint
+#   scripts/verify.sh --quick    # debug build + tests, no bench compile —
+#                                # the fast inner-loop check
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 CARGO_FLAGS=(--offline)
+QUICK=0
 for arg in "$@"; do
   case "$arg" in
     --offline) ;; # default; accepted for CI-invocation symmetry
+    --quick) QUICK=1 ;;
     *)
-      echo "usage: scripts/verify.sh [--offline]" >&2
+      echo "usage: scripts/verify.sh [--offline] [--quick]" >&2
       exit 2
       ;;
   esac
 done
 
+if [[ "$QUICK" -eq 1 ]]; then
+  echo "==> cargo build ${CARGO_FLAGS[*]}"
+  cargo build "${CARGO_FLAGS[@]}"
+
+  echo "==> cargo test -q --workspace ${CARGO_FLAGS[*]}"
+  cargo test -q --workspace "${CARGO_FLAGS[@]}"
+
+  echo "verify: OK (quick)"
+  exit 0
+fi
+
 echo "==> cargo build --release ${CARGO_FLAGS[*]}"
 cargo build --release "${CARGO_FLAGS[@]}"
 
-echo "==> cargo test -q --workspace ${CARGO_FLAGS[*]}"
+echo "==> cargo test -q --workspace --release ${CARGO_FLAGS[*]}"
 cargo test -q --workspace --release "${CARGO_FLAGS[@]}"
 
 echo "==> cargo bench --no-run --workspace ${CARGO_FLAGS[*]}"

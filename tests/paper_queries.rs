@@ -36,7 +36,10 @@ fn figure4_declarative_matches_direct() {
     let g = &out.graph;
     let (file, line, col) = out.landmarks.goto_anchor;
     let r = Engine::new()
-        .run_str(g, &queries::figure4_goto_definition("id", file.0, line, col))
+        .run_str(
+            g,
+            &queries::figure4_goto_definition("id", file.0, line, col),
+        )
         .unwrap();
     let direct = usecases::goto_definition(g, "id", file, line, col).unwrap();
     assert_eq!(r.rows.len(), direct.len());

@@ -52,7 +52,7 @@ fn declarative_queries_on_extracted_sources() {
         )
         .unwrap();
     assert_eq!(r.rows.len(), 4); // id, state, name, kobj
-    // Cross-file call chain exists: vmlinux reaches printk's file.
+                                 // Cross-file call chain exists: vmlinux reaches printk's file.
     let r = engine
         .run_str(
             g,
@@ -80,7 +80,11 @@ fn macro_impact_and_slices_work_on_extraction() {
     // Every function uses <SUB>_CHECK which expands KBUG_ON... through
     // nested expansion, so the impact covers most functions.
     let fn_count = g.nodes_with_type(NodeType::Function).unwrap().len();
-    assert!(impact.len() >= fn_count / 2, "{} of {fn_count}", impact.len());
+    assert!(
+        impact.len() >= fn_count / 2,
+        "{} of {fn_count}",
+        impact.len()
+    );
 }
 
 #[test]
@@ -98,12 +102,15 @@ fn reified_store_preserves_call_reachability() {
         .into_iter()
         .find(|n| g.node_type(*n) == NodeType::Function)
         .unwrap();
-    let plain_callers: std::collections::HashSet<_> = g
-        .in_neighbors(printk, Some(EdgeType::Calls))
-        .collect();
+    let plain_callers: std::collections::HashSet<_> =
+        g.in_neighbors(printk, Some(EdgeType::Calls)).collect();
     let reified_callers: std::collections::HashSet<_> = reified
         .in_neighbors(printk, Some(EdgeType::Calls))
-        .flat_map(|site| reified.in_neighbors(site, Some(EdgeType::Calls)).collect::<Vec<_>>())
+        .flat_map(|site| {
+            reified
+                .in_neighbors(site, Some(EdgeType::Calls))
+                .collect::<Vec<_>>()
+        })
         .collect();
     assert_eq!(plain_callers, reified_callers);
 }

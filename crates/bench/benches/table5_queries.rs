@@ -18,6 +18,10 @@ use frappe_query::{Engine, EngineOptions, PathSemantics, Query, QueryError};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
+    // Counters (relaxed atomic adds) are on for the whole group so the
+    // emitted JSON carries a metrics snapshot; the Off-level overhead
+    // contract is asserted separately in `tests/obs_overhead.rs`.
+    frappe_obs::set_level(frappe_obs::ObsLevel::Counters);
     let out = bench_graph(scale_from_env());
     let g = &out.graph;
     let lm = &out.landmarks;
@@ -42,7 +46,7 @@ fn bench(c: &mut Criterion) {
     .unwrap();
     let fig6 = Query::parse(&queries::figure6_comprehension("pci_read_bases")).unwrap();
 
-    let mut group = c.benchmark_group("table5");
+    let mut group = c.benchmark_group("table5_queries");
     group.sample_size(10);
 
     group.bench_function("row1_code_search_fig3", |b| {
@@ -124,6 +128,27 @@ fn bench(c: &mut Criterion) {
             )
         })
     });
+
+    // Embed the Table 5 cold/warm page-cache story into the JSON: one cold
+    // and one warm run of the Figure 3 query, with hit/fault counters for
+    // each, plus the full process metrics snapshot.
+    g.make_cold();
+    g.reset_cache_stats();
+    engine.run(g, &fig3).unwrap();
+    let cold = g.cache_stats();
+    g.warm_up();
+    g.reset_cache_stats();
+    engine.run(g, &fig3).unwrap();
+    let warm = g.cache_stats();
+    group.embed_json(
+        "pagecache_cold_warm",
+        format!(
+            "{{\"cold\": {{\"hits\": {}, \"faults\": {}}}, \
+             \"warm\": {{\"hits\": {}, \"faults\": {}}}}}",
+            cold.hits, cold.faults, warm.hits, warm.faults
+        ),
+    );
+    group.embed_json("metrics", frappe_obs::registry().snapshot().to_json());
     group.finish();
 }
 

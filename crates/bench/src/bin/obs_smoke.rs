@@ -1,0 +1,65 @@
+//! Profiled smoke query on the tiny spec: the CI artifact producer for the
+//! observability layer.
+//!
+//! Generates the tiny synthetic graph, turns the instrumentation all the
+//! way up (`ObsLevel::Trace`), runs the Figure 3 code-search query under
+//! `EXPLAIN ANALYZE`, prints the annotated plan and the span trace, and
+//! writes `METRICS_obs_smoke.json` (metrics snapshot + query profile)
+//! next to the `BENCH_*.json` files under `$FRAPPE_BENCH_DIR` (default
+//! `target/frappe-bench`).
+
+use frappe_bench::bench_graph;
+use frappe_core::queries;
+use frappe_query::{Engine, Query};
+
+/// `SynthSpec::tiny()` scale, with cache tracking enabled.
+const TINY_SCALE: f64 = 0.01;
+
+fn main() {
+    frappe_obs::set_level(frappe_obs::ObsLevel::Trace);
+
+    let out = bench_graph(TINY_SCALE);
+    let g = &out.graph;
+
+    let text = queries::figure3_code_search("wakeup.elf", "id");
+    let query = Query::parse(&text).expect("smoke query parses");
+    let engine = Engine::new();
+
+    // Cold run for honest page-cache counters, then the profiled run.
+    g.make_cold();
+    g.reset_cache_stats();
+    let (result, profile) = engine.profile(g, &query).expect("smoke query runs");
+    assert!(
+        !result.rows.is_empty(),
+        "smoke query returned no rows — graph or query regressed"
+    );
+
+    println!("EXPLAIN ANALYZE {text}\n");
+    println!("{}", profile.render());
+    println!("spans:\n{}", frappe_obs::tracer().dump_text());
+
+    let snapshot = frappe_obs::registry().snapshot();
+    assert!(
+        snapshot.counter("store.pagecache.faults").unwrap_or(0) > 0,
+        "cold run must fault pages through the instrumented cache"
+    );
+    assert!(
+        snapshot.counter("query.runs").unwrap_or(0) > 0,
+        "query counters must move at Trace level"
+    );
+
+    let json = format!(
+        "{{\n  \"query\": \"figure3_code_search\",\n  \"rows\": {},\n  \
+         \"profile\": {},\n  \"metrics\": {},\n  \"trace\": {}\n}}\n",
+        result.rows.len(),
+        profile.to_json(),
+        snapshot.to_json(),
+        frappe_obs::tracer().dump_json(),
+    );
+    let dir =
+        std::env::var("FRAPPE_BENCH_DIR").unwrap_or_else(|_| "target/frappe-bench".to_owned());
+    let path = format!("{dir}/METRICS_obs_smoke.json");
+    std::fs::create_dir_all(&dir).expect("create metrics dir");
+    std::fs::write(&path, json).expect("write metrics json");
+    println!("wrote {path}");
+}

@@ -39,7 +39,7 @@ fn main() {
                     .expect("--scale needs a number");
             }
             s @ ("--table3" | "--table4" | "--table5" | "--fig7" | "--table6" | "--ablations"
-            | "--temporal") => sections.push(&s[2..]),
+            | "--temporal" | "--hotspots") => sections.push(&s[2..]),
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -49,6 +49,10 @@ fn main() {
     }
     let all = sections.is_empty();
     let want = |s: &str| all || sections.iter().any(|x| *x == s);
+
+    // Counters stay on for the whole run so the hot-spots section can
+    // explain where the numbers above came from.
+    frappe_obs::set_level(frappe_obs::ObsLevel::Counters);
 
     eprintln!("generating synthetic kernel graph at scale {scale} ...");
     let t = Instant::now();
@@ -324,6 +328,39 @@ fn main() {
             impact.len(),
             t.elapsed()
         );
+    }
+
+    if want("hotspots") {
+        let snap = frappe_obs::registry().snapshot();
+        println!("== Hot spots (frappe-obs counters accumulated by this run) ==");
+        let hits = snap.counter("store.pagecache.hits").unwrap_or(0);
+        let faults = snap.counter("store.pagecache.faults").unwrap_or(0);
+        if hits + faults > 0 {
+            println!(
+                "pagecache: {} hits / {} faults (hit ratio {:.1}%)",
+                hits,
+                faults,
+                100.0 * hits as f64 / (hits + faults) as f64
+            );
+        }
+        println!("top counters:");
+        for c in snap.top_counters(12) {
+            println!("  {:<34} {:>14}", c.name, c.value);
+        }
+        if !snap.histograms.is_empty() {
+            println!("timings (count / mean):");
+            for h in &snap.histograms {
+                if h.count > 0 {
+                    println!(
+                        "  {:<34} {:>8} x {:>10.1} us",
+                        h.name,
+                        h.count,
+                        h.mean() / 1_000.0
+                    );
+                }
+            }
+        }
+        println!();
     }
 
     // Keep the compiler honest about unused-but-measured durations.

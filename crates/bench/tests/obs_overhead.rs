@@ -1,0 +1,81 @@
+//! The Off-level overhead contract (ISSUE 3 acceptance): with
+//! `ObsLevel::Off`, instrumentation must not perturb the bench path.
+//!
+//! "Unperturbed" is asserted deterministically — identical result rows and
+//! identical `steps` (the engine's deterministic work measure) with
+//! instrumentation off vs. on, and zero counter movement while off — plus a
+//! deliberately generous wall-clock bound that fails only if the Off path
+//! regresses from "one relaxed load" to something categorically slower.
+
+use frappe_bench::{bench_graph, run_cold_warm};
+use frappe_core::queries;
+use frappe_query::{Engine, Query};
+use std::time::{Duration, Instant};
+
+#[test]
+fn off_level_is_unperturbed_on_the_table5_bench_path() {
+    // One process-global level; this test owns it for the whole binary.
+    frappe_obs::set_level(frappe_obs::ObsLevel::Off);
+    frappe_obs::registry().reset();
+
+    let out = bench_graph(0.02);
+    let g = &out.graph;
+    g.warm_up();
+    let engine = Engine::new();
+    let fig3 = Query::parse(&queries::figure3_code_search("wakeup.elf", "id")).unwrap();
+
+    // --- Deterministic signals -----------------------------------------
+    let off = engine.run(g, &fig3).unwrap();
+    let snap = frappe_obs::registry().snapshot();
+    assert!(
+        snap.counters.iter().all(|c| c.value == 0),
+        "Off level must record nothing, got {:?}",
+        snap.counters
+    );
+    assert!(snap.histograms.iter().all(|h| h.count == 0));
+
+    frappe_obs::set_level(frappe_obs::ObsLevel::Counters);
+    let on = engine.run(g, &fig3).unwrap();
+    frappe_obs::set_level(frappe_obs::ObsLevel::Off);
+
+    assert_eq!(off.rows, on.rows, "results must not depend on ObsLevel");
+    assert_eq!(off.steps, on.steps, "work must not depend on ObsLevel");
+
+    // Counters did move when enabled (the instrumentation is real).
+    let snap = frappe_obs::registry().snapshot();
+    assert!(snap.counter("query.runs").unwrap_or(0) >= 1);
+    assert!(snap.counter("store.name_index.lookups").unwrap_or(0) >= 1);
+
+    // --- Generous timing bound -----------------------------------------
+    // Median-of-9 wall time at Off must not exceed Counters by more than
+    // 2x + 10ms. Counters does strictly more work, so this only trips if
+    // the Off gate stops being cheap.
+    let median = |level: frappe_obs::ObsLevel| -> Duration {
+        frappe_obs::set_level(level);
+        let mut times: Vec<Duration> = (0..9)
+            .map(|_| {
+                let t = Instant::now();
+                std::hint::black_box(engine.run(g, &fig3).unwrap().rows.len());
+                t.elapsed()
+            })
+            .collect();
+        frappe_obs::set_level(frappe_obs::ObsLevel::Off);
+        times.sort();
+        times[times.len() / 2]
+    };
+    let with_counters = median(frappe_obs::ObsLevel::Counters);
+    let off_time = median(frappe_obs::ObsLevel::Off);
+    assert!(
+        off_time <= with_counters * 2 + Duration::from_millis(10),
+        "Off {off_time:?} vs Counters {with_counters:?}"
+    );
+
+    // --- The cold/warm protocol also agrees across levels --------------
+    let count_off = run_cold_warm(g, 1, || engine.run(g, &fig3).unwrap().rows.len()).result_count;
+    frappe_obs::set_level(frappe_obs::ObsLevel::Counters);
+    let count_on = run_cold_warm(g, 1, || engine.run(g, &fig3).unwrap().rows.len()).result_count;
+    frappe_obs::set_level(frappe_obs::ObsLevel::Off);
+    assert_eq!(count_off, count_on);
+
+    frappe_obs::registry().reset();
+}

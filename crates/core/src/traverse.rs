@@ -80,15 +80,21 @@ pub fn transitive_closure_multi<G: GraphView>(
     types: &[EdgeType],
     max_depth: Option<u32>,
 ) -> Vec<NodeId> {
+    let _span = frappe_obs::span!("core.transitive_closure");
     let mut visited: HashSet<NodeId> = starts.iter().copied().collect();
     let mut out = Vec::new();
     let mut frontier: Vec<NodeId> = starts.to_vec();
     let mut depth = 0u32;
+    // Stats accumulate in locals (free on the hot path) and flush to the
+    // registry once at the end, only when counters are enabled.
+    let mut edges_expanded = 0u64;
+    let mut max_frontier = frontier.len() as u64;
     while !frontier.is_empty() && max_depth.is_none_or(|m| depth < m) {
         depth += 1;
         let mut next = Vec::new();
         for n in frontier.drain(..) {
             for m in neighbors(g, n, dir, types) {
+                edges_expanded += 1;
                 if visited.insert(m) {
                     out.push(m);
                     next.push(m);
@@ -96,6 +102,12 @@ pub fn transitive_closure_multi<G: GraphView>(
             }
         }
         frontier = next;
+        max_frontier = max_frontier.max(frontier.len() as u64);
+    }
+    if frappe_obs::counters_enabled() {
+        frappe_obs::counter!("core.traverse.nodes_visited").add(visited.len() as u64);
+        frappe_obs::counter!("core.traverse.edges_expanded").add(edges_expanded);
+        frappe_obs::counter!("core.traverse.max_frontier").record_max(max_frontier);
     }
     out
 }

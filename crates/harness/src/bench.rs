@@ -36,6 +36,7 @@ impl Criterion {
             name,
             sample_size: DEFAULT_SAMPLE_SIZE,
             results: Vec::new(),
+            extras: Vec::new(),
             finished: false,
         }
     }
@@ -114,6 +115,7 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
     results: Vec<Stats>,
+    extras: Vec<(String, String)>,
     finished: bool,
 }
 
@@ -149,17 +151,27 @@ impl BenchmarkGroup<'_> {
         self.results.push(stats);
     }
 
+    /// Embeds a pre-rendered JSON value under `key` at the top level of
+    /// the group's `BENCH_<group>.json` (e.g. a metrics snapshot from an
+    /// observability layer). `raw_json` must already be valid JSON — it is
+    /// written verbatim. A repeated key replaces the earlier value.
+    pub fn embed_json(&mut self, key: impl Into<String>, raw_json: impl Into<String>) {
+        let key = key.into();
+        self.extras.retain(|(k, _)| *k != key);
+        self.extras.push((key, raw_json.into()));
+    }
+
     /// Finishes the group, writing `BENCH_<group>.json`.
     pub fn finish(mut self) {
         self.finished = true;
-        write_json(&self.name, &self.results);
+        write_json(&self.name, &self.results, &self.extras);
     }
 }
 
 impl Drop for BenchmarkGroup<'_> {
     fn drop(&mut self) {
         if !self.finished && !self.results.is_empty() {
-            write_json(&self.name, &self.results);
+            write_json(&self.name, &self.results, &self.extras);
         }
     }
 }
@@ -322,7 +334,7 @@ fn sanitize_file_component(s: &str) -> String {
 /// Writes `BENCH_<group>.json` under `$FRAPPE_BENCH_DIR` (default
 /// `target/frappe-bench`). Failures are reported but non-fatal: benches
 /// should still run on read-only checkouts.
-fn write_json(group: &str, results: &[Stats]) {
+fn write_json(group: &str, results: &[Stats], extras: &[(String, String)]) {
     let dir =
         std::env::var("FRAPPE_BENCH_DIR").unwrap_or_else(|_| "target/frappe-bench".to_owned());
     let epoch_secs = std::time::SystemTime::now()
@@ -351,7 +363,11 @@ fn write_json(group: &str, results: &[Stats]) {
             if i + 1 < results.len() { "," } else { "" },
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ]");
+    for (key, raw) in extras {
+        json.push_str(&format!(",\n  \"{}\": {raw}", json_escape(key)));
+    }
+    json.push_str("\n}\n");
 
     let path = format!("{dir}/BENCH_{}.json", sanitize_file_component(group));
     if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, json)) {
@@ -425,6 +441,7 @@ mod tests {
                 samples: 3,
                 iters_per_sample: 10,
             }],
+            &[("metrics".to_owned(), "{\"hits\": 7}".to_owned())],
         );
         std::env::remove_var("FRAPPE_BENCH_DIR");
         let path = dir.join("BENCH_unit_test_group.json");
@@ -432,6 +449,7 @@ mod tests {
         assert!(body.contains("\"group\": \"unit test/group\""));
         assert!(body.contains("a \\\"quoted\\\" name"));
         assert!(body.contains("\"median_ns\": 1.5"));
+        assert!(body.contains("\"metrics\": {\"hits\": 7}"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,196 @@
+//! # frappe-obs
+//!
+//! The observability layer: a std-only metrics registry (named atomic
+//! counters + monotonic-clock histograms) and a span-based tracer with a
+//! ring-buffered event log.
+//!
+//! The paper's Section 5 argument is entirely about *attributing* latency —
+//! index lookups are fast, declarative transitive closure is slow, cold vs.
+//! warm page cache changes answers by an order of magnitude. This crate
+//! lets the engine reproduce that diagnosis from the inside: the store's
+//! page cache, the name/label indexes, the query executor, the embedded
+//! traversals, and the temporal checkouts all report into one process-wide
+//! registry, and `EXPLAIN ANALYZE` (in `frappe-query`) renders per-operator
+//! rows and timings.
+//!
+//! ## Overhead contract
+//!
+//! Instrumentation is cheap-by-default, governed by a global [`ObsLevel`]:
+//!
+//! * [`ObsLevel::Off`] (default) — every instrumented call site reduces to
+//!   **one relaxed atomic load and a branch**. No counter moves, no event
+//!   is recorded, no lock is taken. Bench numbers must be unperturbed
+//!   (`crates/bench/tests/obs_overhead.rs` asserts this).
+//! * [`ObsLevel::Counters`] — counters and histograms record (relaxed
+//!   atomic adds); the tracer stays off.
+//! * [`ObsLevel::Trace`] — counters plus the span tracer (ring-buffer
+//!   writes under a mutex; intended for diagnosis, not benchmarking).
+//!
+//! ## Example
+//!
+//! ```
+//! use frappe_obs as obs;
+//!
+//! obs::set_level(obs::ObsLevel::Counters);
+//! obs::registry().counter("demo.lookups").add(3);
+//! let snap = obs::registry().snapshot();
+//! assert_eq!(snap.counter("demo.lookups"), Some(3));
+//! assert!(snap.to_json().contains("demo.lookups"));
+//! obs::set_level(obs::ObsLevel::Off);
+//! ```
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{
+    registry, Counter, CounterSnapshot, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
+    Timer,
+};
+pub use trace::{tracer, SpanGuard, TraceEvent, Tracer};
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Global instrumentation level. See the crate docs for the overhead
+/// contract of each level.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Default)]
+#[repr(u8)]
+pub enum ObsLevel {
+    /// No recording: instrumented sites are a single relaxed load + branch.
+    #[default]
+    Off = 0,
+    /// Counters and histograms record; the tracer stays off.
+    Counters = 1,
+    /// Counters plus the span tracer.
+    Trace = 2,
+}
+
+impl ObsLevel {
+    /// Parses `"off"` / `"counters"` / `"trace"` (case-insensitive).
+    pub fn parse(s: &str) -> Option<ObsLevel> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" | "0" => Some(ObsLevel::Off),
+            "counters" | "1" => Some(ObsLevel::Counters),
+            "trace" | "2" => Some(ObsLevel::Trace),
+            _ => None,
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(ObsLevel::Off as u8);
+
+/// Sets the global instrumentation level.
+pub fn set_level(level: ObsLevel) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Reads the global instrumentation level.
+pub fn level() -> ObsLevel {
+    match LEVEL.load(Ordering::Relaxed) {
+        1 => ObsLevel::Counters,
+        2 => ObsLevel::Trace,
+        _ => ObsLevel::Off,
+    }
+}
+
+/// Whether counters/histograms record. This is the hot-path gate: one
+/// relaxed load.
+#[inline(always)]
+pub fn counters_enabled() -> bool {
+    LEVEL.load(Ordering::Relaxed) >= ObsLevel::Counters as u8
+}
+
+/// Whether the span tracer records. One relaxed load.
+#[inline(always)]
+pub fn trace_enabled() -> bool {
+    LEVEL.load(Ordering::Relaxed) >= ObsLevel::Trace as u8
+}
+
+/// Resolves a counter once per call site and caches the `&'static` handle,
+/// so repeated hits skip the registry lock:
+///
+/// ```
+/// # use frappe_obs as frappe_obs;
+/// frappe_obs::counter!("demo.cached").add(1);
+/// ```
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static SITE: std::sync::OnceLock<&'static $crate::Counter> = std::sync::OnceLock::new();
+        *SITE.get_or_init(|| $crate::registry().counter($name))
+    }};
+}
+
+/// Resolves a histogram once per call site (see [`counter!`]).
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static SITE: std::sync::OnceLock<&'static $crate::Histogram> = std::sync::OnceLock::new();
+        *SITE.get_or_init(|| $crate::registry().histogram($name))
+    }};
+}
+
+/// Opens a named span on the global tracer, closed when the returned RAII
+/// guard drops. Inert (one relaxed load) unless [`ObsLevel::Trace`] is set.
+///
+/// ```
+/// # use frappe_obs as frappe_obs;
+/// let _span = frappe_obs::span!("expand_edges");
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::tracer().span($name)
+    };
+}
+
+#[cfg(test)]
+pub(crate) mod test_lock {
+    use std::sync::{Mutex, MutexGuard};
+
+    /// The obs level and registry are process-global; tests that mutate
+    /// them serialize on this lock so `cargo test`'s threads don't race.
+    pub fn hold() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_round_trips() {
+        let _g = test_lock::hold();
+        assert_eq!(level(), ObsLevel::Off);
+        set_level(ObsLevel::Trace);
+        assert_eq!(level(), ObsLevel::Trace);
+        assert!(counters_enabled());
+        assert!(trace_enabled());
+        set_level(ObsLevel::Counters);
+        assert!(counters_enabled());
+        assert!(!trace_enabled());
+        set_level(ObsLevel::Off);
+        assert!(!counters_enabled());
+    }
+
+    #[test]
+    fn level_parse() {
+        assert_eq!(ObsLevel::parse("OFF"), Some(ObsLevel::Off));
+        assert_eq!(ObsLevel::parse("counters"), Some(ObsLevel::Counters));
+        assert_eq!(ObsLevel::parse("Trace"), Some(ObsLevel::Trace));
+        assert_eq!(ObsLevel::parse("verbose"), None);
+    }
+
+    #[test]
+    fn macros_resolve_and_cache() {
+        let _g = test_lock::hold();
+        set_level(ObsLevel::Counters);
+        counter!("lib.macro_counter").add(2);
+        counter!("lib.macro_counter").add(1);
+        assert_eq!(registry().snapshot().counter("lib.macro_counter"), Some(3));
+        histogram!("lib.macro_histo").record(10);
+        set_level(ObsLevel::Off);
+        registry().reset();
+    }
+}

@@ -7,12 +7,27 @@ use frappe_model::{EdgeType, Label, NodeType, PropKey, PropValue};
 /// A parsed query.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Query {
+    /// `EXPLAIN` / `EXPLAIN ANALYZE` prefix, if present.
+    pub explain: ExplainMode,
     /// `START` items (may be empty in 2.x-style label-scan queries).
     pub starts: Vec<StartItem>,
     /// `MATCH` / `WHERE` / `WITH` clauses in source order.
     pub clauses: Vec<Clause>,
     /// The final `RETURN`.
     pub ret: Return,
+}
+
+/// The query's `EXPLAIN` prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExplainMode {
+    /// Execute normally.
+    #[default]
+    None,
+    /// `EXPLAIN`: render the plan without executing.
+    Plan,
+    /// `EXPLAIN ANALYZE`: execute and render the plan annotated with
+    /// actual per-operator rows and timings.
+    Analyze,
 }
 
 impl Query {

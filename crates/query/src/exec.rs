@@ -29,9 +29,11 @@
 //! compared on identical queries.
 
 use crate::ast::{
-    Clause, CmpOp, Expr, Item, LabelSpec, NodePattern, Pattern, Query, RelDir, RelPattern,
+    Clause, CmpOp, ExplainMode, Expr, Item, LabelSpec, NodePattern, Pattern, Query, RelDir,
+    RelPattern,
 };
 use crate::error::QueryError;
+use crate::profile::{OpProfile, QueryProfile};
 use crate::value::Value;
 use frappe_model::{EdgeId, NodeId, PropKey, PropValue};
 use frappe_store::graph::Direction;
@@ -129,30 +131,133 @@ impl Engine {
         Engine { options }
     }
 
-    /// Runs `query` against `g`.
+    /// Runs `query` against `g`. Queries carrying an `EXPLAIN` /
+    /// `EXPLAIN ANALYZE` prefix return a single-column `plan` table
+    /// instead of their normal result (Cypher behaviour): `EXPLAIN` renders
+    /// the plan without executing, `EXPLAIN ANALYZE` executes and annotates
+    /// each operator with actual rows and timings.
     pub fn run<G: GraphView>(&self, g: &G, query: &Query) -> Result<ResultSet, QueryError> {
+        let plan_rows = |text: &str| -> Vec<Vec<Value>> {
+            text.lines()
+                .map(|l| vec![Value::Scalar(PropValue::Str(l.to_owned()))])
+                .collect()
+        };
+        match query.explain {
+            ExplainMode::None => self.run_impl(g, query, None),
+            ExplainMode::Plan => Ok(ResultSet {
+                columns: vec!["plan".to_owned()],
+                rows: plan_rows(&self.explain(g, query)),
+                steps: 0,
+            }),
+            ExplainMode::Analyze => {
+                let (result, profile) = self.profile(g, query)?;
+                Ok(ResultSet {
+                    columns: vec!["plan".to_owned()],
+                    rows: plan_rows(&profile.render()),
+                    steps: result.steps,
+                })
+            }
+        }
+    }
+
+    /// Executes `query` while recording per-operator rows, timings, and
+    /// expansion statistics. The profile is collected regardless of the
+    /// global [`frappe_obs::ObsLevel`] — profiling is an explicit opt-in
+    /// for this one execution, not a passive counter.
+    pub fn profile<G: GraphView>(
+        &self,
+        g: &G,
+        query: &Query,
+    ) -> Result<(ResultSet, QueryProfile), QueryError> {
+        let mut ops = Vec::new();
+        let start = Instant::now();
+        let result = self.run_impl(g, query, Some(&mut ops))?;
+        let profile = QueryProfile {
+            ops,
+            total_ns: elapsed_ns(start),
+            steps: result.steps,
+        };
+        Ok((result, profile))
+    }
+
+    fn run_impl<G: GraphView>(
+        &self,
+        g: &G,
+        query: &Query,
+        mut prof: Option<&mut Vec<OpProfile>>,
+    ) -> Result<ResultSet, QueryError> {
+        let _timer = frappe_obs::histogram!("query.run_ns").start();
+        let _span = frappe_obs::span!("query.run");
+        frappe_obs::counter!("query.runs").incr();
         let mut budget = Budget::new(self.options.max_steps, self.options.timeout);
         let mut ctx = Ctx {
             g,
             semantics: self.options.path_semantics,
             budget: &mut budget,
+            stats: ExecStats {
+                enabled: prof.is_some(),
+                ..Default::default()
+            },
         };
 
         // START: cartesian product of index lookups.
         let mut table = Table::unit();
         for item in &query.starts {
+            let t0 = prof.is_some().then(Instant::now);
             let hits = item.lookup.eval(g)?;
+            let n_hits = hits.len() as u64;
             table = table.cross_bind(&item.var, hits);
+            if let Some(ops) = prof.as_deref_mut() {
+                ops.push(OpProfile {
+                    name: "IndexLookup",
+                    detail: format!("{} <- {:?}", item.var, item.lookup),
+                    rows_out: table.rows.len() as u64,
+                    time_ns: t0.map_or(0, elapsed_ns),
+                    extras: vec![("hits", n_hits)],
+                });
+            }
         }
 
         for clause in &query.clauses {
             match clause {
                 Clause::Match(patterns) => {
                     for p in patterns {
+                        let t0 = prof.is_some().then(Instant::now);
+                        let steps_before = ctx.budget.steps;
+                        ctx.stats.reset_pattern();
                         table = expand_pattern(&mut ctx, table, p)?;
+                        if let Some(ops) = prof.as_deref_mut() {
+                            let mut extras = vec![
+                                ("candidates", ctx.stats.candidates),
+                                ("steps", ctx.budget.steps - steps_before),
+                            ];
+                            if p.rels.iter().any(|r| r.var_len.is_some()) {
+                                extras.push(("var_len_expansions", ctx.stats.var_len_expansions));
+                                extras.push((
+                                    "var_len_max_depth",
+                                    ctx.stats.var_len_max_depth as u64,
+                                ));
+                                extras
+                                    .push(("var_len_max_frontier", ctx.stats.var_len_max_frontier));
+                            }
+                            ops.push(OpProfile {
+                                name: "Expand",
+                                detail: format!(
+                                    "({} nodes, {} rels) via {}",
+                                    p.nodes.len(),
+                                    p.rels.len(),
+                                    ctx.stats.last_anchor.unwrap_or("unknown anchor"),
+                                ),
+                                rows_out: table.rows.len() as u64,
+                                time_ns: t0.map_or(0, elapsed_ns),
+                                extras,
+                            });
+                        }
                     }
                 }
                 Clause::Where(expr) => {
+                    let t0 = prof.is_some().then(Instant::now);
+                    let rows_in = table.rows.len() as u64;
                     let mut kept = Vec::new();
                     for row in table.rows {
                         if eval_truthy(&mut ctx, &table.vars, &row, expr)? {
@@ -163,12 +268,40 @@ impl Engine {
                         vars: table.vars,
                         rows: kept,
                     };
+                    if let Some(ops) = prof.as_deref_mut() {
+                        ops.push(OpProfile {
+                            name: "Filter",
+                            detail: String::new(),
+                            rows_out: table.rows.len() as u64,
+                            time_ns: t0.map_or(0, elapsed_ns),
+                            extras: vec![("rows_in", rows_in)],
+                        });
+                    }
                 }
                 Clause::With { distinct, items } => {
+                    let t0 = prof.is_some().then(Instant::now);
                     table = project(&mut ctx, &table, items, *distinct)?;
+                    if let Some(ops) = prof.as_deref_mut() {
+                        ops.push(OpProfile {
+                            name: "Project",
+                            detail: format!(
+                                "{}[{}]",
+                                if *distinct { "distinct " } else { "" },
+                                items
+                                    .iter()
+                                    .map(|i| i.name.as_str())
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            ),
+                            rows_out: table.rows.len() as u64,
+                            time_ns: t0.map_or(0, elapsed_ns),
+                            extras: Vec::new(),
+                        });
+                    }
                 }
             }
         }
+        let ret_t0 = prof.is_some().then(Instant::now);
 
         // RETURN with aggregates: implicit grouping by the non-aggregate
         // items (Cypher semantics), then SKIP/LIMIT.
@@ -243,6 +376,15 @@ impl Engine {
             if let Some(limit) = query.ret.limit {
                 rows.truncate(usize::try_from(limit).unwrap_or(usize::MAX));
             }
+            if let Some(ops) = prof.as_deref_mut() {
+                ops.push(OpProfile {
+                    name: "Return",
+                    detail: format!("{} items (grouped aggregate)", query.ret.items.len()),
+                    rows_out: rows.len() as u64,
+                    time_ns: ret_t0.map_or(0, elapsed_ns),
+                    extras: Vec::new(),
+                });
+            }
             return Ok(ResultSet {
                 columns: query.ret.items.iter().map(|i| i.name.clone()).collect(),
                 rows,
@@ -291,6 +433,19 @@ impl Engine {
             .collect();
         if let Some(limit) = query.ret.limit {
             rows.truncate(usize::try_from(limit).unwrap_or(usize::MAX));
+        }
+        if let Some(ops) = prof.as_deref_mut() {
+            ops.push(OpProfile {
+                name: "Return",
+                detail: format!(
+                    "{}{} items",
+                    if query.ret.distinct { "distinct " } else { "" },
+                    query.ret.items.len()
+                ),
+                rows_out: rows.len() as u64,
+                time_ns: ret_t0.map_or(0, elapsed_ns),
+                extras: Vec::new(),
+            });
         }
         Ok(ResultSet {
             columns: query.ret.items.iter().map(|i| i.name.clone()).collect(),
@@ -464,10 +619,42 @@ impl Budget {
     }
 }
 
+fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Per-pattern execution statistics for [`Engine::profile`]. Collection is
+/// opt-in (`enabled`); when off every sampling site is a single branch on a
+/// plain bool, so unprofiled runs are unperturbed.
+#[derive(Default)]
+struct ExecStats {
+    enabled: bool,
+    /// Anchor candidate nodes considered for the current pattern.
+    candidates: u64,
+    /// How the most recent pattern's anchor was chosen.
+    last_anchor: Option<&'static str>,
+    /// Edge traversals inside variable-length expansion.
+    var_len_expansions: u64,
+    /// Deepest hop count reached by variable-length expansion.
+    var_len_max_depth: u32,
+    /// Largest BFS frontier (reachability semantics only).
+    var_len_max_frontier: u64,
+}
+
+impl ExecStats {
+    fn reset_pattern(&mut self) {
+        *self = ExecStats {
+            enabled: self.enabled,
+            ..Default::default()
+        };
+    }
+}
+
 struct Ctx<'a, G: GraphView> {
     g: &'a G,
     semantics: PathSemantics,
     budget: &'a mut Budget,
+    stats: ExecStats,
 }
 
 // ----------------------------------------------------------------------
@@ -650,6 +837,19 @@ fn match_pattern_into<G: GraphView>(
         }
         AnchorKind::AllNodes => ctx.g.nodes().collect(),
     };
+
+    if ctx.stats.enabled {
+        ctx.stats.candidates += candidates.len() as u64;
+        ctx.stats.last_anchor = Some(anchor.describe());
+    }
+    if frappe_obs::counters_enabled() {
+        match anchor.kind {
+            AnchorKind::BoundVar => frappe_obs::counter!("query.anchor.bound_var").incr(),
+            AnchorKind::NameIndex(..) => frappe_obs::counter!("query.anchor.name_index").incr(),
+            AnchorKind::LabelScan(_) => frappe_obs::counter!("query.anchor.label_scan").incr(),
+            AnchorKind::AllNodes => frappe_obs::counter!("query.anchor.all_nodes").incr(),
+        }
+    }
 
     let mut scratch = row.clone();
     let mut done = false;
@@ -974,12 +1174,20 @@ fn step_over_rel<G: GraphView>(
                     }
                     while !frontier.is_empty() && max.is_none_or(|m| depth < m) {
                         depth += 1;
+                        if ctx.stats.enabled {
+                            ctx.stats.var_len_max_frontier =
+                                ctx.stats.var_len_max_frontier.max(frontier.len() as u64);
+                            ctx.stats.var_len_max_depth = ctx.stats.var_len_max_depth.max(depth);
+                        }
                         let mut next = Vec::new();
                         for n in frontier.drain(..) {
                             for dir in dirs {
                                 let edges: Vec<EdgeId> = typed_edges(ctx.g, n, *dir, rel);
                                 for e in edges {
                                     ctx.budget.tick()?;
+                                    if ctx.stats.enabled {
+                                        ctx.stats.var_len_expansions += 1;
+                                    }
                                     if !edge_props_match(ctx.g, e, rel) {
                                         continue;
                                     }
@@ -1092,6 +1300,9 @@ fn var_len_dfs<G: GraphView>(
     if *done && first_only {
         return Ok(());
     }
+    if ctx.stats.enabled && depth > ctx.stats.var_len_max_depth {
+        ctx.stats.var_len_max_depth = depth;
+    }
     let target_np = if moving_right {
         &pattern.nodes[pos + 1]
     } else {
@@ -1143,6 +1354,9 @@ fn var_len_dfs<G: GraphView>(
                 Direction::Outgoing => ctx.g.edge_dst(e),
                 Direction::Incoming => ctx.g.edge_src(e),
             };
+            if ctx.stats.enabled {
+                ctx.stats.var_len_expansions += 1;
+            }
             used.push(e);
             var_len_dfs(
                 ctx,

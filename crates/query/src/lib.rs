@@ -67,10 +67,12 @@ pub mod error;
 pub mod exec;
 pub mod lucene;
 pub mod parser;
+pub mod profile;
 pub mod token;
 pub mod value;
 
 pub use ast::Query;
 pub use error::QueryError;
 pub use exec::{Engine, EngineOptions, PathSemantics, ResultSet};
+pub use profile::{OpProfile, QueryProfile};
 pub use value::Value;

@@ -5,8 +5,8 @@
 //! so typos surface at parse time rather than as silently-empty results.
 
 use crate::ast::{
-    Clause, CmpOp, Expr, Item, LabelSpec, NodePattern, Pattern, Query, RelDir, RelPattern, Return,
-    StartItem,
+    Clause, CmpOp, ExplainMode, Expr, Item, LabelSpec, NodePattern, Pattern, Query, RelDir,
+    RelPattern, Return, StartItem,
 };
 use crate::error::QueryError;
 use crate::lucene::LuceneQuery;
@@ -90,6 +90,15 @@ impl Parser {
     // --------------------------------------------------------------
 
     fn query(&mut self) -> Result<Query, QueryError> {
+        let explain = if self.eat_kw("EXPLAIN") {
+            if self.eat_kw("ANALYZE") {
+                ExplainMode::Analyze
+            } else {
+                ExplainMode::Plan
+            }
+        } else {
+            ExplainMode::None
+        };
         let mut starts = Vec::new();
         if self.eat_kw("START") {
             loop {
@@ -159,6 +168,7 @@ impl Parser {
         let skip = count_after("SKIP", self)?;
         let limit = count_after("LIMIT", self)?;
         Ok(Query {
+            explain,
             starts,
             clauses,
             ret: Return {

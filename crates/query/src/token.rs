@@ -69,7 +69,7 @@ pub struct Spanned {
 
 const KEYWORDS: &[&str] = &[
     "START", "MATCH", "WHERE", "WITH", "RETURN", "DISTINCT", "LIMIT", "AND", "OR", "XOR", "NOT",
-    "TRUE", "FALSE", "NULL", "ORDER", "BY", "DESC", "ASC", "SKIP", "EXPLAIN",
+    "TRUE", "FALSE", "NULL", "ORDER", "BY", "DESC", "ASC", "SKIP", "EXPLAIN", "ANALYZE",
 ];
 
 /// Lexes query text into tokens.

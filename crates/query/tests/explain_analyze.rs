@@ -1,0 +1,163 @@
+//! End-to-end `EXPLAIN` / `EXPLAIN ANALYZE` coverage: the keyword path
+//! through `run_str`, analyze-mode row counts, and variable-length-path
+//! profiles under both path semantics.
+
+use frappe_model::{EdgeType, NodeType};
+use frappe_query::ast::ExplainMode;
+use frappe_query::{Engine, EngineOptions, PathSemantics, Query, Value};
+use frappe_store::GraphStore;
+
+/// main → bar → baz call chain plus a write, like the paper's Figure 2.
+fn sample() -> GraphStore {
+    let mut g = GraphStore::new();
+    let main = g.add_node(NodeType::Function, "main");
+    let bar = g.add_node(NodeType::Function, "bar");
+    let baz = g.add_node(NodeType::Function, "baz");
+    let x = g.add_node(NodeType::Global, "x");
+    g.add_edge(main, EdgeType::Calls, bar);
+    g.add_edge(bar, EdgeType::Calls, baz);
+    g.add_edge(main, EdgeType::Writes, x);
+    g.freeze();
+    g
+}
+
+const HOP: &str = "START n=node:node_auto_index('short_name: main') MATCH n -[:calls]-> m RETURN m";
+const CLOSURE: &str =
+    "START n=node:node_auto_index('short_name: main') MATCH n -[:calls*]-> m RETURN distinct m";
+
+fn plan_text(cols: &[String], rows: &[Vec<Value>]) -> String {
+    assert_eq!(cols, ["plan"]);
+    rows.iter()
+        .map(|r| r[0].to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn parser_recognises_explain_prefixes() {
+    assert_eq!(Query::parse(HOP).unwrap().explain, ExplainMode::None);
+    assert_eq!(
+        Query::parse(&format!("EXPLAIN {HOP}")).unwrap().explain,
+        ExplainMode::Plan
+    );
+    assert_eq!(
+        Query::parse(&format!("explain analyze {HOP}"))
+            .unwrap()
+            .explain,
+        ExplainMode::Analyze
+    );
+}
+
+#[test]
+fn explain_renders_plan_without_executing() {
+    let g = sample();
+    let r = Engine::new()
+        .run_str(&g, &format!("EXPLAIN {HOP}"))
+        .unwrap();
+    let text = plan_text(&r.columns, &r.rows);
+    assert!(text.contains("IndexLookup n"), "plan was: {text}");
+    assert!(text.contains("Expand pattern"), "plan was: {text}");
+    // EXPLAIN does not execute: no expansion steps consumed.
+    assert_eq!(r.steps, 0);
+}
+
+#[test]
+fn explain_analyze_annotates_actual_rows() {
+    let g = sample();
+    let r = Engine::new()
+        .run_str(&g, &format!("EXPLAIN ANALYZE {HOP}"))
+        .unwrap();
+    let text = plan_text(&r.columns, &r.rows);
+    // The lookup finds 1 node, the expansion produces 1 row (main → bar).
+    assert!(text.contains("IndexLookup n"), "plan was: {text}");
+    assert!(text.contains("rows=1"), "plan was: {text}");
+    assert!(text.contains("via bound variable"), "plan was: {text}");
+    // ANALYZE executes: steps were consumed and the header reports them.
+    assert!(r.steps > 0);
+    assert!(text.contains(&format!("{} steps", r.steps)), "{text}");
+}
+
+#[test]
+fn profile_reports_per_operator_row_counts() {
+    let g = sample();
+    let q = Query::parse(HOP).unwrap();
+    let (result, profile) = Engine::new().profile(&g, &q).unwrap();
+    assert_eq!(result.rows.len(), 1);
+    let names: Vec<&str> = profile.ops.iter().map(|op| op.name).collect();
+    assert_eq!(names, ["IndexLookup", "Expand", "Return"]);
+    assert_eq!(profile.ops[0].rows_out, 1);
+    assert_eq!(profile.ops[0].extras, vec![("hits", 1)]);
+    assert_eq!(profile.ops[1].rows_out, 1);
+    assert_eq!(profile.ops[2].rows_out, 1);
+    assert_eq!(profile.steps, result.steps);
+    // The profile matches what the un-profiled run produces.
+    let plain = Engine::new().run(&g, &q).unwrap();
+    assert_eq!(plain.rows, result.rows);
+    assert_eq!(plain.steps, result.steps);
+}
+
+#[test]
+fn var_len_profile_counts_expansions_and_depth() {
+    let g = sample();
+    let q = Query::parse(CLOSURE).unwrap();
+    let (result, profile) = Engine::new().profile(&g, &q).unwrap();
+    // main reaches bar and baz.
+    assert_eq!(result.rows.len(), 2);
+    let expand = profile.ops.iter().find(|op| op.name == "Expand").unwrap();
+    let extra = |k: &str| {
+        expand
+            .extras
+            .iter()
+            .find(|(name, _)| *name == k)
+            .unwrap_or_else(|| panic!("missing extra {k} in {:?}", expand.extras))
+            .1
+    };
+    // Two edges traversed (main→bar, bar→baz).
+    assert_eq!(extra("var_len_expansions"), 2);
+    assert_eq!(extra("var_len_max_depth"), 2);
+    assert!(extra("steps") > 0);
+}
+
+#[test]
+fn reachability_profile_tracks_frontier() {
+    let g = sample();
+    let q = Query::parse(CLOSURE).unwrap();
+    let engine = Engine::with_options(EngineOptions {
+        path_semantics: PathSemantics::Reachability,
+        ..Default::default()
+    });
+    let (result, profile) = engine.profile(&g, &q).unwrap();
+    assert_eq!(result.rows.len(), 2);
+    let expand = profile.ops.iter().find(|op| op.name == "Expand").unwrap();
+    let frontier = expand
+        .extras
+        .iter()
+        .find(|(name, _)| *name == "var_len_max_frontier")
+        .unwrap()
+        .1;
+    assert!(frontier >= 1, "extras: {:?}", expand.extras);
+}
+
+#[test]
+fn analyze_profiles_where_and_with_stages() {
+    let g = sample();
+    let q = Query::parse(
+        "START n=node:node_auto_index('short_name: main') \
+         MATCH n -[:calls]-> m WHERE m.short_name = 'bar' \
+         WITH distinct m RETURN m",
+    )
+    .unwrap();
+    let (result, profile) = Engine::new().profile(&g, &q).unwrap();
+    assert_eq!(result.rows.len(), 1);
+    let names: Vec<&str> = profile.ops.iter().map(|op| op.name).collect();
+    assert_eq!(
+        names,
+        ["IndexLookup", "Expand", "Filter", "Project", "Return"]
+    );
+    let filter = &profile.ops[2];
+    assert_eq!(filter.extras, vec![("rows_in", 1)]);
+    assert_eq!(filter.rows_out, 1);
+    let render = profile.render();
+    assert!(render.contains("Filter"), "{render}");
+    assert!(render.contains("Project distinct [m]"), "{render}");
+}

@@ -38,11 +38,13 @@ impl LabelIndex {
 
     /// Live nodes carrying `label`, sorted by id.
     pub fn with_label(&self, label: Label) -> &[NodeId] {
+        frappe_obs::counter!("store.label_index.lookups").incr();
         &self.by_label[label as usize]
     }
 
     /// Live nodes of type `ty`, sorted by id.
     pub fn with_type(&self, ty: NodeType) -> &[NodeId] {
+        frappe_obs::counter!("store.label_index.lookups").incr();
         &self.by_type[ty as usize]
     }
 

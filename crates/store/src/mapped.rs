@@ -95,6 +95,8 @@ impl MappedSnapshot {
     /// The validation scan. Accepts exactly the inputs
     /// [`crate::snapshot::decode`] accepts (pinned by property test).
     fn validate(data: Mmap) -> Result<MappedSnapshot, StoreError> {
+        let _timer = frappe_obs::histogram!("store.mapped.open_ns").start();
+        let _span = frappe_obs::span!("mapped.validate");
         let bytes: &[u8] = &data;
         if bytes.len() > u32::MAX as usize {
             return Err(corrupt("snapshot exceeds 4 GiB mapped-offset limit"));
@@ -756,6 +758,7 @@ impl GraphView for MappedGraph {
         if !self.snap.frozen {
             return Err(StoreError::NotFrozen);
         }
+        frappe_obs::counter!("store.name_index.lookups").incr();
         let idx = self.names();
         let terms = match field {
             NameField::ShortName => &idx.short_name,

@@ -254,11 +254,13 @@ impl NameIndex {
         let prefix = pattern.scan_prefix();
         let start = fi.lower_bound(prefix);
         let mut out = Vec::new();
+        let mut scanned = 0u64;
         for i in start..fi.terms.len() {
             let (term, ids) = &fi.terms[i];
             if !term.starts_with(prefix) {
                 break;
             }
+            scanned += 1;
             g.cache.touch_range(
                 StoreFile::NameIndex,
                 fi.offsets[i],
@@ -271,6 +273,8 @@ impl NameIndex {
                 break;
             }
         }
+        frappe_obs::counter!("store.name_index.lookups").incr();
+        frappe_obs::counter!("store.name_index.scanned_terms").add(scanned);
         out.sort_unstable();
         out.dedup();
         out

@@ -172,6 +172,7 @@ impl PageCache {
                         if prev & (1u64 << bit) != 0 {
                             self.resident_count.fetch_sub(1, Ordering::Relaxed);
                             self.evictions.fetch_add(1, Ordering::Relaxed);
+                            frappe_obs::counter!("store.pagecache.evictions").incr();
                             return true;
                         }
                     }
@@ -236,6 +237,7 @@ impl PageCache {
         let prev = bitmap[word].fetch_or(bit, Ordering::Relaxed);
         if prev & bit == 0 {
             self.faults.fetch_add(1, Ordering::Relaxed);
+            frappe_obs::counter!("store.pagecache.faults").incr();
             let count = self.resident_count.fetch_add(1, Ordering::Relaxed) + 1;
             if self.capacity_pages > 0 && count > self.capacity_pages {
                 self.evict_one();
@@ -249,6 +251,7 @@ impl PageCache {
             true
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            frappe_obs::counter!("store.pagecache.hits").incr();
             false
         }
     }

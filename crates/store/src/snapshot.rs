@@ -111,6 +111,8 @@ pub fn encode(g: &GraphStore) -> Vec<u8> {
 /// Deserializes a store from bytes. If the snapshot was frozen, the decoded
 /// store is re-frozen (indexes rebuilt).
 pub fn decode(data: &[u8]) -> Result<GraphStore, StoreError> {
+    let _timer = frappe_obs::histogram!("store.snapshot.decode_ns").start();
+    let _span = frappe_obs::span!("snapshot.decode");
     let mut data = ByteReader::new(data);
     let corrupt = |msg: &str| StoreError::CorruptSnapshot(msg.to_owned());
     if data.remaining() < 9 {

@@ -334,6 +334,8 @@ impl TemporalStore {
 
     /// Materializes version `v`, frozen and ready to query.
     pub fn checkout(&self, v: VersionId) -> Result<GraphStore, TemporalError> {
+        let _timer = frappe_obs::histogram!("temporal.checkout_ns").start();
+        let _span = frappe_obs::span!("temporal.checkout");
         if let Some((cached, g)) = &self.cache {
             if *cached == v {
                 // Clone through the snapshot codec (GraphStore is not Clone
@@ -355,6 +357,8 @@ impl TemporalStore {
     /// common case for historical versions) and the caller wants the
     /// mapped read path's lazy indexes instead of a full `GraphStore`.
     pub fn checkout_mapped(&self, v: VersionId) -> Result<MappedGraph, TemporalError> {
+        let _timer = frappe_obs::histogram!("temporal.checkout_mapped_ns").start();
+        let _span = frappe_obs::span!("temporal.checkout_mapped");
         let bytes = match &self.cache {
             // The cache slot may be unfrozen; round-trip it frozen so the
             // mapped graph allows index lookups.

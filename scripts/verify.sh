@@ -45,4 +45,13 @@ cargo test -q --workspace --release "${CARGO_FLAGS[@]}"
 echo "==> cargo bench --no-run --workspace ${CARGO_FLAGS[*]}"
 cargo bench --no-run --workspace "${CARGO_FLAGS[@]}"
 
+# Observability gates: the Off-level overhead contract, then a profiled
+# smoke query on the tiny spec (writes METRICS_obs_smoke.json next to the
+# BENCH_*.json artifacts). --quick skips both (they exit above).
+echo "==> cargo test --release -p frappe-bench --test obs_overhead ${CARGO_FLAGS[*]}"
+cargo test -q --release -p frappe-bench --test obs_overhead "${CARGO_FLAGS[@]}"
+
+echo "==> cargo run --release -p frappe-bench --bin obs_smoke ${CARGO_FLAGS[*]}"
+cargo run -q --release -p frappe-bench --bin obs_smoke "${CARGO_FLAGS[@]}"
+
 echo "verify: OK"

@@ -16,7 +16,7 @@ use frappe_synth::{generate, SynthSpec};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    // Tiny spec: 5476 nodes / 33364 edges at the default scale. The ratio
+    // Tiny spec: 5467 nodes / 33405 edges at the default scale. The ratio
     // grows with store size, so the small end is the conservative bound.
     let mut out = generate(&SynthSpec::scaled((scale_from_env() / 12.5).max(0.01)));
     out.graph.freeze();

@@ -1,0 +1,54 @@
+//! Serial-vs-parallel ablation of the synthetic generator.
+//!
+//! The generator builds one `SubsystemShard` per subsystem on a worker
+//! pool and merges them serially; output bytes are thread-count-invariant
+//! (see `crates/synth/tests/determinism.rs`), so the only thing threads
+//! can change is build time. This bench pins that claim's other half: on a
+//! multi-core runner the parallel build should come in ≥1.5× faster than
+//! the forced-serial build at scale ≥0.05. On a single-core machine the
+//! two variants measure the same work plus negligible pool overhead.
+//!
+//! The emitted `BENCH_synth_build.json` embeds the obs counter snapshot
+//! (per-phase timers, nodes/edges emitted) and the host parallelism, so a
+//! run is interpretable without knowing the machine it came from.
+
+use frappe_bench::scale_from_env;
+use frappe_harness::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use frappe_synth::{default_threads, generate_with_threads, SynthSpec};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // The acceptance bar is "scale ≥ 0.05"; the default bench scale (0.125)
+    // divided by 2.5 clears it while keeping iteration time reasonable.
+    let scale = (scale_from_env() / 2.5).max(0.05);
+    let spec = SynthSpec::scaled(scale);
+    let par_threads = default_threads().max(2);
+
+    frappe_obs::set_level(frappe_obs::ObsLevel::Counters);
+
+    let mut group = c.benchmark_group("synth_build");
+    group.sample_size(10);
+
+    group.bench_with_input(BenchmarkId::new("generate", "serial"), &spec, |b, s| {
+        b.iter(|| black_box(generate_with_threads(s, 1).graph.node_count()))
+    });
+    group.bench_with_input(
+        BenchmarkId::new("generate", format!("parallel_x{par_threads}")),
+        &spec,
+        |b, s| b.iter(|| black_box(generate_with_threads(s, par_threads).graph.node_count())),
+    );
+
+    group.embed_json(
+        "config",
+        format!(
+            "{{\"scale\": {scale}, \"parallel_threads\": {par_threads}, \
+             \"available_parallelism\": {}}}",
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        ),
+    );
+    group.embed_json("metrics", frappe_obs::registry().snapshot().to_json());
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -137,6 +137,15 @@ impl GraphStore {
     // Mutation (build phase)
     // ------------------------------------------------------------------
 
+    /// Reserves capacity for at least `nodes` further nodes and `edges`
+    /// further edges. Bulk builders (the synthetic generator's shard merge,
+    /// snapshot decode) know their totals up front; reserving once avoids
+    /// the doubling reallocations of the record arrays mid-build.
+    pub fn reserve(&mut self, nodes: usize, edges: usize) {
+        self.nodes.reserve(nodes);
+        self.edges.reserve(edges);
+    }
+
     /// Adds a node of type `ty` with the given `SHORT_NAME`.
     ///
     /// Labels are derived from the type per Table 6.
@@ -400,25 +409,49 @@ impl GraphStore {
         if self.frozen {
             return;
         }
-        self.name_index = Some(NameIndex::build(self));
-        self.label_index = Some(LabelIndex::build(self));
-        // Property-chain offsets for page accounting.
-        self.node_prop_offsets = Vec::with_capacity(self.nodes.len() + 1);
-        let mut off = 0u64;
-        for n in &self.nodes {
-            self.node_prop_offsets.push(off);
-            off += Self::node_prop_bytes(n);
-        }
-        self.node_prop_offsets.push(off);
-        let node_prop_total = off;
-        self.edge_prop_offsets = Vec::with_capacity(self.edges.len() + 1);
-        let mut off = 0u64;
-        for e in &self.edges {
-            self.edge_prop_offsets.push(off);
-            off += Self::edge_prop_bytes(e);
-        }
-        self.edge_prop_offsets.push(off);
-        let edge_prop_total = off;
+        // The two index builds and the two property-offset scans are
+        // independent read-only passes over the store; run them on scoped
+        // worker threads (the store is shared immutably — all its interior
+        // mutability is atomic page-cache accounting). Each pass is a
+        // deterministic function of the store contents, so the result is
+        // identical to the previous sequential construction.
+        let (name_index, label_index, node_prop_offsets, edge_prop_offsets) = {
+            let g = &*self;
+            std::thread::scope(|scope| {
+                let ni = scope.spawn(|| NameIndex::build(g));
+                let li = scope.spawn(|| LabelIndex::build(g));
+                let eo = scope.spawn(|| {
+                    let mut offsets = Vec::with_capacity(g.edges.len() + 1);
+                    let mut off = 0u64;
+                    for e in &g.edges {
+                        offsets.push(off);
+                        off += Self::edge_prop_bytes(e);
+                    }
+                    offsets.push(off);
+                    offsets
+                });
+                // Node offsets on the calling thread.
+                let mut no = Vec::with_capacity(g.nodes.len() + 1);
+                let mut off = 0u64;
+                for n in &g.nodes {
+                    no.push(off);
+                    off += Self::node_prop_bytes(n);
+                }
+                no.push(off);
+                (
+                    ni.join().expect("name-index build panicked"),
+                    li.join().expect("label-index build panicked"),
+                    no,
+                    eo.join().expect("edge-offset scan panicked"),
+                )
+            })
+        };
+        self.name_index = Some(name_index);
+        self.label_index = Some(label_index);
+        let node_prop_total = *node_prop_offsets.last().unwrap_or(&0);
+        let edge_prop_total = *edge_prop_offsets.last().unwrap_or(&0);
+        self.node_prop_offsets = node_prop_offsets;
+        self.edge_prop_offsets = edge_prop_offsets;
 
         self.cache.register_file(
             StoreFile::NodeRecords,

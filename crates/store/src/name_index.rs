@@ -218,21 +218,29 @@ impl NameIndex {
     /// Builds the index over all live nodes of `g`.
     pub fn build(g: &GraphStore) -> NameIndex {
         let interner = g.interner();
-        let short_entries = g.nodes().map(|id| {
-            (
-                interner.resolve(g.node_short_sym(id)).to_ascii_lowercase(),
-                id,
-            )
-        });
-        let short_name = FieldIndex::build(short_entries);
-        let name_entries = g.nodes().map(|id| {
-            (
-                interner.resolve(g.node_name_sym(id)).to_ascii_lowercase(),
-                id,
-            )
-        });
-        let name = FieldIndex::build(name_entries);
-        NameIndex { short_name, name }
+        // The two field indexes are independent scans; build them
+        // concurrently. Each is a pure function of the store, so the
+        // result is identical to building them back to back.
+        std::thread::scope(|scope| {
+            let short = scope.spawn(|| {
+                FieldIndex::build(g.nodes().map(|id| {
+                    (
+                        interner.resolve(g.node_short_sym(id)).to_ascii_lowercase(),
+                        id,
+                    )
+                }))
+            });
+            let name = FieldIndex::build(g.nodes().map(|id| {
+                (
+                    interner.resolve(g.node_name_sym(id)).to_ascii_lowercase(),
+                    id,
+                )
+            }));
+            NameIndex {
+                short_name: short.join().expect("short-name index build panicked"),
+                name,
+            }
+        })
     }
 
     fn field(&self, f: NameField) -> &FieldIndex {

@@ -41,5 +41,7 @@ pub mod graphgen;
 pub mod names;
 pub mod srcgen;
 
-pub use graphgen::{generate, Landmarks, SynthOutput, SynthSpec};
+pub use graphgen::{
+    default_threads, generate, generate_with_threads, Landmarks, SynthOutput, SynthSpec,
+};
 pub use srcgen::{mini_kernel, MiniKernelSpec};

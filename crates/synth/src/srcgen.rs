@@ -37,6 +37,23 @@ impl Default for MiniKernelSpec {
     }
 }
 
+impl MiniKernelSpec {
+    /// Derives a spec from a linear scale factor, mirroring
+    /// [`crate::SynthSpec::scaled`]: `from_scale(0.01)` is the source-level
+    /// counterpart of the graph-level tiny spec. Counts are exact functions
+    /// of `scale`, so round-trip tests can predict per-type node counts of
+    /// the extracted graph from the spec alone.
+    pub fn from_scale(scale: f64) -> MiniKernelSpec {
+        let s = scale.clamp(0.0005, 1.0);
+        MiniKernelSpec {
+            subsystems: ((s * 800.0) as usize).clamp(2, names::SUBSYSTEMS.len()),
+            files_per_subsystem: ((s * 400.0) as usize).clamp(2, 12),
+            functions_per_file: 11,
+            seed: 0x5EED,
+        }
+    }
+}
+
 /// Generates the source tree and its build description.
 ///
 /// The build mirrors Figure 2's shape: every `.c` compiles to a `.o`; each

@@ -1,0 +1,86 @@
+//! Thread-count invariance: the headline contract of the parallel
+//! generator is "same bytes, N× faster". These tests snapshot-encode the
+//! tiny-spec graph built on 1, 2, and 8 workers and require the byte
+//! streams to be identical, then re-pin the golden node/edge counts so any
+//! drift in the RNG streams or draw order is a deliberate re-baseline.
+
+use frappe_store::snapshot;
+use frappe_synth::graphgen::{TINY_GOLDEN_EDGES, TINY_GOLDEN_NODES};
+use frappe_synth::{default_threads, generate, generate_with_threads, SynthSpec};
+
+/// Reports the first mismatching byte offset instead of dumping two
+/// multi-megabyte vectors into the assertion message.
+fn assert_same_bytes(label: &str, a: &[u8], b: &[u8]) {
+    if let Some(i) = (0..a.len().max(b.len())).find(|&i| a.get(i) != b.get(i)) {
+        panic!(
+            "{label}: snapshots diverge at byte {i} of {}/{} ({:?} vs {:?})",
+            a.len(),
+            b.len(),
+            a.get(i),
+            b.get(i)
+        );
+    }
+}
+
+#[test]
+fn snapshot_bytes_are_identical_for_1_2_and_8_threads() {
+    let spec = SynthSpec::tiny();
+    let one = snapshot::encode(&generate_with_threads(&spec, 1).graph);
+    let two = snapshot::encode(&generate_with_threads(&spec, 2).graph);
+    let eight = snapshot::encode(&generate_with_threads(&spec, 8).graph);
+    assert_same_bytes("1 vs 2 threads", &one, &two);
+    assert_same_bytes("1 vs 8 threads", &one, &eight);
+}
+
+/// The env knob takes the same code path users take: set
+/// `FRAPPE_SYNTH_THREADS`, call plain [`generate`]. One test owns the env
+/// var (process-global state), stepping through the three counts serially.
+#[test]
+fn env_knob_changes_pool_size_but_not_bytes() {
+    let spec = SynthSpec::tiny();
+    let mut snaps = Vec::new();
+    for threads in ["1", "2", "8"] {
+        std::env::set_var("FRAPPE_SYNTH_THREADS", threads);
+        assert_eq!(default_threads(), threads.parse::<usize>().unwrap());
+        snaps.push(snapshot::encode(&generate(&spec).graph));
+    }
+    std::env::remove_var("FRAPPE_SYNTH_THREADS");
+    assert_same_bytes("env 1 vs 2", &snaps[0], &snaps[1]);
+    assert_same_bytes("env 1 vs 8", &snaps[0], &snaps[2]);
+}
+
+/// Different seeds must still diverge (the invariance above isn't the
+/// degenerate "generator ignores its RNG" case).
+#[test]
+fn different_seeds_produce_different_bytes() {
+    let mut other = SynthSpec::tiny();
+    other.seed ^= 0x1;
+    let a = snapshot::encode(&generate_with_threads(&SynthSpec::tiny(), 2).graph);
+    let b = snapshot::encode(&generate_with_threads(&other, 2).graph);
+    assert_ne!(a, b);
+}
+
+/// Golden counts, re-pinned from the serial generator's 5476/33364 when
+/// the shard pipeline landed. Asserted at two thread counts so a merge
+/// bug that only manifests under parallel construction cannot hide.
+#[test]
+fn tiny_golden_counts_hold_at_every_thread_count() {
+    for threads in [1, 4] {
+        let out = generate_with_threads(&SynthSpec::tiny(), threads);
+        assert_eq!(
+            (out.graph.node_count(), out.graph.edge_count()),
+            (TINY_GOLDEN_NODES, TINY_GOLDEN_EDGES),
+            "shape drifted at {threads} threads"
+        );
+    }
+}
+
+/// Thread counts beyond the subsystem count must neither wedge nor change
+/// output (workers beyond the work list exit immediately).
+#[test]
+fn oversubscribed_pool_is_harmless() {
+    let spec = SynthSpec::scaled(0.004);
+    let a = snapshot::encode(&generate_with_threads(&spec, 1).graph);
+    let b = snapshot::encode(&generate_with_threads(&spec, 64).graph);
+    assert_same_bytes("1 vs 64 threads", &a, &b);
+}

@@ -1,0 +1,148 @@
+//! Structural properties of generator output, checked across random
+//! (seed, scale) pairs with the in-repo proptest-lite harness. Where the
+//! determinism suite pins exact bytes for one spec, this suite pins the
+//! *invariants* every spec must satisfy: referential integrity, a
+//! well-formed containment forest, file extents on functions, and a name
+//! index that round-trips.
+
+use frappe_harness::proptest_lite as pt;
+use frappe_model::{EdgeType, NodeType};
+use frappe_store::{NameField, NamePattern};
+use frappe_synth::{generate_with_threads, SynthOutput, SynthSpec};
+use std::collections::HashSet;
+
+fn arbitrary_output() -> pt::Strategy<(u64, u64)> {
+    // Scale is passed in millis (3..=9 → 0.003..0.009) because Strategy
+    // values must be Clone + Debug and integers shrink more readably.
+    pt::tuple2(pt::u64_range(0, u64::MAX >> 16), pt::u64_range(3, 9))
+}
+
+fn build(seed: u64, scale_millis: u64) -> SynthOutput {
+    let spec = SynthSpec {
+        scale: scale_millis as f64 / 1000.0,
+        seed,
+    };
+    // Alternate pool sizes so the properties also cover parallel merges.
+    generate_with_threads(&spec, if seed % 2 == 0 { 1 } else { 4 })
+}
+
+#[test]
+fn every_edge_endpoint_exists() {
+    pt::check("edge_endpoints", &arbitrary_output(), |&(seed, sm)| {
+        let g = build(seed, sm).graph;
+        for e in g.edges() {
+            if !g.node_exists(g.edge_src(e)) || !g.node_exists(g.edge_dst(e)) {
+                return Err(format!("edge {e:?} has a dangling endpoint"));
+            }
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn containment_forms_a_forest_rooted_at_root() {
+    pt::check("containment_forest", &arbitrary_output(), |&(seed, sm)| {
+        let g = build(seed, sm).graph;
+        let roots = g
+            .lookup_name(NameField::ShortName, &NamePattern::exact("<root>"))
+            .unwrap();
+        if roots.len() != 1 {
+            return Err(format!("expected one <root>, got {}", roots.len()));
+        }
+        let root = roots[0];
+
+        // Parent uniqueness: <root> has no DirContains parent; every other
+        // directory and every file has exactly one.
+        for ty in [NodeType::Directory, NodeType::File] {
+            for &n in g.nodes_with_type(ty).unwrap() {
+                let parents = g.in_edges(n, Some(EdgeType::DirContains)).count();
+                let want = usize::from(n != root);
+                if parents != want {
+                    return Err(format!(
+                        "{} {:?} has {parents} DirContains parents, want {want}",
+                        g.node_name(n),
+                        ty
+                    ));
+                }
+            }
+        }
+
+        // Acyclicity + coverage: walking DirContains from <root> visits
+        // every directory and file exactly once.
+        let mut seen = HashSet::new();
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            if !seen.insert(n) {
+                return Err(format!("DirContains revisits {}", g.node_name(n)));
+            }
+            stack.extend(g.out_neighbors(n, Some(EdgeType::DirContains)));
+        }
+        let total = g.nodes_with_type(NodeType::Directory).unwrap().len()
+            + g.nodes_with_type(NodeType::File).unwrap().len();
+        if seen.len() != total {
+            return Err(format!(
+                "forest reaches {} of {total} directories+files",
+                seen.len()
+            ));
+        }
+
+        // Entities contained in files are contained in exactly one file.
+        for ty in [NodeType::Function, NodeType::Macro, NodeType::Struct] {
+            for &n in g.nodes_with_type(ty).unwrap() {
+                let hosts: Vec<_> = g.in_neighbors(n, Some(EdgeType::FileContains)).collect();
+                if hosts.len() != 1 || g.node_type(hosts[0]) != NodeType::File {
+                    return Err(format!(
+                        "{} has {} FileContains hosts",
+                        g.node_short_name(n),
+                        hosts.len()
+                    ));
+                }
+            }
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn every_function_has_a_file_extent() {
+    pt::check("function_extents", &arbitrary_output(), |&(seed, sm)| {
+        let g = build(seed, sm).graph;
+        for &f in g.nodes_with_type(NodeType::Function).unwrap() {
+            let e = g
+                .in_edges(f, Some(EdgeType::FileContains))
+                .next()
+                .ok_or_else(|| format!("{} not in any file", g.node_short_name(f)))?;
+            let r = g
+                .edge_name_range(e)
+                .ok_or_else(|| format!("{} has no name range", g.node_short_name(f)))?;
+            if r.start.line == 0 {
+                return Err(format!("{} extent at line 0", g.node_short_name(f)));
+            }
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn name_index_round_trips_for_every_node() {
+    pt::check("name_roundtrip", &arbitrary_output(), |&(seed, sm)| {
+        let g = build(seed, sm).graph;
+        for n in g.nodes() {
+            let short = g.node_short_name(n).to_owned();
+            let hits = g
+                .lookup_name(NameField::ShortName, &NamePattern::exact(&short))
+                .map_err(|e| format!("lookup({short}): {e:?}"))?;
+            if !hits.contains(&n) {
+                return Err(format!("short-name lookup misses {short}"));
+            }
+            let name = g.node_name(n).to_owned();
+            let hits = g
+                .lookup_name(NameField::Name, &NamePattern::exact(&name))
+                .map_err(|e| format!("lookup({name}): {e:?}"))?;
+            if !hits.contains(&n) {
+                return Err(format!("name lookup misses {name}"));
+            }
+        }
+        Ok(())
+    });
+}

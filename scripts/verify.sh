@@ -45,6 +45,15 @@ cargo test -q --workspace --release "${CARGO_FLAGS[@]}"
 echo "==> cargo bench --no-run --workspace ${CARGO_FLAGS[*]}"
 cargo bench --no-run --workspace "${CARGO_FLAGS[@]}"
 
+# Thread-count invariance: the synth generator must produce identical
+# bytes at any pool size (crates/synth/tests/determinism.rs compares
+# snapshots internally; running the whole suite at both extremes also
+# exercises every other synth test under each pool size).
+for threads in 1 8; do
+  echo "==> FRAPPE_SYNTH_THREADS=$threads cargo test --release -p frappe-synth ${CARGO_FLAGS[*]}"
+  FRAPPE_SYNTH_THREADS=$threads cargo test -q --release -p frappe-synth "${CARGO_FLAGS[@]}"
+done
+
 # Observability gates: the Off-level overhead contract, then a profiled
 # smoke query on the tiny spec (writes METRICS_obs_smoke.json next to the
 # BENCH_*.json artifacts). --quick skips both (they exit above).

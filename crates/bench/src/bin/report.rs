@@ -331,35 +331,10 @@ fn main() {
     }
 
     if want("hotspots") {
-        let snap = frappe_obs::registry().snapshot();
-        println!("== Hot spots (frappe-obs counters accumulated by this run) ==");
-        let hits = snap.counter("store.pagecache.hits").unwrap_or(0);
-        let faults = snap.counter("store.pagecache.faults").unwrap_or(0);
-        if hits + faults > 0 {
-            println!(
-                "pagecache: {} hits / {} faults (hit ratio {:.1}%)",
-                hits,
-                faults,
-                100.0 * hits as f64 / (hits + faults) as f64
-            );
-        }
-        println!("top counters:");
-        for c in snap.top_counters(12) {
-            println!("  {:<34} {:>14}", c.name, c.value);
-        }
-        if !snap.histograms.is_empty() {
-            println!("timings (count / mean):");
-            for h in &snap.histograms {
-                if h.count > 0 {
-                    println!(
-                        "  {:<34} {:>8} x {:>10.1} us",
-                        h.name,
-                        h.count,
-                        h.mean() / 1_000.0
-                    );
-                }
-            }
-        }
+        print!(
+            "{}",
+            frappe_bench::render_hotspots(&frappe_obs::registry().snapshot())
+        );
         println!();
     }
 

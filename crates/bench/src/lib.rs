@@ -122,6 +122,43 @@ pub fn run_cold_warm(
     }
 }
 
+/// Renders the `report --hotspots` section from a metrics snapshot:
+/// pagecache hit ratio, top counters, and per-histogram latency quantiles
+/// (p50/p95/p99, not just the mean — a traversal with a fat tail looks
+/// fine on averages and terrible at p99).
+pub fn render_hotspots(snap: &frappe_obs::MetricsSnapshot) -> String {
+    let mut out = String::from("== Hot spots (frappe-obs counters accumulated by this run) ==\n");
+    let hits = snap.counter("store.pagecache.hits").unwrap_or(0);
+    let faults = snap.counter("store.pagecache.faults").unwrap_or(0);
+    if hits + faults > 0 {
+        out.push_str(&format!(
+            "pagecache: {} hits / {} faults (hit ratio {:.1}%)\n",
+            hits,
+            faults,
+            100.0 * hits as f64 / (hits + faults) as f64
+        ));
+    }
+    out.push_str("top counters:\n");
+    for c in snap.top_counters(12) {
+        out.push_str(&format!("  {:<34} {:>14}\n", c.name, c.value));
+    }
+    let live: Vec<_> = snap.histograms.iter().filter(|h| h.count > 0).collect();
+    if !live.is_empty() {
+        out.push_str("timings (count / p50 / p95 / p99, us):\n");
+        for h in live {
+            out.push_str(&format!(
+                "  {:<34} {:>8} x {:>9.1} {:>9.1} {:>9.1}\n",
+                h.name,
+                h.count,
+                h.quantile(0.50) / 1_000.0,
+                h.quantile(0.95) / 1_000.0,
+                h.quantile(0.99) / 1_000.0,
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,5 +192,53 @@ mod tests {
         let row = cw.table5_row("Code search Fig.3");
         assert!(row.contains("Code search"));
         assert!(row.trim_end().ends_with('4'));
+    }
+
+    #[test]
+    fn hotspots_render_quantiles_not_just_means() {
+        use frappe_obs::{CounterSnapshot, HistogramSnapshot, MetricsSnapshot};
+        // 98 fast samples in [512, 1024) and two slow in [2^20, 2^21): the
+        // p99 column must surface the tail bucket.
+        let mut buckets = vec![0u64; 64];
+        buckets[10] = 98;
+        buckets[21] = 2;
+        let snap = MetricsSnapshot {
+            counters: vec![
+                CounterSnapshot {
+                    name: "store.pagecache.hits".into(),
+                    value: 90,
+                },
+                CounterSnapshot {
+                    name: "store.pagecache.faults".into(),
+                    value: 10,
+                },
+            ],
+            histograms: vec![HistogramSnapshot {
+                name: "query.latency_ns".into(),
+                count: 100,
+                sum: 98 * 700 + 2 * 1_500_000,
+                min: 600,
+                max: 1_500_000,
+                buckets,
+            }],
+        };
+        let text = render_hotspots(&snap);
+        assert!(text.contains("hit ratio 90.0%"), "{text}");
+        assert!(text.contains("store.pagecache.hits"), "{text}");
+        assert!(
+            text.contains("timings (count / p50 / p95 / p99, us):"),
+            "{text}"
+        );
+        let timing_line = text
+            .lines()
+            .find(|l| l.contains("query.latency_ns"))
+            .expect("timing line");
+        let cols: Vec<&str> = timing_line.split_whitespace().collect();
+        // name, count, "x", p50, p95, p99
+        assert_eq!(cols.len(), 6, "{timing_line}");
+        let p50: f64 = cols[3].parse().unwrap();
+        let p99: f64 = cols[5].parse().unwrap();
+        assert!(p50 < 1.1, "p50 stays in the fast bucket: {timing_line}");
+        assert!(p99 > 1_000.0, "p99 surfaces the tail: {timing_line}");
     }
 }

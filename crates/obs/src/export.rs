@@ -1,0 +1,413 @@
+//! Prometheus text exposition (format 0.0.4), rendered with `std` only.
+//!
+//! [`render_prometheus`] turns a [`MetricsSnapshot`] plus the
+//! per-fingerprint query statistics and slow-log gauges into the body of a
+//! `GET /metrics` response: counters become `frappe_*` counters (metric
+//! name dots → underscores), histograms become summaries (`_count`,
+//! `_sum`, and `{quantile="…"}` sample lines from the log2-bucket quantile
+//! estimator), and each query fingerprint becomes a labelled series.
+//!
+//! [`validate_exposition`] is a hand-rolled checker for the subset of the
+//! exposition grammar this module emits — the integration tests run every
+//! scrape through it, so a malformed line is a test failure, not a silent
+//! scrape error in some external collector.
+
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
+use crate::query_stats::QueryStatsSnapshot;
+
+/// Slow-query-log gauges exported alongside the metrics (see
+/// [`crate::SlowLog`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlowLogStats {
+    /// Records currently retained in the ring.
+    pub retained: u64,
+    /// Records ever logged (monotonic).
+    pub total_recorded: u64,
+    /// Records overwritten by the ring.
+    pub dropped: u64,
+}
+
+impl SlowLogStats {
+    /// Reads the gauges off a live [`crate::SlowLog`].
+    pub fn of(log: &crate::SlowLog) -> SlowLogStats {
+        SlowLogStats {
+            retained: log.records().len() as u64,
+            total_recorded: log.total_recorded(),
+            dropped: log.dropped(),
+        }
+    }
+}
+
+/// Maps a dotted registry name to a Prometheus metric name:
+/// `store.pagecache.hits` → `frappe_store_pagecache_hits`. Characters
+/// outside `[a-zA-Z0-9_:]` become underscores.
+pub fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 7);
+    out.push_str("frappe_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Escapes a label value (`\` → `\\`, `"` → `\"`, newline → `\n`).
+fn label_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn push_summary(out: &mut String, name: &str, labels: &str, h: &HistogramSnapshot) {
+    for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+        let sep = if labels.is_empty() { "" } else { "," };
+        out.push_str(&format!(
+            "{name}{{{labels}{sep}quantile=\"{label}\"}} {}\n",
+            fmt_value(h.quantile(q))
+        ));
+    }
+    let braces = if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    };
+    out.push_str(&format!("{name}_sum{braces} {}\n", h.sum));
+    out.push_str(&format!("{name}_count{braces} {}\n", h.count));
+}
+
+/// Formats a sample value: integral floats print without a fraction.
+fn fmt_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders the full `/metrics` body.
+pub fn render_prometheus(
+    snap: &MetricsSnapshot,
+    queries: &[QueryStatsSnapshot],
+    slowlog: SlowLogStats,
+) -> String {
+    let mut out = String::new();
+
+    for c in &snap.counters {
+        let name = metric_name(&c.name);
+        out.push_str(&format!("# TYPE {name} counter\n"));
+        out.push_str(&format!("{name} {}\n", c.value));
+    }
+
+    for h in &snap.histograms {
+        let name = metric_name(&h.name);
+        out.push_str(&format!("# TYPE {name} summary\n"));
+        push_summary(&mut out, &name, "", h);
+    }
+
+    // Per-fingerprint query series, labelled by fingerprint hex.
+    if !queries.is_empty() {
+        out.push_str("# TYPE frappe_query_executions_total counter\n");
+        for q in queries {
+            out.push_str(&format!(
+                "frappe_query_executions_total{{fingerprint=\"{:016x}\"}} {}\n",
+                q.fingerprint, q.count
+            ));
+        }
+        out.push_str("# TYPE frappe_query_errors_total counter\n");
+        for q in queries {
+            out.push_str(&format!(
+                "frappe_query_errors_total{{fingerprint=\"{:016x}\"}} {}\n",
+                q.fingerprint, q.errors
+            ));
+        }
+        out.push_str("# TYPE frappe_query_rows_total counter\n");
+        for q in queries {
+            out.push_str(&format!(
+                "frappe_query_rows_total{{fingerprint=\"{:016x}\"}} {}\n",
+                q.fingerprint, q.rows
+            ));
+        }
+        out.push_str("# TYPE frappe_query_latency_ns summary\n");
+        for q in queries {
+            push_summary(
+                &mut out,
+                "frappe_query_latency_ns",
+                &format!(
+                    "fingerprint=\"{:016x}\",query=\"{}\"",
+                    q.fingerprint,
+                    label_escape(&q.normalized)
+                ),
+                &q.latency,
+            );
+        }
+    }
+
+    out.push_str("# TYPE frappe_slowlog_retained gauge\n");
+    out.push_str(&format!("frappe_slowlog_retained {}\n", slowlog.retained));
+    out.push_str("# TYPE frappe_slowlog_recorded_total counter\n");
+    out.push_str(&format!(
+        "frappe_slowlog_recorded_total {}\n",
+        slowlog.total_recorded
+    ));
+    out.push_str("# TYPE frappe_slowlog_dropped_total counter\n");
+    out.push_str(&format!(
+        "frappe_slowlog_dropped_total {}\n",
+        slowlog.dropped
+    ));
+
+    out
+}
+
+/// Checks `text` against the subset of the Prometheus text exposition
+/// grammar that [`render_prometheus`] emits. Returns the first violation.
+///
+/// Enforced per line: comments are `# TYPE <name> <counter|gauge|summary>`
+/// (other `#` comments pass unchecked); samples are
+/// `name{label="value",...} <number>` with valid metric/label identifiers,
+/// properly quoted/escaped label values, and a parseable finite value.
+pub fn validate_exposition(text: &str) -> Result<(), String> {
+    if !text.is_empty() && !text.ends_with('\n') {
+        return Err("body must end with a newline".into());
+    }
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut parts = comment.trim_start().splitn(3, ' ');
+            if parts.next() == Some("TYPE") {
+                let name = parts
+                    .next()
+                    .ok_or_else(|| format!("line {n}: TYPE without metric name"))?;
+                if !is_metric_name(name) {
+                    return Err(format!("line {n}: bad TYPE metric name {name:?}"));
+                }
+                match parts.next() {
+                    Some("counter" | "gauge" | "summary" | "histogram" | "untyped") => {}
+                    other => return Err(format!("line {n}: bad TYPE kind {other:?}")),
+                }
+            }
+            continue;
+        }
+        validate_sample(line).map_err(|e| format!("line {n}: {e}"))?;
+    }
+    Ok(())
+}
+
+fn is_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn is_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn validate_sample(line: &str) -> Result<(), String> {
+    let (name_labels, value) = match line.rfind("} ") {
+        Some(i) => (&line[..=i], &line[i + 2..]),
+        None => {
+            let mut it = line.splitn(2, ' ');
+            let name = it.next().unwrap_or("");
+            let value = it.next().ok_or("sample without value")?;
+            (name, value)
+        }
+    };
+    let (name, labels) = match name_labels.find('{') {
+        Some(i) => {
+            let rest = &name_labels[i + 1..];
+            let body = rest.strip_suffix('}').ok_or("unterminated label set")?;
+            (&name_labels[..i], Some(body))
+        }
+        None => (name_labels, None),
+    };
+    if !is_metric_name(name) {
+        return Err(format!("bad metric name {name:?}"));
+    }
+    if let Some(body) = labels {
+        validate_labels(body)?;
+    }
+    let v: f64 = value
+        .trim()
+        .parse()
+        .map_err(|_| format!("unparseable value {value:?}"))?;
+    if !v.is_finite() {
+        return Err(format!("non-finite value {value:?}"));
+    }
+    Ok(())
+}
+
+fn validate_labels(body: &str) -> Result<(), String> {
+    let bytes = body.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let eq = body[i..]
+            .find('=')
+            .map(|j| i + j)
+            .ok_or("label without '='")?;
+        let label = &body[i..eq];
+        if !is_label_name(label) {
+            return Err(format!("bad label name {label:?}"));
+        }
+        if bytes.get(eq + 1) != Some(&b'"') {
+            return Err(format!("label {label:?} value not quoted"));
+        }
+        // Scan the quoted value, honoring backslash escapes.
+        let mut j = eq + 2;
+        loop {
+            match bytes.get(j) {
+                None => return Err(format!("label {label:?} value unterminated")),
+                Some(b'\\') => match bytes.get(j + 1) {
+                    Some(b'\\' | b'"' | b'n') => j += 2,
+                    _ => return Err(format!("label {label:?} has a bad escape")),
+                },
+                Some(b'"') => break,
+                Some(_) => j += 1,
+            }
+        }
+        i = j + 1;
+        if i < bytes.len() {
+            if bytes[i] != b',' {
+                return Err("labels not comma-separated".into());
+            }
+            i += 1;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{CounterSnapshot, HistogramSnapshot};
+
+    fn histo(name: &str, samples: &[u64]) -> HistogramSnapshot {
+        let mut buckets = vec![0u64; 64];
+        let mut sum = 0;
+        let (mut min, mut max) = (u64::MAX, 0);
+        for &v in samples {
+            sum += v;
+            min = min.min(v);
+            max = max.max(v);
+            buckets[(64 - v.leading_zeros() as usize).min(63)] += 1;
+        }
+        HistogramSnapshot {
+            name: name.into(),
+            count: samples.len() as u64,
+            sum,
+            min: if samples.is_empty() { 0 } else { min },
+            max,
+            buckets,
+        }
+    }
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: vec![CounterSnapshot {
+                name: "store.pagecache.hits".into(),
+                value: 42,
+            }],
+            histograms: vec![histo("query.latency_ns", &[1_000, 2_000, 4_000])],
+        }
+    }
+
+    #[test]
+    fn renders_counters_summaries_and_query_series() {
+        let queries = vec![QueryStatsSnapshot {
+            fingerprint: 0xabcd,
+            normalized: "MATCH n - [ : calls ] -> m RETURN m".into(),
+            count: 7,
+            errors: 1,
+            rows: 21,
+            latency: histo("", &[10_000]),
+        }];
+        let text = render_prometheus(
+            &sample_snapshot(),
+            &queries,
+            SlowLogStats {
+                retained: 3,
+                total_recorded: 5,
+                dropped: 2,
+            },
+        );
+        assert!(text.contains("# TYPE frappe_store_pagecache_hits counter\n"));
+        assert!(text.contains("frappe_store_pagecache_hits 42\n"));
+        assert!(text.contains("frappe_query_latency_ns{quantile=\"0.95\"}"));
+        assert!(text.contains("frappe_query_latency_ns_count 3\n"));
+        assert!(
+            text.contains("frappe_query_executions_total{fingerprint=\"000000000000abcd\"} 7\n")
+        );
+        assert!(text.contains("frappe_query_errors_total{fingerprint=\"000000000000abcd\"} 1\n"));
+        assert!(text.contains("frappe_slowlog_retained 3\n"));
+        assert!(text.contains("frappe_slowlog_dropped_total 2\n"));
+        validate_exposition(&text).unwrap();
+    }
+
+    #[test]
+    fn metric_name_mapping() {
+        assert_eq!(
+            metric_name("store.pagecache.hits"),
+            "frappe_store_pagecache_hits"
+        );
+        assert_eq!(metric_name("query.errors"), "frappe_query_errors");
+        assert_eq!(metric_name("weird-name!"), "frappe_weird_name_");
+    }
+
+    #[test]
+    fn empty_snapshot_still_validates() {
+        let text = render_prometheus(&MetricsSnapshot::default(), &[], SlowLogStats::default());
+        assert!(text.contains("frappe_slowlog_retained 0\n"));
+        validate_exposition(&text).unwrap();
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let queries = vec![QueryStatsSnapshot {
+            fingerprint: 1,
+            normalized: "lookup ( \"quoted\" ) \\ slash".into(),
+            count: 1,
+            errors: 0,
+            rows: 0,
+            latency: histo("", &[5]),
+        }];
+        let text = render_prometheus(
+            &MetricsSnapshot::default(),
+            &queries,
+            SlowLogStats::default(),
+        );
+        assert!(text.contains("query=\"lookup ( \\\"quoted\\\" ) \\\\ slash\""));
+        validate_exposition(&text).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        assert!(validate_exposition("no_newline 1").is_err());
+        assert!(validate_exposition("1bad_name 2\n").is_err());
+        assert!(validate_exposition("ok{label=unquoted} 1\n").is_err());
+        assert!(validate_exposition("ok{label=\"open} 1\n").is_err());
+        assert!(validate_exposition("ok{l=\"a\" m=\"b\"} 1\n").is_err());
+        assert!(validate_exposition("ok notanumber\n").is_err());
+        assert!(validate_exposition("# TYPE ok sideways\n").is_err());
+        assert!(validate_exposition("ok 1\n# random comment\nok2{a=\"b\",c=\"d\"} 2.5\n").is_ok());
+    }
+}

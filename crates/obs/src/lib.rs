@@ -1,8 +1,11 @@
 //! # frappe-obs
 //!
 //! The observability layer: a std-only metrics registry (named atomic
-//! counters + monotonic-clock histograms) and a span-based tracer with a
-//! ring-buffered event log.
+//! counters + monotonic-clock histograms with log2-bucket quantiles), a
+//! span-based tracer with a ring-buffered event log, per-fingerprint
+//! query statistics ([`query_stats`]), a ring-buffered slow-query log
+//! ([`slowlog`], armed by `FRAPPE_SLOWLOG_MS`), and a Prometheus text
+//! renderer ([`render_prometheus`]) for the `frappe-serve` exporter.
 //!
 //! The paper's Section 5 argument is entirely about *attributing* latency —
 //! index lookups are fast, declarative transitive closure is slow, cold vs.
@@ -39,13 +42,21 @@
 //! obs::set_level(obs::ObsLevel::Off);
 //! ```
 
+pub mod export;
 pub mod metrics;
+pub mod query_stats;
+pub mod slowlog;
 pub mod trace;
 
+pub use export::{render_prometheus, validate_exposition, SlowLogStats};
 pub use metrics::{
     registry, Counter, CounterSnapshot, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
     Timer,
 };
+pub use query_stats::{
+    queries_to_json, query_stats, QueryStats, QueryStatsRegistry, QueryStatsSnapshot,
+};
+pub use slowlog::{slowlog, SlowLog, SlowQueryEntry, SlowQueryRecord};
 pub use trace::{tracer, SpanGuard, TraceEvent, Tracer};
 
 use std::sync::atomic::{AtomicU8, Ordering};

@@ -82,7 +82,7 @@ pub struct Histogram {
 }
 
 impl Histogram {
-    fn new() -> Histogram {
+    pub(crate) fn new() -> Histogram {
         Histogram {
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
@@ -133,7 +133,7 @@ impl Histogram {
         }
     }
 
-    fn snapshot(&self, name: &str) -> HistogramSnapshot {
+    pub(crate) fn snapshot(&self, name: &str) -> HistogramSnapshot {
         let count = self.count.load(Ordering::Relaxed);
         HistogramSnapshot {
             name: name.to_owned(),
@@ -145,7 +145,19 @@ impl Histogram {
                 self.min.load(Ordering::Relaxed)
             },
             max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
         }
+    }
+
+    /// Estimated value of quantile `q` over the live buckets (a
+    /// lock-free read; see [`HistogramSnapshot::quantile`] for the
+    /// estimation scheme).
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.snapshot("").quantile(q)
     }
 }
 
@@ -186,6 +198,9 @@ pub struct HistogramSnapshot {
     pub min: u64,
     /// Largest sample.
     pub max: u64,
+    /// Per-bucket counts: bucket `i` holds samples of bit length `i`
+    /// (i.e. `2^(i-1) <= v < 2^i`; bucket 0 holds exact zeros).
+    pub buckets: Vec<u64>,
 }
 
 impl HistogramSnapshot {
@@ -196,6 +211,44 @@ impl HistogramSnapshot {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Estimated value of quantile `q` (0.0 ..= 1.0).
+    ///
+    /// The continuous rank `q * count` is located in the log2 bucket
+    /// sequence, then interpolated *geometrically* within the bucket:
+    /// bucket `i` spans `[2^(i-1), 2^i)`, and a fraction `f` through its
+    /// population maps to `lo * (hi/lo)^f` — the geometric midpoint
+    /// `sqrt(lo*hi)` at `f = 0.5` — which respects the buckets'
+    /// exponential value scale (linear interpolation would bias every
+    /// estimate toward the bucket's arithmetic center). The estimate is
+    /// clamped to the exact observed `[min, max]`, so single-valued and
+    /// extreme-quantile cases are exact.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut before = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if (before + n) as f64 >= target {
+                let est = if i == 0 {
+                    0.0
+                } else {
+                    let lo = f64::from(2u32).powi(i as i32 - 1);
+                    let hi = lo * 2.0;
+                    let f = ((target - before as f64) / n as f64).clamp(0.0, 1.0);
+                    lo * (hi / lo).powf(f)
+                };
+                return est.clamp(self.min as f64, self.max as f64);
+            }
+            before += n;
+        }
+        self.max as f64
     }
 }
 
@@ -237,7 +290,8 @@ impl MetricsSnapshot {
     /// {
     ///   "counters": {"store.pagecache.hits": 42},
     ///   "histograms": {"temporal.checkout_ns": {"count": 1, "sum": 9,
-    ///                  "min": 9, "max": 9, "mean": 9.0}}
+    ///                  "min": 9, "max": 9, "mean": 9.0,
+    ///                  "p50": 9.0, "p95": 9.0, "p99": 9.0}}
     /// }
     /// ```
     pub fn to_json(&self) -> String {
@@ -254,13 +308,17 @@ impl MetricsSnapshot {
                 out.push_str(", ");
             }
             out.push_str(&format!(
-                "\"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {:.1}}}",
+                "\"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {:.1}, \
+                 \"p50\": {:.1}, \"p95\": {:.1}, \"p99\": {:.1}}}",
                 json_escape(&h.name),
                 h.count,
                 h.sum,
                 h.min,
                 h.max,
                 h.mean(),
+                h.quantile(0.50),
+                h.quantile(0.95),
+                h.quantile(0.99),
             ));
         }
         out.push_str("}}");
@@ -514,6 +572,92 @@ mod tests {
         a.reset();
         b.reset();
         set_level(ObsLevel::Off);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let hs = HistogramSnapshot {
+            name: "empty".into(),
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: vec![0; 64],
+        };
+        assert_eq!(hs.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn quantile_of_single_repeated_value_is_exact() {
+        let _g = test_lock::hold();
+        set_level(ObsLevel::Counters);
+        let h = registry().histogram("metrics.q_single");
+        h.reset();
+        for _ in 0..100 {
+            h.record(1000);
+        }
+        // The geometric estimate lands inside [512, 1024) but clamping to
+        // the exact observed min/max pins it to the true value.
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 1000.0, "q={q}");
+        }
+        h.reset();
+        set_level(ObsLevel::Off);
+    }
+
+    #[test]
+    fn quantile_orders_across_buckets() {
+        let _g = test_lock::hold();
+        set_level(ObsLevel::Counters);
+        let h = registry().histogram("metrics.q_spread");
+        h.reset();
+        // 90 fast samples (~1 us), 10 slow (~1 ms): p50 stays in the fast
+        // bucket, p95/p99 land in the slow one.
+        for _ in 0..90 {
+            h.record(1_000);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        let snap = registry().snapshot();
+        let hs = snap.histogram("metrics.q_spread").unwrap();
+        let (p50, p95, p99) = (hs.quantile(0.50), hs.quantile(0.95), hs.quantile(0.99));
+        assert!((512.0..1024.0).contains(&p50), "p50={p50}");
+        assert!((524_288.0..=1_048_576.0).contains(&p95), "p95={p95}");
+        assert!(p50 <= p95 && p95 <= p99, "p50={p50} p95={p95} p99={p99}");
+        assert!(p99 <= hs.max as f64);
+        h.reset();
+        set_level(ObsLevel::Off);
+    }
+
+    #[test]
+    fn quantile_zero_bucket_and_geometric_midpoint() {
+        let hs = |buckets: Vec<(usize, u64)>, min: u64, max: u64, count: u64| {
+            let mut b = vec![0u64; 64];
+            for (i, n) in buckets {
+                b[i] = n;
+            }
+            HistogramSnapshot {
+                name: "t".into(),
+                count,
+                sum: 0,
+                min,
+                max,
+                buckets: b,
+            }
+        };
+        // All-zero samples sit in bucket 0 → every quantile is 0.
+        let zeros = hs(vec![(0, 5)], 0, 0, 5);
+        assert_eq!(zeros.quantile(0.99), 0.0);
+        // One fully-populated bucket [512, 1024) with wide observed
+        // bounds: the median is the geometric midpoint sqrt(512*1024).
+        let mid = hs(vec![(10, 100)], 512, 1023, 100);
+        let expected = (512.0f64 * 1024.0).sqrt();
+        assert!(
+            (mid.quantile(0.5) - expected).abs() < 1.0,
+            "{}",
+            mid.quantile(0.5)
+        );
     }
 
     #[test]

@@ -15,6 +15,13 @@ pub struct Query {
     pub clauses: Vec<Clause>,
     /// The final `RETURN`.
     pub ret: Return,
+    /// Stable 64-bit fingerprint of the query shape (see
+    /// [`crate::fingerprint`]): literals erased, whitespace and keyword
+    /// case folded, `EXPLAIN` prefix dropped.
+    pub fingerprint: u64,
+    /// The normalized text the fingerprint hashes — the operator-facing
+    /// name of this query shape in stats and the slow-query log.
+    pub normalized: String,
 }
 
 /// The query's `EXPLAIN` prefix.

@@ -176,11 +176,78 @@ impl Engine {
             ops,
             total_ns: elapsed_ns(start),
             steps: result.steps,
+            fingerprint: query.fingerprint,
         };
         Ok((result, profile))
     }
 
+    /// Executes the query and feeds the operational-observability surfaces
+    /// in `frappe-obs`: per-fingerprint statistics (count, rows, errors,
+    /// latency histogram) and, when the slow-query log is armed and the
+    /// execution crosses its threshold, a full per-operator profile record.
+    ///
+    /// At [`frappe_obs::ObsLevel::Off`] this is one relaxed load and a tail
+    /// call — the overhead contract of `obs_overhead.rs` is unchanged.
     fn run_impl<G: GraphView>(
+        &self,
+        g: &G,
+        query: &Query,
+        mut prof: Option<&mut Vec<OpProfile>>,
+    ) -> Result<ResultSet, QueryError> {
+        if !frappe_obs::counters_enabled() {
+            return self.run_core(g, query, prof);
+        }
+        let slowlog = frappe_obs::slowlog();
+        // The slow-query log wants the per-operator breakdown of offending
+        // queries, so an armed slowlog opts plain `run` calls into profile
+        // collection (deterministic results are unaffected — profiling only
+        // samples clocks and row counts).
+        let capture_local = slowlog.enabled() && prof.is_none();
+        let mut local_ops: Vec<OpProfile> = Vec::new();
+        let start = Instant::now();
+        let result = {
+            let sink = if capture_local {
+                Some(&mut local_ops)
+            } else {
+                prof.as_deref_mut()
+            };
+            self.run_core(g, query, sink)
+        };
+        let total_ns = elapsed_ns(start);
+        let (rows, steps, error) = match &result {
+            Ok(r) => (r.rows.len() as u64, r.steps, None),
+            Err(e) => (0, 0, Some(e.to_string())),
+        };
+        if error.is_some() {
+            frappe_obs::counter!("query.errors").incr();
+        }
+        frappe_obs::query_stats().observe(
+            query.fingerprint,
+            &query.normalized,
+            total_ns,
+            rows,
+            error.is_some(),
+        );
+        if slowlog.enabled() && total_ns >= slowlog.threshold_ns() {
+            let ops: &[OpProfile] = if capture_local {
+                &local_ops
+            } else {
+                prof.as_deref().map_or(&[][..], |v| &v[..])
+            };
+            slowlog.record(frappe_obs::SlowQueryEntry {
+                fingerprint: query.fingerprint,
+                normalized: query.normalized.clone(),
+                total_ns,
+                rows,
+                steps,
+                error,
+                profile_json: crate::profile::render_json(ops, total_ns, steps, query.fingerprint),
+            });
+        }
+        result
+    }
+
+    fn run_core<G: GraphView>(
         &self,
         g: &G,
         query: &Query,

@@ -1,0 +1,199 @@
+//! Query fingerprinting: a stable 64-bit identity for a query *shape*.
+//!
+//! Production query traffic is dominated by a small set of templates
+//! executed with different literals — the paper's Figure 3 code search runs
+//! once per searched identifier, Figure 4's go-to-definition once per
+//! cursor position. To aggregate latency statistics per *template* (and to
+//! key the slow-query log), the query text is normalized into a canonical
+//! form and hashed:
+//!
+//! * the text is lexed with the real query lexer, so all whitespace and
+//!   comments disappear;
+//! * keywords are case-folded to their canonical upper-case spelling
+//!   (`match` ≡ `MATCH`);
+//! * string and integer literals are replaced by `?`, so
+//!   `short_name: 'main'` and `short_name: 'vfs_read'` share a
+//!   fingerprint;
+//! * an `EXPLAIN` / `EXPLAIN ANALYZE` prefix is dropped, so profiled and
+//!   unprofiled executions of the same query aggregate together;
+//! * everything else (identifiers, labels, edge types, operators) is
+//!   rendered verbatim, one space between tokens.
+//!
+//! The fingerprint is the FNV-1a 64-bit hash of the normalized text.
+//! Unlexable text falls back to a whitespace-collapsed, case-preserved
+//! form of the raw input, so even syntactically invalid queries get a
+//! stable fingerprint for error accounting.
+
+use crate::token::{lex, Spanned, Tok};
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64-bit hash of `bytes`.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Normalizes query text into its canonical fingerprint form (see the
+/// module docs). Falls back to whitespace collapsing when the text does
+/// not lex.
+pub fn normalize(text: &str) -> String {
+    match lex(text) {
+        Ok(tokens) => normalize_tokens(&tokens),
+        Err(_) => text.split_whitespace().collect::<Vec<_>>().join(" "),
+    }
+}
+
+/// Normalizes an already-lexed token stream (the parser calls this so the
+/// text is only lexed once).
+pub(crate) fn normalize_tokens(tokens: &[Spanned]) -> String {
+    // Drop the EXPLAIN [ANALYZE] prefix: same shape, same fingerprint.
+    let mut start = 0;
+    if matches!(tokens.first().map(|t| &t.tok), Some(Tok::Kw("EXPLAIN"))) {
+        start = 1;
+        if matches!(tokens.get(1).map(|t| &t.tok), Some(Tok::Kw("ANALYZE"))) {
+            start = 2;
+        }
+    }
+    let mut out = String::new();
+    for spanned in &tokens[start..] {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        match &spanned.tok {
+            Tok::Kw(k) => out.push_str(k),
+            Tok::Ident(s) => out.push_str(s),
+            Tok::Str(_) | Tok::Int(_) => out.push('?'),
+            Tok::Eq => out.push('='),
+            Tok::Ne => out.push_str("<>"),
+            Tok::Lt => out.push('<'),
+            Tok::Le => out.push_str("<="),
+            Tok::Gt => out.push('>'),
+            Tok::Ge => out.push_str(">="),
+            Tok::LParen => out.push('('),
+            Tok::RParen => out.push(')'),
+            Tok::LBracket => out.push('['),
+            Tok::RBracket => out.push(']'),
+            Tok::LBrace => out.push('{'),
+            Tok::RBrace => out.push('}'),
+            Tok::Comma => out.push(','),
+            Tok::Colon => out.push(':'),
+            Tok::Pipe => out.push('|'),
+            Tok::Star => out.push('*'),
+            Tok::DotDot => out.push_str(".."),
+            Tok::Dot => out.push('.'),
+            Tok::Dash => out.push('-'),
+            Tok::Arrow => out.push_str("->"),
+            Tok::BackArrow => out.push_str("<-"),
+        }
+    }
+    out
+}
+
+/// The stable 64-bit fingerprint of `text`: FNV-1a over [`normalize`].
+pub fn fingerprint(text: &str) -> u64 {
+    fnv1a(normalize(text).as_bytes())
+}
+
+/// Renders a fingerprint the way every operator surface does: 16 lowercase
+/// hex digits, zero-padded.
+pub fn format_fingerprint(fp: u64) -> String {
+    format!("{fp:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG3: &str = "START file=node:node_auto_index('short_name: wakeup.elf') \
+                        MATCH file -[:file_contains]-> n \
+                        WHERE n.short_name = 'id' RETURN n";
+
+    #[test]
+    fn literals_are_erased() {
+        let a = fingerprint(FIG3);
+        let b = fingerprint(
+            &FIG3
+                .replace("wakeup.elf", "vmlinux")
+                .replace("'id'", "'irq'"),
+        );
+        assert_eq!(a, b);
+        let norm = normalize(FIG3);
+        assert!(!norm.contains("wakeup"), "{norm}");
+        assert!(norm.contains('?'), "{norm}");
+    }
+
+    #[test]
+    fn int_literals_are_erased() {
+        let a = fingerprint(
+            "START n=node:node_auto_index('x: y') MATCH n -[:calls]-> m RETURN m LIMIT 10",
+        );
+        let b = fingerprint(
+            "START n=node:node_auto_index('x: z') MATCH n -[:calls]-> m RETURN m LIMIT 99",
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn whitespace_and_keyword_case_are_folded() {
+        let a = fingerprint("start n=node:node_auto_index('a: b')   return\n\t n");
+        let b = fingerprint("START n = node:node_auto_index('a: c') RETURN n");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn explain_prefix_is_dropped() {
+        let a = fingerprint(FIG3);
+        assert_eq!(a, fingerprint(&format!("EXPLAIN {FIG3}")));
+        assert_eq!(a, fingerprint(&format!("explain analyze {FIG3}")));
+    }
+
+    #[test]
+    fn identifiers_distinguish_queries() {
+        let a = fingerprint("START n=node:node_auto_index('a: b') MATCH n -[:calls]-> m RETURN m");
+        let b = fingerprint("START n=node:node_auto_index('a: b') MATCH n -[:reads]-> m RETURN m");
+        let c = fingerprint("START n=node:node_auto_index('a: b') MATCH n <-[:calls]- m RETURN m");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn unlexable_text_still_fingerprints() {
+        let a = fingerprint("MATCH @ broken");
+        let b = fingerprint("MATCH   @    broken");
+        assert_eq!(a, b);
+        // Case is preserved in the fallback (no token stream to fold).
+        assert_eq!(normalize("match @ x"), "match @ x");
+    }
+
+    #[test]
+    fn fnv1a_golden_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn golden_fingerprints_are_pinned() {
+        // Pinned values: a change here is a fingerprint-scheme break and
+        // invalidates any stored slow-query logs — bump deliberately.
+        let hop = "START n=node:node_auto_index('short_name: main') \
+                   MATCH n -[:calls]-> m RETURN m";
+        assert_eq!(
+            normalize(hop),
+            "START n = node : node_auto_index ( ? ) MATCH n - [ : calls ] -> m RETURN m"
+        );
+        assert_eq!(fingerprint(hop), 0xbb8c_f0bd_d9cf_ea43);
+        assert_eq!(format_fingerprint(fingerprint(hop)), "bb8cf0bdd9cfea43");
+        assert_eq!(format_fingerprint(0xab), "00000000000000ab");
+    }
+}

@@ -65,6 +65,7 @@
 pub mod ast;
 pub mod error;
 pub mod exec;
+pub mod fingerprint;
 pub mod lucene;
 pub mod parser;
 pub mod profile;
@@ -74,5 +75,6 @@ pub mod value;
 pub use ast::Query;
 pub use error::QueryError;
 pub use exec::{Engine, EngineOptions, PathSemantics, ResultSet};
+pub use fingerprint::{fingerprint, format_fingerprint, normalize};
 pub use profile::{OpProfile, QueryProfile};
 pub use value::Value;

@@ -16,11 +16,15 @@ use frappe_model::{EdgeType, Label, NodeType, PropKey, PropValue};
 /// Parses a complete query.
 pub fn parse(text: &str) -> Result<Query, QueryError> {
     let tokens = lex(text)?;
+    let normalized = crate::fingerprint::normalize_tokens(&tokens);
+    let fingerprint = crate::fingerprint::fnv1a(normalized.as_bytes());
     let mut p = Parser { tokens, pos: 0 };
-    let q = p.query()?;
+    let mut q = p.query()?;
     if p.pos != p.tokens.len() {
         return Err(p.err("unexpected trailing input"));
     }
+    q.fingerprint = fingerprint;
+    q.normalized = normalized;
     Ok(q)
 }
 
@@ -178,6 +182,9 @@ impl Parser {
                 skip,
                 limit,
             },
+            // Filled in by `parse` from the pre-parse token stream.
+            fingerprint: 0,
+            normalized: String::new(),
         })
     }
 

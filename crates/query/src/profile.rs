@@ -33,6 +33,10 @@ pub struct QueryProfile {
     pub total_ns: u64,
     /// Expansion steps consumed (deterministic work measure).
     pub steps: u64,
+    /// The query-shape fingerprint (see [`crate::fingerprint`]) — the key
+    /// under which this execution aggregates in `frappe-obs` query stats
+    /// and the slow-query log.
+    pub fingerprint: u64,
 }
 
 fn fmt_ns(ns: u64) -> String {
@@ -51,7 +55,7 @@ impl QueryProfile {
     /// Renders the annotated plan tree:
     ///
     /// ```text
-    /// Query  [3 rows, 42 steps, 1.20 ms]
+    /// Query fp=a3f1...  [3 rows, 42 steps, 1.20 ms]
     /// +- IndexLookup n <- short_name: main  [rows=1, 10.0 us, hits=1]
     /// +- Expand (2 nodes, 1 rels) via bound variable  [rows=3, 1.10 ms, candidates=1]
     /// `- Return 1 items  [rows=3, 2.0 us]
@@ -59,7 +63,8 @@ impl QueryProfile {
     pub fn render(&self) -> String {
         let final_rows = self.ops.last().map_or(0, |op| op.rows_out);
         let mut out = format!(
-            "Query  [{} rows, {} steps, {}]\n",
+            "Query fp={}  [{} rows, {} steps, {}]\n",
+            crate::fingerprint::format_fingerprint(self.fingerprint),
             final_rows,
             self.steps,
             fmt_ns(self.total_ns)
@@ -78,29 +83,43 @@ impl QueryProfile {
     /// Serializes the profile as JSON (hand-rendered, matching the
     /// workspace's zero-dependency conventions).
     pub fn to_json(&self) -> String {
-        let mut out = format!(
-            "{{\"total_ns\": {}, \"steps\": {}, \"ops\": [",
-            self.total_ns, self.steps
-        );
-        for (i, op) in self.ops.iter().enumerate() {
-            if i > 0 {
-                out.push_str(", ");
-            }
-            out.push_str(&format!(
-                "{{\"op\": \"{}\", \"detail\": \"{}\", \"rows\": {}, \"time_ns\": {}",
-                op.name,
-                json_escape(&op.detail),
-                op.rows_out,
-                op.time_ns
-            ));
-            for (k, v) in &op.extras {
-                out.push_str(&format!(", \"{k}\": {v}"));
-            }
-            out.push('}');
-        }
-        out.push_str("]}");
-        out
+        render_json(&self.ops, self.total_ns, self.steps, self.fingerprint)
     }
+}
+
+/// Renders a profile JSON object from borrowed parts (shared by
+/// [`QueryProfile::to_json`] and the executor's slow-query-log path, which
+/// has the operator list but no owned `QueryProfile`).
+pub(crate) fn render_json(
+    ops: &[OpProfile],
+    total_ns: u64,
+    steps: u64,
+    fingerprint: u64,
+) -> String {
+    let mut out = format!(
+        "{{\"fingerprint\": \"{}\", \"total_ns\": {}, \"steps\": {}, \"ops\": [",
+        crate::fingerprint::format_fingerprint(fingerprint),
+        total_ns,
+        steps
+    );
+    for (i, op) in ops.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{{\"op\": \"{}\", \"detail\": \"{}\", \"rows\": {}, \"time_ns\": {}",
+            op.name,
+            json_escape(&op.detail),
+            op.rows_out,
+            op.time_ns
+        ));
+        for (k, v) in &op.extras {
+            out.push_str(&format!(", \"{k}\": {v}"));
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
 }
 
 fn json_escape(s: &str) -> String {
@@ -140,13 +159,14 @@ mod tests {
             ],
             total_ns: 2_600_000,
             steps: 42,
+            fingerprint: 0xdead_beef,
         }
     }
 
     #[test]
     fn render_shows_rows_times_and_extras() {
         let text = sample().render();
-        assert!(text.starts_with("Query  [3 rows, 42 steps, 2.60 ms]"));
+        assert!(text.starts_with("Query fp=00000000deadbeef  [3 rows, 42 steps, 2.60 ms]"));
         assert!(text.contains("+- IndexLookup n <- short_name: main  [rows=1, 10.0 us, hits=1]"));
         assert!(text.contains("`- Return 1 items  [rows=3, 2.50 ms]"));
     }
@@ -154,7 +174,9 @@ mod tests {
     #[test]
     fn json_round_trips_fields() {
         let json = sample().to_json();
-        assert!(json.starts_with("{\"total_ns\": 2600000, \"steps\": 42"));
+        assert!(json.starts_with(
+            "{\"fingerprint\": \"00000000deadbeef\", \"total_ns\": 2600000, \"steps\": 42"
+        ));
         assert!(json.contains("\"op\": \"IndexLookup\""));
         assert!(json.contains("\"hits\": 1"));
     }

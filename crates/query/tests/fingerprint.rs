@@ -1,0 +1,154 @@
+//! Property tests for query fingerprinting: the fingerprint is a function
+//! of the query *shape* — invariant under literal substitution, whitespace
+//! layout, and keyword case; sensitive to structural differences.
+
+use frappe_harness::proptest_lite as pt;
+use frappe_query::{fingerprint, normalize, Query};
+
+/// A query template with two literal slots.
+fn template(lit_a: &str, lit_b: &str) -> String {
+    format!(
+        "START n=node:node_auto_index('short_name: {lit_a}') \
+         MATCH n -[:calls*1..3]-> m WHERE m.short_name = '{lit_b}' RETURN m"
+    )
+}
+
+fn literal() -> pt::Strategy<String> {
+    // Identifier-ish literal payloads (no quote characters, non-empty).
+    pt::string_of("abcdefghijklmnopqrstuvwxyz0123456789_.", 1, 12)
+}
+
+#[test]
+fn prop_fingerprint_invariant_under_literal_substitution() {
+    let strategy = pt::tuple2(
+        pt::tuple2(literal(), literal()),
+        pt::tuple2(literal(), literal()),
+    );
+    pt::check(
+        "fingerprint_literal_substitution",
+        &strategy,
+        |((a1, b1), (a2, b2))| {
+            let x = template(a1, b1);
+            let y = template(a2, b2);
+            if fingerprint(&x) != fingerprint(&y) {
+                return Err(format!(
+                    "literals changed the fingerprint:\n  {}\n  {}",
+                    normalize(&x),
+                    normalize(&y)
+                ));
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn prop_fingerprint_invariant_under_whitespace_and_case() {
+    // Pads token gaps with random whitespace runs and flips keyword case
+    // per a random mask; both rewrites must preserve the fingerprint.
+    let strategy = pt::tuple2(
+        pt::vec_of(pt::u8_range(0, 5), 1, 24),
+        pt::vec_of(pt::any_bool(), 1, 12),
+    );
+    pt::check(
+        "fingerprint_whitespace_and_case",
+        &strategy,
+        |(pads, case_mask)| {
+            let base = template("main", "vfs_read");
+            let reference = fingerprint(&base);
+
+            // Rewrite 1: every inter-token space becomes 1..=6 random
+            // whitespace characters.
+            let ws = [" ", "  ", "\t", "\n", " \t ", "\n  "];
+            let mut padded = String::new();
+            let mut i = 0;
+            for c in base.chars() {
+                if c == ' ' {
+                    padded.push_str(ws[pads[i % pads.len()] as usize]);
+                    i += 1;
+                } else {
+                    padded.push(c);
+                }
+            }
+            if fingerprint(&padded) != reference {
+                return Err(format!("whitespace changed the fingerprint: {padded:?}"));
+            }
+
+            // Rewrite 2: flip the case of whole keywords per the mask.
+            let mut cased = padded.clone();
+            for (k, keyword) in ["START", "MATCH", "WHERE", "RETURN"].iter().enumerate() {
+                if case_mask[k % case_mask.len()] {
+                    cased = cased.replace(keyword, &keyword.to_lowercase());
+                }
+            }
+            if fingerprint(&cased) != reference {
+                return Err(format!("keyword case changed the fingerprint: {cased:?}"));
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn prop_structurally_different_queries_get_distinct_fingerprints() {
+    // Vary the edge type and direction: any structural difference must
+    // change the fingerprint (FNV collisions over this space would be
+    // astronomically unlucky — a failure here is a normalization bug, not
+    // hash misfortune). Hop *bounds* are integer literals, so varying them
+    // must NOT change the fingerprint.
+    let strategy = pt::tuple2(
+        pt::tuple2(pt::u8_range(0, 2), pt::u8_range(0, 2)),
+        pt::tuple2(
+            pt::tuple2(pt::any_bool(), pt::any_bool()),
+            pt::u8_range(1, 3),
+        ),
+    );
+    pt::check(
+        "fingerprint_structural_distinctness",
+        &strategy,
+        |((e1, e2), ((d1, d2), hops))| {
+            let edges = ["calls", "file_contains", "reads"];
+            let build = |e: u8, fwd: bool, h: u8| {
+                let pattern = if fwd {
+                    format!("n -[:{}*1..{}]-> m", edges[e as usize], h)
+                } else {
+                    format!("n <-[:{}*1..{}]- m", edges[e as usize], h)
+                };
+                format!(
+                    "START n=node:node_auto_index('short_name: main') \
+                     MATCH {pattern} RETURN m"
+                )
+            };
+            let same_shape = (e1 == e2) && (d1 == d2);
+            let fa = fingerprint(&build(*e1, *d1, *hops));
+            let fb = fingerprint(&build(*e2, *d2, *hops));
+            if same_shape && fa != fb {
+                return Err("identical shapes got distinct fingerprints".into());
+            }
+            if !same_shape && fa == fb {
+                return Err(format!(
+                    "distinct shapes collided: {} vs {}",
+                    normalize(&build(*e1, *d1, *hops)),
+                    normalize(&build(*e2, *d2, *hops))
+                ));
+            }
+            // Hop-bound changes are literal changes: same fingerprint.
+            if fingerprint(&build(*e1, *d1, 1)) != fingerprint(&build(*e1, *d1, 3)) {
+                return Err("hop bound (a literal) changed the fingerprint".into());
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn parsed_query_carries_normalized_form_and_fingerprint() {
+    let text = template("main", "vfs_read");
+    let q = Query::parse(&text).unwrap();
+    assert_eq!(q.fingerprint, fingerprint(&text));
+    assert_eq!(q.normalized, normalize(&text));
+    assert!(q.normalized.contains('?'), "{}", q.normalized);
+    // EXPLAIN ANALYZE of the same text shares the fingerprint.
+    let qe = Query::parse(&format!("EXPLAIN ANALYZE {text}")).unwrap();
+    assert_eq!(qe.fingerprint, q.fingerprint);
+}

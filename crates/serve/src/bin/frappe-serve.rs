@@ -1,0 +1,181 @@
+//! `frappe-serve` — the long-running Frappé query server.
+//!
+//! ```text
+//! # Generate a synthetic kernel graph and persist it as a snapshot:
+//! frappe-serve --synth 0.05 --write-snapshot /tmp/kernel.fsnap
+//!
+//! # Serve the snapshot (zero-copy mapped) with the exporter:
+//! FRAPPE_SLOWLOG_MS=10 frappe-serve --snapshot /tmp/kernel.fsnap \
+//!     --listen 127.0.0.1:7687 --metrics 127.0.0.1:9187
+//!
+//! # Then: send newline-delimited queries to :7687, scrape :9187/metrics.
+//! ```
+//!
+//! Flags:
+//!
+//! * `--snapshot PATH` — mmap-open an existing snapshot and serve it.
+//! * `--synth SCALE` — build a synthetic graph at `SCALE` (e.g. `0.05`)
+//!   instead; `--synth tiny` for the minimal test graph.
+//! * `--write-snapshot PATH` — write the built graph as a snapshot and
+//!   exit (snapshot factory mode; combine with `--synth`).
+//! * `--listen ADDR` — query-protocol bind address (default
+//!   `127.0.0.1:7687`; port `0` for OS-assigned).
+//! * `--metrics ADDR` — exporter bind address (default `127.0.0.1:9187`).
+//! * `--addr-file PATH` — write the two bound addresses (`query=…`,
+//!   `metrics=…` lines) once listening, so scripts can use `:0` ports.
+//! * `--obs LEVEL` — observability level (`off`/`counters`/`trace`,
+//!   default `counters`; the server exists to be observed).
+//! * `--slowlog-ms N` — arm the slow-query log at `N` ms (overrides
+//!   `FRAPPE_SLOWLOG_MS`).
+
+use frappe_serve::{ServeGraph, Server, ServerOptions};
+use frappe_store::{snapshot, MappedGraph};
+use std::process::ExitCode;
+
+struct Args {
+    snapshot: Option<String>,
+    synth: Option<String>,
+    write_snapshot: Option<String>,
+    listen: String,
+    metrics: String,
+    addr_file: Option<String>,
+    obs: String,
+    slowlog_ms: Option<u64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        snapshot: None,
+        synth: None,
+        write_snapshot: None,
+        listen: "127.0.0.1:7687".into(),
+        metrics: "127.0.0.1:9187".into(),
+        addr_file: None,
+        obs: "counters".into(),
+        slowlog_ms: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--snapshot" => args.snapshot = Some(value("--snapshot")?),
+            "--synth" => args.synth = Some(value("--synth")?),
+            "--write-snapshot" => args.write_snapshot = Some(value("--write-snapshot")?),
+            "--listen" => args.listen = value("--listen")?,
+            "--metrics" => args.metrics = value("--metrics")?,
+            "--addr-file" => args.addr_file = Some(value("--addr-file")?),
+            "--obs" => args.obs = value("--obs")?,
+            "--slowlog-ms" => {
+                args.slowlog_ms = Some(
+                    value("--slowlog-ms")?
+                        .parse()
+                        .map_err(|_| "--slowlog-ms needs an integer".to_string())?,
+                )
+            }
+            "--help" | "-h" => {
+                return Err("usage: frappe-serve [--snapshot PATH | --synth SCALE] \
+                            [--write-snapshot PATH] [--listen ADDR] [--metrics ADDR] \
+                            [--addr-file PATH] [--obs LEVEL] [--slowlog-ms N]"
+                    .into())
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    if args.snapshot.is_some() && args.synth.is_some() {
+        return Err("--snapshot and --synth are mutually exclusive".into());
+    }
+    if args.snapshot.is_none() && args.synth.is_none() {
+        return Err("one of --snapshot or --synth is required".into());
+    }
+    Ok(args)
+}
+
+fn build_synth(spec: &str) -> Result<frappe_store::GraphStore, String> {
+    let spec = if spec == "tiny" {
+        frappe_synth::SynthSpec::tiny()
+    } else {
+        let scale: f64 = spec
+            .parse()
+            .map_err(|_| format!("--synth wants a scale factor or 'tiny', got {spec:?}"))?;
+        frappe_synth::SynthSpec::scaled(scale)
+    };
+    let mut g = frappe_synth::generate(&spec).graph;
+    // A synth-built server is a demo/test deployment: track the page cache
+    // (and start it cold) so the exporter's `frappe_store_pagecache_*`
+    // series show the cold→warm transition the paper's Table 5 is about.
+    // Mapped snapshots read zero-copy and skip the simulated cache.
+    g.unfreeze();
+    g.set_cache_mode(frappe_store::CacheMode::Tracked);
+    g.set_io_cost(frappe_store::IoCostModel::default());
+    g.freeze();
+    g.make_cold();
+    Ok(g)
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+
+    let level = frappe_obs::ObsLevel::parse(&args.obs)
+        .ok_or_else(|| format!("bad --obs level {:?}", args.obs))?;
+    frappe_obs::set_level(level);
+    if let Some(ms) = args.slowlog_ms {
+        frappe_obs::slowlog().set_threshold_ms(Some(ms));
+    }
+
+    // Snapshot factory mode: build, write, exit.
+    if let Some(path) = &args.write_snapshot {
+        let spec = args
+            .synth
+            .as_deref()
+            .ok_or("--write-snapshot needs --synth (nothing to snapshot)")?;
+        let g = build_synth(spec)?;
+        snapshot::save(&g, std::path::Path::new(path))
+            .map_err(|e| format!("writing snapshot {path}: {e}"))?;
+        eprintln!(
+            "frappe-serve: wrote snapshot {path} ({} nodes, {} edges)",
+            frappe_store::GraphView::node_count(&g),
+            frappe_store::GraphView::edge_count(&g)
+        );
+        return Ok(());
+    }
+
+    let graph = if let Some(path) = &args.snapshot {
+        let mapped = MappedGraph::open(std::path::Path::new(path))
+            .map_err(|e| format!("mapping snapshot {path}: {e}"))?;
+        ServeGraph::Mapped(mapped)
+    } else {
+        ServeGraph::Owned(build_synth(args.synth.as_deref().unwrap())?)
+    };
+
+    let server = Server::start(graph, &args.listen, &args.metrics, ServerOptions::default())
+        .map_err(|e| format!("binding listeners: {e}"))?;
+    eprintln!(
+        "frappe-serve: queries on {}, metrics on http://{}/metrics (obs={:?})",
+        server.query_addr(),
+        server.metrics_addr(),
+        frappe_obs::level()
+    );
+
+    if let Some(path) = &args.addr_file {
+        let body = format!(
+            "query={}\nmetrics={}\n",
+            server.query_addr(),
+            server.metrics_addr()
+        );
+        std::fs::write(path, body).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+
+    server.wait();
+    eprintln!("frappe-serve: shut down");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("frappe-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

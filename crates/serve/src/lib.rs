@@ -1,0 +1,485 @@
+//! # frappe-serve
+//!
+//! A long-running query server: the paper's deployment shape (Section 6 —
+//! one shared server answering IDE and code-search queries against an
+//! immutable graph snapshot) plus the operational surface that makes it
+//! observable in production:
+//!
+//! * a newline-delimited TCP **query protocol** — one query per line, one
+//!   JSON response per line — answered by the `frappe-query` engine
+//!   against either an owned [`GraphStore`] or a zero-copy
+//!   [`MappedGraph`] snapshot;
+//! * a std-only **HTTP exporter** serving `GET /metrics` (Prometheus text
+//!   exposition), `/healthz`, `/slowlog` (JSONL), and `/queries`
+//!   (per-fingerprint statistics, JSON).
+//!
+//! Both listeners are plain [`std::net::TcpListener`] accept loops with a
+//! thread per connection — no async runtime, no dependencies, consistent
+//! with the workspace's zero-dependency rule. Shutdown is cooperative: a
+//! `!shutdown` admin line (or [`Server::shutdown`]) flips a flag and wakes
+//! both accept loops so every thread joins cleanly.
+
+use frappe_query::{Engine, Query, ResultSet};
+use frappe_store::{GraphStore, GraphView, MappedGraph};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The graph a server answers queries against: built in memory or mapped
+/// from a snapshot file.
+pub enum ServeGraph {
+    /// An owned, frozen [`GraphStore`].
+    Owned(GraphStore),
+    /// A zero-copy snapshot reader.
+    Mapped(MappedGraph),
+}
+
+impl ServeGraph {
+    /// Live node count (for `/healthz`).
+    pub fn node_count(&self) -> usize {
+        match self {
+            ServeGraph::Owned(g) => g.node_count(),
+            ServeGraph::Mapped(g) => g.node_count(),
+        }
+    }
+
+    /// Live edge count (for `/healthz`).
+    pub fn edge_count(&self) -> usize {
+        match self {
+            ServeGraph::Owned(g) => g.edge_count(),
+            ServeGraph::Mapped(g) => g.edge_count(),
+        }
+    }
+
+    fn run(&self, engine: &Engine, query: &Query) -> Result<ResultSet, frappe_query::QueryError> {
+        match self {
+            ServeGraph::Owned(g) => engine.run(g, query),
+            ServeGraph::Mapped(g) => engine.run(g, query),
+        }
+    }
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Result rows returned per response line; the remainder is dropped
+    /// and the response flagged `"truncated": true` (statistics still see
+    /// the full row count).
+    pub max_response_rows: usize,
+    /// Per-connection read timeout — an idle client cannot pin a handler
+    /// thread forever.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerOptions {
+    fn default() -> ServerOptions {
+        ServerOptions {
+            max_response_rows: 1_000,
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+struct Inner {
+    graph: ServeGraph,
+    engine: Engine,
+    options: ServerOptions,
+    stop: AtomicBool,
+    query_addr: SocketAddr,
+    metrics_addr: SocketAddr,
+}
+
+impl Inner {
+    fn request_stop(&self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake both accept loops with throwaway connections so they
+        // observe the flag without waiting for real traffic.
+        let _ = TcpStream::connect(self.query_addr);
+        let _ = TcpStream::connect(self.metrics_addr);
+    }
+}
+
+/// A running server: two listeners plus their accept threads.
+pub struct Server {
+    inner: Arc<Inner>,
+    accept_threads: Vec<JoinHandle<()>>,
+}
+
+// The accept/handler threads share `&ServeGraph` and `&Engine`; both are
+// lock-free readers (the mmap page cache is atomics-based), which this
+// assertion pins down at compile time.
+const _: fn() = || {
+    fn assert_sync<T: Sync + Send>() {}
+    assert_sync::<Inner>();
+};
+
+impl Server {
+    /// Binds the query and metrics listeners (use port `0` for an
+    /// OS-assigned port) and starts their accept loops.
+    pub fn start(
+        graph: ServeGraph,
+        query_addr: &str,
+        metrics_addr: &str,
+        options: ServerOptions,
+    ) -> std::io::Result<Server> {
+        let query_listener = TcpListener::bind(query_addr)?;
+        let metrics_listener = TcpListener::bind(metrics_addr)?;
+        let inner = Arc::new(Inner {
+            graph,
+            engine: Engine::new(),
+            options,
+            stop: AtomicBool::new(false),
+            query_addr: query_listener.local_addr()?,
+            metrics_addr: metrics_listener.local_addr()?,
+        });
+
+        let mut accept_threads = Vec::new();
+        {
+            let inner = Arc::clone(&inner);
+            accept_threads.push(std::thread::spawn(move || {
+                accept_loop(&inner, query_listener, handle_query_conn);
+            }));
+        }
+        {
+            let inner = Arc::clone(&inner);
+            accept_threads.push(std::thread::spawn(move || {
+                accept_loop(&inner, metrics_listener, handle_http_conn);
+            }));
+        }
+
+        Ok(Server {
+            inner,
+            accept_threads,
+        })
+    }
+
+    /// The bound query-protocol address (resolves `:0` binds).
+    pub fn query_addr(&self) -> SocketAddr {
+        self.inner.query_addr
+    }
+
+    /// The bound HTTP exporter address.
+    pub fn metrics_addr(&self) -> SocketAddr {
+        self.inner.metrics_addr
+    }
+
+    /// Whether a shutdown has been requested (by [`Server::shutdown`] or a
+    /// client's `!shutdown` line).
+    pub fn stopping(&self) -> bool {
+        self.inner.stop.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown and joins the accept threads.
+    pub fn shutdown(mut self) {
+        self.inner.request_stop();
+        for t in self.accept_threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Blocks until a shutdown is requested, then joins the accept
+    /// threads (the binary's main loop).
+    pub fn wait(mut self) {
+        for t in self.accept_threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(inner: &Arc<Inner>, listener: TcpListener, handler: fn(&Inner, TcpStream)) {
+    loop {
+        let conn = listener.accept();
+        if inner.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match conn {
+            Ok((stream, _)) => {
+                let _ = stream.set_read_timeout(Some(inner.options.read_timeout));
+                let inner = Arc::clone(inner);
+                std::thread::spawn(move || handler(&inner, stream));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Escapes a string for a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Runs one query line and renders the one-line JSON response.
+///
+/// Success: `{"ok": true, "fingerprint": "…", "rows": n, "steps": n,
+/// "total_ns": n, "columns": […], "data": [[…]]}` (plus
+/// `"truncated": true` when rows were dropped). Failure: `{"ok": false,
+/// "fingerprint": "…", "error": "…"}` — the fingerprint of unparsable
+/// text still lands in the statistics via the normalize fallback.
+pub fn answer_query_line(
+    graph: &ServeGraph,
+    engine: &Engine,
+    options: &ServerOptions,
+    text: &str,
+) -> String {
+    let started = std::time::Instant::now();
+    let query = match Query::parse(text) {
+        Ok(q) => q,
+        Err(e) => {
+            return format!(
+                "{{\"ok\": false, \"fingerprint\": \"{}\", \"error\": \"{}\"}}",
+                frappe_query::format_fingerprint(frappe_query::fingerprint(text)),
+                json_escape(&e.to_string())
+            );
+        }
+    };
+    let fp = frappe_query::format_fingerprint(query.fingerprint);
+    match graph.run(engine, &query) {
+        Ok(result) => {
+            let total_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let truncated = result.rows.len() > options.max_response_rows;
+            let mut out = format!(
+                "{{\"ok\": true, \"fingerprint\": \"{fp}\", \"rows\": {}, \"steps\": {}, \
+                 \"total_ns\": {total_ns}, \"columns\": [",
+                result.rows.len(),
+                result.steps
+            );
+            for (i, c) in result.columns.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{}\"", json_escape(c)));
+            }
+            out.push_str("], \"data\": [");
+            for (i, row) in result
+                .rows
+                .iter()
+                .take(options.max_response_rows)
+                .enumerate()
+            {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push('[');
+                for (j, v) in row.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!("\"{}\"", json_escape(&v.to_string())));
+                }
+                out.push(']');
+            }
+            out.push(']');
+            if truncated {
+                out.push_str(", \"truncated\": true");
+            }
+            out.push('}');
+            out
+        }
+        Err(e) => format!(
+            "{{\"ok\": false, \"fingerprint\": \"{fp}\", \"error\": \"{}\"}}",
+            json_escape(&e.to_string())
+        ),
+    }
+}
+
+fn handle_query_conn(inner: &Inner, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+        if inner.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let text = line.trim();
+        if text.is_empty() {
+            continue;
+        }
+        if text == "!shutdown" {
+            let _ = writeln!(writer, "{{\"ok\": true, \"shutdown\": true}}");
+            inner.request_stop();
+            return;
+        }
+        let response = answer_query_line(&inner.graph, &inner.engine, &inner.options, text);
+        if writeln!(writer, "{response}").is_err() {
+            return;
+        }
+    }
+}
+
+/// Renders one HTTP/1.1 response with `Connection: close`.
+fn http_response(status: &str, content_type: &str, body: &str) -> String {
+    format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+/// Answers one exporter request path (shared by the HTTP handler and the
+/// endpoint tests).
+pub fn answer_http_path(graph: &ServeGraph, path: &str) -> (String, String, String) {
+    match path {
+        "/metrics" => {
+            let body = frappe_obs::render_prometheus(
+                &frappe_obs::registry().snapshot(),
+                &frappe_obs::query_stats().snapshot(),
+                frappe_obs::SlowLogStats::of(frappe_obs::slowlog()),
+            );
+            (
+                "200 OK".into(),
+                "text/plain; version=0.0.4; charset=utf-8".into(),
+                body,
+            )
+        }
+        "/healthz" => (
+            "200 OK".into(),
+            "application/json".into(),
+            format!(
+                "{{\"status\": \"ok\", \"nodes\": {}, \"edges\": {}}}\n",
+                graph.node_count(),
+                graph.edge_count()
+            ),
+        ),
+        "/slowlog" => (
+            "200 OK".into(),
+            "application/x-ndjson".into(),
+            frappe_obs::slowlog().to_jsonl(),
+        ),
+        "/queries" => {
+            let mut body = frappe_obs::queries_to_json(&frappe_obs::query_stats().snapshot());
+            body.push('\n');
+            ("200 OK".into(), "application/json".into(), body)
+        }
+        _ => (
+            "404 Not Found".into(),
+            "text/plain".into(),
+            format!("no such endpoint: {path}\n"),
+        ),
+    }
+}
+
+fn handle_http_conn(inner: &Inner, mut stream: TcpStream) {
+    // Read the request head (we only need the request line; everything up
+    // to the blank line is consumed so the client sees a clean close).
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 16 * 1024 {
+                    break;
+                }
+            }
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or("/"));
+
+    let response = if method != "GET" {
+        http_response("405 Method Not Allowed", "text/plain", "GET only\n")
+    } else {
+        let (status, content_type, body) = answer_http_path(&inner.graph, path);
+        http_response(&status, &content_type, &body)
+    };
+    let _ = stream.write_all(response.as_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frappe_model::{EdgeType, NodeType};
+
+    fn tiny_graph() -> ServeGraph {
+        let mut g = GraphStore::new();
+        let main = g.add_node(NodeType::Function, "main");
+        let helper = g.add_node(NodeType::Function, "helper");
+        g.add_edge(main, EdgeType::Calls, helper);
+        g.freeze();
+        ServeGraph::Owned(g)
+    }
+
+    #[test]
+    fn answer_query_line_renders_rows_and_errors() {
+        let g = tiny_graph();
+        let engine = Engine::new();
+        let opts = ServerOptions::default();
+        let ok = answer_query_line(
+            &g,
+            &engine,
+            &opts,
+            "START n=node:node_auto_index('short_name: main') \
+             MATCH n -[:calls]-> m RETURN m.short_name",
+        );
+        assert!(ok.starts_with("{\"ok\": true, \"fingerprint\": \""), "{ok}");
+        assert!(ok.contains("\"rows\": 1"), "{ok}");
+        assert!(ok.contains("helper"), "{ok}");
+        let err = answer_query_line(&g, &engine, &opts, "MATCH ???");
+        assert!(err.starts_with("{\"ok\": false"), "{err}");
+        assert!(err.contains("\"error\": \""), "{err}");
+    }
+
+    #[test]
+    fn answer_query_line_truncates_large_results() {
+        let mut g = GraphStore::new();
+        let hub = g.add_node(NodeType::Function, "hub");
+        for i in 0..10 {
+            let callee = g.add_node(NodeType::Function, &format!("callee{i}"));
+            g.add_edge(hub, EdgeType::Calls, callee);
+        }
+        g.freeze();
+        let g = ServeGraph::Owned(g);
+        let opts = ServerOptions {
+            max_response_rows: 3,
+            ..Default::default()
+        };
+        let out = answer_query_line(
+            &g,
+            &Engine::new(),
+            &opts,
+            "START n=node:node_auto_index('short_name: hub') \
+             MATCH n -[:calls]-> m RETURN m",
+        );
+        assert!(out.contains("\"rows\": 10"), "{out}");
+        assert!(out.contains("\"truncated\": true"), "{out}");
+        assert_eq!(out.matches('[').count(), 2 + 3, "columns + 3 rows: {out}");
+    }
+
+    #[test]
+    fn http_endpoints_render() {
+        let g = tiny_graph();
+        let (status, _, body) = answer_http_path(&g, "/healthz");
+        assert_eq!(status, "200 OK");
+        assert!(body.contains("\"nodes\": 2"), "{body}");
+        let (status, ct, body) = answer_http_path(&g, "/metrics");
+        assert_eq!(status, "200 OK");
+        assert!(ct.starts_with("text/plain"));
+        frappe_obs::validate_exposition(&body).unwrap();
+        let (status, _, _) = answer_http_path(&g, "/nope");
+        assert_eq!(status, "404 Not Found");
+    }
+}

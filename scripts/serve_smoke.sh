@@ -1,0 +1,144 @@
+#!/usr/bin/env bash
+# End-to-end serving smoke: build a tiny synthetic snapshot with
+# frappe-serve's factory mode, serve it (zero-copy mapped) and then serve
+# the owned tracked-cache build, drive a scripted query batch over the
+# line protocol, scrape /metrics, and assert the observability surfaces
+# are populated: query counters per fingerprint, pagecache hit/fault
+# counters, and a slow-query log filled by FRAPPE_SLOWLOG_MS=0.
+#
+# Dependency-free on purpose: all TCP traffic goes through bash's
+# /dev/tcp, so the script runs anywhere bash does (no curl, no nc).
+# Scrapes land in $FRAPPE_BENCH_DIR (default target/frappe-bench) as
+# SERVE_*.txt for CI artifact upload.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT_DIR="${FRAPPE_BENCH_DIR:-target/frappe-bench}"
+mkdir -p "$OUT_DIR"
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  [[ -n "$SERVER_PID" ]] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "==> cargo build --release --offline -p frappe-serve"
+cargo build -q --release --offline -p frappe-serve
+BIN=target/release/frappe-serve
+
+# The paper's Figure 3 code search (crates/core/src/queries.rs), against
+# the landmarks the tiny synth spec plants.
+FIG3_QUERY="START m=node:node_auto_index('short_name: wakeup.elf') MATCH m -[:compiled_from|linked_from*]-> f WITH distinct f MATCH f -[:file_contains]-> (n:field{short_name: 'id'}) RETURN n"
+
+# Sends newline-delimited queries from stdin to the query port, echoing
+# one response line per query; asserts every response is ok.
+run_query_batch() {
+  local host="$1" port="$2"
+  exec 3<>"/dev/tcp/$host/$port"
+  local query response
+  while IFS= read -r query; do
+    printf '%s\n' "$query" >&3
+    IFS= read -r response <&3
+    printf '%s\n' "$response"
+    case "$response" in
+      '{"ok": true'*) ;;
+      *)
+        echo "serve_smoke: query failed: $response" >&2
+        return 1
+        ;;
+    esac
+  done
+  exec 3>&- 3<&-
+}
+
+# GET a path from the exporter, body only (headers stripped at the first
+# blank line).
+http_get_body() {
+  local host="$1" port="$2" path="$3"
+  exec 4<>"/dev/tcp/$host/$port"
+  printf 'GET %s HTTP/1.1\r\nHost: smoke\r\n\r\n' "$path" >&4
+  sed -e '1,/^\r*$/d' <&4
+  exec 4>&- 4<&-
+}
+
+wait_for_addr_file() {
+  local file="$1"
+  for _ in $(seq 1 100); do
+    [[ -s "$file" ]] && return 0
+    sleep 0.1
+  done
+  echo "serve_smoke: server never wrote $file" >&2
+  return 1
+}
+
+start_server() {
+  # args: extra frappe-serve flags; sets QHOST/QPORT/MHOST/MPORT/SERVER_PID
+  local addr_file="$WORK/addrs.$RANDOM"
+  FRAPPE_SLOWLOG_MS=0 "$BIN" "$@" \
+    --listen 127.0.0.1:0 --metrics 127.0.0.1:0 --addr-file "$addr_file" &
+  SERVER_PID=$!
+  wait_for_addr_file "$addr_file"
+  local query_addr metrics_addr
+  query_addr="$(sed -n 's/^query=//p' "$addr_file")"
+  metrics_addr="$(sed -n 's/^metrics=//p' "$addr_file")"
+  QHOST="${query_addr%:*}" QPORT="${query_addr##*:}"
+  MHOST="${metrics_addr%:*}" MPORT="${metrics_addr##*:}"
+}
+
+stop_server() {
+  exec 3<>"/dev/tcp/$QHOST/$QPORT"
+  printf '!shutdown\n' >&3
+  local bye
+  IFS= read -r bye <&3 || true
+  exec 3>&- 3<&- || true
+  wait "$SERVER_PID"
+  SERVER_PID=""
+}
+
+assert_grep() {
+  local pattern="$1" file="$2" what="$3"
+  if ! grep -Eq "$pattern" "$file"; then
+    echo "serve_smoke: expected $what (pattern: $pattern) in $file" >&2
+    exit 1
+  fi
+}
+
+# Nonzero-valued sample line for a metric prefix: "name... <not 0>".
+assert_nonzero_metric() {
+  local name="$1" file="$2"
+  if ! grep -E "^${name}(\{[^}]*\})? [0-9]" "$file" | grep -Evq ' 0$'; then
+    echo "serve_smoke: expected a nonzero $name sample in $file" >&2
+    exit 1
+  fi
+}
+
+echo "==> snapshot factory: frappe-serve --synth tiny --write-snapshot"
+"$BIN" --synth tiny --write-snapshot "$WORK/tiny.fsnap"
+[[ -s "$WORK/tiny.fsnap" ]]
+
+echo "==> phase 1: serve the mapped snapshot"
+start_server --snapshot "$WORK/tiny.fsnap"
+for _ in 1 2 3; do echo "$FIG3_QUERY"; done | run_query_batch "$QHOST" "$QPORT" >"$WORK/responses_mapped.txt"
+assert_grep '"rows": [1-9]' "$WORK/responses_mapped.txt" "rows from the mapped snapshot"
+
+http_get_body "$MHOST" "$MPORT" /metrics >"$OUT_DIR/SERVE_metrics_scrape.txt"
+http_get_body "$MHOST" "$MPORT" /slowlog >"$OUT_DIR/SERVE_slowlog.jsonl"
+http_get_body "$MHOST" "$MPORT" /healthz >"$WORK/healthz.json"
+assert_grep '"status": "ok"' "$WORK/healthz.json" "healthy server"
+assert_nonzero_metric "frappe_query_executions_total" "$OUT_DIR/SERVE_metrics_scrape.txt"
+assert_nonzero_metric "frappe_query_runs" "$OUT_DIR/SERVE_metrics_scrape.txt"
+assert_nonzero_metric "frappe_slowlog_recorded_total" "$OUT_DIR/SERVE_metrics_scrape.txt"
+assert_grep '"fingerprint": "[0-9a-f]{16}"' "$OUT_DIR/SERVE_slowlog.jsonl" "slow-log records at threshold 0"
+stop_server
+
+echo "==> phase 2: serve the owned synth graph (tracked page cache)"
+start_server --synth tiny
+for _ in 1 2 3 4 5; do echo "$FIG3_QUERY"; done | run_query_batch "$QHOST" "$QPORT" >/dev/null
+http_get_body "$MHOST" "$MPORT" /metrics >"$OUT_DIR/SERVE_metrics_scrape_synth.txt"
+assert_nonzero_metric "frappe_store_pagecache_faults" "$OUT_DIR/SERVE_metrics_scrape_synth.txt"
+assert_nonzero_metric "frappe_store_pagecache_hits" "$OUT_DIR/SERVE_metrics_scrape_synth.txt"
+assert_nonzero_metric "frappe_query_executions_total" "$OUT_DIR/SERVE_metrics_scrape_synth.txt"
+stop_server
+
+echo "serve_smoke: OK (scrapes in $OUT_DIR/SERVE_*.txt)"

@@ -63,4 +63,10 @@ cargo test -q --release -p frappe-bench --test obs_overhead "${CARGO_FLAGS[@]}"
 echo "==> cargo run --release -p frappe-bench --bin obs_smoke ${CARGO_FLAGS[*]}"
 cargo run -q --release -p frappe-bench --bin obs_smoke "${CARGO_FLAGS[@]}"
 
+# Serving smoke: snapshot factory → mmap-served queries over the line
+# protocol → /metrics scrape with populated query/pagecache counters and
+# slow-query log (writes SERVE_*.txt scrape artifacts).
+echo "==> scripts/serve_smoke.sh"
+scripts/serve_smoke.sh
+
 echo "verify: OK"

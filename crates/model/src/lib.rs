@@ -46,7 +46,7 @@ pub use edge_type::{EdgeGroup, EdgeType};
 pub use ids::{EdgeId, FileId, NodeId, VersionId};
 pub use label::{Label, LabelSet};
 pub use node_type::{NodeGroup, NodeType};
-pub use props::{PropKey, PropMap};
+pub use props::{PropKey, PropKind, PropMap};
 pub use qualifiers::{Qualifier, Qualifiers};
 pub use srcloc::{SrcPos, SrcRange};
 pub use value::PropValue;

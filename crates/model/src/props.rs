@@ -64,6 +64,34 @@ pub enum PropKey {
     LinkOrder = 21,
 }
 
+/// The value type a [`PropKey`] stores (paper Table 2): the catalog the
+/// query binder consults to type-check property accesses and literals
+/// without looking at any concrete graph.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PropKind {
+    /// Integer-valued (`VALUE`, all source ranges, `BIT_WIDTH`, `INDEX`,
+    /// `LINK_ORDER`).
+    Int,
+    /// String-valued (`SHORT_NAME`, `NAME`, `LONG_NAME`, `QUALIFIERS`).
+    Str,
+    /// Boolean flags (`VARIADIC`, `VIRTUAL`, `IN_MACRO`).
+    Bool,
+    /// Integer-list valued (`ARRAY_LENGTHS`).
+    IntList,
+}
+
+impl PropKind {
+    /// Lower-case type name for error messages (`int`, `str`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            PropKind::Int => "int",
+            PropKind::Str => "str",
+            PropKind::Bool => "bool",
+            PropKind::IntList => "int list",
+        }
+    }
+}
+
 impl PropKey {
     /// All keys in discriminant order.
     pub const ALL: [PropKey; 22] = [
@@ -141,6 +169,32 @@ impl PropKey {
             _ => norm,
         };
         Self::ALL.iter().copied().find(|k| k.name() == norm)
+    }
+
+    /// The value type this key stores (Table 2's schema, as consumed by the
+    /// query binder).
+    pub fn kind(self) -> PropKind {
+        match self {
+            PropKey::ShortName | PropKey::Name | PropKey::LongName | PropKey::Qualifiers => {
+                PropKind::Str
+            }
+            PropKey::Variadic | PropKey::Virtual | PropKey::InMacro => PropKind::Bool,
+            PropKey::ArrayLengths => PropKind::IntList,
+            PropKey::Value
+            | PropKey::UseFileId
+            | PropKey::UseStartLine
+            | PropKey::UseStartCol
+            | PropKey::UseEndLine
+            | PropKey::UseEndCol
+            | PropKey::NameFileId
+            | PropKey::NameStartLine
+            | PropKey::NameStartCol
+            | PropKey::NameEndLine
+            | PropKey::NameEndCol
+            | PropKey::BitWidth
+            | PropKey::Index
+            | PropKey::LinkOrder => PropKind::Int,
+        }
     }
 }
 
@@ -301,6 +355,21 @@ mod tests {
             Some(PropKey::NameStartCol)
         );
         assert_eq!(PropKey::parse("frobnicate"), None);
+    }
+
+    #[test]
+    fn every_key_has_a_kind() {
+        // The binder's catalog: spot-check each kind class and make sure
+        // the match stays total as keys are added.
+        assert_eq!(PropKey::ShortName.kind(), PropKind::Str);
+        assert_eq!(PropKey::Value.kind(), PropKind::Int);
+        assert_eq!(PropKey::UseStartLine.kind(), PropKind::Int);
+        assert_eq!(PropKey::Variadic.kind(), PropKind::Bool);
+        assert_eq!(PropKey::ArrayLengths.kind(), PropKind::IntList);
+        for k in PropKey::ALL {
+            let _ = k.kind(); // total over the enum
+        }
+        assert_eq!(PropKind::IntList.name(), "int list");
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub use metrics::{
     Timer,
 };
 pub use query_stats::{
-    queries_to_json, query_stats, QueryStats, QueryStatsRegistry, QueryStatsSnapshot,
+    queries_to_json, query_stats, QueryStats, QueryStatsRegistry, QueryStatsSnapshot, StatsSeed,
 };
 pub use slowlog::{slowlog, SlowLog, SlowQueryEntry, SlowQueryRecord};
 pub use trace::{tracer, SpanGuard, TraceEvent, Tracer};

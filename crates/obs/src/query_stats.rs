@@ -98,6 +98,19 @@ impl QueryStatsSnapshot {
     }
 }
 
+/// The planner-facing digest of one fingerprint's live statistics: just
+/// enough to seed a cost model and detect drift later. Produced by
+/// [`QueryStatsRegistry::seed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSeed {
+    /// Executions observed when the seed was taken.
+    pub executions: u64,
+    /// Mean result rows per execution (integer mean).
+    pub avg_rows: u64,
+    /// Median latency in nanoseconds.
+    pub p50_ns: u64,
+}
+
 /// The process-wide per-fingerprint registry. Obtain it via
 /// [`query_stats`].
 #[derive(Default)]
@@ -134,6 +147,24 @@ impl QueryStatsRegistry {
         let s: &'static QueryStats = Box::leak(Box::new(QueryStats::new()));
         list.push((fingerprint, normalized.to_owned(), s));
         s
+    }
+
+    /// A planner seed for `fingerprint`, or `None` when the fingerprint
+    /// has no recorded executions. Read-only and ungated: consumers (the
+    /// query planner) decide relevance; an absent seed simply means the
+    /// model runs unseeded.
+    pub fn seed(&self, fingerprint: u64) -> Option<StatsSeed> {
+        let list = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        let (_, _, s) = list.iter().find(|(fp, _, _)| *fp == fingerprint)?;
+        let count = s.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return None;
+        }
+        Some(StatsSeed {
+            executions: count,
+            avg_rows: s.rows.load(Ordering::Relaxed) / count,
+            p50_ns: s.latency.snapshot("").quantile(0.50) as u64,
+        })
     }
 
     /// Copies every fingerprint's statistics, most-executed first (ties

@@ -1,4 +1,10 @@
 //! Abstract syntax tree of the query language.
+//!
+//! v2 surface: projections (`WITH` and `RETURN`) share one [`Projection`]
+//! shape carrying `GROUP BY` / `ORDER BY` / `SKIP` / `LIMIT`; expressions
+//! include arithmetic and the aggregate calls `count/sum/avg/min/max`.
+//! Variable and property references carry their byte offset so the binder
+//! can report typed errors with source spans.
 
 use crate::error::QueryError;
 use crate::lucene::LuceneQuery;
@@ -14,7 +20,7 @@ pub struct Query {
     /// `MATCH` / `WHERE` / `WITH` clauses in source order.
     pub clauses: Vec<Clause>,
     /// The final `RETURN`.
-    pub ret: Return,
+    pub ret: Projection,
     /// Stable 64-bit fingerprint of the query shape (see
     /// [`crate::fingerprint`]): literals erased, whitespace and keyword
     /// case folded, `EXPLAIN` prefix dropped.
@@ -22,6 +28,9 @@ pub struct Query {
     /// The normalized text the fingerprint hashes — the operator-facing
     /// name of this query shape in stats and the slow-query log.
     pub normalized: String,
+    /// The catalog-resolved, type-checked form the planner and executor
+    /// consume (see [`crate::binder`]). Produced by [`Query::parse`].
+    pub bound: crate::binder::BoundQuery,
 }
 
 /// The query's `EXPLAIN` prefix.
@@ -38,7 +47,8 @@ pub enum ExplainMode {
 }
 
 impl Query {
-    /// Parses a query from text.
+    /// Parses and binds a query from text: lex → parse → bind. The
+    /// returned query is fully type-checked and ready to plan.
     pub fn parse(text: &str) -> Result<Query, QueryError> {
         crate::parser::parse(text)
     }
@@ -60,22 +70,22 @@ pub enum Clause {
     Match(Vec<Pattern>),
     /// `WHERE expr`
     Where(Expr),
-    /// `WITH [distinct] items`
-    With {
-        /// Deduplicate carried rows.
-        distinct: bool,
-        /// Carried items (each re-binds a name downstream).
-        items: Vec<Item>,
-    },
+    /// `WITH [DISTINCT] items [GROUP BY ...] [ORDER BY ...] [SKIP n]
+    /// [LIMIT n]` — re-binds the scope to the projected items.
+    With(Projection),
 }
 
-/// The final projection.
+/// A projection: the shared shape of `WITH` and the final `RETURN`.
 #[derive(Debug, Clone, PartialEq)]
-pub struct Return {
-    /// Deduplicate result rows.
+pub struct Projection {
+    /// Deduplicate projected rows.
     pub distinct: bool,
     /// Projected items.
     pub items: Vec<Item>,
+    /// Explicit `GROUP BY` keys. Grouping is implicit in Cypher (the
+    /// non-aggregate items are the keys); when written explicitly, each
+    /// key must match one of the projected non-aggregate items.
+    pub group_by: Vec<Expr>,
     /// `ORDER BY` keys: `(expression, descending)`.
     pub order_by: Vec<(Expr, bool)>,
     /// Optional `SKIP`.
@@ -89,7 +99,8 @@ pub struct Return {
 pub struct Item {
     /// The projected expression.
     pub expr: Expr,
-    /// The column name (variable name, `var.prop`, or explicit alias).
+    /// The column name (variable name, `var.prop`, aggregate rendering,
+    /// or the explicit `AS` alias).
     pub name: String,
 }
 
@@ -157,12 +168,14 @@ pub enum Expr {
     Lit(PropValue),
     /// `NULL`.
     Null,
-    /// A variable reference.
-    Var(String),
-    /// `var.property`.
-    Prop(String, PropKey),
+    /// A variable reference (name, byte offset).
+    Var(String, usize),
+    /// `var.property` (variable name, key, byte offset of the variable).
+    Prop(String, PropKey, usize),
     /// Binary comparison.
     Cmp(Box<Expr>, CmpOp, Box<Expr>),
+    /// Binary arithmetic (operands, operator, byte offset of the operator).
+    Arith(Box<Expr>, ArithOp, Box<Expr>, usize),
     /// Logical AND.
     And(Box<Expr>, Box<Expr>),
     /// Logical OR.
@@ -175,9 +188,86 @@ pub enum Expr {
     /// `direct -[:calls*]-> writer` in Figure 5): true if the pattern has
     /// at least one match consistent with the current bindings.
     PatternPredicate(Pattern),
-    /// `count(expr)` / `count(*)` — only valid in `RETURN` items; rows are
-    /// implicitly grouped by the non-aggregate items (Cypher semantics).
-    Count(Option<Box<Expr>>),
+    /// An aggregate call: `count(*)`, `count(e)`, `sum/avg/min/max(e)`.
+    /// Only valid in projection items; rows are implicitly grouped by the
+    /// non-aggregate items (Cypher semantics).
+    Agg {
+        /// Which aggregate.
+        func: AggFunc,
+        /// The aggregated expression (`None` only for `count(*)`).
+        arg: Option<Box<Expr>>,
+        /// Byte offset of the aggregate call.
+        offset: usize,
+    },
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `count(*)` / `count(e)`: rows, or rows where `e` is non-null.
+    Count,
+    /// `sum(e)`: integer sum over non-null values (0 on empty input).
+    Sum,
+    /// `avg(e)`: truncating integer mean over non-null values (the value
+    /// model has no float type); `NULL` on empty input.
+    Avg,
+    /// `min(e)`: smallest non-null value; `NULL` on empty input.
+    Min,
+    /// `max(e)`: largest non-null value; `NULL` on empty input.
+    Max,
+}
+
+impl AggFunc {
+    /// Lower-case name as written in queries.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        }
+    }
+
+    /// Parses an aggregate function name (case-insensitive).
+    pub fn parse(s: &str) -> Option<AggFunc> {
+        match s.to_ascii_lowercase().as_str() {
+            "count" => Some(AggFunc::Count),
+            "sum" => Some(AggFunc::Sum),
+            "avg" => Some(AggFunc::Avg),
+            "min" => Some(AggFunc::Min),
+            "max" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (truncating; `NULL` on division by zero)
+    Div,
+    /// `%` (`NULL` on modulo by zero)
+    Mod,
+}
+
+impl ArithOp {
+    /// The operator as written.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+            ArithOp::Mod => "%",
+        }
+    }
 }
 
 /// Comparison operators.
@@ -213,15 +303,19 @@ impl Expr {
     pub fn variables<'a>(&'a self, out: &mut Vec<&'a str>) {
         match self {
             Expr::Lit(_) | Expr::Null => {}
-            Expr::Var(v) => out.push(v),
-            Expr::Prop(v, _) => out.push(v),
-            Expr::Cmp(a, _, b) | Expr::And(a, b) | Expr::Or(a, b) | Expr::Xor(a, b) => {
+            Expr::Var(v, _) => out.push(v),
+            Expr::Prop(v, _, _) => out.push(v),
+            Expr::Cmp(a, _, b)
+            | Expr::Arith(a, _, b, _)
+            | Expr::And(a, b)
+            | Expr::Or(a, b)
+            | Expr::Xor(a, b) => {
                 a.variables(out);
                 b.variables(out);
             }
             Expr::Not(a) => a.variables(out),
-            Expr::Count(e) => {
-                if let Some(e) = e {
+            Expr::Agg { arg, .. } => {
+                if let Some(e) = arg {
                     e.variables(out);
                 }
             }
@@ -230,6 +324,82 @@ impl Expr {
                     out.push(v);
                 }
             }
+        }
+    }
+
+    /// The byte offset of the expression's leading token, best-effort
+    /// (literal positions are not tracked; those report offset 0).
+    pub fn offset(&self) -> usize {
+        match self {
+            Expr::Lit(_) | Expr::Null => 0,
+            Expr::Var(_, o) | Expr::Prop(_, _, o) | Expr::Agg { offset: o, .. } => *o,
+            Expr::Cmp(a, _, _)
+            | Expr::And(a, _)
+            | Expr::Or(a, _)
+            | Expr::Xor(a, _)
+            | Expr::Not(a) => a.offset(),
+            Expr::Arith(a, _, _, o) => {
+                let ao = a.offset();
+                if ao != 0 {
+                    ao
+                } else {
+                    *o
+                }
+            }
+            Expr::PatternPredicate(_) => 0,
+        }
+    }
+
+    /// Structural equality ignoring source offsets — the test for whether
+    /// an `ORDER BY` / `GROUP BY` key "is" one of the projected items.
+    pub fn same_shape(&self, other: &Expr) -> bool {
+        match (self, other) {
+            (Expr::Lit(a), Expr::Lit(b)) => a == b,
+            (Expr::Null, Expr::Null) => true,
+            (Expr::Var(a, _), Expr::Var(b, _)) => a == b,
+            (Expr::Prop(a, ka, _), Expr::Prop(b, kb, _)) => a == b && ka == kb,
+            (Expr::Cmp(a1, o1, b1), Expr::Cmp(a2, o2, b2)) => {
+                o1 == o2 && a1.same_shape(a2) && b1.same_shape(b2)
+            }
+            (Expr::Arith(a1, o1, b1, _), Expr::Arith(a2, o2, b2, _)) => {
+                o1 == o2 && a1.same_shape(a2) && b1.same_shape(b2)
+            }
+            (Expr::And(a1, b1), Expr::And(a2, b2))
+            | (Expr::Or(a1, b1), Expr::Or(a2, b2))
+            | (Expr::Xor(a1, b1), Expr::Xor(a2, b2)) => a1.same_shape(a2) && b1.same_shape(b2),
+            (Expr::Not(a), Expr::Not(b)) => a.same_shape(b),
+            (
+                Expr::Agg {
+                    func: f1, arg: a1, ..
+                },
+                Expr::Agg {
+                    func: f2, arg: a2, ..
+                },
+            ) => {
+                f1 == f2
+                    && match (a1, a2) {
+                        (None, None) => true,
+                        (Some(x), Some(y)) => x.same_shape(y),
+                        _ => false,
+                    }
+            }
+            (Expr::PatternPredicate(a), Expr::PatternPredicate(b)) => a == b,
+            _ => false,
+        }
+    }
+
+    /// Whether the expression contains an aggregate call anywhere.
+    pub fn contains_agg(&self) -> bool {
+        match self {
+            Expr::Agg { .. } => true,
+            Expr::Lit(_) | Expr::Null | Expr::Var(..) | Expr::Prop(..) => false,
+            Expr::Cmp(a, _, b)
+            | Expr::Arith(a, _, b, _)
+            | Expr::And(a, b)
+            | Expr::Or(a, b)
+            | Expr::Xor(a, b) => a.contains_agg() || b.contains_agg(),
+            Expr::Not(a) => a.contains_agg(),
+            Expr::PatternPredicate(_) => false,
         }
     }
 }
@@ -277,14 +447,33 @@ mod tests {
     fn expr_variables() {
         let e = Expr::And(
             Box::new(Expr::Cmp(
-                Box::new(Expr::Prop("r".into(), PropKey::UseStartLine)),
+                Box::new(Expr::Prop("r".into(), PropKey::UseStartLine, 0)),
                 CmpOp::Ge,
-                Box::new(Expr::Prop("s".into(), PropKey::UseStartLine)),
+                Box::new(Expr::Prop("s".into(), PropKey::UseStartLine, 0)),
             )),
-            Box::new(Expr::Not(Box::new(Expr::Var("x".into())))),
+            Box::new(Expr::Not(Box::new(Expr::Var("x".into(), 0)))),
         );
         let mut vars = Vec::new();
         e.variables(&mut vars);
         assert_eq!(vars, vec!["r", "s", "x"]);
+    }
+
+    #[test]
+    fn same_shape_ignores_offsets() {
+        let a = Expr::Agg {
+            func: AggFunc::Count,
+            arg: Some(Box::new(Expr::Var("o".into(), 10))),
+            offset: 4,
+        };
+        let b = Expr::Agg {
+            func: AggFunc::Count,
+            arg: Some(Box::new(Expr::Var("o".into(), 99))),
+            offset: 77,
+        };
+        assert!(a.same_shape(&b));
+        assert!(a.contains_agg());
+        let c = Expr::Var("o".into(), 10);
+        assert!(!a.same_shape(&c));
+        assert!(!c.contains_agg());
     }
 }

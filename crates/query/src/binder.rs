@@ -1,0 +1,896 @@
+//! The binder: catalog-resolved, type-checked intermediate form.
+//!
+//! Parsing produces a purely syntactic tree; the binder turns it into a
+//! [`BoundQuery`] the planner and executor consume:
+//!
+//! * **variables become slots** — every variable is resolved to an index
+//!   into a flat row of [`crate::Value`]s, so the executor never does
+//!   per-row string lookups;
+//! * **types are checked** — property reads off scalars, comparisons
+//!   between incompatible kinds, arithmetic on non-ints, and property
+//!   literals of the wrong kind are rejected here with
+//!   [`QueryError::TypeMismatch`] carrying the byte offset;
+//! * **aggregates are validated and numbered** — each aggregate call gets
+//!   an accumulator index, misuse (aggregates in `WHERE`, nested
+//!   aggregates, per-row values mixed into an aggregate item, `ORDER BY`
+//!   keys that are not grouped output columns) is
+//!   [`QueryError::UngroupedAggregate`].
+//!
+//! The scope is re-rooted at every `WITH`: projected item names become the
+//! variables of the downstream pipeline, exactly like the executor's old
+//! binding maps but resolved once instead of per row.
+
+use crate::ast::LabelSpec;
+use crate::ast::{AggFunc, ArithOp, Clause, CmpOp, Expr, Pattern, Projection, Query, RelDir};
+use crate::error::QueryError;
+use crate::lucene::LuceneQuery;
+use frappe_model::{EdgeType, PropKey, PropKind, PropValue};
+
+/// The static type of a bound expression or variable slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueType {
+    /// A graph node.
+    Node,
+    /// A graph relationship.
+    Edge,
+    /// Integer scalar.
+    Int,
+    /// String scalar.
+    Str,
+    /// Boolean scalar.
+    Bool,
+    /// Integer-list scalar.
+    IntList,
+    /// Statically unknown (e.g. `NULL`, or a `min()` over `Any`).
+    Any,
+}
+
+impl ValueType {
+    /// Human-readable name for error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            ValueType::Node => "node",
+            ValueType::Edge => "relationship",
+            ValueType::Int => "int",
+            ValueType::Str => "str",
+            ValueType::Bool => "bool",
+            ValueType::IntList => "int list",
+            ValueType::Any => "any",
+        }
+    }
+
+    fn from_kind(k: PropKind) -> ValueType {
+        match k {
+            PropKind::Int => ValueType::Int,
+            PropKind::Str => ValueType::Str,
+            PropKind::Bool => ValueType::Bool,
+            PropKind::IntList => ValueType::IntList,
+        }
+    }
+
+    fn of_literal(v: &PropValue) -> ValueType {
+        match v {
+            PropValue::Int(_) => ValueType::Int,
+            PropValue::Str(_) => ValueType::Str,
+            PropValue::Bool(_) => ValueType::Bool,
+            PropValue::IntList(_) => ValueType::IntList,
+        }
+    }
+
+    /// Whether this type can hold a property value (nodes/relationships).
+    fn has_props(self) -> bool {
+        matches!(self, ValueType::Node | ValueType::Edge | ValueType::Any)
+    }
+
+    /// Whether two types can meet in a comparison.
+    fn comparable_to(self, other: ValueType) -> bool {
+        self == other || self == ValueType::Any || other == ValueType::Any
+    }
+}
+
+/// A fully bound query: slot-resolved starts, pipeline stages, and the
+/// final projection.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BoundQuery {
+    /// `START` lookups, one slot each (slots `0..starts.len()`).
+    pub starts: Vec<BoundStart>,
+    /// Pipeline stages in execution order.
+    pub stages: Vec<BoundStage>,
+    /// The final `RETURN` projection.
+    pub ret: BoundProjection,
+}
+
+/// One bound `START` item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundStart {
+    /// Row slot the lookup results bind to.
+    pub slot: usize,
+    /// The variable name (for EXPLAIN rendering).
+    pub var: String,
+    /// The index lookup.
+    pub lookup: LuceneQuery,
+}
+
+/// A pipeline stage.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoundStage {
+    /// Match one pattern, extending the row with newly bound slots.
+    Expand(BoundPattern),
+    /// Keep rows where the predicate is true.
+    Filter(BoundExpr),
+    /// `WITH`: project, re-rooting the row to the projected items.
+    Project(BoundProjection),
+}
+
+/// A bound linear pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundPattern {
+    /// Bound node elements (`rels.len() + 1`).
+    pub nodes: Vec<BoundNode>,
+    /// Bound relationship elements.
+    pub rels: Vec<BoundRel>,
+    /// Row width after this pattern binds (slots `0..width_after` valid).
+    pub width_after: usize,
+}
+
+/// A bound node element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundNode {
+    /// Row slot this node binds to.
+    pub slot: usize,
+    /// Variable name, if the source pattern had one (display only).
+    pub name: Option<String>,
+    /// Label constraints.
+    pub labels: Vec<LabelSpec>,
+    /// Inline property equality constraints.
+    pub props: Vec<(PropKey, PropValue)>,
+    /// Whether the slot was already bound when the pattern started (an
+    /// anchor candidate: the old engine's "bound variable" case).
+    pub pre_bound: bool,
+}
+
+/// A bound relationship element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundRel {
+    /// Row slot for the matched edge, if the pattern names it.
+    pub slot: Option<usize>,
+    /// Variable name, if named (display only).
+    pub name: Option<String>,
+    /// Allowed edge types (empty = any).
+    pub types: Vec<EdgeType>,
+    /// Direction.
+    pub dir: RelDir,
+    /// Variable-length hop range.
+    pub var_len: Option<(u32, Option<u32>)>,
+    /// Inline property equality constraints.
+    pub props: Vec<(PropKey, PropValue)>,
+}
+
+/// A bound projection.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BoundProjection {
+    /// Deduplicate projected rows.
+    pub distinct: bool,
+    /// Projected items.
+    pub items: Vec<BoundItem>,
+    /// Whether any item aggregates (rows are grouped by the non-aggregate
+    /// items).
+    pub aggregated: bool,
+    /// Number of aggregate accumulators across all items.
+    pub n_accs: usize,
+    /// `ORDER BY` keys.
+    pub order_by: Vec<(OrderKey, bool)>,
+    /// Optional `SKIP`.
+    pub skip: Option<u64>,
+    /// Optional `LIMIT`.
+    pub limit: Option<u64>,
+}
+
+/// A bound projected item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundItem {
+    /// The bound expression. In an aggregated projection, aggregate items
+    /// are evaluated post-grouping ([`BoundExpr::Agg`] reads its
+    /// accumulator) and non-aggregate items per row (they are the group
+    /// keys).
+    pub expr: BoundExpr,
+    /// Output column name.
+    pub name: String,
+    /// Static type of the column.
+    pub ty: ValueType,
+    /// Whether the item contains an aggregate call.
+    pub agg: bool,
+}
+
+/// An `ORDER BY` key.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrderKey {
+    /// Evaluate an expression against the *input* row (non-aggregated
+    /// projections; e.g. `RETURN DISTINCT g ORDER BY g.short_name`).
+    Input(BoundExpr),
+    /// Sort by projected output column `i` (aliases, and all keys of
+    /// aggregated projections).
+    Column(usize),
+}
+
+/// A bound, slot-resolved expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoundExpr {
+    /// A literal.
+    Lit(PropValue),
+    /// `NULL`.
+    Null,
+    /// Read a row slot.
+    Slot(usize),
+    /// Read a property off the node/edge in a slot.
+    Prop {
+        /// Row slot holding the node or edge.
+        slot: usize,
+        /// Property key.
+        key: PropKey,
+    },
+    /// Comparison.
+    Cmp(Box<BoundExpr>, CmpOp, Box<BoundExpr>),
+    /// Arithmetic.
+    Arith(Box<BoundExpr>, ArithOp, Box<BoundExpr>),
+    /// Logical AND.
+    And(Box<BoundExpr>, Box<BoundExpr>),
+    /// Logical OR.
+    Or(Box<BoundExpr>, Box<BoundExpr>),
+    /// Logical XOR.
+    Xor(Box<BoundExpr>, Box<BoundExpr>),
+    /// Logical NOT.
+    Not(Box<BoundExpr>),
+    /// Pattern predicate: fresh variables occupy scratch slots
+    /// `>= the enclosing row width` (see [`BoundPattern::width_after`]).
+    PatternPredicate(BoundPattern),
+    /// An aggregate call reading accumulator `acc` post-grouping; `arg`
+    /// is evaluated per input row while accumulating.
+    Agg {
+        /// Which aggregate.
+        func: AggFunc,
+        /// The accumulated per-row expression (`None` for `count(*)`).
+        arg: Option<Box<BoundExpr>>,
+        /// Accumulator index within the projection.
+        acc: usize,
+    },
+}
+
+// ------------------------------------------------------------------
+// Binding
+// ------------------------------------------------------------------
+
+/// One variable scope: slot index = position, re-rooted at every `WITH`.
+#[derive(Debug, Clone, Default)]
+struct Scope {
+    vars: Vec<(Option<String>, ValueType)>,
+}
+
+impl Scope {
+    fn lookup(&self, name: &str) -> Option<(usize, ValueType)> {
+        // Last binding wins (shadowing by re-declaration).
+        self.vars
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, (n, _))| n.as_deref() == Some(name))
+            .map(|(i, (_, ty))| (i, *ty))
+    }
+
+    fn push(&mut self, name: Option<String>, ty: ValueType) -> usize {
+        self.vars.push((name, ty));
+        self.vars.len() - 1
+    }
+}
+
+/// Binds a parsed query. Called by [`Query::parse`]; exposed for tests.
+pub fn bind(q: &Query) -> Result<BoundQuery, QueryError> {
+    let mut scope = Scope::default();
+    let mut starts = Vec::with_capacity(q.starts.len());
+    for s in &q.starts {
+        let slot = scope.push(Some(s.var.clone()), ValueType::Node);
+        starts.push(BoundStart {
+            slot,
+            var: s.var.clone(),
+            lookup: s.lookup.clone(),
+        });
+    }
+    let mut stages = Vec::new();
+    for clause in &q.clauses {
+        match clause {
+            Clause::Match(patterns) => {
+                for p in patterns {
+                    stages.push(BoundStage::Expand(bind_pattern(p, &mut scope)?));
+                }
+            }
+            Clause::Where(e) => {
+                let (be, ty) = bind_expr(e, &scope, false)?;
+                require_bool(ty, e)?;
+                stages.push(BoundStage::Filter(be));
+            }
+            Clause::With(p) => {
+                stages.push(BoundStage::Project(bind_projection(p, &mut scope)?));
+            }
+        }
+    }
+    let ret = bind_projection(&q.ret, &mut scope)?;
+    Ok(BoundQuery {
+        starts,
+        stages,
+        ret,
+    })
+}
+
+fn require_bool(ty: ValueType, e: &Expr) -> Result<(), QueryError> {
+    if ty.comparable_to(ValueType::Bool) {
+        Ok(())
+    } else {
+        Err(QueryError::TypeMismatch {
+            offset: e.offset(),
+            message: format!("predicate must be a boolean, got {}", ty.name()),
+        })
+    }
+}
+
+fn bind_pattern(p: &Pattern, scope: &mut Scope) -> Result<BoundPattern, QueryError> {
+    let mut nodes = Vec::with_capacity(p.nodes.len());
+    for np in &p.nodes {
+        let (slot, pre_bound) = match &np.var {
+            Some(v) => match scope.lookup(v) {
+                // Re-using an already bound variable as a node is the
+                // anchor case; re-using a scalar stays permissive (it is
+                // simply a runtime non-match, like the old engine).
+                Some((slot, _)) => (slot, true),
+                None => (scope.push(Some(v.clone()), ValueType::Node), false),
+            },
+            None => (scope.push(None, ValueType::Node), false),
+        };
+        nodes.push(BoundNode {
+            slot,
+            name: np.var.clone(),
+            labels: np.labels.clone(),
+            props: np.props.clone(),
+            pre_bound,
+        });
+    }
+    let mut rels = Vec::with_capacity(p.rels.len());
+    for rp in &p.rels {
+        let slot = match &rp.var {
+            Some(v) => Some(match scope.lookup(v) {
+                Some((slot, _)) => slot,
+                None => scope.push(Some(v.clone()), ValueType::Edge),
+            }),
+            None => None,
+        };
+        rels.push(BoundRel {
+            slot,
+            name: rp.var.clone(),
+            types: rp.types.clone(),
+            dir: rp.dir,
+            var_len: rp.var_len,
+            props: rp.props.clone(),
+        });
+    }
+    Ok(BoundPattern {
+        nodes,
+        rels,
+        width_after: scope.vars.len(),
+    })
+}
+
+/// Binds an expression. `in_agg_arg` is true inside an aggregate's
+/// argument, where further aggregates are nesting errors.
+fn bind_expr(
+    e: &Expr,
+    scope: &Scope,
+    in_agg_arg: bool,
+) -> Result<(BoundExpr, ValueType), QueryError> {
+    match e {
+        Expr::Lit(v) => Ok((BoundExpr::Lit(v.clone()), ValueType::of_literal(v))),
+        Expr::Null => Ok((BoundExpr::Null, ValueType::Any)),
+        Expr::Var(v, off) => {
+            let (slot, ty) = scope.lookup(v).ok_or_else(|| QueryError::UnboundVariable {
+                offset: *off,
+                name: v.clone(),
+            })?;
+            Ok((BoundExpr::Slot(slot), ty))
+        }
+        Expr::Prop(v, key, off) => {
+            let (slot, ty) = scope.lookup(v).ok_or_else(|| QueryError::UnboundVariable {
+                offset: *off,
+                name: v.clone(),
+            })?;
+            if !ty.has_props() {
+                return Err(QueryError::TypeMismatch {
+                    offset: *off,
+                    message: format!(
+                        "variable '{v}' has type {}; properties require a node or relationship",
+                        ty.name()
+                    ),
+                });
+            }
+            Ok((
+                BoundExpr::Prop { slot, key: *key },
+                ValueType::from_kind(key.kind()),
+            ))
+        }
+        Expr::Cmp(a, op, b) => {
+            let (ba, ta) = bind_expr(a, scope, in_agg_arg)?;
+            let (bb, tb) = bind_expr(b, scope, in_agg_arg)?;
+            if !ta.comparable_to(tb) {
+                return Err(QueryError::TypeMismatch {
+                    offset: e.offset(),
+                    message: format!("cannot compare {} to {}", ta.name(), tb.name()),
+                });
+            }
+            Ok((
+                BoundExpr::Cmp(Box::new(ba), *op, Box::new(bb)),
+                ValueType::Bool,
+            ))
+        }
+        Expr::Arith(a, op, b, off) => {
+            let (ba, ta) = bind_expr(a, scope, in_agg_arg)?;
+            let (bb, tb) = bind_expr(b, scope, in_agg_arg)?;
+            for ty in [ta, tb] {
+                if !ty.comparable_to(ValueType::Int) {
+                    return Err(QueryError::TypeMismatch {
+                        offset: *off,
+                        message: format!("arithmetic requires int operands, got {}", ty.name()),
+                    });
+                }
+            }
+            Ok((
+                BoundExpr::Arith(Box::new(ba), *op, Box::new(bb)),
+                ValueType::Int,
+            ))
+        }
+        Expr::And(a, b) | Expr::Or(a, b) | Expr::Xor(a, b) => {
+            let (ba, ta) = bind_expr(a, scope, in_agg_arg)?;
+            let (bb, tb) = bind_expr(b, scope, in_agg_arg)?;
+            require_bool(ta, a)?;
+            require_bool(tb, b)?;
+            let (ba, bb) = (Box::new(ba), Box::new(bb));
+            let bound = match e {
+                Expr::And(..) => BoundExpr::And(ba, bb),
+                Expr::Or(..) => BoundExpr::Or(ba, bb),
+                _ => BoundExpr::Xor(ba, bb),
+            };
+            Ok((bound, ValueType::Bool))
+        }
+        Expr::Not(a) => {
+            let (ba, ta) = bind_expr(a, scope, in_agg_arg)?;
+            require_bool(ta, a)?;
+            Ok((BoundExpr::Not(Box::new(ba)), ValueType::Bool))
+        }
+        Expr::PatternPredicate(p) => {
+            // Fresh variables live in scratch slots past the row width;
+            // they are local to the predicate and discarded afterwards.
+            let mut scratch = scope.clone();
+            let bp = bind_pattern(p, &mut scratch)?;
+            Ok((BoundExpr::PatternPredicate(bp), ValueType::Bool))
+        }
+        Expr::Agg { offset, .. } => Err(QueryError::UngroupedAggregate {
+            offset: *offset,
+            message: if in_agg_arg {
+                "aggregates cannot be nested".into()
+            } else {
+                "aggregates are only allowed in WITH / RETURN items".into()
+            },
+        }),
+    }
+}
+
+/// Binds an item of an *aggregated* projection: aggregate calls get
+/// accumulator indices, bare per-row references outside aggregate
+/// arguments are rejected.
+fn bind_agg_item(
+    e: &Expr,
+    scope: &Scope,
+    next_acc: &mut usize,
+) -> Result<(BoundExpr, ValueType), QueryError> {
+    match e {
+        Expr::Agg { func, arg, offset } => {
+            let (barg, argty) = match arg {
+                Some(a) => {
+                    let (ba, ta) = bind_expr(a, scope, true)?;
+                    (Some(Box::new(ba)), ta)
+                }
+                None => (None, ValueType::Any),
+            };
+            match func {
+                AggFunc::Sum | AggFunc::Avg => {
+                    if !argty.comparable_to(ValueType::Int) {
+                        return Err(QueryError::TypeMismatch {
+                            offset: *offset,
+                            message: format!(
+                                "{}() requires an int argument, got {}",
+                                func.name(),
+                                argty.name()
+                            ),
+                        });
+                    }
+                }
+                AggFunc::Min | AggFunc::Max => {
+                    if matches!(argty, ValueType::Node | ValueType::Edge) {
+                        return Err(QueryError::TypeMismatch {
+                            offset: *offset,
+                            message: format!(
+                                "{}() requires a scalar argument, got {}",
+                                func.name(),
+                                argty.name()
+                            ),
+                        });
+                    }
+                }
+                AggFunc::Count => {}
+            }
+            let acc = *next_acc;
+            *next_acc += 1;
+            let ty = match func {
+                AggFunc::Count | AggFunc::Sum | AggFunc::Avg => ValueType::Int,
+                AggFunc::Min | AggFunc::Max => argty,
+            };
+            Ok((
+                BoundExpr::Agg {
+                    func: *func,
+                    arg: barg,
+                    acc,
+                },
+                ty,
+            ))
+        }
+        // Aggregate results may be combined with literals and arithmetic
+        // (`count(*) * 2`), but not with per-row values.
+        Expr::Lit(v) => Ok((BoundExpr::Lit(v.clone()), ValueType::of_literal(v))),
+        Expr::Null => Ok((BoundExpr::Null, ValueType::Any)),
+        Expr::Arith(a, op, b, off) => {
+            let (ba, ta) = bind_agg_item(a, scope, next_acc)?;
+            let (bb, tb) = bind_agg_item(b, scope, next_acc)?;
+            for ty in [ta, tb] {
+                if !ty.comparable_to(ValueType::Int) {
+                    return Err(QueryError::TypeMismatch {
+                        offset: *off,
+                        message: format!("arithmetic requires int operands, got {}", ty.name()),
+                    });
+                }
+            }
+            Ok((
+                BoundExpr::Arith(Box::new(ba), *op, Box::new(bb)),
+                ValueType::Int,
+            ))
+        }
+        other => Err(QueryError::UngroupedAggregate {
+            offset: other.offset(),
+            message: "cannot mix per-row values with aggregates in one item".into(),
+        }),
+    }
+}
+
+fn bind_projection(p: &Projection, scope: &mut Scope) -> Result<BoundProjection, QueryError> {
+    let aggregated = p.items.iter().any(|i| i.expr.contains_agg());
+    let mut n_accs = 0usize;
+    let mut items = Vec::with_capacity(p.items.len());
+    for item in &p.items {
+        let agg = item.expr.contains_agg();
+        let (expr, ty) = if agg {
+            bind_agg_item(&item.expr, scope, &mut n_accs)?
+        } else {
+            bind_expr(&item.expr, scope, false)?
+        };
+        items.push(BoundItem {
+            expr,
+            name: item.name.clone(),
+            ty,
+            agg,
+        });
+    }
+
+    // Explicit GROUP BY is documentary: the keys must be exactly the
+    // non-aggregate items (Cypher groups implicitly by those).
+    if !p.group_by.is_empty() {
+        if !aggregated {
+            return Err(QueryError::UngroupedAggregate {
+                offset: p.group_by[0].offset(),
+                message: "GROUP BY requires an aggregated projection".into(),
+            });
+        }
+        for key in &p.group_by {
+            if key.contains_agg() {
+                return Err(QueryError::UngroupedAggregate {
+                    offset: key.offset(),
+                    message: "GROUP BY keys cannot aggregate".into(),
+                });
+            }
+            if !matches_item(key, p, false) {
+                return Err(QueryError::UngroupedAggregate {
+                    offset: key.offset(),
+                    message: "GROUP BY key must be one of the projected non-aggregate items".into(),
+                });
+            }
+        }
+        for (i, item) in p.items.iter().enumerate() {
+            if !items[i].agg
+                && !p
+                    .group_by
+                    .iter()
+                    .any(|k| k.same_shape(&item.expr) || is_alias_ref(k, &item.name))
+            {
+                return Err(QueryError::UngroupedAggregate {
+                    offset: item.expr.offset(),
+                    message: format!(
+                        "item '{}' is neither aggregated nor a GROUP BY key",
+                        item.name
+                    ),
+                });
+            }
+        }
+    }
+
+    // ORDER BY keys: alias and shape matches become output columns; in a
+    // non-aggregated projection anything else is evaluated against the
+    // input row; in an aggregated one there *is* no input row left, so
+    // unmatched keys are errors.
+    let mut order_by = Vec::with_capacity(p.order_by.len());
+    for (key, desc) in &p.order_by {
+        let col = p
+            .items
+            .iter()
+            .position(|it| is_alias_ref(key, &it.name) || key.same_shape(&it.expr));
+        let bound_key = match (col, aggregated) {
+            (Some(i), _) => OrderKey::Column(i),
+            (None, false) => {
+                if key.contains_agg() {
+                    return Err(QueryError::UngroupedAggregate {
+                        offset: key.offset(),
+                        message: "ORDER BY cannot aggregate in a non-aggregated projection".into(),
+                    });
+                }
+                OrderKey::Input(bind_expr(key, scope, false)?.0)
+            }
+            (None, true) => {
+                return Err(QueryError::UngroupedAggregate {
+                    offset: key.offset(),
+                    message: "ORDER BY key must be one of the projected items when aggregating"
+                        .into(),
+                });
+            }
+        };
+        order_by.push((bound_key, *desc));
+    }
+
+    // Re-root the scope: projected names are the downstream variables.
+    scope.vars = items.iter().map(|i| (Some(i.name.clone()), i.ty)).collect();
+
+    Ok(BoundProjection {
+        distinct: p.distinct,
+        items,
+        aggregated,
+        n_accs,
+        order_by,
+        skip: p.skip,
+        limit: p.limit,
+    })
+}
+
+/// Whether `key` is a bare variable reference naming an item alias.
+fn is_alias_ref(key: &Expr, name: &str) -> bool {
+    matches!(key, Expr::Var(v, _) if v == name)
+}
+
+/// Whether `key` matches one of the projection's non-aggregate items.
+fn matches_item(key: &Expr, p: &Projection, agg: bool) -> bool {
+    p.items
+        .iter()
+        .filter(|it| it.expr.contains_agg() == agg)
+        .any(|it| is_alias_ref(key, &it.name) || key.same_shape(&it.expr))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bound(text: &str) -> BoundQuery {
+        Query::parse(text).unwrap().bound
+    }
+
+    fn bind_err(text: &str) -> QueryError {
+        Query::parse(text).unwrap_err()
+    }
+
+    #[test]
+    fn starts_and_patterns_get_slots() {
+        let b = bound(
+            "START n=node:node_auto_index('short_name: main') \
+             MATCH n -[:calls]-> m RETURN m",
+        );
+        assert_eq!(b.starts.len(), 1);
+        assert_eq!(b.starts[0].slot, 0);
+        let BoundStage::Expand(p) = &b.stages[0] else {
+            panic!()
+        };
+        assert_eq!(p.nodes[0].slot, 0);
+        assert!(p.nodes[0].pre_bound);
+        assert_eq!(p.nodes[1].slot, 1);
+        assert!(!p.nodes[1].pre_bound);
+        assert_eq!(p.width_after, 2);
+        // RETURN m reads slot 1.
+        assert_eq!(b.ret.items[0].expr, BoundExpr::Slot(1));
+        assert_eq!(b.ret.items[0].ty, ValueType::Node);
+    }
+
+    #[test]
+    fn with_re_roots_the_scope() {
+        let b = bound(
+            "MATCH (f:function) -[:calls]-> g WITH DISTINCT g \
+             MATCH g -[:reads]-> v RETURN v",
+        );
+        // After WITH, g is slot 0; v binds slot 1.
+        let BoundStage::Expand(p) = &b.stages[2] else {
+            panic!("stages: {:?}", b.stages)
+        };
+        assert_eq!(p.nodes[0].slot, 0);
+        assert!(p.nodes[0].pre_bound);
+        assert_eq!(p.nodes[1].slot, 1);
+        assert_eq!(b.ret.items[0].expr, BoundExpr::Slot(1));
+    }
+
+    #[test]
+    fn unbound_variables_are_typed_errors() {
+        let err = bind_err("MATCH (n) RETURN nope");
+        assert!(
+            matches!(err, QueryError::UnboundVariable { ref name, .. } if name == "nope"),
+            "{err:?}"
+        );
+        // WITH drops everything not projected.
+        let err = bind_err("MATCH (n) -[:calls]-> m WITH n RETURN m");
+        assert!(matches!(err, QueryError::UnboundVariable { ref name, .. } if name == "m"));
+    }
+
+    #[test]
+    fn property_reads_off_scalars_are_type_errors() {
+        let err = bind_err("MATCH (n:function) WITH n.short_name AS s WHERE s.value > 1 RETURN s");
+        assert!(
+            matches!(err, QueryError::TypeMismatch { ref message, .. }
+                if message.contains("'s' has type str")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn mismatched_comparisons_are_type_errors() {
+        let err = bind_err("MATCH (n) WHERE n.short_name > 3 RETURN n");
+        assert_eq!(
+            err.to_string(),
+            "bind error at offset 16: cannot compare str to int"
+        );
+        // Same-kind comparisons and Any stay fine.
+        assert!(Query::parse("MATCH (n) WHERE n.short_name = 'x' RETURN n").is_ok());
+        assert!(Query::parse("MATCH (n) WHERE n.value = NULL RETURN n").is_ok());
+    }
+
+    #[test]
+    fn arithmetic_requires_ints() {
+        let err = bind_err("MATCH (n) RETURN n.short_name + 1");
+        assert!(
+            matches!(err, QueryError::TypeMismatch { ref message, .. }
+                if message == "arithmetic requires int operands, got str"),
+            "{err:?}"
+        );
+        assert!(Query::parse("MATCH (n) RETURN n.value * 2 + 1").is_ok());
+    }
+
+    #[test]
+    fn aggregate_misuse_is_rejected() {
+        let err = bind_err("MATCH (n) WHERE count(n) > 1 RETURN n");
+        assert_eq!(
+            err.to_string(),
+            "bind error at offset 16: aggregates are only allowed in WITH / RETURN items"
+        );
+        let err = bind_err("MATCH (n) RETURN count(count(n))");
+        assert!(
+            matches!(err, QueryError::UngroupedAggregate { ref message, .. }
+                if message == "aggregates cannot be nested"),
+            "{err:?}"
+        );
+        let err = bind_err("MATCH (n) RETURN n.value + count(n)");
+        assert!(
+            matches!(err, QueryError::UngroupedAggregate { ref message, .. }
+                if message == "cannot mix per-row values with aggregates in one item"),
+            "{err:?}"
+        );
+        let err = bind_err("MATCH (n) -[:calls]-> m RETURN m, count(n) ORDER BY n.value");
+        assert!(
+            matches!(err, QueryError::UngroupedAggregate { ref message, .. }
+                if message.contains("ORDER BY key must be one of the projected items")),
+            "{err:?}"
+        );
+        let err = bind_err("MATCH (n) RETURN sum(n)");
+        assert!(
+            matches!(err, QueryError::TypeMismatch { ref message, .. }
+                if message == "sum() requires an int argument, got node"),
+            "{err:?}"
+        );
+        let err = bind_err("MATCH (n) RETURN min(n)");
+        assert!(matches!(err, QueryError::TypeMismatch { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn aggregates_get_accumulators() {
+        let b = bound("MATCH (m:module) -[:linked_from]-> o RETURN m, count(o), sum(o.value)");
+        assert!(b.ret.aggregated);
+        assert_eq!(b.ret.n_accs, 2);
+        assert!(!b.ret.items[0].agg);
+        assert!(b.ret.items[1].agg);
+        let BoundExpr::Agg { acc, .. } = &b.ret.items[1].expr else {
+            panic!()
+        };
+        assert_eq!(*acc, 0);
+        let BoundExpr::Agg { acc, .. } = &b.ret.items[2].expr else {
+            panic!()
+        };
+        assert_eq!(*acc, 1);
+        assert_eq!(b.ret.items[1].ty, ValueType::Int);
+    }
+
+    #[test]
+    fn order_by_resolves_aliases_and_shapes() {
+        // Alias → column.
+        let b = bound("MATCH (n:function) RETURN n.short_name AS name ORDER BY name");
+        assert_eq!(b.ret.order_by, vec![(OrderKey::Column(0), false)]);
+        // Shape match on an aggregate → column (the newly allowed case).
+        let b = bound("MATCH (n) -[:calls]-> m RETURN m, count(n) ORDER BY count(n) DESC");
+        assert_eq!(b.ret.order_by, vec![(OrderKey::Column(1), true)]);
+        // Unmatched key in a non-aggregated projection → input expression.
+        let b = bound("MATCH (n:function) RETURN n ORDER BY n.short_name");
+        assert!(matches!(b.ret.order_by[0].0, OrderKey::Input(_)));
+    }
+
+    #[test]
+    fn group_by_validates_keys() {
+        assert!(Query::parse(
+            "MATCH (m:module) -[:linked_from]-> o \
+             RETURN m.short_name, count(o) GROUP BY m.short_name"
+        )
+        .is_ok());
+        let err = bind_err(
+            "MATCH (m:module) -[:linked_from]-> o \
+             RETURN m.short_name, count(o) GROUP BY o.value",
+        );
+        assert!(
+            matches!(err, QueryError::UngroupedAggregate { ref message, .. }
+                if message.contains("GROUP BY key")),
+            "{err:?}"
+        );
+        let err = bind_err("MATCH (n) RETURN n GROUP BY n");
+        assert!(
+            matches!(err, QueryError::UngroupedAggregate { ref message, .. }
+                if message.contains("requires an aggregated projection")),
+            "{err:?}"
+        );
+        let err = bind_err(
+            "MATCH (m:module) -[:linked_from]-> o \
+             RETURN m.short_name, m.value, count(o) GROUP BY m.short_name",
+        );
+        assert!(
+            matches!(err, QueryError::UngroupedAggregate { ref message, .. }
+                if message.contains("neither aggregated nor a GROUP BY key")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn pattern_predicates_use_scratch_slots() {
+        let b = bound(
+            "START n=node:node_auto_index('short_name: id') \
+             WHERE (n) <-[:calls]- () RETURN n",
+        );
+        let BoundStage::Filter(BoundExpr::PatternPredicate(p)) = &b.stages[0] else {
+            panic!("stages: {:?}", b.stages)
+        };
+        // n is the enclosing slot 0; the anonymous node gets scratch slot 1.
+        assert_eq!(p.nodes[0].slot, 0);
+        assert!(p.nodes[0].pre_bound);
+        assert_eq!(p.nodes[1].slot, 1);
+        assert_eq!(p.width_after, 2);
+    }
+}

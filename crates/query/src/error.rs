@@ -1,6 +1,11 @@
-//! Query errors: lexing, parsing, semantic, and runtime.
+//! Query errors: lexing, parsing, binding, and runtime.
+//!
+//! Bind-time failures (unknown catalog names, type mismatches, aggregate
+//! misuse) are *typed* variants carrying the byte offset of the offending
+//! token, so callers can point at the exact span of the query text instead
+//! of grepping a stringly message.
 
-/// Errors raised while parsing or executing a query.
+/// Errors raised while parsing, binding, or executing a query.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum QueryError {
     /// Lexical error at a byte offset.
@@ -17,7 +22,52 @@ pub enum QueryError {
         /// Description of the problem.
         message: String,
     },
-    /// Semantic error (unknown edge type, unbound variable, ...).
+    /// A label or node type that is not in the catalog (Table 1 / Table 3).
+    UnknownLabel {
+        /// Byte offset of the label identifier.
+        offset: usize,
+        /// The identifier as written.
+        name: String,
+    },
+    /// A relationship type that is not in the catalog (Table 3).
+    UnknownEdgeType {
+        /// Byte offset of the type identifier.
+        offset: usize,
+        /// The identifier as written.
+        name: String,
+    },
+    /// A property key that is not in the catalog (Table 2).
+    UnknownProperty {
+        /// Byte offset of the property identifier.
+        offset: usize,
+        /// The identifier as written.
+        name: String,
+    },
+    /// A variable referenced before any START, MATCH, or WITH bound it.
+    UnboundVariable {
+        /// Byte offset of the variable reference.
+        offset: usize,
+        /// The variable name.
+        name: String,
+    },
+    /// An expression whose operand types cannot agree (string compared to
+    /// int, property read off a scalar, arithmetic on a node, ...).
+    TypeMismatch {
+        /// Byte offset of the offending (sub)expression.
+        offset: usize,
+        /// Description of the mismatch.
+        message: String,
+    },
+    /// An aggregate used outside a projection item, nested in another
+    /// aggregate, mixed with per-row values, or ordered by a key that is
+    /// not one of the grouped output columns.
+    UngroupedAggregate {
+        /// Byte offset of the aggregate call.
+        offset: usize,
+        /// Description of the misuse.
+        message: String,
+    },
+    /// Semantic error (runtime conditions not caught by the binder).
     Semantic(String),
     /// The executor exceeded its step budget (the Table 5 "> 15 mins,
     /// aborted" condition, surfaced cleanly).
@@ -34,6 +84,23 @@ pub enum QueryError {
     Store(String),
 }
 
+impl QueryError {
+    /// The byte offset of the offending token, for errors that carry one.
+    pub fn offset(&self) -> Option<usize> {
+        match self {
+            QueryError::Lex { offset, .. }
+            | QueryError::Parse { offset, .. }
+            | QueryError::UnknownLabel { offset, .. }
+            | QueryError::UnknownEdgeType { offset, .. }
+            | QueryError::UnknownProperty { offset, .. }
+            | QueryError::UnboundVariable { offset, .. }
+            | QueryError::TypeMismatch { offset, .. }
+            | QueryError::UngroupedAggregate { offset, .. } => Some(*offset),
+            _ => None,
+        }
+    }
+}
+
 impl std::fmt::Display for QueryError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -42,6 +109,36 @@ impl std::fmt::Display for QueryError {
             }
             QueryError::Parse { offset, message } => {
                 write!(f, "parse error at offset {offset}: {message}")
+            }
+            QueryError::UnknownLabel { offset, name } => {
+                write!(
+                    f,
+                    "bind error at offset {offset}: unknown label or node type '{name}'"
+                )
+            }
+            QueryError::UnknownEdgeType { offset, name } => {
+                write!(
+                    f,
+                    "bind error at offset {offset}: unknown relationship type '{name}'"
+                )
+            }
+            QueryError::UnknownProperty { offset, name } => {
+                write!(
+                    f,
+                    "bind error at offset {offset}: unknown property '{name}'"
+                )
+            }
+            QueryError::UnboundVariable { offset, name } => {
+                write!(
+                    f,
+                    "bind error at offset {offset}: unbound variable '{name}'"
+                )
+            }
+            QueryError::TypeMismatch { offset, message } => {
+                write!(f, "bind error at offset {offset}: {message}")
+            }
+            QueryError::UngroupedAggregate { offset, message } => {
+                write!(f, "bind error at offset {offset}: {message}")
             }
             QueryError::Semantic(m) => write!(f, "semantic error: {m}"),
             QueryError::BudgetExhausted { steps } => {
@@ -77,5 +174,35 @@ mod tests {
         assert!(QueryError::BudgetExhausted { steps: 9 }
             .to_string()
             .contains("9 expansion steps"));
+    }
+
+    #[test]
+    fn bind_errors_carry_offsets_and_exact_messages() {
+        let e = QueryError::UnknownLabel {
+            offset: 9,
+            name: "not_a_label".into(),
+        };
+        assert_eq!(e.offset(), Some(9));
+        assert_eq!(
+            e.to_string(),
+            "bind error at offset 9: unknown label or node type 'not_a_label'"
+        );
+        let e = QueryError::UnboundVariable {
+            offset: 31,
+            name: "nope".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "bind error at offset 31: unbound variable 'nope'"
+        );
+        let e = QueryError::TypeMismatch {
+            offset: 2,
+            message: "cannot compare str to int".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "bind error at offset 2: cannot compare str to int"
+        );
+        assert_eq!(QueryError::BudgetExhausted { steps: 1 }.offset(), None);
     }
 }

@@ -1,0 +1,165 @@
+//! Expression evaluation over binding rows.
+//!
+//! The binder resolved variables to slots and type-checked the tree, so
+//! evaluation is a direct interpretation of [`BoundExpr`]. The residual
+//! runtime errors ([`QueryError::Semantic`]) cover only conditions the
+//! static types cannot rule out (e.g. reading a property off a value that
+//! is a scalar at runtime through a `ValueType::Any` column).
+
+use super::{get, Ctx, Row};
+use crate::ast::{ArithOp, CmpOp};
+use crate::binder::BoundExpr;
+use crate::error::QueryError;
+use crate::exec::expand;
+use crate::value::Value;
+use frappe_model::PropValue;
+use frappe_store::GraphView;
+
+pub(super) fn eval_truthy<G: GraphView>(
+    ctx: &mut Ctx<'_, G>,
+    row: &Row,
+    expr: &BoundExpr,
+) -> Result<bool, QueryError> {
+    Ok(match expr {
+        BoundExpr::PatternPredicate(p) => expand::pattern_exists(ctx, row, p)?,
+        BoundExpr::And(a, b) => eval_truthy(ctx, row, a)? && eval_truthy(ctx, row, b)?,
+        BoundExpr::Or(a, b) => eval_truthy(ctx, row, a)? || eval_truthy(ctx, row, b)?,
+        BoundExpr::Xor(a, b) => eval_truthy(ctx, row, a)? ^ eval_truthy(ctx, row, b)?,
+        BoundExpr::Not(a) => !eval_truthy(ctx, row, a)?,
+        other => match eval_value(ctx, row, other)? {
+            Value::Scalar(v) => v.truthy(),
+            Value::Null => false,
+            Value::Node(_) | Value::Edge(_) => true,
+        },
+    })
+}
+
+pub(super) fn eval_value<G: GraphView>(
+    ctx: &mut Ctx<'_, G>,
+    row: &Row,
+    expr: &BoundExpr,
+) -> Result<Value, QueryError> {
+    Ok(match expr {
+        BoundExpr::Lit(v) => Value::Scalar(v.clone()),
+        BoundExpr::Null => Value::Null,
+        BoundExpr::Slot(slot) => get(row, *slot).clone(),
+        BoundExpr::Prop { slot, key } => match get(row, *slot) {
+            Value::Node(n) => ctx.g.node_prop(*n, *key).map_or(Value::Null, Value::Scalar),
+            Value::Edge(e) => ctx.g.edge_prop(*e, *key).map_or(Value::Null, Value::Scalar),
+            Value::Null => Value::Null,
+            Value::Scalar(_) => {
+                return Err(QueryError::Semantic(
+                    "cannot read a property of a scalar value".into(),
+                ))
+            }
+        },
+        BoundExpr::Cmp(a, op, b) => {
+            let (av, bv) = (eval_value(ctx, row, a)?, eval_value(ctx, row, b)?);
+            Value::Scalar(PropValue::Bool(compare(&av, &bv, *op)))
+        }
+        BoundExpr::Arith(a, op, b) => {
+            let (av, bv) = (eval_value(ctx, row, a)?, eval_value(ctx, row, b)?);
+            arith(&av, *op, &bv)
+        }
+        BoundExpr::Agg { .. } => {
+            return Err(QueryError::Semantic(
+                "aggregate evaluated outside an aggregated projection".into(),
+            ))
+        }
+        BoundExpr::And(..)
+        | BoundExpr::Or(..)
+        | BoundExpr::Xor(..)
+        | BoundExpr::Not(..)
+        | BoundExpr::PatternPredicate(_) => {
+            let b = eval_truthy(ctx, row, expr)?;
+            Value::Scalar(PropValue::Bool(b))
+        }
+    })
+}
+
+/// Integer arithmetic with SQL-ish null propagation: any non-int operand
+/// (including `NULL`) yields `NULL`, as do division and modulo by zero.
+/// Overflow wraps (two's complement), keeping evaluation total.
+pub(super) fn arith(a: &Value, op: ArithOp, b: &Value) -> Value {
+    let (Some(x), Some(y)) = (as_int(a), as_int(b)) else {
+        return Value::Null;
+    };
+    let r = match op {
+        ArithOp::Add => x.wrapping_add(y),
+        ArithOp::Sub => x.wrapping_sub(y),
+        ArithOp::Mul => x.wrapping_mul(y),
+        ArithOp::Div => {
+            if y == 0 {
+                return Value::Null;
+            }
+            x.wrapping_div(y)
+        }
+        ArithOp::Mod => {
+            if y == 0 {
+                return Value::Null;
+            }
+            x.wrapping_rem(y)
+        }
+    };
+    Value::Scalar(PropValue::Int(r))
+}
+
+pub(super) fn as_int(v: &Value) -> Option<i64> {
+    match v {
+        Value::Scalar(PropValue::Int(i)) => Some(*i),
+        _ => None,
+    }
+}
+
+/// Property equality: strings compare case-insensitively (the paper's
+/// Figure 3/5 queries mix `SHORT_NAME` and `short_name` casings and Lucene
+/// analyzers lower-case terms); other kinds compare exactly.
+pub(super) fn values_eq(a: &PropValue, b: &PropValue) -> bool {
+    match (a, b) {
+        (PropValue::Str(x), PropValue::Str(y)) => x.eq_ignore_ascii_case(y),
+        _ => a == b,
+    }
+}
+
+/// Total order over runtime values for `ORDER BY`: Null < Node < Edge <
+/// Scalar; within a kind, natural order.
+pub(super) fn value_cmp(a: &Value, b: &Value) -> std::cmp::Ordering {
+    fn kind(v: &Value) -> u8 {
+        match v {
+            Value::Null => 0,
+            Value::Node(_) => 1,
+            Value::Edge(_) => 2,
+            Value::Scalar(_) => 3,
+        }
+    }
+    match (a, b) {
+        (Value::Node(x), Value::Node(y)) => x.cmp(y),
+        (Value::Edge(x), Value::Edge(y)) => x.cmp(y),
+        (Value::Scalar(x), Value::Scalar(y)) => x.cmp_total(y),
+        _ => kind(a).cmp(&kind(b)),
+    }
+}
+
+pub(super) fn compare(a: &Value, b: &Value, op: CmpOp) -> bool {
+    use std::cmp::Ordering;
+    let ord: Option<Ordering> = match (a, b) {
+        (Value::Null, _) | (_, Value::Null) => None,
+        (Value::Node(x), Value::Node(y)) => Some(x.cmp(y)),
+        (Value::Edge(x), Value::Edge(y)) => Some(x.cmp(y)),
+        (Value::Scalar(x), Value::Scalar(y)) => match (x, y) {
+            (PropValue::Str(xs), PropValue::Str(ys)) => {
+                // Case-insensitive like values_eq for consistency.
+                Some(xs.to_ascii_lowercase().cmp(&ys.to_ascii_lowercase()))
+            }
+            _ if std::mem::discriminant(x) == std::mem::discriminant(y) => Some(x.cmp_total(y)),
+            _ => None,
+        },
+        _ => None,
+    };
+    match (ord, op) {
+        (Some(Ordering::Equal), CmpOp::Eq | CmpOp::Le | CmpOp::Ge) => true,
+        (Some(Ordering::Less), CmpOp::Ne | CmpOp::Lt | CmpOp::Le) => true,
+        (Some(Ordering::Greater), CmpOp::Ne | CmpOp::Gt | CmpOp::Ge) => true,
+        _ => false,
+    }
+}

@@ -1,0 +1,133 @@
+//! Anchor resolution: turning a planned anchor into concrete candidate
+//! nodes for one row.
+//!
+//! The planner fixes the anchor choice per pattern *statically* (see
+//! [`crate::plan::choose_anchor_static`]); this module handles the two
+//! runtime concerns the plan cannot:
+//!
+//! * **literal materialization** — cached plans carry no literals (one plan
+//!   serves every literal instantiation of a query shape), so the lookup
+//!   text / label is read off the bound pattern here;
+//! * **the null-anchor fallback** — a planned bound-variable anchor whose
+//!   slot holds `NULL` at runtime (a projected null flowing into a
+//!   pattern) is re-chosen per row with the same priority order the
+//!   planner models, exactly like the legacy per-row chooser.
+
+use super::{get, Row};
+use crate::ast::LabelSpec;
+use crate::binder::{BoundNode, BoundPattern};
+use crate::error::QueryError;
+use crate::plan::{AnchorSel, PlannedAnchor};
+use crate::value::Value;
+use frappe_model::{NodeId, PropKey};
+use frappe_store::{GraphView, NameField, NamePattern};
+
+/// Re-chooses the anchor with the legacy runtime priority: first node with
+/// a non-null slot, else first node with an indexable name property, else
+/// first node with a label, else an all-nodes scan from the left.
+pub(super) fn dynamic_anchor(p: &BoundPattern, row: &Row) -> PlannedAnchor {
+    for (i, n) in p.nodes.iter().enumerate() {
+        if n.name.is_some() && !matches!(get(row, n.slot), Value::Null) {
+            return PlannedAnchor {
+                index: i,
+                sel: AnchorSel::BoundVar,
+            };
+        }
+    }
+    for (i, n) in p.nodes.iter().enumerate() {
+        if name_lookup(n).is_some() {
+            return PlannedAnchor {
+                index: i,
+                sel: AnchorSel::NameIndex,
+            };
+        }
+    }
+    for (i, n) in p.nodes.iter().enumerate() {
+        if !n.labels.is_empty() {
+            return PlannedAnchor {
+                index: i,
+                sel: AnchorSel::LabelScan,
+            };
+        }
+    }
+    PlannedAnchor {
+        index: 0,
+        sel: AnchorSel::AllNodes,
+    }
+}
+
+/// Resolves the planned anchor against a concrete row. Only a planned
+/// bound-variable anchor can be invalidated at runtime (its slot may hold
+/// `NULL`); every other plan choice is row-independent.
+pub(super) fn resolve(planned: PlannedAnchor, p: &BoundPattern, row: &Row) -> PlannedAnchor {
+    if planned.sel == AnchorSel::BoundVar
+        && matches!(get(row, p.nodes[planned.index].slot), Value::Null)
+    {
+        dynamic_anchor(p, row)
+    } else {
+        planned
+    }
+}
+
+/// First indexable name property of a node pattern, in source order.
+fn name_lookup(np: &BoundNode) -> Option<(NameField, &str)> {
+    for (k, v) in &np.props {
+        if let Some(s) = v.as_str() {
+            match k {
+                PropKey::ShortName => return Some((NameField::ShortName, s)),
+                PropKey::Name => return Some((NameField::Name, s)),
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// Materializes the anchor's candidate nodes.
+pub(super) fn candidates<G: GraphView>(
+    g: &G,
+    p: &BoundPattern,
+    anchor: PlannedAnchor,
+    row: &Row,
+) -> Result<Vec<NodeId>, QueryError> {
+    let node = &p.nodes[anchor.index];
+    Ok(match anchor.sel {
+        AnchorSel::BoundVar => match get(row, node.slot) {
+            Value::Node(n) => vec![*n],
+            _ => Vec::new(),
+        },
+        AnchorSel::NameIndex => {
+            let (field, text) = name_lookup(node).expect("planned name-index anchor has name prop");
+            if g.is_frozen() {
+                g.lookup_name(field, &NamePattern::parse(text))?
+            } else {
+                g.nodes().collect()
+            }
+        }
+        AnchorSel::LabelScan => {
+            let spec = node
+                .labels
+                .first()
+                .expect("planned label-scan anchor has label");
+            if g.is_frozen() {
+                match spec {
+                    LabelSpec::Type(t) => g.nodes_with_type(*t)?.to_vec(),
+                    LabelSpec::Group(l) => g.nodes_with_label(*l)?.to_vec(),
+                }
+            } else {
+                g.nodes().collect()
+            }
+        }
+        AnchorSel::AllNodes => g.nodes().collect(),
+    })
+}
+
+/// Bumps the per-anchor-kind observability counters (gated by the caller).
+pub(super) fn count_anchor(sel: AnchorSel) {
+    match sel {
+        AnchorSel::BoundVar => frappe_obs::counter!("query.anchor.bound_var").incr(),
+        AnchorSel::NameIndex => frappe_obs::counter!("query.anchor.name_index").incr(),
+        AnchorSel::LabelScan => frappe_obs::counter!("query.anchor.label_scan").incr(),
+        AnchorSel::AllNodes => frappe_obs::counter!("query.anchor.all_nodes").incr(),
+    }
+}

@@ -1,0 +1,68 @@
+//! The shared projection tail for `WITH` and `RETURN`: evaluate the items,
+//! then `DISTINCT`, `ORDER BY` (stable), `SKIP`, `LIMIT`. Aggregated
+//! projections are delegated to [`super::aggregate`].
+//!
+//! After `apply`, the row *is* the projection: slot `i` holds item `i`.
+//! That is exactly the re-rooting the binder performs on its scope at a
+//! `WITH`, so downstream stages read the projected values by slot.
+
+use super::{Ctx, Row};
+use crate::binder::{BoundProjection, OrderKey};
+use crate::error::QueryError;
+use crate::exec::{aggregate, filter};
+use crate::value::Value;
+use frappe_store::GraphView;
+use std::collections::HashSet;
+
+pub(super) fn apply<G: GraphView>(
+    ctx: &mut Ctx<'_, G>,
+    rows: Vec<Row>,
+    proj: &BoundProjection,
+) -> Result<Vec<Row>, QueryError> {
+    if proj.aggregated {
+        return aggregate::apply(ctx, rows, proj);
+    }
+
+    // Project, with sort keys computed against the full input row (an
+    // `ORDER BY` key may reference variables the projection drops).
+    let mut combined: Vec<(Vec<Value>, Row)> = Vec::with_capacity(rows.len());
+    for row in &rows {
+        let mut out = Vec::with_capacity(proj.items.len());
+        for item in &proj.items {
+            out.push(filter::eval_value(ctx, row, &item.expr)?);
+        }
+        let mut keys = Vec::with_capacity(proj.order_by.len());
+        for (key, _) in &proj.order_by {
+            keys.push(match key {
+                OrderKey::Input(e) => filter::eval_value(ctx, row, e)?,
+                OrderKey::Column(i) => out.get(*i).cloned().unwrap_or(Value::Null),
+            });
+        }
+        combined.push((keys, out));
+    }
+
+    if proj.distinct {
+        let mut seen: HashSet<Row> = HashSet::new();
+        combined.retain(|(_, out)| seen.insert(out.clone()));
+    }
+    if !proj.order_by.is_empty() {
+        let descs: Vec<bool> = proj.order_by.iter().map(|(_, d)| *d).collect();
+        combined.sort_by(|a, b| {
+            for (i, desc) in descs.iter().enumerate() {
+                let ord = filter::value_cmp(&a.0[i], &b.0[i]);
+                if ord != std::cmp::Ordering::Equal {
+                    return if *desc { ord.reverse() } else { ord };
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+    let skip = proj
+        .skip
+        .map_or(0, |s| usize::try_from(s).unwrap_or(usize::MAX));
+    let mut out: Vec<Row> = combined.into_iter().skip(skip).map(|(_, p)| p).collect();
+    if let Some(limit) = proj.limit {
+        out.truncate(usize::try_from(limit).unwrap_or(usize::MAX));
+    }
+    Ok(out)
+}

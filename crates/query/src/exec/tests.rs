@@ -1,0 +1,660 @@
+use super::*;
+use frappe_model::{EdgeType, FileId, NodeType, SrcRange};
+use frappe_store::GraphStore;
+
+/// fig2-like store: prog <- foo.o etc., plus a small call graph.
+fn sample() -> GraphStore {
+    let mut g = GraphStore::new();
+    let main = g.add_node(NodeType::Function, "main");
+    let bar = g.add_node(NodeType::Function, "bar");
+    let baz = g.add_node(NodeType::Function, "baz");
+    let x = g.add_node(NodeType::Global, "x");
+    let file = g.add_node(NodeType::File, "main.c");
+    g.add_edge(file, EdgeType::FileContains, main);
+    g.add_edge(file, EdgeType::FileContains, bar);
+    let e = g.add_edge(main, EdgeType::Calls, bar);
+    g.set_edge_use_range(e, SrcRange::new(FileId(0), 10, 1, 10, 8));
+    g.set_edge_name_range(e, SrcRange::new(FileId(0), 10, 1, 10, 3));
+    let e2 = g.add_edge(bar, EdgeType::Calls, baz);
+    g.set_edge_use_range(e2, SrcRange::new(FileId(0), 20, 1, 20, 8));
+    g.add_edge(main, EdgeType::Writes, x);
+    g.add_edge(baz, EdgeType::Reads, x);
+    g.freeze();
+    g
+}
+
+fn run(g: &GraphStore, q: &str) -> ResultSet {
+    Engine::new().run_str(g, q).unwrap()
+}
+
+#[test]
+fn start_and_single_hop() {
+    let g = sample();
+    let r = run(
+        &g,
+        "START n=node:node_auto_index('short_name: main') MATCH n -[:calls]-> m RETURN m",
+    );
+    assert_eq!(r.columns, vec!["m"]);
+    assert_eq!(r.rows.len(), 1);
+}
+
+#[test]
+fn reverse_direction() {
+    let g = sample();
+    let r = run(
+        &g,
+        "START n=node:node_auto_index('short_name: bar') MATCH n <-[:calls]- m RETURN m",
+    );
+    assert_eq!(r.rows.len(), 1); // main calls bar
+}
+
+#[test]
+fn undirected_matches_both() {
+    let g = sample();
+    let r = run(
+        &g,
+        "START n=node:node_auto_index('short_name: bar') MATCH n -[:calls]- m RETURN m",
+    );
+    assert_eq!(r.rows.len(), 2); // main (incoming) + baz (outgoing)
+}
+
+#[test]
+fn var_length_transitive_closure() {
+    let g = sample();
+    let r = run(
+        &g,
+        "START n=node:node_auto_index('short_name: main') \
+         MATCH n -[:calls*]-> m RETURN distinct m",
+    );
+    assert_eq!(r.rows.len(), 2); // bar, baz
+}
+
+#[test]
+fn var_length_bounds() {
+    let g = sample();
+    let one = run(
+        &g,
+        "START n=node:node_auto_index('short_name: main') \
+         MATCH n -[:calls*1..1]-> m RETURN m",
+    );
+    assert_eq!(one.rows.len(), 1);
+    let exactly_two = run(
+        &g,
+        "START n=node:node_auto_index('short_name: main') \
+         MATCH n -[:calls*2]-> m RETURN m",
+    );
+    assert_eq!(exactly_two.rows.len(), 1); // baz only
+    let zero = run(
+        &g,
+        "START n=node:node_auto_index('short_name: main') \
+         MATCH n -[:calls*0..1]-> m RETURN m",
+    );
+    assert_eq!(zero.rows.len(), 2); // main itself + bar
+}
+
+#[test]
+fn reachability_semantics_agree_on_results() {
+    let g = sample();
+    let q = Query::parse(
+        "START n=node:node_auto_index('short_name: main') \
+         MATCH n -[:calls*]-> m RETURN distinct m",
+    )
+    .unwrap();
+    let enumerate = Engine::new().run(&g, &q).unwrap();
+    let reach = Engine::with_options(EngineOptions {
+        path_semantics: PathSemantics::Reachability,
+        ..Default::default()
+    })
+    .run(&g, &q)
+    .unwrap();
+    let to_set = |r: &ResultSet| {
+        r.rows
+            .iter()
+            .map(|row| row[0].clone())
+            .collect::<std::collections::HashSet<_>>()
+    };
+    assert_eq!(to_set(&enumerate), to_set(&reach));
+    assert!(reach.steps <= enumerate.steps);
+}
+
+#[test]
+fn property_filters_on_nodes_and_edges() {
+    let g = sample();
+    let r = run(
+        &g,
+        "MATCH (f:file) -[:file_contains]-> (n:function {short_name: 'bar'}) RETURN n",
+    );
+    assert_eq!(r.rows.len(), 1);
+    let r = run(
+        &g,
+        "MATCH a -[r:calls {use_start_line: 20}]-> b RETURN a, b",
+    );
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.columns, vec!["a", "b"]);
+}
+
+#[test]
+fn where_comparisons() {
+    let g = sample();
+    let r = run(
+        &g,
+        "MATCH a -[r:calls]-> b WHERE r.use_start_line >= 15 RETURN b",
+    );
+    assert_eq!(r.rows.len(), 1); // bar->baz at line 20
+}
+
+#[test]
+fn where_pattern_predicate() {
+    let g = sample();
+    let r = run(
+        &g,
+        "START x=node:node_auto_index('short_name: x') \
+         MATCH (f:function {short_name: 'baz'}) WHERE f -[:reads]-> x RETURN f",
+    );
+    assert_eq!(r.rows.len(), 1);
+    let r = run(
+        &g,
+        "START x=node:node_auto_index('short_name: x') \
+         MATCH (f:function {short_name: 'bar'}) WHERE f -[:reads]-> x RETURN f",
+    );
+    assert_eq!(r.rows.len(), 0);
+}
+
+#[test]
+fn with_distinct_dedups_midstream() {
+    let g = sample();
+    // Both file_contains edges lead to the same file when walked
+    // backwards from two functions; WITH distinct collapses it.
+    let r = run(
+        &g,
+        "MATCH (n:function) <-[:file_contains]- f WITH distinct f \
+         MATCH f -[:file_contains]-> m RETURN m",
+    );
+    assert_eq!(r.rows.len(), 2); // main, bar exactly once each
+}
+
+#[test]
+fn return_distinct_and_limit() {
+    let g = sample();
+    let r = run(&g, "MATCH (n:function) RETURN n LIMIT 2");
+    assert_eq!(r.rows.len(), 2);
+    let r = run(&g, "MATCH (n:function) -[:calls]- m RETURN distinct n");
+    assert_eq!(r.rows.len(), 3);
+}
+
+#[test]
+fn return_properties() {
+    let g = sample();
+    let r = run(
+        &g,
+        "START n=node:node_auto_index('short_name: main') RETURN n.short_name",
+    );
+    assert_eq!(r.rows[0][0], Value::Scalar(PropValue::from("main")));
+    assert_eq!(r.columns, vec!["n.short_name"]);
+}
+
+#[test]
+fn label_scan_without_start() {
+    let g = sample();
+    let r = run(&g, "MATCH (n:global) RETURN n");
+    assert_eq!(r.rows.len(), 1);
+    let r = run(&g, "MATCH (n:symbol) RETURN n");
+    assert_eq!(r.rows.len(), 4); // 3 functions + 1 global
+}
+
+#[test]
+fn budget_aborts_runaway_enumeration() {
+    // A dense graph: path enumeration between hubs explodes.
+    let mut g = GraphStore::new();
+    let nodes: Vec<NodeId> = (0..14)
+        .map(|i| g.add_node(NodeType::Function, &format!("f{i}")))
+        .collect();
+    for a in &nodes {
+        for b in &nodes {
+            if a != b {
+                g.add_edge(*a, EdgeType::Calls, *b);
+            }
+        }
+    }
+    g.freeze();
+    let engine = Engine::with_options(EngineOptions {
+        max_steps: 100_000,
+        ..Default::default()
+    });
+    let q = Query::parse(
+        "START n=node:node_auto_index('short_name: f0') \
+         MATCH n -[:calls*]-> m RETURN distinct m",
+    )
+    .unwrap();
+    let err = engine.run(&g, &q).unwrap_err();
+    assert!(matches!(err, QueryError::BudgetExhausted { .. }));
+    // Reachability semantics handle the same query instantly.
+    let reach = Engine::with_options(EngineOptions {
+        path_semantics: PathSemantics::Reachability,
+        max_steps: 100_000,
+        ..Default::default()
+    });
+    let r = reach.run(&g, &q).unwrap();
+    assert_eq!(r.rows.len(), 13);
+}
+
+#[test]
+fn relationship_uniqueness_within_pattern() {
+    // a -> b -> a: the path a-b-a uses two distinct edges and is valid;
+    // but a single edge cannot be reused, so *2 from a over one edge
+    // cannot bounce a->b->a via the same edge twice.
+    let mut g = GraphStore::new();
+    let a = g.add_node(NodeType::Function, "a");
+    let b = g.add_node(NodeType::Function, "b");
+    g.add_edge(a, EdgeType::Calls, b);
+    g.freeze();
+    let r = run(
+        &g,
+        "START n=node:node_auto_index('short_name: a') \
+         MATCH n -[:calls*2]- m RETURN m",
+    );
+    assert_eq!(r.rows.len(), 0);
+}
+
+#[test]
+fn multiple_patterns_join_on_shared_vars() {
+    let g = sample();
+    let r = run(
+        &g,
+        "MATCH (f:file) -[:file_contains]-> n, n -[:calls]-> m RETURN n, m",
+    );
+    assert_eq!(r.rows.len(), 2); // main->bar and bar->baz (both in file)
+}
+
+#[test]
+fn anchor_mid_pattern_bound_variable() {
+    let g = sample();
+    // b is bound by START; anchor must be b (rightmost node), expanding
+    // leftwards through an anonymous node.
+    let r = run(
+        &g,
+        "START b=node:node_auto_index('short_name: main.c') \
+         MATCH writer -[:writes]-> (x) <-[:reads]- reader, b -[:file_contains]-> writer \
+         RETURN writer, reader",
+    );
+    assert_eq!(r.rows.len(), 1);
+    let names: Vec<String> = r.rows[0]
+        .iter()
+        .map(|v| g.node_short_name(v.as_node().unwrap()).to_owned())
+        .collect();
+    assert_eq!(names, vec!["main", "baz"]);
+}
+
+#[test]
+fn unbound_variable_errors() {
+    let g = sample();
+    let err = Engine::new()
+        .run_str(&g, "MATCH (n:function) RETURN nope")
+        .unwrap_err();
+    assert!(matches!(err, QueryError::UnboundVariable { .. }));
+}
+
+#[test]
+fn explain_mentions_anchors_and_plan_cost() {
+    let g = sample();
+    let q = Query::parse(
+        "START n=node:node_auto_index('short_name: main') MATCH n -[:calls]-> m RETURN m",
+    )
+    .unwrap();
+    let plan = Engine::new().explain(&g, &q);
+    assert!(plan.contains("IndexLookup"));
+    assert!(plan.contains("bound variable"));
+    assert!(plan.starts_with("Plan cost="));
+    assert!(plan.contains("cache=miss"));
+}
+
+#[test]
+fn explain_never_caches_but_run_does() {
+    let g = sample();
+    let q = Query::parse(
+        "START n=node:node_auto_index('short_name: main') MATCH n -[:calls]-> m RETURN m",
+    )
+    .unwrap();
+    let engine = Engine::new();
+    // EXPLAIN peeks read-only: repeated EXPLAINs stay misses.
+    assert!(engine.explain(&g, &q).contains("cache=miss"));
+    assert!(engine.explain(&g, &q).contains("cache=miss"));
+    assert_eq!(engine.plan_cache_stats().entries, 0);
+    // A real run populates the cache; the next run and EXPLAIN both hit.
+    engine.run(&g, &q).unwrap();
+    engine.run(&g, &q).unwrap();
+    let stats = engine.plan_cache_stats();
+    assert_eq!(stats.entries, 1);
+    assert_eq!(stats.misses, 1);
+    assert!(stats.hits >= 1);
+    assert!(engine.explain(&g, &q).contains("cache=hit"));
+    // A cloned engine shares the cache; a fresh one does not.
+    assert_eq!(engine.clone().plan_cache_stats().entries, 1);
+    assert_eq!(Engine::new().plan_cache_stats().entries, 0);
+}
+
+#[test]
+fn timeout_fires() {
+    let mut g = GraphStore::new();
+    let nodes: Vec<NodeId> = (0..14)
+        .map(|i| g.add_node(NodeType::Function, &format!("f{i}")))
+        .collect();
+    for a in &nodes {
+        for b in &nodes {
+            if a != b {
+                g.add_edge(*a, EdgeType::Calls, *b);
+            }
+        }
+    }
+    g.freeze();
+    let engine = Engine::with_options(EngineOptions {
+        timeout: Some(Duration::from_millis(20)),
+        ..Default::default()
+    });
+    let err = engine
+        .run_str(
+            &g,
+            "START n=node:node_auto_index('short_name: f0') \
+             MATCH n -[:calls*]-> m RETURN distinct m",
+        )
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        QueryError::Timeout { .. } | QueryError::BudgetExhausted { .. }
+    ));
+}
+
+mod order_by {
+    use super::*;
+
+    fn lines_graph() -> GraphStore {
+        let mut g = GraphStore::new();
+        let f = g.add_node(NodeType::Function, "f");
+        for (name, line) in [("c", 30u32), ("a", 10), ("b", 20)] {
+            let callee = g.add_node(NodeType::Function, name);
+            let e = g.add_edge(f, EdgeType::Calls, callee);
+            g.set_edge_use_range(
+                e,
+                frappe_model::SrcRange::new(frappe_model::FileId(0), line, 1, line, 9),
+            );
+        }
+        g.freeze();
+        g
+    }
+
+    #[test]
+    fn order_by_property_ascending_and_descending() {
+        let g = lines_graph();
+        let run = |q: &str| {
+            Engine::new()
+                .run_str(&g, q)
+                .unwrap()
+                .rows
+                .iter()
+                .map(|r| r[0].to_string())
+                .collect::<Vec<_>>()
+        };
+        let asc = run("START f=node:node_auto_index('short_name: f') \
+             MATCH f -[r:calls]-> m \
+             RETURN m.short_name ORDER BY r.use_start_line");
+        assert_eq!(asc, vec!["a", "b", "c"]);
+        let desc = run("START f=node:node_auto_index('short_name: f') \
+             MATCH f -[r:calls]-> m \
+             RETURN m.short_name ORDER BY r.use_start_line DESC");
+        assert_eq!(desc, vec!["c", "b", "a"]);
+    }
+
+    #[test]
+    fn skip_and_limit_paginate() {
+        let g = lines_graph();
+        let r = Engine::new()
+            .run_str(
+                &g,
+                "START f=node:node_auto_index('short_name: f') \
+                 MATCH f -[r:calls]-> m \
+                 RETURN m.short_name ORDER BY m.short_name SKIP 1 LIMIT 1",
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0], Value::Scalar(PropValue::from("b")));
+    }
+
+    #[test]
+    fn order_by_multiple_keys() {
+        let g = lines_graph();
+        let r = Engine::new()
+            .run_str(
+                &g,
+                "START f=node:node_auto_index('short_name: f') \
+                 MATCH f -[r:calls]-> m \
+                 RETURN m ORDER BY f.short_name, r.use_start_line DESC",
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 3);
+        // Ties on the first key resolved by the second, descending.
+        let g2 = &g;
+        let names: Vec<&str> = r
+            .rows
+            .iter()
+            .map(|row| g2.node_short_name(row[0].as_node().unwrap()))
+            .collect();
+        assert_eq!(names, vec!["c", "b", "a"]);
+    }
+
+    #[test]
+    fn order_by_in_with_pipelines() {
+        let g = lines_graph();
+        let r = Engine::new()
+            .run_str(
+                &g,
+                "START f=node:node_auto_index('short_name: f') \
+                 MATCH f -[r:calls]-> m \
+                 WITH m.short_name AS name ORDER BY name DESC LIMIT 2 \
+                 RETURN name",
+            )
+            .unwrap();
+        let names: Vec<String> = r.rows.iter().map(|row| row[0].to_string()).collect();
+        assert_eq!(names, vec!["c", "b"]);
+    }
+
+    #[test]
+    fn order_by_parse_errors() {
+        assert!(Query::parse("MATCH (n) RETURN n ORDER n").is_err());
+        assert!(Query::parse("MATCH (n) RETURN n SKIP x").is_err());
+    }
+}
+
+mod aggregates {
+    use super::*;
+
+    fn callgraph() -> GraphStore {
+        let mut g = GraphStore::new();
+        let a = g.add_node(NodeType::Function, "a");
+        let b = g.add_node(NodeType::Function, "b");
+        let c = g.add_node(NodeType::Function, "c");
+        g.add_edge(a, EdgeType::Calls, b);
+        g.add_edge(a, EdgeType::Calls, c);
+        g.add_edge(b, EdgeType::Calls, c);
+        g.freeze();
+        g
+    }
+
+    #[test]
+    fn count_star_counts_rows() {
+        let g = callgraph();
+        let r = Engine::new()
+            .run_str(&g, "MATCH (n:function) -[:calls]-> m RETURN count(*)")
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Scalar(PropValue::Int(3))]]);
+        assert_eq!(r.columns, vec!["count(*)"]);
+    }
+
+    #[test]
+    fn implicit_grouping_by_non_aggregate_items() {
+        let g = callgraph();
+        // Out-degree per function.
+        let r = Engine::new()
+            .run_str(&g, "MATCH n -[:calls]-> m RETURN n.short_name, count(m)")
+            .unwrap();
+        let mut rows: Vec<(String, i64)> = r
+            .rows
+            .iter()
+            .map(|row| {
+                (
+                    row[0].to_string(),
+                    row[1].as_scalar().unwrap().as_int().unwrap(),
+                )
+            })
+            .collect();
+        rows.sort();
+        assert_eq!(rows, vec![("a".into(), 2), ("b".into(), 1)]);
+    }
+
+    #[test]
+    fn count_expr_skips_nulls() {
+        let g = callgraph();
+        // LONG_NAME is unset everywhere, so count(n.long_name) is 0 while
+        // count(*) is 3.
+        let r = Engine::new()
+            .run_str(&g, "MATCH (n:function) RETURN count(n.long_name), count(*)")
+            .unwrap();
+        assert_eq!(
+            r.rows,
+            vec![vec![
+                Value::Scalar(PropValue::Int(0)),
+                Value::Scalar(PropValue::Int(3)),
+            ]]
+        );
+    }
+
+    #[test]
+    fn sum_avg_min_max_over_edge_property() {
+        let mut g = GraphStore::new();
+        let f = g.add_node(NodeType::Function, "f");
+        for (name, line) in [("a", 10u32), ("b", 20), ("c", 60)] {
+            let callee = g.add_node(NodeType::Function, name);
+            let e = g.add_edge(f, EdgeType::Calls, callee);
+            g.set_edge_use_range(
+                e,
+                frappe_model::SrcRange::new(frappe_model::FileId(0), line, 1, line, 9),
+            );
+        }
+        g.freeze();
+        let r = Engine::new()
+            .run_str(
+                &g,
+                "MATCH f -[r:calls]-> m \
+                 RETURN sum(r.use_start_line), avg(r.use_start_line), \
+                        min(r.use_start_line), max(r.use_start_line)",
+            )
+            .unwrap();
+        let ints: Vec<i64> = r.rows[0]
+            .iter()
+            .map(|v| v.as_scalar().unwrap().as_int().unwrap())
+            .collect();
+        assert_eq!(ints, vec![90, 30, 10, 60]);
+    }
+
+    #[test]
+    fn min_max_over_strings() {
+        let g = callgraph();
+        let r = Engine::new()
+            .run_str(
+                &g,
+                "MATCH (n:function) RETURN min(n.short_name), max(n.short_name)",
+            )
+            .unwrap();
+        assert_eq!(
+            r.rows,
+            vec![vec![
+                Value::Scalar(PropValue::from("a")),
+                Value::Scalar(PropValue::from("c")),
+            ]]
+        );
+    }
+
+    #[test]
+    fn avg_of_no_values_is_null() {
+        let g = callgraph();
+        // use_start_line is unset on every edge of this graph.
+        let r = Engine::new()
+            .run_str(&g, "MATCH n -[r:calls]-> m RETURN avg(r.use_start_line)")
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Null]]);
+    }
+
+    #[test]
+    fn aggregate_arithmetic_items() {
+        let g = callgraph();
+        let r = Engine::new()
+            .run_str(&g, "MATCH n -[:calls]-> m RETURN count(*) * 2 + 1")
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Scalar(PropValue::Int(7))]]);
+    }
+
+    #[test]
+    fn order_by_aggregate_column() {
+        let g = callgraph();
+        let r = Engine::new()
+            .run_str(
+                &g,
+                "MATCH n -[:calls]-> m \
+                 RETURN n.short_name, count(m) ORDER BY count(m) DESC",
+            )
+            .unwrap();
+        let rows: Vec<(String, i64)> = r
+            .rows
+            .iter()
+            .map(|row| {
+                (
+                    row[0].to_string(),
+                    row[1].as_scalar().unwrap().as_int().unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(rows, vec![("a".into(), 2), ("b".into(), 1)]);
+    }
+
+    #[test]
+    fn aggregates_in_with_pipelines() {
+        let g = callgraph();
+        // Out-degree via WITH, then filter on the aggregate downstream.
+        let r = Engine::new()
+            .run_str(
+                &g,
+                "MATCH n -[:calls]-> m \
+                 WITH n AS caller, count(m) AS degree \
+                 WHERE degree > 1 RETURN caller, degree",
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][1], Value::Scalar(PropValue::Int(2)));
+    }
+
+    #[test]
+    fn count_outside_return_is_rejected() {
+        let g = callgraph();
+        let err = Engine::new()
+            .run_str(&g, "MATCH (n) WHERE count(*) > 1 RETURN n")
+            .unwrap_err();
+        assert!(matches!(err, QueryError::UngroupedAggregate { .. }));
+    }
+
+    #[test]
+    fn order_by_non_item_is_rejected_when_aggregating() {
+        let g = callgraph();
+        let err = Engine::new()
+            .run_str(&g, "MATCH (n) RETURN count(*) ORDER BY n")
+            .unwrap_err();
+        assert!(matches!(err, QueryError::UngroupedAggregate { .. }));
+    }
+
+    #[test]
+    fn count_with_limit() {
+        let g = callgraph();
+        let r = Engine::new()
+            .run_str(&g, "MATCH n -[:calls]-> m RETURN n, count(m) LIMIT 1")
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+    }
+}

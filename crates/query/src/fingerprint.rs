@@ -92,6 +92,9 @@ pub(crate) fn normalize_tokens(tokens: &[Spanned]) -> String {
             Tok::Dash => out.push('-'),
             Tok::Arrow => out.push_str("->"),
             Tok::BackArrow => out.push_str("<-"),
+            Tok::Plus => out.push('+'),
+            Tok::Slash => out.push('/'),
+            Tok::Percent => out.push('%'),
         }
     }
     out
@@ -195,5 +198,29 @@ mod tests {
         assert_eq!(fingerprint(hop), 0xbb8c_f0bd_d9cf_ea43);
         assert_eq!(format_fingerprint(fingerprint(hop)), "bb8cf0bdd9cfea43");
         assert_eq!(format_fingerprint(0xab), "00000000000000ab");
+    }
+
+    #[test]
+    fn v1_fingerprints_survive_the_v2_keyword_set() {
+        // The v2 language turned WITH/ORDER/SKIP (already keywords in v1)
+        // plus AS and GROUP into keywords and added arithmetic tokens.
+        // These pinned vectors prove the v1 normal forms — including ones
+        // exercising WITH/ORDER/SKIP — did not shift.
+        let with_pipeline = "MATCH (f:function) -[:calls]-> g \
+                             WITH DISTINCT g RETURN g ORDER BY g.short_name SKIP 2 LIMIT 5";
+        assert_eq!(
+            normalize(with_pipeline),
+            "MATCH ( f : function ) - [ : calls ] -> g WITH DISTINCT g RETURN g \
+             ORDER BY g . short_name SKIP ? LIMIT ?"
+        );
+        assert_eq!(fingerprint(with_pipeline), 0xd561_5e32_0ce4_8645);
+        // Keyword case-folding applies to the new keywords too: `group`
+        // and `as` normalize as keywords, not identifiers.
+        assert_eq!(normalize("group as"), "GROUP AS");
+        // Arithmetic operators are verbatim; their literals still erase.
+        assert_eq!(
+            normalize("RETURN n.value * 2 + 1 / 3 % 4"),
+            "RETURN n . value * ? + ? / ? % ?"
+        );
     }
 }

@@ -63,18 +63,22 @@
 //! ```
 
 pub mod ast;
+pub mod binder;
 pub mod error;
 pub mod exec;
 pub mod fingerprint;
 pub mod lucene;
 pub mod parser;
+pub mod plan;
 pub mod profile;
 pub mod token;
 pub mod value;
 
 pub use ast::Query;
+pub use binder::{bind, BoundQuery, ValueType};
 pub use error::QueryError;
 pub use exec::{Engine, EngineOptions, PathSemantics, ResultSet};
 pub use fingerprint::{fingerprint, format_fingerprint, normalize};
+pub use plan::{AnchorSel, CacheOutcome, Plan, PlanCacheStats, PlanSummary, PlannedAnchor};
 pub use profile::{OpProfile, QueryProfile};
 pub use value::Value;

@@ -3,17 +3,35 @@
 //! The parser resolves identifiers eagerly: edge-type names, node labels and
 //! property keys must be known schema names (Table 1 / Table 2 / Table 6),
 //! so typos surface at parse time rather than as silently-empty results.
+//! Catalog misses are typed errors ([`QueryError::UnknownLabel`],
+//! [`QueryError::UnknownEdgeType`], [`QueryError::UnknownProperty`])
+//! carrying the byte offset of the offending identifier.
+//!
+//! v2 grammar (on top of the Cypher-1.x core):
+//!
+//! ```text
+//! projection := [DISTINCT] item (',' item)*
+//!               [GROUP BY expr (',' expr)*]
+//!               [ORDER BY expr [ASC|DESC] (',' ...)*] [SKIP n] [LIMIT n]
+//! item       := expr [AS ident]
+//! expr       := or > xor > and > not > cmp > add-sub > mul-div-mod > unary
+//! primary    := literal | NULL | '(' expr ')' | agg '(' [expr|'*'] ')'
+//!             | ident ['.' prop]
+//! agg        := count | sum | avg | min | max
+//! ```
+//!
+//! Both `WITH` and `RETURN` take the full projection tail.
 
 use crate::ast::{
-    Clause, CmpOp, ExplainMode, Expr, Item, LabelSpec, NodePattern, Pattern, Query, RelDir,
-    RelPattern, Return, StartItem,
+    AggFunc, ArithOp, Clause, CmpOp, ExplainMode, Expr, Item, LabelSpec, NodePattern, Pattern,
+    Projection, Query, RelDir, RelPattern, StartItem,
 };
 use crate::error::QueryError;
 use crate::lucene::LuceneQuery;
 use crate::token::{lex, Spanned, Tok};
-use frappe_model::{EdgeType, Label, NodeType, PropKey, PropValue};
+use frappe_model::{EdgeType, Label, NodeType, PropKey, PropKind, PropValue};
 
-/// Parses a complete query.
+/// Parses and binds a complete query.
 pub fn parse(text: &str) -> Result<Query, QueryError> {
     let tokens = lex(text)?;
     let normalized = crate::fingerprint::normalize_tokens(&tokens);
@@ -25,6 +43,7 @@ pub fn parse(text: &str) -> Result<Query, QueryError> {
     }
     q.fingerprint = fingerprint;
     q.normalized = normalized;
+    q.bound = crate::binder::bind(&q)?;
     Ok(q)
 }
 
@@ -83,8 +102,15 @@ impl Parser {
     }
 
     fn ident(&mut self, what: &str) -> Result<String, QueryError> {
+        Ok(self.ident_at(what)?.0)
+    }
+
+    /// An identifier plus its byte offset (captured *before* consuming, so
+    /// typed errors can point at the identifier itself).
+    fn ident_at(&mut self, what: &str) -> Result<(String, usize), QueryError> {
+        let off = self.offset();
         match self.next() {
-            Some(Tok::Ident(s)) => Ok(s),
+            Some(Tok::Ident(s)) => Ok((s, off)),
             other => Err(self.err(format!("expected {what}, found {other:?}"))),
         }
     }
@@ -126,9 +152,7 @@ impl Parser {
             } else if self.eat_kw("WHERE") {
                 clauses.push(Clause::Where(self.expr()?));
             } else if self.eat_kw("WITH") {
-                let distinct = self.eat_kw("DISTINCT");
-                let items = self.items()?;
-                clauses.push(Clause::With { distinct, items });
+                clauses.push(Clause::With(self.projection()?));
             } else {
                 break;
             }
@@ -136,8 +160,62 @@ impl Parser {
         if !self.eat_kw("RETURN") {
             return Err(self.err("expected RETURN"));
         }
+        let ret = self.projection()?;
+        Ok(Query {
+            explain,
+            starts,
+            clauses,
+            ret,
+            // Filled in by `parse` from the pre-parse token stream and the
+            // binder.
+            fingerprint: 0,
+            normalized: String::new(),
+            bound: crate::binder::BoundQuery::default(),
+        })
+    }
+
+    /// `v = node:node_auto_index('lucene query')`
+    fn start_item(&mut self) -> Result<StartItem, QueryError> {
+        let var = self.ident("start variable")?;
+        self.expect(&Tok::Eq, "'='")?;
+        let src = self.ident("'node'")?;
+        if !src.eq_ignore_ascii_case("node") {
+            return Err(self.err("only node index lookups are supported in START"));
+        }
+        self.expect(&Tok::Colon, "':'")?;
+        let idx = self.ident("index name")?;
+        if !idx.eq_ignore_ascii_case("node_auto_index") {
+            return Err(self.err(format!("unknown index '{idx}'")));
+        }
+        self.expect(&Tok::LParen, "'('")?;
+        let text = match self.next() {
+            Some(Tok::Str(s)) => s,
+            other => return Err(self.err(format!("expected index query string, found {other:?}"))),
+        };
+        self.expect(&Tok::RParen, "')'")?;
+        let lookup = LuceneQuery::parse(&text)?;
+        Ok(StartItem { var, lookup })
+    }
+
+    /// `[DISTINCT] items [GROUP BY ...] [ORDER BY ...] [SKIP n] [LIMIT n]`
+    /// — the shared tail of `WITH` and `RETURN`.
+    fn projection(&mut self) -> Result<Projection, QueryError> {
         let distinct = self.eat_kw("DISTINCT");
         let items = self.items()?;
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            if !self.eat_kw("BY") {
+                return Err(self.err("expected BY after GROUP"));
+            }
+            loop {
+                group_by.push(self.expr()?);
+                if self.peek() == Some(&Tok::Comma) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
         let mut order_by = Vec::new();
         if self.eat_kw("ORDER") {
             if !self.eat_kw("BY") {
@@ -171,44 +249,14 @@ impl Parser {
         };
         let skip = count_after("SKIP", self)?;
         let limit = count_after("LIMIT", self)?;
-        Ok(Query {
-            explain,
-            starts,
-            clauses,
-            ret: Return {
-                distinct,
-                items,
-                order_by,
-                skip,
-                limit,
-            },
-            // Filled in by `parse` from the pre-parse token stream.
-            fingerprint: 0,
-            normalized: String::new(),
+        Ok(Projection {
+            distinct,
+            items,
+            group_by,
+            order_by,
+            skip,
+            limit,
         })
-    }
-
-    /// `v = node:node_auto_index('lucene query')`
-    fn start_item(&mut self) -> Result<StartItem, QueryError> {
-        let var = self.ident("start variable")?;
-        self.expect(&Tok::Eq, "'='")?;
-        let src = self.ident("'node'")?;
-        if !src.eq_ignore_ascii_case("node") {
-            return Err(self.err("only node index lookups are supported in START"));
-        }
-        self.expect(&Tok::Colon, "':'")?;
-        let idx = self.ident("index name")?;
-        if !idx.eq_ignore_ascii_case("node_auto_index") {
-            return Err(self.err(format!("unknown index '{idx}'")));
-        }
-        self.expect(&Tok::LParen, "'('")?;
-        let text = match self.next() {
-            Some(Tok::Str(s)) => s,
-            other => return Err(self.err(format!("expected index query string, found {other:?}"))),
-        };
-        self.expect(&Tok::RParen, "')'")?;
-        let lookup = LuceneQuery::parse(&text)?;
-        Ok(StartItem { var, lookup })
     }
 
     fn items(&mut self) -> Result<Vec<Item>, QueryError> {
@@ -222,15 +270,10 @@ impl Parser {
 
     fn item(&mut self) -> Result<Item, QueryError> {
         let expr = self.expr()?;
-        let name = match &expr {
-            Expr::Var(v) => v.clone(),
-            Expr::Prop(v, k) => format!("{v}.{}", k.name().to_ascii_lowercase()),
-            Expr::Count(None) => "count(*)".to_owned(),
-            Expr::Count(Some(inner)) => match inner.as_ref() {
-                Expr::Var(v) => format!("count({v})"),
-                _ => "count(...)".to_owned(),
-            },
-            other => format!("{other:?}"),
+        let name = if self.eat_kw("AS") {
+            self.ident("alias after AS")?
+        } else {
+            item_name(&expr)
         };
         Ok(Item { expr, name })
     }
@@ -267,8 +310,8 @@ impl Parser {
                 }
                 while self.peek() == Some(&Tok::Colon) {
                     self.pos += 1;
-                    let label = self.ident("node label")?;
-                    np.labels.push(resolve_label(&label, self)?);
+                    let (label, off) = self.ident_at("node label")?;
+                    np.labels.push(resolve_label(&label, off)?);
                 }
                 if self.peek() == Some(&Tok::LBrace) {
                     np.props = self.prop_map()?;
@@ -302,9 +345,13 @@ impl Parser {
             if self.peek() == Some(&Tok::Colon) {
                 self.pos += 1;
                 loop {
-                    let name = self.ident("edge type")?;
-                    let ty = EdgeType::parse(&name.to_ascii_lowercase())
-                        .ok_or_else(|| self.err(format!("unknown edge type '{name}'")))?;
+                    let (name, off) = self.ident_at("edge type")?;
+                    let ty = EdgeType::parse(&name.to_ascii_lowercase()).ok_or(
+                        QueryError::UnknownEdgeType {
+                            offset: off,
+                            name: name.clone(),
+                        },
+                    )?;
                     rp.types.push(ty);
                     if self.peek() == Some(&Tok::Pipe) {
                         self.pos += 1;
@@ -366,11 +413,25 @@ impl Parser {
         self.expect(&Tok::LBrace, "'{'")?;
         let mut props = Vec::new();
         loop {
-            let key_name = self.ident("property key")?;
-            let key = PropKey::parse(&key_name)
-                .ok_or_else(|| self.err(format!("unknown property '{key_name}'")))?;
+            let (key_name, key_off) = self.ident_at("property key")?;
+            let key = PropKey::parse(&key_name).ok_or(QueryError::UnknownProperty {
+                offset: key_off,
+                name: key_name.clone(),
+            })?;
             self.expect(&Tok::Colon, "':'")?;
             let value = self.literal()?;
+            let got = prop_value_kind(&value);
+            if got != key.kind() {
+                return Err(QueryError::TypeMismatch {
+                    offset: key_off,
+                    message: format!(
+                        "property {} holds {} values, literal is {}",
+                        key.name(),
+                        key.kind().name(),
+                        got.name()
+                    ),
+                });
+            }
             props.push((key, value));
             if self.peek() == Some(&Tok::Comma) {
                 self.pos += 1;
@@ -445,7 +506,7 @@ impl Parser {
                 _ => self.pos = save,
             }
         }
-        let lhs = self.primary()?;
+        let lhs = self.add_expr()?;
         let op = match self.peek() {
             Some(Tok::Eq) => Some(CmpOp::Eq),
             Some(Tok::Ne) => Some(CmpOp::Ne),
@@ -457,7 +518,7 @@ impl Parser {
         };
         if let Some(op) = op {
             self.pos += 1;
-            let rhs = self.primary()?;
+            let rhs = self.add_expr()?;
             Ok(Expr::Cmp(Box::new(lhs), op, Box::new(rhs)))
         } else {
             Ok(lhs)
@@ -465,7 +526,9 @@ impl Parser {
     }
 
     /// Heuristic lookahead: `(` or an identifier followed by `-`/`<-` starts
-    /// a pattern predicate rather than a scalar expression.
+    /// a pattern predicate rather than a scalar expression. (`a - b`
+    /// arithmetic still parses: the pattern attempt fails at the missing
+    /// bracket/arrow and backtracks into the additive grammar.)
     fn looks_like_pattern_predicate(&self) -> bool {
         match self.peek() {
             Some(Tok::LParen) => true,
@@ -474,6 +537,55 @@ impl Parser {
             }
             _ => false,
         }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, QueryError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => ArithOp::Add,
+                Some(Tok::Dash) => ArithOp::Sub,
+                _ => break,
+            };
+            let off = self.offset();
+            self.pos += 1;
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Arith(Box::new(lhs), op, Box::new(rhs), off);
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, QueryError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => ArithOp::Mul,
+                Some(Tok::Slash) => ArithOp::Div,
+                Some(Tok::Percent) => ArithOp::Mod,
+                _ => break,
+            };
+            let off = self.offset();
+            self.pos += 1;
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Arith(Box::new(lhs), op, Box::new(rhs), off);
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, QueryError> {
+        if self.peek() == Some(&Tok::Dash) {
+            let off = self.offset();
+            self.pos += 1;
+            let inner = self.unary_expr()?;
+            // `-e` desugars to `0 - e`.
+            return Ok(Expr::Arith(
+                Box::new(Expr::Lit(PropValue::Int(0))),
+                ArithOp::Sub,
+                Box::new(inner),
+                off,
+            ));
+        }
+        self.primary()
     }
 
     fn primary(&mut self) -> Result<Expr, QueryError> {
@@ -505,28 +617,32 @@ impl Parser {
                 Ok(inner)
             }
             Some(Tok::Ident(id))
-                if id.eq_ignore_ascii_case("count") && self.peek2() == Some(&Tok::LParen) =>
+                if AggFunc::parse(&id).is_some() && self.peek2() == Some(&Tok::LParen) =>
             {
+                let offset = self.offset();
+                let func = AggFunc::parse(&id).expect("guarded");
                 self.pos += 2;
-                let inner = if self.peek() == Some(&Tok::Star) {
+                let arg = if func == AggFunc::Count && self.peek() == Some(&Tok::Star) {
                     self.pos += 1;
                     None
                 } else {
                     Some(Box::new(self.expr()?))
                 };
-                self.expect(&Tok::RParen, "')' after count")?;
-                Ok(Expr::Count(inner))
+                self.expect(&Tok::RParen, "')' after aggregate")?;
+                Ok(Expr::Agg { func, arg, offset })
             }
             Some(Tok::Ident(_)) => {
-                let var = self.ident("variable")?;
+                let (var, var_off) = self.ident_at("variable")?;
                 if self.peek() == Some(&Tok::Dot) {
                     self.pos += 1;
-                    let prop_name = self.ident("property name")?;
-                    let key = PropKey::parse(&prop_name)
-                        .ok_or_else(|| self.err(format!("unknown property '{prop_name}'")))?;
-                    Ok(Expr::Prop(var, key))
+                    let (prop_name, prop_off) = self.ident_at("property name")?;
+                    let key = PropKey::parse(&prop_name).ok_or(QueryError::UnknownProperty {
+                        offset: prop_off,
+                        name: prop_name.clone(),
+                    })?;
+                    Ok(Expr::Prop(var, key, var_off))
                 } else {
-                    Ok(Expr::Var(var))
+                    Ok(Expr::Var(var, var_off))
                 }
             }
             other => Err(self.err(format!("expected expression, found {other:?}"))),
@@ -534,14 +650,46 @@ impl Parser {
     }
 }
 
-fn resolve_label(name: &str, p: &Parser) -> Result<LabelSpec, QueryError> {
+/// The default output-column name of a projected expression.
+fn item_name(e: &Expr) -> String {
+    match e {
+        Expr::Var(v, _) => v.clone(),
+        Expr::Prop(v, k, _) => format!("{v}.{}", k.name().to_ascii_lowercase()),
+        Expr::Agg { func, arg, .. } => {
+            let inner = match arg {
+                None => "*".to_owned(),
+                Some(a) => item_name(a),
+            };
+            format!("{}({inner})", func.name())
+        }
+        Expr::Arith(a, op, b, _) => format!("{} {} {}", item_name(a), op.symbol(), item_name(b)),
+        Expr::Lit(v) => format!("{v:?}"),
+        other => format!("{other:?}"),
+    }
+}
+
+/// The [`PropKind`] a literal belongs to (for bind-time property type
+/// checks).
+fn prop_value_kind(v: &PropValue) -> PropKind {
+    match v {
+        PropValue::Int(_) => PropKind::Int,
+        PropValue::Str(_) => PropKind::Str,
+        PropValue::Bool(_) => PropKind::Bool,
+        PropValue::IntList(_) => PropKind::IntList,
+    }
+}
+
+fn resolve_label(name: &str, offset: usize) -> Result<LabelSpec, QueryError> {
     let lower = name.to_ascii_lowercase();
     if let Some(ty) = NodeType::parse(&lower) {
         Ok(LabelSpec::Type(ty))
     } else if let Some(l) = Label::parse(&lower) {
         Ok(LabelSpec::Group(l))
     } else {
-        Err(p.err(format!("unknown node label '{name}'")))
+        Err(QueryError::UnknownLabel {
+            offset,
+            name: name.to_owned(),
+        })
     }
 }
 
@@ -697,6 +845,52 @@ mod tests {
     }
 
     #[test]
+    fn catalog_misses_are_typed_with_offsets() {
+        let err = Query::parse("MATCH (n:not_a_label) RETURN n").unwrap_err();
+        assert_eq!(
+            err,
+            QueryError::UnknownLabel {
+                offset: 9,
+                name: "not_a_label".into()
+            }
+        );
+        let err = Query::parse("MATCH a -[:frobs]-> b RETURN a").unwrap_err();
+        assert_eq!(
+            err,
+            QueryError::UnknownEdgeType {
+                offset: 11,
+                name: "frobs".into()
+            }
+        );
+        let err = Query::parse("MATCH (n {bogus_prop: 1}) RETURN n").unwrap_err();
+        assert_eq!(
+            err,
+            QueryError::UnknownProperty {
+                offset: 10,
+                name: "bogus_prop".into()
+            }
+        );
+        let err = Query::parse("MATCH (n) RETURN n.frobnicate").unwrap_err();
+        assert!(
+            matches!(err, QueryError::UnknownProperty { offset: 19, .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn prop_literal_type_mismatch_is_typed() {
+        let err = Query::parse("MATCH (n {short_name: 3}) RETURN n").unwrap_err();
+        assert_eq!(
+            err,
+            QueryError::TypeMismatch {
+                offset: 10,
+                message: "property SHORT_NAME holds str values, literal is int".into()
+            }
+        );
+        assert!(Query::parse("MATCH (n {value: 'x'}) RETURN n").is_err());
+    }
+
+    #[test]
     fn named_varlength_rejected() {
         assert!(Query::parse("MATCH a -[r:calls*]-> b RETURN r").is_err());
     }
@@ -708,5 +902,92 @@ mod tests {
             panic!()
         };
         assert!(matches!(e, Expr::And(_, _)));
+    }
+
+    #[test]
+    fn aggregates_parse_with_default_names() {
+        let q = Query::parse(
+            "MATCH (m:module) -[:linked_from]-> o \
+             RETURN m.short_name, count(*), count(o), sum(o.value), avg(o.value), \
+                    min(o.value), max(o.value)",
+        )
+        .unwrap();
+        let names: Vec<&str> = q.ret.items.iter().map(|i| i.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "m.short_name",
+                "count(*)",
+                "count(o)",
+                "sum(o.value)",
+                "avg(o.value)",
+                "min(o.value)",
+                "max(o.value)"
+            ]
+        );
+        assert!(q.ret.items[1].expr.contains_agg());
+    }
+
+    #[test]
+    fn as_aliases_rename_items() {
+        let q = Query::parse("MATCH (n:enumerator) RETURN n.short_name AS name, count(*) AS hits")
+            .unwrap();
+        assert_eq!(q.ret.items[0].name, "name");
+        assert_eq!(q.ret.items[1].name, "hits");
+        // A variable named `as` would collide with the keyword; backticks
+        // still allow it.
+        assert!(Query::parse("MATCH (n) RETURN n AS").is_err());
+    }
+
+    #[test]
+    fn arithmetic_parses_with_precedence() {
+        let q = Query::parse("MATCH (n) RETURN n.value + 2 * 3").unwrap();
+        let Expr::Arith(lhs, ArithOp::Add, rhs, _) = &q.ret.items[0].expr else {
+            panic!("expected +, got {:?}", q.ret.items[0].expr);
+        };
+        assert!(matches!(**lhs, Expr::Prop(..)));
+        assert!(matches!(**rhs, Expr::Arith(_, ArithOp::Mul, _, _)));
+        // Bare-variable subtraction survives the pattern-predicate
+        // lookahead via backtracking.
+        let q = Query::parse("MATCH (a) MATCH (b) WHERE a.value - b.value > 0 RETURN a").unwrap();
+        let Clause::Where(Expr::Cmp(l, CmpOp::Gt, _)) = &q.clauses[2] else {
+            panic!()
+        };
+        assert!(matches!(**l, Expr::Arith(_, ArithOp::Sub, _, _)));
+        // Unary minus desugars to 0 - e.
+        let q = Query::parse("MATCH (n) WHERE n.value > -2 RETURN n").unwrap();
+        let Clause::Where(Expr::Cmp(_, _, r)) = &q.clauses[1] else {
+            panic!()
+        };
+        assert!(matches!(**r, Expr::Arith(_, ArithOp::Sub, _, _)));
+    }
+
+    #[test]
+    fn with_takes_the_full_projection_tail() {
+        let q = Query::parse(
+            "MATCH (f:function) -[:calls]-> g \
+             WITH g.short_name AS callee, count(*) AS calls ORDER BY calls DESC SKIP 1 LIMIT 3 \
+             RETURN callee, calls",
+        )
+        .unwrap();
+        let Clause::With(p) = &q.clauses[1] else {
+            panic!()
+        };
+        assert_eq!(p.items.len(), 2);
+        assert_eq!(p.order_by.len(), 1);
+        assert!(p.order_by[0].1, "DESC");
+        assert_eq!(p.skip, Some(1));
+        assert_eq!(p.limit, Some(3));
+    }
+
+    #[test]
+    fn group_by_parses() {
+        let q = Query::parse(
+            "MATCH (m:module) -[:linked_from]-> o \
+             RETURN m.short_name, count(o) GROUP BY m.short_name",
+        )
+        .unwrap();
+        assert_eq!(q.ret.group_by.len(), 1);
+        assert!(q.ret.group_by[0].same_shape(&q.ret.items[0].expr));
     }
 }

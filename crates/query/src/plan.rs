@@ -1,0 +1,629 @@
+//! The cost-based planner and plan cache.
+//!
+//! A [`Plan`] fixes the decisions the executor used to make on the fly —
+//! chiefly the *anchor* of every pattern expansion — and carries cost and
+//! cardinality estimates for `EXPLAIN`. Plans are cached per query
+//! fingerprint in a [`PlanCache`] owned by the [`crate::Engine`]; repeated
+//! executions of the same query shape skip planning entirely.
+//!
+//! ## Anchor choice is provably the old priority order
+//!
+//! The legacy executor picked anchors by a fixed priority: bound variable,
+//! then name-index lookup, then label scan, then all-nodes scan. The
+//! planner instead minimizes an estimated candidate cost:
+//!
+//! | candidate        | cost            |
+//! |------------------|-----------------|
+//! | bound variable   | `1.0`           |
+//! | name index       | `2.0`           |
+//! | label scan       | `2.0 + |label|` |
+//! | all-nodes scan   | `N + 3.0`       |
+//!
+//! with ties broken by (priority class, leftmost node). Because
+//! `1 < 2 ≤ 2 + |label| ≤ N + 2 < N + 3` for every graph, the argmin is
+//! *always* the same node the priority order picked — the cost model
+//! changes nothing today, but gives later statistics somewhere to plug in
+//! without touching the executor.
+//!
+//! ## Statistics feedback
+//!
+//! When `frappe-obs` query stats have seen this fingerprint before, the
+//! plan's output-cardinality estimate is seeded from the observed mean
+//! rows ([`frappe_obs::StatsSeed`]). A cached plan is re-planned when the
+//! live mean drifts more than [`crate::EngineOptions::stats_drift_factor`]×
+//! from the seed it was built with, when stats appear for a previously
+//! unseeded plan, or when the graph's node/edge counts change.
+
+use crate::binder::{BoundPattern, BoundProjection, BoundQuery, BoundStage};
+use frappe_obs::StatsSeed;
+use frappe_store::GraphView;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::exec::PathSemantics;
+
+/// How a pattern expansion finds its anchor candidates. Literal values
+/// (lookup text, label) are read from the bound pattern at execution time,
+/// so one cached plan serves every literal instantiation of the shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnchorSel {
+    /// Start from the node already bound in the row.
+    BoundVar,
+    /// Name-index lookup on the node's `short_name`/`name` property.
+    NameIndex,
+    /// Scan the node's first label's index.
+    LabelScan,
+    /// Scan every node.
+    AllNodes,
+}
+
+impl AnchorSel {
+    /// The anchor description used in `EXPLAIN` output (same strings as
+    /// the legacy executor).
+    pub fn describe(self) -> &'static str {
+        match self {
+            AnchorSel::BoundVar => "bound variable",
+            AnchorSel::NameIndex => "name-index lookup",
+            AnchorSel::LabelScan => "label scan",
+            AnchorSel::AllNodes => "all-nodes scan",
+        }
+    }
+}
+
+/// The planned anchor of one `Expand` stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedAnchor {
+    /// Index of the anchor node within the pattern.
+    pub index: usize,
+    /// How its candidates are produced.
+    pub sel: AnchorSel,
+}
+
+/// Per-operator estimate, for `EXPLAIN` annotations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpEstimate {
+    /// Estimated rows out of this operator.
+    pub rows: f64,
+    /// Estimated cost of this operator (processed rows).
+    pub cost: f64,
+}
+
+/// A compiled plan for one query shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// One anchor per `Expand` stage, in stage order.
+    pub anchors: Vec<PlannedAnchor>,
+    /// Per-operator estimates: one per `START` item, one per stage, one
+    /// for the final `RETURN` — in pipeline order.
+    pub op_ests: Vec<OpEstimate>,
+    /// Total estimated cost (sum of operator costs).
+    pub est_cost: f64,
+    /// Estimated output rows. When `seed` is set this is the observed
+    /// per-execution mean from live query statistics, not the model's.
+    pub est_rows: f64,
+    /// The statistics seed the estimate was built from, if any.
+    pub seed: Option<StatsSeed>,
+}
+
+/// The planner-facing digest of one execution, carried alongside results
+/// and embedded in `EXPLAIN ANALYZE` profiles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanSummary {
+    /// Total estimated cost of the executed plan.
+    pub cost: f64,
+    /// Estimated output rows of the executed plan.
+    pub rows: f64,
+    /// Plan-cache outcome name ([`CacheOutcome::name`]).
+    pub cache: &'static str,
+    /// The statistics seed the plan was built from, if any.
+    pub seed: Option<StatsSeed>,
+}
+
+/// Builds a plan for `bound` against `g`, optionally seeding the output
+/// estimate from live statistics.
+pub fn plan_query<G: GraphView>(
+    g: &G,
+    bound: &BoundQuery,
+    semantics: PathSemantics,
+    seed: Option<StatsSeed>,
+) -> Plan {
+    let n = g.node_count() as f64;
+    let e = g.edge_count() as f64;
+    // Mean degree drives hop fan-out estimates.
+    let d = (e / n.max(1.0)).max(0.1);
+    let mut anchors = Vec::new();
+    let mut op_ests = Vec::new();
+    let mut rows = 1.0f64;
+    let mut cost = 0.0f64;
+
+    for _ in &bound.starts {
+        // A name-index lookup typically hits one node.
+        rows *= 1.0;
+        cost += 2.0;
+        op_ests.push(OpEstimate { rows, cost: 2.0 });
+    }
+    for stage in &bound.stages {
+        match stage {
+            BoundStage::Expand(p) => {
+                let (anchor, cand_est, anchor_cost) = choose_anchor_static(g, p, n);
+                let mut out = rows;
+                if anchor.sel != AnchorSel::BoundVar {
+                    out *= cand_est.max(1.0);
+                }
+                for rel in &p.rels {
+                    let base = match rel.dir {
+                        crate::ast::RelDir::Undirected => 2.0 * d,
+                        _ => d,
+                    };
+                    let hop = match rel.var_len {
+                        None => base,
+                        // Path enumeration explodes with depth; reachability
+                        // is bounded by the node count.
+                        Some(_) => match semantics {
+                            PathSemantics::Enumerate => (base * base * base).min(e.max(1.0)),
+                            PathSemantics::Reachability => e.min(n).max(1.0),
+                        },
+                    };
+                    out *= hop;
+                    // Inline property/label constraints on the far node
+                    // are selective.
+                    out *= 0.5f64.max(f64::MIN_POSITIVE);
+                }
+                let op_cost = anchor_cost + out.max(rows);
+                cost += op_cost;
+                op_ests.push(OpEstimate {
+                    rows: out,
+                    cost: op_cost,
+                });
+                rows = out;
+                anchors.push(anchor);
+            }
+            BoundStage::Filter(_) => {
+                let out = rows * 0.25;
+                cost += rows;
+                op_ests.push(OpEstimate {
+                    rows: out,
+                    cost: rows,
+                });
+                rows = out;
+            }
+            BoundStage::Project(p) => {
+                let (out, op_cost) = projection_est(p, rows);
+                cost += op_cost;
+                op_ests.push(OpEstimate {
+                    rows: out,
+                    cost: op_cost,
+                });
+                rows = out;
+            }
+        }
+    }
+    let (out, op_cost) = projection_est(&bound.ret, rows);
+    cost += op_cost;
+    op_ests.push(OpEstimate {
+        rows: out,
+        cost: op_cost,
+    });
+    rows = out;
+
+    if let Some(s) = &seed {
+        rows = s.avg_rows as f64;
+    }
+    Plan {
+        anchors,
+        op_ests,
+        est_cost: cost,
+        est_rows: rows,
+        seed,
+    }
+}
+
+/// Cardinality and cost estimate of one projection.
+fn projection_est(p: &BoundProjection, rows_in: f64) -> (f64, f64) {
+    let mut out = rows_in;
+    let mut cost = rows_in;
+    if p.aggregated {
+        // Grouping collapses rows; assume heavy consolidation.
+        out = (out * 0.1).max(1.0);
+    }
+    if p.distinct {
+        out *= 0.8;
+    }
+    if !p.order_by.is_empty() && out > 1.0 {
+        cost += out * out.log2();
+    }
+    if let Some(skip) = p.skip {
+        out = (out - skip as f64).max(0.0);
+    }
+    if let Some(limit) = p.limit {
+        out = out.min(limit as f64);
+    }
+    (out, cost)
+}
+
+/// Chooses the anchor for a pattern by cost argmin with (priority class,
+/// leftmost) tie-breaking — provably the legacy priority order (see the
+/// module docs). Returns `(anchor, candidate estimate, anchor cost)`.
+pub(crate) fn choose_anchor_static<G: GraphView>(
+    g: &G,
+    p: &BoundPattern,
+    n: f64,
+) -> (PlannedAnchor, f64, f64) {
+    // (cost, class, index, sel, candidate estimate)
+    let mut best: Option<(f64, u8, usize, AnchorSel, f64)> = None;
+    let mut consider = |cand: (f64, u8, usize, AnchorSel, f64)| {
+        let better = match &best {
+            None => true,
+            Some(b) => (cand.0, cand.1, cand.2) < (b.0, b.1, b.2),
+        };
+        if better {
+            best = Some(cand);
+        }
+    };
+    for (i, node) in p.nodes.iter().enumerate() {
+        if node.pre_bound {
+            consider((1.0, 0, i, AnchorSel::BoundVar, 1.0));
+        }
+        if node
+            .props
+            .iter()
+            .any(|(k, v)| v.as_str().is_some() && crate::exec::is_name_key(*k))
+        {
+            consider((2.0, 1, i, AnchorSel::NameIndex, 1.0));
+        }
+        if let Some(spec) = node.labels.first() {
+            let count = label_count(g, *spec).unwrap_or(n as usize) as f64;
+            consider((2.0 + count, 2, i, AnchorSel::LabelScan, count));
+        }
+    }
+    consider((n + 3.0, 3, 0, AnchorSel::AllNodes, n));
+    let (cost, _, index, sel, cand) = best.expect("all-nodes candidate always present");
+    (PlannedAnchor { index, sel }, cand, cost)
+}
+
+fn label_count<G: GraphView>(g: &G, spec: crate::ast::LabelSpec) -> Option<usize> {
+    if !g.is_frozen() {
+        return None;
+    }
+    match spec {
+        crate::ast::LabelSpec::Type(t) => g.nodes_with_type(t).ok().map(|s| s.len()),
+        crate::ast::LabelSpec::Group(l) => g.nodes_with_label(l).ok().map(|s| s.len()),
+    }
+}
+
+// ------------------------------------------------------------------
+// Plan cache
+// ------------------------------------------------------------------
+
+/// What the cache did for one lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// First sight of this fingerprint: planned and inserted.
+    Miss,
+    /// Served the cached plan unchanged.
+    Hit,
+    /// Cached plan had no statistics seed but live stats now exist:
+    /// re-planned with the seed.
+    Reseeded,
+    /// Live mean rows drifted past the drift factor from the cached
+    /// plan's seed: re-planned.
+    Invalidated,
+    /// The graph's node/edge counts changed since the plan was built:
+    /// re-planned.
+    GraphChanged,
+}
+
+impl CacheOutcome {
+    /// Short operator-facing name (`EXPLAIN`, `/queries`).
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Reseeded => "reseeded",
+            CacheOutcome::Invalidated => "invalidated",
+            CacheOutcome::GraphChanged => "graph-changed",
+        }
+    }
+}
+
+struct CacheEntry {
+    plan: Arc<Plan>,
+    nodes: usize,
+    edges: usize,
+}
+
+/// Point-in-time plan-cache counters (surfaced on `/queries`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanCacheStats {
+    /// Cached plans currently held.
+    pub entries: u64,
+    /// Lookups served from cache.
+    pub hits: u64,
+    /// First-sight plans.
+    pub misses: u64,
+    /// Re-plans because statistics appeared.
+    pub reseeds: u64,
+    /// Re-plans because statistics drifted or the graph changed.
+    pub invalidations: u64,
+}
+
+/// Per-engine plan cache, keyed by query fingerprint.
+#[derive(Default)]
+pub struct PlanCache {
+    inner: Mutex<HashMap<u64, CacheEntry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    reseeds: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        write!(f, "PlanCache({s:?})")
+    }
+}
+
+impl PlanCache {
+    /// Classifies what a lookup against the current state would do.
+    fn classify(
+        entry: Option<&CacheEntry>,
+        nodes: usize,
+        edges: usize,
+        live: Option<&StatsSeed>,
+        drift_factor: f64,
+    ) -> CacheOutcome {
+        match entry {
+            None => CacheOutcome::Miss,
+            Some(e) if e.nodes != nodes || e.edges != edges => CacheOutcome::GraphChanged,
+            Some(e) => match (&e.plan.seed, live) {
+                (None, Some(_)) => CacheOutcome::Reseeded,
+                (Some(s), Some(l)) if drifted(s.avg_rows, l.avg_rows, drift_factor) => {
+                    CacheOutcome::Invalidated
+                }
+                _ => CacheOutcome::Hit,
+            },
+        }
+    }
+
+    /// Returns the plan for `fingerprint`, planning (and caching) when the
+    /// cache cannot serve it. This is the execution path: it updates the
+    /// cache and its counters.
+    pub fn lookup_or_plan<G: GraphView>(
+        &self,
+        g: &G,
+        bound: &BoundQuery,
+        fingerprint: u64,
+        semantics: PathSemantics,
+        drift_factor: f64,
+    ) -> (Arc<Plan>, CacheOutcome) {
+        let live = frappe_obs::query_stats().seed(fingerprint);
+        let (nodes, edges) = (g.node_count(), g.edge_count());
+        let mut map = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let outcome = Self::classify(
+            map.get(&fingerprint),
+            nodes,
+            edges,
+            live.as_ref(),
+            drift_factor,
+        );
+        let plan = if outcome == CacheOutcome::Hit {
+            map.get(&fingerprint)
+                .expect("hit implies entry")
+                .plan
+                .clone()
+        } else {
+            let plan = Arc::new(plan_query(g, bound, semantics, live));
+            map.insert(
+                fingerprint,
+                CacheEntry {
+                    plan: plan.clone(),
+                    nodes,
+                    edges,
+                },
+            );
+            plan
+        };
+        drop(map);
+        let counter = match outcome {
+            CacheOutcome::Hit => &self.hits,
+            CacheOutcome::Miss => &self.misses,
+            CacheOutcome::Reseeded => &self.reseeds,
+            CacheOutcome::Invalidated | CacheOutcome::GraphChanged => &self.invalidations,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        (plan, outcome)
+    }
+
+    /// Read-only variant for `EXPLAIN` (plan mode): reports what an
+    /// execution *would* do without inserting or counting.
+    pub fn peek<G: GraphView>(
+        &self,
+        g: &G,
+        bound: &BoundQuery,
+        fingerprint: u64,
+        semantics: PathSemantics,
+        drift_factor: f64,
+    ) -> (Arc<Plan>, CacheOutcome) {
+        let live = frappe_obs::query_stats().seed(fingerprint);
+        let (nodes, edges) = (g.node_count(), g.edge_count());
+        let map = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let outcome = Self::classify(
+            map.get(&fingerprint),
+            nodes,
+            edges,
+            live.as_ref(),
+            drift_factor,
+        );
+        let plan = if outcome == CacheOutcome::Hit {
+            map.get(&fingerprint)
+                .expect("hit implies entry")
+                .plan
+                .clone()
+        } else {
+            Arc::new(plan_query(g, bound, semantics, live))
+        };
+        (plan, outcome)
+    }
+
+    /// Current cache counters.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            entries: self.inner.lock().unwrap_or_else(|e| e.into_inner()).len() as u64,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            reseeds: self.reseeds.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Whether the observed mean rows moved more than `factor`× in either
+/// direction relative to the seed.
+fn drifted(seed_avg: u64, live_avg: u64, factor: f64) -> bool {
+    let (a, b) = (
+        seed_avg.max(live_avg) as f64,
+        seed_avg.min(live_avg).max(1) as f64,
+    );
+    a / b > factor
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Query;
+    use frappe_model::{EdgeType, NodeType};
+    use frappe_store::GraphStore;
+
+    fn sample() -> GraphStore {
+        let mut g = GraphStore::new();
+        let a = g.add_node(NodeType::Function, "a");
+        let b = g.add_node(NodeType::Function, "b");
+        let x = g.add_node(NodeType::Global, "x");
+        g.add_edge(a, EdgeType::Calls, b);
+        g.add_edge(b, EdgeType::Writes, x);
+        g.freeze();
+        g
+    }
+
+    fn plan_for(g: &GraphStore, text: &str) -> Plan {
+        let q = Query::parse(text).unwrap();
+        plan_query(g, &q.bound, PathSemantics::Enumerate, None)
+    }
+
+    #[test]
+    fn anchor_priority_matches_the_legacy_order() {
+        let g = sample();
+        // Bound variable wins over everything.
+        let p = plan_for(
+            &g,
+            "START n=node:node_auto_index('short_name: a') MATCH n -[:calls]-> m RETURN m",
+        );
+        assert_eq!(
+            p.anchors,
+            vec![PlannedAnchor {
+                index: 0,
+                sel: AnchorSel::BoundVar
+            }]
+        );
+        // Name property beats a label on another node.
+        let p = plan_for(
+            &g,
+            "MATCH (f:function) -[:calls]-> (m {short_name: 'b'}) RETURN m",
+        );
+        assert_eq!(
+            p.anchors,
+            vec![PlannedAnchor {
+                index: 1,
+                sel: AnchorSel::NameIndex
+            }]
+        );
+        // Label beats nothing-at-all.
+        let p = plan_for(&g, "MATCH (f:function) -[:calls]-> m RETURN m");
+        assert_eq!(
+            p.anchors,
+            vec![PlannedAnchor {
+                index: 0,
+                sel: AnchorSel::LabelScan
+            }]
+        );
+        // No constraints anywhere: all-nodes scan from the left.
+        let p = plan_for(&g, "MATCH a -[:calls]-> m RETURN m");
+        assert_eq!(
+            p.anchors,
+            vec![PlannedAnchor {
+                index: 0,
+                sel: AnchorSel::AllNodes
+            }]
+        );
+    }
+
+    #[test]
+    fn estimates_are_monotone_in_pipeline_depth() {
+        let g = sample();
+        let p = plan_for(
+            &g,
+            "MATCH (f:function) -[:calls]-> m WHERE m.value > 0 RETURN m",
+        );
+        // START-less: label-scan Expand, Filter, Return.
+        assert_eq!(p.op_ests.len(), 3);
+        assert!(p.est_cost > 0.0);
+        assert!(
+            p.op_ests[1].rows <= p.op_ests[0].rows,
+            "filter reduces rows"
+        );
+    }
+
+    #[test]
+    fn seed_overrides_the_output_estimate() {
+        let g = sample();
+        let q = Query::parse("MATCH (f:function) -[:calls]-> m RETURN m").unwrap();
+        let seed = StatsSeed {
+            executions: 10,
+            avg_rows: 77,
+            p50_ns: 1_000,
+        };
+        let p = plan_query(&g, &q.bound, PathSemantics::Enumerate, Some(seed));
+        assert_eq!(p.est_rows, 77.0);
+        assert_eq!(p.seed.unwrap().executions, 10);
+    }
+
+    #[test]
+    fn cache_hits_and_graph_change_invalidation() {
+        let g = sample();
+        let q = Query::parse("MATCH (f:function) -[:calls]-> m RETURN m").unwrap();
+        let cache = PlanCache::default();
+        let (_, o1) =
+            cache.lookup_or_plan(&g, &q.bound, q.fingerprint, PathSemantics::Enumerate, 4.0);
+        assert_eq!(o1, CacheOutcome::Miss);
+        let (_, o2) =
+            cache.lookup_or_plan(&g, &q.bound, q.fingerprint, PathSemantics::Enumerate, 4.0);
+        assert_eq!(o2, CacheOutcome::Hit);
+        // A different graph size forces a re-plan.
+        let mut g2 = GraphStore::new();
+        let a = g2.add_node(NodeType::Function, "a");
+        let b = g2.add_node(NodeType::Function, "b");
+        g2.add_edge(a, EdgeType::Calls, b);
+        g2.freeze();
+        let (_, o3) =
+            cache.lookup_or_plan(&g2, &q.bound, q.fingerprint, PathSemantics::Enumerate, 4.0);
+        assert_eq!(o3, CacheOutcome::GraphChanged);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.invalidations, s.entries), (1, 1, 1, 1));
+        // peek never mutates.
+        let (_, o4) = cache.peek(&g2, &q.bound, q.fingerprint, PathSemantics::Enumerate, 4.0);
+        assert_eq!(o4, CacheOutcome::Hit);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn drift_detection() {
+        assert!(!drifted(10, 10, 4.0));
+        assert!(!drifted(10, 39, 4.0));
+        assert!(drifted(10, 41, 4.0));
+        assert!(drifted(41, 10, 4.0));
+        assert!(!drifted(0, 1, 4.0), "tiny counts never drift");
+        assert!(drifted(0, 5, 4.0));
+    }
+}

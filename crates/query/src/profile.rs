@@ -25,7 +25,7 @@ pub struct OpProfile {
 }
 
 /// The full `EXPLAIN ANALYZE` result for one query execution.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueryProfile {
     /// Operators in pipeline order.
     pub ops: Vec<OpProfile>,
@@ -37,6 +37,10 @@ pub struct QueryProfile {
     /// under which this execution aggregates in `frappe-obs` query stats
     /// and the slow-query log.
     pub fingerprint: u64,
+    /// The executed plan's digest: cost/row estimates, plan-cache outcome,
+    /// and the statistics seed (if the plan was stats-fed). `None` for
+    /// profiles built outside the engine (hand-constructed or replayed).
+    pub plan: Option<crate::plan::PlanSummary>,
 }
 
 fn fmt_ns(ns: u64) -> String {
@@ -69,6 +73,19 @@ impl QueryProfile {
             self.steps,
             fmt_ns(self.total_ns)
         );
+        if let Some(p) = &self.plan {
+            out.push_str(&format!(
+                "Plan cost={:.1} rows~{:.0} cache={}",
+                p.cost, p.rows, p.cache
+            ));
+            if let Some(s) = &p.seed {
+                out.push_str(&format!(
+                    " (stats: {} runs, avg {} rows, p50 {} ns)",
+                    s.executions, s.avg_rows, s.p50_ns
+                ));
+            }
+            out.push('\n');
+        }
         for (i, op) in self.ops.iter().enumerate() {
             let branch = if i + 1 == self.ops.len() { "`-" } else { "+-" };
             let mut annot = format!("rows={}, {}", op.rows_out, fmt_ns(op.time_ns));
@@ -160,6 +177,7 @@ mod tests {
             total_ns: 2_600_000,
             steps: 42,
             fingerprint: 0xdead_beef,
+            plan: None,
         }
     }
 

@@ -56,6 +56,12 @@ pub enum Tok {
     Arrow,
     /// `<-`
     BackArrow,
+    /// `+`
+    Plus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
 }
 
 /// A token with its byte offset in the query text.
@@ -69,7 +75,8 @@ pub struct Spanned {
 
 const KEYWORDS: &[&str] = &[
     "START", "MATCH", "WHERE", "WITH", "RETURN", "DISTINCT", "LIMIT", "AND", "OR", "XOR", "NOT",
-    "TRUE", "FALSE", "NULL", "ORDER", "BY", "DESC", "ASC", "SKIP", "EXPLAIN", "ANALYZE",
+    "TRUE", "FALSE", "NULL", "ORDER", "BY", "DESC", "ASC", "SKIP", "EXPLAIN", "ANALYZE", "AS",
+    "GROUP",
 ];
 
 /// Lexes query text into tokens.
@@ -88,6 +95,27 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, QueryError> {
                 while i < bytes.len() && bytes[i] != b'\n' {
                     i += 1;
                 }
+            }
+            '/' => {
+                out.push(Spanned {
+                    tok: Tok::Slash,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '+' => {
+                out.push(Spanned {
+                    tok: Tok::Plus,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '%' => {
+                out.push(Spanned {
+                    tok: Tok::Percent,
+                    offset: start,
+                });
+                i += 1;
             }
             '(' => {
                 out.push(Spanned {
@@ -469,6 +497,36 @@ mod tests {
         let ts = lex("ab cd").unwrap();
         assert_eq!(ts[0].offset, 0);
         assert_eq!(ts[1].offset, 3);
+    }
+
+    #[test]
+    fn arithmetic_operators_and_v2_keywords() {
+        assert_eq!(
+            toks("1 + 2 / 3 % 4"),
+            vec![
+                Tok::Int(1),
+                Tok::Plus,
+                Tok::Int(2),
+                Tok::Slash,
+                Tok::Int(3),
+                Tok::Percent,
+                Tok::Int(4),
+            ]
+        );
+        // `//` stays a comment; a single `/` divides.
+        assert_eq!(
+            toks("6 / 2 // half"),
+            vec![Tok::Int(6), Tok::Slash, Tok::Int(2)]
+        );
+        assert_eq!(
+            toks("as AS group GROUP"),
+            vec![
+                Tok::Kw("AS"),
+                Tok::Kw("AS"),
+                Tok::Kw("GROUP"),
+                Tok::Kw("GROUP")
+            ]
+        );
     }
 
     #[test]

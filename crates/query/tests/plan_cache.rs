@@ -1,0 +1,131 @@
+//! End-to-end plan-cache lifecycle: miss → reseed (stats appear) → hit
+//! (with a live-stats seed visible in `EXPLAIN ANALYZE`), plus the two
+//! invalidation paths — statistics drift and graph change.
+//!
+//! Query statistics are process-global, so every test here holds one lock
+//! and uses its own query text (its own fingerprint) to stay independent.
+
+use frappe_model::{EdgeType, NodeType};
+use frappe_query::{Engine, Query, Value};
+use frappe_store::GraphStore;
+use std::sync::{Mutex, MutexGuard};
+
+fn obs_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// main calls two functions; the hop queries below return 2 rows.
+fn sample() -> GraphStore {
+    let mut g = GraphStore::new();
+    let main = g.add_node(NodeType::Function, "main");
+    let a = g.add_node(NodeType::Function, "vfs_read");
+    let b = g.add_node(NodeType::Function, "vfs_write");
+    g.add_edge(main, EdgeType::Calls, a);
+    g.add_edge(main, EdgeType::Calls, b);
+    g.freeze();
+    g
+}
+
+fn plan_text(cols: &[String], rows: &[Vec<Value>]) -> String {
+    assert_eq!(cols, ["plan"]);
+    rows.iter()
+        .map(|r| r[0].to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn repeated_runs_reseed_then_hit_with_live_stats() {
+    let _g = obs_lock();
+    frappe_obs::set_level(frappe_obs::ObsLevel::Counters);
+    let g = sample();
+    let engine = Engine::new();
+    let text = "START n=node:node_auto_index('short_name: main') \
+                MATCH n -[:calls]-> m RETURN m.short_name";
+
+    // First sight: planned without statistics.
+    assert_eq!(engine.run_str(&g, text).unwrap().rows.len(), 2);
+    let s = engine.plan_cache_stats();
+    assert_eq!((s.misses, s.reseeds, s.hits), (1, 0, 0));
+
+    // The first run recorded stats, so the unseeded cached plan is
+    // re-planned with them; after that the seed is stable and we hit.
+    assert_eq!(engine.run_str(&g, text).unwrap().rows.len(), 2);
+    let s = engine.plan_cache_stats();
+    assert_eq!((s.misses, s.reseeds, s.hits), (1, 1, 0));
+    assert_eq!(engine.run_str(&g, text).unwrap().rows.len(), 2);
+    let s = engine.plan_cache_stats();
+    assert_eq!((s.misses, s.reseeds, s.hits, s.entries), (1, 1, 1, 1));
+
+    // The acceptance check: EXPLAIN ANALYZE on the repeated query reports
+    // a plan-cache hit whose cost estimate carries the live-stats seed.
+    let r = engine
+        .run_str(&g, &format!("EXPLAIN ANALYZE {text}"))
+        .unwrap();
+    let plan = plan_text(&r.columns, &r.rows);
+    assert!(plan.contains("cache=hit"), "plan was: {plan}");
+    assert!(plan.contains("(stats: "), "plan was: {plan}");
+    assert!(plan.contains("avg 2 rows"), "plan was: {plan}");
+    frappe_obs::set_level(frappe_obs::ObsLevel::Off);
+}
+
+#[test]
+fn stats_drift_invalidates_the_cached_plan() {
+    let _g = obs_lock();
+    frappe_obs::set_level(frappe_obs::ObsLevel::Counters);
+    let g = sample();
+    let engine = Engine::new();
+    let text = "START n=node:node_auto_index('short_name: main') \
+                MATCH n -[:calls]-> m RETURN m";
+    let q = Query::parse(text).unwrap();
+
+    // Miss, then reseed with avg 2 rows.
+    engine.run(&g, &q).unwrap();
+    engine.run(&g, &q).unwrap();
+    assert_eq!(engine.plan_cache_stats().invalidations, 0);
+
+    // Shift the live mean far past the 4x drift factor (avg jumps from 2
+    // to ~300), as if the graph's answer profile changed under the plan.
+    frappe_obs::query_stats().observe(q.fingerprint, &q.normalized, 1_000, 1_000, false);
+    engine.run(&g, &q).unwrap();
+    let s = engine.plan_cache_stats();
+    assert_eq!(s.invalidations, 1, "{s:?}");
+
+    // The re-plan captured the new mean: the next run hits again.
+    engine.run(&g, &q).unwrap();
+    assert!(engine.plan_cache_stats().hits >= 1);
+    frappe_obs::set_level(frappe_obs::ObsLevel::Off);
+}
+
+#[test]
+fn graph_change_invalidates_the_cached_plan() {
+    let _g = obs_lock();
+    // Counters off: no stats traffic, so outcomes are purely structural.
+    let g = sample();
+    let engine = Engine::new();
+    let text = "START n=node:node_auto_index('short_name: vfs_read') \
+                MATCH n <-[:calls]- caller RETURN caller";
+
+    engine.run_str(&g, text).unwrap();
+    engine.run_str(&g, text).unwrap();
+    let s = engine.plan_cache_stats();
+    assert_eq!((s.misses, s.hits, s.invalidations), (1, 1, 0));
+
+    // Same shape against a differently-sized graph: the cached estimates
+    // no longer describe reality, so the plan is rebuilt.
+    let mut g2 = GraphStore::new();
+    let caller = g2.add_node(NodeType::Function, "caller");
+    let callee = g2.add_node(NodeType::Function, "vfs_read");
+    g2.add_edge(caller, EdgeType::Calls, callee);
+    g2.freeze();
+    engine.run_str(&g2, text).unwrap();
+    let s = engine.plan_cache_stats();
+    assert_eq!((s.misses, s.hits, s.invalidations, s.entries), (1, 1, 1, 1));
+
+    // EXPLAIN peeks without executing or counting.
+    let r = engine.run_str(&g2, &format!("EXPLAIN {text}")).unwrap();
+    let plan = plan_text(&r.columns, &r.rows);
+    assert!(plan.contains("cache=hit"), "plan was: {plan}");
+    assert_eq!(engine.plan_cache_stats().hits, 1);
+}

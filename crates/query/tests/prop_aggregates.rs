@@ -1,0 +1,212 @@
+//! Property tests for the v2 projection surface: aggregates with implicit
+//! grouping, and ORDER BY/SKIP/LIMIT — each checked against a naive
+//! reference evaluator over the same random call graph.
+//!
+//! Tunable via `FRAPPE_PT_CASES` / `FRAPPE_PT_SEED` (see
+//! `frappe_harness::proptest_lite`).
+
+use frappe_harness::proptest_lite as pt;
+use frappe_model::{EdgeType, FileId, NodeType, SrcRange};
+use frappe_query::{Engine, Value};
+use frappe_store::GraphStore;
+use std::collections::{BTreeMap, BTreeSet};
+
+const N: usize = 8;
+
+/// A deduplicated random call graph: `(src, dst, weight)` per edge, where
+/// `weight` lands in `r.use_start_line` (0 leaves the property unset, so
+/// aggregates see NULLs).
+fn build(edges: &[(u8, u8, u8)]) -> (GraphStore, Vec<(usize, usize, Option<i64>)>) {
+    let mut g = GraphStore::new();
+    let ids: Vec<_> = (0..N)
+        .map(|i| g.add_node(NodeType::Function, &format!("f{i}")))
+        .collect();
+    let mut seen = BTreeSet::new();
+    let mut list = Vec::new();
+    for (a, b, w) in edges {
+        let (a, b) = (*a as usize % N, *b as usize % N);
+        if !seen.insert((a, b)) {
+            continue;
+        }
+        let e = g.add_edge(ids[a], EdgeType::Calls, ids[b]);
+        let weight = if *w == 0 {
+            None
+        } else {
+            let line = *w as u32;
+            g.set_edge_use_range(e, SrcRange::new(FileId(0), line, 1, line, 9));
+            Some(line as i64)
+        };
+        list.push((a, b, weight));
+    }
+    g.freeze();
+    (g, list)
+}
+
+fn as_int(v: &Value) -> Option<i64> {
+    v.as_scalar().and_then(|s| s.as_int())
+}
+
+fn edge_strategy() -> pt::Strategy<Vec<(u8, u8, u8)>> {
+    pt::vec_of(
+        pt::tuple3(
+            pt::u8_range(0, 255),
+            pt::u8_range(0, 255),
+            pt::u8_range(0, 40),
+        ),
+        0,
+        40,
+    )
+    .map(|v| v.iter().map(|t| (t.0, t.1, t.2)).collect())
+}
+
+/// Grouped COUNT/SUM/AVG/MIN/MAX over edge weights agree with a per-source
+/// fold over the edge list (NULL weights skipped; SUM of none is 0, AVG and
+/// MIN/MAX of none are NULL).
+#[test]
+fn prop_grouped_aggregates_match_naive_fold() {
+    pt::check("grouped_aggregates", &edge_strategy(), |edges| {
+        let (g, list) = build(edges);
+        let r = Engine::new()
+            .run_str(
+                &g,
+                "MATCH n -[r:calls]-> m \
+                 RETURN n.short_name, count(m), sum(r.use_start_line), \
+                        avg(r.use_start_line), min(r.use_start_line), \
+                        max(r.use_start_line) \
+                 ORDER BY n.short_name",
+            )
+            .unwrap();
+
+        // Naive reference: fold weights per source, sources in name order
+        // (names f0..f7 sort lexicographically = numerically here).
+        let mut by_src: BTreeMap<usize, (i64, Vec<i64>)> = BTreeMap::new();
+        for (a, _, w) in &list {
+            let entry = by_src.entry(*a).or_default();
+            entry.0 += 1;
+            if let Some(w) = w {
+                entry.1.push(*w);
+            }
+        }
+        type GroupRow = (String, i64, i64, Option<i64>, Option<i64>, Option<i64>);
+        let expect: Vec<GroupRow> = by_src
+            .iter()
+            .map(|(src, (count, ws))| {
+                let sum: i64 = ws.iter().sum();
+                let n = ws.len() as i64;
+                (
+                    format!("f{src}"),
+                    *count,
+                    sum,
+                    (n > 0).then(|| sum / n),
+                    ws.iter().min().copied(),
+                    ws.iter().max().copied(),
+                )
+            })
+            .collect();
+        let got: Vec<GroupRow> = r
+            .rows
+            .iter()
+            .map(|row| {
+                (
+                    row[0].to_string(),
+                    as_int(&row[1]).unwrap(),
+                    as_int(&row[2]).unwrap(),
+                    as_int(&row[3]),
+                    as_int(&row[4]),
+                    as_int(&row[5]),
+                )
+            })
+            .collect();
+        assert_eq!(got, expect);
+        Ok(())
+    });
+}
+
+/// ORDER BY (multi-key, mixed direction) + SKIP + LIMIT on a plain
+/// projection produce exactly the reference sort-then-slice. Weights are
+/// made non-null and the key set total, so the expected sequence is unique.
+#[test]
+fn prop_order_skip_limit_match_reference_sort() {
+    let strategy = pt::tuple3(edge_strategy(), pt::u8_range(0, 5), pt::u8_range(1, 5));
+    pt::check("order_skip_limit", &strategy, |(edges, skip, limit)| {
+        let forced: Vec<(u8, u8, u8)> =
+            edges.iter().map(|(a, b, w)| (*a, *b, w % 39 + 1)).collect();
+        let (g, list) = build(&forced);
+        let r = Engine::new()
+            .run_str(
+                &g,
+                &format!(
+                    "MATCH n -[r:calls]-> m \
+                     RETURN n.short_name, m.short_name, r.use_start_line \
+                     ORDER BY r.use_start_line DESC, n.short_name, m.short_name \
+                     SKIP {skip} LIMIT {limit}"
+                ),
+            )
+            .unwrap();
+
+        let mut expect: Vec<(i64, String, String)> = list
+            .iter()
+            .map(|(a, b, w)| (w.unwrap(), format!("f{a}"), format!("f{b}")))
+            .collect();
+        // Weight descending, then source and destination ascending —
+        // unique per row because (src, dst) pairs are deduplicated.
+        expect.sort_by(|x, y| y.0.cmp(&x.0).then_with(|| (&x.1, &x.2).cmp(&(&y.1, &y.2))));
+        let expect: Vec<(i64, String, String)> = expect
+            .into_iter()
+            .skip(*skip as usize)
+            .take(*limit as usize)
+            .collect();
+        let got: Vec<(i64, String, String)> = r
+            .rows
+            .iter()
+            .map(|row| {
+                (
+                    as_int(&row[2]).unwrap(),
+                    row[0].to_string(),
+                    row[1].to_string(),
+                )
+            })
+            .collect();
+        assert_eq!(got, expect);
+        Ok(())
+    });
+}
+
+/// Aggregation inside WITH, a WHERE over the aggregate alias, and a final
+/// ORDER BY over the carried columns agree with a filtered out-degree map.
+#[test]
+fn prop_with_pipeline_degree_filter_matches_reference() {
+    let strategy = pt::tuple2(edge_strategy(), pt::u8_range(1, 3));
+    pt::check("with_degree_filter", &strategy, |(edges, min_degree)| {
+        let (g, list) = build(edges);
+        let r = Engine::new()
+            .run_str(
+                &g,
+                &format!(
+                    "MATCH n -[:calls]-> m \
+                     WITH n.short_name AS name, count(m) AS degree \
+                     WHERE degree >= {min_degree} \
+                     RETURN name, degree ORDER BY degree DESC, name"
+                ),
+            )
+            .unwrap();
+
+        let mut degrees: BTreeMap<usize, i64> = BTreeMap::new();
+        for (a, _, _) in &list {
+            *degrees.entry(*a).or_default() += 1;
+        }
+        let mut expect: Vec<(String, i64)> = degrees
+            .into_iter()
+            .filter(|(_, d)| *d >= *min_degree as i64)
+            .map(|(src, d)| (format!("f{src}"), d))
+            .collect();
+        expect.sort_by(|x, y| y.1.cmp(&x.1).then_with(|| x.0.cmp(&y.0)));
+        let got: Vec<(String, i64)> = r
+            .rows
+            .iter()
+            .map(|row| (row[0].to_string(), as_int(&row[1]).unwrap()))
+            .collect();
+        assert_eq!(got, expect);
+        Ok(())
+    });
+}

@@ -337,8 +337,13 @@ fn http_response(status: &str, content_type: &str, body: &str) -> String {
 }
 
 /// Answers one exporter request path (shared by the HTTP handler and the
-/// endpoint tests).
-pub fn answer_http_path(graph: &ServeGraph, path: &str) -> (String, String, String) {
+/// endpoint tests). The engine is consulted for plan-cache counters on
+/// `/queries`.
+pub fn answer_http_path(
+    graph: &ServeGraph,
+    engine: &Engine,
+    path: &str,
+) -> (String, String, String) {
     match path {
         "/metrics" => {
             let body = frappe_obs::render_prometheus(
@@ -367,8 +372,17 @@ pub fn answer_http_path(graph: &ServeGraph, path: &str) -> (String, String, Stri
             frappe_obs::slowlog().to_jsonl(),
         ),
         "/queries" => {
-            let mut body = frappe_obs::queries_to_json(&frappe_obs::query_stats().snapshot());
-            body.push('\n');
+            let pc = engine.plan_cache_stats();
+            let body = format!(
+                "{{\"plan_cache\": {{\"entries\": {}, \"hits\": {}, \"misses\": {}, \
+                 \"reseeds\": {}, \"invalidations\": {}}}, \"queries\": {}}}\n",
+                pc.entries,
+                pc.hits,
+                pc.misses,
+                pc.reseeds,
+                pc.invalidations,
+                frappe_obs::queries_to_json(&frappe_obs::query_stats().snapshot()),
+            );
             ("200 OK".into(), "application/json".into(), body)
         }
         _ => (
@@ -403,7 +417,7 @@ fn handle_http_conn(inner: &Inner, mut stream: TcpStream) {
     let response = if method != "GET" {
         http_response("405 Method Not Allowed", "text/plain", "GET only\n")
     } else {
-        let (status, content_type, body) = answer_http_path(&inner.graph, path);
+        let (status, content_type, body) = answer_http_path(&inner.graph, &inner.engine, path);
         http_response(&status, &content_type, &body)
     };
     let _ = stream.write_all(response.as_bytes());
@@ -472,14 +486,22 @@ mod tests {
     #[test]
     fn http_endpoints_render() {
         let g = tiny_graph();
-        let (status, _, body) = answer_http_path(&g, "/healthz");
+        let engine = Engine::new();
+        let (status, _, body) = answer_http_path(&g, &engine, "/healthz");
         assert_eq!(status, "200 OK");
         assert!(body.contains("\"nodes\": 2"), "{body}");
-        let (status, ct, body) = answer_http_path(&g, "/metrics");
+        let (status, ct, body) = answer_http_path(&g, &engine, "/metrics");
         assert_eq!(status, "200 OK");
         assert!(ct.starts_with("text/plain"));
         frappe_obs::validate_exposition(&body).unwrap();
-        let (status, _, _) = answer_http_path(&g, "/nope");
+        let (status, _, body) = answer_http_path(&g, &engine, "/queries");
+        assert_eq!(status, "200 OK");
+        assert!(
+            body.starts_with("{\"plan_cache\": {\"entries\": 0"),
+            "{body}"
+        );
+        assert!(body.contains("\"queries\": ["), "{body}");
+        let (status, _, _) = answer_http_path(&g, &engine, "/nope");
         assert_eq!(status, "404 Not Found");
     }
 }

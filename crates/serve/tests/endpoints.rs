@@ -140,8 +140,19 @@ fn exporter_serves_all_endpoints() {
 
     let (status, queries) = http_get(&server, "/queries");
     assert_eq!(status, "HTTP/1.1 200 OK");
-    assert!(queries.starts_with("[{\"fingerprint\": \""), "{queries}");
+    assert!(
+        queries.starts_with("{\"plan_cache\": {\"entries\": "),
+        "{queries}"
+    );
+    assert!(queries.contains("\"hits\": "), "{queries}");
+    assert!(
+        queries.contains("\"queries\": [{\"fingerprint\": \""),
+        "{queries}"
+    );
     assert!(queries.contains("\"p95\":"), "{queries}");
+    // HOP ran twice through the server's shared engine: one planning miss,
+    // at least one cache hit.
+    assert!(!queries.contains("\"hits\": 0,"), "{queries}");
 
     let (status, _) = http_get(&server, "/no-such");
     assert_eq!(status, "HTTP/1.1 404 Not Found");

@@ -19,6 +19,10 @@ use std::io::{BufRead, Write};
 use std::time::Instant;
 
 fn main() {
+    // Counters feed the per-fingerprint stats registry, which in turn
+    // seeds the planner: repeated query shapes report
+    // `cache=hit (stats: ...)` in EXPLAIN ANALYZE.
+    frappe::obs::set_level(frappe::obs::ObsLevel::Counters);
     let scale: f64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Query-v2 smoke: an EXPLAIN / EXPLAIN ANALYZE battery over the
+# kernel-scale synthetic graph, exercising the planner and plan cache end
+# to end. Each shape runs twice so the second execution must be served
+# from the plan cache with a statistics-seeded cost estimate.
+#
+# Writes the annotated plans to $FRAPPE_BENCH_DIR/EXPLAIN_battery.txt
+# (default bench-results/) — the CI artifact — and fails unless the
+# output shows a plan digest and a stats-seeded cache hit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT_DIR="${FRAPPE_BENCH_DIR:-bench-results}"
+mkdir -p "$OUT_DIR"
+OUT="$OUT_DIR/EXPLAIN_battery.txt"
+
+# The paper's Figure 3 code search and a v2 aggregate, as the battery.
+# Three analyzed runs per shape: miss (unseeded plan) → reseeded (stats
+# appeared after the first execution) → hit with the stable seed.
+HOP="START m=node:node_auto_index('short_name: wakeup.elf') MATCH m -[:compiled_from|linked_from*]-> f WITH distinct f MATCH f -[:file_contains]-> (n:field{short_name: 'id'}) RETURN n"
+AGG="MATCH n -[:calls]-> m RETURN n.short_name, count(m) ORDER BY count(m) DESC LIMIT 3"
+
+{
+  echo "EXPLAIN $HOP"
+  for _ in 1 2 3; do
+    echo "EXPLAIN ANALYZE $HOP"
+    echo "EXPLAIN ANALYZE $AGG"
+  done
+  echo ":quit"
+} | cargo run -q --release --offline --example query_shell > "$OUT"
+
+echo "==> $OUT"
+grep "Plan cost=" "$OUT" || { echo "query_v2_smoke: no plan digest in $OUT" >&2; exit 1; }
+grep -q "cache=miss" "$OUT" || { echo "query_v2_smoke: no first-sight plan miss in $OUT" >&2; exit 1; }
+grep -q "cache=hit (stats: " "$OUT" || {
+  echo "query_v2_smoke: no stats-seeded plan-cache hit in $OUT" >&2
+  exit 1
+}
+echo "query_v2_smoke: OK"

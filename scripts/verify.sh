@@ -69,4 +69,18 @@ cargo run -q --release -p frappe-bench --bin obs_smoke "${CARGO_FLAGS[@]}"
 echo "==> scripts/serve_smoke.sh"
 scripts/serve_smoke.sh
 
+# Query-engine v2 gates: the Table 5 golden battery must stay
+# byte-identical across the binder/planner rewrite, the aggregate and
+# ORDER BY property suites run at a deeper case count than the default
+# test pass, and the EXPLAIN battery must show a stats-seeded plan-cache
+# hit end to end (writes EXPLAIN_battery.txt).
+echo "==> cargo test --release --test golden_battery ${CARGO_FLAGS[*]}"
+cargo test -q --release --test golden_battery "${CARGO_FLAGS[@]}"
+
+echo "==> FRAPPE_PT_CASES=256 cargo test --release -p frappe-query ${CARGO_FLAGS[*]}"
+FRAPPE_PT_CASES=256 cargo test -q --release -p frappe-query "${CARGO_FLAGS[@]}"
+
+echo "==> scripts/query_v2_smoke.sh"
+scripts/query_v2_smoke.sh
+
 echo "verify: OK"

@@ -2,6 +2,7 @@
 pub use frappe_core as core;
 pub use frappe_extract as extract;
 pub use frappe_model as model;
+pub use frappe_obs as obs;
 pub use frappe_query as query;
 pub use frappe_relational as relational;
 pub use frappe_store as store;

@@ -1,0 +1,262 @@
+//! Golden Table-5 query battery: every paper query shape (Figures 3–6,
+//! Table 6, plus the language surface they lean on — label scans, WHERE
+//! filters, WITH pipelines, DISTINCT, ORDER BY/SKIP/LIMIT, pattern
+//! predicates, bounded and unbounded var-length expansion) is executed over
+//! the deterministic synthetic kernel and compared byte-for-byte against a
+//! pinned fixture.
+//!
+//! The fixture pins *rows, row order, and step counts*. Any engine change
+//! that reorders results, renames columns, or alters the expansion work
+//! measure fails here first. To re-bless after a deliberate change:
+//!
+//! ```text
+//! FRAPPE_BLESS=1 cargo test --test golden_battery
+//! git diff tests/fixtures/table5_golden.txt   # review, then commit
+//! ```
+//!
+//! When `FRAPPE_BENCH_DIR` is set (CI), the battery also dumps the
+//! `EXPLAIN` plan for every case to `$FRAPPE_BENCH_DIR/EXPLAIN_table5.txt`
+//! as a build artifact. Plans are *not* pinned: they carry cost estimates
+//! that are free to improve; rows are not.
+
+use frappe::core::queries;
+use frappe::query::{Engine, EngineOptions, PathSemantics, Query};
+use frappe::synth::{generate, SynthOutput, SynthSpec};
+use std::fmt::Write as _;
+use std::sync::OnceLock;
+
+fn graph() -> &'static SynthOutput {
+    static G: OnceLock<SynthOutput> = OnceLock::new();
+    G.get_or_init(|| generate(&SynthSpec::scaled(0.02)))
+}
+
+struct Case {
+    name: &'static str,
+    text: String,
+    options: EngineOptions,
+}
+
+impl Case {
+    fn new(name: &'static str, text: impl Into<String>) -> Case {
+        Case {
+            name,
+            text: text.into(),
+            options: EngineOptions::default(),
+        }
+    }
+
+    fn with_options(mut self, options: EngineOptions) -> Case {
+        self.options = options;
+        self
+    }
+}
+
+/// The battery. Names are stable identifiers used in the fixture; add new
+/// cases at the end so diffs stay reviewable.
+fn battery() -> Vec<Case> {
+    let out = graph();
+    let lm = &out.landmarks;
+    let reachability = EngineOptions {
+        path_semantics: PathSemantics::Reachability,
+        ..Default::default()
+    };
+    let tight_budget = EngineOptions {
+        max_steps: 200_000,
+        ..Default::default()
+    };
+    vec![
+        // The four paper figures (Table 5 rows 1-4).
+        Case::new(
+            "fig3_code_search",
+            queries::figure3_code_search("wakeup.elf", "id"),
+        ),
+        Case::new(
+            "fig4_goto_definition",
+            queries::figure4_goto_definition(
+                "id",
+                lm.goto_anchor.0 .0,
+                lm.goto_anchor.1,
+                lm.goto_anchor.2,
+            ),
+        ),
+        Case::new(
+            "fig5_debugging",
+            queries::figure5_debugging(
+                "sr_media_change",
+                "get_sectorsize",
+                "packet_command",
+                "cmd",
+                lm.failing_call_line,
+            ),
+        ),
+        Case::new(
+            "fig6_comprehension_abort",
+            queries::figure6_comprehension("pci_read_bases"),
+        )
+        .with_options(tight_budget),
+        Case::new(
+            "fig6_comprehension_reachability",
+            queries::figure6_comprehension("pci_read_bases"),
+        )
+        .with_options(reachability),
+        // Table 6: the 1.x START-clause form and the 2.x MATCH-only form.
+        Case::new(
+            "table6_cypher1x",
+            queries::table6_cypher1x("sr_media_change"),
+        ),
+        Case::new(
+            "table6_cypher2x",
+            queries::table6_cypher2x("sr_media_change"),
+        ),
+        // Label-group scan with ordering and pagination.
+        Case::new(
+            "label_scan_order_limit",
+            "MATCH (n:enumerator) RETURN n.short_name ORDER BY n.short_name LIMIT 8",
+        ),
+        Case::new(
+            "label_scan_order_desc_skip",
+            "MATCH (n:enumerator) RETURN n.short_name ORDER BY n.short_name DESC SKIP 3 LIMIT 5",
+        ),
+        // WHERE over int properties + boolean connectives.
+        Case::new(
+            "where_int_comparison",
+            "MATCH (n:enumerator) WHERE n.value >= 2 AND NOT n.value = 3 \
+             RETURN n.short_name, n.value ORDER BY n.short_name LIMIT 6",
+        ),
+        // Typed-edge hop from a name-index anchor.
+        Case::new(
+            "anchor_typed_hop",
+            "START f=node:node_auto_index('short_name: sr_media_change') \
+             MATCH f -[:calls]-> g RETURN g.short_name ORDER BY g.short_name",
+        ),
+        // Bounded var-length expansion with DISTINCT.
+        Case::new(
+            "var_len_bounded_distinct",
+            "START f=node:node_auto_index('short_name: sr_media_change') \
+             MATCH f -[:calls*1..2]-> g RETURN DISTINCT g.short_name ORDER BY g.short_name",
+        ),
+        // WITH pipeline: project + DISTINCT mid-query, then filter.
+        Case::new(
+            "with_distinct_pipeline",
+            "MATCH (f:function) -[:calls]-> (g:function) \
+             WITH DISTINCT g WHERE g.short_name = 'get_sectorsize' RETURN g.short_name",
+        ),
+        // Pattern predicate in WHERE (EXISTS-style).
+        Case::new(
+            "pattern_predicate",
+            "MATCH (m:module) WHERE (m) -[:linked_from]-> () RETURN m.short_name \
+             ORDER BY m.short_name LIMIT 6",
+        ),
+        // Multi-pattern comma join sharing a variable.
+        Case::new(
+            "multi_pattern_join",
+            "START f=node:node_auto_index('short_name: sr_media_change') \
+             MATCH f -[:calls]-> g, g -[:calls]-> h RETURN g.short_name, h.short_name \
+             ORDER BY g.short_name, h.short_name LIMIT 10",
+        ),
+        // count(*) — the one aggregate the v1 engine shipped with.
+        Case::new("count_star", "MATCH (n:enumerator) RETURN count(*)"),
+        Case::new(
+            "count_grouped",
+            "MATCH (m:module) -[:linked_from]-> o RETURN m.short_name, count(o) \
+             SKIP 1 LIMIT 4",
+        ),
+    ]
+}
+
+/// Renders one case: header, query text, then either the result table
+/// (columns, rows in engine order) or the error display, then the step
+/// count. All of it is pinned.
+fn render_case(case: &Case) -> String {
+    let g = &graph().graph;
+    let mut s = String::new();
+    writeln!(s, "## {}", case.name).unwrap();
+    writeln!(s, "query: {}", case.text).unwrap();
+    let engine = Engine::with_options(case.options);
+    let query = Query::parse(&case.text).expect("battery query parses");
+    match engine.run(g, &query) {
+        Ok(rs) => {
+            writeln!(s, "columns: {}", rs.columns.join("|")).unwrap();
+            for row in &rs.rows {
+                let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                writeln!(s, "row: {}", cells.join("|")).unwrap();
+            }
+            writeln!(s, "rows: {} steps: {}", rs.rows.len(), rs.steps).unwrap();
+        }
+        Err(e) => {
+            writeln!(s, "error: {e}").unwrap();
+        }
+    }
+    s
+}
+
+fn fixture_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/table5_golden.txt")
+}
+
+#[test]
+fn golden_table5_battery() {
+    let mut actual = String::from(
+        "# Golden Table-5 battery — pinned rows/order/steps.\n\
+         # Re-bless: FRAPPE_BLESS=1 cargo test --test golden_battery\n\n",
+    );
+    for case in battery() {
+        actual.push_str(&render_case(&case));
+        actual.push('\n');
+    }
+    dump_explain_artifact();
+    if std::env::var("FRAPPE_BLESS").is_ok() {
+        std::fs::create_dir_all(fixture_path().parent().unwrap()).unwrap();
+        std::fs::write(fixture_path(), &actual).unwrap();
+        eprintln!(
+            "blessed {} cases -> {}",
+            battery().len(),
+            fixture_path().display()
+        );
+        return;
+    }
+    let expected = std::fs::read_to_string(fixture_path()).expect(
+        "fixture tests/fixtures/table5_golden.txt exists (run with FRAPPE_BLESS=1 to create)",
+    );
+    if actual != expected {
+        // Line-level diff beats a 300-line assert_eq dump.
+        for (i, (a, e)) in actual.lines().zip(expected.lines()).enumerate() {
+            assert_eq!(a, e, "battery fixture diverges at line {}", i + 1);
+        }
+        assert_eq!(
+            actual.lines().count(),
+            expected.lines().count(),
+            "battery fixture length changed"
+        );
+    }
+}
+
+/// CI artifact: EXPLAIN plans for every battery case (not pinned — plans
+/// may improve; rows may not).
+fn dump_explain_artifact() {
+    let Ok(dir) = std::env::var("FRAPPE_BENCH_DIR") else {
+        return;
+    };
+    let g = &graph().graph;
+    let mut out = String::new();
+    for case in battery() {
+        let engine = Engine::with_options(case.options);
+        writeln!(out, "## {}", case.name).unwrap();
+        match Query::parse(&format!("EXPLAIN {}", case.text)) {
+            Ok(q) => match engine.run(g, &q) {
+                Ok(rs) => {
+                    for row in &rs.rows {
+                        writeln!(out, "{}", row[0]).unwrap();
+                    }
+                }
+                Err(e) => writeln!(out, "error: {e}").unwrap(),
+            },
+            Err(e) => writeln!(out, "parse error: {e}").unwrap(),
+        }
+        out.push('\n');
+    }
+    let path = std::path::Path::new(&dir).join("EXPLAIN_table5.txt");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let _ = std::fs::write(path, out);
+    }
+}

@@ -1,0 +1,373 @@
+//! Connection-scaling load harness for `frappe-serve`: the epoll readiness
+//! loop vs the legacy thread-per-connection core, across connection counts
+//! and pipelining depths.
+//!
+//! A single-threaded client built on the same `frappe_harness::poll::Poller`
+//! drives N concurrent connections, each keeping `depth` queries in flight
+//! (closed loop: every reply immediately triggers the next send). Per-query
+//! latency is measured send→reply via the protocol's `seq` tags, and the
+//! emitted `BENCH_serve_c10k.json` embeds a p50/p99 table per
+//! (core, conns, depth) cell plus an epoll-vs-threads comparison block.
+//! In full (non-quick) mode the harness asserts the event core beats
+//! thread-per-conn on p99 once connections reach 256 — the point of the
+//! whole exercise. It also writes a `/metrics` scrape from the loaded
+//! server to `$FRAPPE_BENCH_DIR/serve_c10k_metrics.prom` for CI artifacts.
+
+use frappe_harness::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use frappe_harness::poll::Poller;
+use frappe_model::{EdgeType, NodeType};
+use frappe_serve::{ServeCore, ServeGraph, Server, ServerOptions};
+use frappe_store::GraphStore;
+use std::cell::RefCell;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::time::{Duration, Instant};
+
+const QUERY: &str = "START n=node:node_auto_index('short_name: main') \
+                     MATCH n -[:calls]-> m RETURN m.short_name";
+
+fn quick() -> bool {
+    std::env::var("FRAPPE_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+fn call_graph() -> ServeGraph {
+    let mut g = GraphStore::new();
+    let main = g.add_node(NodeType::Function, "main");
+    for i in 0..8 {
+        let callee = g.add_node(NodeType::Function, &format!("callee_{i}"));
+        g.add_edge(main, EdgeType::Calls, callee);
+    }
+    g.freeze();
+    ServeGraph::Owned(g)
+}
+
+fn core_name(core: ServeCore) -> &'static str {
+    match core {
+        ServeCore::Epoll => "epoll",
+        ServeCore::Threads => "threads",
+    }
+}
+
+/// One load-generator connection: pipelined sends, seq-matched latencies.
+struct LoadConn {
+    stream: TcpStream,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    sent: usize,
+    done: usize,
+    send_times: Vec<Instant>,
+    want_write: bool,
+    finished: bool,
+}
+
+impl LoadConn {
+    fn queue_query(&mut self) {
+        self.send_times.push(Instant::now());
+        self.write_buf.extend_from_slice(QUERY.as_bytes());
+        self.write_buf.push(b'\n');
+        self.sent += 1;
+    }
+
+    /// Writes as much of `write_buf` as the socket accepts; returns whether
+    /// writable interest is still needed.
+    fn flush(&mut self) -> bool {
+        while !self.write_buf.is_empty() {
+            match self.stream.write(&self.write_buf) {
+                Ok(0) => panic!("load conn: zero-length write"),
+                Ok(n) => {
+                    self.write_buf.drain(..n);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => panic!("load conn write: {e}"),
+            }
+        }
+        false
+    }
+}
+
+fn parse_seq(line: &str) -> usize {
+    let rest = line
+        .split_once("\"seq\": ")
+        .unwrap_or_else(|| panic!("reply without seq tag: {line}"))
+        .1;
+    rest[..rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len())]
+        .parse()
+        .unwrap_or_else(|_| panic!("bad seq in reply: {line}"))
+}
+
+/// Drives `conns` connections with `depth` queries in flight each until
+/// every connection has completed `per_conn` queries. Returns all observed
+/// send→reply latencies in nanoseconds.
+fn run_scenario(addr: SocketAddr, conns: usize, depth: usize, per_conn: usize) -> Vec<u64> {
+    let mut poller = Poller::new().expect("client poller");
+    let mut clients: Vec<LoadConn> = Vec::with_capacity(conns);
+    for i in 0..conns {
+        let stream = TcpStream::connect(addr).unwrap_or_else(|e| panic!("connect #{i}: {e}"));
+        stream.set_nodelay(true).ok();
+        stream.set_nonblocking(true).expect("nonblocking");
+        poller
+            .register(stream.as_raw_fd(), i as u64, true, false)
+            .expect("register");
+        clients.push(LoadConn {
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            sent: 0,
+            done: 0,
+            send_times: Vec::with_capacity(per_conn),
+            want_write: false,
+            finished: false,
+        });
+    }
+
+    let mut latencies: Vec<u64> = Vec::with_capacity(conns * per_conn);
+    // Prime the pipelines.
+    for (i, conn) in clients.iter_mut().enumerate() {
+        for _ in 0..depth.min(per_conn) {
+            conn.queue_query();
+        }
+        let want = conn.flush();
+        if want != conn.want_write {
+            conn.want_write = want;
+            poller
+                .modify(conn.stream.as_raw_fd(), i as u64, true, want)
+                .expect("modify");
+        }
+    }
+
+    let mut remaining = conns;
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut events = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    while remaining > 0 {
+        assert!(
+            Instant::now() < deadline,
+            "load scenario stalled: {remaining}/{conns} conns unfinished"
+        );
+        poller
+            .wait(&mut events, Some(Duration::from_millis(200)))
+            .expect("client wait");
+        for ev in &events {
+            let i = ev.token as usize;
+            let conn = &mut clients[i];
+            if conn.finished {
+                continue;
+            }
+            if ev.readable || ev.hangup {
+                loop {
+                    match conn.stream.read(&mut chunk) {
+                        Ok(0) => {
+                            assert!(
+                                conn.done >= per_conn,
+                                "server closed conn #{i} after {} of {per_conn} replies",
+                                conn.done
+                            );
+                            break;
+                        }
+                        Ok(n) => conn.read_buf.extend_from_slice(&chunk[..n]),
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        Err(e) => panic!("load conn #{i} read: {e}"),
+                    }
+                }
+                // Frame replies, match seqs, and refill the pipeline.
+                let mut consumed = 0;
+                while let Some(nl) = conn.read_buf[consumed..].iter().position(|&b| b == b'\n') {
+                    let line = std::str::from_utf8(&conn.read_buf[consumed..consumed + nl])
+                        .expect("utf8 reply");
+                    assert!(line.starts_with("{\"ok\": true"), "bad reply: {line}");
+                    let seq = parse_seq(line);
+                    latencies.push(conn.send_times[seq].elapsed().as_nanos() as u64);
+                    conn.done += 1;
+                    if conn.sent < per_conn {
+                        conn.queue_query();
+                    }
+                    consumed += nl + 1;
+                }
+                conn.read_buf.drain(..consumed);
+            }
+            if conn.done >= per_conn {
+                conn.finished = true;
+                remaining -= 1;
+                poller
+                    .deregister(conn.stream.as_raw_fd())
+                    .expect("deregister");
+                continue;
+            }
+            let want = conn.flush();
+            if want != conn.want_write {
+                conn.want_write = want;
+                poller
+                    .modify(conn.stream.as_raw_fd(), i as u64, true, want)
+                    .expect("modify");
+            }
+        }
+    }
+    latencies
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn scrape_metrics(addr: SocketAddr) -> Option<String> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n")
+        .ok()?;
+    let mut body = String::new();
+    stream.read_to_string(&mut body).ok()?;
+    body.split_once("\r\n\r\n").map(|(_, b)| b.to_owned())
+}
+
+struct Cell {
+    core: &'static str,
+    conns: usize,
+    depth: usize,
+    p50_ns: u64,
+    p99_ns: u64,
+    queries: usize,
+}
+
+fn bench(c: &mut Criterion) {
+    // The scrape artifact is the point of the exporter — record counters.
+    frappe_obs::set_level(frappe_obs::ObsLevel::Counters);
+    // (connections, pipelining depth). Full mode spans the crossover point
+    // where per-connection threads start losing to one readiness loop.
+    let configs: &[(usize, usize)] = if quick() {
+        &[(16, 4)]
+    } else {
+        &[(64, 1), (256, 8), (512, 16)]
+    };
+    let per_conn = if quick() { 4 } else { 24 };
+
+    let mut group = c.benchmark_group("serve_c10k");
+    group.sample_size(3);
+
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut metrics_scrape: Option<String> = None;
+
+    for core in [ServeCore::Epoll, ServeCore::Threads] {
+        for &(conns, depth) in configs {
+            let server = Server::start(
+                call_graph(),
+                "127.0.0.1:0",
+                "127.0.0.1:0",
+                ServerOptions {
+                    core,
+                    workers: 2,
+                    ..Default::default()
+                },
+            )
+            .expect("start server");
+            let addr = server.query_addr();
+
+            // The bench entry's median is the scenario wall time (what the
+            // regression gate watches); latencies come from the last run.
+            let last_lats: RefCell<Vec<u64>> = RefCell::new(Vec::new());
+            group.bench_with_input(
+                BenchmarkId::new(core_name(core), format!("c{conns}_d{depth}")),
+                &(conns, depth),
+                |b, &(conns, depth)| {
+                    b.iter(|| {
+                        let lats = run_scenario(addr, conns, depth, per_conn);
+                        let n = lats.len();
+                        *last_lats.borrow_mut() = lats;
+                        n
+                    })
+                },
+            );
+
+            let mut lats = last_lats.into_inner();
+            lats.sort_unstable();
+            cells.push(Cell {
+                core: core_name(core),
+                conns,
+                depth,
+                p50_ns: percentile(&lats, 0.50),
+                p99_ns: percentile(&lats, 0.99),
+                queries: lats.len(),
+            });
+
+            // Scrape the loaded epoll server once, for the CI artifact.
+            if core == ServeCore::Epoll && metrics_scrape.is_none() {
+                metrics_scrape = scrape_metrics(server.metrics_addr());
+            }
+            server.shutdown();
+        }
+    }
+
+    let latency_rows: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "{{\"core\": \"{}\", \"conns\": {}, \"depth\": {}, \
+                 \"p50_ns\": {}, \"p99_ns\": {}, \"queries\": {}}}",
+                c.core, c.conns, c.depth, c.p50_ns, c.p99_ns, c.queries
+            )
+        })
+        .collect();
+    group.embed_json("latency", format!("[{}]", latency_rows.join(", ")));
+
+    // Pair up epoll vs threads per (conns, depth) for the headline claim.
+    let mut comparison_rows: Vec<String> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    for &(conns, depth) in configs {
+        let find = |name: &str| {
+            cells
+                .iter()
+                .find(|c| c.core == name && c.conns == conns && c.depth == depth)
+                .expect("cell recorded")
+        };
+        let (e, t) = (find("epoll"), find("threads"));
+        let beats = e.p99_ns < t.p99_ns;
+        comparison_rows.push(format!(
+            "{{\"conns\": {conns}, \"depth\": {depth}, \"epoll_p99_ns\": {}, \
+             \"threads_p99_ns\": {}, \"epoll_beats_threads\": {beats}}}",
+            e.p99_ns, t.p99_ns
+        ));
+        eprintln!(
+            "  c{conns} d{depth}: epoll p99 {:.2}ms vs threads p99 {:.2}ms ({})",
+            e.p99_ns as f64 / 1e6,
+            t.p99_ns as f64 / 1e6,
+            if beats { "epoll wins" } else { "threads win" }
+        );
+        if conns >= 256 && !beats {
+            failures.push(format!(
+                "at {conns} conns epoll p99 {}ns >= threads p99 {}ns",
+                e.p99_ns, t.p99_ns
+            ));
+        }
+    }
+    group.embed_json("comparison", format!("[{}]", comparison_rows.join(", ")));
+    group.finish();
+
+    if let Some(scrape) = metrics_scrape {
+        let dir =
+            std::env::var("FRAPPE_BENCH_DIR").unwrap_or_else(|_| "target/frappe-bench".to_owned());
+        let path = format!("{dir}/serve_c10k_metrics.prom");
+        if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, scrape)) {
+            eprintln!("  (metrics scrape not written to {path}: {e})");
+        }
+    }
+
+    // The headline assertion — only where the timings are real. Quick mode
+    // runs one tiny config purely to smoke the machinery.
+    if !quick() {
+        assert!(
+            failures.is_empty(),
+            "event core lost to thread-per-conn at scale: {failures:?}"
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -13,6 +13,7 @@
 //! | [`proptest_lite`] | `proptest` | property tests across the workspace |
 //! | [`bench`] | `criterion` | the `frappe-bench` bench targets |
 //! | [`mmap`] | `memmap2` | `frappe-store` zero-copy snapshot reads |
+//! | [`poll`] | `mio` | `frappe-serve` event-driven connection core |
 //!
 //! Everything here is deliberately boring: seeded deterministic PRNG with
 //! golden-value tests, explicit derive-free binary codecs, a shrinking
@@ -21,6 +22,7 @@
 
 pub mod bench;
 pub mod mmap;
+pub mod poll;
 pub mod proptest_lite;
 pub mod rng;
 pub mod serdes;

@@ -6,8 +6,9 @@
 //! `memmap2` crate would break the workspace's zero-dependency guarantee.
 //! So this module declares the two raw libc symbols itself (std already
 //! links libc on unix — the `extern "C"` block only names symbols that are
-//! guaranteed present) and confines **all** `unsafe` in the workspace to
-//! the audited block below.
+//! guaranteed present) and confines its `unsafe` to the audited block
+//! below (the only other unsafe in the workspace is [`crate::poll`], which
+//! follows the same confined pattern).
 //!
 //! ## Safety argument
 //!

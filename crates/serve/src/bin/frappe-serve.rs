@@ -21,6 +21,12 @@
 //! * `--listen ADDR` — query-protocol bind address (default
 //!   `127.0.0.1:7687`; port `0` for OS-assigned).
 //! * `--metrics ADDR` — exporter bind address (default `127.0.0.1:9187`).
+//! * `--core epoll|threads` — connection core for the query listener
+//!   (default `epoll`: one readiness loop + a worker pool, pipelined
+//!   seq-tagged replies; `threads` is the legacy thread-per-connection
+//!   core kept for A/B benchmarking).
+//! * `--workers N` — query worker threads for the epoll core (default
+//!   `max(2, available_parallelism)`).
 //! * `--addr-file PATH` — write the two bound addresses (`query=…`,
 //!   `metrics=…` lines) once listening, so scripts can use `:0` ports.
 //! * `--obs LEVEL` — observability level (`off`/`counters`/`trace`,
@@ -28,7 +34,7 @@
 //! * `--slowlog-ms N` — arm the slow-query log at `N` ms (overrides
 //!   `FRAPPE_SLOWLOG_MS`).
 
-use frappe_serve::{ServeGraph, Server, ServerOptions};
+use frappe_serve::{ServeCore, ServeGraph, Server, ServerOptions};
 use frappe_store::{snapshot, MappedGraph};
 use std::process::ExitCode;
 
@@ -41,6 +47,8 @@ struct Args {
     addr_file: Option<String>,
     obs: String,
     slowlog_ms: Option<u64>,
+    core: ServeCore,
+    workers: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -53,6 +61,8 @@ fn parse_args() -> Result<Args, String> {
         addr_file: None,
         obs: "counters".into(),
         slowlog_ms: None,
+        core: ServeCore::Epoll,
+        workers: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -72,10 +82,21 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| "--slowlog-ms needs an integer".to_string())?,
                 )
             }
+            "--core" => {
+                let v = value("--core")?;
+                args.core = ServeCore::parse(&v)
+                    .ok_or_else(|| format!("--core wants 'epoll' or 'threads', got {v:?}"))?;
+            }
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers needs an integer".to_string())?
+            }
             "--help" | "-h" => {
                 return Err("usage: frappe-serve [--snapshot PATH | --synth SCALE] \
                             [--write-snapshot PATH] [--listen ADDR] [--metrics ADDR] \
-                            [--addr-file PATH] [--obs LEVEL] [--slowlog-ms N]"
+                            [--addr-file PATH] [--obs LEVEL] [--slowlog-ms N] \
+                            [--core epoll|threads] [--workers N]"
                     .into())
             }
             other => return Err(format!("unknown flag {other:?} (try --help)")),
@@ -147,12 +168,18 @@ fn run() -> Result<(), String> {
         ServeGraph::Owned(build_synth(args.synth.as_deref().unwrap())?)
     };
 
-    let server = Server::start(graph, &args.listen, &args.metrics, ServerOptions::default())
+    let options = ServerOptions {
+        core: args.core,
+        workers: args.workers,
+        ..ServerOptions::default()
+    };
+    let server = Server::start(graph, &args.listen, &args.metrics, options)
         .map_err(|e| format!("binding listeners: {e}"))?;
     eprintln!(
-        "frappe-serve: queries on {}, metrics on http://{}/metrics (obs={:?})",
+        "frappe-serve: queries on {}, metrics on http://{}/metrics (core={:?}, obs={:?})",
         server.query_addr(),
         server.metrics_addr(),
+        args.core,
         frappe_obs::level()
     );
 

@@ -1,0 +1,615 @@
+//! The event-driven connection core: one readiness loop
+//! (`frappe_harness::poll`, epoll on linux) multiplexing every query
+//! connection nonblocking, plus a small worker pool executing queries.
+//!
+//! ## Per-connection state machine
+//!
+//! ```text
+//!                  readable                 '\n' found, capacity
+//!   ┌────────┐   ┌──────────┐  read_buf   ┌──────────┐  job queue
+//!   │ accept ├──▶│ READING  ├────────────▶│ PARSING  ├────────────▶ workers
+//!   └────────┘   └──────────┘             └─────┬────┘
+//!        ▲        EAGAIN ▲                      │ paused: in_flight ≥ max_pipeline
+//!        │               │                      │         or write_buf > cap
+//!        │               └──────────────────────┘
+//!   done replies   ┌──────────┐  partial write  ┌──────────┐
+//!   (waker) ──────▶│ WRITING  ├────────────────▶│ BACKLOG  │ want_write
+//!                  └─────┬────┘     EAGAIN      └──────────┘ interest
+//!                        │ flushed & peer_closed & in_flight == 0
+//!                        ▼
+//!                     close (deregister → drop)
+//! ```
+//!
+//! * **Framing** — requests are newline-delimited; a line that outgrows
+//!   [`crate::ServerOptions::max_line_bytes`] without a terminator gets an
+//!   immediate typed `line_too_long` reply and the connection switches to
+//!   discard mode until the next newline.
+//! * **Pipelining** — each parsed line is assigned a per-connection `seq`
+//!   (arrival order, from 0) and dispatched to the worker pool; replies
+//!   are written as workers finish, so they may interleave out of order.
+//! * **Backpressure** — a connection stops being *parsed* once it has
+//!   `max_pipeline` queries in flight or `max_write_buffer` unflushed
+//!   reply bytes, and stops being *read* once its buffered partial line
+//!   approaches the line cap; TCP then pushes back on the client.
+//! * **Draining shutdown** — `!shutdown` (or [`crate::Server::shutdown`])
+//!   stops accepting and parsing, lets every in-flight query finish,
+//!   flushes all reply buffers, acknowledges the requester, and only then
+//!   closes — bounded by `drain_timeout`.
+//!
+//! Connection tokens carry a 32-bit generation in their high half so a
+//! recycled slot never misroutes a stale readiness event or a reply from
+//! a worker that outlived its connection (that reply is counted and
+//! dropped — the mid-query-disconnect case).
+
+use crate::{line_too_long_reply, parse_sleep, render_reply, sleep_reply, Inner, SHUTDOWN_ACK};
+use frappe_harness::poll::{PollEvent, Poller, Waker};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKER: u64 = 1;
+const TOKEN_CONN_BASE: u64 = 2;
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Work dispatched to the query worker pool.
+enum Job {
+    Query { token: u64, seq: u64, text: String },
+    Sleep { token: u64, seq: u64, ms: u64 },
+}
+
+/// A finished reply routed back to the loop by token.
+struct Done {
+    token: u64,
+    line: String,
+}
+
+struct Conn {
+    stream: TcpStream,
+    token: u64,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    in_flight: usize,
+    next_seq: u64,
+    peer_closed: bool,
+    dead: bool,
+    discard_line: bool,
+    last_activity: Instant,
+    want_read: bool,
+    want_write: bool,
+}
+
+impl Conn {
+    fn pending_write(&self) -> usize {
+        self.write_buf.len() - self.write_pos
+    }
+}
+
+/// Sets up the readiness loop (so unsupported platforms error out here,
+/// before the server reports itself ready) and spawns its thread.
+pub(crate) fn spawn(inner: Arc<Inner>, listener: TcpListener) -> std::io::Result<JoinHandle<()>> {
+    listener.set_nonblocking(true)?;
+    let mut poller = Poller::new()?;
+    let waker = Arc::new(Waker::new()?);
+    poller.register(listener.as_raw_fd(), TOKEN_LISTENER, true, false)?;
+    poller.register(waker.read_fd(), TOKEN_WAKER, true, false)?;
+
+    let (jobs_tx, jobs_rx) = channel::<Job>();
+    let jobs_rx = Arc::new(Mutex::new(jobs_rx));
+    let done = Arc::new(Mutex::new(Vec::<Done>::new()));
+
+    let mut workers = Vec::new();
+    for i in 0..inner.options.effective_workers() {
+        let inner = Arc::clone(&inner);
+        let jobs_rx = Arc::clone(&jobs_rx);
+        let done = Arc::clone(&done);
+        let waker = Arc::clone(&waker);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("frappe-serve-worker-{i}"))
+                .spawn(move || worker_loop(&inner, &jobs_rx, &done, &waker))?,
+        );
+    }
+
+    let mut lp = Loop {
+        inner,
+        poller,
+        waker,
+        listener,
+        conns: Vec::new(),
+        gens: Vec::new(),
+        free: Vec::new(),
+        jobs_tx: Some(jobs_tx),
+        done,
+        workers,
+        total_in_flight: 0,
+        draining: false,
+        drain_requester: None,
+        ack_sent: false,
+        drain_deadline: None,
+    };
+    std::thread::Builder::new()
+        .name("frappe-serve-loop".into())
+        .spawn(move || lp.run())
+}
+
+fn worker_loop(inner: &Inner, jobs: &Mutex<Receiver<Job>>, done: &Mutex<Vec<Done>>, waker: &Waker) {
+    loop {
+        // Hold the receiver lock only for the blocking recv; a closed
+        // channel (loop teardown) ends the worker.
+        let job = match jobs.lock().unwrap_or_else(|e| e.into_inner()).recv() {
+            Ok(j) => j,
+            Err(_) => return,
+        };
+        let (token, line) = match job {
+            Job::Query { token, seq, text } => {
+                frappe_obs::counter!("serve.queries.dispatched").incr();
+                let line = render_reply(
+                    &inner.graph,
+                    &inner.engine,
+                    &inner.options,
+                    &text,
+                    Some(seq),
+                );
+                (token, line)
+            }
+            Job::Sleep { token, seq, ms } => {
+                std::thread::sleep(Duration::from_millis(ms));
+                (token, sleep_reply(Some(seq), ms))
+            }
+        };
+        done.lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Done { token, line });
+        waker.wake();
+    }
+}
+
+struct Loop {
+    inner: Arc<Inner>,
+    poller: Poller,
+    waker: Arc<Waker>,
+    listener: TcpListener,
+    conns: Vec<Option<Conn>>,
+    /// Per-slot generation, bumped on close; high half of each token.
+    gens: Vec<u32>,
+    free: Vec<usize>,
+    /// `Some` until teardown; dropping it ends the worker pool.
+    jobs_tx: Option<Sender<Job>>,
+    done: Arc<Mutex<Vec<Done>>>,
+    workers: Vec<JoinHandle<()>>,
+    total_in_flight: usize,
+    draining: bool,
+    drain_requester: Option<u64>,
+    ack_sent: bool,
+    drain_deadline: Option<Instant>,
+}
+
+impl Loop {
+    fn token_slot(&self, token: u64) -> Option<usize> {
+        let slot = usize::try_from((token & 0xffff_ffff).checked_sub(TOKEN_CONN_BASE)?).ok()?;
+        let gen = (token >> 32) as u32;
+        (self.gens.get(slot) == Some(&gen) && self.conns.get(slot)?.is_some()).then_some(slot)
+    }
+
+    fn run(&mut self) {
+        let mut events: Vec<PollEvent> = Vec::new();
+        let mut last_sweep = Instant::now();
+        loop {
+            let timeout = if self.draining {
+                Duration::from_millis(10)
+            } else {
+                Duration::from_millis(250)
+            };
+            match self.poller.wait(&mut events, Some(timeout)) {
+                Ok(_) => {}
+                Err(_) => break, // poller itself broken; nothing to wait on
+            }
+            frappe_obs::counter!("serve.loop.wakeups").incr();
+            frappe_obs::counter!("serve.loop.ready_events").add(events.len() as u64);
+
+            if self.inner.stop.load(Ordering::SeqCst) && !self.draining {
+                self.enter_drain(None);
+            }
+
+            let batch: Vec<PollEvent> = events.drain(..).collect();
+            for ev in batch {
+                match ev.token {
+                    TOKEN_LISTENER => {
+                        if !self.draining {
+                            self.accept_all();
+                        } else {
+                            // Drain the backlog so pending handshakes see a
+                            // close instead of a black hole.
+                            while let Ok((s, _)) = self.listener.accept() {
+                                drop(s);
+                            }
+                        }
+                    }
+                    TOKEN_WAKER => self.waker.drain(),
+                    token => self.handle_conn_event(token, ev),
+                }
+            }
+
+            self.collect_done();
+
+            if last_sweep.elapsed() >= Duration::from_millis(250) {
+                self.sweep(last_sweep.elapsed());
+                last_sweep = Instant::now();
+            }
+
+            if self.draining && self.drain_step() {
+                break;
+            }
+        }
+        self.teardown();
+    }
+
+    fn enter_drain(&mut self, requester: Option<u64>) {
+        self.draining = true;
+        self.drain_requester = requester;
+        self.drain_deadline = Some(Instant::now() + self.inner.options.drain_timeout);
+    }
+
+    /// One drain progress check; true once everything is answered and
+    /// flushed (or the deadline passed).
+    fn drain_step(&mut self) -> bool {
+        if self.total_in_flight == 0 && !self.ack_sent {
+            self.ack_sent = true;
+            if let Some(token) = self.drain_requester.take() {
+                if let Some(slot) = self.token_slot(token) {
+                    self.enqueue_reply(slot, SHUTDOWN_ACK.to_owned());
+                }
+            }
+        }
+        let deadline_passed = self.drain_deadline.is_some_and(|d| Instant::now() >= d);
+        let all_flushed = self
+            .conns
+            .iter()
+            .flatten()
+            .all(|c| c.dead || c.pending_write() == 0);
+        (self.ack_sent && self.total_in_flight == 0 && all_flushed) || deadline_passed
+    }
+
+    fn teardown(&mut self) {
+        for slot in 0..self.conns.len() {
+            if self.conns[slot].is_some() {
+                self.close_conn(slot);
+            }
+        }
+        // Closing the channel ends the workers; join so no worker outlives
+        // the server it borrows.
+        self.jobs_tx = None;
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // Wake the sibling HTTP accept loop (no-op if already stopping).
+        self.inner.request_stop();
+    }
+
+    fn accept_all(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    self.inner.conn_opened();
+                    let slot = self.free.pop().unwrap_or_else(|| {
+                        self.conns.push(None);
+                        self.gens.push(0);
+                        self.conns.len() - 1
+                    });
+                    let token = ((self.gens[slot] as u64) << 32) | (TOKEN_CONN_BASE + slot as u64);
+                    let fd = stream.as_raw_fd();
+                    let conn = Conn {
+                        stream,
+                        token,
+                        read_buf: Vec::new(),
+                        write_buf: Vec::new(),
+                        write_pos: 0,
+                        in_flight: 0,
+                        next_seq: 0,
+                        peer_closed: false,
+                        dead: false,
+                        discard_line: false,
+                        last_activity: Instant::now(),
+                        want_read: true,
+                        want_write: false,
+                    };
+                    if self.poller.register(fd, token, true, false).is_err() {
+                        self.inner.conn_closed();
+                        self.free.push(slot);
+                        continue;
+                    }
+                    self.conns[slot] = Some(conn);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn handle_conn_event(&mut self, token: u64, ev: PollEvent) {
+        let Some(slot) = self.token_slot(token) else {
+            return; // stale event for a recycled slot
+        };
+        if ev.readable {
+            self.read_conn(slot);
+            self.parse_conn(slot);
+        }
+        if ev.writable {
+            self.flush_conn(slot);
+        }
+        self.after_io(slot);
+    }
+
+    fn read_conn(&mut self, slot: usize) {
+        let conn = self.conns[slot].as_mut().expect("checked by token_slot");
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            // Reading stops while a partial line is already at the cap
+            // (discard mode consumes regardless, hunting the newline).
+            if !conn.discard_line
+                && conn.read_buf.len() > self.inner.options.max_line_bytes + READ_CHUNK
+            {
+                break;
+            }
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.peer_closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.last_activity = Instant::now();
+                    if conn.discard_line {
+                        if let Some(pos) = chunk[..n].iter().position(|&b| b == b'\n') {
+                            conn.discard_line = false;
+                            conn.read_buf.extend_from_slice(&chunk[pos + 1..n]);
+                        }
+                    } else {
+                        conn.read_buf.extend_from_slice(&chunk[..n]);
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    frappe_obs::counter!("serve.read.eagain").incr();
+                    break;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Frames and dispatches as many buffered lines as pipelining and
+    /// write-backpressure capacity allow.
+    fn parse_conn(&mut self, slot: usize) {
+        loop {
+            let opts = &self.inner.options;
+            let (max_pipeline, max_write, max_line) = (
+                opts.max_pipeline,
+                opts.max_write_buffer,
+                opts.max_line_bytes,
+            );
+            let conn = self.conns[slot].as_mut().expect("checked by token_slot");
+            let token = conn.token;
+            if conn.dead {
+                return;
+            }
+            if self.draining {
+                // No new work during drain; drop unparsed input.
+                conn.read_buf.clear();
+                return;
+            }
+            if conn.in_flight >= max_pipeline || conn.pending_write() > max_write {
+                frappe_obs::counter!("serve.pipeline.paused").incr();
+                return;
+            }
+            match conn.read_buf.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    let line = String::from_utf8_lossy(&conn.read_buf[..pos]).into_owned();
+                    conn.read_buf.drain(..=pos);
+                    let text = line.trim();
+                    let seq = conn.next_seq;
+                    if text.is_empty() {
+                        continue;
+                    }
+                    if pos > max_line {
+                        conn.next_seq += 1;
+                        frappe_obs::counter!("serve.lines.too_long").incr();
+                        let reply = line_too_long_reply(Some(seq), max_line);
+                        self.enqueue_reply(slot, reply);
+                        continue;
+                    }
+                    if text == "!shutdown" {
+                        self.enter_drain(Some(token));
+                        return;
+                    }
+                    conn.next_seq += 1;
+                    let job = if let Some(ms) = parse_sleep(text) {
+                        Job::Sleep { token, seq, ms }
+                    } else {
+                        Job::Query {
+                            token,
+                            seq,
+                            text: text.to_owned(),
+                        }
+                    };
+                    conn.in_flight += 1;
+                    self.total_in_flight += 1;
+                    frappe_obs::counter!("serve.pipeline.peak_in_flight")
+                        .record_max(self.total_in_flight as u64);
+                    if let Some(tx) = &self.jobs_tx {
+                        let _ = tx.send(job);
+                    }
+                }
+                None => {
+                    if conn.read_buf.len() > max_line {
+                        // Unterminated oversized line: reply now, discard
+                        // until the newline eventually shows up.
+                        conn.read_buf.clear();
+                        conn.discard_line = true;
+                        let seq = conn.next_seq;
+                        conn.next_seq += 1;
+                        frappe_obs::counter!("serve.lines.too_long").incr();
+                        let reply = line_too_long_reply(Some(seq), max_line);
+                        self.enqueue_reply(slot, reply);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    fn enqueue_reply(&mut self, slot: usize, line: String) {
+        let conn = self.conns[slot].as_mut().expect("checked by caller");
+        frappe_obs::counter!("serve.write.queued_bytes").add(line.len() as u64 + 1);
+        conn.write_buf.extend_from_slice(line.as_bytes());
+        conn.write_buf.push(b'\n');
+        self.flush_conn(slot);
+    }
+
+    fn flush_conn(&mut self, slot: usize) {
+        let conn = self.conns[slot].as_mut().expect("checked by caller");
+        while conn.write_pos < conn.write_buf.len() {
+            match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+                Ok(0) => {
+                    conn.dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.write_pos += n;
+                    conn.last_activity = Instant::now();
+                    frappe_obs::counter!("serve.write.flushed_bytes").add(n as u64);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    frappe_obs::counter!("serve.write.eagain").incr();
+                    break;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    break;
+                }
+            }
+        }
+        if conn.write_pos == conn.write_buf.len() {
+            conn.write_buf.clear();
+            conn.write_pos = 0;
+        } else if conn.write_pos > 64 * 1024 {
+            // Keep the backlog bounded by the unsent suffix.
+            conn.write_buf.drain(..conn.write_pos);
+            conn.write_pos = 0;
+        }
+    }
+
+    /// Post-IO bookkeeping: interest registration and close-when-done.
+    fn after_io(&mut self, slot: usize) {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        if conn.dead
+            || (conn.peer_closed
+                && conn.in_flight == 0
+                && conn.pending_write() == 0
+                && !has_full_line(&conn.read_buf))
+        {
+            self.close_conn(slot);
+            return;
+        }
+        let want_read = !conn.peer_closed
+            && !self.draining
+            && (conn.discard_line
+                || conn.read_buf.len() <= self.inner.options.max_line_bytes + READ_CHUNK);
+        let want_write = conn.pending_write() > 0;
+        if want_read != conn.want_read || want_write != conn.want_write {
+            conn.want_read = want_read;
+            conn.want_write = want_write;
+            let (fd, token) = (conn.stream.as_raw_fd(), conn.token);
+            if self
+                .poller
+                .modify(fd, token, want_read, want_write)
+                .is_err()
+            {
+                self.close_conn(slot);
+            }
+        }
+    }
+
+    /// Routes finished worker replies into connection write buffers.
+    fn collect_done(&mut self) {
+        let finished: Vec<Done> = {
+            let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+            done.drain(..).collect()
+        };
+        for d in finished {
+            self.total_in_flight -= 1;
+            match self.token_slot(d.token) {
+                Some(slot) => {
+                    {
+                        let conn = self.conns[slot].as_mut().expect("checked by token_slot");
+                        conn.in_flight -= 1;
+                    }
+                    self.enqueue_reply(slot, d.line);
+                    // A drained in-flight slot may unpause parsing.
+                    self.parse_conn(slot);
+                    self.after_io(slot);
+                }
+                None => {
+                    // The connection died mid-query; the reply has no home.
+                    frappe_obs::counter!("serve.replies.dropped").incr();
+                }
+            }
+        }
+    }
+
+    /// Periodic pass: reap dead connections and idle-timeout quiet ones.
+    fn sweep(&mut self, _elapsed: Duration) {
+        let idle_budget = self.inner.options.read_timeout;
+        for slot in 0..self.conns.len() {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                continue;
+            };
+            if conn.dead {
+                self.close_conn(slot);
+                continue;
+            }
+            if conn.in_flight == 0
+                && conn.pending_write() == 0
+                && conn.last_activity.elapsed() >= idle_budget
+            {
+                frappe_obs::counter!("serve.conns.idle_closed").incr();
+                self.close_conn(slot);
+            }
+        }
+    }
+
+    fn close_conn(&mut self, slot: usize) {
+        let Some(conn) = self.conns[slot].take() else {
+            return;
+        };
+        if conn.in_flight > 0 {
+            frappe_obs::counter!("serve.disconnects.mid_query").incr();
+        }
+        let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        drop(conn);
+        self.gens[slot] = self.gens[slot].wrapping_add(1);
+        self.free.push(slot);
+        self.inner.conn_closed();
+    }
+}
+
+fn has_full_line(buf: &[u8]) -> bool {
+    buf.contains(&b'\n')
+}

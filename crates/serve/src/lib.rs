@@ -13,20 +13,54 @@
 //!   exposition), `/healthz`, `/slowlog` (JSONL), and `/queries`
 //!   (per-fingerprint statistics, JSON).
 //!
-//! Both listeners are plain [`std::net::TcpListener`] accept loops with a
-//! thread per connection — no async runtime, no dependencies, consistent
-//! with the workspace's zero-dependency rule. Shutdown is cooperative: a
-//! `!shutdown` admin line (or [`Server::shutdown`]) flips a flag and wakes
-//! both accept loops so every thread joins cleanly.
+//! Two interchangeable **connection cores** drive the query listener:
+//!
+//! * [`ServeCore::Epoll`] (default) — a single readiness loop
+//!   (`frappe_harness::poll`, epoll on linux) multiplexing every
+//!   connection nonblocking, with a small worker pool executing queries.
+//!   The protocol is **pipelined**: a client may send N queries without
+//!   waiting; every reply carries a `"seq"` field (per-connection arrival
+//!   order, from 0) and replies may return **out of order**, so one slow
+//!   comprehension query never head-of-line-blocks a connection's cheap
+//!   point lookups.
+//! * [`ServeCore::Threads`] — the original thread-per-connection core,
+//!   kept for A/B benchmarking (`--core threads`). Same wire protocol
+//!   (including `"seq"` tags), but replies are always in order.
+//!
+//! Both cores frame requests with a hard per-line byte cap (a client that
+//! streams an unbounded line gets a typed `"code": "line_too_long"` error
+//! and the rest of the line is discarded), and both answer the `!shutdown`
+//! admin line — the event core drains every in-flight query and flushes
+//! all replies before acknowledging and closing. The HTTP exporter stays
+//! thread-per-connection on both cores: scrapes are rare, large, and
+//! latency-insensitive.
 
 use frappe_query::{Engine, Query, ResultSet};
 use frappe_store::{GraphStore, GraphView, MappedGraph};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+#[cfg(unix)]
+mod event_loop;
+
+/// Non-unix stub: no readiness syscalls, so [`Server::start`] falls back
+/// to the thread core.
+#[cfg(not(unix))]
+mod event_loop {
+    pub(crate) fn spawn(
+        _inner: std::sync::Arc<crate::Inner>,
+        _listener: std::net::TcpListener,
+    ) -> std::io::Result<std::thread::JoinHandle<()>> {
+        Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "event core needs a unix platform",
+        ))
+    }
+}
 
 /// The graph a server answers queries against: built in memory or mapped
 /// from a snapshot file.
@@ -62,6 +96,28 @@ impl ServeGraph {
     }
 }
 
+/// Which connection core drives the query listener.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeCore {
+    /// Readiness-loop core: one event thread + a query worker pool,
+    /// pipelined out-of-order replies. The default.
+    Epoll,
+    /// Thread-per-connection core: one blocking handler thread per client,
+    /// in-order replies. Kept for A/B benchmarking.
+    Threads,
+}
+
+impl ServeCore {
+    /// Parses a `--core` flag value.
+    pub fn parse(s: &str) -> Option<ServeCore> {
+        match s {
+            "epoll" | "event" | "poll" => Some(ServeCore::Epoll),
+            "threads" | "thread" => Some(ServeCore::Threads),
+            _ => None,
+        }
+    }
+}
+
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServerOptions {
@@ -69,9 +125,31 @@ pub struct ServerOptions {
     /// and the response flagged `"truncated": true` (statistics still see
     /// the full row count).
     pub max_response_rows: usize,
-    /// Per-connection read timeout — an idle client cannot pin a handler
-    /// thread forever.
+    /// Idle budget per connection: the thread core arms it as the socket
+    /// read timeout, the event core closes connections with no traffic
+    /// and no in-flight queries for this long.
     pub read_timeout: Duration,
+    /// Connection core for the query listener.
+    pub core: ServeCore,
+    /// Hard per-request line cap. Longer lines earn a typed
+    /// `"code": "line_too_long"` error reply; the oversized remainder is
+    /// discarded up to the next newline.
+    pub max_line_bytes: usize,
+    /// Queries a single connection may have in flight (event core). Lines
+    /// beyond the cap stay buffered — and, via readiness interest, on the
+    /// client's side of the socket — until replies drain.
+    pub max_pipeline: usize,
+    /// Query worker threads for the event core; `0` = `max(2,
+    /// available_parallelism)` (two minimum, so a slow query can never
+    /// serialize the whole pool).
+    pub workers: usize,
+    /// Per-connection reply backpressure bound (event core): while a
+    /// connection's unflushed reply bytes exceed this, no further queries
+    /// are parsed from it.
+    pub max_write_buffer: usize,
+    /// How long a draining shutdown waits for in-flight queries and
+    /// unflushed replies before closing anyway.
+    pub drain_timeout: Duration,
 }
 
 impl Default for ServerOptions {
@@ -79,7 +157,25 @@ impl Default for ServerOptions {
         ServerOptions {
             max_response_rows: 1_000,
             read_timeout: Duration::from_secs(30),
+            core: ServeCore::Epoll,
+            max_line_bytes: 256 * 1024,
+            max_pipeline: 128,
+            workers: 0,
+            max_write_buffer: 4 * 1024 * 1024,
+            drain_timeout: Duration::from_secs(10),
         }
+    }
+}
+
+impl ServerOptions {
+    pub(crate) fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+            .max(2)
     }
 }
 
@@ -88,6 +184,7 @@ struct Inner {
     engine: Engine,
     options: ServerOptions,
     stop: AtomicBool,
+    open_conns: AtomicU64,
     query_addr: SocketAddr,
     metrics_addr: SocketAddr,
 }
@@ -102,17 +199,29 @@ impl Inner {
         let _ = TcpStream::connect(self.query_addr);
         let _ = TcpStream::connect(self.metrics_addr);
     }
+
+    fn conn_opened(&self) {
+        frappe_obs::counter!("serve.accepts").incr();
+        frappe_obs::counter!("serve.conns.opened").incr();
+        let open = self.open_conns.fetch_add(1, Ordering::Relaxed) + 1;
+        frappe_obs::counter!("serve.conns.peak").record_max(open);
+    }
+
+    fn conn_closed(&self) {
+        frappe_obs::counter!("serve.conns.closed").incr();
+        self.open_conns.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
-/// A running server: two listeners plus their accept threads.
+/// A running server: two listeners plus their accept/event threads.
 pub struct Server {
     inner: Arc<Inner>,
     accept_threads: Vec<JoinHandle<()>>,
 }
 
-// The accept/handler threads share `&ServeGraph` and `&Engine`; both are
-// lock-free readers (the mmap page cache is atomics-based), which this
-// assertion pins down at compile time.
+// The accept/handler/worker threads share `&ServeGraph` and `&Engine`;
+// both are lock-free readers (the mmap page cache is atomics-based), which
+// this assertion pins down at compile time.
 const _: fn() = || {
     fn assert_sync<T: Sync + Send>() {}
     assert_sync::<Inner>();
@@ -120,7 +229,7 @@ const _: fn() = || {
 
 impl Server {
     /// Binds the query and metrics listeners (use port `0` for an
-    /// OS-assigned port) and starts their accept loops.
+    /// OS-assigned port) and starts the configured connection core.
     pub fn start(
         graph: ServeGraph,
         query_addr: &str,
@@ -129,21 +238,39 @@ impl Server {
     ) -> std::io::Result<Server> {
         let query_listener = TcpListener::bind(query_addr)?;
         let metrics_listener = TcpListener::bind(metrics_addr)?;
+        let core = options.core;
         let inner = Arc::new(Inner {
             graph,
             engine: Engine::new(),
             options,
             stop: AtomicBool::new(false),
+            open_conns: AtomicU64::new(0),
             query_addr: query_listener.local_addr()?,
             metrics_addr: metrics_listener.local_addr()?,
         });
 
         let mut accept_threads = Vec::new();
-        {
-            let inner = Arc::clone(&inner);
-            accept_threads.push(std::thread::spawn(move || {
-                accept_loop(&inner, query_listener, handle_query_conn);
-            }));
+        match core {
+            ServeCore::Epoll => match event_loop::spawn(Arc::clone(&inner), query_listener) {
+                Ok(handle) => accept_threads.push(handle),
+                Err(e) => {
+                    // No readiness syscalls on this platform (or fd
+                    // exhaustion at setup): degrade to the thread core
+                    // rather than refusing to serve.
+                    eprintln!("frappe-serve: event core unavailable ({e}); using --core threads");
+                    let listener = TcpListener::bind(inner.query_addr)?;
+                    let inner = Arc::clone(&inner);
+                    accept_threads.push(std::thread::spawn(move || {
+                        accept_loop(&inner, listener, handle_query_conn);
+                    }));
+                }
+            },
+            ServeCore::Threads => {
+                let inner = Arc::clone(&inner);
+                accept_threads.push(std::thread::spawn(move || {
+                    accept_loop(&inner, query_listener, handle_query_conn);
+                }));
+            }
         }
         {
             let inner = Arc::clone(&inner);
@@ -174,7 +301,8 @@ impl Server {
         self.inner.stop.load(Ordering::SeqCst)
     }
 
-    /// Requests shutdown and joins the accept threads.
+    /// Requests shutdown and joins the core threads. The event core drains
+    /// in-flight queries and flushes replies before exiting.
     pub fn shutdown(mut self) {
         self.inner.request_stop();
         for t in self.accept_threads.drain(..) {
@@ -182,8 +310,8 @@ impl Server {
         }
     }
 
-    /// Blocks until a shutdown is requested, then joins the accept
-    /// threads (the binary's main loop).
+    /// Blocks until a shutdown is requested, then joins the core threads
+    /// (the binary's main loop).
     pub fn wait(mut self) {
         for t in self.accept_threads.drain(..) {
             let _ = t.join();
@@ -222,25 +350,62 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Runs one query line and renders the one-line JSON response.
+/// The exact `!shutdown` acknowledgement line (stable for scripted
+/// clients; deliberately carries no `seq` on either core).
+pub const SHUTDOWN_ACK: &str = "{\"ok\": true, \"shutdown\": true}";
+
+fn seq_field(seq: Option<u64>) -> String {
+    match seq {
+        Some(s) => format!("\"seq\": {s}, "),
+        None => String::new(),
+    }
+}
+
+/// The typed reply for a request line that blew the
+/// [`ServerOptions::max_line_bytes`] cap.
+pub fn line_too_long_reply(seq: Option<u64>, cap: usize) -> String {
+    format!(
+        "{{\"ok\": false, {}\"code\": \"line_too_long\", \"error\": \"request line exceeds {cap} bytes; \
+         remainder discarded\"}}",
+        seq_field(seq)
+    )
+}
+
+fn sleep_reply(seq: Option<u64>, ms: u64) -> String {
+    format!("{{\"ok\": true, {}\"slept_ms\": {ms}}}", seq_field(seq))
+}
+
+/// Parses the `!sleep MS` diagnostic line (a deterministic slow "query"
+/// for pipelining tests and load harnesses). Capped at 10s.
+fn parse_sleep(text: &str) -> Option<u64> {
+    let ms: u64 = text.strip_prefix("!sleep ")?.trim().parse().ok()?;
+    Some(ms.min(10_000))
+}
+
+/// Runs one query line and renders the one-line JSON response, tagging it
+/// with `seq` when the protocol is pipelined.
 ///
-/// Success: `{"ok": true, "fingerprint": "…", "rows": n, "steps": n,
-/// "total_ns": n, "columns": […], "data": [[…]]}` (plus
+/// Success: `{"ok": true, "seq": n, "fingerprint": "…", "rows": n,
+/// "steps": n, "total_ns": n, "columns": […], "data": [[…]]}` (plus
 /// `"truncated": true` when rows were dropped). Failure: `{"ok": false,
-/// "fingerprint": "…", "error": "…"}` — the fingerprint of unparsable
-/// text still lands in the statistics via the normalize fallback.
-pub fn answer_query_line(
+/// "seq": n, "fingerprint": "…", "code": "parse_error"|"query_error",
+/// "error": "…"}` — the fingerprint of unparsable text still lands in the
+/// statistics via the normalize fallback.
+fn render_reply(
     graph: &ServeGraph,
     engine: &Engine,
     options: &ServerOptions,
     text: &str,
+    seq: Option<u64>,
 ) -> String {
     let started = std::time::Instant::now();
+    let seq = seq_field(seq);
     let query = match Query::parse(text) {
         Ok(q) => q,
         Err(e) => {
             return format!(
-                "{{\"ok\": false, \"fingerprint\": \"{}\", \"error\": \"{}\"}}",
+                "{{\"ok\": false, {seq}\"fingerprint\": \"{}\", \"code\": \"parse_error\", \
+                 \"error\": \"{}\"}}",
                 frappe_query::format_fingerprint(frappe_query::fingerprint(text)),
                 json_escape(&e.to_string())
             );
@@ -252,7 +417,7 @@ pub fn answer_query_line(
             let total_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
             let truncated = result.rows.len() > options.max_response_rows;
             let mut out = format!(
-                "{{\"ok\": true, \"fingerprint\": \"{fp}\", \"rows\": {}, \"steps\": {}, \
+                "{{\"ok\": true, {seq}\"fingerprint\": \"{fp}\", \"rows\": {}, \"steps\": {}, \
                  \"total_ns\": {total_ns}, \"columns\": [",
                 result.rows.len(),
                 result.steps
@@ -290,42 +455,150 @@ pub fn answer_query_line(
             out
         }
         Err(e) => format!(
-            "{{\"ok\": false, \"fingerprint\": \"{fp}\", \"error\": \"{}\"}}",
+            "{{\"ok\": false, {seq}\"fingerprint\": \"{fp}\", \"code\": \"query_error\", \
+             \"error\": \"{}\"}}",
             json_escape(&e.to_string())
         ),
     }
 }
 
+/// Runs one query line and renders the untagged one-line JSON response
+/// (the pre-pipelining protocol surface, kept for embedding and tests).
+pub fn answer_query_line(
+    graph: &ServeGraph,
+    engine: &Engine,
+    options: &ServerOptions,
+    text: &str,
+) -> String {
+    render_reply(graph, engine, options, text, None)
+}
+
+/// [`answer_query_line`] with a pipelining `"seq"` tag.
+pub fn answer_query_line_tagged(
+    graph: &ServeGraph,
+    engine: &Engine,
+    options: &ServerOptions,
+    text: &str,
+    seq: u64,
+) -> String {
+    render_reply(graph, engine, options, text, Some(seq))
+}
+
+/// Outcome of one capped line read.
+enum LineRead {
+    /// A complete line (without its terminator) is in the buffer.
+    Line,
+    /// The line blew the cap; everything up to and including the next
+    /// newline was discarded.
+    TooLong,
+    /// Clean end of stream (a partial trailing line is dropped — the
+    /// mid-query-disconnect case).
+    Eof,
+}
+
+/// Reads one `\n`-terminated line into `buf` (cleared first), refusing to
+/// buffer more than `cap` bytes: oversized lines are consumed and
+/// discarded through their newline and reported as [`LineRead::TooLong`].
+/// IO errors (including read timeouts) propagate.
+fn read_line_capped(
+    reader: &mut impl BufRead,
+    buf: &mut Vec<u8>,
+    cap: usize,
+) -> std::io::Result<LineRead> {
+    buf.clear();
+    let mut discarding = false;
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            if !buf.is_empty() || discarding {
+                frappe_obs::counter!("serve.disconnects.mid_line").incr();
+            }
+            return Ok(LineRead::Eof);
+        }
+        let newline = available.iter().position(|&b| b == b'\n');
+        match newline {
+            Some(pos) => {
+                let over = discarding || buf.len() + pos > cap;
+                if !over {
+                    buf.extend_from_slice(&available[..pos]);
+                }
+                reader.consume(pos + 1);
+                return Ok(if over {
+                    LineRead::TooLong
+                } else {
+                    LineRead::Line
+                });
+            }
+            None => {
+                let n = available.len();
+                if !discarding {
+                    if buf.len() + n > cap {
+                        discarding = true;
+                        buf.clear();
+                    } else {
+                        buf.extend_from_slice(available);
+                    }
+                }
+                reader.consume(n);
+            }
+        }
+    }
+}
+
+/// The thread-per-connection query handler: blocking capped line reads,
+/// in-order seq-tagged replies.
 fn handle_query_conn(inner: &Inner, stream: TcpStream) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
+    inner.conn_opened();
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
-    let mut line = String::new();
+    let mut buf = Vec::new();
+    let mut seq: u64 = 0;
     loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => return,
-            Ok(_) => {}
-        }
+        let read = match read_line_capped(&mut reader, &mut buf, inner.options.max_line_bytes) {
+            Ok(r) => r,
+            Err(_) => break, // includes the idle read timeout
+        };
         if inner.stop.load(Ordering::SeqCst) {
-            return;
+            break;
         }
-        let text = line.trim();
-        if text.is_empty() {
-            continue;
-        }
-        if text == "!shutdown" {
-            let _ = writeln!(writer, "{{\"ok\": true, \"shutdown\": true}}");
-            inner.request_stop();
-            return;
-        }
-        let response = answer_query_line(&inner.graph, &inner.engine, &inner.options, text);
-        if writeln!(writer, "{response}").is_err() {
-            return;
+        let reply = match read {
+            LineRead::Eof => break,
+            LineRead::TooLong => {
+                frappe_obs::counter!("serve.lines.too_long").incr();
+                let r = line_too_long_reply(Some(seq), inner.options.max_line_bytes);
+                seq += 1;
+                r
+            }
+            LineRead::Line => {
+                let text = String::from_utf8_lossy(&buf);
+                let text = text.trim();
+                if text.is_empty() {
+                    continue;
+                }
+                if text == "!shutdown" {
+                    let _ = writeln!(writer, "{SHUTDOWN_ACK}");
+                    inner.request_stop();
+                    break;
+                }
+                let r = if let Some(ms) = parse_sleep(text) {
+                    std::thread::sleep(Duration::from_millis(ms));
+                    sleep_reply(Some(seq), ms)
+                } else {
+                    frappe_obs::counter!("serve.queries.dispatched").incr();
+                    render_reply(&inner.graph, &inner.engine, &inner.options, text, Some(seq))
+                };
+                seq += 1;
+                r
+            }
+        };
+        if writeln!(writer, "{reply}").is_err() {
+            break;
         }
     }
+    inner.conn_closed();
 }
 
 /// Renders one HTTP/1.1 response with `Connection: close`.
@@ -454,7 +727,25 @@ mod tests {
         assert!(ok.contains("helper"), "{ok}");
         let err = answer_query_line(&g, &engine, &opts, "MATCH ???");
         assert!(err.starts_with("{\"ok\": false"), "{err}");
+        assert!(err.contains("\"code\": \"parse_error\""), "{err}");
         assert!(err.contains("\"error\": \""), "{err}");
+    }
+
+    #[test]
+    fn tagged_replies_carry_seq_first() {
+        let g = tiny_graph();
+        let engine = Engine::new();
+        let opts = ServerOptions::default();
+        let ok = answer_query_line_tagged(
+            &g,
+            &engine,
+            &opts,
+            "START n=node:node_auto_index('short_name: main') RETURN n.short_name",
+            42,
+        );
+        assert!(ok.starts_with("{\"ok\": true, \"seq\": 42, "), "{ok}");
+        let err = answer_query_line_tagged(&g, &engine, &opts, "MATCH ???", 7);
+        assert!(err.starts_with("{\"ok\": false, \"seq\": 7, "), "{err}");
     }
 
     #[test]
@@ -481,6 +772,72 @@ mod tests {
         assert!(out.contains("\"rows\": 10"), "{out}");
         assert!(out.contains("\"truncated\": true"), "{out}");
         assert_eq!(out.matches('[').count(), 2 + 3, "columns + 3 rows: {out}");
+    }
+
+    #[test]
+    fn read_line_capped_frames_and_caps() {
+        use std::io::Cursor;
+        let mut buf = Vec::new();
+
+        // Plain lines frame normally (CR handled by callers' trim).
+        let mut r = BufReader::new(Cursor::new(b"alpha\nbeta\n".to_vec()));
+        assert!(matches!(
+            read_line_capped(&mut r, &mut buf, 64).unwrap(),
+            LineRead::Line
+        ));
+        assert_eq!(buf, b"alpha");
+        assert!(matches!(
+            read_line_capped(&mut r, &mut buf, 64).unwrap(),
+            LineRead::Line
+        ));
+        assert_eq!(buf, b"beta");
+        assert!(matches!(
+            read_line_capped(&mut r, &mut buf, 64).unwrap(),
+            LineRead::Eof
+        ));
+
+        // An oversized line is consumed through its newline and the next
+        // line still parses — with a tiny BufReader to force refills.
+        let mut data = vec![b'x'; 300];
+        data.push(b'\n');
+        data.extend_from_slice(b"after\n");
+        let mut r = BufReader::with_capacity(16, Cursor::new(data));
+        assert!(matches!(
+            read_line_capped(&mut r, &mut buf, 64).unwrap(),
+            LineRead::TooLong
+        ));
+        assert!(matches!(
+            read_line_capped(&mut r, &mut buf, 64).unwrap(),
+            LineRead::Line
+        ));
+        assert_eq!(buf, b"after");
+
+        // Exactly at the cap is fine; one over is not.
+        let mut r = BufReader::new(Cursor::new(b"12345\n123456\n".to_vec()));
+        assert!(matches!(
+            read_line_capped(&mut r, &mut buf, 5).unwrap(),
+            LineRead::Line
+        ));
+        assert!(matches!(
+            read_line_capped(&mut r, &mut buf, 5).unwrap(),
+            LineRead::TooLong
+        ));
+
+        // A partial trailing line (mid-query disconnect) is a clean EOF.
+        let mut r = BufReader::new(Cursor::new(b"no newline".to_vec()));
+        assert!(matches!(
+            read_line_capped(&mut r, &mut buf, 64).unwrap(),
+            LineRead::Eof
+        ));
+    }
+
+    #[test]
+    fn sleep_lines_parse_with_cap() {
+        assert_eq!(parse_sleep("!sleep 250"), Some(250));
+        assert_eq!(parse_sleep("!sleep 999999"), Some(10_000));
+        assert_eq!(parse_sleep("!sleep"), None);
+        assert_eq!(parse_sleep("!sleep x"), None);
+        assert_eq!(parse_sleep("RETURN 1"), None);
     }
 
     #[test]

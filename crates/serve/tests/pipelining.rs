@@ -1,0 +1,175 @@
+//! Pipelining-semantics contract for the event core: seq tagging,
+//! out-of-order completion, and the draining `!shutdown`.
+
+use frappe_model::{EdgeType, NodeType};
+use frappe_serve::{ServeCore, ServeGraph, Server, ServerOptions, SHUTDOWN_ACK};
+use frappe_store::GraphStore;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn call_graph() -> ServeGraph {
+    let mut g = GraphStore::new();
+    let main = g.add_node(NodeType::Function, "main");
+    let a = g.add_node(NodeType::Function, "vfs_read");
+    g.add_edge(main, EdgeType::Calls, a);
+    g.freeze();
+    ServeGraph::Owned(g)
+}
+
+const HOP: &str = "START n=node:node_auto_index('short_name: main') \
+                   MATCH n -[:calls]-> m RETURN m.short_name";
+
+fn start(core: ServeCore) -> Server {
+    Server::start(
+        call_graph(),
+        "127.0.0.1:0",
+        "127.0.0.1:0",
+        ServerOptions {
+            core,
+            workers: 4,
+            ..Default::default()
+        },
+    )
+    .expect("bind 127.0.0.1:0")
+}
+
+/// Extracts the `"seq"` tag from a reply line.
+fn seq_of(line: &str) -> u64 {
+    let rest = line
+        .split_once("\"seq\": ")
+        .unwrap_or_else(|| panic!("reply without seq: {line}"))
+        .1;
+    rest[..rest.find([',', '}']).expect("number terminator")]
+        .trim()
+        .parse()
+        .unwrap_or_else(|_| panic!("bad seq in: {line}"))
+}
+
+/// Writes all `lines` up front (pipelined), then reads `n` reply lines.
+fn pipeline(server: &Server, lines: &[&str], n: usize) -> (Vec<String>, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(server.query_addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let mut batch = String::new();
+    for line in lines {
+        batch.push_str(line);
+        batch.push('\n');
+    }
+    writer.write_all(batch.as_bytes()).expect("write batch");
+    let mut out = Vec::new();
+    for _ in 0..n {
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("read reply");
+        assert!(!reply.is_empty(), "connection closed early");
+        out.push(reply.trim_end().to_owned());
+    }
+    (out, reader)
+}
+
+#[test]
+fn replies_are_seq_tagged_and_complete() {
+    let server = start(ServeCore::Epoll);
+    let queries = [HOP; 16];
+    let (replies, _reader) = pipeline(&server, &queries, queries.len());
+    let mut seqs: Vec<u64> = replies.iter().map(|r| seq_of(r)).collect();
+    for r in &replies {
+        assert!(r.starts_with("{\"ok\": true, \"seq\": "), "{r}");
+        assert!(r.contains("vfs_read"), "{r}");
+    }
+    seqs.sort_unstable();
+    assert_eq!(
+        seqs,
+        (0..16).collect::<Vec<u64>>(),
+        "every seq exactly once"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn slow_query_does_not_head_of_line_block() {
+    let server = start(ServeCore::Epoll);
+    // seq 0 sleeps 600ms; seq 1 is a point lookup. With a worker pool the
+    // lookup's reply must arrive first — out of order, correctly tagged.
+    let (replies, _reader) = pipeline(&server, &["!sleep 600", HOP], 2);
+    assert_eq!(seq_of(&replies[0]), 1, "fast reply first: {replies:?}");
+    assert!(replies[0].contains("\"rows\": 1"), "{}", replies[0]);
+    assert_eq!(seq_of(&replies[1]), 0, "slow reply second: {replies:?}");
+    assert!(replies[1].contains("\"slept_ms\": 600"), "{}", replies[1]);
+    server.shutdown();
+}
+
+#[test]
+fn threads_core_tags_seqs_in_arrival_order() {
+    let server = start(ServeCore::Threads);
+    let (replies, _reader) = pipeline(&server, &[HOP, HOP, HOP], 3);
+    let seqs: Vec<u64> = replies.iter().map(|r| seq_of(r)).collect();
+    assert_eq!(seqs, vec![0, 1, 2], "thread core replies in order");
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_in_flight_queries_before_ack() {
+    let server = start(ServeCore::Epoll);
+    // Two in-flight sleeps, then !shutdown on the same connection: both
+    // sleep replies must land before the ack, and the server must stop.
+    let (replies, mut reader) = pipeline(&server, &["!sleep 300", "!sleep 300", "!shutdown"], 3);
+    let mut seqs: Vec<u64> = replies[..2].iter().map(|r| seq_of(r)).collect();
+    seqs.sort_unstable();
+    assert_eq!(seqs, vec![0, 1], "in-flight queries answered: {replies:?}");
+    assert_eq!(replies[2], SHUTDOWN_ACK, "ack only after the drain");
+    // After the ack the server closes the connection…
+    let mut tail = String::new();
+    reader.read_line(&mut tail).expect("read EOF");
+    assert!(tail.is_empty(), "clean close after ack, got: {tail}");
+    // …and the core threads join.
+    server.wait();
+}
+
+#[test]
+fn external_shutdown_drains_in_flight_queries() {
+    let server = start(ServeCore::Epoll);
+    let stream = TcpStream::connect(server.query_addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    writer.write_all(b"!sleep 400\n").expect("write");
+    std::thread::sleep(Duration::from_millis(50)); // let it dispatch
+    let handle = std::thread::spawn(move || {
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("read reply");
+        reply
+    });
+    server.shutdown(); // must block on the drain, not abandon the sleep
+    let reply = handle.join().expect("reader thread");
+    assert!(reply.contains("\"slept_ms\": 400"), "{reply}");
+}
+
+#[test]
+fn idle_connections_are_reaped_by_the_event_core() {
+    let server = Server::start(
+        call_graph(),
+        "127.0.0.1:0",
+        "127.0.0.1:0",
+        ServerOptions {
+            core: ServeCore::Epoll,
+            read_timeout: Duration::from_millis(300),
+            ..Default::default()
+        },
+    )
+    .expect("bind");
+    let stream = TcpStream::connect(server.query_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let started = std::time::Instant::now();
+    let n = reader.read_line(&mut line).expect("EOF, not a timeout");
+    assert_eq!(n, 0, "idle connection closed by the server");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "reaped promptly, took {:?}",
+        started.elapsed()
+    );
+    server.shutdown();
+}

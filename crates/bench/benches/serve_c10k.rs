@@ -348,6 +348,39 @@ fn bench(c: &mut Criterion) {
         }
     }
     group.embed_json("comparison", format!("[{}]", comparison_rows.join(", ")));
+
+    // Per-phase request-trace histograms from the loaded servers: the
+    // dispatch-queue wait is the admission signal the bench gate watches
+    // (as a synthetic `phase/queue_wait_p99` row), and the full set rides
+    // along in the JSON for trajectory tracking.
+    let snap = frappe_obs::registry().snapshot();
+    let phase_rows: Vec<String> = [
+        "serve.req.recv_ns",
+        "serve.req.queue_ns",
+        "serve.req.exec_ns",
+        "serve.req.ser_ns",
+        "serve.req.write_ns",
+    ]
+    .iter()
+    .filter_map(|name| snap.histogram(name))
+    .map(|h| {
+        format!(
+            "\"{}\": {{\"count\": {}, \"p50_ns\": {:.1}, \"p99_ns\": {:.1}, \"max_ns\": {}}}",
+            h.name,
+            h.count,
+            h.quantile(0.50),
+            h.quantile(0.99),
+            h.max
+        )
+    })
+    .collect();
+    group.embed_json("phase_histograms", format!("{{{}}}", phase_rows.join(", ")));
+    let queue = snap
+        .histogram("serve.req.queue_ns")
+        .expect("the epoll runs traced queue waits");
+    assert!(queue.count > 0, "no queue-wait samples recorded under load");
+    group.report_value("phase/queue_wait_p99", queue.quantile(0.99));
+
     group.finish();
 
     if let Some(scrape) = metrics_scrape {

@@ -151,6 +151,26 @@ impl BenchmarkGroup<'_> {
         self.results.push(stats);
     }
 
+    /// Records a pre-measured value (nanoseconds by convention) as a
+    /// synthetic benchmark row, so derived statistics — a latency
+    /// percentile from a load run, a histogram quantile — flow through the
+    /// same `BENCH_<group>.json` rows the regression gate watches. The row
+    /// has one sample whose median/mean/min/max all equal `value_ns`.
+    pub fn report_value(&mut self, name: impl IntoBenchmarkName, value_ns: f64) {
+        let stats = Stats {
+            name: name.into_name(),
+            median_ns: value_ns,
+            mean_ns: value_ns,
+            stddev_ns: 0.0,
+            min_ns: value_ns,
+            max_ns: value_ns,
+            samples: 1,
+            iters_per_sample: 1,
+        };
+        report(&stats);
+        self.results.push(stats);
+    }
+
     /// Embeds a pre-rendered JSON value under `key` at the top level of
     /// the group's `BENCH_<group>.json` (e.g. a metrics snapshot from an
     /// observability layer). `raw_json` must already be valid JSON — it is
@@ -401,6 +421,13 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    /// `FRAPPE_BENCH_DIR` is process-global; the tests that set it
+    /// serialize here.
+    fn env_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     #[test]
     fn stats_are_computed_and_sane() {
         let stats = run_benchmark("spin", 5, &mut |b| {
@@ -426,8 +453,8 @@ mod tests {
 
     #[test]
     fn json_is_written_to_env_dir() {
+        let _env = env_lock();
         let dir = std::env::temp_dir().join(format!("frappe-bench-test-{}", std::process::id()));
-        // Env vars are process-global; this is the only test that sets it.
         std::env::set_var("FRAPPE_BENCH_DIR", &dir);
         write_json(
             "unit test/group",
@@ -450,6 +477,26 @@ mod tests {
         assert!(body.contains("a \\\"quoted\\\" name"));
         assert!(body.contains("\"median_ns\": 1.5"));
         assert!(body.contains("\"metrics\": {\"hits\": 7}"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_value_rows_flow_into_the_group_json() {
+        let _env = env_lock();
+        let dir = std::env::temp_dir().join(format!("frappe-bench-rv-{}", std::process::id()));
+        let mut c = Criterion::default();
+        std::env::set_var("FRAPPE_BENCH_DIR", &dir);
+        let mut g = c.benchmark_group("report_value_unit");
+        g.report_value("phase/queue_wait_p99", 1234.5);
+        g.finish();
+        std::env::remove_var("FRAPPE_BENCH_DIR");
+        let body = std::fs::read_to_string(dir.join("BENCH_report_value_unit.json"))
+            .expect("json file written");
+        assert!(
+            body.contains("\"name\": \"phase/queue_wait_p99\", \"median_ns\": 1234.5"),
+            "{body}"
+        );
+        assert!(body.contains("\"samples\": 1, \"iters_per_sample\": 1"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -45,6 +45,7 @@
 pub mod export;
 pub mod metrics;
 pub mod query_stats;
+pub mod reqtrace;
 pub mod slowlog;
 pub mod trace;
 
@@ -56,7 +57,10 @@ pub use metrics::{
 pub use query_stats::{
     queries_to_json, query_stats, QueryStats, QueryStatsRegistry, QueryStatsSnapshot, StatsSeed,
 };
-pub use slowlog::{slowlog, SlowLog, SlowQueryEntry, SlowQueryRecord};
+pub use reqtrace::{
+    reqtrace, validate_chrome_trace, PhaseSpan, ReqPhase, ReqRecord, ReqTraceBuilder, ReqTraceLog,
+};
+pub use slowlog::{slowlog, SlowLog, SlowQueryEntry, SlowQueryPhases, SlowQueryRecord};
 pub use trace::{tracer, SpanGuard, TraceEvent, Tracer};
 
 use std::sync::atomic::{AtomicU8, Ordering};

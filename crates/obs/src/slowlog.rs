@@ -24,6 +24,29 @@ pub const DEFAULT_CAPACITY: usize = 256;
 /// Threshold sentinel for "disabled".
 const DISABLED: u64 = u64::MAX;
 
+/// Per-phase latency breakdown for a served query, patched onto a record
+/// after the reply flushes (write time isn't known at record time — the
+/// request tracer amends the entry on commit; see `crate::reqtrace`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SlowQueryPhases {
+    /// Dispatch-queue wait, microseconds.
+    pub queue_wait_us: u64,
+    /// Executor + reply-serialization time, microseconds.
+    pub exec_us: u64,
+    /// Write-buffer residency (including backpressure stalls), microseconds.
+    pub write_us: u64,
+}
+
+impl SlowQueryPhases {
+    /// Renders the `phases` JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"queue_wait_us\": {}, \"exec_us\": {}, \"write_us\": {}}}",
+            self.queue_wait_us, self.exec_us, self.write_us
+        )
+    }
+}
+
 /// One slow-query record as handed to [`SlowLog::record`] (the log
 /// assigns the sequence number).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,6 +66,9 @@ pub struct SlowQueryEntry {
     /// Pre-rendered per-operator profile JSON (`{}`-shaped; empty string
     /// when the caller had no profile).
     pub profile_json: String,
+    /// Serve-phase breakdown, patched in by the request tracer once the
+    /// reply has flushed (`None` for non-served executions).
+    pub phases: Option<SlowQueryPhases>,
 }
 
 /// A retained record: the entry plus its global sequence number.
@@ -70,6 +96,9 @@ impl SlowQueryRecord {
         );
         if let Some(err) = &self.entry.error {
             out.push_str(&format!(", \"error\": \"{}\"", json_escape(err)));
+        }
+        if let Some(phases) = &self.entry.phases {
+            out.push_str(&format!(", \"phases\": {}", phases.to_json()));
         }
         if !self.entry.profile_json.is_empty() {
             out.push_str(&format!(", \"profile\": {}", self.entry.profile_json));
@@ -129,8 +158,9 @@ impl SlowLog {
 
     /// Appends a record (the caller has already applied the threshold —
     /// the executor compares against [`SlowLog::threshold_ns`] so it can
-    /// skip profile rendering for fast queries).
-    pub fn record(&self, entry: SlowQueryEntry) {
+    /// skip profile rendering for fast queries). Returns the record's
+    /// global sequence number, usable with [`SlowLog::set_phases`].
+    pub fn record(&self, entry: SlowQueryEntry) -> u64 {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
         let rec = SlowQueryRecord { seq, entry };
@@ -141,6 +171,17 @@ impl SlowLog {
             ring.buf[head] = rec;
             ring.head = (head + 1) % ring.capacity;
             self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        seq
+    }
+
+    /// Patches the serve-phase breakdown onto record `seq`, if it is still
+    /// retained (it may have been overwritten under churn — that's fine,
+    /// phases are best-effort enrichment).
+    pub fn set_phases(&self, seq: u64, phases: SlowQueryPhases) {
+        let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(rec) = ring.buf.iter_mut().find(|r| r.seq == seq) {
+            rec.entry.phases = Some(phases);
         }
     }
 
@@ -214,6 +255,7 @@ mod tests {
             steps: 2,
             error: None,
             profile_json: String::new(),
+            phases: None,
         }
     }
 
@@ -263,6 +305,31 @@ mod tests {
         assert!(lines[0].starts_with("{\"seq\": 0, \"fingerprint\": \"000000000000f00d\""));
         assert!(lines[1].contains("\"error\": \"budget \\\"exhausted\\\"\""));
         assert!(lines[1].ends_with("\"profile\": {\"ops\": []}}"));
+    }
+
+    #[test]
+    fn phases_patch_onto_retained_records() {
+        let log = SlowLog::new(0, 2);
+        let seq0 = log.record(entry(0, 10));
+        let seq1 = log.record(entry(1, 11));
+        let phases = SlowQueryPhases {
+            queue_wait_us: 120,
+            exec_us: 4_500,
+            write_us: 9,
+        };
+        log.set_phases(seq1, phases);
+        log.set_phases(seq0 + 100, phases); // unknown seq: ignored
+        let recs = log.records();
+        assert_eq!(recs[0].entry.phases, None);
+        assert_eq!(recs[1].entry.phases, Some(phases));
+        assert!(recs[1]
+            .to_json()
+            .contains("\"phases\": {\"queue_wait_us\": 120, \"exec_us\": 4500, \"write_us\": 9}"));
+        // Overwritten records are silently skipped.
+        log.record(entry(2, 12));
+        log.record(entry(3, 13));
+        log.set_phases(seq0, phases);
+        assert!(log.records().iter().all(|r| r.seq >= 2));
     }
 
     #[test]

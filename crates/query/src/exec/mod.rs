@@ -211,6 +211,7 @@ impl Engine {
             steps: result.steps,
             fingerprint: query.fingerprint,
             plan: Some(plan),
+            request: frappe_obs::reqtrace::current_id(),
         };
         Ok((result, profile))
     }
@@ -232,11 +233,15 @@ impl Engine {
             return self.run_core(g, query, prof);
         }
         let slowlog = frappe_obs::slowlog();
-        // The slow-query log wants the per-operator breakdown of offending
-        // queries, so an armed slowlog opts plain `run` calls into profile
-        // collection (deterministic results are unaffected — profiling only
-        // samples clocks and row counts).
-        let capture_local = slowlog.enabled() && prof.is_none();
+        // The serve worker registers the request trace on this thread before
+        // calling in; operator breakdowns captured here nest under that
+        // request's exec span in `/trace`.
+        let traced = frappe_obs::reqtrace::current_id();
+        // The slow-query log (and the request tracer) want the per-operator
+        // breakdown of offending queries, so either being armed opts plain
+        // `run` calls into profile collection (deterministic results are
+        // unaffected — profiling only samples clocks and row counts).
+        let capture_local = (slowlog.enabled() || traced.is_some()) && prof.is_none();
         let mut local_ops: Vec<OpProfile> = Vec::new();
         let start = Instant::now();
         let result = {
@@ -262,21 +267,36 @@ impl Engine {
             rows,
             error.is_some(),
         );
+        let ops: &[OpProfile] = if capture_local {
+            &local_ops
+        } else {
+            prof.as_deref().map_or(&[][..], |v| &v[..])
+        };
+        if traced.is_some() {
+            frappe_obs::reqtrace::with_current(|b| {
+                b.set_ops(ops.iter().map(|o| (o.name, o.time_ns)).collect());
+            });
+        }
         if slowlog.enabled() && total_ns >= slowlog.threshold_ns() {
-            let ops: &[OpProfile] = if capture_local {
-                &local_ops
-            } else {
-                prof.as_deref().map_or(&[][..], |v| &v[..])
-            };
-            slowlog.record(frappe_obs::SlowQueryEntry {
+            let seq = slowlog.record(frappe_obs::SlowQueryEntry {
                 fingerprint: query.fingerprint,
                 normalized: query.normalized.clone(),
                 total_ns,
                 rows,
                 steps,
                 error,
-                profile_json: crate::profile::render_json(ops, total_ns, steps, query.fingerprint),
+                profile_json: crate::profile::render_json(
+                    ops,
+                    total_ns,
+                    steps,
+                    query.fingerprint,
+                    traced,
+                ),
+                phases: None,
             });
+            // The write phase isn't over yet — the request tracer patches
+            // the phase breakdown onto this record when the reply flushes.
+            frappe_obs::reqtrace::with_current(|b| b.set_slowlog_seq(seq));
         }
         result
     }

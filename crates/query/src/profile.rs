@@ -41,6 +41,11 @@ pub struct QueryProfile {
     /// and the statistics seed (if the plan was stats-fed). `None` for
     /// profiles built outside the engine (hand-constructed or replayed).
     pub plan: Option<crate::plan::PlanSummary>,
+    /// The serve-layer request-trace id this execution ran under, when the
+    /// query arrived through `frappe-serve` with tracing enabled — the
+    /// same id labels the request span in `/trace`, so operator rows nest
+    /// under it. `None` for embedded executions.
+    pub request: Option<u64>,
 }
 
 fn fmt_ns(ns: u64) -> String {
@@ -73,6 +78,10 @@ impl QueryProfile {
             self.steps,
             fmt_ns(self.total_ns)
         );
+        if let Some(req) = self.request {
+            out.pop();
+            out.push_str(&format!("  req={req}\n"));
+        }
         if let Some(p) = &self.plan {
             out.push_str(&format!(
                 "Plan cost={:.1} rows~{:.0} cache={}",
@@ -100,7 +109,13 @@ impl QueryProfile {
     /// Serializes the profile as JSON (hand-rendered, matching the
     /// workspace's zero-dependency conventions).
     pub fn to_json(&self) -> String {
-        render_json(&self.ops, self.total_ns, self.steps, self.fingerprint)
+        render_json(
+            &self.ops,
+            self.total_ns,
+            self.steps,
+            self.fingerprint,
+            self.request,
+        )
     }
 }
 
@@ -112,13 +127,18 @@ pub(crate) fn render_json(
     total_ns: u64,
     steps: u64,
     fingerprint: u64,
+    request: Option<u64>,
 ) -> String {
     let mut out = format!(
-        "{{\"fingerprint\": \"{}\", \"total_ns\": {}, \"steps\": {}, \"ops\": [",
+        "{{\"fingerprint\": \"{}\", \"total_ns\": {}, \"steps\": {}",
         crate::fingerprint::format_fingerprint(fingerprint),
         total_ns,
         steps
     );
+    if let Some(req) = request {
+        out.push_str(&format!(", \"request\": {req}"));
+    }
+    out.push_str(", \"ops\": [");
     for (i, op) in ops.iter().enumerate() {
         if i > 0 {
             out.push_str(", ");
@@ -178,6 +198,7 @@ mod tests {
             steps: 42,
             fingerprint: 0xdead_beef,
             plan: None,
+            request: None,
         }
     }
 
@@ -197,6 +218,20 @@ mod tests {
         ));
         assert!(json.contains("\"op\": \"IndexLookup\""));
         assert!(json.contains("\"hits\": 1"));
+    }
+
+    #[test]
+    fn request_linkage_renders_when_present() {
+        let plain = sample();
+        assert!(!plain.to_json().contains("\"request\""));
+        let mut linked = sample();
+        linked.request = Some(17);
+        assert!(linked
+            .to_json()
+            .contains("\"steps\": 42, \"request\": 17, \"ops\": ["));
+        assert!(linked
+            .render()
+            .starts_with("Query fp=00000000deadbeef  [3 rows, 42 steps, 2.60 ms]  req=17\n"));
     }
 
     #[test]

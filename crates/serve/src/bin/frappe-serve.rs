@@ -33,6 +33,9 @@
 //!   default `counters`; the server exists to be observed).
 //! * `--slowlog-ms N` — arm the slow-query log at `N` ms (overrides
 //!   `FRAPPE_SLOWLOG_MS`).
+//! * `--stall-ms N` — event-loop stall-watchdog budget in ms (default
+//!   `100`; `0` counts every iteration, useful for smoke-testing the
+//!   `frappe_serve_loop_stalls` series).
 
 use frappe_serve::{ServeCore, ServeGraph, Server, ServerOptions};
 use frappe_store::{snapshot, MappedGraph};
@@ -47,6 +50,7 @@ struct Args {
     addr_file: Option<String>,
     obs: String,
     slowlog_ms: Option<u64>,
+    stall_ms: Option<u64>,
     core: ServeCore,
     workers: usize,
 }
@@ -61,6 +65,7 @@ fn parse_args() -> Result<Args, String> {
         addr_file: None,
         obs: "counters".into(),
         slowlog_ms: None,
+        stall_ms: None,
         core: ServeCore::Epoll,
         workers: 0,
     };
@@ -82,6 +87,13 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| "--slowlog-ms needs an integer".to_string())?,
                 )
             }
+            "--stall-ms" => {
+                args.stall_ms = Some(
+                    value("--stall-ms")?
+                        .parse()
+                        .map_err(|_| "--stall-ms needs an integer".to_string())?,
+                )
+            }
             "--core" => {
                 let v = value("--core")?;
                 args.core = ServeCore::parse(&v)
@@ -96,7 +108,7 @@ fn parse_args() -> Result<Args, String> {
                 return Err("usage: frappe-serve [--snapshot PATH | --synth SCALE] \
                             [--write-snapshot PATH] [--listen ADDR] [--metrics ADDR] \
                             [--addr-file PATH] [--obs LEVEL] [--slowlog-ms N] \
-                            [--core epoll|threads] [--workers N]"
+                            [--stall-ms N] [--core epoll|threads] [--workers N]"
                     .into())
             }
             other => return Err(format!("unknown flag {other:?} (try --help)")),
@@ -168,11 +180,14 @@ fn run() -> Result<(), String> {
         ServeGraph::Owned(build_synth(args.synth.as_deref().unwrap())?)
     };
 
-    let options = ServerOptions {
+    let mut options = ServerOptions {
         core: args.core,
         workers: args.workers,
         ..ServerOptions::default()
     };
+    if let Some(ms) = args.stall_ms {
+        options.loop_stall_budget = std::time::Duration::from_millis(ms);
+    }
     let server = Server::start(graph, &args.listen, &args.metrics, options)
         .map_err(|e| format!("binding listeners: {e}"))?;
     eprintln!(

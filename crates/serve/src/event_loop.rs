@@ -35,6 +35,13 @@
 //!   stops accepting and parsing, lets every in-flight query finish,
 //!   flushes all reply buffers, acknowledges the requester, and only then
 //!   closes — bounded by `drain_timeout`.
+//! * **Request tracing** — when observability is on, every parsed line
+//!   gets a `frappe_obs::reqtrace` builder that records phase spans
+//!   (recv/queue/exec/ser/write) from framing through flush; commits
+//!   happen at the write-watermark so backpressure stalls show up as
+//!   write-phase time. The loop also samples its own health: poll-wait
+//!   vs work time, queue depth, write-buffer bytes, and a stall
+//!   watchdog against [`crate::ServerOptions::loop_stall_budget`].
 //!
 //! Connection tokens carry a 32-bit generation in their high half so a
 //! recycled slot never misroutes a stale readiness event or a reply from
@@ -43,10 +50,12 @@
 
 use crate::{line_too_long_reply, parse_sleep, render_reply, sleep_reply, Inner, SHUTDOWN_ACK};
 use frappe_harness::poll::{PollEvent, Poller, Waker};
+use frappe_obs::reqtrace::{self, ReqPhase, ReqTraceBuilder};
+use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -57,16 +66,30 @@ const TOKEN_WAKER: u64 = 1;
 const TOKEN_CONN_BASE: u64 = 2;
 const READ_CHUNK: usize = 16 * 1024;
 
-/// Work dispatched to the query worker pool.
+/// Work dispatched to the query worker pool. The request trace rides with
+/// the job (`None` below `ObsLevel::Counters`): its queue span is open
+/// while the job sits in the channel, the worker times exec/serialize,
+/// and the trace returns with the reply via [`Done`].
 enum Job {
-    Query { token: u64, seq: u64, text: String },
-    Sleep { token: u64, seq: u64, ms: u64 },
+    Query {
+        token: u64,
+        seq: u64,
+        text: String,
+        trace: Option<Box<ReqTraceBuilder>>,
+    },
+    Sleep {
+        token: u64,
+        seq: u64,
+        ms: u64,
+        trace: Option<Box<ReqTraceBuilder>>,
+    },
 }
 
 /// A finished reply routed back to the loop by token.
 struct Done {
     token: u64,
     line: String,
+    trace: Option<Box<ReqTraceBuilder>>,
 }
 
 struct Conn {
@@ -83,11 +106,37 @@ struct Conn {
     last_activity: Instant,
     want_read: bool,
     want_write: bool,
+    /// When the current partial line started arriving (tracing only):
+    /// becomes the request's `recv` span at dispatch.
+    line_start: Option<Instant>,
+    /// Total reply bytes ever appended to / flushed from `write_buf`.
+    /// Monotonic, so each queued reply has a stable completion watermark
+    /// even as the buffer itself compacts.
+    bytes_queued: u64,
+    bytes_flushed: u64,
+    /// Traces whose replies sit in `write_buf`, with the `bytes_flushed`
+    /// watermark at which each reply is fully on the wire (FIFO: replies
+    /// append in enqueue order). Their `write` span is open — covering
+    /// backpressure stalls — until the watermark passes.
+    pending_traces: VecDeque<(u64, Box<ReqTraceBuilder>)>,
 }
 
 impl Conn {
     fn pending_write(&self) -> usize {
         self.write_buf.len() - self.write_pos
+    }
+
+    /// Completes traces whose replies have fully flushed.
+    fn commit_flushed_traces(&mut self) {
+        while self
+            .pending_traces
+            .front()
+            .is_some_and(|(end, _)| *end <= self.bytes_flushed)
+        {
+            let (_, mut t) = self.pending_traces.pop_front().expect("front checked");
+            t.exit(ReqPhase::Write);
+            reqtrace::reqtrace().commit(t);
+        }
     }
 }
 
@@ -103,6 +152,7 @@ pub(crate) fn spawn(inner: Arc<Inner>, listener: TcpListener) -> std::io::Result
     let (jobs_tx, jobs_rx) = channel::<Job>();
     let jobs_rx = Arc::new(Mutex::new(jobs_rx));
     let done = Arc::new(Mutex::new(Vec::<Done>::new()));
+    let queued = Arc::new(AtomicU64::new(0));
 
     let mut workers = Vec::new();
     for i in 0..inner.options.effective_workers() {
@@ -110,10 +160,11 @@ pub(crate) fn spawn(inner: Arc<Inner>, listener: TcpListener) -> std::io::Result
         let jobs_rx = Arc::clone(&jobs_rx);
         let done = Arc::clone(&done);
         let waker = Arc::clone(&waker);
+        let queued = Arc::clone(&queued);
         workers.push(
             std::thread::Builder::new()
                 .name(format!("frappe-serve-worker-{i}"))
-                .spawn(move || worker_loop(&inner, &jobs_rx, &done, &waker))?,
+                .spawn(move || worker_loop(&inner, &jobs_rx, &done, &waker, &queued))?,
         );
     }
 
@@ -128,6 +179,7 @@ pub(crate) fn spawn(inner: Arc<Inner>, listener: TcpListener) -> std::io::Result
         jobs_tx: Some(jobs_tx),
         done,
         workers,
+        queued,
         total_in_flight: 0,
         draining: false,
         drain_requester: None,
@@ -139,7 +191,13 @@ pub(crate) fn spawn(inner: Arc<Inner>, listener: TcpListener) -> std::io::Result
         .spawn(move || lp.run())
 }
 
-fn worker_loop(inner: &Inner, jobs: &Mutex<Receiver<Job>>, done: &Mutex<Vec<Done>>, waker: &Waker) {
+fn worker_loop(
+    inner: &Inner,
+    jobs: &Mutex<Receiver<Job>>,
+    done: &Mutex<Vec<Done>>,
+    waker: &Waker,
+    queued: &AtomicU64,
+) {
     loop {
         // Hold the receiver lock only for the blocking recv; a closed
         // channel (loop teardown) ends the worker.
@@ -147,9 +205,23 @@ fn worker_loop(inner: &Inner, jobs: &Mutex<Receiver<Job>>, done: &Mutex<Vec<Done
             Ok(j) => j,
             Err(_) => return,
         };
-        let (token, line) = match job {
-            Job::Query { token, seq, text } => {
+        queued.fetch_sub(1, Ordering::Relaxed);
+        let (token, line, trace) = match job {
+            Job::Query {
+                token,
+                seq,
+                text,
+                trace,
+            } => {
                 frappe_obs::counter!("serve.queries.dispatched").incr();
+                // Register the trace on this thread so the executor can
+                // attach operator breakdowns and its slow-log seq; reply
+                // rendering flips exec → ser at the serialize boundary.
+                if let Some(mut t) = trace {
+                    t.exit(ReqPhase::Queue);
+                    t.enter(ReqPhase::Exec);
+                    reqtrace::enter_current(t);
+                }
                 let line = render_reply(
                     &inner.graph,
                     &inner.engine,
@@ -157,16 +229,34 @@ fn worker_loop(inner: &Inner, jobs: &Mutex<Receiver<Job>>, done: &Mutex<Vec<Done
                     &text,
                     Some(seq),
                 );
-                (token, line)
+                let trace = reqtrace::take_current().map(|mut t| {
+                    t.exit(ReqPhase::Exec); // still open on parse errors
+                    t.exit(ReqPhase::Ser);
+                    t
+                });
+                (token, line, trace)
             }
-            Job::Sleep { token, seq, ms } => {
+            Job::Sleep {
+                token,
+                seq,
+                ms,
+                trace,
+            } => {
+                let mut trace = trace;
+                if let Some(t) = trace.as_deref_mut() {
+                    t.exit(ReqPhase::Queue);
+                    t.enter(ReqPhase::Exec);
+                }
                 std::thread::sleep(Duration::from_millis(ms));
-                (token, sleep_reply(Some(seq), ms))
+                if let Some(t) = trace.as_deref_mut() {
+                    t.exit(ReqPhase::Exec);
+                }
+                (token, sleep_reply(Some(seq), ms), trace)
             }
         };
         done.lock()
             .unwrap_or_else(|e| e.into_inner())
-            .push(Done { token, line });
+            .push(Done { token, line, trace });
         waker.wake();
     }
 }
@@ -184,6 +274,9 @@ struct Loop {
     jobs_tx: Option<Sender<Job>>,
     done: Arc<Mutex<Vec<Done>>>,
     workers: Vec<JoinHandle<()>>,
+    /// Jobs sent to the worker channel and not yet dequeued — the
+    /// dispatch-queue depth the loop samples into a histogram each tick.
+    queued: Arc<AtomicU64>,
     total_in_flight: usize,
     draining: bool,
     drain_requester: Option<u64>,
@@ -201,16 +294,27 @@ impl Loop {
     fn run(&mut self) {
         let mut events: Vec<PollEvent> = Vec::new();
         let mut last_sweep = Instant::now();
+        let stall_budget_ns =
+            u64::try_from(self.inner.options.loop_stall_budget.as_nanos()).unwrap_or(u64::MAX);
         loop {
             let timeout = if self.draining {
                 Duration::from_millis(10)
             } else {
                 Duration::from_millis(250)
             };
+            // Loop-health telemetry: split each iteration into poll-wait
+            // (idle) vs dispatch-work (busy) time, and flag iterations
+            // whose work phase blows the stall budget — a long stall means
+            // every connection's readiness handling is delayed behind it.
+            let wait_t0 = frappe_obs::counters_enabled().then(Instant::now);
             match self.poller.wait(&mut events, Some(timeout)) {
                 Ok(_) => {}
                 Err(_) => break, // poller itself broken; nothing to wait on
             }
+            let work_t0 = wait_t0.map(|t0| {
+                frappe_obs::histogram!("serve.loop.poll_wait_ns").record(elapsed_ns(t0));
+                Instant::now()
+            });
             frappe_obs::counter!("serve.loop.wakeups").incr();
             frappe_obs::counter!("serve.loop.ready_events").add(events.len() as u64);
 
@@ -244,6 +348,23 @@ impl Loop {
                 last_sweep = Instant::now();
             }
 
+            if let Some(t0) = work_t0 {
+                let work_ns = elapsed_ns(t0);
+                frappe_obs::histogram!("serve.loop.work_ns").record(work_ns);
+                if work_ns >= stall_budget_ns {
+                    frappe_obs::counter!("serve.loop.stalls").incr();
+                }
+                frappe_obs::histogram!("serve.loop.queue_depth")
+                    .record(self.queued.load(Ordering::Relaxed));
+                let buffered: u64 = self
+                    .conns
+                    .iter()
+                    .flatten()
+                    .map(|c| c.pending_write() as u64)
+                    .sum();
+                frappe_obs::histogram!("serve.loop.write_buffer_bytes").record(buffered);
+            }
+
             if self.draining && self.drain_step() {
                 break;
             }
@@ -264,7 +385,7 @@ impl Loop {
             self.ack_sent = true;
             if let Some(token) = self.drain_requester.take() {
                 if let Some(slot) = self.token_slot(token) {
-                    self.enqueue_reply(slot, SHUTDOWN_ACK.to_owned());
+                    self.enqueue_reply(slot, SHUTDOWN_ACK.to_owned(), None);
                 }
             }
         }
@@ -323,6 +444,10 @@ impl Loop {
                         last_activity: Instant::now(),
                         want_read: true,
                         want_write: false,
+                        line_start: None,
+                        bytes_queued: 0,
+                        bytes_flushed: 0,
+                        pending_traces: VecDeque::new(),
                     };
                     if self.poller.register(fd, token, true, false).is_err() {
                         self.inner.conn_closed();
@@ -370,6 +495,11 @@ impl Loop {
                 }
                 Ok(n) => {
                     conn.last_activity = Instant::now();
+                    if frappe_obs::counters_enabled() && conn.line_start.is_none() {
+                        // First bytes of a new line: the request's recv
+                        // span starts here. One relaxed load when Off.
+                        conn.line_start = Some(Instant::now());
+                    }
                     if conn.discard_line {
                         if let Some(pos) = chunk[..n].iter().position(|&b| b == b'\n') {
                             conn.discard_line = false;
@@ -427,9 +557,10 @@ impl Loop {
                     }
                     if pos > max_line {
                         conn.next_seq += 1;
+                        conn.line_start = None;
                         frappe_obs::counter!("serve.lines.too_long").incr();
                         let reply = line_too_long_reply(Some(seq), max_line);
-                        self.enqueue_reply(slot, reply);
+                        self.enqueue_reply(slot, reply, None);
                         continue;
                     }
                     if text == "!shutdown" {
@@ -437,19 +568,41 @@ impl Loop {
                         return;
                     }
                     conn.next_seq += 1;
+                    // Trace assignment: `begin` is one relaxed load (and
+                    // `None`) when tracing is off. The recv span runs from
+                    // the line's first byte to here; the queue span opens
+                    // now and closes when a worker dequeues the job.
+                    let mut trace = reqtrace::reqtrace().begin(token, seq);
+                    if let Some(t) = trace.as_deref_mut() {
+                        if let Some(started) = conn.line_start {
+                            t.phase_since(ReqPhase::Recv, started);
+                        }
+                        t.enter(ReqPhase::Queue);
+                    }
+                    // Any buffered remainder already belongs to the next
+                    // line; its recv clock starts now.
+                    conn.line_start =
+                        (trace.is_some() && !conn.read_buf.is_empty()).then(Instant::now);
                     let job = if let Some(ms) = parse_sleep(text) {
-                        Job::Sleep { token, seq, ms }
+                        Job::Sleep {
+                            token,
+                            seq,
+                            ms,
+                            trace,
+                        }
                     } else {
                         Job::Query {
                             token,
                             seq,
                             text: text.to_owned(),
+                            trace,
                         }
                     };
                     conn.in_flight += 1;
                     self.total_in_flight += 1;
                     frappe_obs::counter!("serve.pipeline.peak_in_flight")
                         .record_max(self.total_in_flight as u64);
+                    self.queued.fetch_add(1, Ordering::Relaxed);
                     if let Some(tx) = &self.jobs_tx {
                         let _ = tx.send(job);
                     }
@@ -460,11 +613,12 @@ impl Loop {
                         // until the newline eventually shows up.
                         conn.read_buf.clear();
                         conn.discard_line = true;
+                        conn.line_start = None;
                         let seq = conn.next_seq;
                         conn.next_seq += 1;
                         frappe_obs::counter!("serve.lines.too_long").incr();
                         let reply = line_too_long_reply(Some(seq), max_line);
-                        self.enqueue_reply(slot, reply);
+                        self.enqueue_reply(slot, reply, None);
                     }
                     return;
                 }
@@ -472,11 +626,19 @@ impl Loop {
         }
     }
 
-    fn enqueue_reply(&mut self, slot: usize, line: String) {
+    fn enqueue_reply(&mut self, slot: usize, line: String, trace: Option<Box<ReqTraceBuilder>>) {
         let conn = self.conns[slot].as_mut().expect("checked by caller");
         frappe_obs::counter!("serve.write.queued_bytes").add(line.len() as u64 + 1);
         conn.write_buf.extend_from_slice(line.as_bytes());
         conn.write_buf.push(b'\n');
+        conn.bytes_queued += line.len() as u64 + 1;
+        if let Some(mut t) = trace {
+            // The write span stays open — including across EAGAIN
+            // backpressure stalls — until the flush watermark passes the
+            // end of this reply.
+            t.enter(ReqPhase::Write);
+            conn.pending_traces.push_back((conn.bytes_queued, t));
+        }
         self.flush_conn(slot);
     }
 
@@ -490,6 +652,7 @@ impl Loop {
                 }
                 Ok(n) => {
                     conn.write_pos += n;
+                    conn.bytes_flushed += n as u64;
                     conn.last_activity = Instant::now();
                     frappe_obs::counter!("serve.write.flushed_bytes").add(n as u64);
                 }
@@ -512,6 +675,7 @@ impl Loop {
             conn.write_buf.drain(..conn.write_pos);
             conn.write_pos = 0;
         }
+        conn.commit_flushed_traces();
     }
 
     /// Post-IO bookkeeping: interest registration and close-when-done.
@@ -561,7 +725,7 @@ impl Loop {
                         let conn = self.conns[slot].as_mut().expect("checked by token_slot");
                         conn.in_flight -= 1;
                     }
-                    self.enqueue_reply(slot, d.line);
+                    self.enqueue_reply(slot, d.line, d.trace);
                     // A drained in-flight slot may unpause parsing.
                     self.parse_conn(slot);
                     self.after_io(slot);
@@ -569,6 +733,10 @@ impl Loop {
                 None => {
                     // The connection died mid-query; the reply has no home.
                     frappe_obs::counter!("serve.replies.dropped").incr();
+                    if let Some(mut t) = d.trace {
+                        t.abort();
+                        reqtrace::reqtrace().commit(t);
+                    }
                 }
             }
         }
@@ -596,11 +764,17 @@ impl Loop {
     }
 
     fn close_conn(&mut self, slot: usize) {
-        let Some(conn) = self.conns[slot].take() else {
+        let Some(mut conn) = self.conns[slot].take() else {
             return;
         };
         if conn.in_flight > 0 {
             frappe_obs::counter!("serve.disconnects.mid_query").incr();
+        }
+        // Replies that never fully flushed: commit their traces as
+        // aborted so the write-phase time is still accounted.
+        for (_, mut t) in conn.pending_traces.drain(..) {
+            t.abort();
+            reqtrace::reqtrace().commit(t);
         }
         let _ = self.poller.deregister(conn.stream.as_raw_fd());
         drop(conn);
@@ -612,4 +786,8 @@ impl Loop {
 
 fn has_full_line(buf: &[u8]) -> bool {
     buf.contains(&b'\n')
+}
+
+fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }

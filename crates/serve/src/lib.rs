@@ -10,8 +10,16 @@
 //!   against either an owned [`GraphStore`] or a zero-copy
 //!   [`MappedGraph`] snapshot;
 //! * a std-only **HTTP exporter** serving `GET /metrics` (Prometheus text
-//!   exposition), `/healthz`, `/slowlog` (JSONL), and `/queries`
-//!   (per-fingerprint statistics, JSON).
+//!   exposition), `/healthz`, `/slowlog` (JSONL), `/queries`
+//!   (per-fingerprint statistics, JSON), and `/trace` (Chrome trace-event
+//!   JSON of the last N requests' phase spans — load it in
+//!   `chrome://tracing`).
+//!
+//! With `ObsLevel::Counters` or higher, every request is traced through
+//! the pipeline — recv → queue → exec → ser → write phase spans, recorded
+//! by `frappe_obs::reqtrace` — feeding `/trace`, per-phase histograms in
+//! `/metrics`, and phase breakdowns on slow-query-log entries. At
+//! `ObsLevel::Off` the whole layer is one relaxed load per request.
 //!
 //! Two interchangeable **connection cores** drive the query listener:
 //!
@@ -150,6 +158,12 @@ pub struct ServerOptions {
     /// How long a draining shutdown waits for in-flight queries and
     /// unflushed replies before closing anyway.
     pub drain_timeout: Duration,
+    /// Stall-watchdog budget for one event-loop iteration's work phase
+    /// (everything between two `poll` waits). Iterations that exceed it
+    /// increment the `serve.loop.stalls` counter — a stalled loop delays
+    /// readiness handling for *every* connection. `0` flags every
+    /// iteration (useful for exercising the watchdog in harnesses).
+    pub loop_stall_budget: Duration,
 }
 
 impl Default for ServerOptions {
@@ -163,6 +177,7 @@ impl Default for ServerOptions {
             workers: 0,
             max_write_buffer: 4 * 1024 * 1024,
             drain_timeout: Duration::from_secs(10),
+            loop_stall_budget: Duration::from_millis(100),
         }
     }
 }
@@ -412,7 +427,11 @@ fn render_reply(
         }
     };
     let fp = frappe_query::format_fingerprint(query.fingerprint);
-    match graph.run(engine, &query) {
+    let run_result = graph.run(engine, &query);
+    // If a request trace is registered on this thread, its exec span ends
+    // here and the serialization span begins (a no-op otherwise).
+    frappe_obs::reqtrace::mark_serialize();
+    match run_result {
         Ok(result) => {
             let total_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
             let truncated = result.rows.len() > options.max_response_rows;
@@ -546,12 +565,22 @@ fn read_line_capped(
 }
 
 /// The thread-per-connection query handler: blocking capped line reads,
-/// in-order seq-tagged replies.
+/// in-order seq-tagged replies. Request tracing has A/B parity with the
+/// event core: the same phase spans commit to the same ring, except that
+/// `recv` and `queue` don't exist here (the blocking read *is* the
+/// request boundary and there is no dispatch queue).
 fn handle_query_conn(inner: &Inner, stream: TcpStream) {
+    use frappe_obs::reqtrace::ReqPhase;
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
     inner.conn_opened();
+    // Thread-core connection ids live above the event core's token space
+    // so `/trace` tracks never collide across cores.
+    let conn_id = {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        (1 << 40) | NEXT.fetch_add(1, Ordering::Relaxed)
+    };
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
     let mut buf = Vec::new();
@@ -564,13 +593,13 @@ fn handle_query_conn(inner: &Inner, stream: TcpStream) {
         if inner.stop.load(Ordering::SeqCst) {
             break;
         }
-        let reply = match read {
+        let (reply, mut trace) = match read {
             LineRead::Eof => break,
             LineRead::TooLong => {
                 frappe_obs::counter!("serve.lines.too_long").incr();
                 let r = line_too_long_reply(Some(seq), inner.options.max_line_bytes);
                 seq += 1;
-                r
+                (r, None)
             }
             LineRead::Line => {
                 let text = String::from_utf8_lossy(&buf);
@@ -583,18 +612,46 @@ fn handle_query_conn(inner: &Inner, stream: TcpStream) {
                     inner.request_stop();
                     break;
                 }
+                let mut trace = frappe_obs::reqtrace().begin(conn_id, seq);
                 let r = if let Some(ms) = parse_sleep(text) {
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.enter(ReqPhase::Exec);
+                    }
                     std::thread::sleep(Duration::from_millis(ms));
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.exit(ReqPhase::Exec);
+                    }
                     sleep_reply(Some(seq), ms)
                 } else {
                     frappe_obs::counter!("serve.queries.dispatched").incr();
-                    render_reply(&inner.graph, &inner.engine, &inner.options, text, Some(seq))
+                    if let Some(mut t) = trace.take() {
+                        t.enter(ReqPhase::Exec);
+                        frappe_obs::reqtrace::enter_current(t);
+                    }
+                    let r =
+                        render_reply(&inner.graph, &inner.engine, &inner.options, text, Some(seq));
+                    trace = frappe_obs::reqtrace::take_current().map(|mut t| {
+                        t.exit(ReqPhase::Exec); // still open on parse errors
+                        t.exit(ReqPhase::Ser);
+                        t
+                    });
+                    r
                 };
                 seq += 1;
-                r
+                (r, trace)
             }
         };
-        if writeln!(writer, "{reply}").is_err() {
+        if let Some(t) = trace.as_deref_mut() {
+            t.enter(ReqPhase::Write);
+        }
+        let write_ok = writeln!(writer, "{reply}").is_ok();
+        if let Some(mut t) = trace {
+            if !write_ok {
+                t.abort();
+            }
+            frappe_obs::reqtrace().commit(t); // closes the write span
+        }
+        if !write_ok {
             break;
         }
     }
@@ -643,6 +700,11 @@ pub fn answer_http_path(
             "200 OK".into(),
             "application/x-ndjson".into(),
             frappe_obs::slowlog().to_jsonl(),
+        ),
+        "/trace" => (
+            "200 OK".into(),
+            "application/json".into(),
+            frappe_obs::reqtrace().to_chrome_json(),
         ),
         "/queries" => {
             let pc = engine.plan_cache_stats();
@@ -858,6 +920,10 @@ mod tests {
             "{body}"
         );
         assert!(body.contains("\"queries\": ["), "{body}");
+        let (status, ct, body) = answer_http_path(&g, &engine, "/trace");
+        assert_eq!(status, "200 OK");
+        assert_eq!(ct, "application/json");
+        frappe_obs::validate_chrome_trace(&body).unwrap();
         let (status, _, _) = answer_http_path(&g, &engine, "/nope");
         assert_eq!(status, "404 Not Found");
     }

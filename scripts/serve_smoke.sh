@@ -4,7 +4,10 @@
 # the owned tracked-cache build, drive a scripted query batch over the
 # line protocol, scrape /metrics, and assert the observability surfaces
 # are populated: query counters per fingerprint, pagecache hit/fault
-# counters, and a slow-query log filled by FRAPPE_SLOWLOG_MS=0.
+# counters, a slow-query log filled by FRAPPE_SLOWLOG_MS=0, and — under
+# a pipelined burst — request traces: /trace emits Chrome trace-event
+# JSON (saved as TRACE_*.json for CI artifact upload), the per-phase
+# queue-wait histogram records, and the --stall-ms 0 watchdog counts.
 #
 # Dependency-free on purpose: all TCP traffic goes through bash's
 # /dev/tcp, so the script runs anywhere bash does (no curl, no nc).
@@ -45,6 +48,29 @@ run_query_batch() {
       '{"ok": true'*) ;;
       *)
         echo "serve_smoke: query failed: $response" >&2
+        return 1
+        ;;
+    esac
+  done
+  exec 3>&- 3<&-
+}
+
+# Writes all stdin queries up front (pipelined, one burst), then reads one
+# response per query — the burst is what makes dispatch-queue waits real.
+run_pipelined_batch() {
+  local host="$1" port="$2"
+  local -a queries=()
+  local query response
+  while IFS= read -r query; do queries+=("$query"); done
+  exec 3<>"/dev/tcp/$host/$port"
+  printf '%s\n' "${queries[@]}" >&3
+  for _ in "${queries[@]}"; do
+    IFS= read -r response <&3
+    printf '%s\n' "$response"
+    case "$response" in
+      '{"ok": true'*) ;;
+      *)
+        echo "serve_smoke: pipelined query failed: $response" >&2
         return 1
         ;;
     esac
@@ -141,4 +167,21 @@ assert_nonzero_metric "frappe_store_pagecache_hits" "$OUT_DIR/SERVE_metrics_scra
 assert_nonzero_metric "frappe_query_executions_total" "$OUT_DIR/SERVE_metrics_scrape_synth.txt"
 stop_server
 
-echo "serve_smoke: OK (scrapes in $OUT_DIR/SERVE_*.txt)"
+echo "==> phase 3: request traces under a pipelined burst (--stall-ms 0)"
+# A zero stall budget flags every event-loop iteration that does any work,
+# so the watchdog series must move under load.
+start_server --snapshot "$WORK/tiny.fsnap" --stall-ms 0
+for _ in $(seq 1 12); do echo "$FIG3_QUERY"; done | run_pipelined_batch "$QHOST" "$QPORT" >/dev/null
+http_get_body "$MHOST" "$MPORT" /trace >"$OUT_DIR/TRACE_serve_smoke.json"
+assert_grep '"traceEvents": \[' "$OUT_DIR/TRACE_serve_smoke.json" "a Chrome trace-event envelope"
+assert_grep '"name": "request"' "$OUT_DIR/TRACE_serve_smoke.json" "request spans"
+assert_grep '"name": "queue"' "$OUT_DIR/TRACE_serve_smoke.json" "dispatch-queue phase spans"
+assert_grep '"name": "exec"' "$OUT_DIR/TRACE_serve_smoke.json" "executor phase spans"
+assert_grep '"name": "write"' "$OUT_DIR/TRACE_serve_smoke.json" "write-buffer phase spans"
+http_get_body "$MHOST" "$MPORT" /metrics >"$WORK/metrics_trace.txt"
+assert_nonzero_metric "frappe_serve_req_queue_ns_count" "$WORK/metrics_trace.txt"
+assert_nonzero_metric "frappe_serve_req_exec_ns_count" "$WORK/metrics_trace.txt"
+assert_nonzero_metric "frappe_serve_loop_stalls" "$WORK/metrics_trace.txt"
+stop_server
+
+echo "serve_smoke: OK (scrapes in $OUT_DIR/SERVE_*.txt, traces in $OUT_DIR/TRACE_*.json)"

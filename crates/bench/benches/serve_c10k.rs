@@ -16,12 +16,14 @@
 use frappe_harness::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use frappe_harness::poll::Poller;
 use frappe_model::{EdgeType, NodeType};
-use frappe_serve::{ServeCore, ServeGraph, Server, ServerOptions};
+use frappe_serve::{AdmissionOptions, ServeCore, ServeGraph, Server, ServerOptions};
 use frappe_store::GraphStore;
 use std::cell::RefCell;
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const QUERY: &str = "START n=node:node_auto_index('short_name: main') \
@@ -237,6 +239,75 @@ struct Cell {
     queries: usize,
 }
 
+/// The expensive query the overload flood sends; its tracked p95 crosses
+/// the shed threshold after priming.
+const FLOOD_SLEEP_MS: u64 = 25;
+
+/// Admission config for the overload scenario: the depth watermark trips
+/// at 1 (in-flight cheap traffic keeps it tripped on both cores), and the
+/// `!sleep` fingerprint counts as expensive once its p95 reaches 10ms.
+fn overload_admission() -> AdmissionOptions {
+    AdmissionOptions {
+        enabled: true,
+        queue_watermark: 1,
+        shed_p95_ms: 10,
+        park_capacity: 8,
+        ..Default::default()
+    }
+}
+
+/// Serially runs the flood sleep twice so the `!sleep ?` fingerprint has
+/// a tracked p95 above the shed threshold before the flood starts.
+fn prime_sleep_stats(addr: SocketAddr) {
+    let stream = TcpStream::connect(addr).expect("prime connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    for _ in 0..2 {
+        writeln!(writer, "!sleep {FLOOD_SLEEP_MS}").expect("prime write");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("prime read");
+        assert!(reply.contains("\"ok\": true"), "prime admitted: {reply}");
+    }
+}
+
+/// One flood connection: keeps four expensive sleeps in flight until
+/// `stop`, then drains. Returns (completed, typed sheds) reply counts.
+fn flooder(addr: SocketAddr, stop: Arc<AtomicBool>) -> (u64, u64) {
+    let stream = TcpStream::connect(addr).expect("flood connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let line = format!("!sleep {FLOOD_SLEEP_MS}\n");
+    let mut outstanding = 0u64;
+    for _ in 0..4 {
+        writer.write_all(line.as_bytes()).expect("flood write");
+        outstanding += 1;
+    }
+    let (mut ok, mut shed) = (0u64, 0u64);
+    while outstanding > 0 {
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("flood read");
+        assert!(!reply.is_empty(), "flood connection closed early");
+        outstanding -= 1;
+        if reply.contains("\"ok\": true") {
+            ok += 1;
+        } else {
+            assert!(
+                reply.contains("\"code\": \"shedded\""),
+                "flood denials are typed: {reply}"
+            );
+            shed += 1;
+        }
+        if !stop.load(Ordering::Relaxed) {
+            writer.write_all(line.as_bytes()).expect("flood write");
+            outstanding += 1;
+        }
+    }
+    (ok, shed)
+}
+
 fn bench(c: &mut Criterion) {
     // The scrape artifact is the point of the exporter — record counters.
     frappe_obs::set_level(frappe_obs::ObsLevel::Counters);
@@ -380,6 +451,105 @@ fn bench(c: &mut Criterion) {
         .expect("the epoll runs traced queue waits");
     assert!(queue.count > 0, "no queue-wait samples recorded under load");
     group.report_value("phase/queue_wait_p99", queue.quantile(0.99));
+
+    // Overload scenario: an expensive-fingerprint flood against an
+    // admission-enabled server, on both cores. The bench entry times the
+    // cheap point-lookup workload while the flood runs (the gated row);
+    // the scenario asserts the flood gets typed shed replies and that
+    // cheap p99 stays bounded relative to the no-flood baseline — queued
+    // behind at most a couple of in-flight sleeps, never the whole flood.
+    // Runs after the phase-histogram snapshot so its intentional queue
+    // waits don't skew the phase/queue_wait_p99 row.
+    let mut overload_rows: Vec<String> = Vec::new();
+    for core in [ServeCore::Epoll, ServeCore::Threads] {
+        let server = Server::start(
+            call_graph(),
+            "127.0.0.1:0",
+            "127.0.0.1:0",
+            ServerOptions {
+                core,
+                workers: 2,
+                admission: overload_admission(),
+                ..Default::default()
+            },
+        )
+        .expect("start overload server");
+        let addr = server.query_addr();
+        prime_sleep_stats(addr);
+
+        let mut base = run_scenario(addr, 4, 2, per_conn);
+        base.sort_unstable();
+        let baseline_p99 = percentile(&base, 0.99);
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let flood: Vec<_> = (0..2)
+            .map(|_| {
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || flooder(addr, stop))
+            })
+            .collect();
+        // Give the flood a beat to trip the watermark before measuring.
+        std::thread::sleep(Duration::from_millis(2 * FLOOD_SLEEP_MS));
+
+        let last_lats: RefCell<Vec<u64>> = RefCell::new(Vec::new());
+        group.bench_with_input(
+            BenchmarkId::new("overload", core_name(core)),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let lats = run_scenario(addr, 4, 2, per_conn);
+                    let n = lats.len();
+                    *last_lats.borrow_mut() = lats;
+                    n
+                })
+            },
+        );
+        stop.store(true, Ordering::Relaxed);
+        let (mut flood_ok, mut flood_shed) = (0u64, 0u64);
+        for f in flood {
+            let (o, s) = f.join().expect("flooder thread");
+            flood_ok += o;
+            flood_shed += s;
+        }
+
+        let mut lats = last_lats.into_inner();
+        lats.sort_unstable();
+        let flood_p99 = percentile(&lats, 0.99);
+        let bound_ns = baseline_p99 * 10 + 4 * FLOOD_SLEEP_MS * 1_000_000;
+        eprintln!(
+            "  overload/{}: cheap p99 {:.2}ms (baseline {:.2}ms, bound {:.2}ms), \
+             flood {} shed / {} completed",
+            core_name(core),
+            flood_p99 as f64 / 1e6,
+            baseline_p99 as f64 / 1e6,
+            bound_ns as f64 / 1e6,
+            flood_shed,
+            flood_ok
+        );
+        assert!(
+            flood_shed > 0,
+            "the {} core never shed the expensive flood",
+            core_name(core)
+        );
+        assert!(
+            flood_p99 <= bound_ns,
+            "cheap p99 unbounded under flood on {}: {}ns > bound {}ns",
+            core_name(core),
+            flood_p99,
+            bound_ns
+        );
+        overload_rows.push(format!(
+            "{{\"core\": \"{}\", \"baseline_p99_ns\": {baseline_p99}, \
+             \"flood_p99_ns\": {flood_p99}, \"bound_ns\": {bound_ns}, \
+             \"shed\": {flood_shed}, \"flood_ok\": {flood_ok}, \
+             \"admit_shed_total\": {}, \"admit_parked_total\": {}}}",
+            core_name(core),
+            server.admission().shed_total(),
+            server.admission().parked_total(),
+        ));
+        server.shutdown();
+    }
+    group.embed_json("overload", format!("[{}]", overload_rows.join(", ")));
 
     group.finish();
 

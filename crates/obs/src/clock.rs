@@ -1,0 +1,125 @@
+//! A pluggable time source: monotonic wall time in production, virtual
+//! (manually advanced) time in tests.
+//!
+//! Everything time-driven in the serve layer that must be testable
+//! without wall-clock sleeps — the admission token bucket, the idle-sweep
+//! budget, the watermark decay — reads time through a [`Clock`] instead
+//! of `Instant::now()`. A monotonic clock reports nanoseconds since a
+//! process-wide anchor; a virtual clock reports a shared counter that
+//! tests advance explicitly, so "wait one second" becomes
+//! `clock.advance(Duration::from_secs(1))` and runs in microseconds.
+//!
+//! Clones of a virtual clock share the same counter (it is an
+//! `Arc<AtomicU64>`), so a test can hand one clone to a server and keep
+//! another to drive time forward.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// A cheaply clonable time source reporting monotonic nanoseconds.
+#[derive(Clone, Debug)]
+pub struct Clock(Kind);
+
+#[derive(Clone, Debug)]
+enum Kind {
+    Monotonic,
+    Virtual(Arc<AtomicU64>),
+}
+
+/// The process-wide anchor monotonic readings count from (first use).
+fn anchor() -> Instant {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    *ANCHOR.get_or_init(Instant::now)
+}
+
+impl Default for Clock {
+    fn default() -> Clock {
+        Clock::monotonic()
+    }
+}
+
+impl Clock {
+    /// The production clock: `Instant`-backed, nanoseconds since the
+    /// first monotonic reading in this process.
+    pub fn monotonic() -> Clock {
+        // Touch the anchor now so now_ns() deltas never include lazy-init
+        // jitter from an unrelated first caller.
+        let _ = anchor();
+        Clock(Kind::Monotonic)
+    }
+
+    /// A virtual clock starting at `start_ns`. Time only moves when
+    /// [`Clock::advance`] or [`Clock::set_ns`] is called; clones share
+    /// the counter.
+    pub fn virtual_at(start_ns: u64) -> Clock {
+        Clock(Kind::Virtual(Arc::new(AtomicU64::new(start_ns))))
+    }
+
+    /// Whether this is a virtual (test) clock.
+    pub fn is_virtual(&self) -> bool {
+        matches!(self.0, Kind::Virtual(_))
+    }
+
+    /// The current reading in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        match &self.0 {
+            Kind::Monotonic => u64::try_from(anchor().elapsed().as_nanos()).unwrap_or(u64::MAX),
+            Kind::Virtual(t) => t.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Advances a virtual clock by `d`. Panics on a monotonic clock —
+    /// production time cannot be steered, and a silent no-op would make a
+    /// mis-wired test hang instead of fail.
+    pub fn advance(&self, d: Duration) {
+        let Kind::Virtual(t) = &self.0 else {
+            panic!("Clock::advance on a monotonic clock");
+        };
+        let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        t.fetch_add(ns, Ordering::SeqCst);
+    }
+
+    /// Moves a virtual clock to `ns` (never backwards). Panics on a
+    /// monotonic clock.
+    pub fn set_ns(&self, ns: u64) {
+        let Kind::Virtual(t) = &self.0 else {
+            panic!("Clock::set_ns on a monotonic clock");
+        };
+        t.fetch_max(ns, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_moves_forward() {
+        let c = Clock::monotonic();
+        assert!(!c.is_virtual());
+        let a = c.now_ns();
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(c.now_ns() > a);
+    }
+
+    #[test]
+    fn virtual_clock_is_steered_and_shared() {
+        let c = Clock::virtual_at(100);
+        assert!(c.is_virtual());
+        assert_eq!(c.now_ns(), 100);
+        let clone = c.clone();
+        c.advance(Duration::from_nanos(50));
+        assert_eq!(clone.now_ns(), 150, "clones share the counter");
+        clone.set_ns(1_000);
+        assert_eq!(c.now_ns(), 1_000);
+        clone.set_ns(10); // never backwards
+        assert_eq!(c.now_ns(), 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotonic clock")]
+    fn advancing_a_monotonic_clock_panics() {
+        Clock::monotonic().advance(Duration::from_secs(1));
+    }
+}

@@ -42,6 +42,7 @@
 //! obs::set_level(obs::ObsLevel::Off);
 //! ```
 
+pub mod clock;
 pub mod export;
 pub mod metrics;
 pub mod query_stats;
@@ -49,6 +50,7 @@ pub mod reqtrace;
 pub mod slowlog;
 pub mod trace;
 
+pub use clock::Clock;
 pub use export::{render_prometheus, validate_exposition, SlowLogStats};
 pub use metrics::{
     registry, Counter, CounterSnapshot, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,

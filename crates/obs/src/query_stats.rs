@@ -167,6 +167,19 @@ impl QueryStatsRegistry {
         })
     }
 
+    /// The observed p95 latency for `fingerprint` in nanoseconds, or
+    /// `None` with no recorded executions. Read-only and ungated, like
+    /// [`QueryStatsRegistry::seed`]: the serve layer's cost-aware
+    /// admission tier uses this to classify known-expensive query shapes.
+    pub fn p95_ns(&self, fingerprint: u64) -> Option<u64> {
+        let list = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        let (_, _, s) = list.iter().find(|(fp, _, _)| *fp == fingerprint)?;
+        if s.count.load(Ordering::Relaxed) == 0 {
+            return None;
+        }
+        Some(s.latency.snapshot("").quantile(0.95) as u64)
+    }
+
     /// Copies every fingerprint's statistics, most-executed first (ties
     /// broken by fingerprint for determinism).
     pub fn snapshot(&self) -> Vec<QueryStatsSnapshot> {
@@ -283,6 +296,23 @@ mod tests {
         assert_eq!(snap[0].rows, 16_000);
         assert_eq!(snap[0].errors, 800);
         assert_eq!(snap[0].latency.count, 8_000);
+        set_level(ObsLevel::Off);
+    }
+
+    #[test]
+    fn p95_reads_back_observed_latency() {
+        let _g = test_lock::hold();
+        set_level(ObsLevel::Counters);
+        let reg = QueryStatsRegistry::default();
+        assert_eq!(reg.p95_ns(5), None, "unknown fingerprint has no p95");
+        for _ in 0..20 {
+            reg.observe(5, "slow shape", 60_000_000, 1, false);
+        }
+        let p95 = reg.p95_ns(5).expect("recorded fingerprint has a p95");
+        assert!(
+            p95 >= 30_000_000,
+            "p95 lands in the sample's log2 bucket: {p95}"
+        );
         set_level(ObsLevel::Off);
     }
 

@@ -36,8 +36,24 @@
 //! * `--stall-ms N` — event-loop stall-watchdog budget in ms (default
 //!   `100`; `0` counts every iteration, useful for smoke-testing the
 //!   `frappe_serve_loop_stalls` series).
+//!
+//! Admission control (any of these flags enables it; see DESIGN.md §13):
+//!
+//! * `--max-inflight N` — global cap on concurrently executing requests;
+//!   excess lines get typed `"code": "shedded"` replies.
+//! * `--conn-rate R[:BURST]` — per-connection token bucket: `R` lines/sec
+//!   sustained with a `BURST`-line allowance (default burst `R`); excess
+//!   lines get typed `"code": "throttled"` replies with a
+//!   `retry_after_ms` hint.
+//! * `--shed-p95-ms N` — fingerprints whose tracked p95 latency exceeds
+//!   `N` ms are parked (state `throttling`) or shed (state `shedding`)
+//!   while the server is degraded. Needs `--obs counters` so the
+//!   per-fingerprint latencies exist.
+//! * `--queue-watermark N` — dispatch-queue depth whose watermark trips
+//!   `Open → Throttling` (2× trips `Shedding`); recovery follows the
+//!   watermark's exponential decay.
 
-use frappe_serve::{ServeCore, ServeGraph, Server, ServerOptions};
+use frappe_serve::{AdmissionOptions, ServeCore, ServeGraph, Server, ServerOptions};
 use frappe_store::{snapshot, MappedGraph};
 use std::process::ExitCode;
 
@@ -53,6 +69,42 @@ struct Args {
     stall_ms: Option<u64>,
     core: ServeCore,
     workers: usize,
+    max_inflight: Option<u64>,
+    conn_rate: Option<(u64, u64)>,
+    shed_p95_ms: Option<u64>,
+    queue_watermark: Option<u64>,
+}
+
+impl Args {
+    /// Any admission flag enables the admission layer.
+    fn admission(&self) -> AdmissionOptions {
+        let enabled = self.max_inflight.is_some()
+            || self.conn_rate.is_some()
+            || self.shed_p95_ms.is_some()
+            || self.queue_watermark.is_some();
+        let (rate, burst) = self.conn_rate.unwrap_or((0, 0));
+        AdmissionOptions {
+            enabled,
+            max_inflight: self.max_inflight.unwrap_or(0),
+            conn_rate: rate,
+            conn_burst: burst,
+            shed_p95_ms: self.shed_p95_ms.unwrap_or(0),
+            queue_watermark: self.queue_watermark.unwrap_or(0),
+            ..AdmissionOptions::default()
+        }
+    }
+}
+
+/// Parses `R` or `R:BURST` for `--conn-rate` (burst defaults to `R`).
+fn parse_conn_rate(v: &str) -> Result<(u64, u64), String> {
+    let bad = || format!("--conn-rate wants R or R:BURST, got {v:?}");
+    match v.split_once(':') {
+        Some((r, b)) => Ok((r.parse().map_err(|_| bad())?, b.parse().map_err(|_| bad())?)),
+        None => {
+            let r: u64 = v.parse().map_err(|_| bad())?;
+            Ok((r, r))
+        }
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -68,6 +120,10 @@ fn parse_args() -> Result<Args, String> {
         stall_ms: None,
         core: ServeCore::Epoll,
         workers: 0,
+        max_inflight: None,
+        conn_rate: None,
+        shed_p95_ms: None,
+        queue_watermark: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -104,11 +160,35 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--workers needs an integer".to_string())?
             }
+            "--max-inflight" => {
+                args.max_inflight = Some(
+                    value("--max-inflight")?
+                        .parse()
+                        .map_err(|_| "--max-inflight needs an integer".to_string())?,
+                )
+            }
+            "--conn-rate" => args.conn_rate = Some(parse_conn_rate(&value("--conn-rate")?)?),
+            "--shed-p95-ms" => {
+                args.shed_p95_ms = Some(
+                    value("--shed-p95-ms")?
+                        .parse()
+                        .map_err(|_| "--shed-p95-ms needs an integer".to_string())?,
+                )
+            }
+            "--queue-watermark" => {
+                args.queue_watermark = Some(
+                    value("--queue-watermark")?
+                        .parse()
+                        .map_err(|_| "--queue-watermark needs an integer".to_string())?,
+                )
+            }
             "--help" | "-h" => {
                 return Err("usage: frappe-serve [--snapshot PATH | --synth SCALE] \
                             [--write-snapshot PATH] [--listen ADDR] [--metrics ADDR] \
                             [--addr-file PATH] [--obs LEVEL] [--slowlog-ms N] \
-                            [--stall-ms N] [--core epoll|threads] [--workers N]"
+                            [--stall-ms N] [--core epoll|threads] [--workers N] \
+                            [--max-inflight N] [--conn-rate R[:BURST]] \
+                            [--shed-p95-ms N] [--queue-watermark N]"
                     .into())
             }
             other => return Err(format!("unknown flag {other:?} (try --help)")),
@@ -183,6 +263,7 @@ fn run() -> Result<(), String> {
     let mut options = ServerOptions {
         core: args.core,
         workers: args.workers,
+        admission: args.admission(),
         ..ServerOptions::default()
     };
     if let Some(ms) = args.stall_ms {

@@ -48,7 +48,11 @@
 //! a worker that outlived its connection (that reply is counted and
 //! dropped — the mid-query-disconnect case).
 
-use crate::{line_too_long_reply, parse_sleep, render_reply, sleep_reply, Inner, SHUTDOWN_ACK};
+use crate::admission::cost_fingerprint;
+use crate::{
+    line_too_long_reply, parse_sleep, render_reply, shed_reply, sleep_reply, throttled_reply,
+    Decision, Inner, TokenBucket, SHUTDOWN_ACK,
+};
 use frappe_harness::poll::{PollEvent, Poller, Waker};
 use frappe_obs::reqtrace::{self, ReqPhase, ReqTraceBuilder};
 use std::collections::VecDeque;
@@ -76,13 +80,43 @@ enum Job {
         seq: u64,
         text: String,
         trace: Option<Box<ReqTraceBuilder>>,
+        /// Admission-clock reading at dispatch (0 = untracked): feeds the
+        /// queue-wait watermark when a worker dequeues the job.
+        admitted_ns: u64,
     },
     Sleep {
         token: u64,
         seq: u64,
         ms: u64,
         trace: Option<Box<ReqTraceBuilder>>,
+        admitted_ns: u64,
     },
+}
+
+impl Job {
+    fn token(&self) -> u64 {
+        match self {
+            Job::Query { token, .. } | Job::Sleep { token, .. } => *token,
+        }
+    }
+
+    fn seq(&self) -> u64 {
+        match self {
+            Job::Query { seq, .. } | Job::Sleep { seq, .. } => *seq,
+        }
+    }
+
+    fn admitted_ns(&self) -> u64 {
+        match self {
+            Job::Query { admitted_ns, .. } | Job::Sleep { admitted_ns, .. } => *admitted_ns,
+        }
+    }
+
+    fn take_trace(&mut self) -> Option<Box<ReqTraceBuilder>> {
+        match self {
+            Job::Query { trace, .. } | Job::Sleep { trace, .. } => trace.take(),
+        }
+    }
 }
 
 /// A finished reply routed back to the loop by token.
@@ -103,7 +137,12 @@ struct Conn {
     peer_closed: bool,
     dead: bool,
     discard_line: bool,
-    last_activity: Instant,
+    /// Admission-clock reading of the last traffic on this connection.
+    /// Clock-based (not `Instant`) so the idle sweep is steerable with
+    /// virtual time in tests.
+    last_activity_ns: u64,
+    /// Per-connection admission token bucket.
+    bucket: TokenBucket,
     want_read: bool,
     want_write: bool,
     /// When the current partial line started arriving (tracing only):
@@ -181,6 +220,7 @@ pub(crate) fn spawn(inner: Arc<Inner>, listener: TcpListener) -> std::io::Result
         workers,
         queued,
         total_in_flight: 0,
+        parked: VecDeque::new(),
         draining: false,
         drain_requester: None,
         ack_sent: false,
@@ -206,12 +246,16 @@ fn worker_loop(
             Err(_) => return,
         };
         queued.fetch_sub(1, Ordering::Relaxed);
+        if inner.admission.enabled() {
+            inner.admission.observe_queue_wait(job.admitted_ns());
+        }
         let (token, line, trace) = match job {
             Job::Query {
                 token,
                 seq,
                 text,
                 trace,
+                ..
             } => {
                 frappe_obs::counter!("serve.queries.dispatched").incr();
                 // Register the trace on this thread so the executor can
@@ -241,6 +285,7 @@ fn worker_loop(
                 seq,
                 ms,
                 trace,
+                ..
             } => {
                 let mut trace = trace;
                 if let Some(t) = trace.as_deref_mut() {
@@ -251,9 +296,24 @@ fn worker_loop(
                 if let Some(t) = trace.as_deref_mut() {
                     t.exit(ReqPhase::Exec);
                 }
+                if inner.admission.enabled() {
+                    // Feed the cost tier: sleeps share one canonical
+                    // fingerprint so duration changes don't dodge
+                    // classification.
+                    frappe_obs::query_stats().observe(
+                        cost_fingerprint("!sleep ?"),
+                        "!sleep ?",
+                        ms * 1_000_000,
+                        0,
+                        false,
+                    );
+                }
                 (token, sleep_reply(Some(seq), ms), trace)
             }
         };
+        if inner.admission.enabled() {
+            inner.admission.job_finished();
+        }
         done.lock()
             .unwrap_or_else(|e| e.into_inner())
             .push(Done { token, line, trace });
@@ -278,6 +338,11 @@ struct Loop {
     /// dispatch-queue depth the loop samples into a histogram each tick.
     queued: Arc<AtomicU64>,
     total_in_flight: usize,
+    /// Bounded low-priority queue of jobs parked by the admission layer's
+    /// cost tier while the server is `Throttling`. Released one per loop
+    /// pass once the dispatch queue is empty; flushed as typed shed
+    /// replies on drain.
+    parked: VecDeque<Job>,
     draining: bool,
     drain_requester: Option<u64>,
     ack_sent: bool,
@@ -343,6 +408,13 @@ impl Loop {
 
             self.collect_done();
 
+            if self.inner.admission.enabled() {
+                self.inner
+                    .admission
+                    .note_depth(self.queued.load(Ordering::Relaxed) + self.parked.len() as u64);
+                self.release_parked();
+            }
+
             if last_sweep.elapsed() >= Duration::from_millis(250) {
                 self.sweep(last_sweep.elapsed());
                 last_sweep = Instant::now();
@@ -376,6 +448,65 @@ impl Loop {
         self.draining = true;
         self.drain_requester = requester;
         self.drain_deadline = Some(Instant::now() + self.inner.options.drain_timeout);
+        self.shed_parked();
+    }
+
+    /// Trickles one parked job per loop pass back into the dispatch
+    /// queue — only while the high-priority queue is empty and the
+    /// in-flight cap has room, so parked work never competes with fresh
+    /// point lookups.
+    fn release_parked(&mut self) {
+        if self.draining || self.parked.is_empty() || self.queued.load(Ordering::Relaxed) != 0 {
+            return;
+        }
+        if !self.inner.admission.try_acquire_for_release() {
+            return;
+        }
+        let Some(mut job) = self.parked.pop_front() else {
+            self.inner.admission.job_finished();
+            return;
+        };
+        match self.token_slot(job.token()) {
+            Some(_) => {
+                self.inner.admission.note_park_released();
+                self.total_in_flight += 1;
+                self.queued.fetch_add(1, Ordering::Relaxed);
+                if let Some(tx) = &self.jobs_tx {
+                    let _ = tx.send(job);
+                }
+            }
+            None => {
+                // The connection died while its job was parked.
+                self.inner.admission.job_finished();
+                if let Some(mut t) = job.take_trace() {
+                    t.abort();
+                    reqtrace::reqtrace().commit(t);
+                }
+                frappe_obs::counter!("serve.replies.dropped").incr();
+            }
+        }
+    }
+
+    /// Drain: parked jobs are never going to run — each gets a typed
+    /// shed reply (or its trace aborted if the connection is gone).
+    fn shed_parked(&mut self) {
+        let parked: Vec<Job> = self.parked.drain(..).collect();
+        for mut job in parked {
+            if let Some(mut t) = job.take_trace() {
+                t.abort();
+                reqtrace::reqtrace().commit(t);
+            }
+            self.inner.admission.note_shed();
+            if let Some(slot) = self.token_slot(job.token()) {
+                {
+                    let conn = self.conns[slot].as_mut().expect("checked by token_slot");
+                    conn.in_flight -= 1;
+                }
+                let state = self.inner.admission.state();
+                let reply = shed_reply(Some(job.seq()), state, 1);
+                self.enqueue_reply(slot, reply, None);
+            }
+        }
     }
 
     /// One drain progress check; true once everything is answered and
@@ -441,7 +572,8 @@ impl Loop {
                         peer_closed: false,
                         dead: false,
                         discard_line: false,
-                        last_activity: Instant::now(),
+                        last_activity_ns: self.inner.options.clock.now_ns(),
+                        bucket: self.inner.admission.new_bucket(),
                         want_read: true,
                         want_write: false,
                         line_start: None,
@@ -494,7 +626,7 @@ impl Loop {
                     break;
                 }
                 Ok(n) => {
-                    conn.last_activity = Instant::now();
+                    conn.last_activity_ns = self.inner.options.clock.now_ns();
                     if frappe_obs::counters_enabled() && conn.line_start.is_none() {
                         // First bytes of a new line: the request's recv
                         // span starts here. One relaxed load when Off.
@@ -567,7 +699,77 @@ impl Loop {
                         self.enter_drain(Some(token));
                         return;
                     }
+                    // Admission: one relaxed load when disabled. Depth is
+                    // the dispatch-queue backlog plus the parked queue.
+                    let decision = if self.inner.admission.enabled() {
+                        let depth = self.queued.load(Ordering::Relaxed) + self.parked.len() as u64;
+                        self.inner
+                            .admission
+                            .admit_line(&mut conn.bucket, text, depth)
+                    } else {
+                        Decision::Admit
+                    };
                     conn.next_seq += 1;
+                    match decision {
+                        Decision::Admit => {}
+                        Decision::Throttle { retry_after_ms } => {
+                            conn.line_start = None;
+                            let reply = throttled_reply(Some(seq), retry_after_ms);
+                            self.enqueue_reply(slot, reply, None);
+                            continue;
+                        }
+                        Decision::Shed { retry_after_ms } => {
+                            conn.line_start = None;
+                            let state = self.inner.admission.state();
+                            let reply = shed_reply(Some(seq), state, retry_after_ms);
+                            self.enqueue_reply(slot, reply, None);
+                            continue;
+                        }
+                        Decision::Park { retry_after_ms } => {
+                            conn.line_start = None;
+                            if self.parked.len() >= self.inner.admission.park_capacity() {
+                                // The low-priority queue is full: degrade
+                                // the park to a shed.
+                                self.inner.admission.note_shed();
+                                let state = self.inner.admission.state();
+                                let reply = shed_reply(Some(seq), state, retry_after_ms);
+                                self.enqueue_reply(slot, reply, None);
+                                continue;
+                            }
+                            self.inner.admission.note_parked();
+                            let trace = reqtrace::reqtrace().begin(token, seq);
+                            let job = if let Some(ms) = parse_sleep(text) {
+                                Job::Sleep {
+                                    token,
+                                    seq,
+                                    ms,
+                                    trace,
+                                    admitted_ns: 0,
+                                }
+                            } else {
+                                Job::Query {
+                                    token,
+                                    seq,
+                                    text: text.to_owned(),
+                                    trace,
+                                    admitted_ns: 0,
+                                }
+                            };
+                            // Parked jobs count against the connection's
+                            // pipeline budget but not the dispatch queue;
+                            // `release_parked` re-acquires an in-flight
+                            // slot when the job finally runs.
+                            let conn = self.conns[slot].as_mut().expect("checked by token_slot");
+                            conn.in_flight += 1;
+                            self.parked.push_back(job);
+                            continue;
+                        }
+                    }
+                    let admitted_ns = if self.inner.admission.enabled() {
+                        self.inner.admission.now_ns()
+                    } else {
+                        0
+                    };
                     // Trace assignment: `begin` is one relaxed load (and
                     // `None`) when tracing is off. The recv span runs from
                     // the line's first byte to here; the queue span opens
@@ -589,6 +791,7 @@ impl Loop {
                             seq,
                             ms,
                             trace,
+                            admitted_ns,
                         }
                     } else {
                         Job::Query {
@@ -596,6 +799,7 @@ impl Loop {
                             seq,
                             text: text.to_owned(),
                             trace,
+                            admitted_ns,
                         }
                     };
                     conn.in_flight += 1;
@@ -653,7 +857,7 @@ impl Loop {
                 Ok(n) => {
                     conn.write_pos += n;
                     conn.bytes_flushed += n as u64;
-                    conn.last_activity = Instant::now();
+                    conn.last_activity_ns = self.inner.options.clock.now_ns();
                     frappe_obs::counter!("serve.write.flushed_bytes").add(n as u64);
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => {
@@ -743,8 +947,12 @@ impl Loop {
     }
 
     /// Periodic pass: reap dead connections and idle-timeout quiet ones.
+    /// Idle time is measured on the admission clock, so tests drive the
+    /// reaper with virtual time instead of wall-clock sleeps.
     fn sweep(&mut self, _elapsed: Duration) {
-        let idle_budget = self.inner.options.read_timeout;
+        let idle_budget_ns =
+            u64::try_from(self.inner.options.read_timeout.as_nanos()).unwrap_or(u64::MAX);
+        let now_ns = self.inner.options.clock.now_ns();
         for slot in 0..self.conns.len() {
             let Some(conn) = self.conns[slot].as_mut() else {
                 continue;
@@ -755,7 +963,7 @@ impl Loop {
             }
             if conn.in_flight == 0
                 && conn.pending_write() == 0
-                && conn.last_activity.elapsed() >= idle_budget
+                && now_ns.saturating_sub(conn.last_activity_ns) >= idle_budget_ns
             {
                 frappe_obs::counter!("serve.conns.idle_closed").incr();
                 self.close_conn(slot);

@@ -35,7 +35,10 @@
 //!   kept for A/B benchmarking (`--core threads`). Same wire protocol
 //!   (including `"seq"` tags), but replies are always in order.
 //!
-//! Both cores frame requests with a hard per-line byte cap (a client that
+//! Both cores run every framed line through the [`admission`] layer
+//! (per-connection token bucket, global in-flight cap, cost-aware
+//! shedding under load — disabled by default, one relaxed load when
+//! off), frame requests with a hard per-line byte cap (a client that
 //! streams an unbounded line gets a typed `"code": "line_too_long"` error
 //! and the rest of the line is discarded), and both answer the `!shutdown`
 //! admin line — the event core drains every in-flight query and flushes
@@ -51,6 +54,13 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+pub mod admission;
+
+pub use admission::{
+    AdmissionControl, AdmissionOptions, AdmitState, Decision, TokenBucket, Watermark,
+};
+pub use frappe_obs::Clock;
 
 #[cfg(unix)]
 mod event_loop;
@@ -164,6 +174,12 @@ pub struct ServerOptions {
     /// readiness handling for *every* connection. `0` flags every
     /// iteration (useful for exercising the watchdog in harnesses).
     pub loop_stall_budget: Duration,
+    /// Admission-control policy (token bucket, in-flight cap, cost-aware
+    /// shedding). Disabled by default; see [`admission`].
+    pub admission: AdmissionOptions,
+    /// Time source for the token bucket, watermark decay, and the event
+    /// core's idle sweep. Virtual in tests, monotonic in production.
+    pub clock: Clock,
 }
 
 impl Default for ServerOptions {
@@ -178,6 +194,8 @@ impl Default for ServerOptions {
             max_write_buffer: 4 * 1024 * 1024,
             drain_timeout: Duration::from_secs(10),
             loop_stall_budget: Duration::from_millis(100),
+            admission: AdmissionOptions::default(),
+            clock: Clock::monotonic(),
         }
     }
 }
@@ -198,6 +216,7 @@ struct Inner {
     graph: ServeGraph,
     engine: Engine,
     options: ServerOptions,
+    admission: AdmissionControl,
     stop: AtomicBool,
     open_conns: AtomicU64,
     query_addr: SocketAddr,
@@ -254,10 +273,12 @@ impl Server {
         let query_listener = TcpListener::bind(query_addr)?;
         let metrics_listener = TcpListener::bind(metrics_addr)?;
         let core = options.core;
+        let admission = AdmissionControl::new(options.admission.clone(), options.clock.clone());
         let inner = Arc::new(Inner {
             graph,
             engine: Engine::new(),
             options,
+            admission,
             stop: AtomicBool::new(false),
             open_conns: AtomicU64::new(0),
             query_addr: query_listener.local_addr()?,
@@ -310,6 +331,17 @@ impl Server {
         self.inner.metrics_addr
     }
 
+    /// The server's admission controller (tests poll its ungated
+    /// counters; `/healthz` renders them).
+    pub fn admission(&self) -> &AdmissionControl {
+        &self.inner.admission
+    }
+
+    /// Open query+exporter connections right now (ungated; `/healthz`).
+    pub fn open_conns(&self) -> u64 {
+        self.inner.open_conns.load(Ordering::Relaxed)
+    }
+
     /// Whether a shutdown has been requested (by [`Server::shutdown`] or a
     /// client's `!shutdown` line).
     pub fn stopping(&self) -> bool {
@@ -343,6 +375,9 @@ fn accept_loop(inner: &Arc<Inner>, listener: TcpListener, handler: fn(&Inner, Tc
         match conn {
             Ok((stream, _)) => {
                 let _ = stream.set_read_timeout(Some(inner.options.read_timeout));
+                // Parity with the event core: per-line replies must not sit
+                // behind Nagle waiting for the client's delayed ACK.
+                let _ = stream.set_nodelay(true);
                 let inner = Arc::clone(inner);
                 std::thread::spawn(move || handler(&inner, stream));
             }
@@ -388,6 +423,27 @@ pub fn line_too_long_reply(seq: Option<u64>, cap: usize) -> String {
 
 fn sleep_reply(seq: Option<u64>, ms: u64) -> String {
     format!("{{\"ok\": true, {}\"slept_ms\": {ms}}}", seq_field(seq))
+}
+
+/// The typed reply for a line rejected by the per-connection token
+/// bucket. `retry_after_ms` says when the bucket next has a token.
+pub fn throttled_reply(seq: Option<u64>, retry_after_ms: u64) -> String {
+    format!(
+        "{{\"ok\": false, {}\"code\": \"throttled\", \"retry_after_ms\": {retry_after_ms}, \
+         \"error\": \"per-connection rate limit exceeded\"}}",
+        seq_field(seq)
+    )
+}
+
+/// The typed reply for a line shed by the in-flight cap or the
+/// cost-aware tier. Carries the degradation state the shed happened in.
+pub fn shed_reply(seq: Option<u64>, state: AdmitState, retry_after_ms: u64) -> String {
+    format!(
+        "{{\"ok\": false, {}\"code\": \"shedded\", \"state\": \"{}\", \
+         \"retry_after_ms\": {retry_after_ms}, \"error\": \"server is shedding load\"}}",
+        seq_field(seq),
+        state.as_str()
+    )
 }
 
 /// Parses the `!sleep MS` diagnostic line (a deterministic slow "query"
@@ -585,6 +641,7 @@ fn handle_query_conn(inner: &Inner, stream: TcpStream) {
     let mut writer = stream;
     let mut buf = Vec::new();
     let mut seq: u64 = 0;
+    let mut bucket = inner.admission.new_bucket();
     loop {
         let read = match read_line_capped(&mut reader, &mut buf, inner.options.max_line_bytes) {
             Ok(r) => r,
@@ -612,33 +669,80 @@ fn handle_query_conn(inner: &Inner, stream: TcpStream) {
                     inner.request_stop();
                     break;
                 }
-                let mut trace = frappe_obs::reqtrace().begin(conn_id, seq);
-                let r = if let Some(ms) = parse_sleep(text) {
-                    if let Some(t) = trace.as_deref_mut() {
-                        t.enter(ReqPhase::Exec);
-                    }
-                    std::thread::sleep(Duration::from_millis(ms));
-                    if let Some(t) = trace.as_deref_mut() {
-                        t.exit(ReqPhase::Exec);
-                    }
-                    sleep_reply(Some(seq), ms)
+                // Admission: the blocking core has no dispatch queue, so
+                // its in-flight count doubles as the depth signal, and
+                // `Park` degrades to a shed — there is no low-priority
+                // queue to park into.
+                let decision = if inner.admission.enabled() {
+                    let depth = inner.admission.inflight();
+                    inner.admission.admit_line(&mut bucket, text, depth)
                 } else {
-                    frappe_obs::counter!("serve.queries.dispatched").incr();
-                    if let Some(mut t) = trace.take() {
-                        t.enter(ReqPhase::Exec);
-                        frappe_obs::reqtrace::enter_current(t);
-                    }
-                    let r =
-                        render_reply(&inner.graph, &inner.engine, &inner.options, text, Some(seq));
-                    trace = frappe_obs::reqtrace::take_current().map(|mut t| {
-                        t.exit(ReqPhase::Exec); // still open on parse errors
-                        t.exit(ReqPhase::Ser);
-                        t
-                    });
-                    r
+                    Decision::Admit
                 };
-                seq += 1;
-                (r, trace)
+                match decision {
+                    Decision::Throttle { retry_after_ms } => {
+                        let r = throttled_reply(Some(seq), retry_after_ms);
+                        seq += 1;
+                        (r, None)
+                    }
+                    Decision::Shed { retry_after_ms } | Decision::Park { retry_after_ms } => {
+                        if matches!(decision, Decision::Park { .. }) {
+                            inner.admission.note_shed();
+                        }
+                        let r = shed_reply(Some(seq), inner.admission.state(), retry_after_ms);
+                        seq += 1;
+                        (r, None)
+                    }
+                    Decision::Admit => {
+                        let mut trace = frappe_obs::reqtrace().begin(conn_id, seq);
+                        let r = if let Some(ms) = parse_sleep(text) {
+                            if let Some(t) = trace.as_deref_mut() {
+                                t.enter(ReqPhase::Exec);
+                            }
+                            std::thread::sleep(Duration::from_millis(ms));
+                            if let Some(t) = trace.as_deref_mut() {
+                                t.exit(ReqPhase::Exec);
+                            }
+                            if inner.admission.enabled() {
+                                // Feed the cost tier: sleeps share one
+                                // canonical fingerprint so duration
+                                // changes don't dodge classification.
+                                frappe_obs::query_stats().observe(
+                                    admission::cost_fingerprint(text),
+                                    "!sleep ?",
+                                    ms * 1_000_000,
+                                    0,
+                                    false,
+                                );
+                            }
+                            sleep_reply(Some(seq), ms)
+                        } else {
+                            frappe_obs::counter!("serve.queries.dispatched").incr();
+                            if let Some(mut t) = trace.take() {
+                                t.enter(ReqPhase::Exec);
+                                frappe_obs::reqtrace::enter_current(t);
+                            }
+                            let r = render_reply(
+                                &inner.graph,
+                                &inner.engine,
+                                &inner.options,
+                                text,
+                                Some(seq),
+                            );
+                            trace = frappe_obs::reqtrace::take_current().map(|mut t| {
+                                t.exit(ReqPhase::Exec); // still open on parse errors
+                                t.exit(ReqPhase::Ser);
+                                t
+                            });
+                            r
+                        };
+                        if inner.admission.enabled() {
+                            inner.admission.job_finished();
+                        }
+                        seq += 1;
+                        (r, trace)
+                    }
+                }
             }
         };
         if let Some(t) = trace.as_deref_mut() {
@@ -668,34 +772,48 @@ fn http_response(status: &str, content_type: &str, body: &str) -> String {
 
 /// Answers one exporter request path (shared by the HTTP handler and the
 /// endpoint tests). The engine is consulted for plan-cache counters on
-/// `/queries`.
+/// `/queries`; the admission controller feeds `/healthz` (degradation
+/// state, ungated in-flight/shed tallies) and the `/metrics` gauges.
 pub fn answer_http_path(
     graph: &ServeGraph,
     engine: &Engine,
+    admission: &AdmissionControl,
+    open_conns: u64,
     path: &str,
 ) -> (String, String, String) {
     match path {
         "/metrics" => {
-            let body = frappe_obs::render_prometheus(
+            let mut body = frappe_obs::render_prometheus(
                 &frappe_obs::registry().snapshot(),
                 &frappe_obs::query_stats().snapshot(),
                 frappe_obs::SlowLogStats::of(frappe_obs::slowlog()),
             );
+            body.push_str(&admission.prometheus_gauges());
             (
                 "200 OK".into(),
                 "text/plain; version=0.0.4; charset=utf-8".into(),
                 body,
             )
         }
-        "/healthz" => (
-            "200 OK".into(),
-            "application/json".into(),
-            format!(
-                "{{\"status\": \"ok\", \"nodes\": {}, \"edges\": {}}}\n",
-                graph.node_count(),
-                graph.edge_count()
-            ),
-        ),
+        "/healthz" => {
+            let state = admission.state();
+            let status = if state == AdmitState::Open {
+                "ok"
+            } else {
+                "degraded"
+            };
+            (
+                "200 OK".into(),
+                "application/json".into(),
+                format!(
+                    "{{\"status\": \"{status}\", \"nodes\": {}, \"edges\": {}, \
+                     \"open_conns\": {open_conns}, {}}}\n",
+                    graph.node_count(),
+                    graph.edge_count(),
+                    admission.healthz_fragment()
+                ),
+            )
+        }
         "/slowlog" => (
             "200 OK".into(),
             "application/x-ndjson".into(),
@@ -752,7 +870,13 @@ fn handle_http_conn(inner: &Inner, mut stream: TcpStream) {
     let response = if method != "GET" {
         http_response("405 Method Not Allowed", "text/plain", "GET only\n")
     } else {
-        let (status, content_type, body) = answer_http_path(&inner.graph, &inner.engine, path);
+        let (status, content_type, body) = answer_http_path(
+            &inner.graph,
+            &inner.engine,
+            &inner.admission,
+            inner.open_conns.load(Ordering::Relaxed),
+            path,
+        );
         http_response(&status, &content_type, &body)
     };
     let _ = stream.write_all(response.as_bytes());
@@ -906,25 +1030,72 @@ mod tests {
     fn http_endpoints_render() {
         let g = tiny_graph();
         let engine = Engine::new();
-        let (status, _, body) = answer_http_path(&g, &engine, "/healthz");
+        let ac = AdmissionControl::disabled();
+        let (status, _, body) = answer_http_path(&g, &engine, &ac, 3, "/healthz");
         assert_eq!(status, "200 OK");
+        assert!(body.contains("\"status\": \"ok\""), "{body}");
         assert!(body.contains("\"nodes\": 2"), "{body}");
-        let (status, ct, body) = answer_http_path(&g, &engine, "/metrics");
+        assert!(body.contains("\"open_conns\": 3"), "{body}");
+        assert!(
+            body.contains("\"admission\": {\"enabled\": false"),
+            "{body}"
+        );
+        let (status, ct, body) = answer_http_path(&g, &engine, &ac, 0, "/metrics");
         assert_eq!(status, "200 OK");
         assert!(ct.starts_with("text/plain"));
         frappe_obs::validate_exposition(&body).unwrap();
-        let (status, _, body) = answer_http_path(&g, &engine, "/queries");
+        assert!(body.contains("frappe_serve_admit_state 0"), "{body}");
+        let (status, _, body) = answer_http_path(&g, &engine, &ac, 0, "/queries");
         assert_eq!(status, "200 OK");
         assert!(
             body.starts_with("{\"plan_cache\": {\"entries\": 0"),
             "{body}"
         );
         assert!(body.contains("\"queries\": ["), "{body}");
-        let (status, ct, body) = answer_http_path(&g, &engine, "/trace");
+        let (status, ct, body) = answer_http_path(&g, &engine, &ac, 0, "/trace");
         assert_eq!(status, "200 OK");
         assert_eq!(ct, "application/json");
         frappe_obs::validate_chrome_trace(&body).unwrap();
-        let (status, _, _) = answer_http_path(&g, &engine, "/nope");
+        let (status, _, _) = answer_http_path(&g, &engine, &ac, 0, "/nope");
         assert_eq!(status, "404 Not Found");
+    }
+
+    #[test]
+    fn healthz_reports_degraded_state() {
+        let g = tiny_graph();
+        let engine = Engine::new();
+        let clock = Clock::virtual_at(0);
+        let ac = AdmissionControl::new(
+            AdmissionOptions {
+                enabled: true,
+                queue_watermark: 2,
+                ..Default::default()
+            },
+            clock,
+        );
+        ac.note_depth(10);
+        let (_, _, body) = answer_http_path(&g, &engine, &ac, 0, "/healthz");
+        assert!(body.contains("\"status\": \"degraded\""), "{body}");
+        assert!(body.contains("\"state\": \"shedding\""), "{body}");
+        let (_, _, metrics) = answer_http_path(&g, &engine, &ac, 0, "/metrics");
+        frappe_obs::validate_exposition(&metrics).unwrap();
+        assert!(metrics.contains("frappe_serve_admit_state 2"), "{metrics}");
+    }
+
+    #[test]
+    fn typed_denial_replies_have_stable_shapes() {
+        let t = throttled_reply(Some(4), 120);
+        assert_eq!(
+            t,
+            "{\"ok\": false, \"seq\": 4, \"code\": \"throttled\", \"retry_after_ms\": 120, \
+             \"error\": \"per-connection rate limit exceeded\"}"
+        );
+        let s = shed_reply(Some(9), AdmitState::Shedding, 500);
+        assert_eq!(
+            s,
+            "{\"ok\": false, \"seq\": 9, \"code\": \"shedded\", \"state\": \"shedding\", \
+             \"retry_after_ms\": 500, \"error\": \"server is shedding load\"}"
+        );
+        assert!(shed_reply(None, AdmitState::Open, 1).starts_with("{\"ok\": false, \"code\""));
     }
 }

@@ -1,0 +1,310 @@
+//! Property tests for the admission-control arithmetic, all on virtual
+//! time: the token bucket must never create or lose fixed-point token
+//! units across arbitrary tick interleavings, the watermark must decay
+//! monotonically from its peak, the global in-flight cap must hold under
+//! thread churn, and admit/deny decisions must be a pure function of the
+//! (seeded) op sequence.
+//!
+//! Tunable via `FRAPPE_PT_CASES` / `FRAPPE_PT_SEED` (see
+//! `frappe_harness::proptest_lite`).
+
+use frappe_harness::proptest_lite as pt;
+use frappe_obs::Clock;
+use frappe_serve::{AdmissionControl, AdmissionOptions, Decision, TokenBucket, Watermark};
+use std::sync::Arc;
+
+/// One token in the bucket's fixed-point representation (mirrors the
+/// private `SCALE` in `frappe_serve::admission`; the conservation
+/// property below would catch a drift between the two).
+const SCALE: u128 = 1_000_000_000;
+
+/// `(rate tokens/sec, burst tokens, [(advance_ns, take_attempts)])`.
+type BucketOps = (u64, u64, Vec<(u64, u8)>);
+
+fn bucket_ops_strategy() -> pt::Strategy<BucketOps> {
+    pt::tuple3(
+        pt::u64_range(1, 1_000),
+        pt::u64_range(1, 16),
+        pt::vec_of(
+            pt::tuple2(pt::u64_range(0, 2_000_000_000), pt::u8_range(0, 8)),
+            0,
+            40,
+        ),
+    )
+    .map(|t| (t.0, t.1, t.2.clone()))
+}
+
+#[test]
+fn token_bucket_conserves_fixed_point_units() {
+    pt::check(
+        "token_bucket_conserves_fixed_point_units",
+        &bucket_ops_strategy(),
+        |(rate, burst, ops)| {
+            let cap = *burst as u128 * SCALE;
+            let mut bucket = TokenBucket::new(*rate, *burst, 0);
+            // Reference model in exact u128 arithmetic: refill credits
+            // delta_ns·rate fixed-point units (capped), a take costs
+            // exactly SCALE.
+            let mut model: u128 = cap;
+            let mut now: u64 = 0;
+            for (delta, takes) in ops {
+                now = now.saturating_add(*delta);
+                model = (model + *delta as u128 * *rate as u128).min(cap);
+                for _ in 0..*takes {
+                    let took = bucket.try_take(now).is_ok();
+                    let model_took = model >= SCALE;
+                    if took != model_took {
+                        return Err(format!(
+                            "divergence at t={now}: bucket {took}, model {model_took}"
+                        ));
+                    }
+                    if model_took {
+                        model -= SCALE;
+                    }
+                }
+                bucket.level(now); // force the lazy refill before comparing
+                let level = bucket.level_fp() as u128;
+                if level != model {
+                    return Err(format!("level {level} != model {model} at t={now}"));
+                }
+                if level > cap {
+                    return Err(format!("level {level} exceeds cap {cap}"));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn token_bucket_retry_hint_is_exact() {
+    pt::check(
+        "token_bucket_retry_hint_is_exact",
+        &bucket_ops_strategy(),
+        |(rate, burst, ops)| {
+            let mut bucket = TokenBucket::new(*rate, *burst, 0);
+            let mut now: u64 = 0;
+            for (delta, takes) in ops {
+                now = now.saturating_add(*delta);
+                for _ in 0..*takes {
+                    let Err(retry) = bucket.try_take(now) else {
+                        continue;
+                    };
+                    // The hint must be both sufficient (a token exists at
+                    // now+retry) and tight (none exists one ns earlier).
+                    if retry > 1 && bucket.try_take(now + retry - 1).is_ok() {
+                        return Err(format!("hint {retry} loose at t={now}"));
+                    }
+                    if bucket.try_take(now + retry).is_err() {
+                        return Err(format!("hint {retry} insufficient at t={now}"));
+                    }
+                    now += retry; // time actually advanced for the retries
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// `[(advance_ns, sample)]` with samples in `[0, 100)`.
+fn watermark_ops_strategy() -> pt::Strategy<Vec<(u64, f64)>> {
+    pt::vec_of(
+        pt::tuple2(pt::u64_range(0, 3_000_000_000), pt::f64_range(0.0, 100.0)),
+        1,
+        40,
+    )
+}
+
+#[test]
+fn watermark_holds_peaks_and_decays_monotonically() {
+    pt::check(
+        "watermark_holds_peaks_and_decays_monotonically",
+        &watermark_ops_strategy(),
+        |ops| {
+            let mut w = Watermark::new(500_000_000); // 500ms half-life
+            let mut now: u64 = 0;
+            for (delta, sample) in ops {
+                now = now.saturating_add(*delta);
+                let before = w.current(now);
+                let after = w.observe(*sample, now);
+                if after < *sample {
+                    return Err(format!("observe({sample}) left watermark {after}"));
+                }
+                if after + 1e-9 < before {
+                    return Err(format!(
+                        "observe decreased the watermark: {before} -> {after}"
+                    ));
+                }
+                // Decay-only reads never increase.
+                let mut prev = after;
+                for step in 1..=3u64 {
+                    let v = w.current(now + step * 200_000_000);
+                    if v > prev + 1e-9 {
+                        return Err(format!("decay increased: {prev} -> {v}"));
+                    }
+                    prev = v;
+                }
+                now += 600_000_000;
+            }
+            // Long quiet periods decay all the way to zero (floor clamp).
+            let v = w.current(now.saturating_add(90 * 500_000_000));
+            if v != 0.0 {
+                return Err(format!("watermark never drained: {v}"));
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn watermark_is_deterministic_for_a_given_sequence() {
+    pt::check(
+        "watermark_is_deterministic_for_a_given_sequence",
+        &watermark_ops_strategy(),
+        |ops| {
+            let run = || {
+                let mut w = Watermark::new(250_000_000);
+                let mut now: u64 = 0;
+                let mut out = Vec::new();
+                for (delta, sample) in ops {
+                    now = now.saturating_add(*delta);
+                    out.push(w.observe(*sample, now).to_bits());
+                }
+                out
+            };
+            if run() != run() {
+                return Err("same op sequence produced different watermarks".into());
+            }
+            Ok(())
+        },
+    );
+}
+
+/// `(max_inflight, conn_rate, [(advance_ns, finish_first)])` — one
+/// admit attempt per op, optionally releasing a held slot first.
+type AdmitOps = (u64, u64, Vec<(u64, bool)>);
+
+fn admit_ops_strategy() -> pt::Strategy<AdmitOps> {
+    pt::tuple3(
+        pt::u64_range(1, 6),
+        pt::u64_range(1, 200),
+        pt::vec_of(
+            pt::tuple2(pt::u64_range(0, 500_000_000), pt::any_bool()),
+            0,
+            48,
+        ),
+    )
+    .map(|t| (t.0, t.1, t.2.clone()))
+}
+
+fn decision_tag(d: &Decision) -> u8 {
+    match d {
+        Decision::Admit => 0,
+        Decision::Throttle { .. } => 1,
+        Decision::Shed { .. } => 2,
+        Decision::Park { .. } => 3,
+    }
+}
+
+#[test]
+fn admit_decisions_are_deterministic_and_respect_the_cap() {
+    pt::check(
+        "admit_decisions_are_deterministic_and_respect_the_cap",
+        &admit_ops_strategy(),
+        |(cap, rate, ops)| {
+            let run = || {
+                let clock = Clock::virtual_at(0);
+                let ac = AdmissionControl::new(
+                    AdmissionOptions {
+                        enabled: true,
+                        max_inflight: *cap,
+                        conn_rate: *rate,
+                        conn_burst: 4,
+                        ..Default::default()
+                    },
+                    clock.clone(),
+                );
+                let mut bucket = ac.new_bucket();
+                let mut held: u64 = 0;
+                let mut tags = Vec::new();
+                for (delta, finish_first) in ops {
+                    clock.advance(std::time::Duration::from_nanos(*delta));
+                    if *finish_first && held > 0 {
+                        ac.job_finished();
+                        held -= 1;
+                    }
+                    let d = ac.admit_line(&mut bucket, "lookup", held);
+                    if matches!(d, Decision::Admit) {
+                        held += 1;
+                    }
+                    tags.push(decision_tag(&d));
+                    if ac.inflight() != held {
+                        return Err(format!(
+                            "ledger skew: inflight {} vs held {held}",
+                            ac.inflight()
+                        ));
+                    }
+                    if held > *cap {
+                        return Err(format!("cap {cap} exceeded: {held} held"));
+                    }
+                }
+                if ac.peak_inflight() > *cap {
+                    return Err(format!("peak {} above cap {cap}", ac.peak_inflight()));
+                }
+                Ok(tags)
+            };
+            let (a, b) = (run()?, run()?);
+            if a != b {
+                return Err("same seed produced different decision sequences".into());
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn inflight_cap_holds_under_thread_churn() {
+    let cap = 3;
+    let ac = Arc::new(AdmissionControl::new(
+        AdmissionOptions {
+            enabled: true,
+            max_inflight: cap,
+            ..Default::default()
+        },
+        Clock::monotonic(),
+    ));
+    let threads: Vec<_> = (0..8)
+        .map(|_| {
+            let ac = Arc::clone(&ac);
+            std::thread::spawn(move || {
+                let mut bucket = ac.new_bucket();
+                let mut admits = 0u64;
+                for _ in 0..2_000 {
+                    match ac.admit_line(&mut bucket, "lookup", 0) {
+                        Decision::Admit => {
+                            // The slot is held across this window; the CAS
+                            // loop must keep concurrent holders ≤ cap.
+                            assert!(ac.inflight() <= cap, "cap breached");
+                            std::hint::spin_loop();
+                            ac.job_finished();
+                            admits += 1;
+                        }
+                        Decision::Shed { .. } => {}
+                        other => panic!("unexpected decision {other:?}"),
+                    }
+                }
+                admits
+            })
+        })
+        .collect();
+    let total_admits: u64 = threads.into_iter().map(|t| t.join().unwrap()).sum();
+    assert!(total_admits > 0, "nothing was ever admitted");
+    assert_eq!(ac.inflight(), 0, "every admit was released");
+    assert!(
+        ac.peak_inflight() <= cap,
+        "peak {} > cap",
+        ac.peak_inflight()
+    );
+    assert_eq!(ac.admitted_total(), total_admits);
+    assert_eq!(ac.shed_total(), 8 * 2_000 - total_admits);
+}

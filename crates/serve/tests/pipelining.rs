@@ -2,7 +2,9 @@
 //! out-of-order completion, and the draining `!shutdown`.
 
 use frappe_model::{EdgeType, NodeType};
-use frappe_serve::{ServeCore, ServeGraph, Server, ServerOptions, SHUTDOWN_ACK};
+use frappe_serve::{
+    AdmissionOptions, Clock, ServeCore, ServeGraph, Server, ServerOptions, SHUTDOWN_ACK,
+};
 use frappe_store::GraphStore;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -128,12 +130,36 @@ fn shutdown_drains_in_flight_queries_before_ack() {
 
 #[test]
 fn external_shutdown_drains_in_flight_queries() {
-    let server = start(ServeCore::Epoll);
+    // Admission with no limits set admits everything but keeps an exact
+    // in-flight ledger, giving this test a race-free dispatch signal
+    // instead of a fixed sleep (which flaked on 1-CPU CI).
+    let server = Server::start(
+        call_graph(),
+        "127.0.0.1:0",
+        "127.0.0.1:0",
+        ServerOptions {
+            core: ServeCore::Epoll,
+            workers: 4,
+            admission: AdmissionOptions {
+                enabled: true,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .expect("bind 127.0.0.1:0");
     let stream = TcpStream::connect(server.query_addr()).expect("connect");
     let mut reader = BufReader::new(stream.try_clone().expect("clone"));
     let mut writer = stream;
     writer.write_all(b"!sleep 400\n").expect("write");
-    std::thread::sleep(Duration::from_millis(50)); // let it dispatch
+    let dispatch_deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.admission().inflight() == 0 {
+        assert!(
+            std::time::Instant::now() < dispatch_deadline,
+            "sleep never dispatched"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
     let handle = std::thread::spawn(move || {
         let mut reply = String::new();
         reader.read_line(&mut reply).expect("read reply");
@@ -146,13 +172,18 @@ fn external_shutdown_drains_in_flight_queries() {
 
 #[test]
 fn idle_connections_are_reaped_by_the_event_core() {
+    // The idle sweep runs on the options clock: a virtual clock makes the
+    // 60s idle budget elapse instantly instead of racing a short real
+    // timeout against CI scheduling jitter.
+    let clock = Clock::virtual_at(0);
     let server = Server::start(
         call_graph(),
         "127.0.0.1:0",
         "127.0.0.1:0",
         ServerOptions {
             core: ServeCore::Epoll,
-            read_timeout: Duration::from_millis(300),
+            read_timeout: Duration::from_secs(60),
+            clock: clock.clone(),
             ..Default::default()
         },
     )
@@ -161,6 +192,17 @@ fn idle_connections_are_reaped_by_the_event_core() {
     stream
         .set_read_timeout(Some(Duration::from_secs(10)))
         .unwrap();
+    // Only advance once the loop has registered the connection, so its
+    // last-activity stamp predates the jump.
+    let register_deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.open_conns() == 0 {
+        assert!(
+            std::time::Instant::now() < register_deadline,
+            "connection never registered"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    clock.advance(Duration::from_secs(120));
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     let started = std::time::Instant::now();

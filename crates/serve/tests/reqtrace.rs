@@ -178,10 +178,24 @@ fn backpressure_stall_is_visible_as_write_phase_time() {
         batch.push_str(HOP);
         batch.push('\n');
     }
+    let eagain_before = frappe_obs::counter!("serve.write.eagain").get();
     writer.write_all(batch.as_bytes()).expect("write batch");
-    // Let the server render replies into a wall of unread bytes…
-    std::thread::sleep(Duration::from_millis(450));
-    // …then drain them all, which flushes (and commits) every trace.
+    // Wait for a *proven* stall — the server's writer hitting EAGAIN with
+    // the client refusing to read — rather than a fixed sleep that raced
+    // the render on slow CI machines…
+    let stall_deadline = Instant::now() + Duration::from_secs(5);
+    while frappe_obs::counter!("serve.write.eagain").get() == eagain_before {
+        assert!(
+            Instant::now() < stall_deadline,
+            "server never stalled on a full socket buffer"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // …then hold the stall long enough to dominate the write span. The
+    // stall persists for exactly as long as we refuse to read, so this
+    // anchored sleep cannot under-shoot the 100ms assertion below.
+    std::thread::sleep(Duration::from_millis(200));
+    // Now drain them all, which flushes (and commits) every trace.
     for _ in 0..QUERIES {
         let mut reply = String::new();
         reader.read_line(&mut reply).expect("read reply");
@@ -219,11 +233,12 @@ fn dead_connection_commits_an_aborted_trace() {
     {
         let mut stream = TcpStream::connect(server.query_addr()).expect("connect");
         stream.write_all(b"!sleep 50\n!sleep 400\n").expect("write");
-        // Let the first reply land in the client's kernel buffer unread,
-        // then drop the stream: closing with unread data makes the OS
-        // reset the connection, killing it while the second sleep is
-        // still in a worker — that reply has nowhere to go.
-        std::thread::sleep(Duration::from_millis(150));
+        // Wait for the first reply's trace to commit — its bytes are in
+        // the client's kernel buffer, unread — then drop the stream:
+        // closing with unread data makes the OS reset the connection,
+        // killing it while the second sleep is still in a worker — that
+        // reply has nowhere to go.
+        wait_records(|rs| rs.iter().any(|r| r.seq == 0 && !r.aborted));
     }
     let records = wait_records(|rs| rs.iter().any(|r| r.aborted));
     let aborted = records.iter().find(|r| r.aborted).unwrap();

@@ -107,6 +107,22 @@ for baseline in "$BASELINE_DIR"/BENCH_*.json; do
   done < <(extract_medians "$current")
 done
 
+# Admission-control assertion: when the serve_c10k run carries an
+# overload block, its shed counters must be nonzero on every core — a
+# zero means the admission layer silently stopped engaging under flood,
+# which the median gate above cannot see (less shedding makes the cheap
+# rows *faster*).
+c10k="$BENCH_DIR/BENCH_serve_c10k.json"
+if [[ -f "$c10k" ]] && grep -q '"overload": \[' "$c10k"; then
+  if grep -o '"core": "[a-z]*"[^}]*"shed": [0-9]*' "$c10k" \
+    | awk -F'"shed": ' '$2 == 0 { bad = 1 } END { exit bad }'; then
+    echo "bench_gate: overload shed counters nonzero on every core"
+  else
+    echo "bench_gate: FAIL — serve_c10k overload scenario recorded a zero shed counter" >&2
+    exit 1
+  fi
+fi
+
 if [[ "$fail" -eq 1 ]]; then
   echo "bench_gate: FAIL — median regression beyond ${FACTOR}x (set FRAPPE_GATE_FACTOR to tune)" >&2
   exit 1

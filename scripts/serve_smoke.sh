@@ -78,6 +78,22 @@ run_pipelined_batch() {
   exec 3>&- 3<&-
 }
 
+# Like run_pipelined_batch, but tolerates typed denial replies — the
+# admission phase *wants* sheds; it only insists every line is answered.
+run_pipelined_batch_lossy() {
+  local host="$1" port="$2"
+  local -a queries=()
+  local query response
+  while IFS= read -r query; do queries+=("$query"); done
+  exec 3<>"/dev/tcp/$host/$port"
+  printf '%s\n' "${queries[@]}" >&3
+  for _ in "${queries[@]}"; do
+    IFS= read -r response <&3
+    printf '%s\n' "$response"
+  done
+  exec 3>&- 3<&-
+}
+
 # GET a path from the exporter, body only (headers stripped at the first
 # blank line).
 http_get_body() {
@@ -182,6 +198,41 @@ http_get_body "$MHOST" "$MPORT" /metrics >"$WORK/metrics_trace.txt"
 assert_nonzero_metric "frappe_serve_req_queue_ns_count" "$WORK/metrics_trace.txt"
 assert_nonzero_metric "frappe_serve_req_exec_ns_count" "$WORK/metrics_trace.txt"
 assert_nonzero_metric "frappe_serve_loop_stalls" "$WORK/metrics_trace.txt"
+stop_server
+
+echo "==> phase 4: admission control — shed a burst, degrade, recover"
+# Watermark of 1 with a 20ms expensive threshold: two serial 30ms sleeps
+# teach the cost tier that '!sleep' is expensive, then a pipelined burst
+# of 16 sleeps trips the depth watermark into Shedding.
+start_server --snapshot "$WORK/tiny.fsnap" --queue-watermark 1 --shed-p95-ms 20
+for _ in 1 2; do echo "!sleep 30"; done | run_query_batch "$QHOST" "$QPORT" >/dev/null
+for _ in $(seq 1 16); do echo "!sleep 300"; done \
+  | run_pipelined_batch_lossy "$QHOST" "$QPORT" >"$WORK/burst_replies.txt"
+assert_grep '"code": "shedded"' "$WORK/burst_replies.txt" "typed shed replies in the burst"
+assert_grep '"retry_after_ms":' "$WORK/burst_replies.txt" "retry-after hints on denials"
+http_get_body "$MHOST" "$MPORT" /metrics >"$OUT_DIR/SERVE_metrics_admission.txt"
+assert_nonzero_metric "frappe_serve_admit_shed" "$OUT_DIR/SERVE_metrics_admission.txt"
+assert_grep '^frappe_serve_admit_state [12]' "$OUT_DIR/SERVE_metrics_admission.txt" \
+  "a degraded admission state gauge"
+http_get_body "$MHOST" "$MPORT" /healthz >"$WORK/healthz_degraded.json"
+assert_grep '"status": "degraded"' "$WORK/healthz_degraded.json" "degraded health under flood"
+assert_grep '"state": "(throttling|shedding)"' "$WORK/healthz_degraded.json" "a degraded admission state"
+# With the load drained the watermark decays and the state machine walks
+# back to Open — visible on /healthz with no traffic at all.
+recovered=0
+for _ in $(seq 1 100); do
+  http_get_body "$MHOST" "$MPORT" /healthz >"$WORK/healthz_recovered.json"
+  if grep -q '"state": "open"' "$WORK/healthz_recovered.json"; then
+    recovered=1
+    break
+  fi
+  sleep 0.1
+done
+if [[ "$recovered" -ne 1 ]]; then
+  echo "serve_smoke: admission state never recovered to open" >&2
+  exit 1
+fi
+assert_grep '"status": "ok"' "$WORK/healthz_recovered.json" "healthy again after the burst"
 stop_server
 
 echo "serve_smoke: OK (scrapes in $OUT_DIR/SERVE_*.txt, traces in $OUT_DIR/TRACE_*.json)"

@@ -220,10 +220,12 @@ fn percentile(sorted: &[u64], q: f64) -> u64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
-fn scrape_metrics(addr: SocketAddr) -> Option<String> {
+fn scrape(addr: SocketAddr, path: &str) -> Option<String> {
     let mut stream = TcpStream::connect(addr).ok()?;
     stream
-        .write_all(b"GET /metrics HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n")
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
         .ok()?;
     let mut body = String::new();
     stream.read_to_string(&mut body).ok()?;
@@ -370,7 +372,7 @@ fn bench(c: &mut Criterion) {
 
             // Scrape the loaded epoll server once, for the CI artifact.
             if core == ServeCore::Epoll && metrics_scrape.is_none() {
-                metrics_scrape = scrape_metrics(server.metrics_addr());
+                metrics_scrape = scrape(server.metrics_addr(), "/metrics");
             }
             server.shutdown();
         }
@@ -550,6 +552,86 @@ fn bench(c: &mut Criterion) {
         server.shutdown();
     }
     group.embed_json("overload", format!("[{}]", overload_rows.join(", ")));
+
+    // Sampler overhead: the identical cheap workload against a server with
+    // telemetry disabled vs sampling at the production 250 ms interval.
+    // Sampling is pull-based — the request hot path carries no hook — so
+    // the gated `sampler/overhead` row (the sampler-on median) must stay
+    // within the regression gate's factor of the sampler-off median, using
+    // the same factor/noise-floor semantics as scripts/bench_gate.sh.
+    let sampler_run = |sample_ms: u64| -> (u64, Option<String>) {
+        let server = Server::start(
+            call_graph(),
+            "127.0.0.1:0",
+            "127.0.0.1:0",
+            ServerOptions {
+                core: ServeCore::Epoll,
+                workers: 2,
+                sample_ms,
+                ..Default::default()
+            },
+        )
+        .expect("start sampler a/b server");
+        let addr = server.query_addr();
+        let mut times: Vec<u64> = (0..5)
+            .map(|_| {
+                let t = Instant::now();
+                run_scenario(addr, 16, 4, per_conn);
+                // Take a sample after every round so the embedded timeline
+                // has points even when the whole run fits inside one 250 ms
+                // interval, and so the sampler's registry walk genuinely
+                // interleaves with the measured load.
+                if let Some(sampler) = server.sampler() {
+                    sampler.sample_now();
+                }
+                t.elapsed().as_nanos() as u64
+            })
+            .collect();
+        times.sort_unstable();
+        let timeline = (sample_ms > 0)
+            .then(|| {
+                scrape(
+                    server.metrics_addr(),
+                    "/timeseries?series=query.executions:rate,serve.req.exec_ns:p95,serve.admit.inflight",
+                )
+            })
+            .flatten();
+        server.shutdown();
+        (times[times.len() / 2], timeline)
+    };
+    let (sampler_off_ns, _) = sampler_run(0);
+    let (sampler_on_ns, timeline) = sampler_run(250);
+    let gate_factor: f64 = std::env::var("FRAPPE_GATE_FACTOR")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.5);
+    let gate_floor_ns: f64 = std::env::var("FRAPPE_GATE_FLOOR_NS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000.0);
+    eprintln!(
+        "  sampler: off {:.2}ms vs on(250ms) {:.2}ms (gate {}x + {:.1}ms floor)",
+        sampler_off_ns as f64 / 1e6,
+        sampler_on_ns as f64 / 1e6,
+        gate_factor,
+        gate_floor_ns / 1e6
+    );
+    assert!(
+        sampler_on_ns as f64 <= sampler_off_ns as f64 * gate_factor + gate_floor_ns,
+        "sampler-on median {sampler_on_ns}ns exceeds sampler-off {sampler_off_ns}ns \
+         beyond the {gate_factor}x gate factor"
+    );
+    group.report_value("sampler/overhead", sampler_on_ns as f64);
+    group.embed_json(
+        "sampler",
+        format!(
+            "{{\"off_median_ns\": {sampler_off_ns}, \"on_median_ns\": {sampler_on_ns}, \
+             \"sample_ms\": 250, \"gate_factor\": {gate_factor}}}"
+        ),
+    );
+    if let Some(timeline) = timeline {
+        group.embed_json("sampler_timeline", timeline.trim_end().to_owned());
+    }
 
     group.finish();
 

@@ -199,3 +199,92 @@ fn off_level_request_tracing_is_free_on_the_serve_hot_path() {
     frappe_obs::registry().reset();
     frappe_obs::reqtrace().clear();
 }
+
+/// The sampler's overhead contract (ISSUE 10 acceptance): telemetry is
+/// pull-based, so the request hot path carries no sampling hook at all —
+/// with the sampler disabled the only residue is the `sampler_active()`
+/// relaxed load, and with it enabled at the default 250 ms interval,
+/// pipelined serve throughput stays within the noise floor of a
+/// no-sampler run.
+#[test]
+fn sampler_at_default_interval_stays_within_noise_of_no_sampler() {
+    use frappe_serve::{ServeCore, ServeGraph, Server, ServerOptions};
+    use std::io::{BufRead, BufReader, Write};
+
+    let _own = level_lock();
+    frappe_obs::set_level(frappe_obs::ObsLevel::Counters);
+
+    let build = || {
+        let mut g = frappe_store::GraphStore::new();
+        let main = g.add_node(frappe_model::NodeType::Function, "main");
+        let callee = g.add_node(frappe_model::NodeType::Function, "vfs_read");
+        g.add_edge(main, frappe_model::EdgeType::Calls, callee);
+        g.freeze();
+        ServeGraph::Owned(g)
+    };
+    let start = |sample_ms: u64| -> Server {
+        Server::start(
+            build(),
+            "127.0.0.1:0",
+            "127.0.0.1:0",
+            ServerOptions {
+                core: ServeCore::Epoll,
+                workers: 2,
+                sample_ms,
+                ..Default::default()
+            },
+        )
+        .expect("bind 127.0.0.1:0")
+    };
+    let hop = "START n=node:node_auto_index('short_name: main') \
+               MATCH n -[:calls]-> m RETURN m.short_name";
+    let drive = |server: &Server, n: usize| -> Duration {
+        let stream = std::net::TcpStream::connect(server.query_addr()).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = stream;
+        let batch = format!("{hop}\n").repeat(n);
+        let t = Instant::now();
+        writer.write_all(batch.as_bytes()).expect("write batch");
+        for _ in 0..n {
+            let mut reply = String::new();
+            reader.read_line(&mut reply).expect("read reply");
+            assert!(reply.contains("\"ok\": true"), "{reply}");
+        }
+        t.elapsed()
+    };
+    let median = |server: &Server| -> Duration {
+        let mut times: Vec<Duration> = (0..9).map(|_| drive(server, 32)).collect();
+        times.sort();
+        times[times.len() / 2]
+    };
+
+    // --- Disabled: no thread, no hook, nothing collected ---------------
+    let off = start(0);
+    assert!(off.sampler().is_none(), "sample_ms 0 builds no sampler");
+    assert!(
+        !frappe_obs::sampler_active(),
+        "disabled sampler leaves only the relaxed-load flag, unset"
+    );
+    drive(&off, 64);
+    assert_eq!(
+        off.telemetry().store().point_count(),
+        0,
+        "no sampler, no points — requests never record series themselves"
+    );
+    let off_time = median(&off);
+    off.shutdown();
+
+    // --- Enabled at the production default ------------------------------
+    let on = start(250);
+    assert!(frappe_obs::sampler_active(), "enabled sampler flags active");
+    let on_time = median(&on);
+    assert!(
+        on_time <= off_time * 2 + Duration::from_millis(10),
+        "sampler-on {on_time:?} vs sampler-off {off_time:?}"
+    );
+    on.shutdown();
+    assert!(!frappe_obs::sampler_active());
+
+    frappe_obs::set_level(frappe_obs::ObsLevel::Off);
+    frappe_obs::registry().reset();
+}

@@ -38,6 +38,35 @@ impl SlowLogStats {
     }
 }
 
+/// Request-trace-log gauges exported alongside the metrics (see
+/// [`crate::ReqTraceLog`]). `committed`/`dropped` are ungated struct
+/// fields on the log, so they surface in `/metrics` even when the gated
+/// `serve_req_traced` counters are absent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReqTraceStats {
+    /// Records currently retained in the ring.
+    pub retained: u64,
+    /// Records ever committed (monotonic).
+    pub committed: u64,
+    /// Records overwritten by the ring.
+    pub dropped: u64,
+    /// Retained records that ended in an abort (disconnect mid-request).
+    pub aborted: u64,
+}
+
+impl ReqTraceStats {
+    /// Reads the gauges off a live [`crate::ReqTraceLog`].
+    pub fn of(log: &crate::ReqTraceLog) -> ReqTraceStats {
+        let records = log.records();
+        ReqTraceStats {
+            retained: records.len() as u64,
+            committed: log.total_committed(),
+            dropped: log.dropped(),
+            aborted: records.iter().filter(|r| r.aborted).count() as u64,
+        }
+    }
+}
+
 /// Maps a dotted registry name to a Prometheus metric name:
 /// `store.pagecache.hits` → `frappe_store_pagecache_hits`. Characters
 /// outside `[a-zA-Z0-9_:]` become underscores.
@@ -99,6 +128,7 @@ pub fn render_prometheus(
     snap: &MetricsSnapshot,
     queries: &[QueryStatsSnapshot],
     slowlog: SlowLogStats,
+    reqtrace: ReqTraceStats,
 ) -> String {
     let mut out = String::new();
 
@@ -163,6 +193,24 @@ pub fn render_prometheus(
     out.push_str(&format!(
         "frappe_slowlog_dropped_total {}\n",
         slowlog.dropped
+    ));
+
+    out.push_str("# TYPE frappe_reqtrace_retained gauge\n");
+    out.push_str(&format!("frappe_reqtrace_retained {}\n", reqtrace.retained));
+    out.push_str("# TYPE frappe_reqtrace_committed_total counter\n");
+    out.push_str(&format!(
+        "frappe_reqtrace_committed_total {}\n",
+        reqtrace.committed
+    ));
+    out.push_str("# TYPE frappe_reqtrace_dropped_total counter\n");
+    out.push_str(&format!(
+        "frappe_reqtrace_dropped_total {}\n",
+        reqtrace.dropped
+    ));
+    out.push_str("# TYPE frappe_reqtrace_aborted_retained gauge\n");
+    out.push_str(&format!(
+        "frappe_reqtrace_aborted_retained {}\n",
+        reqtrace.aborted
     ));
 
     out
@@ -349,6 +397,12 @@ mod tests {
                 total_recorded: 5,
                 dropped: 2,
             },
+            ReqTraceStats {
+                retained: 4,
+                committed: 9,
+                dropped: 5,
+                aborted: 1,
+            },
         );
         assert!(text.contains("# TYPE frappe_store_pagecache_hits counter\n"));
         assert!(text.contains("frappe_store_pagecache_hits 42\n"));
@@ -360,6 +414,9 @@ mod tests {
         assert!(text.contains("frappe_query_errors_total{fingerprint=\"000000000000abcd\"} 1\n"));
         assert!(text.contains("frappe_slowlog_retained 3\n"));
         assert!(text.contains("frappe_slowlog_dropped_total 2\n"));
+        assert!(text.contains("frappe_reqtrace_committed_total 9\n"));
+        assert!(text.contains("frappe_reqtrace_dropped_total 5\n"));
+        assert!(text.contains("frappe_reqtrace_aborted_retained 1\n"));
         validate_exposition(&text).unwrap();
     }
 
@@ -375,8 +432,14 @@ mod tests {
 
     #[test]
     fn empty_snapshot_still_validates() {
-        let text = render_prometheus(&MetricsSnapshot::default(), &[], SlowLogStats::default());
+        let text = render_prometheus(
+            &MetricsSnapshot::default(),
+            &[],
+            SlowLogStats::default(),
+            ReqTraceStats::default(),
+        );
         assert!(text.contains("frappe_slowlog_retained 0\n"));
+        assert!(text.contains("frappe_reqtrace_retained 0\n"));
         validate_exposition(&text).unwrap();
     }
 
@@ -394,6 +457,7 @@ mod tests {
             &MetricsSnapshot::default(),
             &queries,
             SlowLogStats::default(),
+            ReqTraceStats::default(),
         );
         assert!(text.contains("query=\"lookup ( \\\"quoted\\\" ) \\\\ slash\""));
         validate_exposition(&text).unwrap();

@@ -47,11 +47,13 @@ pub mod export;
 pub mod metrics;
 pub mod query_stats;
 pub mod reqtrace;
+pub mod slo;
 pub mod slowlog;
+pub mod timeseries;
 pub mod trace;
 
 pub use clock::Clock;
-pub use export::{render_prometheus, validate_exposition, SlowLogStats};
+pub use export::{render_prometheus, validate_exposition, ReqTraceStats, SlowLogStats};
 pub use metrics::{
     registry, Counter, CounterSnapshot, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
     Timer,
@@ -62,7 +64,9 @@ pub use query_stats::{
 pub use reqtrace::{
     reqtrace, validate_chrome_trace, PhaseSpan, ReqPhase, ReqRecord, ReqTraceBuilder, ReqTraceLog,
 };
+pub use slo::{AlertEvent, BurnRates, ObjectiveKind, SloEngine, SloSpec, Windows};
 pub use slowlog::{slowlog, SlowLog, SlowQueryEntry, SlowQueryPhases, SlowQueryRecord};
+pub use timeseries::{sampler_active, Point, Sampler, SamplerConfig, SamplerThread, SeriesStore};
 pub use trace::{tracer, SpanGuard, TraceEvent, Tracer};
 
 use std::sync::atomic::{AtomicU8, Ordering};

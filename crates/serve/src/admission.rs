@@ -567,9 +567,24 @@ impl AdmissionControl {
         let state = self.state();
         format!(
             "# TYPE frappe_serve_admit_state gauge\nfrappe_serve_admit_state {}\n\
-             # TYPE frappe_serve_admit_inflight gauge\nfrappe_serve_admit_inflight {}\n",
+             # TYPE frappe_serve_admit_inflight gauge\nfrappe_serve_admit_inflight {}\n\
+             # TYPE frappe_serve_admit_inflight_peak gauge\n\
+             frappe_serve_admit_inflight_peak {}\n\
+             # TYPE frappe_serve_admit_admitted_total counter\n\
+             frappe_serve_admit_admitted_total {}\n\
+             # TYPE frappe_serve_admit_throttled_total counter\n\
+             frappe_serve_admit_throttled_total {}\n\
+             # TYPE frappe_serve_admit_shed_total counter\n\
+             frappe_serve_admit_shed_total {}\n\
+             # TYPE frappe_serve_admit_parked_total counter\n\
+             frappe_serve_admit_parked_total {}\n",
             state as u8,
             self.inflight(),
+            self.peak_inflight(),
+            self.admitted_total(),
+            self.throttled_total(),
+            self.shed_total(),
+            self.parked_total(),
         )
     }
 }

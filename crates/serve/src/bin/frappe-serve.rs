@@ -37,6 +37,18 @@
 //!   `100`; `0` counts every iteration, useful for smoke-testing the
 //!   `frappe_serve_loop_stalls` series).
 //!
+//! Telemetry & SLOs (see DESIGN.md §14):
+//!
+//! * `--sample-ms N` — time-series sampling interval (default `250`;
+//!   `0` disables the sampler). The sampled timeline feeds
+//!   `/timeseries`, `/dash`, and the SLO engine.
+//! * `--slo NAME=VALUE` — declare an objective (repeatable):
+//!   `latency_p99_ms=50` (optionally `=50@serve.req.queue_ns` to judge
+//!   another phase), `error_rate=0.001`, `availability=0.999`. Burn-rate
+//!   alerts surface on `/alerts` and degrade `/healthz`.
+//! * `--slo-windows F:L:S` — burn-rate windows in seconds (default
+//!   `60:300:1800`).
+//!
 //! Admission control (any of these flags enables it; see DESIGN.md §13):
 //!
 //! * `--max-inflight N` — global cap on concurrently executing requests;
@@ -53,6 +65,7 @@
 //!   `Open → Throttling` (2× trips `Shedding`); recovery follows the
 //!   watermark's exponential decay.
 
+use frappe_obs::{SloSpec, Windows};
 use frappe_serve::{AdmissionOptions, ServeCore, ServeGraph, Server, ServerOptions};
 use frappe_store::{snapshot, MappedGraph};
 use std::process::ExitCode;
@@ -73,6 +86,9 @@ struct Args {
     conn_rate: Option<(u64, u64)>,
     shed_p95_ms: Option<u64>,
     queue_watermark: Option<u64>,
+    sample_ms: Option<u64>,
+    slos: Vec<SloSpec>,
+    slo_windows: Option<Windows>,
 }
 
 impl Args {
@@ -124,6 +140,9 @@ fn parse_args() -> Result<Args, String> {
         conn_rate: None,
         shed_p95_ms: None,
         queue_watermark: None,
+        sample_ms: None,
+        slos: Vec::new(),
+        slo_windows: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -182,13 +201,23 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| "--queue-watermark needs an integer".to_string())?,
                 )
             }
+            "--sample-ms" => {
+                args.sample_ms = Some(
+                    value("--sample-ms")?
+                        .parse()
+                        .map_err(|_| "--sample-ms needs an integer".to_string())?,
+                )
+            }
+            "--slo" => args.slos.push(SloSpec::parse(&value("--slo")?)?),
+            "--slo-windows" => args.slo_windows = Some(Windows::parse(&value("--slo-windows")?)?),
             "--help" | "-h" => {
                 return Err("usage: frappe-serve [--snapshot PATH | --synth SCALE] \
                             [--write-snapshot PATH] [--listen ADDR] [--metrics ADDR] \
                             [--addr-file PATH] [--obs LEVEL] [--slowlog-ms N] \
                             [--stall-ms N] [--core epoll|threads] [--workers N] \
                             [--max-inflight N] [--conn-rate R[:BURST]] \
-                            [--shed-p95-ms N] [--queue-watermark N]"
+                            [--shed-p95-ms N] [--queue-watermark N] [--sample-ms N] \
+                            [--slo NAME=VALUE]... [--slo-windows F:L:S]"
                     .into())
             }
             other => return Err(format!("unknown flag {other:?} (try --help)")),
@@ -264,10 +293,17 @@ fn run() -> Result<(), String> {
         core: args.core,
         workers: args.workers,
         admission: args.admission(),
+        slos: args.slos.clone(),
         ..ServerOptions::default()
     };
     if let Some(ms) = args.stall_ms {
         options.loop_stall_budget = std::time::Duration::from_millis(ms);
+    }
+    if let Some(ms) = args.sample_ms {
+        options.sample_ms = ms;
+    }
+    if let Some(w) = args.slo_windows {
+        options.slo_windows = w;
     }
     let server = Server::start(graph, &args.listen, &args.metrics, options)
         .map_err(|e| format!("binding listeners: {e}"))?;

@@ -1,0 +1,340 @@
+//! The `/dash` endpoint: one self-contained HTML page over the resident
+//! time series — inline CSS, inline SVG sparklines, a meta-refresh, and
+//! no external assets, so it renders from an air-gapped curl just as well
+//! as from a browser pointed at production.
+//!
+//! Every panel reads the same [`SeriesStore`] the `/timeseries` endpoint
+//! serves; the page is a rendering of existing data, never a new
+//! collection path.
+
+use crate::admission::AdmissionControl;
+use crate::{ServeGraph, Telemetry, VERSION};
+use frappe_obs::timeseries::Point;
+
+const SPARK_W: f64 = 260.0;
+const SPARK_H: f64 = 56.0;
+/// How much history each sparkline shows (5 minutes).
+const WINDOW_MS: u64 = 300_000;
+
+/// Escapes text for HTML body and attribute positions.
+fn html_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Human-formats a sample value with its unit.
+fn fmt_value(v: f64, unit: Unit) -> String {
+    match unit {
+        Unit::PerSec => {
+            if v >= 1_000.0 {
+                format!("{:.1}k/s", v / 1_000.0)
+            } else {
+                format!("{v:.1}/s")
+            }
+        }
+        Unit::Nanos => {
+            if v >= 1e9 {
+                format!("{:.2}s", v / 1e9)
+            } else if v >= 1e6 {
+                format!("{:.2}ms", v / 1e6)
+            } else if v >= 1e3 {
+                format!("{:.1}µs", v / 1e3)
+            } else {
+                format!("{v:.0}ns")
+            }
+        }
+        Unit::Count => {
+            if v.fract() == 0.0 && v.abs() < 1e15 {
+                format!("{}", v as i64)
+            } else {
+                format!("{v:.2}")
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Unit {
+    PerSec,
+    Nanos,
+    Count,
+}
+
+/// Renders a polyline sparkline over `points`, value-scaled to the data
+/// range (floored at zero) and time-scaled to the window.
+fn sparkline(points: &[Point], stepped: bool) -> String {
+    if points.len() < 2 {
+        return format!(
+            "<svg viewBox=\"0 0 {SPARK_W} {SPARK_H}\" class=\"spark\">\
+             <text x=\"8\" y=\"32\" class=\"nodata\">collecting…</text></svg>"
+        );
+    }
+    let (t0, t1) = (points[0].t_ns as f64, points[points.len() - 1].t_ns as f64);
+    let t_span = (t1 - t0).max(1.0);
+    let mut vmax = f64::MIN;
+    for p in points {
+        vmax = vmax.max(p.value);
+    }
+    let vmax = vmax.max(1e-9);
+    let x = |t: f64| 2.0 + (t - t0) / t_span * (SPARK_W - 4.0);
+    let y = |v: f64| (SPARK_H - 4.0) - (v.max(0.0) / vmax) * (SPARK_H - 8.0);
+    let mut coords = String::new();
+    let mut last_y = y(points[0].value);
+    for p in points {
+        let px = x(p.t_ns as f64);
+        if stepped {
+            coords.push_str(&format!("{px:.1},{last_y:.1} "));
+        }
+        last_y = y(p.value);
+        coords.push_str(&format!("{px:.1},{last_y:.1} "));
+    }
+    format!(
+        "<svg viewBox=\"0 0 {SPARK_W} {SPARK_H}\" class=\"spark\">\
+         <polyline points=\"{}\" fill=\"none\" stroke=\"currentColor\" stroke-width=\"1.5\"/>\
+         </svg>",
+        coords.trim_end()
+    )
+}
+
+/// One metric card: title, latest value, sparkline.
+fn panel(telemetry: &Telemetry, title: &str, series: &str, unit: Unit, stepped: bool) -> String {
+    let now = telemetry.now_ns();
+    let since = now.saturating_sub(WINDOW_MS * 1_000_000);
+    let points = telemetry.store().query(series, since);
+    let latest = points
+        .last()
+        .map(|p| fmt_value(p.value, unit))
+        .unwrap_or_else(|| "—".into());
+    format!(
+        "<div class=\"card\"><div class=\"t\">{}</div><div class=\"v\">{}</div>{}\
+         <div class=\"s\">{}</div></div>\n",
+        html_escape(title),
+        html_escape(&latest),
+        sparkline(&points, stepped),
+        html_escape(series),
+    )
+}
+
+/// The error-budget gauges: one bar per declared objective.
+fn budget_gauges(telemetry: &Telemetry) -> String {
+    let summaries = telemetry.slo().summaries(telemetry.now_ns());
+    if summaries.is_empty() {
+        return "<p class=\"nodata\">no SLOs declared (start with <code>--slo \
+                latency_p99_ms=50</code>)</p>\n"
+            .into();
+    }
+    let mut out = String::new();
+    for s in &summaries {
+        let pct = (s.budget_remaining * 100.0).clamp(0.0, 100.0);
+        let class = if s.firing { "firing" } else { "ok" };
+        out.push_str(&format!(
+            "<div class=\"budget {class}\"><div class=\"t\">{} <span class=\"tag\">{}</span>\
+             </div><div class=\"bar\"><div class=\"fill\" style=\"width: {pct:.1}%\"></div></div>\
+             <div class=\"d\">budget {pct:.1}% &middot; burn fast {:.1} / long {:.1} / slow \
+             {:.1}</div></div>\n",
+            html_escape(&s.name),
+            if s.firing { "FIRING" } else { "ok" },
+            s.burn.fast,
+            s.burn.long,
+            s.burn.slow,
+        ));
+    }
+    out
+}
+
+/// The alert log table (latest first).
+fn alert_log(telemetry: &Telemetry) -> String {
+    let events = telemetry.slo().events();
+    if events.is_empty() {
+        return "<p class=\"nodata\">no alert transitions yet</p>\n".into();
+    }
+    let mut out = String::from(
+        "<table><tr><th>#</th><th>t (s)</th><th>slo</th><th>event</th>\
+         <th>burn fast/long/slow</th></tr>\n",
+    );
+    for e in events.iter().rev().take(16) {
+        out.push_str(&format!(
+            "<tr class=\"{}\"><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
+             <td>{:.1} / {:.1} / {:.1}</td></tr>\n",
+            if e.firing { "firing" } else { "ok" },
+            e.seq,
+            e.t_ns / 1_000_000_000,
+            html_escape(&e.slo),
+            if e.firing { "FIRED" } else { "resolved" },
+            e.burn.fast,
+            e.burn.long,
+            e.burn.slow,
+        ));
+    }
+    out.push_str("</table>\n");
+    out
+}
+
+/// Renders the full `/dash` page.
+pub fn render(
+    graph: &ServeGraph,
+    admission: &AdmissionControl,
+    telemetry: &Telemetry,
+    open_conns: u64,
+) -> String {
+    let firing = telemetry.slo().firing();
+    let status = if firing > 0 || admission.state() != crate::AdmitState::Open {
+        "degraded"
+    } else {
+        "ok"
+    };
+    let mut page = format!(
+        "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\
+         <meta http-equiv=\"refresh\" content=\"2\">\
+         <title>frappe-serve dash</title>\n<style>\
+         body{{font:13px/1.4 system-ui,sans-serif;margin:16px;background:#111;color:#ddd}}\
+         h1{{font-size:17px;margin:0 0 2px}} h2{{font-size:14px;margin:18px 0 6px}}\
+         .meta{{color:#8a8;margin-bottom:10px}} .meta.degraded{{color:#e77}}\
+         .grid{{display:flex;flex-wrap:wrap;gap:10px}}\
+         .card{{background:#1b1b1f;border:1px solid #2c2c33;border-radius:6px;\
+         padding:8px 10px;width:280px}}\
+         .card .t{{color:#aac;font-size:12px}} .card .v{{font-size:20px;margin:2px 0}}\
+         .card .s{{color:#667;font-size:10px}}\
+         .spark{{width:260px;height:56px;color:#6cf;display:block}}\
+         .nodata{{fill:#556;color:#889;font-size:12px;font-style:italic}}\
+         .budget{{margin:6px 0;max-width:560px}}\
+         .budget .bar{{background:#2c2c33;border-radius:4px;height:10px;overflow:hidden}}\
+         .budget .fill{{background:#4c4;height:100%}}\
+         .budget.firing .fill{{background:#e55}}\
+         .budget .d{{color:#889;font-size:11px}}\
+         .tag{{font-size:10px;padding:1px 5px;border-radius:3px;background:#262}}\
+         .budget.firing .tag{{background:#a33}}\
+         table{{border-collapse:collapse}} td,th{{border:1px solid #2c2c33;\
+         padding:3px 8px;text-align:left}} tr.firing td{{color:#e88}}\
+         code{{color:#9cf}}\
+         </style></head><body>\n\
+         <h1>frappe-serve <span class=\"tag\">v{}</span></h1>\n\
+         <div class=\"meta{}\">status {status} &middot; uptime {}s &middot; {} nodes / {} \
+         edges &middot; {open_conns} conns &middot; admission {} &middot; {} alerts firing \
+         &middot; sample every {}ms</div>\n",
+        html_escape(VERSION),
+        if status == "degraded" {
+            " degraded"
+        } else {
+            ""
+        },
+        telemetry.uptime_s(),
+        graph.node_count(),
+        graph.edge_count(),
+        admission.state().as_str(),
+        firing,
+        telemetry.sample_ms(),
+    );
+
+    page.push_str("<h2>Throughput</h2>\n<div class=\"grid\">\n");
+    for (title, series) in [
+        ("queries / s", "query.executions:rate"),
+        ("rows / s", "query.rows:rate"),
+        ("errors / s", "query.errors:rate"),
+    ] {
+        page.push_str(&panel(telemetry, title, series, Unit::PerSec, false));
+    }
+    page.push_str("</div>\n");
+
+    page.push_str("<h2>Per-phase latency (p95)</h2>\n<div class=\"grid\">\n");
+    for (title, series) in [
+        ("recv", "serve.req.recv_ns:p95"),
+        ("queue", "serve.req.queue_ns:p95"),
+        ("exec", "serve.req.exec_ns:p95"),
+        ("serialize", "serve.req.ser_ns:p95"),
+        ("write", "serve.req.write_ns:p95"),
+    ] {
+        page.push_str(&panel(telemetry, title, series, Unit::Nanos, false));
+    }
+    page.push_str("</div>\n");
+
+    page.push_str("<h2>Queue depth &amp; admission</h2>\n<div class=\"grid\">\n");
+    page.push_str(&panel(
+        telemetry,
+        "in-flight queries",
+        "serve.admit.inflight",
+        Unit::Count,
+        false,
+    ));
+    page.push_str(&panel(
+        telemetry,
+        "open connections",
+        "serve.open_conns",
+        Unit::Count,
+        false,
+    ));
+    page.push_str(&panel(
+        telemetry,
+        "admission state (0 open / 1 throttling / 2 shedding)",
+        "serve.admit.state",
+        Unit::Count,
+        true,
+    ));
+    page.push_str(&panel(
+        telemetry,
+        "shed / s",
+        "serve.admit.shed_total:rate",
+        Unit::PerSec,
+        false,
+    ));
+    page.push_str("</div>\n");
+
+    page.push_str("<h2>Error budgets</h2>\n");
+    page.push_str(&budget_gauges(telemetry));
+
+    page.push_str("<h2>Alert log</h2>\n");
+    page.push_str(&alert_log(telemetry));
+
+    page.push_str("</body></html>\n");
+    page
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_handles_empty_flat_and_stepped_inputs() {
+        assert!(sparkline(&[], false).contains("collecting"));
+        let one = [Point {
+            t_ns: 0,
+            value: 1.0,
+        }];
+        assert!(sparkline(&one, false).contains("collecting"));
+        let flat: Vec<Point> = (0..4)
+            .map(|i| Point {
+                t_ns: i * 1_000,
+                value: 0.0,
+            })
+            .collect();
+        let svg = sparkline(&flat, false);
+        assert!(svg.contains("<polyline"), "{svg}");
+        let stepped = sparkline(&flat, true);
+        assert!(
+            stepped.matches(',').count() > svg.matches(',').count(),
+            "step chart doubles coordinates"
+        );
+    }
+
+    #[test]
+    fn values_format_per_unit() {
+        assert_eq!(fmt_value(1_500.0, Unit::PerSec), "1.5k/s");
+        assert_eq!(fmt_value(2.25e6, Unit::Nanos), "2.25ms");
+        assert_eq!(fmt_value(750.0, Unit::Nanos), "750ns");
+        assert_eq!(fmt_value(3.0, Unit::Count), "3");
+    }
+
+    #[test]
+    fn html_escapes() {
+        assert_eq!(html_escape("a<b>&\"c\""), "a&lt;b&gt;&amp;&quot;c&quot;");
+    }
+}

@@ -46,6 +46,8 @@
 //! thread-per-connection on both cores: scrapes are rare, large, and
 //! latency-insensitive.
 
+use frappe_obs::timeseries::{Sampler, SamplerConfig, SamplerThread, SeriesStore};
+use frappe_obs::{SloEngine, SloSpec, Windows};
 use frappe_query::{Engine, Query, ResultSet};
 use frappe_store::{GraphStore, GraphView, MappedGraph};
 use std::io::{BufRead, BufReader, Read, Write};
@@ -56,6 +58,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 pub mod admission;
+pub mod dash;
 
 pub use admission::{
     AdmissionControl, AdmissionOptions, AdmitState, Decision, TokenBucket, Watermark,
@@ -180,6 +183,15 @@ pub struct ServerOptions {
     /// Time source for the token bucket, watermark decay, and the event
     /// core's idle sweep. Virtual in tests, monotonic in production.
     pub clock: Clock,
+    /// Telemetry sampling interval in milliseconds (`--sample-ms`); `0`
+    /// disables the sampler (the `/timeseries` and `/dash` endpoints stay
+    /// up but collect nothing).
+    pub sample_ms: u64,
+    /// Declared service-level objectives (`--slo NAME=VALUE`, repeatable).
+    pub slos: Vec<SloSpec>,
+    /// Burn-rate evaluation windows (`--slo-windows FAST:LONG:SLOW`
+    /// seconds).
+    pub slo_windows: Windows,
 }
 
 impl Default for ServerOptions {
@@ -196,6 +208,9 @@ impl Default for ServerOptions {
             loop_stall_budget: Duration::from_millis(100),
             admission: AdmissionOptions::default(),
             clock: Clock::monotonic(),
+            sample_ms: frappe_obs::timeseries::DEFAULT_SAMPLE_MS,
+            slos: Vec::new(),
+            slo_windows: Windows::default(),
         }
     }
 }
@@ -212,11 +227,72 @@ impl ServerOptions {
     }
 }
 
+/// The server's resident telemetry: the sampled time-series store, the
+/// SLO engine, and the identity facts (`uptime`, version) the HTTP
+/// surface labels timelines with. One per server, shared by the sampler
+/// thread and every exporter connection.
+pub struct Telemetry {
+    store: Arc<SeriesStore>,
+    slo: Arc<SloEngine>,
+    clock: Clock,
+    start_ns: u64,
+    sample_ms: u64,
+}
+
+impl Telemetry {
+    /// A telemetry surface with no sampler behind it (tests, disabled
+    /// sampling): empty store, no objectives.
+    pub fn detached() -> Telemetry {
+        let clock = Clock::monotonic();
+        let start_ns = clock.now_ns();
+        Telemetry {
+            store: Arc::new(SeriesStore::with_defaults()),
+            slo: Arc::new(SloEngine::new(
+                Vec::new(),
+                Windows::default(),
+                Duration::from_millis(frappe_obs::timeseries::DEFAULT_SAMPLE_MS),
+            )),
+            clock,
+            start_ns,
+            sample_ms: 0,
+        }
+    }
+
+    /// The sampled series store.
+    pub fn store(&self) -> &Arc<SeriesStore> {
+        &self.store
+    }
+
+    /// The SLO engine (`/alerts`, `/healthz` degradation).
+    pub fn slo(&self) -> &Arc<SloEngine> {
+        &self.slo
+    }
+
+    /// Nanoseconds now on the telemetry clock.
+    pub fn now_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    /// Whole seconds since the server started.
+    pub fn uptime_s(&self) -> u64 {
+        self.clock.now_ns().saturating_sub(self.start_ns) / 1_000_000_000
+    }
+
+    /// Configured sampling interval in ms (`0` = sampler disabled).
+    pub fn sample_ms(&self) -> u64 {
+        self.sample_ms
+    }
+}
+
+/// The crate version baked into `/version` and `/healthz`.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
 struct Inner {
     graph: ServeGraph,
     engine: Engine,
     options: ServerOptions,
     admission: AdmissionControl,
+    telemetry: Telemetry,
     stop: AtomicBool,
     open_conns: AtomicU64,
     query_addr: SocketAddr,
@@ -247,10 +323,13 @@ impl Inner {
     }
 }
 
-/// A running server: two listeners plus their accept/event threads.
+/// A running server: two listeners plus their accept/event threads, and
+/// (when sampling is enabled) the telemetry sampler.
 pub struct Server {
     inner: Arc<Inner>,
     accept_threads: Vec<JoinHandle<()>>,
+    sampler: Option<Arc<Sampler>>,
+    sampler_thread: Option<SamplerThread>,
 }
 
 // The accept/handler/worker threads share `&ServeGraph` and `&Engine`;
@@ -274,16 +353,88 @@ impl Server {
         let metrics_listener = TcpListener::bind(metrics_addr)?;
         let core = options.core;
         let admission = AdmissionControl::new(options.admission.clone(), options.clock.clone());
+
+        // Telemetry: the SLO engine always exists (so `/alerts` has a
+        // stable shape); the sampler only when `sample_ms > 0`.
+        let interval = Duration::from_millis(if options.sample_ms > 0 {
+            options.sample_ms
+        } else {
+            frappe_obs::timeseries::DEFAULT_SAMPLE_MS
+        });
+        let slo = Arc::new(SloEngine::new(
+            options.slos.clone(),
+            options.slo_windows,
+            interval,
+        ));
+        let mut sampler = (options.sample_ms > 0).then(|| {
+            let mut s = Sampler::new(SamplerConfig {
+                interval,
+                clock: options.clock.clone(),
+                ..SamplerConfig::default()
+            });
+            s.set_slo(Arc::clone(&slo));
+            s
+        });
+        let store = sampler
+            .as_ref()
+            .map(|s| Arc::clone(s.store()))
+            .unwrap_or_else(|| Arc::new(SeriesStore::with_defaults()));
+        let telemetry = Telemetry {
+            store,
+            slo,
+            clock: options.clock.clone(),
+            start_ns: options.clock.now_ns(),
+            sample_ms: options.sample_ms,
+        };
+
         let inner = Arc::new(Inner {
             graph,
             engine: Engine::new(),
             options,
             admission,
+            telemetry,
             stop: AtomicBool::new(false),
             open_conns: AtomicU64::new(0),
             query_addr: query_listener.local_addr()?,
             metrics_addr: metrics_listener.local_addr()?,
         });
+
+        // The sampler's serve-layer source: admission state and connection
+        // gauges the registry scrape can't see (they live on ungated
+        // struct fields, not registry counters).
+        let sampler = sampler.take().map(|mut s| {
+            let src = Arc::clone(&inner);
+            s.add_source(Box::new(
+                move |set: &mut frappe_obs::timeseries::SampleSet| {
+                    set.gauge("serve.admit.state", src.admission.state() as u8 as f64);
+                    set.gauge("serve.admit.inflight", src.admission.inflight() as f64);
+                    set.gauge(
+                        "serve.open_conns",
+                        src.open_conns.load(Ordering::Relaxed) as f64,
+                    );
+                    set.counter(
+                        "serve.admit.admitted_total",
+                        src.admission.admitted_total() as f64,
+                    );
+                    set.counter("serve.admit.shed_total", src.admission.shed_total() as f64);
+                    set.counter(
+                        "serve.admit.throttled_total",
+                        src.admission.throttled_total() as f64,
+                    );
+                    set.counter(
+                        "serve.admit.parked_total",
+                        src.admission.parked_total() as f64,
+                    );
+                },
+            ));
+            Arc::new(s)
+        });
+        // Virtual clocks never self-advance — a background thread would
+        // spin sampling the same instant. Tests drive `tick()` by hand.
+        let sampler_thread = sampler
+            .as_ref()
+            .filter(|s| !s.clock().is_virtual())
+            .map(|s| s.spawn());
 
         let mut accept_threads = Vec::new();
         match core {
@@ -318,6 +469,8 @@ impl Server {
         Ok(Server {
             inner,
             accept_threads,
+            sampler,
+            sampler_thread,
         })
     }
 
@@ -342,6 +495,17 @@ impl Server {
         self.inner.open_conns.load(Ordering::Relaxed)
     }
 
+    /// The server's telemetry surface (time-series store + SLO engine).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.inner.telemetry
+    }
+
+    /// The telemetry sampler, when sampling is enabled. Virtual-clock
+    /// tests drive `tick()` on it directly.
+    pub fn sampler(&self) -> Option<&Arc<Sampler>> {
+        self.sampler.as_ref()
+    }
+
     /// Whether a shutdown has been requested (by [`Server::shutdown`] or a
     /// client's `!shutdown` line).
     pub fn stopping(&self) -> bool {
@@ -352,6 +516,9 @@ impl Server {
     /// in-flight queries and flushes replies before exiting.
     pub fn shutdown(mut self) {
         self.inner.request_stop();
+        if let Some(t) = self.sampler_thread.take() {
+            t.shutdown();
+        }
         for t in self.accept_threads.drain(..) {
             let _ = t.join();
         }
@@ -362,6 +529,9 @@ impl Server {
     pub fn wait(mut self) {
         for t in self.accept_threads.drain(..) {
             let _ = t.join();
+        }
+        if let Some(t) = self.sampler_thread.take() {
+            t.shutdown();
         }
     }
 }
@@ -770,23 +940,40 @@ fn http_response(status: &str, content_type: &str, body: &str) -> String {
     )
 }
 
+/// Pulls `name=value` out of an URL query string (no percent-decoding —
+/// the exporter's parameter values are metric names and integers).
+fn query_param<'a>(query: &'a str, name: &str) -> Option<&'a str> {
+    query
+        .split('&')
+        .filter_map(|kv| kv.split_once('='))
+        .find(|(k, _)| *k == name)
+        .map(|(_, v)| v)
+}
+
 /// Answers one exporter request path (shared by the HTTP handler and the
 /// endpoint tests). The engine is consulted for plan-cache counters on
 /// `/queries`; the admission controller feeds `/healthz` (degradation
-/// state, ungated in-flight/shed tallies) and the `/metrics` gauges.
+/// state, ungated in-flight/shed tallies) and the `/metrics` gauges; the
+/// telemetry surface feeds `/timeseries`, `/alerts`, and `/dash`.
 pub fn answer_http_path(
     graph: &ServeGraph,
     engine: &Engine,
     admission: &AdmissionControl,
+    telemetry: &Telemetry,
     open_conns: u64,
     path: &str,
 ) -> (String, String, String) {
-    match path {
+    let (route, query) = match path.split_once('?') {
+        Some((r, q)) => (r, q),
+        None => (path, ""),
+    };
+    match route {
         "/metrics" => {
             let mut body = frappe_obs::render_prometheus(
                 &frappe_obs::registry().snapshot(),
                 &frappe_obs::query_stats().snapshot(),
                 frappe_obs::SlowLogStats::of(frappe_obs::slowlog()),
+                frappe_obs::ReqTraceStats::of(frappe_obs::reqtrace()),
             );
             body.push_str(&admission.prometheus_gauges());
             (
@@ -796,24 +983,66 @@ pub fn answer_http_path(
             )
         }
         "/healthz" => {
-            let state = admission.state();
-            let status = if state == AdmitState::Open {
-                "ok"
-            } else {
-                "degraded"
-            };
+            let degraded = admission.state() != AdmitState::Open || telemetry.slo().firing() > 0;
+            let status = if degraded { "degraded" } else { "ok" };
             (
                 "200 OK".into(),
                 "application/json".into(),
                 format!(
-                    "{{\"status\": \"{status}\", \"nodes\": {}, \"edges\": {}, \
-                     \"open_conns\": {open_conns}, {}}}\n",
+                    "{{\"status\": \"{status}\", \"version\": \"{}\", \"uptime_s\": {}, \
+                     \"nodes\": {}, \"edges\": {}, \"open_conns\": {open_conns}, \
+                     \"slo\": {{\"declared\": {}, \"firing\": {}}}, {}}}\n",
+                    json_escape(VERSION),
+                    telemetry.uptime_s(),
                     graph.node_count(),
                     graph.edge_count(),
+                    telemetry.slo().declared(),
+                    telemetry.slo().firing(),
                     admission.healthz_fragment()
                 ),
             )
         }
+        "/version" => (
+            "200 OK".into(),
+            "application/json".into(),
+            format!(
+                "{{\"name\": \"frappe-serve\", \"version\": \"{}\", \"pid\": {}, \
+                 \"uptime_s\": {}}}\n",
+                json_escape(VERSION),
+                std::process::id(),
+                telemetry.uptime_s(),
+            ),
+        ),
+        "/timeseries" => {
+            let filter: Option<Vec<String>> = query_param(query, "series").map(|s| {
+                s.split(',')
+                    .filter(|n| !n.is_empty())
+                    .map(str::to_owned)
+                    .collect()
+            });
+            let since_ns = query_param(query, "since_ms")
+                .and_then(|v| v.parse::<u64>().ok())
+                .map(|ms| ms.saturating_mul(1_000_000))
+                .unwrap_or(0);
+            let body = format!(
+                "{{\"now_ms\": {}, \"sample_ms\": {}, \"samples\": {}, \"series\": {}}}\n",
+                telemetry.now_ns() / 1_000_000,
+                telemetry.sample_ms(),
+                telemetry.store().point_count(),
+                telemetry.store().render_json(filter.as_deref(), since_ns),
+            );
+            ("200 OK".into(), "application/json".into(), body)
+        }
+        "/alerts" => (
+            "200 OK".into(),
+            "application/json".into(),
+            telemetry.slo().to_json(telemetry.now_ns()),
+        ),
+        "/dash" => (
+            "200 OK".into(),
+            "text/html; charset=utf-8".into(),
+            dash::render(graph, admission, telemetry, open_conns),
+        ),
         "/slowlog" => (
             "200 OK".into(),
             "application/x-ndjson".into(),
@@ -874,6 +1103,7 @@ fn handle_http_conn(inner: &Inner, mut stream: TcpStream) {
             &inner.graph,
             &inner.engine,
             &inner.admission,
+            &inner.telemetry,
             inner.open_conns.load(Ordering::Relaxed),
             path,
         );
@@ -1031,33 +1261,99 @@ mod tests {
         let g = tiny_graph();
         let engine = Engine::new();
         let ac = AdmissionControl::disabled();
-        let (status, _, body) = answer_http_path(&g, &engine, &ac, 3, "/healthz");
+        let tel = Telemetry::detached();
+        let (status, _, body) = answer_http_path(&g, &engine, &ac, &tel, 3, "/healthz");
         assert_eq!(status, "200 OK");
         assert!(body.contains("\"status\": \"ok\""), "{body}");
+        assert!(body.contains("\"version\": \""), "{body}");
+        assert!(body.contains("\"uptime_s\": "), "{body}");
         assert!(body.contains("\"nodes\": 2"), "{body}");
         assert!(body.contains("\"open_conns\": 3"), "{body}");
+        assert!(
+            body.contains("\"slo\": {\"declared\": 0, \"firing\": 0}"),
+            "{body}"
+        );
         assert!(
             body.contains("\"admission\": {\"enabled\": false"),
             "{body}"
         );
-        let (status, ct, body) = answer_http_path(&g, &engine, &ac, 0, "/metrics");
+        let (status, ct, body) = answer_http_path(&g, &engine, &ac, &tel, 0, "/metrics");
         assert_eq!(status, "200 OK");
         assert!(ct.starts_with("text/plain"));
         frappe_obs::validate_exposition(&body).unwrap();
         assert!(body.contains("frappe_serve_admit_state 0"), "{body}");
-        let (status, _, body) = answer_http_path(&g, &engine, &ac, 0, "/queries");
+        assert!(body.contains("frappe_serve_admit_shed_total "), "{body}");
+        assert!(body.contains("frappe_reqtrace_committed_total "), "{body}");
+        let (status, _, body) = answer_http_path(&g, &engine, &ac, &tel, 0, "/queries");
         assert_eq!(status, "200 OK");
         assert!(
             body.starts_with("{\"plan_cache\": {\"entries\": 0"),
             "{body}"
         );
         assert!(body.contains("\"queries\": ["), "{body}");
-        let (status, ct, body) = answer_http_path(&g, &engine, &ac, 0, "/trace");
+        let (status, ct, body) = answer_http_path(&g, &engine, &ac, &tel, 0, "/trace");
         assert_eq!(status, "200 OK");
         assert_eq!(ct, "application/json");
         frappe_obs::validate_chrome_trace(&body).unwrap();
-        let (status, _, _) = answer_http_path(&g, &engine, &ac, 0, "/nope");
+        let (status, _, _) = answer_http_path(&g, &engine, &ac, &tel, 0, "/nope");
         assert_eq!(status, "404 Not Found");
+    }
+
+    #[test]
+    fn telemetry_endpoints_render() {
+        let g = tiny_graph();
+        let engine = Engine::new();
+        let ac = AdmissionControl::disabled();
+        let tel = Telemetry::detached();
+        tel.store().record("demo.series", 1_000_000, 4.0);
+        tel.store().record("demo.series", 2_000_000, 6.0);
+
+        let (status, ct, body) = answer_http_path(&g, &engine, &ac, &tel, 0, "/version");
+        assert_eq!(status, "200 OK");
+        assert_eq!(ct, "application/json");
+        assert!(
+            body.starts_with("{\"name\": \"frappe-serve\", \"version\": \""),
+            "{body}"
+        );
+        assert!(body.contains("\"pid\": "), "{body}");
+
+        let (status, ct, body) = answer_http_path(&g, &engine, &ac, &tel, 0, "/timeseries");
+        assert_eq!(status, "200 OK");
+        assert_eq!(ct, "application/json");
+        assert!(body.contains("\"sample_ms\": 0"), "{body}");
+        assert!(body.contains("\"name\": \"demo.series\""), "{body}");
+        assert!(body.contains("[1, 4]") && body.contains("[2, 6]"), "{body}");
+
+        // Filtering and since: an unknown series renders empty, the known
+        // one is trimmed to newer points.
+        let (_, _, body) = answer_http_path(
+            &g,
+            &engine,
+            &ac,
+            &tel,
+            0,
+            "/timeseries?series=demo.series,ghost&since_ms=2",
+        );
+        assert!(!body.contains("[1, 4]"), "{body}");
+        assert!(body.contains("[2, 6]"), "{body}");
+        assert!(
+            body.contains("\"name\": \"ghost\", \"points\": []"),
+            "{body}"
+        );
+
+        let (status, ct, body) = answer_http_path(&g, &engine, &ac, &tel, 0, "/alerts");
+        assert_eq!(status, "200 OK");
+        assert_eq!(ct, "application/json");
+        assert!(body.contains("\"objectives\": []"), "{body}");
+        assert!(body.contains("\"windows_s\": "), "{body}");
+
+        let (status, ct, body) = answer_http_path(&g, &engine, &ac, &tel, 7, "/dash");
+        assert_eq!(status, "200 OK");
+        assert!(ct.starts_with("text/html"));
+        assert!(body.starts_with("<!DOCTYPE html>"), "{body}");
+        assert!(body.contains("<svg"), "{body}");
+        assert!(body.contains("http-equiv=\"refresh\""), "{body}");
+        assert!(body.trim_end().ends_with("</html>"), "{body}");
     }
 
     #[test]
@@ -1065,6 +1361,7 @@ mod tests {
         let g = tiny_graph();
         let engine = Engine::new();
         let clock = Clock::virtual_at(0);
+        let tel = Telemetry::detached();
         let ac = AdmissionControl::new(
             AdmissionOptions {
                 enabled: true,
@@ -1074,12 +1371,49 @@ mod tests {
             clock,
         );
         ac.note_depth(10);
-        let (_, _, body) = answer_http_path(&g, &engine, &ac, 0, "/healthz");
+        let (_, _, body) = answer_http_path(&g, &engine, &ac, &tel, 0, "/healthz");
         assert!(body.contains("\"status\": \"degraded\""), "{body}");
         assert!(body.contains("\"state\": \"shedding\""), "{body}");
-        let (_, _, metrics) = answer_http_path(&g, &engine, &ac, 0, "/metrics");
+        let (_, _, metrics) = answer_http_path(&g, &engine, &ac, &tel, 0, "/metrics");
         frappe_obs::validate_exposition(&metrics).unwrap();
         assert!(metrics.contains("frappe_serve_admit_state 2"), "{metrics}");
+    }
+
+    #[test]
+    fn healthz_degrades_while_an_slo_fires() {
+        let g = tiny_graph();
+        let engine = Engine::new();
+        let ac = AdmissionControl::disabled();
+        let tel = {
+            let clock = Clock::monotonic();
+            let start_ns = clock.now_ns();
+            Telemetry {
+                store: Arc::new(SeriesStore::with_defaults()),
+                slo: Arc::new(SloEngine::new(
+                    vec![SloSpec::parse("latency_p99_ms=50").unwrap()],
+                    Windows::default(),
+                    Duration::from_millis(250),
+                )),
+                clock,
+                start_ns,
+                sample_ms: 250,
+            }
+        };
+        // Sustained bad verdicts push every window over its burn threshold.
+        for i in 0..50u64 {
+            tel.slo().record("latency_p99_ms", i * 1_000_000_000, true);
+        }
+        assert_eq!(tel.slo().firing(), 1);
+        let (_, _, body) = answer_http_path(&g, &engine, &ac, &tel, 0, "/healthz");
+        assert!(body.contains("\"status\": \"degraded\""), "{body}");
+        assert!(
+            body.contains("\"slo\": {\"declared\": 1, \"firing\": 1}"),
+            "{body}"
+        );
+        let (_, _, alerts) = answer_http_path(&g, &engine, &ac, &tel, 0, "/alerts");
+        assert!(alerts.contains("\"firing\": true"), "{alerts}");
+        let (_, _, dashboard) = answer_http_path(&g, &engine, &ac, &tel, 0, "/dash");
+        assert!(dashboard.contains("FIRING"), "{dashboard}");
     }
 
     #[test]

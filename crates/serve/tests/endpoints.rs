@@ -129,6 +129,50 @@ fn exporter_serves_all_endpoints() {
     );
     assert!(metrics.contains("frappe_query_latency_ns{"), "{metrics}");
     assert!(metrics.contains("frappe_slowlog_retained"), "{metrics}");
+    // The full operational surface is on the scrape even when the gated
+    // counters behind it haven't registered: slowlog drops, request-trace
+    // commit/drop/abort tallies, and the admission totals.
+    assert!(
+        metrics.contains("frappe_slowlog_dropped_total"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("frappe_reqtrace_committed_total"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("frappe_reqtrace_dropped_total"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("frappe_reqtrace_aborted_retained"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("frappe_serve_admit_admitted_total"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("frappe_serve_admit_throttled_total"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("frappe_serve_admit_shed_total"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("frappe_serve_admit_parked_total"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("frappe_serve_admit_inflight_peak"),
+        "{metrics}"
+    );
+    // Three requests committed through the reqtrace ring above.
+    assert!(
+        !metrics.contains("frappe_reqtrace_committed_total 0\n"),
+        "{metrics}"
+    );
 
     let (status, slowlog) = http_get(&server, "/slowlog");
     assert_eq!(status, "HTTP/1.1 200 OK");

@@ -123,6 +123,32 @@ if [[ -f "$c10k" ]] && grep -q '"overload": \[' "$c10k"; then
   fi
 fi
 
+# Sampler-overhead assertion: when the run carries the sampler A/B block,
+# the sampler-on median must stay within the gate factor (plus the noise
+# floor) of the sampler-off median. The median gate above only tracks the
+# on-number against its own baseline; this catches the sampler becoming
+# expensive relative to the *same run's* no-sampler control.
+if [[ -f "$c10k" ]] && grep -q '"sampler": {' "$c10k"; then
+  if grep -o '"sampler": {[^}]*}' "$c10k" \
+    | awk -v f="$FACTOR" -v fl="$FLOOR_NS" '
+      {
+        off = 0; on = 0
+        if (match($0, /"off_median_ns": [0-9]+/))
+          off = substr($0, RSTART + 17, RLENGTH - 17)
+        if (match($0, /"on_median_ns": [0-9]+/))
+          on = substr($0, RSTART + 16, RLENGTH - 16)
+        if (off == 0 || on > off * f + fl) bad = 1
+        printf "bench_gate: sampler off %.0fns vs on %.0fns (gate %sx + %.0fns floor)\n", off, on, f, fl
+      }
+      END { exit bad }
+    '; then
+    echo "bench_gate: sampler overhead within the gate factor"
+  else
+    echo "bench_gate: FAIL — serve_c10k sampler-on median exceeds sampler-off beyond ${FACTOR}x" >&2
+    exit 1
+  fi
+fi
+
 if [[ "$fail" -eq 1 ]]; then
   echo "bench_gate: FAIL — median regression beyond ${FACTOR}x (set FRAPPE_GATE_FACTOR to tune)" >&2
   exit 1

@@ -8,6 +8,11 @@
 # a pipelined burst — request traces: /trace emits Chrome trace-event
 # JSON (saved as TRACE_*.json for CI artifact upload), the per-phase
 # queue-wait histogram records, and the --stall-ms 0 watchdog counts.
+# Phase 5 smokes the telemetry stack: the 50ms sampler feeds nonzero rate
+# series on /timeseries (saved as TIMESERIES_serve_smoke.json), /dash
+# renders a complete HTML page (saved as DASH_serve_smoke.html), and a
+# latency-SLO burn-rate alert fires under a sleep burst, degrades
+# /healthz, then resolves after recovery traffic.
 #
 # Dependency-free on purpose: all TCP traffic goes through bash's
 # /dev/tcp, so the script runs anywhere bash does (no curl, no nc).
@@ -235,4 +240,77 @@ fi
 assert_grep '"status": "ok"' "$WORK/healthz_recovered.json" "healthy again after the burst"
 stop_server
 
-echo "serve_smoke: OK (scrapes in $OUT_DIR/SERVE_*.txt, traces in $OUT_DIR/TRACE_*.json)"
+echo "==> phase 5: telemetry — sampled timeseries, /dash, SLO burn-rate alert"
+# A 50ms sampler with a tight latency SLO on tiny burn windows: steady
+# cheap traffic feeds the rate series, a burst of 30ms '!sleep's blows the
+# 20ms p99 objective (firing the page and degrading /healthz), and a large
+# cheap batch dilutes the cumulative latency histogram back under the
+# threshold so the alert resolves through its hysteresis.
+start_server --snapshot "$WORK/tiny.fsnap" \
+  --sample-ms 50 --slo "latency_p99_ms=20@serve.req.exec_ns" --slo-windows 1:2:10
+http_get_body "$MHOST" "$MPORT" /version >"$WORK/version.json"
+assert_grep '"name": "frappe-serve"' "$WORK/version.json" "the server identifying itself"
+assert_grep '"version": "[0-9]' "$WORK/version.json" "a version number"
+# Keep traffic flowing across several 50ms sample intervals so the derived
+# query-throughput rate is nonzero in at least two samples.
+for _ in $(seq 1 6); do
+  for _ in $(seq 1 20); do echo "$FIG3_QUERY"; done | run_query_batch "$QHOST" "$QPORT" >/dev/null
+  sleep 0.1
+done
+http_get_body "$MHOST" "$MPORT" /timeseries >"$OUT_DIR/TIMESERIES_serve_smoke.json"
+assert_grep '"name": "query.executions:rate"' "$OUT_DIR/TIMESERIES_serve_smoke.json" \
+  "a derived throughput rate series"
+rate_points="$(tr -d '\n' <"$OUT_DIR/TIMESERIES_serve_smoke.json" \
+  | sed -n 's/.*"name": "query.executions:rate", "points": \[\(\[[^]]*\]\(, \[[^]]*\]\)*\)\].*/\1/p')"
+nonzero_rates="$(printf '%s\n' "$rate_points" | grep -o ', [0-9][0-9.]*\]' | grep -cv ', 0\]' || true)"
+if [[ "${nonzero_rates:-0}" -lt 2 ]]; then
+  echo "serve_smoke: expected >=2 nonzero query.executions:rate samples, got ${nonzero_rates:-0}" >&2
+  exit 1
+fi
+http_get_body "$MHOST" "$MPORT" /dash >"$OUT_DIR/DASH_serve_smoke.html"
+assert_grep '^<!DOCTYPE html>' "$OUT_DIR/DASH_serve_smoke.html" "an HTML document"
+assert_grep '<svg' "$OUT_DIR/DASH_serve_smoke.html" "inline SVG sparklines"
+assert_grep '</html>$' "$OUT_DIR/DASH_serve_smoke.html" "a complete HTML document"
+# Overload: 16 pipelined 30ms sleeps push the cumulative exec-latency p99
+# past the 20ms objective; with a 0.1% budget the burn-rate page fires on
+# the first bad sample.
+for _ in $(seq 1 16); do echo "!sleep 30"; done | run_pipelined_batch "$QHOST" "$QPORT" >/dev/null
+fired=0
+for _ in $(seq 1 100); do
+  http_get_body "$MHOST" "$MPORT" /alerts >"$WORK/alerts.json"
+  if grep -q '"firing": 1, "objectives"' "$WORK/alerts.json"; then
+    fired=1
+    break
+  fi
+  sleep 0.1
+done
+if [[ "$fired" -ne 1 ]]; then
+  echo "serve_smoke: latency SLO never fired under the sleep burst" >&2
+  exit 1
+fi
+assert_grep '"slo": "latency_p99_ms"' "$WORK/alerts.json" "a logged alert transition"
+http_get_body "$MHOST" "$MPORT" /healthz >"$WORK/healthz_slo.json"
+assert_grep '"status": "degraded"' "$WORK/healthz_slo.json" "degraded health while the SLO fires"
+assert_grep '"firing": 1' "$WORK/healthz_slo.json" "the firing count on /healthz"
+# Recovery: a large cheap batch dilutes the histogram's bad tail below 1%,
+# the p99 gauge drops under the objective, and after a clean fast window
+# the alert resolves and /healthz recovers.
+for _ in $(seq 1 2400); do echo "$FIG3_QUERY"; done | run_pipelined_batch "$QHOST" "$QPORT" >/dev/null
+resolved=0
+for _ in $(seq 1 150); do
+  http_get_body "$MHOST" "$MPORT" /alerts >"$WORK/alerts_resolved.json"
+  if grep -q '"firing": 0, "objectives"' "$WORK/alerts_resolved.json"; then
+    resolved=1
+    break
+  fi
+  sleep 0.1
+done
+if [[ "$resolved" -ne 1 ]]; then
+  echo "serve_smoke: latency SLO never resolved after recovery" >&2
+  exit 1
+fi
+http_get_body "$MHOST" "$MPORT" /healthz >"$WORK/healthz_slo_ok.json"
+assert_grep '"status": "ok"' "$WORK/healthz_slo_ok.json" "healthy again after the alert resolves"
+stop_server
+
+echo "serve_smoke: OK (scrapes in $OUT_DIR/SERVE_*.txt, traces in $OUT_DIR/TRACE_*.json, dash in $OUT_DIR/DASH_serve_smoke.html)"
